@@ -1,0 +1,29 @@
+//! # facile-baselines
+//!
+//! Re-implementations *in spirit* of the throughput predictors Facile is
+//! compared against in the paper's Table 2. Each baseline reproduces the
+//! documented modeling characteristics (and gaps) of the original tool:
+//!
+//! | Baseline | Models | Misses |
+//! |----------|--------|--------|
+//! | `UicaLike` | the full pipeline (it *is* the measurement simulator) | — |
+//! | `LlvmMcaLike` | back end, scheduling database | front end, macro/micro fusion, move elimination |
+//! | `CqaLike` | detailed front end | the entire back end (ports, dependencies) |
+//! | `OsacaLike` | uniform port pressure + critical path | front end, fusion, optimal balancing |
+//! | `IacaLike` | issue width, fusion, optimal ports | predecode/LCP, dependence chains |
+//! | `IthemalLike` | learned (rich features, trained on TPU) | interpretability, TPL notion |
+//! | `DiffTuneLike` | learned (coarse features, trained on TPU) | almost everything on loops |
+//! | `LearningBl` | learned per-opcode cost table | microarchitectural interactions |
+//!
+//! All predictors implement the [`Predictor`] trait consumed by the
+//! experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod learned;
+pub mod predictor;
+
+pub use analytic::{CqaLike, IacaLike, LlvmMcaLike, OsacaLike};
+pub use learned::{DiffTuneLike, IthemalLike, LearningBl};
+pub use predictor::{FacilePredictor, Predictor, UicaLike};

@@ -1,0 +1,70 @@
+//! The common predictor interface used by the evaluation harness.
+
+use facile_core::Mode;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+
+/// A basic-block throughput predictor, as compared in Table 2.
+pub trait Predictor {
+    /// Tool name as it appears in the tables.
+    fn name(&self) -> &'static str;
+
+    /// Predict the throughput (cycles per iteration) of `block` on `uarch`
+    /// under the given throughput notion.
+    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64;
+
+    /// The notion the tool was designed for (`None` = handles both). The
+    /// paper grays out the other column; the harness annotates it.
+    fn native_notion(&self) -> Option<Mode> {
+        None
+    }
+}
+
+/// The reference Facile predictor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FacilePredictor;
+
+impl Predictor for FacilePredictor {
+    fn name(&self) -> &'static str {
+        "Facile"
+    }
+
+    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64 {
+        let ab = facile_isa::AnnotatedBlock::new(block.clone(), uarch);
+        facile_core::Facile::new().predict(&ab, mode).throughput
+    }
+}
+
+/// The simulation-based predictor (the uiCA-like row): it runs the same
+/// cycle-accurate simulator that produces the reference measurements, so
+/// its error in our tables is zero by construction (documented in
+/// EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UicaLike;
+
+impl Predictor for UicaLike {
+    fn name(&self) -> &'static str {
+        "uiCA-like (sim)"
+    }
+
+    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64 {
+        let ab = facile_isa::AnnotatedBlock::new(block.clone(), uarch);
+        facile_sim::simulate(&ab, mode == Mode::Loop).cycles_per_iter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_x86::reg::names::*;
+    use facile_x86::Mnemonic;
+
+    #[test]
+    fn facile_and_sim_agree_on_trivial_block() {
+        let b = Block::assemble(&[(Mnemonic::Add, vec![RAX.into(), RCX.into()])]).unwrap();
+        let f = FacilePredictor.predict(&b, Uarch::Skl, Mode::Unrolled);
+        let s = UicaLike.predict(&b, Uarch::Skl, Mode::Unrolled);
+        assert!((f - 1.0).abs() < 1e-9);
+        assert!((s - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for prediction latency: the quantitative
+//! backbone of the paper's efficiency claims (§6.3). One group per
+//! concern: full predictions per notion, the individual components, the
+//! cycle-accurate simulator for contrast, and scaling with block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use facile_core::{dec, ports, precedence, predec, Facile, Mode};
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+use std::hint::black_box;
+
+/// A representative mid-size block (mixed classes) from the seeded suite.
+fn sample_block() -> Block {
+    facile_bhive::generate_suite(8, 7)[4].unrolled.clone()
+}
+
+fn sample_loop() -> Block {
+    facile_bhive::generate_suite(8, 7)[4].looped.clone()
+}
+
+fn bench_full_prediction(c: &mut Criterion) {
+    let ab_u = AnnotatedBlock::new(sample_block(), Uarch::Skl);
+    let ab_l = AnnotatedBlock::new(sample_loop(), Uarch::Skl);
+    let f = Facile::new();
+    let mut g = c.benchmark_group("facile_full");
+    g.bench_function("tpu", |b| {
+        b.iter(|| black_box(f.predict(black_box(&ab_u), Mode::Unrolled).throughput));
+    });
+    g.bench_function("tpl", |b| {
+        b.iter(|| black_box(f.predict(black_box(&ab_l), Mode::Loop).throughput));
+    });
+    g.bench_function("tpu_with_annotation", |b| {
+        let block = sample_block();
+        b.iter(|| {
+            let ab = AnnotatedBlock::new(black_box(block.clone()), Uarch::Skl);
+            black_box(f.predict(&ab, Mode::Unrolled).throughput)
+        });
+    });
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let ab = AnnotatedBlock::new(sample_block(), Uarch::Skl);
+    let mut g = c.benchmark_group("components");
+    g.bench_function("predec", |b| {
+        b.iter(|| black_box(predec::predec(black_box(&ab), Mode::Unrolled)));
+    });
+    g.bench_function("dec", |b| b.iter(|| black_box(dec::dec(black_box(&ab)))));
+    g.bench_function("ports_heuristic", |b| {
+        b.iter(|| black_box(ports::ports(black_box(&ab)).bound));
+    });
+    g.bench_function("ports_exact", |b| {
+        b.iter(|| black_box(ports::ports_exact(black_box(&ab)).bound));
+    });
+    g.bench_function("precedence", |b| {
+        b.iter(|| black_box(precedence::precedence(black_box(&ab)).bound));
+    });
+    g.finish();
+}
+
+fn bench_simulator_contrast(c: &mut Criterion) {
+    // The Fig. 5 story in one group: the analytical model vs. the
+    // simulation-based predictor on the same input.
+    let ab = AnnotatedBlock::new(sample_block(), Uarch::Skl);
+    let f = Facile::new();
+    let mut g = c.benchmark_group("facile_vs_simulation");
+    g.sample_size(20);
+    g.bench_function("facile", |b| {
+        b.iter(|| black_box(f.predict(black_box(&ab), Mode::Unrolled).throughput));
+    });
+    g.bench_function("simulator", |b| {
+        b.iter(|| black_box(facile_sim::simulate(black_box(&ab), false).cycles_per_iter));
+    });
+    g.finish();
+}
+
+fn bench_block_size_scaling(c: &mut Criterion) {
+    let f = Facile::new();
+    let mut g = c.benchmark_group("scaling");
+    for n in [2usize, 4, 8, 16, 24] {
+        let prog: Vec<_> = (0..n)
+            .map(|i| {
+                let d = facile_x86::Reg::gpr((i % 8) as u8, facile_x86::Width::W64);
+                let s = facile_x86::Reg::gpr(((i + 3) % 8) as u8, facile_x86::Width::W64);
+                (
+                    facile_x86::Mnemonic::Add,
+                    vec![facile_x86::Operand::Reg(d), facile_x86::Operand::Reg(s)],
+                )
+            })
+            .collect();
+        let ab = AnnotatedBlock::new(Block::assemble(&prog).expect("assembles"), Uarch::Rkl);
+        g.bench_with_input(BenchmarkId::new("facile_tpu", n), &ab, |b, ab| {
+            b.iter(|| black_box(f.predict(black_box(ab), Mode::Unrolled).throughput));
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let block = sample_block();
+    let bytes = block.bytes().to_vec();
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("decode_block", |b| {
+        b.iter(|| black_box(Block::decode(black_box(&bytes)).expect("decodes")));
+    });
+    g.bench_function("annotate", |b| {
+        b.iter(|| black_box(AnnotatedBlock::new(black_box(block.clone()), Uarch::Skl)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_prediction,
+    bench_components,
+    bench_simulator_contrast,
+    bench_block_size_scaling,
+    bench_codec
+);
+criterion_main!(benches);

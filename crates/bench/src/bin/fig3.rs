@@ -1,0 +1,58 @@
+//! Regenerates Figure 3: heatmaps relating measured and predicted
+//! throughput for BHiveL benchmarks with measured throughput below 10
+//! cycles on Rocket Lake, for Facile, the simulation-based predictor, the
+//! llvm-mca-like and the CQA-like baselines.
+
+use facile_baselines::{CqaLike, FacilePredictor, LlvmMcaLike, Predictor, UicaLike};
+use facile_bench::{Args, MeasuredSuite};
+use facile_core::Mode;
+use facile_metrics::Heatmap;
+use facile_uarch::Uarch;
+use std::io::Write;
+
+fn main() {
+    let mut args = Args::parse();
+    if args.uarchs == Uarch::ALL.to_vec() {
+        args.uarchs = vec![Uarch::Rkl];
+    }
+    let uarch = args.uarchs[0];
+    println!(
+        "Figure 3: Heatmaps for BHiveL blocks with measured throughput < 10 \
+         cycles/iteration on {} ({} blocks, seed {}).\n",
+        uarch.full_name(),
+        args.blocks,
+        args.seed
+    );
+    let ms = MeasuredSuite::build(args.blocks, args.seed, uarch);
+    let predictors: Vec<&(dyn Predictor + Sync)> =
+        vec![&FacilePredictor, &UicaLike, &LlvmMcaLike, &CqaLike];
+    std::fs::create_dir_all("results").expect("create results dir");
+    for p in predictors {
+        let idx: Vec<usize> = (0..ms.suite.len()).collect();
+        let preds = facile_bench::parallel_map(&idx, |&i| {
+            facile_bhive::round2(p.predict(ms.block(i, Mode::Loop), uarch, Mode::Loop))
+        });
+        let mut h = Heatmap::new(20, 10.0);
+        let mut n = 0;
+        for (i, &pred) in preds.iter().enumerate() {
+            let m = ms.measured(i, Mode::Loop);
+            if m > 0.0 && m < 10.0 {
+                h.add(m, pred);
+                n += 1;
+            }
+        }
+        println!("--- {} ({} blocks in range) ---", p.name(), n);
+        println!("{h}");
+        println!(
+            "on-diagonal fraction (0.5-cycle bins): {:.1}%\n",
+            100.0 * h.diagonal_fraction()
+        );
+        let path = format!(
+            "results/fig3_{}.csv",
+            p.name().replace([' ', '(', ')'], "").to_lowercase()
+        );
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        f.write_all(h.to_csv().as_bytes()).expect("write csv");
+        println!("(raw bins written to {path})");
+    }
+}

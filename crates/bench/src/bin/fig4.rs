@@ -1,0 +1,123 @@
+//! Regenerates Figure 4: the distribution of execution times of Facile's
+//! components under TPU and TPL (on the Skylake configuration, as in
+//! §6.3 of the paper).
+
+use facile_bench::{annotate, Args, MeasuredSuite};
+use facile_core::{dec, dsb, issue, lsd, ports, precedence, predec, Mode};
+use facile_metrics::{Table, TimingStats};
+use facile_uarch::Uarch;
+use std::time::Instant;
+
+fn time_component(
+    blocks: &[facile_isa::AnnotatedBlock],
+    f: impl Fn(&facile_isa::AnnotatedBlock) -> f64,
+) -> TimingStats {
+    let samples: Vec<f64> = blocks
+        .iter()
+        .map(|ab| {
+            let t0 = Instant::now();
+            let v = f(ab);
+            let dt = t0.elapsed().as_secs_f64() * 1e6;
+            std::hint::black_box(v);
+            dt
+        })
+        .collect();
+    TimingStats::from_samples(&samples)
+}
+
+fn print_stats(title: &str, rows: Vec<(&str, TimingStats)>) {
+    println!("--- {title} ---\n");
+    let mut t = Table::new(vec![
+        "Component",
+        "mean (µs)",
+        "p25",
+        "median",
+        "p75",
+        "max",
+    ]);
+    for (name, s) in rows {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", s.mean_us),
+            format!("{:.2}", s.p25_us),
+            format!("{:.2}", s.median_us),
+            format!("{:.2}", s.p75_us),
+            format!("{:.2}", s.max_us),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn main() {
+    let mut args = Args::parse();
+    if args.uarchs == Uarch::ALL.to_vec() {
+        args.uarchs = vec![Uarch::Skl];
+    }
+    let uarch = args.uarchs[0];
+    println!(
+        "Figure 4: Execution-time distributions of Facile's components on \
+         {} ({} blocks, seed {}).\n",
+        uarch.full_name(),
+        args.blocks,
+        args.seed
+    );
+    let ms = MeasuredSuite::build(args.blocks, args.seed, uarch);
+
+    // Overhead: decoding + annotation (the analogue of the paper's input
+    // parsing and disassembly overhead).
+    let overhead: Vec<f64> = ms
+        .suite
+        .iter()
+        .map(|b| {
+            let t0 = Instant::now();
+            std::hint::black_box(annotate(&b.unrolled, uarch));
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+
+    let abs_u: Vec<_> = ms.suite.iter().map(|b| annotate(&b.unrolled, uarch)).collect();
+    let abs_l: Vec<_> = ms.suite.iter().map(|b| annotate(&b.looped, uarch)).collect();
+
+    print_stats(
+        "TPU",
+        vec![
+            ("overhead", TimingStats::from_samples(&overhead)),
+            ("Predec", time_component(&abs_u, |ab| predec::predec(ab, Mode::Unrolled))),
+            ("Dec", time_component(&abs_u, dec::dec)),
+            ("Issue", time_component(&abs_u, issue::issue)),
+            ("Ports", time_component(&abs_u, |ab| ports::ports(ab).bound)),
+            ("Precedence", time_component(&abs_u, |ab| precedence::precedence(ab).bound)),
+        ],
+    );
+    print_stats(
+        "TPL",
+        vec![
+            ("overhead", TimingStats::from_samples(&overhead)),
+            (
+                "Predec",
+                time_component(&abs_l, |ab| {
+                    if ab.jcc_erratum_applies() {
+                        predec::predec(ab, Mode::Loop)
+                    } else {
+                        0.0 // skipped on the LSD/DSB path, as in Eq. 3
+                    }
+                }),
+            ),
+            (
+                "Dec",
+                time_component(&abs_l, |ab| {
+                    if ab.jcc_erratum_applies() {
+                        dec::dec(ab)
+                    } else {
+                        0.0
+                    }
+                }),
+            ),
+            ("DSB", time_component(&abs_l, dsb::dsb)),
+            ("LSD", time_component(&abs_l, lsd::lsd)),
+            ("Issue", time_component(&abs_l, issue::issue)),
+            ("Ports", time_component(&abs_l, |ab| ports::ports(ab).bound)),
+            ("Precedence", time_component(&abs_l, |ab| precedence::precedence(ab).bound)),
+        ],
+    );
+}

@@ -1,0 +1,77 @@
+//! Regenerates Figure 5: the computational efficiency of Facile compared
+//! to the other predictors (time per benchmark on the Skylake
+//! configuration, TPU and TPL).
+//!
+//! Note on interpretation: all predictors here are Rust re-implementations
+//! sharing infrastructure, so *absolute* times differ from the paper's
+//! measurements of heterogeneous third-party tools. The headline result —
+//! the analytical model is orders of magnitude faster than the
+//! simulation-based predictor that defines state-of-the-art accuracy — is
+//! reproduced directly.
+
+use facile_baselines::{
+    CqaLike, DiffTuneLike, FacilePredictor, IacaLike, IthemalLike, LearningBl, LlvmMcaLike,
+    OsacaLike, Predictor, UicaLike,
+};
+use facile_bench::{Args, MeasuredSuite};
+use facile_core::Mode;
+use facile_metrics::{Table, TimingStats};
+use facile_uarch::Uarch;
+use std::time::Instant;
+
+fn main() {
+    let mut args = Args::parse();
+    if args.uarchs == Uarch::ALL.to_vec() {
+        args.uarchs = vec![Uarch::Skl];
+    }
+    let uarch = args.uarchs[0];
+    println!(
+        "Figure 5: Time per benchmark on {} ({} blocks, seed {}).\n",
+        uarch.full_name(),
+        args.blocks,
+        args.seed
+    );
+    let ms = MeasuredSuite::build(args.blocks, args.seed, uarch);
+
+    eprintln!("training learned baselines...");
+    let ithemal = IthemalLike::train(&[uarch], args.train, args.seed ^ 0xACE1);
+    let difftune = DiffTuneLike::train(&[uarch], args.train, args.seed ^ 0xACE1);
+    let learning_bl = LearningBl::train(&[uarch], args.train, args.seed ^ 0xACE1);
+    let predictors: Vec<&(dyn Predictor + Sync)> = vec![
+        &FacilePredictor,
+        &ithemal,
+        &IacaLike,
+        &LlvmMcaLike,
+        &UicaLike,
+        &CqaLike,
+        &OsacaLike,
+        &difftune,
+        &learning_bl,
+    ];
+
+    let mut t = Table::new(vec![
+        "Predictor",
+        "TPU mean (µs)",
+        "TPU median",
+        "TPL mean (µs)",
+        "TPL median",
+    ]);
+    for p in predictors {
+        let mut cells = vec![p.name().to_string()];
+        for mode in [Mode::Unrolled, Mode::Loop] {
+            let samples: Vec<f64> = (0..ms.suite.len())
+                .map(|i| {
+                    let block = ms.block(i, mode);
+                    let t0 = Instant::now();
+                    std::hint::black_box(p.predict(block, uarch, mode));
+                    t0.elapsed().as_secs_f64() * 1e6
+                })
+                .collect();
+            let s = TimingStats::from_samples(&samples);
+            cells.push(format!("{:.1}", s.mean_us));
+            cells.push(format!("{:.1}", s.median_us));
+        }
+        t.row(cells);
+    }
+    println!("{t}");
+}

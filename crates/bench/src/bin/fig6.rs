@@ -1,0 +1,91 @@
+//! Regenerates Figure 6: the evolution of bottlenecks under TPU from Sandy
+//! Bridge via Haswell and Cascade Lake to Rocket Lake (Sankey-diagram
+//! data: per-µarch bottleneck shares and the transition matrices between
+//! consecutive microarchitectures).
+
+use facile_bench::{Args, MeasuredSuite};
+use facile_core::{Component, Facile, Mode};
+use facile_metrics::Table;
+use facile_uarch::Uarch;
+
+/// The paper's tie-breaking order: the component closest to the front end
+/// wins (Predec > Dec > Issue > Ports > Precedence).
+const ORDER: [Component; 5] = [
+    Component::Predec,
+    Component::Dec,
+    Component::Issue,
+    Component::Ports,
+    Component::Precedence,
+];
+
+fn bottleneck(ab: &facile_isa::AnnotatedBlock) -> Component {
+    let p = Facile::new().predict(ab, Mode::Unrolled);
+    for c in ORDER {
+        if p.bottlenecks.contains(&c) {
+            return c;
+        }
+    }
+    // All bounds zero (empty block cannot occur for generated suites).
+    Component::Precedence
+}
+
+fn main() {
+    let args = Args::parse();
+    let chain = [Uarch::Snb, Uarch::Hsw, Uarch::Clx, Uarch::Rkl];
+    println!(
+        "Figure 6: Evolution of bottlenecks under TPU from Sandy Bridge to \
+         Rocket Lake ({} blocks, seed {}).\n",
+        args.blocks, args.seed
+    );
+
+    // Classify every benchmark on every µarch of the chain.
+    let mut classes: Vec<Vec<Component>> = Vec::new();
+    for &u in &chain {
+        let ms = MeasuredSuite::build(args.blocks, args.seed, u);
+        let idx: Vec<usize> = (0..ms.suite.len()).collect();
+        let cls = facile_bench::parallel_map(&idx, |&i| {
+            bottleneck(&facile_bench::annotate(&ms.suite[i].unrolled, u))
+        });
+        classes.push(cls);
+    }
+
+    // Shares per microarchitecture.
+    let mut t = Table::new(vec!["Component", "SNB", "HSW", "CLX", "RKL"]);
+    for comp in ORDER {
+        let mut row = vec![comp.name().to_string()];
+        for cls in &classes {
+            let share =
+                cls.iter().filter(|c| **c == comp).count() as f64 / cls.len() as f64;
+            row.push(format!("{:.1}%", 100.0 * share));
+        }
+        t.row(row);
+    }
+    println!("Bottleneck shares:\n\n{t}");
+
+    // Transition matrices (the Sankey flows).
+    for w in classes.windows(2) {
+        let (from, to) = (&w[0], &w[1]);
+        println!("Transitions (rows: previous µarch, columns: next µarch):");
+        let mut t = Table::new(vec![
+            "from\\to",
+            "Predec",
+            "Dec",
+            "Issue",
+            "Ports",
+            "Precedence",
+        ]);
+        for a in ORDER {
+            let mut row = vec![a.name().to_string()];
+            for b in ORDER {
+                let n = from
+                    .iter()
+                    .zip(to)
+                    .filter(|(x, y)| **x == a && **y == b)
+                    .count();
+                row.push(n.to_string());
+            }
+            t.row(row);
+        }
+        println!("{t}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 1: the microarchitectures used for the evaluation.
+
+use facile_metrics::Table;
+use facile_uarch::Uarch;
+
+fn main() {
+    let mut t = Table::new(vec!["µArch", "Abbr.", "Released", "CPU"]);
+    // Table 1 lists newest first.
+    for u in Uarch::ALL.iter().rev() {
+        t.row(vec![
+            u.full_name().to_string(),
+            u.abbrev().to_string(),
+            u.released().to_string(),
+            u.example_cpu().to_string(),
+        ]);
+    }
+    println!("Table 1: Microarchitectures used for the evaluation.\n");
+    println!("{t}");
+}

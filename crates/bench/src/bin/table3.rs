@@ -1,0 +1,67 @@
+//! Regenerates Table 3: the influence of Facile's components on prediction
+//! accuracy (ablation study on Rocket Lake, Skylake, and Sandy Bridge).
+
+use facile_bench::{pct, tau, Args, MeasuredSuite};
+use facile_core::{ablation, Facile, Mode};
+use facile_metrics::Table;
+use facile_uarch::Uarch;
+
+fn main() {
+    let mut args = Args::parse();
+    if args.uarchs == Uarch::ALL.to_vec() {
+        args.uarchs = vec![Uarch::Rkl, Uarch::Skl, Uarch::Snb];
+    }
+    println!(
+        "Table 3: Influence of components on the prediction accuracy \
+         ({} blocks, seed {}).\n",
+        args.blocks, args.seed
+    );
+    let mut t = Table::new(vec![
+        "µArch",
+        "Predictor",
+        "BHiveU MAPE",
+        "BHiveU Kendall",
+        "BHiveL MAPE",
+        "BHiveL Kendall",
+    ]);
+    for &uarch in &args.uarchs {
+        eprintln!("measuring suite on {uarch}...");
+        let ms = MeasuredSuite::build(args.blocks, args.seed, uarch);
+        for v in ablation::variants() {
+            let model = Facile::with_config(v.config);
+            let eval = |mode: Mode| -> (String, String) {
+                let idx: Vec<usize> = (0..ms.suite.len()).collect();
+                let preds = facile_bench::parallel_map(&idx, |&i| {
+                    let ab = facile_bench::annotate(ms.block(i, mode), uarch);
+                    facile_bhive::round2(model.predict(&ab, mode).throughput)
+                });
+                let mut pairs = Vec::new();
+                let (mut xs, mut ys) = (Vec::new(), Vec::new());
+                for (i, &p) in preds.iter().enumerate() {
+                    let m = ms.measured(i, mode);
+                    if m > 0.0 {
+                        pairs.push((m, p));
+                        xs.push(m);
+                        ys.push(p);
+                    }
+                }
+                (
+                    pct(facile_metrics::mape(&pairs)),
+                    tau(facile_metrics::kendall_tau_b(&xs, &ys)),
+                )
+            };
+            let (mu, ku) = if v.applies_to(Mode::Unrolled) {
+                eval(Mode::Unrolled)
+            } else {
+                ("-".into(), "-".into())
+            };
+            let (ml, kl) = if v.applies_to(Mode::Loop) {
+                eval(Mode::Loop)
+            } else {
+                ("-".into(), "-".into())
+            };
+            t.row(vec![uarch.to_string(), v.name.to_string(), mu, ku, ml, kl]);
+        }
+    }
+    println!("{t}");
+}

@@ -1,0 +1,54 @@
+//! Regenerates Table 4: the speedup when idealizing a single pipeline
+//! component (counterfactual analysis, TPU notion).
+
+use facile_bench::{Args, MeasuredSuite};
+use facile_core::{Component, Facile, FacileConfig, Mode};
+use facile_metrics::Table;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Table 4: Speedup when idealizing a single component \
+         ({} blocks, seed {}).\n",
+        args.blocks, args.seed
+    );
+    let components = [
+        Component::Predec,
+        Component::Dec,
+        Component::Issue,
+        Component::Ports,
+        Component::Precedence,
+    ];
+    let mut t = Table::new(vec!["µArch", "Predec", "Dec", "Issue", "Ports", "Precedence"]);
+    for &uarch in &args.uarchs {
+        eprintln!("analyzing {uarch}...");
+        // Measurements are not needed for the counterfactual itself, but we
+        // reuse the suite builder for the blocks.
+        let ms = MeasuredSuite::build(args.blocks, args.seed, uarch);
+        let f = Facile::new();
+        let idx: Vec<usize> = (0..ms.suite.len()).collect();
+        let full: f64 = facile_bench::parallel_map(&idx, |&i| {
+            let ab = facile_bench::annotate(&ms.suite[i].unrolled, uarch);
+            f.predict(&ab, Mode::Unrolled).throughput
+        })
+        .into_iter()
+        .sum();
+        let mut row = vec![uarch.to_string()];
+        for c in components {
+            // Aggregate speedup: the ratio of total predicted cycles across
+            // the suite with and without the component's bound (the overall
+            // "performance improvement" if the component were infinitely
+            // fast).
+            let ideal_model = Facile::with_config(FacileConfig::without(c));
+            let ideal: f64 = facile_bench::parallel_map(&idx, |&i| {
+                let ab = facile_bench::annotate(&ms.suite[i].unrolled, uarch);
+                ideal_model.predict(&ab, Mode::Unrolled).throughput
+            })
+            .into_iter()
+            .sum();
+            row.push(format!("{:.2}", full / ideal.max(1e-9)));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,236 @@
+//! # facile-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6). Each artifact has its own binary:
+//!
+//! | Binary | Artifact |
+//! |--------|----------|
+//! | `table1` | Table 1 — evaluated microarchitectures |
+//! | `table2` | Table 2 — MAPE + Kendall's τ of all predictors on BHiveU/BHiveL |
+//! | `table3` | Table 3 — component ablations (RKL, SKL, SNB) |
+//! | `table4` | Table 4 — speedup when idealizing one component |
+//! | `fig3`   | Fig. 3 — measured-vs-predicted heatmaps (RKL, BHiveL) |
+//! | `fig4`   | Fig. 4 — per-component analysis-time distributions |
+//! | `fig5`   | Fig. 5 — time per benchmark, Facile vs other predictors |
+//! | `fig6`   | Fig. 6 — bottleneck evolution across microarchitectures |
+//! | `ports_exactness` | §4.8 — pairwise Ports heuristic vs exact bound |
+//!
+//! All binaries accept `--blocks N`, `--seed S`, and `--train N` and print
+//! Markdown tables; see EXPERIMENTS.md for the recorded results.
+
+#![warn(missing_docs)]
+
+use facile_baselines::Predictor;
+use facile_bhive::{generate_suite, Bench};
+use facile_core::Mode;
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Command-line arguments shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Number of benchmark blocks per notion.
+    pub blocks: usize,
+    /// Suite seed.
+    pub seed: u64,
+    /// Training-set size for the learned baselines.
+    pub train: usize,
+    /// Microarchitectures to evaluate.
+    pub uarchs: Vec<Uarch>,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args { blocks: 500, seed: 2023, train: 300, uarchs: Uarch::ALL.to_vec() }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args`. Unknown flags abort with a usage hint.
+    ///
+    /// # Panics
+    /// Panics on malformed flag values.
+    #[must_use]
+    pub fn parse() -> Args {
+        let mut args = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut val = || it.next().expect("flag requires a value");
+            match flag.as_str() {
+                "--blocks" => args.blocks = val().parse().expect("numeric --blocks"),
+                "--seed" => args.seed = val().parse().expect("numeric --seed"),
+                "--train" => args.train = val().parse().expect("numeric --train"),
+                "--uarch" => {
+                    let v = val();
+                    if v != "all" {
+                        args.uarchs = v
+                            .split(',')
+                            .map(|s| s.parse().expect("known microarchitecture"))
+                            .collect();
+                    }
+                }
+                other => {
+                    eprintln!(
+                        "unknown flag {other}; supported: --blocks N --seed S --train N --uarch LIST|all"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+/// Map `f` over `items` in parallel using scoped threads, preserving order.
+pub fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<U>>> =
+        (0..items.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *slots[i].lock().expect("no poisoning") = Some(f(&items[i]));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("no poisoning").expect("every slot filled"))
+        .collect()
+}
+
+/// A suite measured on one microarchitecture.
+#[derive(Debug, Clone)]
+pub struct MeasuredSuite {
+    /// The benchmarks.
+    pub suite: Vec<Bench>,
+    /// Measured TPU per benchmark.
+    pub tpu: Vec<f64>,
+    /// Measured TPL per benchmark.
+    pub tpl: Vec<f64>,
+}
+
+impl MeasuredSuite {
+    /// Generate and measure a suite (in parallel).
+    #[must_use]
+    pub fn build(n: usize, seed: u64, uarch: Uarch) -> MeasuredSuite {
+        let suite = generate_suite(n, seed);
+        let tpu = parallel_map(&suite, |b| {
+            facile_bhive::measure_block(&b.unrolled, uarch, false)
+        });
+        let tpl =
+            parallel_map(&suite, |b| facile_bhive::measure_block(&b.looped, uarch, true));
+        MeasuredSuite { suite, tpu, tpl }
+    }
+
+    /// The measured value for a benchmark under a notion.
+    #[must_use]
+    pub fn measured(&self, i: usize, mode: Mode) -> f64 {
+        match mode {
+            Mode::Unrolled => self.tpu[i],
+            Mode::Loop => self.tpl[i],
+        }
+    }
+
+    /// The block variant for a notion.
+    #[must_use]
+    pub fn block(&self, i: usize, mode: Mode) -> &facile_x86::Block {
+        match mode {
+            Mode::Unrolled => &self.suite[i].unrolled,
+            Mode::Loop => &self.suite[i].looped,
+        }
+    }
+}
+
+/// Accuracy of one predictor on one measured suite and notion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accuracy {
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// Kendall's tau-b.
+    pub tau: f64,
+}
+
+/// Evaluate a predictor against a measured suite.
+#[must_use]
+pub fn evaluate(
+    ms: &MeasuredSuite,
+    uarch: Uarch,
+    predictor: &(dyn Predictor + Sync),
+    mode: Mode,
+) -> Accuracy {
+    let idx: Vec<usize> = (0..ms.suite.len()).collect();
+    let preds = parallel_map(&idx, |&i| {
+        let p = predictor.predict(ms.block(i, mode), uarch, mode);
+        facile_bhive::round2(p)
+    });
+    let mut pairs = Vec::with_capacity(preds.len());
+    let (mut xs, mut ys) = (Vec::new(), Vec::new());
+    for (i, &p) in preds.iter().enumerate() {
+        let m = ms.measured(i, mode);
+        if m > 0.0 {
+            pairs.push((m, if p.is_finite() { p } else { 0.0 }));
+            xs.push(m);
+            ys.push(p);
+        }
+    }
+    Accuracy {
+        mape: facile_metrics::mape(&pairs),
+        tau: facile_metrics::kendall_tau_b(&xs, &ys),
+    }
+}
+
+/// Annotate a block for prediction (convenience used by the binaries).
+#[must_use]
+pub fn annotate(block: &facile_x86::Block, uarch: Uarch) -> AnnotatedBlock {
+    AnnotatedBlock::new(block.clone(), uarch)
+}
+
+/// Format a fraction as a percentage string.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Format a tau value.
+#[must_use]
+pub fn tau(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn measured_suite_shapes() {
+        let ms = MeasuredSuite::build(8, 5, Uarch::Skl);
+        assert_eq!(ms.suite.len(), 8);
+        assert_eq!(ms.tpu.len(), 8);
+        assert_eq!(ms.tpl.len(), 8);
+        assert!(ms.tpu.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn evaluate_facile_small() {
+        let ms = MeasuredSuite::build(12, 5, Uarch::Skl);
+        let acc =
+            evaluate(&ms, Uarch::Skl, &facile_baselines::FacilePredictor, Mode::Unrolled);
+        assert!(acc.mape < 0.15, "facile should track the oracle: {}", acc.mape);
+        assert!(acc.tau > 0.7);
+    }
+}

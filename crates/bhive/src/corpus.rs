@@ -1,0 +1,244 @@
+//! A curated corpus of hand-written stress kernels.
+//!
+//! Each kernel targets one pipeline component, providing known-bottleneck
+//! inputs for tests, examples, and the interpretability experiments.
+
+use facile_x86::reg::names::*;
+use facile_x86::reg::Width;
+use facile_x86::{Block, Cond, Mem, Mnemonic, Operand, Reg};
+
+/// A named stress kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Short name.
+    pub name: &'static str,
+    /// What the kernel stresses.
+    pub stresses: &'static str,
+    /// The block.
+    pub block: Block,
+}
+
+type Asm = (Mnemonic, Vec<Operand>);
+
+fn assemble(name: &'static str, stresses: &'static str, prog: &[Asm]) -> Kernel {
+    Kernel {
+        name,
+        stresses,
+        block: Block::assemble(prog).expect("corpus kernels must assemble"),
+    }
+}
+
+/// The full corpus.
+#[must_use]
+pub fn kernels() -> Vec<Kernel> {
+    let mut v = Vec::new();
+
+    // Dependence-chain bound: one long multiply chain.
+    v.push(assemble(
+        "imul-chain",
+        "Precedence (3-cycle loop-carried multiply)",
+        &[(Mnemonic::Imul, vec![RAX.into(), RCX.into()])],
+    ));
+
+    // Pointer chase: load-latency chain.
+    v.push(assemble(
+        "pointer-chase",
+        "Precedence (load latency)",
+        &[(
+            Mnemonic::Mov,
+            vec![RAX.into(), Mem::base(RAX, Width::W64).into()],
+        )],
+    ));
+
+    // Port storm: saturate the multiply port.
+    v.push(assemble(
+        "p1-storm",
+        "Ports (all µops bound to the multiplier port)",
+        &[
+            (Mnemonic::Imul, vec![RAX.into(), RSI.into(), Operand::Imm(3)]),
+            (Mnemonic::Imul, vec![RCX.into(), RSI.into(), Operand::Imm(5)]),
+            (Mnemonic::Imul, vec![RDX.into(), RSI.into(), Operand::Imm(7)]),
+        ],
+    ));
+
+    // LCP-heavy: predecoder penalties dominate.
+    v.push(assemble(
+        "lcp-heavy",
+        "Predec (length-changing prefixes)",
+        &[
+            (Mnemonic::Add, vec![AX.into(), Operand::Imm(0x1234)]),
+            (Mnemonic::Add, vec![CX.into(), Operand::Imm(0x2345)]),
+            (Mnemonic::Add, vec![DX.into(), Operand::Imm(0x3456)]),
+        ],
+    ));
+
+    // Dense short instructions: predecode width bound.
+    v.push(assemble(
+        "nop-dense",
+        "Predec (more than five instructions per 16-byte window)",
+        &(0..12).map(|_| (Mnemonic::Nop, vec![])).collect::<Vec<_>>(),
+    ));
+
+    // Decode bound: complex-decoder instructions back to back.
+    v.push(assemble(
+        "rmw-train",
+        "Dec (every instruction needs the complex decoder)",
+        &[
+            (
+                Mnemonic::Add,
+                vec![Mem::base_disp(R12, 0, Width::W64).into(), RAX.into()],
+            ),
+            (
+                Mnemonic::Add,
+                vec![Mem::base_disp(R12, 8, Width::W64).into(), RCX.into()],
+            ),
+            (
+                Mnemonic::Add,
+                vec![Mem::base_disp(R12, 16, Width::W64).into(), RDX.into()],
+            ),
+        ],
+    ));
+
+    // Issue bound: wide mix of eliminated and simple µops.
+    v.push(assemble(
+        "issue-wide",
+        "Issue (more independent µops than the issue width)",
+        &[
+            (Mnemonic::Add, vec![RAX.into(), RSI.into()]),
+            (Mnemonic::Add, vec![RCX.into(), RSI.into()]),
+            (Mnemonic::Add, vec![RDX.into(), RSI.into()]),
+            (Mnemonic::Add, vec![RBX.into(), RSI.into()]),
+            (Mnemonic::Add, vec![RDI.into(), RSI.into()]),
+            (Mnemonic::Add, vec![R8.into(), RSI.into()]),
+        ],
+    ));
+
+    // Store-forwarding loop.
+    v.push(assemble(
+        "store-forward",
+        "Precedence (memory-carried dependence)",
+        &[(
+            Mnemonic::Add,
+            vec![Mem::base(R13, Width::W64).into(), RAX.into()],
+        )],
+    ));
+
+    // Divider pressure.
+    v.push(assemble(
+        "div-pressure",
+        "Ports (non-pipelined divider occupancy)",
+        &[
+            (Mnemonic::Xor, vec![EDX.into(), EDX.into()]),
+            (Mnemonic::Div, vec![RCX.into()]),
+        ],
+    ));
+
+    // FP latency chain with FMA.
+    v.push(assemble(
+        "fma-chain",
+        "Precedence (FMA latency, AVX)",
+        &[(
+            Mnemonic::Vfmadd231ps,
+            vec![
+                Operand::Reg(Reg::Ymm(0)),
+                Operand::Reg(Reg::Ymm(1)),
+                Operand::Reg(Reg::Ymm(2)),
+            ],
+        )],
+    ));
+
+    // A tiny loop that fits the LSD.
+    v.push({
+        let body: Vec<Asm> = vec![
+            (Mnemonic::Add, vec![RAX.into(), RSI.into()]),
+            (Mnemonic::Dec, vec![R11.into()]),
+            (Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-9)]),
+        ];
+        assemble("lsd-tiny", "LSD (2 fused µops per iteration)", &body)
+    });
+
+    // A loop whose branch ends exactly on a 32-byte boundary: triggers the
+    // JCC-erratum mitigation on Skylake-derived cores.
+    v.push({
+        let mut body: Vec<Asm> = (0..30).map(|_| (Mnemonic::Nop, vec![])).collect();
+        body.push((Mnemonic::Jmp, vec![Operand::Rel(-32)])); // ends at byte 32
+        assemble(
+            "jcc-erratum",
+            "Predec/Dec via the JCC-erratum DSB exclusion (SKL/CLX)",
+            &body,
+        )
+    });
+
+    // Eliminated moves: pure issue-width pressure, zero port pressure.
+    v.push(assemble(
+        "move-elim-train",
+        "Issue (all µops eliminated by the renamer)",
+        &[
+            (Mnemonic::Mov, vec![RAX.into(), RSI.into()]),
+            (Mnemonic::Mov, vec![RCX.into(), RSI.into()]),
+            (Mnemonic::Mov, vec![RDX.into(), RSI.into()]),
+            (Mnemonic::Mov, vec![RBX.into(), RSI.into()]),
+            (Mnemonic::Mov, vec![RDI.into(), RSI.into()]),
+            (Mnemonic::Mov, vec![R8.into(), RSI.into()]),
+            (Mnemonic::Mov, vec![R9.into(), RSI.into()]),
+            (Mnemonic::Mov, vec![R10.into(), RSI.into()]),
+        ],
+    ));
+
+    // A loop too big for the LSD (falls back to the DSB).
+    v.push({
+        let mut body: Vec<Asm> = Vec::new();
+        for i in 0..30u8 {
+            let r = Reg::Gpr { num: i % 4, width: Width::W64 };
+            body.push((Mnemonic::Add, vec![r.into(), RSI.into()]));
+        }
+        body.push((Mnemonic::Dec, vec![R11.into()]));
+        body.push((Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-98)]));
+        assemble("dsb-large-loop", "DSB (loop exceeds the SNB/IVB IDQ)", &body)
+    });
+
+    // 16-byte-boundary crossing instructions (predecoder O(b) slots).
+    v.push(assemble(
+        "boundary-crossers",
+        "Predec (instructions crossing 16-byte fetch blocks)",
+        &[
+            (Mnemonic::Mov, vec![RAX.into(), Operand::Imm(0x1122334455667788)]), // 10 B
+            (Mnemonic::Mov, vec![RCX.into(), Operand::Imm(0x1122334455667788)]), // 10 B
+            (Mnemonic::Mov, vec![RDX.into(), Operand::Imm(0x1122334455667788)]), // 10 B
+        ],
+    ));
+
+    v
+}
+
+/// Look up a kernel by name.
+#[must_use]
+pub fn kernel(name: &str) -> Option<Kernel> {
+    kernels().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_assembles_and_is_named_uniquely() {
+        let ks = kernels();
+        assert!(ks.len() >= 10);
+        let mut names: Vec<_> = ks.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ks.len());
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(kernel("imul-chain").is_some());
+        assert!(kernel("nonexistent").is_none());
+    }
+
+    #[test]
+    fn lsd_kernel_is_a_loop() {
+        assert!(kernel("lsd-tiny").unwrap().block.ends_in_branch());
+    }
+}

@@ -1,0 +1,560 @@
+//! Seeded synthetic basic-block generator.
+//!
+//! Plays the role of the BHive benchmark suite: blocks are drawn from six
+//! application-domain mixes matching BHive's documented composition
+//! (numerical kernels, scalar integer code, cryptography, database,
+//! compiler output, and SIMD-heavy code), with BHive-like size
+//! distributions (most blocks have 2–16 instructions). Every block
+//! satisfies the §3.3 modeling assumptions by construction, and each comes
+//! in two variants: the plain block (`BHiveU`, measured under unrolling)
+//! and a loop variant ending in a conditional branch (`BHiveL`).
+
+use facile_x86::reg::{names, Width};
+use facile_x86::{Block, Cond, Mem, Mnemonic, Operand, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Application domain of a generated block (BHive's source categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Dense scalar floating-point numerics.
+    Numeric,
+    /// Scalar integer code (hashing, parsing, arithmetic).
+    ScalarInt,
+    /// Cryptography-flavored code (rotates, xors, shifts).
+    Crypto,
+    /// Database-flavored code (loads, compares, conditional moves).
+    Database,
+    /// Compiler-generated general-purpose code (address arithmetic, moves).
+    Compiler,
+    /// SIMD-heavy vector code.
+    Simd,
+}
+
+impl Domain {
+    /// All domains.
+    pub const ALL: [Domain; 6] = [
+        Domain::Numeric,
+        Domain::ScalarInt,
+        Domain::Crypto,
+        Domain::Database,
+        Domain::Compiler,
+        Domain::Simd,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Numeric => "numeric",
+            Domain::ScalarInt => "scalar-int",
+            Domain::Crypto => "crypto",
+            Domain::Database => "database",
+            Domain::Compiler => "compiler",
+            Domain::Simd => "simd",
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One benchmark: a basic block in both throughput-notion variants.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// Sequential identifier within the suite.
+    pub id: u32,
+    /// Source domain.
+    pub domain: Domain,
+    /// The BHiveU variant (no trailing branch; measured under unrolling).
+    pub unrolled: Block,
+    /// The BHiveL variant (same body ending in a conditional branch).
+    pub looped: Block,
+}
+
+/// General-purpose registers used for data (caller-ish, avoiding rsp).
+const DATA_REGS: [u8; 8] = [0, 1, 2, 3, 6, 7, 8, 10];
+/// Registers reserved as loop counters / pointers (never clobbered by the
+/// generated body so the loop variant stays well-formed).
+const PTR_REGS: [u8; 4] = [12, 13, 14, 15];
+const COUNTER_REG: u8 = 11; // r11 drives the loop branch
+
+fn data_reg(rng: &mut StdRng, w: Width) -> Reg {
+    Reg::Gpr { num: DATA_REGS[rng.gen_range(0..DATA_REGS.len())], width: w }
+}
+
+fn ptr_reg(rng: &mut StdRng) -> Reg {
+    Reg::Gpr { num: PTR_REGS[rng.gen_range(0..PTR_REGS.len())], width: Width::W64 }
+}
+
+fn xmm(rng: &mut StdRng) -> Reg {
+    Reg::Xmm(rng.gen_range(0..8))
+}
+
+fn ymm(rng: &mut StdRng) -> Reg {
+    Reg::Ymm(rng.gen_range(0..8))
+}
+
+fn mem(rng: &mut StdRng, w: Width) -> Mem {
+    let base = ptr_reg(rng);
+    let disp = *[0, 0, 8, 16, 24, 64, -8].get(rng.gen_range(0..7)).expect("in range");
+    if rng.gen_bool(0.3) {
+        let mut index = data_reg(rng, Width::W64);
+        while index.num() == 4 {
+            index = data_reg(rng, Width::W64);
+        }
+        let scale = [1u8, 2, 4, 8][rng.gen_range(0..4)];
+        Mem::base_index(base, index, scale, disp, w)
+    } else {
+        Mem::base_disp(base, disp, w)
+    }
+}
+
+/// Instruction templates the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum T {
+    AluRR,
+    AluRI,
+    AluLoad,
+    AluStore,
+    MovRR,
+    MovRI,
+    Load,
+    Store,
+    Lea,
+    Shift,
+    Rotate,
+    Imul,
+    Imul3,
+    Div,
+    Cmov,
+    Movzx,
+    TestCmp,
+    Setcc,
+    Popcnt,
+    ZeroIdiom,
+    Lcp16,
+    FpScalar,
+    AvxScalar,
+    FpPacked,
+    FpDiv,
+    FpSqrt,
+    FpLoad,
+    FpStore,
+    Cvt,
+    VecInt,
+    VecLogic,
+    Shuffle,
+    Avx3,
+    Fma,
+    VecMul,
+    Ucomis,
+}
+
+/// Weighted template mix per domain.
+fn mix(domain: Domain) -> &'static [(T, u32)] {
+    match domain {
+        Domain::Numeric => &[
+            (T::FpScalar, 10),
+            (T::AvxScalar, 22),
+            (T::FpPacked, 8),
+            (T::FpLoad, 16),
+            (T::FpStore, 8),
+            (T::Fma, 6),
+            (T::FpDiv, 2),
+            (T::FpSqrt, 1),
+            (T::Cvt, 4),
+            (T::Lea, 5),
+            (T::AluRR, 6),
+            (T::Load, 6),
+            (T::Ucomis, 2),
+            (T::Shuffle, 6),
+        ],
+        Domain::ScalarInt => &[
+            (T::AluRR, 25),
+            (T::AluRI, 15),
+            (T::AluLoad, 10),
+            (T::MovRR, 8),
+            (T::MovRI, 6),
+            (T::Load, 8),
+            (T::Store, 5),
+            (T::Shift, 8),
+            (T::Imul, 5),
+            (T::Imul3, 2),
+            (T::Movzx, 4),
+            (T::Popcnt, 2),
+            (T::Div, 1),
+            (T::Lcp16, 2),
+        ],
+        Domain::Crypto => &[
+            (T::AluRR, 20),
+            (T::Rotate, 18),
+            (T::Shift, 15),
+            (T::AluRI, 10),
+            (T::Load, 8),
+            (T::Store, 5),
+            (T::MovRR, 6),
+            (T::VecLogic, 8),
+            (T::ZeroIdiom, 3),
+            (T::Imul, 3),
+        ],
+        Domain::Database => &[
+            (T::Load, 22),
+            (T::TestCmp, 15),
+            (T::Cmov, 10),
+            (T::Setcc, 6),
+            (T::AluRR, 12),
+            (T::AluLoad, 8),
+            (T::MovRR, 6),
+            (T::Movzx, 6),
+            (T::Store, 6),
+            (T::Lea, 6),
+        ],
+        Domain::Compiler => &[
+            (T::MovRR, 15),
+            (T::MovRI, 8),
+            (T::Lea, 14),
+            (T::AluRR, 12),
+            (T::AluRI, 8),
+            (T::Load, 10),
+            (T::Store, 7),
+            (T::AluStore, 4),
+            (T::Movzx, 5),
+            (T::Shift, 5),
+            (T::TestCmp, 5),
+            (T::Lcp16, 3),
+            (T::ZeroIdiom, 3),
+        ],
+        Domain::Simd => &[
+            (T::VecInt, 16),
+            (T::VecLogic, 10),
+            (T::Shuffle, 16),
+            (T::Avx3, 18),
+            (T::Fma, 6),
+            (T::VecMul, 8),
+            (T::FpPacked, 8),
+            (T::FpLoad, 8),
+            (T::FpStore, 6),
+            (T::MovRR, 3),
+        ],
+    }
+}
+
+fn pick_template(rng: &mut StdRng, domain: Domain) -> T {
+    let m = mix(domain);
+    let total: u32 = m.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(t, w) in m {
+        if roll < w {
+            return t;
+        }
+        roll -= w;
+    }
+    m[0].0
+}
+
+type Asm = (Mnemonic, Vec<Operand>);
+
+/// Destination register chosen from a rotating hint: real-world blocks
+/// write to many different registers, giving instruction-level parallelism
+/// that a fully random choice would destroy.
+fn dest_reg(hint: u8, w: Width) -> Reg {
+    Reg::Gpr { num: DATA_REGS[usize::from(hint) % DATA_REGS.len()], width: w }
+}
+
+fn dest_xmm(hint: u8) -> Reg {
+    Reg::Xmm(hint % 8)
+}
+
+#[allow(clippy::too_many_lines)]
+fn instantiate(rng: &mut StdRng, t: T, hint: u8) -> Asm {
+    use Mnemonic as M;
+    let w = if rng.gen_bool(0.7) { Width::W64 } else { Width::W32 };
+    let alu = [M::Add, M::Sub, M::And, M::Or, M::Xor][rng.gen_range(0..5)];
+    match t {
+        T::AluRR => (alu, vec![dest_reg(hint, w).into(), data_reg(rng, w).into()]),
+        T::AluRI => (
+            alu,
+            vec![dest_reg(hint, w).into(), Operand::Imm(rng.gen_range(1..1000))],
+        ),
+        T::AluLoad => (alu, vec![dest_reg(hint, w).into(), mem(rng, w).into()]),
+        T::AluStore => (alu, vec![mem(rng, w).into(), data_reg(rng, w).into()]),
+        T::MovRR => (M::Mov, vec![dest_reg(hint, w).into(), data_reg(rng, w).into()]),
+        T::MovRI => (
+            M::Mov,
+            vec![dest_reg(hint, w).into(), Operand::Imm(rng.gen_range(0..1 << 30))],
+        ),
+        T::Load => (M::Mov, vec![dest_reg(hint, w).into(), mem(rng, w).into()]),
+        T::Store => (M::Mov, vec![mem(rng, w).into(), data_reg(rng, w).into()]),
+        T::Lea => (
+            M::Lea,
+            vec![dest_reg(hint, Width::W64).into(), mem(rng, Width::W64).into()],
+        ),
+        T::Shift => (
+            [M::Shl, M::Shr, M::Sar][rng.gen_range(0..3)],
+            vec![dest_reg(hint, w).into(), Operand::Imm(rng.gen_range(1..31))],
+        ),
+        T::Rotate => (
+            [M::Rol, M::Ror][rng.gen_range(0..2)],
+            vec![dest_reg(hint, w).into(), Operand::Imm(rng.gen_range(1..31))],
+        ),
+        T::Imul => (M::Imul, vec![dest_reg(hint, w).into(), data_reg(rng, w).into()]),
+        T::Imul3 => (
+            M::Imul,
+            vec![
+                data_reg(rng, w).into(),
+                data_reg(rng, w).into(),
+                Operand::Imm(rng.gen_range(2..100)),
+            ],
+        ),
+        T::Div => (M::Div, vec![Operand::Reg(Reg::Gpr { num: 9, width: w })]),
+        T::Cmov => (
+            M::Cmovcc([Cond::E, Cond::Ne, Cond::L, Cond::A][rng.gen_range(0..4)]),
+            vec![data_reg(rng, w).into(), data_reg(rng, w).into()],
+        ),
+        T::Movzx => (
+            M::Movzx,
+            vec![
+                dest_reg(hint, Width::W32).into(),
+                Operand::Reg(Reg::Gpr {
+                    num: DATA_REGS[rng.gen_range(0..DATA_REGS.len())],
+                    width: Width::W8,
+                }),
+            ],
+        ),
+        T::TestCmp => (
+            [M::Test, M::Cmp][rng.gen_range(0..2)],
+            vec![data_reg(rng, w).into(), data_reg(rng, w).into()],
+        ),
+        T::Setcc => (
+            M::Setcc([Cond::E, Cond::B, Cond::Ge][rng.gen_range(0..3)]),
+            vec![Operand::Reg(Reg::Gpr {
+                num: DATA_REGS[rng.gen_range(0..DATA_REGS.len())],
+                width: Width::W8,
+            })],
+        ),
+        T::Popcnt => (
+            [M::Popcnt, M::Lzcnt, M::Tzcnt][rng.gen_range(0..3)],
+            vec![data_reg(rng, w).into(), data_reg(rng, w).into()],
+        ),
+        T::ZeroIdiom => {
+            let r = Reg::Gpr { num: dest_reg(hint, Width::W32).num(), width: Width::W32 };
+            (M::Xor, vec![r.into(), r.into()])
+        }
+        T::Lcp16 => (
+            [M::Add, M::Cmp, M::Mov][rng.gen_range(0..3)],
+            vec![
+                Operand::Reg(Reg::Gpr {
+                    num: DATA_REGS[rng.gen_range(0..DATA_REGS.len())],
+                    width: Width::W16,
+                }),
+                Operand::Imm(rng.gen_range(0x100..0x7FFF)),
+            ],
+        ),
+        T::FpScalar => (
+            [M::Addsd, M::Subsd, M::Mulsd, M::Addss, M::Mulss][rng.gen_range(0..5)],
+            vec![dest_xmm(hint).into(), xmm(rng).into()],
+        ),
+        T::AvxScalar => (
+            [M::Vaddsd, M::Vmulsd, M::Vaddss, M::Vmulss][rng.gen_range(0..4)],
+            vec![dest_xmm(hint).into(), xmm(rng).into(), xmm(rng).into()],
+        ),
+        T::FpPacked => (
+            [M::Addps, M::Mulps, M::Addpd, M::Mulpd, M::Minps, M::Maxps]
+                [rng.gen_range(0..6)],
+            vec![dest_xmm(hint).into(), xmm(rng).into()],
+        ),
+        T::FpDiv => (
+            [M::Divsd, M::Divss, M::Divps][rng.gen_range(0..3)],
+            vec![dest_xmm(hint).into(), xmm(rng).into()],
+        ),
+        T::FpSqrt => (
+            [M::Sqrtsd, M::Sqrtps][rng.gen_range(0..2)],
+            vec![xmm(rng).into(), xmm(rng).into()],
+        ),
+        T::FpLoad => {
+            let (m, width) = match rng.gen_range(0..3) {
+                0 => (M::Movsd, Width::W64),
+                1 => (M::Movss, Width::W32),
+                _ => (M::Movaps, Width::W128),
+            };
+            (m, vec![dest_xmm(hint).into(), mem(rng, width).into()])
+        }
+        T::FpStore => {
+            let (m, width) = match rng.gen_range(0..3) {
+                0 => (M::Movsd, Width::W64),
+                1 => (M::Movss, Width::W32),
+                _ => (M::Movups, Width::W128),
+            };
+            (m, vec![mem(rng, width).into(), xmm(rng).into()])
+        }
+        T::Cvt => (
+            [M::Cvtsi2sd, M::Cvtsi2ss][rng.gen_range(0..2)],
+            vec![dest_xmm(hint).into(), data_reg(rng, Width::W64).into()],
+        ),
+        T::VecInt => (
+            [M::Paddd, M::Paddq, M::Psubd, M::Paddb, M::Pcmpeqd][rng.gen_range(0..5)],
+            vec![dest_xmm(hint).into(), xmm(rng).into()],
+        ),
+        T::VecLogic => (
+            [M::Pand, M::Por, M::Pxor, M::Xorps, M::Andps][rng.gen_range(0..5)],
+            vec![dest_xmm(hint).into(), xmm(rng).into()],
+        ),
+        T::Shuffle => (
+            [M::Pshufd][0],
+            vec![
+                xmm(rng).into(),
+                xmm(rng).into(),
+                Operand::Imm(rng.gen_range(0..256)),
+            ],
+        ),
+        T::Avx3 => (
+            [M::Vaddps, M::Vmulps, M::Vpaddd, M::Vpand, M::Vxorps][rng.gen_range(0..5)],
+            vec![ymm(rng).into(), ymm(rng).into(), ymm(rng).into()],
+        ),
+        T::Fma => (
+            M::Vfmadd231ps,
+            vec![Operand::Reg(Reg::Ymm(hint % 8)), ymm(rng).into(), ymm(rng).into()],
+        ),
+        T::VecMul => (
+            [M::Pmulld, M::Pmullw, M::Pmuludq][rng.gen_range(0..3)],
+            vec![dest_xmm(hint).into(), xmm(rng).into()],
+        ),
+        T::Ucomis => (
+            [M::Ucomiss, M::Ucomisd][rng.gen_range(0..2)],
+            vec![xmm(rng).into(), xmm(rng).into()],
+        ),
+    }
+}
+
+/// BHive-like size distribution: mostly small blocks, occasionally larger.
+fn block_size(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..10) {
+        0..=2 => rng.gen_range(2..5),
+        3..=6 => rng.gen_range(5..11),
+        7..=8 => rng.gen_range(11..18),
+        _ => rng.gen_range(18..26),
+    }
+}
+
+/// Generate the body of one block.
+fn gen_body(rng: &mut StdRng, domain: Domain) -> Vec<Asm> {
+    let n = block_size(rng);
+    let mut body = Vec::with_capacity(n);
+    let hint0: u8 = rng.gen_range(0..8);
+    while body.len() < n {
+        let t = pick_template(rng, domain);
+        let hint = hint0.wrapping_add(body.len() as u8);
+        body.push(instantiate(rng, t, hint));
+    }
+    body
+}
+
+/// The loop tail appended to form the BHiveL variant.
+fn loop_tail(rng: &mut StdRng, body_bytes: i32) -> Vec<Asm> {
+    let back = -(body_bytes + 5); // dec (3 bytes) + jcc rel8 (2 bytes)
+    if rng.gen_bool(0.7) {
+        vec![
+            (Mnemonic::Dec, vec![Operand::Reg(names::R11)]),
+            (Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(back)]),
+        ]
+    } else {
+        let back = -(body_bytes + 4 + 2); // cmp r11, imm8 (4) + jcc rel8 (2)
+        vec![
+            (
+                Mnemonic::Cmp,
+                vec![Operand::Reg(names::R11), Operand::Imm(0)],
+            ),
+            (Mnemonic::Jcc(Cond::A), vec![Operand::Rel(back)]),
+        ]
+    }
+}
+
+/// Generate a deterministic benchmark suite of `n` blocks.
+///
+/// # Panics
+/// Panics if a generated block fails to assemble (a generator bug caught
+/// by the property tests).
+#[must_use]
+pub fn generate_suite(n: usize, seed: u64) -> Vec<Bench> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n {
+        let domain = Domain::ALL[id % Domain::ALL.len()];
+        let body = gen_body(&mut rng, domain);
+        let unrolled = Block::assemble(&body).expect("generated body must assemble");
+        let mut looped_src = body.clone();
+        looped_src.extend(loop_tail(&mut rng, unrolled.byte_len() as i32));
+        let looped = Block::assemble(&looped_src).expect("loop variant must assemble");
+        out.push(Bench { id: id as u32, domain, unrolled, looped });
+    }
+    out
+}
+
+/// The loop-counter register (`r11`), reserved by the generator: the body
+/// never writes it, so the loop variant's trip count is well-defined.
+#[must_use]
+pub fn counter_reg() -> Reg {
+    Reg::Gpr { num: COUNTER_REG, width: Width::W64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = generate_suite(20, 42);
+        let b = generate_suite(20, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.unrolled, y.unrolled);
+            assert_eq!(x.looped, y.looped);
+        }
+        let c = generate_suite(20, 43);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.unrolled != y.unrolled));
+    }
+
+    #[test]
+    fn loop_variants_end_in_branch() {
+        for b in generate_suite(60, 7) {
+            assert!(!b.unrolled.ends_in_branch());
+            assert!(b.looped.ends_in_branch());
+            assert!(b.unrolled.num_insts() >= 2);
+        }
+    }
+
+    #[test]
+    fn bodies_do_not_clobber_the_counter() {
+        for b in generate_suite(120, 11) {
+            for inst in b.unrolled.insts() {
+                let e = inst.effects();
+                assert!(
+                    !e.reg_writes.iter().any(|r| r.num() == COUNTER_REG),
+                    "{inst} writes the loop counter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_domains_appear() {
+        let suite = generate_suite(12, 3);
+        for d in Domain::ALL {
+            assert!(suite.iter().any(|b| b.domain == d));
+        }
+    }
+
+    #[test]
+    fn blocks_reassemble_from_bytes() {
+        for b in generate_suite(60, 5) {
+            let re = Block::decode(b.unrolled.bytes()).unwrap();
+            assert_eq!(re, b.unrolled);
+            let re = Block::decode(b.looped.bytes()).unwrap();
+            assert_eq!(re, b.looped);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # facile-bhive
+//!
+//! A synthetic stand-in for the BHive benchmark suite and its measurement
+//! framework. The generator produces deterministic, seeded basic blocks
+//! from six application-domain mixes, each in a `BHiveU` (unrolled) and a
+//! `BHiveL` (loop) variant; the measurement framework runs the
+//! cycle-accurate simulator and rounds to two decimals like the BHive
+//! profiler. A curated corpus of stress kernels with known bottlenecks is
+//! included for tests and interpretability demos.
+//!
+//! ```
+//! use facile_bhive::{generate_suite, measure_block};
+//! use facile_uarch::Uarch;
+//!
+//! let suite = generate_suite(4, 42);
+//! let tpu = measure_block(&suite[0].unrolled, Uarch::Skl, false);
+//! assert!(tpu > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod gen;
+pub mod measure;
+
+pub use corpus::{kernel, kernels, Kernel};
+pub use gen::{counter_reg, generate_suite, Bench, Domain};
+pub use measure::{measure_block, measure_suite, round2, Measured};

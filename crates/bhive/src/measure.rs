@@ -1,0 +1,74 @@
+//! The measurement framework: the BHive-profiler stand-in.
+//!
+//! Measurements come from the cycle-accurate simulator (`facile-sim`) and
+//! are rounded to two decimal digits, exactly as the BHive measurements
+//! used in the paper.
+
+use crate::gen::Bench;
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+
+/// A benchmark together with its measured throughputs on one µarch.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// The benchmark.
+    pub bench: Bench,
+    /// Measured TPU (cycles/iteration of the unrolled variant).
+    pub tpu: f64,
+    /// Measured TPL (cycles/iteration of the loop variant).
+    pub tpl: f64,
+}
+
+/// Round to two decimal digits (BHive reports measurements this way).
+#[must_use]
+pub fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Measure one block on `uarch` under the given notion.
+#[must_use]
+pub fn measure_block(block: &Block, uarch: Uarch, loop_mode: bool) -> f64 {
+    let ab = AnnotatedBlock::new(block.clone(), uarch);
+    round2(facile_sim::simulate(&ab, loop_mode).cycles_per_iter)
+}
+
+/// Measure a whole suite on `uarch` (TPU on the unrolled variants, TPL on
+/// the loop variants).
+#[must_use]
+pub fn measure_suite(suite: &[Bench], uarch: Uarch) -> Vec<Measured> {
+    suite
+        .iter()
+        .map(|b| Measured {
+            bench: b.clone(),
+            tpu: measure_block(&b.unrolled, uarch, false),
+            tpl: measure_block(&b.looped, uarch, true),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_suite;
+
+    #[test]
+    fn round2_behaviour() {
+        assert_eq!(round2(1.234), 1.23);
+        assert_eq!(round2(1.235), 1.24);
+        assert_eq!(round2(0.0), 0.0);
+    }
+
+    #[test]
+    fn measurements_are_positive_and_reproducible() {
+        let suite = generate_suite(6, 9);
+        let a = measure_suite(&suite, Uarch::Skl);
+        let b = measure_suite(&suite, Uarch::Skl);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.tpu > 0.0);
+            assert!(x.tpl > 0.0);
+            assert_eq!(x.tpu, y.tpu);
+            assert_eq!(x.tpl, y.tpl);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! `facile` — command-line front end for the throughput model (the
+//! counterpart of the original tool's `facile.py`).
+//!
+//! ```text
+//! facile --hex 4801c84889c8 --uarch SKL --mode auto
+//! facile --kernel imul-chain --all-uarchs
+//! facile --hex 01c8 --compare
+//! ```
+
+use facile_core::{Facile, Mode, Report};
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+use std::process::ExitCode;
+
+struct Options {
+    hex: Option<String>,
+    kernel: Option<String>,
+    uarch: Uarch,
+    all_uarchs: bool,
+    mode: ModeArg,
+    compare: bool,
+}
+
+#[derive(PartialEq)]
+enum ModeArg {
+    Auto,
+    Loop,
+    Unroll,
+}
+
+const USAGE: &str = "\
+facile — fast, accurate, and interpretable basic-block throughput prediction
+
+USAGE:
+    facile --hex <BYTES> [OPTIONS]
+    facile --kernel <NAME> [OPTIONS]
+
+OPTIONS:
+    --hex <BYTES>      basic block as hex machine code (BHive format)
+    --kernel <NAME>    analyze a named kernel from the built-in corpus
+    --uarch <ABBR>     microarchitecture (SNB..RKL; default SKL)
+    --all-uarchs       analyze on all nine microarchitectures
+    --mode <MODE>      auto | loop (TPL) | unroll (TPU); default auto:
+                       loop if the block ends in a branch
+    --compare          also run the cycle-accurate simulator
+    --list-kernels     list the built-in corpus kernels
+    --help             show this help
+";
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut o = Options {
+        hex: None,
+        kernel: None,
+        uarch: Uarch::Skl,
+        all_uarchs: false,
+        mode: ModeArg::Auto,
+        compare: false,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().is_none() {
+        return Err("no input given".into());
+    }
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-kernels" => {
+                for k in facile_bhive::kernels() {
+                    println!("{:<16} {}", k.name, k.stresses);
+                }
+                return Ok(None);
+            }
+            "--hex" => o.hex = Some(val("--hex")?),
+            "--kernel" => o.kernel = Some(val("--kernel")?),
+            "--uarch" => {
+                o.uarch = val("--uarch")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--all-uarchs" => o.all_uarchs = true,
+            "--mode" => {
+                o.mode = match val("--mode")?.as_str() {
+                    "auto" => ModeArg::Auto,
+                    "loop" | "tpl" => ModeArg::Loop,
+                    "unroll" | "tpu" => ModeArg::Unroll,
+                    other => return Err(format!("unknown mode: {other}")),
+                };
+            }
+            "--compare" => o.compare = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(Some(o))
+}
+
+fn load_block(o: &Options) -> Result<Block, String> {
+    match (&o.hex, &o.kernel) {
+        (Some(h), None) => Block::from_hex(h).map_err(|e| format!("cannot decode block: {e}")),
+        (None, Some(k)) => facile_bhive::kernel(k)
+            .map(|k| k.block)
+            .ok_or_else(|| format!("unknown kernel: {k} (try --list-kernels)")),
+        _ => Err("provide exactly one of --hex or --kernel".into()),
+    }
+}
+
+fn analyze(block: &Block, uarch: Uarch, mode: Mode, compare: bool) {
+    let ab = AnnotatedBlock::new(block.clone(), uarch);
+    let prediction = Facile::new().predict(&ab, mode);
+    println!("{}", Report::new(&ab, mode, &prediction));
+    if compare {
+        let sim = facile_sim::simulate(&ab, mode == Mode::Loop);
+        println!(
+            "cycle-accurate simulation: {:.2} cycles/iteration (via {:?})\n",
+            sim.cycles_per_iter, sim.path
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let block = match load_block(&opts) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if block.is_empty() {
+        eprintln!("error: empty basic block");
+        return ExitCode::from(1);
+    }
+    let mode = match opts.mode {
+        ModeArg::Loop => Mode::Loop,
+        ModeArg::Unroll => Mode::Unrolled,
+        ModeArg::Auto => {
+            if block.ends_in_branch() {
+                Mode::Loop
+            } else {
+                Mode::Unrolled
+            }
+        }
+    };
+    println!("block ({} instructions, {} bytes):", block.num_insts(), block.byte_len());
+    print!("{block}");
+    println!();
+    if opts.all_uarchs {
+        for u in Uarch::ALL {
+            analyze(&block, u, mode, opts.compare);
+        }
+    } else {
+        analyze(&block, opts.uarch, mode, opts.compare);
+    }
+    ExitCode::SUCCESS
+}

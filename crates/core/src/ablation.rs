@@ -1,0 +1,166 @@
+//! The ablation variants of Table 3, as a library API.
+//!
+//! The paper studies the model's components in three ways: replacing the
+//! detailed predecoder/decoder models with their simple counterparts,
+//! running each component as a standalone predictor ("only X"), and
+//! removing one component from the full model ("w/o X"). This module
+//! enumerates those variants so that both the experiment harness and
+//! downstream users (e.g. a compiler deciding how much precision it needs)
+//! can iterate over them.
+
+use crate::predict::{Component, FacileConfig, Mode};
+
+/// One model variant of the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Variant {
+    /// Row label, matching the paper's Table 3.
+    pub name: &'static str,
+    /// The model configuration.
+    pub config: FacileConfig,
+    /// Whether the paper evaluates this variant under TPU.
+    pub applies_to_unrolled: bool,
+    /// Whether the paper evaluates this variant under TPL.
+    pub applies_to_loop: bool,
+}
+
+impl Variant {
+    /// Whether the variant applies to the given throughput notion.
+    #[must_use]
+    pub fn applies_to(&self, mode: Mode) -> bool {
+        match mode {
+            Mode::Unrolled => self.applies_to_unrolled,
+            Mode::Loop => self.applies_to_loop,
+        }
+    }
+}
+
+/// All ablation variants, in the paper's Table 3 row order.
+#[must_use]
+pub fn variants() -> Vec<Variant> {
+    use Component::*;
+    let both = |name, config| Variant {
+        name,
+        config,
+        applies_to_unrolled: true,
+        applies_to_loop: true,
+    };
+    let unrolled = |name, config| Variant {
+        name,
+        config,
+        applies_to_unrolled: true,
+        applies_to_loop: false,
+    };
+    let looped = |name, config| Variant {
+        name,
+        config,
+        applies_to_unrolled: false,
+        applies_to_loop: true,
+    };
+    let mut pp = FacileConfig::only(Predec);
+    pp.set(Ports, true);
+    let mut rp = FacileConfig::only(Precedence);
+    rp.set(Ports, true);
+    vec![
+        both("Facile", FacileConfig::default()),
+        unrolled(
+            "Facile w/ SimplePredec",
+            FacileConfig { simple_predec: true, ..FacileConfig::default() },
+        ),
+        unrolled(
+            "Facile w/ SimpleDec",
+            FacileConfig { simple_dec: true, ..FacileConfig::default() },
+        ),
+        unrolled("only Predec", FacileConfig::only(Predec)),
+        unrolled("only Dec", FacileConfig::only(Dec)),
+        looped("only DSB", FacileConfig::only(Dsb)),
+        looped("only LSD", FacileConfig::only(Lsd)),
+        both("only Issue", FacileConfig::only(Issue)),
+        both("only Ports", FacileConfig::only(Ports)),
+        both("only Precedence", FacileConfig::only(Precedence)),
+        unrolled("only Predec+Ports", pp),
+        both("only Precedence+Ports", rp),
+        unrolled("Facile w/o Predec", FacileConfig::without(Predec)),
+        unrolled("Facile w/o Dec", FacileConfig::without(Dec)),
+        looped("Facile w/o DSB", FacileConfig::without(Dsb)),
+        looped("Facile w/o LSD", FacileConfig::without(Lsd)),
+        both("Facile w/o Issue", FacileConfig::without(Issue)),
+        both("Facile w/o Ports", FacileConfig::without(Ports)),
+        both("Facile w/o Precedence", FacileConfig::without(Precedence)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::Facile;
+    use facile_isa::AnnotatedBlock;
+    use facile_uarch::Uarch;
+    use facile_x86::{Block, Mnemonic, Operand, Reg, Width};
+
+    #[test]
+    fn variant_list_matches_paper_rows() {
+        let v = variants();
+        assert_eq!(v.len(), 19);
+        assert_eq!(v[0].name, "Facile");
+        // every variant name is unique
+        let mut names: Vec<_> = v.iter().map(|x| x.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), v.len());
+    }
+
+    #[test]
+    fn notion_applicability() {
+        let v = variants();
+        let by_name = |n: &str| v.iter().find(|x| x.name == n).expect("known variant");
+        assert!(by_name("only Predec").applies_to(Mode::Unrolled));
+        assert!(!by_name("only Predec").applies_to(Mode::Loop));
+        assert!(by_name("only LSD").applies_to(Mode::Loop));
+        assert!(!by_name("only LSD").applies_to(Mode::Unrolled));
+        assert!(by_name("only Ports").applies_to(Mode::Unrolled));
+        assert!(by_name("only Ports").applies_to(Mode::Loop));
+    }
+
+    #[test]
+    fn every_variant_produces_a_finite_prediction() {
+        let prog = vec![
+            (Mnemonic::Add, vec![
+                Operand::Reg(Reg::gpr(0, Width::W64)),
+                Operand::Reg(Reg::gpr(1, Width::W64)),
+            ]),
+            (Mnemonic::Imul, vec![
+                Operand::Reg(Reg::gpr(2, Width::W64)),
+                Operand::Reg(Reg::gpr(0, Width::W64)),
+            ]),
+        ];
+        let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Skl);
+        for v in variants() {
+            for mode in [Mode::Unrolled, Mode::Loop] {
+                if !v.applies_to(mode) {
+                    continue;
+                }
+                let p = Facile::with_config(v.config).predict(&ab, mode);
+                assert!(p.throughput.is_finite(), "{}", v.name);
+                assert!(p.throughput >= 0.0, "{}", v.name);
+            }
+        }
+    }
+
+    #[test]
+    fn full_model_dominates_only_variants() {
+        // "only X" can never predict *higher* than the full model (it is a
+        // subset of the maximum).
+        let prog = vec![(Mnemonic::Add, vec![
+            Operand::Reg(Reg::gpr(0, Width::W64)),
+            Operand::Reg(Reg::gpr(1, Width::W64)),
+        ])];
+        let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Rkl);
+        let full = Facile::new().predict(&ab, Mode::Unrolled).throughput;
+        for v in variants() {
+            if v.name.starts_with("only") && v.applies_to(Mode::Unrolled) {
+                let p = Facile::with_config(v.config).predict(&ab, Mode::Unrolled);
+                assert!(p.throughput <= full + 1e-12, "{}", v.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The decoder throughput predictor (§4.4, Algorithm 1 of the paper).
+//!
+//! The decoding unit has one complex decoder (decoder 0) and several simple
+//! decoders. The complex decoder handles instructions with more than one
+//! fused-domain µop and always takes the first slot of a decode group; a
+//! new decode group corresponds to a new cycle. The model simulates the
+//! allocation of instructions to decoders until the first instruction of
+//! the benchmark is assigned to the same decoder a second time — at that
+//! point the decoder has reached its steady state.
+
+use facile_isa::AnnotatedBlock;
+use facile_uarch::UarchConfig;
+use facile_x86::Mnemonic;
+
+/// Per-instruction facts the decoder model needs.
+#[derive(Debug, Clone, Copy)]
+struct DecInst {
+    complex: bool,
+    simple_after: u8,
+    fusible: bool,
+    branch: bool,
+}
+
+fn decoder_view(ab: &AnnotatedBlock) -> Vec<DecInst> {
+    let cfg = ab.uarch().config();
+    ab.fused_insts()
+        .map(|a| DecInst {
+            complex: a.desc.complex_decoder,
+            simple_after: a.desc.simple_decoders_after,
+            fusible: is_fusible_mnemonic(a.inst.mnemonic, cfg),
+            branch: a.inst.is_branch() || is_fused_branch(ab, a.start),
+        })
+        .collect()
+}
+
+/// Whether this mnemonic *could* macro-fuse with a following branch; such
+/// instructions cannot be decoded on the last decoder on pre-Ice-Lake
+/// microarchitectures because the decoder must peek at the next instruction.
+fn is_fusible_mnemonic(m: Mnemonic, cfg: &UarchConfig) -> bool {
+    match m {
+        Mnemonic::Cmp | Mnemonic::Test => true,
+        Mnemonic::And
+        | Mnemonic::Add
+        | Mnemonic::Sub
+        | Mnemonic::Inc
+        | Mnemonic::Dec => cfg.extended_macro_fusion,
+        _ => false,
+    }
+}
+
+/// Whether the instruction starting at `start` heads a macro-fused pair.
+fn is_fused_branch(ab: &AnnotatedBlock, start: usize) -> bool {
+    let insts = ab.insts();
+    insts
+        .iter()
+        .position(|a| a.start == start)
+        .and_then(|i| insts.get(i + 1))
+        .is_some_and(|next| next.fused_with_prev)
+}
+
+/// The full decoder model (`Dec`, Algorithm 1): predicted cycles per
+/// iteration.
+#[must_use]
+pub fn dec(ab: &AnnotatedBlock) -> f64 {
+    let insts = decoder_view(ab);
+    if insts.is_empty() {
+        return 0.0;
+    }
+    let cfg = ab.uarch().config();
+    let n_decoders = usize::from(cfg.n_decoders);
+
+    let mut cur_dec = n_decoders - 1;
+    let mut n_avail_simple: u8 = 0;
+    // nComplexDecInIteration: decode groups started in each iteration.
+    let mut groups_in_iter: Vec<u32> = vec![0]; // index 0 unused; iteration starts at 1
+    // firstInstrOnDecInIteration[d]: iteration in which the first
+    // instruction of the benchmark was first allocated to decoder d.
+    let mut first_on_dec: Vec<i64> = vec![-1; n_decoders];
+
+    // Steady state is reached within #decoders + 1 iterations by the
+    // pigeonhole principle; cap defensively anyway.
+    for iteration in 1..=(n_decoders as i64 + 2) {
+        groups_in_iter.push(0);
+        for (idx, i) in insts.iter().enumerate() {
+            if i.complex {
+                cur_dec = 0;
+                n_avail_simple = i.simple_after;
+            } else if n_avail_simple == 0
+                || (cur_dec + 1 == n_decoders - 1
+                    && i.fusible
+                    && !cfg.fuse_on_last_decoder)
+            {
+                cur_dec = 0;
+                n_avail_simple = cfg.n_decoders - 1;
+            } else {
+                cur_dec += 1;
+                n_avail_simple -= 1;
+            }
+            if i.branch {
+                // No instructions after a branch are decoded in the same
+                // cycle.
+                n_avail_simple = 0;
+            }
+            if cur_dec == 0 {
+                groups_in_iter[iteration as usize] += 1;
+            }
+            if idx == 0 {
+                let f = first_on_dec[cur_dec];
+                if f >= 0 {
+                    let u = iteration - f;
+                    let cycles: u32 = groups_in_iter[f as usize..iteration as usize]
+                        .iter()
+                        .sum();
+                    return f64::from(cycles) / u as f64;
+                }
+                first_on_dec[cur_dec] = iteration;
+            }
+        }
+    }
+    // Unreachable for well-formed inputs; fall back to the simple model.
+    simple_dec(ab)
+}
+
+/// The simplified decoder model (`SimpleDec`):
+/// `max(n / #decoders, #complex-decoder instructions)`.
+#[must_use]
+pub fn simple_dec(ab: &AnnotatedBlock) -> f64 {
+    let cfg = ab.uarch().config();
+    let n = ab.fused_insts().count() as f64;
+    let c = ab
+        .fused_insts()
+        .filter(|a| a.desc.complex_decoder)
+        .count() as f64;
+    (n / f64::from(cfg.n_decoders)).max(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_uarch::Uarch;
+    use facile_x86::reg::names::*;
+    use facile_x86::reg::Width;
+    use facile_x86::{Block, Mem, Mnemonic, Operand};
+
+    fn annotate(prog: &[(Mnemonic, Vec<Operand>)], u: Uarch) -> AnnotatedBlock {
+        AnnotatedBlock::new(Block::assemble(prog).unwrap(), u)
+    }
+
+    /// One-µop, non-macro-fusible filler instructions (`add` would be
+    /// fusible on Haswell+ and thus barred from the last decoder).
+    fn movs(n: usize) -> Vec<(Mnemonic, Vec<Operand>)> {
+        (0..n)
+            .map(|_| (Mnemonic::Mov, vec![Operand::Reg(RAX), Operand::Reg(RCX)]))
+            .collect()
+    }
+
+    #[test]
+    fn simple_instructions_saturate_decoders() {
+        // 8 one-µop instructions on a 4-decoder machine: 2 cycles/iter.
+        let ab = annotate(&movs(8), Uarch::Skl);
+        assert!((dec(&ab) - 2.0).abs() < 1e-9, "got {}", dec(&ab));
+        // 5-decoder machine: 8/5 -> steady state averages 1.6.
+        let ab = annotate(&movs(8), Uarch::Rkl);
+        assert!((dec(&ab) - 1.6).abs() < 1e-9, "got {}", dec(&ab));
+    }
+
+    #[test]
+    fn complex_instruction_forces_group_start() {
+        // An RMW op (2 fused µops) needs the complex decoder.
+        let m = Mem::base(RDI, Width::W64);
+        let mut prog = vec![(Mnemonic::Add, vec![Operand::Mem(m), Operand::Reg(RAX)])];
+        prog.extend(movs(3));
+        let ab = annotate(&prog, Uarch::Skl);
+        // One group: complex + 3 simple -> 1 cycle/iter.
+        assert!((dec(&ab) - 1.0).abs() < 1e-9, "got {}", dec(&ab));
+        // Two complex instructions cannot share a group.
+        let mut prog = vec![
+            (Mnemonic::Add, vec![Operand::Mem(m), Operand::Reg(RAX)]),
+            (Mnemonic::Add, vec![Operand::Mem(m), Operand::Reg(RCX)]),
+        ];
+        prog.extend(movs(2));
+        let ab = annotate(&prog, Uarch::Skl);
+        assert!((dec(&ab) - 2.0).abs() < 1e-9, "got {}", dec(&ab));
+    }
+
+    #[test]
+    fn branch_ends_decode_group() {
+        // add; add; jmp; add -> the jmp cuts the group: iteration takes 2
+        // groups even though 4 instructions fit the 4 decoders.
+        let prog = vec![
+            (Mnemonic::Mov, vec![Operand::Reg(RAX), Operand::Reg(RCX)]),
+            (Mnemonic::Mov, vec![Operand::Reg(RDX), Operand::Reg(RCX)]),
+            (Mnemonic::Jmp, vec![Operand::Rel(-9)]),
+        ];
+        let ab = annotate(&prog, Uarch::Skl);
+        assert!((dec(&ab) - 1.0).abs() < 1e-9);
+        // Two branches can never share a decode group: each cuts the group
+        // after itself, so every jmp starts a fresh cycle.
+        let prog = vec![
+            (Mnemonic::Jmp, vec![Operand::Rel(2)]),
+            (Mnemonic::Jmp, vec![Operand::Rel(-4)]),
+        ];
+        let ab = annotate(&prog, Uarch::Skl);
+        assert!((dec(&ab) - 2.0).abs() < 1e-9, "got {}", dec(&ab));
+        // A non-branch after the branch rides in the *next* group, which in
+        // steady state is shared with the following iteration: 1 cycle/iter.
+        let prog = vec![
+            (Mnemonic::Jmp, vec![Operand::Rel(2)]),
+            (Mnemonic::Mov, vec![Operand::Reg(RAX), Operand::Reg(RCX)]),
+        ];
+        let ab = annotate(&prog, Uarch::Skl);
+        assert!((dec(&ab) - 1.0).abs() < 1e-9, "got {}", dec(&ab));
+    }
+
+    #[test]
+    fn fusible_not_on_last_decoder_pre_icl() {
+        // A block of four cmps (fusible, no following jcc): whenever a cmp
+        // would land on the last decoder, SKL must start a new group, so
+        // the four decoders can never be filled: > 1 cycle/iter.
+        let prog: Vec<_> = (0..4)
+            .map(|_| (Mnemonic::Cmp, vec![Operand::Reg(RAX), Operand::Reg(RCX)]))
+            .collect();
+        let skl = annotate(&prog, Uarch::Skl);
+        assert!(dec(&skl) > 1.0 + 1e-9, "got {}", dec(&skl));
+        // Ice Lake can decode fusible instructions on the last decoder and
+        // has five decoders: 4/5 cycles per iteration in steady state.
+        let icl = annotate(&prog, Uarch::Icl);
+        assert!((dec(&icl) - 0.8).abs() < 1e-9, "got {}", dec(&icl));
+        assert!(dec(&skl) > dec(&icl));
+    }
+
+    #[test]
+    fn macro_fused_pair_is_one_instruction() {
+        let prog = vec![
+            (Mnemonic::Mov, vec![Operand::Reg(RAX), Operand::Reg(RCX)]),
+            (Mnemonic::Cmp, vec![Operand::Reg(RDX), Operand::Reg(RBX)]),
+            (Mnemonic::Jcc(facile_x86::Cond::Ne), vec![Operand::Rel(-9)]),
+        ];
+        let ab = annotate(&prog, Uarch::Skl);
+        // cmp+jne fuse: 2 decoder-visible instructions, 1 group.
+        assert_eq!(ab.fused_insts().count(), 2);
+        assert!((dec(&ab) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simple_dec_formula() {
+        let ab = annotate(&movs(6), Uarch::Skl);
+        assert!((simple_dec(&ab) - 1.5).abs() < 1e-9);
+        let m = Mem::base(RDI, Width::W64);
+        let prog = vec![
+            (Mnemonic::Add, vec![Operand::Mem(m), Operand::Reg(RAX)]),
+            (Mnemonic::Add, vec![Operand::Mem(m), Operand::Reg(RCX)]),
+        ];
+        let ab = annotate(&prog, Uarch::Skl);
+        // 2 complex instructions dominate 2/4.
+        assert!((simple_dec(&ab) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_block() {
+        let ab = AnnotatedBlock::new(Block::decode(&[]).unwrap(), Uarch::Skl);
+        assert_eq!(dec(&ab), 0.0);
+    }
+}

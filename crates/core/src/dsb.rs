@@ -1,0 +1,58 @@
+//! The decoded stream buffer (µop cache) throughput predictor (§4.5).
+
+use facile_isa::AnnotatedBlock;
+
+/// DSB delivery bound: `n / w` µops over the DSB width, rounded up to whole
+/// cycles for blocks shorter than 32 bytes (after a branch, the DSB cannot
+/// deliver further µops from the same 32-byte window in the same cycle).
+///
+/// Returns predicted cycles per iteration.
+#[must_use]
+pub fn dsb(ab: &AnnotatedBlock) -> f64 {
+    let n = f64::from(ab.total_fused_uops());
+    let w = f64::from(ab.uarch().config().dsb_width);
+    if ab.byte_len() < 32 {
+        (n / w).ceil()
+    } else {
+        n / w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_uarch::Uarch;
+    use facile_x86::reg::names::*;
+    use facile_x86::{Block, Mnemonic, Operand};
+
+    fn block_of_adds(n: usize) -> Block {
+        let prog: Vec<_> = (0..n)
+            .map(|_| (Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RCX)]))
+            .collect();
+        Block::assemble(&prog).unwrap()
+    }
+
+    #[test]
+    fn short_block_rounds_up() {
+        // 7 µops over DSB width 6 on SKL, block < 32 bytes: ceil(7/6) = 2.
+        let ab = AnnotatedBlock::new(block_of_adds(7), Uarch::Skl);
+        assert!(ab.byte_len() < 32);
+        assert!((dsb(&ab) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_block_fractional() {
+        // 13 adds = 39 bytes >= 32: 13/6 cycles on SKL.
+        let ab = AnnotatedBlock::new(block_of_adds(13), Uarch::Skl);
+        assert!(ab.byte_len() >= 32);
+        assert!((dsb(&ab) - 13.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dsb_width_differs_by_uarch() {
+        let ab = AnnotatedBlock::new(block_of_adds(12), Uarch::Hsw); // width 4
+        assert!((dsb(&ab) - 3.0).abs() < 1e-9);
+        let ab = AnnotatedBlock::new(block_of_adds(12), Uarch::Skl); // width 6
+        assert!((dsb(&ab) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,64 @@
+//! # facile-core
+//!
+//! The Facile analytical basic-block throughput model — the primary
+//! contribution of the paper, reimplemented in Rust.
+//!
+//! Facile predicts the steady-state throughput (cycles per iteration) of a
+//! basic block as the **maximum over a small set of independently analyzed
+//! bottlenecks**:
+//!
+//! | Component | Section | Module |
+//! |-----------|---------|--------|
+//! | `Predec` (predecoder, LCP penalties) | §4.3 | [`predec`] |
+//! | `Dec` (decoder allocation, Algorithm 1) | §4.4 | [`dec`] |
+//! | `DSB` (µop cache delivery) | §4.5 | [`dsb`] |
+//! | `LSD` (loop stream detector + unrolling) | §4.6 | [`lsd`] |
+//! | `Issue` (rename width after unlamination) | §4.7 | [`issue`] |
+//! | `Ports` (port contention, pairwise heuristic) | §4.8 | [`ports`] |
+//! | `Precedence` (max cycle ratio of the dependence graph) | §4.9 | [`precedence`], [`mcr`] |
+//!
+//! Two throughput notions are supported: [`Mode::Unrolled`] (TPU, Eq. 1)
+//! and [`Mode::Loop`] (TPL, Eq. 2–3 with JCC-erratum and LSD handling).
+//! Because the model is compositional, every prediction carries its
+//! per-component bounds, the bottleneck set, counterfactual speedups
+//! ([`Facile::speedup_if_idealized`]), and interpretable detail like the
+//! critical dependence chain ([`report::Report`]).
+//!
+//! ```
+//! use facile_core::{Facile, Mode};
+//! use facile_isa::AnnotatedBlock;
+//! use facile_uarch::Uarch;
+//! use facile_x86::{Block, Mnemonic, reg::names::*};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let block = Block::assemble(&[
+//!     (Mnemonic::Imul, vec![RAX.into(), RCX.into()]),
+//!     (Mnemonic::Add, vec![RDX.into(), RAX.into()]),
+//! ])?;
+//! let ab = AnnotatedBlock::new(block, Uarch::Skl);
+//! let prediction = Facile::new().predict(&ab, Mode::Unrolled);
+//! assert!(prediction.throughput > 0.0);
+//! println!("bottleneck: {:?}", prediction.primary_bottleneck());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod dec;
+pub mod dsb;
+pub mod issue;
+pub mod lsd;
+pub mod mcr;
+pub mod ports;
+pub mod precedence;
+pub mod predec;
+pub mod predict;
+pub mod report;
+
+pub use ports::PortsAnalysis;
+pub use precedence::{ChainLink, PrecedenceAnalysis};
+pub use predict::{Component, Facile, FacileConfig, FrontEndPath, Mode, Prediction};
+pub use ablation::{variants as ablation_variants, Variant};
+pub use report::Report;

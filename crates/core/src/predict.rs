@@ -1,0 +1,479 @@
+//! The top-level Facile predictor: combines the component bounds into TPU
+//! and TPL predictions (§4.1, §4.2) and identifies bottlenecks.
+
+use crate::dec::{dec, simple_dec};
+use crate::dsb::dsb;
+use crate::issue::issue;
+use crate::lsd::{lsd, lsd_applicable};
+use crate::ports::{ports, PortsAnalysis};
+use crate::precedence::{precedence, PrecedenceAnalysis};
+use crate::predec::{predec, simple_predec};
+use facile_isa::AnnotatedBlock;
+use std::fmt;
+
+/// The throughput notion to predict (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// TPU: the block is unrolled; the front end fetches and decodes every
+    /// instance.
+    Unrolled,
+    /// TPL: the block ends in a branch and runs as a loop; in steady state
+    /// µops are streamed from the LSD or DSB unless the JCC erratum forces
+    /// the legacy decode path.
+    Loop,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Unrolled => "TPU",
+            Mode::Loop => "TPL",
+        })
+    }
+}
+
+/// A pipeline component analyzed by Facile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The predecoder (§4.3).
+    Predec,
+    /// The decoders (§4.4).
+    Dec,
+    /// The µop cache (§4.5, loops only).
+    Dsb,
+    /// The loop stream detector (§4.6, loops only).
+    Lsd,
+    /// The rename/issue stage (§4.7).
+    Issue,
+    /// Execution-port contention (§4.8).
+    Ports,
+    /// Inter-iteration dependence chains (§4.9).
+    Precedence,
+}
+
+impl Component {
+    /// All components in the tie-breaking order used for bottleneck
+    /// attribution: front end before back end (as in the paper's Fig. 6).
+    pub const ALL: [Component; 7] = [
+        Component::Predec,
+        Component::Dec,
+        Component::Lsd,
+        Component::Dsb,
+        Component::Issue,
+        Component::Ports,
+        Component::Precedence,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Predec => "Predec",
+            Component::Dec => "Dec",
+            Component::Dsb => "DSB",
+            Component::Lsd => "LSD",
+            Component::Issue => "Issue",
+            Component::Ports => "Ports",
+            Component::Precedence => "Precedence",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which front-end path serves the loop in steady state (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEndPath {
+    /// Legacy decode pipeline (predecoder + decoders); used for unrolled
+    /// code and for loops hit by the JCC erratum.
+    Mite,
+    /// The loop stream detector.
+    Lsd,
+    /// The decoded stream buffer (µop cache).
+    Dsb,
+}
+
+/// Configuration of the Facile model: which components are active and
+/// whether the simplified predecoder/decoder variants are used. The default
+/// is the full model; the ablation studies of Table 3 toggle these flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FacileConfig {
+    /// Use the predecoder bound.
+    pub use_predec: bool,
+    /// Use the decoder bound.
+    pub use_dec: bool,
+    /// Use the DSB bound (loops).
+    pub use_dsb: bool,
+    /// Use the LSD bound (loops).
+    pub use_lsd: bool,
+    /// Use the issue bound.
+    pub use_issue: bool,
+    /// Use the port-contention bound.
+    pub use_ports: bool,
+    /// Use the precedence bound.
+    pub use_precedence: bool,
+    /// Replace `Predec` with `SimplePredec` (`l/16`).
+    pub simple_predec: bool,
+    /// Replace `Dec` (Algorithm 1) with `SimpleDec`.
+    pub simple_dec: bool,
+}
+
+impl Default for FacileConfig {
+    fn default() -> FacileConfig {
+        FacileConfig {
+            use_predec: true,
+            use_dec: true,
+            use_dsb: true,
+            use_lsd: true,
+            use_issue: true,
+            use_ports: true,
+            use_precedence: true,
+            simple_predec: false,
+            simple_dec: false,
+        }
+    }
+}
+
+impl FacileConfig {
+    /// A configuration with only `component` enabled.
+    #[must_use]
+    pub fn only(component: Component) -> FacileConfig {
+        let mut c = FacileConfig {
+            use_predec: false,
+            use_dec: false,
+            use_dsb: false,
+            use_lsd: false,
+            use_issue: false,
+            use_ports: false,
+            use_precedence: false,
+            simple_predec: false,
+            simple_dec: false,
+        };
+        c.set(component, true);
+        c
+    }
+
+    /// The full model with `component` disabled.
+    #[must_use]
+    pub fn without(component: Component) -> FacileConfig {
+        let mut c = FacileConfig::default();
+        c.set(component, false);
+        c
+    }
+
+    /// Enable or disable one component.
+    pub fn set(&mut self, component: Component, enabled: bool) {
+        match component {
+            Component::Predec => self.use_predec = enabled,
+            Component::Dec => self.use_dec = enabled,
+            Component::Dsb => self.use_dsb = enabled,
+            Component::Lsd => self.use_lsd = enabled,
+            Component::Issue => self.use_issue = enabled,
+            Component::Ports => self.use_ports = enabled,
+            Component::Precedence => self.use_precedence = enabled,
+        }
+    }
+
+    /// Whether a component is enabled.
+    #[must_use]
+    pub fn enabled(&self, component: Component) -> bool {
+        match component {
+            Component::Predec => self.use_predec,
+            Component::Dec => self.use_dec,
+            Component::Dsb => self.use_dsb,
+            Component::Lsd => self.use_lsd,
+            Component::Issue => self.use_issue,
+            Component::Ports => self.use_ports,
+            Component::Precedence => self.use_precedence,
+        }
+    }
+}
+
+/// A throughput prediction with its per-component bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted throughput in cycles per iteration.
+    pub throughput: f64,
+    /// The bounds of the components that participated in the maximum, in
+    /// [`Component::ALL`] order.
+    pub bounds: Vec<(Component, f64)>,
+    /// Components whose bound equals the predicted throughput.
+    pub bottlenecks: Vec<Component>,
+    /// Which front-end path the prediction assumed.
+    pub front_end: FrontEndPath,
+    /// Port-contention details (present if the ports component ran).
+    pub ports_analysis: Option<PortsAnalysis>,
+    /// Dependence-chain details (present if the precedence component ran).
+    pub precedence_analysis: Option<PrecedenceAnalysis>,
+}
+
+impl Prediction {
+    /// The bound of a specific component, if it was computed.
+    #[must_use]
+    pub fn bound(&self, c: Component) -> Option<f64> {
+        self.bounds.iter().find(|(b, _)| *b == c).map(|(_, v)| *v)
+    }
+
+    /// The primary bottleneck under the paper's front-end-first tie break.
+    #[must_use]
+    pub fn primary_bottleneck(&self) -> Option<Component> {
+        self.bottlenecks.first().copied()
+    }
+}
+
+/// The Facile analytical throughput model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Facile {
+    config: FacileConfig,
+}
+
+impl Facile {
+    /// The full model.
+    #[must_use]
+    pub fn new() -> Facile {
+        Facile::default()
+    }
+
+    /// A model with a custom component configuration (for ablations).
+    #[must_use]
+    pub fn with_config(config: FacileConfig) -> Facile {
+        Facile { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &FacileConfig {
+        &self.config
+    }
+
+    /// Predict the throughput of `ab` under the given notion.
+    #[must_use]
+    pub fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> Prediction {
+        let c = &self.config;
+        let mut bounds: Vec<(Component, f64)> = Vec::with_capacity(7);
+        let mut ports_analysis = None;
+        let mut precedence_analysis = None;
+
+        let predec_bound = c.use_predec.then(|| {
+            if c.simple_predec {
+                simple_predec(ab)
+            } else {
+                predec(ab, mode)
+            }
+        });
+        let dec_bound = c.use_dec.then(|| {
+            if c.simple_dec {
+                simple_dec(ab)
+            } else {
+                dec(ab)
+            }
+        });
+
+        // Front-end contribution.
+        let (front_end, fe_bounds): (FrontEndPath, Vec<(Component, f64)>) = match mode {
+            Mode::Unrolled => {
+                let mut v = Vec::new();
+                if let Some(b) = predec_bound {
+                    v.push((Component::Predec, b));
+                }
+                if let Some(b) = dec_bound {
+                    v.push((Component::Dec, b));
+                }
+                (FrontEndPath::Mite, v)
+            }
+            Mode::Loop => {
+                if ab.jcc_erratum_applies() {
+                    let mut v = Vec::new();
+                    if let Some(b) = predec_bound {
+                        v.push((Component::Predec, b));
+                    }
+                    if let Some(b) = dec_bound {
+                        v.push((Component::Dec, b));
+                    }
+                    (FrontEndPath::Mite, v)
+                } else if c.use_lsd && lsd_applicable(ab) {
+                    (FrontEndPath::Lsd, vec![(Component::Lsd, lsd(ab))])
+                } else if c.use_dsb {
+                    (FrontEndPath::Dsb, vec![(Component::Dsb, dsb(ab))])
+                } else {
+                    (FrontEndPath::Dsb, Vec::new())
+                }
+            }
+        };
+        bounds.extend(fe_bounds);
+
+        if c.use_issue {
+            bounds.push((Component::Issue, issue(ab)));
+        }
+        if c.use_ports {
+            let pa = ports(ab);
+            bounds.push((Component::Ports, pa.bound));
+            ports_analysis = Some(pa);
+        }
+        if c.use_precedence {
+            let pa = precedence(ab);
+            bounds.push((Component::Precedence, pa.bound));
+            precedence_analysis = Some(pa);
+        }
+
+        // Order bounds by the canonical component order.
+        bounds.sort_by_key(|(comp, _)| {
+            Component::ALL.iter().position(|c| c == comp).expect("known component")
+        });
+
+        let throughput = bounds.iter().map(|(_, b)| *b).fold(0.0, f64::max);
+        let bottlenecks = bounds
+            .iter()
+            .filter(|(_, b)| throughput > 0.0 && (b - throughput).abs() < 1e-9)
+            .map(|(c, _)| *c)
+            .collect();
+
+        Prediction {
+            throughput,
+            bounds,
+            bottlenecks,
+            front_end,
+            ports_analysis,
+            precedence_analysis,
+        }
+    }
+
+    /// Counterfactual speedup if `component` were made infinitely fast
+    /// (Table 4): the ratio of the predicted throughput with and without
+    /// the component's bound.
+    #[must_use]
+    pub fn speedup_if_idealized(
+        &self,
+        ab: &AnnotatedBlock,
+        mode: Mode,
+        component: Component,
+    ) -> f64 {
+        let full = self.predict(ab, mode).throughput;
+        let mut cfg = self.config;
+        cfg.set(component, false);
+        let ideal = Facile::with_config(cfg).predict(ab, mode).throughput;
+        if ideal <= 0.0 || full <= 0.0 {
+            1.0
+        } else {
+            full / ideal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_uarch::Uarch;
+    use facile_x86::reg::names::*;
+    use facile_x86::{Block, Cond, Mnemonic, Operand};
+
+    fn annotate(prog: &[(Mnemonic, Vec<Operand>)], u: Uarch) -> AnnotatedBlock {
+        AnnotatedBlock::new(Block::assemble(prog).unwrap(), u)
+    }
+
+    fn adds_loop(n: usize) -> Vec<(Mnemonic, Vec<Operand>)> {
+        let mut prog: Vec<_> = (0..n)
+            .map(|i| {
+                let r = facile_x86::Reg::gpr((i % 3) as u8, facile_x86::reg::Width::W64);
+                (Mnemonic::Add, vec![Operand::Reg(r), Operand::Reg(RSI)])
+            })
+            .collect();
+        prog.push((Mnemonic::Dec, vec![Operand::Reg(RDI)]));
+        prog.push((Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-128)]));
+        prog
+    }
+
+    #[test]
+    fn tpu_is_max_of_components() {
+        let ab = annotate(&adds_loop(6), Uarch::Skl);
+        let p = Facile::new().predict(&ab, Mode::Unrolled);
+        let max = p.bounds.iter().map(|(_, b)| *b).fold(0.0, f64::max);
+        assert!((p.throughput - max).abs() < 1e-12);
+        assert!(!p.bottlenecks.is_empty());
+    }
+
+    #[test]
+    fn loop_uses_lsd_on_haswell() {
+        let ab = annotate(&adds_loop(3), Uarch::Hsw);
+        let p = Facile::new().predict(&ab, Mode::Loop);
+        assert_eq!(p.front_end, FrontEndPath::Lsd);
+        assert!(p.bound(Component::Lsd).is_some());
+        assert!(p.bound(Component::Predec).is_none());
+    }
+
+    #[test]
+    fn loop_uses_dsb_on_skylake() {
+        // SKL: LSD disabled -> DSB (no erratum for this short loop).
+        let ab = annotate(&adds_loop(3), Uarch::Skl);
+        assert!(!ab.jcc_erratum_applies());
+        let p = Facile::new().predict(&ab, Mode::Loop);
+        assert_eq!(p.front_end, FrontEndPath::Dsb);
+    }
+
+    #[test]
+    fn jcc_erratum_forces_mite() {
+        // Pad so the loop branch crosses a 32-byte boundary on SKL.
+        let mut prog: Vec<(Mnemonic, Vec<Operand>)> =
+            (0..31).map(|_| (Mnemonic::Nop, vec![])).collect();
+        prog.push((Mnemonic::Jmp, vec![Operand::Rel(-33)]));
+        let ab = annotate(&prog, Uarch::Skl);
+        assert!(ab.jcc_erratum_applies());
+        let p = Facile::new().predict(&ab, Mode::Loop);
+        assert_eq!(p.front_end, FrontEndPath::Mite);
+        assert!(p.bound(Component::Predec).is_some());
+    }
+
+    #[test]
+    fn ablation_only_and_without() {
+        let ab = annotate(&adds_loop(6), Uarch::Skl);
+        let only_ports = Facile::with_config(FacileConfig::only(Component::Ports));
+        let p = only_ports.predict(&ab, Mode::Unrolled);
+        assert_eq!(p.bounds.len(), 1);
+        assert_eq!(p.bounds[0].0, Component::Ports);
+
+        let wo = Facile::with_config(FacileConfig::without(Component::Ports));
+        let p = wo.predict(&ab, Mode::Unrolled);
+        assert!(p.bound(Component::Ports).is_none());
+    }
+
+    #[test]
+    fn without_never_exceeds_full() {
+        let ab = annotate(&adds_loop(6), Uarch::Rkl);
+        let full = Facile::new().predict(&ab, Mode::Unrolled).throughput;
+        for c in Component::ALL {
+            let wo = Facile::with_config(FacileConfig::without(c))
+                .predict(&ab, Mode::Unrolled)
+                .throughput;
+            assert!(wo <= full + 1e-12, "{c}: {wo} > {full}");
+        }
+    }
+
+    #[test]
+    fn speedup_at_least_one() {
+        let ab = annotate(&adds_loop(4), Uarch::Snb);
+        let f = Facile::new();
+        for c in Component::ALL {
+            let s = f.speedup_if_idealized(&ab, Mode::Unrolled, c);
+            assert!(s >= 1.0 - 1e-12, "{c}: {s}");
+        }
+    }
+
+    #[test]
+    fn bottleneck_priority_order() {
+        // A dependence-bound block: mulsd chain.
+        let prog = vec![(
+            Mnemonic::Mulsd,
+            vec![
+                Operand::Reg(facile_x86::Reg::Xmm(0)),
+                Operand::Reg(facile_x86::Reg::Xmm(1)),
+            ],
+        )];
+        let ab = annotate(&prog, Uarch::Skl);
+        let p = Facile::new().predict(&ab, Mode::Unrolled);
+        assert_eq!(p.primary_bottleneck(), Some(Component::Precedence));
+    }
+}

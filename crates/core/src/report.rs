@@ -1,0 +1,102 @@
+//! Human-readable interpretability reports.
+//!
+//! Facile's compositional structure makes its predictions directly
+//! explainable: the report lists every component bound, names the
+//! bottleneck(s), and — where applicable — shows the critical dependence
+//! chain or the contended ports.
+
+use crate::predict::{Mode, Prediction};
+use facile_isa::AnnotatedBlock;
+use std::fmt;
+
+/// A formatted explanation of one prediction.
+#[derive(Debug, Clone)]
+pub struct Report<'a> {
+    ab: &'a AnnotatedBlock,
+    mode: Mode,
+    prediction: &'a Prediction,
+}
+
+impl<'a> Report<'a> {
+    /// Build a report for a prediction of `ab`.
+    #[must_use]
+    pub fn new(ab: &'a AnnotatedBlock, mode: Mode, prediction: &'a Prediction) -> Report<'a> {
+        Report { ab, mode, prediction }
+    }
+}
+
+impl fmt::Display for Report<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.prediction;
+        writeln!(
+            f,
+            "{} on {}: {:.2} cycles/iteration",
+            self.mode,
+            self.ab.uarch().config().arch.full_name(),
+            p.throughput
+        )?;
+        writeln!(f, "component bounds:")?;
+        for (c, b) in &p.bounds {
+            let marker = if p.bottlenecks.contains(c) { " <- bottleneck" } else { "" };
+            writeln!(f, "  {:<11} {b:>7.2}{marker}", c.name())?;
+        }
+        if let Some(pa) = &p.ports_analysis {
+            if !pa.critical_ports.is_empty() {
+                writeln!(
+                    f,
+                    "port contention: {:.2} uops on {}",
+                    pa.load_on_critical, pa.critical_ports
+                )?;
+            }
+        }
+        if let Some(pr) = &p.precedence_analysis {
+            if !pr.critical_chain.is_empty() {
+                write!(f, "critical dependence chain:")?;
+                for link in &pr.critical_chain {
+                    if link.produced {
+                        let inst = &self.ab.insts()[link.inst].inst;
+                        write!(f, " -> [{}] {}", link.value, inst)?;
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::Facile;
+    use facile_uarch::Uarch;
+    use facile_x86::reg::names::*;
+    use facile_x86::{Block, Mnemonic, Operand};
+
+    #[test]
+    fn report_contains_bounds_and_bottleneck() {
+        let prog = vec![(Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RCX)])];
+        let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Skl);
+        let p = Facile::new().predict(&ab, Mode::Unrolled);
+        let text = Report::new(&ab, Mode::Unrolled, &p).to_string();
+        assert!(text.contains("cycles/iteration"));
+        assert!(text.contains("bottleneck"));
+        assert!(text.contains("Precedence"));
+    }
+
+    #[test]
+    fn report_shows_dependence_chain() {
+        let prog = vec![(
+            Mnemonic::Mulsd,
+            vec![
+                Operand::Reg(facile_x86::Reg::Xmm(0)),
+                Operand::Reg(facile_x86::Reg::Xmm(1)),
+            ],
+        )];
+        let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Skl);
+        let p = Facile::new().predict(&ab, Mode::Unrolled);
+        let text = Report::new(&ab, Mode::Unrolled, &p).to_string();
+        assert!(text.contains("critical dependence chain"), "{text}");
+        assert!(text.contains("mulsd"), "{text}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Annotated basic blocks: instructions paired with their performance
+//! descriptors and macro-fusion structure for one microarchitecture.
+
+use crate::classify::{describe, describe_fused_pair, macro_fuses};
+use crate::desc::InstrDesc;
+use facile_uarch::Uarch;
+use facile_x86::{Block, Inst};
+
+/// One instruction of an annotated block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedInst {
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Its performance descriptor on the block's microarchitecture. For a
+    /// macro-fused producer (e.g. the `cmp` of a `cmp+jcc` pair) this is
+    /// the descriptor of the *pair*; for the fused branch itself it is an
+    /// empty descriptor.
+    pub desc: InstrDesc,
+    /// Byte offset of the instruction within the block.
+    pub start: usize,
+    /// Whether this instruction is macro-fused with the *preceding*
+    /// instruction (and therefore invisible to the decoders and back end).
+    pub fused_with_prev: bool,
+}
+
+impl AnnotatedInst {
+    /// End offset (exclusive) of this instruction.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.start + self.inst.len as usize
+    }
+}
+
+/// A basic block annotated for one microarchitecture.
+///
+/// This is the input representation shared by every throughput predictor in
+/// the workspace (the analytical model, the simulator, and the baselines).
+#[derive(Debug, Clone)]
+pub struct AnnotatedBlock {
+    uarch: Uarch,
+    block: Block,
+    insts: Vec<AnnotatedInst>,
+}
+
+impl AnnotatedBlock {
+    /// Annotate `block` for `uarch`: look up descriptors and apply
+    /// macro fusion.
+    #[must_use]
+    pub fn new(block: Block, uarch: Uarch) -> AnnotatedBlock {
+        let cfg = uarch.config();
+        let raw = block.insts();
+        let mut insts: Vec<AnnotatedInst> = Vec::with_capacity(raw.len());
+        let mut i = 0;
+        while i < raw.len() {
+            let start = block.offset(i);
+            if i + 1 < raw.len() && macro_fuses(&raw[i], &raw[i + 1], cfg) {
+                let pair = describe_fused_pair(&raw[i], &raw[i + 1], cfg);
+                insts.push(AnnotatedInst {
+                    inst: raw[i].clone(),
+                    desc: pair,
+                    start,
+                    fused_with_prev: false,
+                });
+                insts.push(AnnotatedInst {
+                    inst: raw[i + 1].clone(),
+                    desc: InstrDesc {
+                        fused_uops: 0,
+                        issue_uops: 0,
+                        uops: Vec::new(),
+                        complex_decoder: false,
+                        simple_decoders_after: 0,
+                        eliminated: true,
+                        latency: 0,
+                        load_latency_extra: 0,
+                    },
+                    start: block.offset(i + 1),
+                    fused_with_prev: true,
+                });
+                i += 2;
+            } else {
+                insts.push(AnnotatedInst {
+                    inst: raw[i].clone(),
+                    desc: describe(&raw[i], cfg),
+                    start,
+                    fused_with_prev: false,
+                });
+                i += 1;
+            }
+        }
+        AnnotatedBlock { uarch, block, insts }
+    }
+
+    /// The microarchitecture this block was annotated for.
+    #[must_use]
+    pub fn uarch(&self) -> Uarch {
+        self.uarch
+    }
+
+    /// The underlying basic block.
+    #[must_use]
+    pub fn block(&self) -> &Block {
+        &self.block
+    }
+
+    /// All instructions, including macro-fused branches.
+    #[must_use]
+    pub fn insts(&self) -> &[AnnotatedInst] {
+        &self.insts
+    }
+
+    /// Instructions as seen *after* macro fusion (fused branches skipped).
+    /// This is the instruction stream the decoders and the back end see.
+    pub fn fused_insts(&self) -> impl Iterator<Item = &AnnotatedInst> {
+        self.insts.iter().filter(|a| !a.fused_with_prev)
+    }
+
+    /// Total fused-domain µops delivered per iteration (DSB/LSD view).
+    #[must_use]
+    pub fn total_fused_uops(&self) -> u32 {
+        self.insts.iter().map(|a| u32::from(a.desc.fused_uops)).sum()
+    }
+
+    /// Total µops issued by the renamer per iteration (after unlamination).
+    #[must_use]
+    pub fn total_issue_uops(&self) -> u32 {
+        self.insts.iter().map(|a| u32::from(a.desc.issue_uops)).sum()
+    }
+
+    /// Total unfused-domain µops dispatched to ports per iteration.
+    #[must_use]
+    pub fn total_unfused_uops(&self) -> u32 {
+        self.insts.iter().map(|a| a.desc.unfused_uops() as u32).sum()
+    }
+
+    /// Length of the block in bytes.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.block.byte_len()
+    }
+
+    /// Whether the block ends in a branch (a TPL-style loop benchmark).
+    #[must_use]
+    pub fn ends_in_branch(&self) -> bool {
+        self.block.ends_in_branch()
+    }
+
+    /// Whether the JCC-erratum mitigation affects this block on its
+    /// microarchitecture: a jump (including the producer of a macro-fused
+    /// pair) crosses or ends on a 32-byte boundary.
+    #[must_use]
+    pub fn jcc_erratum_applies(&self) -> bool {
+        if !self.uarch.config().jcc_erratum {
+            return false;
+        }
+        let mut i = 0;
+        while i < self.insts.len() {
+            let a = &self.insts[i];
+            if i + 1 < self.insts.len() && self.insts[i + 1].fused_with_prev {
+                let b = &self.insts[i + 1];
+                if Block::crosses_or_ends_on_32(a.start, b.end() - a.start) {
+                    return true;
+                }
+                i += 2;
+                continue;
+            }
+            if a.inst.is_branch()
+                && Block::crosses_or_ends_on_32(a.start, a.inst.len as usize)
+            {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_x86::reg::names::*;
+    use facile_x86::{Cond, Mnemonic, Operand};
+
+    fn loop_block() -> Block {
+        Block::assemble(&[
+            (Mnemonic::Add, vec![RAX.into(), RCX.into()]),
+            (Mnemonic::Dec, vec![RDX.into()]),
+            (Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-7)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn macro_fusion_applied() {
+        let ab = AnnotatedBlock::new(loop_block(), Uarch::Skl);
+        assert_eq!(ab.insts().len(), 3);
+        assert!(ab.insts()[2].fused_with_prev); // jne fused with dec
+        assert_eq!(ab.fused_insts().count(), 2);
+        // dec+jne pair: 1 fused µop; add: 1 -> total 2
+        assert_eq!(ab.total_fused_uops(), 2);
+    }
+
+    #[test]
+    fn no_fusion_on_snb_for_dec() {
+        let ab = AnnotatedBlock::new(loop_block(), Uarch::Snb);
+        assert!(!ab.insts()[2].fused_with_prev); // SNB: dec does not fuse
+        assert_eq!(ab.total_fused_uops(), 3);
+    }
+
+    #[test]
+    fn uop_totals() {
+        let b = Block::assemble(&[
+            (Mnemonic::Mov, vec![RAX.into(), RCX.into()]), // eliminated on SKL
+            (Mnemonic::Add, vec![RAX.into(), RCX.into()]),
+        ])
+        .unwrap();
+        let ab = AnnotatedBlock::new(b, Uarch::Skl);
+        assert_eq!(ab.total_fused_uops(), 2);
+        assert_eq!(ab.total_issue_uops(), 2);
+        assert_eq!(ab.total_unfused_uops(), 1); // only the add reaches ports
+    }
+
+    #[test]
+    fn jcc_erratum_detection() {
+        // Pad so that the jump ends exactly on the 32-byte boundary.
+        let mut prog: Vec<(Mnemonic, Vec<Operand>)> = Vec::new();
+        for _ in 0..30 {
+            prog.push((Mnemonic::Nop, vec![]));
+        }
+        prog.push((Mnemonic::Jmp, vec![Operand::Rel(-32)])); // bytes 30..32
+        let b = Block::assemble(&prog).unwrap();
+        let ab_skl = AnnotatedBlock::new(b.clone(), Uarch::Skl);
+        assert!(ab_skl.jcc_erratum_applies());
+        // Same block on Haswell: no erratum.
+        let ab_hsw = AnnotatedBlock::new(b, Uarch::Hsw);
+        assert!(!ab_hsw.jcc_erratum_applies());
+        // A short loop with the jump inside a 32-byte window: unaffected.
+        let ab = AnnotatedBlock::new(loop_block(), Uarch::Skl);
+        assert!(!ab.jcc_erratum_applies());
+    }
+}

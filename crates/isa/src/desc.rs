@@ -1,0 +1,115 @@
+//! Instruction performance descriptors: the per-instruction,
+//! per-microarchitecture data that uops.info provides for the original
+//! Facile tool.
+
+use facile_uarch::PortMask;
+
+/// The functional kind of an unfused-domain µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopKind {
+    /// A computation µop (ALU, FP, vector, branch, …).
+    Compute,
+    /// A load µop (address generation + data return).
+    Load,
+    /// A store-address µop.
+    StoreAddr,
+    /// A store-data µop.
+    StoreData,
+}
+
+/// One unfused-domain µop of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uop {
+    /// Ports this µop may be dispatched to.
+    pub ports: PortMask,
+    /// Functional kind.
+    pub kind: UopKind,
+    /// Cycles the chosen port is occupied (1 for pipelined µops; >1 for
+    /// the non-pipelined divider and square-root units).
+    pub occupancy: u8,
+}
+
+impl Uop {
+    /// A pipelined compute µop on the given ports.
+    #[must_use]
+    pub fn compute(ports: PortMask) -> Uop {
+        Uop { ports, kind: UopKind::Compute, occupancy: 1 }
+    }
+
+    /// A compute µop occupying its port for `occ` cycles.
+    #[must_use]
+    pub fn blocking(ports: PortMask, occ: u8) -> Uop {
+        Uop { ports, kind: UopKind::Compute, occupancy: occ }
+    }
+}
+
+/// Complete performance description of one instruction on one
+/// microarchitecture.
+///
+/// Produced by [`crate::classify::describe`]; consumed by every predictor
+/// (the analytical model, the simulator, and the baselines), exactly as all
+/// tools in the paper consume the same uops.info database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrDesc {
+    /// µops in the fused domain as delivered by the decoders / DSB / LSD
+    /// (micro-fused load+op or store pairs count as one).
+    pub fused_uops: u8,
+    /// Fused-domain µops after unlamination, i.e. what the renamer issues.
+    pub issue_uops: u8,
+    /// Unfused-domain µops dispatched to the scheduler. Empty for
+    /// eliminated moves, zero idioms, and NOPs.
+    pub uops: Vec<Uop>,
+    /// Whether decoding requires the complex decoder.
+    pub complex_decoder: bool,
+    /// After this instruction is decoded on the complex decoder, how many
+    /// simple decoders can still be used in the same cycle (uops.info's
+    /// `nAvailableSimpleDecoders`). Only meaningful if `complex_decoder`.
+    pub simple_decoders_after: u8,
+    /// Whether the renamer eliminates this instruction entirely (eliminated
+    /// move, zero idiom, or NOP): it consumes issue bandwidth but no
+    /// execution ports.
+    pub eliminated: bool,
+    /// Core latency in cycles from a register/flag input to the produced
+    /// register/flag outputs.
+    pub latency: u8,
+    /// Extra latency added on paths that go through this instruction's
+    /// *load* (address-register inputs and memory-carried values); the
+    /// microarchitecture's base load latency is added by the dependence
+    /// analysis.
+    pub load_latency_extra: u8,
+}
+
+impl InstrDesc {
+    /// Number of unfused-domain µops that compete for execution ports.
+    #[must_use]
+    pub fn unfused_uops(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether any µop of this instruction loads from memory.
+    #[must_use]
+    pub fn has_load(&self) -> bool {
+        self.uops.iter().any(|u| u.kind == UopKind::Load)
+    }
+
+    /// Whether any µop of this instruction stores to memory.
+    #[must_use]
+    pub fn has_store(&self) -> bool {
+        self.uops.iter().any(|u| u.kind == UopKind::StoreData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uop_constructors() {
+        let p = PortMask::of(&[0, 1, 5]);
+        let u = Uop::compute(p);
+        assert_eq!(u.occupancy, 1);
+        assert_eq!(u.kind, UopKind::Compute);
+        let b = Uop::blocking(p, 4);
+        assert_eq!(b.occupancy, 4);
+    }
+}

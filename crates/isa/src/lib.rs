@@ -1,0 +1,35 @@
+//! # facile-isa
+//!
+//! The instruction performance database: a synthesized, structural stand-in
+//! for the uops.info measurements that the original Facile tool consumes.
+//!
+//! For every supported instruction and each of the nine modeled Intel Core
+//! microarchitectures, [`describe`] yields an [`InstrDesc`]: fused- and
+//! unfused-domain µop counts, execution-port bindings, latencies, decoder
+//! requirements, and rename-stage behaviour (move elimination, zero idioms,
+//! unlamination). [`AnnotatedBlock`] applies this to a whole basic block and
+//! resolves macro fusion, producing the shared input representation for all
+//! throughput predictors in this workspace.
+//!
+//! ```
+//! use facile_isa::AnnotatedBlock;
+//! use facile_uarch::Uarch;
+//! use facile_x86::{Block, Mnemonic, reg::names::*};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let block = Block::assemble(&[(Mnemonic::Add, vec![RAX.into(), RCX.into()])])?;
+//! let ab = AnnotatedBlock::new(block, Uarch::Skl);
+//! assert_eq!(ab.total_fused_uops(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod classify;
+pub mod desc;
+
+pub use annotate::{AnnotatedBlock, AnnotatedInst};
+pub use classify::{describe, describe_fused_pair, macro_fuses};
+pub use desc::{InstrDesc, Uop, UopKind};

@@ -1,0 +1,232 @@
+//! Accuracy metrics: MAPE and Kendall's tau-b.
+
+/// Mean absolute percentage error of predictions against measurements:
+/// `mean(|m - p| / m)` over pairs with `m > 0` (§6.2).
+///
+/// Returns 0 for an empty input.
+#[must_use]
+pub fn mape(pairs: &[(f64, f64)]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &(measured, predicted) in pairs {
+        if measured > 0.0 {
+            sum += ((measured - predicted) / measured).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Kendall's tau-b rank correlation with tie correction, computed in
+/// O(n log n) with Knight's algorithm.
+///
+/// Returns 0 when either ranking is constant (no information).
+#[must_use]
+pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "rankings must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        xs[a].partial_cmp(&xs[b])
+            .expect("no NaNs")
+            .then(ys[a].partial_cmp(&ys[b]).expect("no NaNs"))
+    });
+
+    let n0 = n as f64 * (n as f64 - 1.0) / 2.0;
+
+    // Tie counts in x and joint ties.
+    let mut n1 = 0.0; // pairs tied in x
+    let mut n3 = 0.0; // pairs tied in both
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j < n && xs[idx[j]] == xs[idx[i]] {
+                j += 1;
+            }
+            let t = (j - i) as f64;
+            n1 += t * (t - 1.0) / 2.0;
+            // joint ties inside the x-tie block
+            let mut k = i;
+            while k < j {
+                let mut l = k;
+                while l < j && ys[idx[l]] == ys[idx[k]] {
+                    l += 1;
+                }
+                let u = (l - k) as f64;
+                n3 += u * (u - 1.0) / 2.0;
+                k = l;
+            }
+            i = j;
+        }
+    }
+
+    // Tie counts in y.
+    let mut sorted_y: Vec<f64> = ys.to_vec();
+    sorted_y.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mut n2 = 0.0;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j < n && sorted_y[j] == sorted_y[i] {
+                j += 1;
+            }
+            let t = (j - i) as f64;
+            n2 += t * (t - 1.0) / 2.0;
+            i = j;
+        }
+    }
+
+    // Discordant pairs: exchanges needed to sort the y sequence (in x
+    // order) — counted by merge sort.
+    let mut seq: Vec<f64> = idx.iter().map(|&i| ys[i]).collect();
+    let mut buf = vec![0.0f64; n];
+    let swaps = merge_count(&mut seq, &mut buf);
+
+    let denom = ((n0 - n1) * (n0 - n2)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (n0 - n1 - n2 + n3 - 2.0 * swaps) / denom
+}
+
+/// Merge sort counting the number of (strictly) inverted pairs.
+fn merge_count(a: &mut [f64], buf: &mut [f64]) -> f64 {
+    let n = a.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mid = n / 2;
+    let (left, right) = a.split_at_mut(mid);
+    let mut swaps = merge_count(left, buf) + merge_count(right, buf);
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if right[j] < left[i] {
+            swaps += (left.len() - i) as f64;
+            buf[k] = right[j];
+            j += 1;
+        } else {
+            buf[k] = left[i];
+            i += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buf[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buf[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    a.copy_from_slice(&buf[..n]);
+    swaps
+}
+
+/// Naive O(n²) Kendall tau-b, used as a test oracle.
+#[must_use]
+pub fn kendall_tau_b_naive(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len();
+    let (mut conc, mut disc) = (0f64, 0f64);
+    let (mut tx, mut ty) = (0f64, 0f64);
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                // joint tie: counts in neither
+            } else if dx == 0.0 {
+                tx += 1.0;
+            } else if dy == 0.0 {
+                ty += 1.0;
+            } else if dx * dy > 0.0 {
+                conc += 1.0;
+            } else {
+                disc += 1.0;
+            }
+        }
+    }
+    let denom = ((conc + disc + tx) * (conc + disc + ty)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (conc - disc) / denom
+    }
+}
+
+/// Arithmetic mean; 0 for empty input.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of positive values; 1 for empty input.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().filter(|x| **x > 0.0).map(|x| x.ln()).collect();
+    if logs.is_empty() {
+        1.0
+    } else {
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic() {
+        let pairs = [(2.0, 1.0), (4.0, 4.0)];
+        assert!((mape(&pairs) - 0.25).abs() < 1e-12);
+        assert_eq!(mape(&[]), 0.0);
+        // zero measurements are skipped
+        assert_eq!(mape(&[(0.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn tau_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau_b(&xs, &ys) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = ys.iter().rev().copied().collect();
+        assert!((kendall_tau_b(&xs, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_with_ties_matches_naive() {
+        let xs = [1.0, 1.0, 2.0, 3.0, 3.0, 4.0];
+        let ys = [2.0, 1.0, 1.0, 5.0, 5.0, 3.0];
+        let fast = kendall_tau_b(&xs, &ys);
+        let slow = kendall_tau_b_naive(&xs, &ys);
+        assert!((fast - slow).abs() < 1e-12, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn tau_constant_ranking_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(kendall_tau_b(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+}

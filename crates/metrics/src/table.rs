@@ -1,0 +1,204 @@
+//! Plain-text table and heatmap writers for the experiment binaries
+//! (no serialization dependency needed).
+
+use std::fmt;
+
+/// A simple left-aligned text table rendered as GitHub-flavored Markdown.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as tab-separated values.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut s = self.headers.join("\t");
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.join("\t"));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<w$} |", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// A 2-D histogram of (measured, predicted) pairs, for the Fig. 3 heatmaps.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    bins: usize,
+    max: f64,
+    counts: Vec<u64>,
+    /// Pairs outside the plotted range.
+    pub clipped: u64,
+}
+
+impl Heatmap {
+    /// A `bins` × `bins` heatmap covering `[0, max)` on both axes.
+    #[must_use]
+    pub fn new(bins: usize, max: f64) -> Heatmap {
+        Heatmap { bins, max, counts: vec![0; bins * bins], clipped: 0 }
+    }
+
+    /// Add a (measured, predicted) sample.
+    pub fn add(&mut self, measured: f64, predicted: f64) {
+        let bx = (measured / self.max * self.bins as f64) as usize;
+        let by = (predicted / self.max * self.bins as f64) as usize;
+        if measured < 0.0 || predicted < 0.0 || bx >= self.bins || by >= self.bins {
+            self.clipped += 1;
+            return;
+        }
+        self.counts[by * self.bins + bx] += 1;
+    }
+
+    /// Count in a cell (x = measured bin, y = predicted bin).
+    #[must_use]
+    pub fn count(&self, x: usize, y: usize) -> u64 {
+        self.counts[y * self.bins + x]
+    }
+
+    /// Fraction of samples on the diagonal (predicted bin == measured bin).
+    #[must_use]
+    pub fn diagonal_fraction(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.bins).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Render as CSV (`measured_bin,predicted_bin,count`), skipping zeros.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("measured_bin,predicted_bin,count\n");
+        for y in 0..self.bins {
+            for x in 0..self.bins {
+                let c = self.count(x, y);
+                if c > 0 {
+                    s.push_str(&format!("{x},{y},{c}\n"));
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Heatmap {
+    /// ASCII rendering with log-scaled glyphs, predicted on the y axis
+    /// (top = high), measured on the x axis.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const GLYPHS: [char; 6] = [' ', '.', ':', 'o', 'O', '@'];
+        for y in (0..self.bins).rev() {
+            write!(f, "{:>5.1} |", y as f64 * self.max / self.bins as f64)?;
+            for x in 0..self.bins {
+                let c = self.count(x, y);
+                let g = if c == 0 {
+                    GLYPHS[0]
+                } else {
+                    let level = (c as f64).log10().floor() as usize + 1;
+                    GLYPHS[level.min(GLYPHS.len() - 1)]
+                };
+                write!(f, "{g}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "      +{}", "-".repeat(self.bins))?;
+        writeln!(f, "       0 .. {:.0} (measured, cycles/iter)", self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "22"]);
+        t.row(vec!["333", "4"]);
+        let s = t.to_string();
+        assert!(s.contains("| a   | b  |"));
+        assert!(s.contains("| 333 | 4  |"));
+        assert_eq!(t.to_tsv(), "a\tb\n1\t22\n333\t4\n");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_validates_rows() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn heatmap_bins() {
+        let mut h = Heatmap::new(10, 10.0);
+        h.add(0.5, 0.5); // bin (0,0)
+        h.add(9.5, 2.5); // bin (9,2)
+        h.add(11.0, 1.0); // clipped
+        assert_eq!(h.count(0, 0), 1);
+        assert_eq!(h.count(9, 2), 1);
+        assert_eq!(h.clipped, 1);
+        assert!((h.diagonal_fraction() - 0.5).abs() < 1e-12);
+        assert!(h.to_csv().contains("9,2,1"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the accuracy metrics.
+
+use facile_metrics::{kendall_tau_b, kendall_tau_b_naive, mape};
+use proptest::prelude::*;
+
+fn ranking() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u32..50, 2..60)
+        .prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fast_tau_matches_naive(xs in ranking(), ys in ranking()) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let fast = kendall_tau_b(xs, ys);
+        let slow = kendall_tau_b_naive(xs, ys);
+        prop_assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn tau_is_symmetric_and_bounded(xs in ranking(), ys in ranking()) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let a = kendall_tau_b(xs, ys);
+        let b = kendall_tau_b(ys, xs);
+        prop_assert!((a - b).abs() < 1e-9);
+        prop_assert!((-1.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn tau_of_identical_rankings_is_one(xs in ranking()) {
+        // Unless the ranking is constant, tau(x, x) == 1.
+        let distinct = xs.iter().any(|v| *v != xs[0]);
+        let t = kendall_tau_b(&xs, &xs);
+        if distinct {
+            prop_assert!((t - 1.0).abs() < 1e-9, "{t}");
+        } else {
+            prop_assert_eq!(t, 0.0);
+        }
+    }
+
+    #[test]
+    fn mape_is_nonnegative_and_zero_iff_exact(
+        pairs in proptest::collection::vec((1u32..100, 1u32..100), 1..40)
+    ) {
+        let pairs: Vec<(f64, f64)> =
+            pairs.into_iter().map(|(a, b)| (f64::from(a), f64::from(b))).collect();
+        let e = mape(&pairs);
+        prop_assert!(e >= 0.0);
+        let exact: Vec<(f64, f64)> = pairs.iter().map(|(m, _)| (*m, *m)).collect();
+        prop_assert!(mape(&exact) < 1e-12);
+    }
+
+    #[test]
+    fn mape_scale_invariant(
+        pairs in proptest::collection::vec((1u32..100, 1u32..100), 1..40),
+        k in 1u32..20
+    ) {
+        let pairs: Vec<(f64, f64)> =
+            pairs.into_iter().map(|(a, b)| (f64::from(a), f64::from(b))).collect();
+        let scaled: Vec<(f64, f64)> = pairs
+            .iter()
+            .map(|(m, p)| (m * f64::from(k), p * f64::from(k)))
+            .collect();
+        prop_assert!((mape(&pairs) - mape(&scaled)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,457 @@
+//! Cycle-level front-end engines: the legacy fetch/predecode/decode path
+//! (MITE), the µop cache (DSB), and the loop stream detector (LSD).
+
+use crate::program::Program;
+use facile_uarch::UarchConfig;
+use std::collections::VecDeque;
+
+/// A fused-domain µop reference delivered to the IDQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedRef {
+    /// Fused-view instruction index.
+    pub inst: u16,
+    /// Fused-µop index within the instruction.
+    pub fused_idx: u8,
+    /// Iteration number this instance belongs to.
+    pub iter: u32,
+}
+
+/// Capacity of the pre-decode instruction queue, in instructions.
+const IQ_CAPACITY: usize = 25;
+
+/// A front-end engine delivering fused µops into the IDQ.
+pub trait FrontEnd {
+    /// Run one cycle, pushing at most `idq_space` µops into `out`.
+    fn cycle(&mut self, out: &mut VecDeque<FusedRef>, idq_space: usize);
+}
+
+// --------------------------------------------------------------------------
+// LSD
+// --------------------------------------------------------------------------
+
+/// The loop stream detector: streams the locked (unrolled) µop sequence,
+/// never mixing the last µop of one pass with the first of the next in the
+/// same cycle.
+#[derive(Debug)]
+pub struct LsdEngine {
+    sequence: Vec<FusedRef>,
+    /// The unroll factor (how many iterations one pass covers).
+    unroll: u32,
+    pos: usize,
+    width: u8,
+    iter_base: u32,
+}
+
+impl LsdEngine {
+    /// Lock the loop's µops with the µarch's unroll factor.
+    #[must_use]
+    pub fn new(program: &Program, cfg: &UarchConfig) -> LsdEngine {
+        let n = program.fused_uops_per_iter();
+        let unroll = cfg.lsd_unroll(n);
+        let mut sequence = Vec::with_capacity((n * unroll) as usize);
+        for copy in 0..unroll {
+            for d in &program.insts {
+                for f in 0..d.fused_len() {
+                    sequence.push(FusedRef { inst: d.index, fused_idx: f as u8, iter: copy });
+                }
+            }
+        }
+        LsdEngine { sequence, unroll, pos: 0, width: cfg.issue_width, iter_base: 0 }
+    }
+}
+
+impl FrontEnd for LsdEngine {
+    fn cycle(&mut self, out: &mut VecDeque<FusedRef>, idq_space: usize) {
+        let budget = usize::from(self.width).min(idq_space);
+        for _ in 0..budget {
+            if self.pos >= self.sequence.len() {
+                // End of the locked pass: resume next cycle from the start.
+                self.pos = 0;
+                self.iter_base += self.unroll;
+                return;
+            }
+            let mut r = self.sequence[self.pos];
+            r.iter += self.iter_base;
+            out.push_back(r);
+            self.pos += 1;
+        }
+        if self.pos >= self.sequence.len() {
+            self.pos = 0;
+            self.iter_base += self.unroll;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// DSB
+// --------------------------------------------------------------------------
+
+/// The µop cache: delivers up to `dsb_width` fused µops per cycle. For
+/// loops shorter than 32 bytes, delivery stops at the iteration boundary
+/// (the branch ends the 32-byte window).
+#[derive(Debug)]
+pub struct DsbEngine {
+    per_iter: Vec<FusedRef>,
+    pos: usize,
+    iter: u32,
+    width: u8,
+    stop_at_boundary: bool,
+}
+
+impl DsbEngine {
+    /// Build the DSB delivery engine for a loop.
+    #[must_use]
+    pub fn new(program: &Program, cfg: &UarchConfig) -> DsbEngine {
+        let mut per_iter = Vec::new();
+        for d in &program.insts {
+            for f in 0..d.fused_len() {
+                per_iter.push(FusedRef { inst: d.index, fused_idx: f as u8, iter: 0 });
+            }
+        }
+        DsbEngine {
+            per_iter,
+            pos: 0,
+            iter: 0,
+            width: cfg.dsb_width,
+            stop_at_boundary: program.byte_len < 32,
+        }
+    }
+}
+
+impl FrontEnd for DsbEngine {
+    fn cycle(&mut self, out: &mut VecDeque<FusedRef>, idq_space: usize) {
+        let budget = usize::from(self.width).min(idq_space);
+        for _ in 0..budget {
+            if self.per_iter.is_empty() {
+                return;
+            }
+            let mut r = self.per_iter[self.pos];
+            r.iter = self.iter;
+            out.push_back(r);
+            self.pos += 1;
+            if self.pos >= self.per_iter.len() {
+                self.pos = 0;
+                self.iter += 1;
+                if self.stop_at_boundary {
+                    return; // branch ends the 32-byte window this cycle
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// MITE (predecode + decode)
+// --------------------------------------------------------------------------
+
+/// One 16-byte predecode block of the (possibly unrolled) byte stream.
+#[derive(Debug, Clone, Default)]
+struct PredecBlock {
+    /// Raw-instruction instances delivered from this block (last byte
+    /// here), as (raw index, copy number).
+    deliver: Vec<(usize, u32)>,
+    /// Extra predecode slots from instructions whose opcode starts here
+    /// but end later.
+    extra_slots: u32,
+    /// LCP instructions whose opcode starts in this block.
+    lcp: u32,
+}
+
+/// The legacy decode pipeline: 16-byte fetch + 5-wide predecode with LCP
+/// penalties, an instruction queue, and the complex/simple decoders.
+#[derive(Debug)]
+pub struct MiteEngine {
+    blocks: Vec<PredecBlock>,
+    /// Copies of the basic block per layout period.
+    copies_per_period: u32,
+    cur_block: usize,
+    slot_in_block: u32,
+    period: u32,
+    lcp_stall: u32,
+    prev_block_cycles: u32,
+    cycles_in_block: u32,
+    /// Pre-decoded raw instructions waiting for the decoders, as
+    /// (fused-view index, iteration, completes_unit).
+    iq: VecDeque<(u16, u32, bool)>,
+    /// Decoder parameters.
+    n_decoders: u8,
+    decode_uop_width: u8,
+    fuse_on_last: bool,
+    /// Static program.
+    program_fused: Vec<MiteInst>,
+    first_block_lcp_done: bool,
+}
+
+/// Decoder-relevant facts per fused-view instruction.
+#[derive(Debug, Clone, Copy)]
+struct MiteInst {
+    complex: bool,
+    simple_after: u8,
+    fusible: bool,
+    branch: bool,
+    fused_len: u8,
+}
+
+impl MiteEngine {
+    /// Build the MITE engine. For `loop_mode`, the byte stream restarts at
+    /// the block start every iteration (the back edge re-fetches the same
+    /// addresses); for unrolled mode the stream is contiguous with period
+    /// `lcm(len, 16)`.
+    #[must_use]
+    pub fn new(program: &Program, cfg: &UarchConfig, loop_mode: bool) -> MiteEngine {
+        let l = program.byte_len.max(1);
+        let copies = if loop_mode { 1 } else { (lcm(l, 16) / l) as u32 };
+        let n_blocks = ((copies as usize) * l).div_ceil(16);
+        let mut blocks = vec![PredecBlock::default(); n_blocks];
+        for copy in 0..copies {
+            let base = copy as usize * l;
+            for (ri, r) in program.raw.iter().enumerate() {
+                let start = base + r.start;
+                let last_block = (start + r.len - 1) / 16;
+                let opcode_block = (start + r.opcode_off) / 16;
+                blocks[last_block].deliver.push((ri, copy));
+                if opcode_block != last_block {
+                    blocks[opcode_block].extra_slots += 1;
+                }
+                if r.lcp {
+                    blocks[opcode_block].lcp += 1;
+                }
+            }
+        }
+        let program_fused = program
+            .insts
+            .iter()
+            .map(|d| MiteInst {
+                complex: d.complex_decoder,
+                simple_after: d.simple_decoders_after,
+                fusible: d.is_fusible,
+                branch: d.is_branch,
+                fused_len: d.fused_len() as u8,
+            })
+            .collect();
+        MiteEngine {
+            blocks,
+            copies_per_period: copies,
+            cur_block: 0,
+            slot_in_block: 0,
+            period: 0,
+            lcp_stall: 0,
+            prev_block_cycles: 1,
+            cycles_in_block: 0,
+            iq: VecDeque::new(),
+            n_decoders: cfg.n_decoders,
+            decode_uop_width: cfg.decode_uop_width,
+            fuse_on_last: cfg.fuse_on_last_decoder,
+            program_fused,
+            first_block_lcp_done: false,
+        }
+    }
+
+    fn total_slots(&self, b: usize) -> u32 {
+        self.blocks[b].deliver.len() as u32 + self.blocks[b].extra_slots
+    }
+
+    /// One predecode cycle: deliver up to 5 slots into the IQ.
+    fn predecode_cycle(&mut self, program: &Program) {
+        if self.iq.len() + 5 > IQ_CAPACITY {
+            return; // back-pressure: wait for IQ space
+        }
+        // LCP penalty on block entry.
+        if !self.first_block_lcp_done {
+            let pen = 3 * self.blocks[self.cur_block].lcp;
+            self.lcp_stall = pen.saturating_sub(self.prev_block_cycles.saturating_sub(1));
+            self.first_block_lcp_done = true;
+        }
+        if self.lcp_stall > 0 {
+            self.lcp_stall -= 1;
+            return;
+        }
+        let total = self.total_slots(self.cur_block);
+        if total == 0 {
+            self.advance_block(1);
+            return;
+        }
+        let mut taken = 0u32;
+        while taken < 5 && self.slot_in_block < total {
+            // Real deliveries first, then the crossing placeholders.
+            let deliveries = self.blocks[self.cur_block].deliver.len() as u32;
+            if self.slot_in_block < deliveries {
+                let (ri, copy) = self.blocks[self.cur_block].deliver[self.slot_in_block as usize];
+                let r = &program.raw[ri];
+                let iter = self.period * self.copies_per_period + copy;
+                self.iq.push_back((r.fused_idx, iter, r.completes_unit));
+            }
+            self.slot_in_block += 1;
+            taken += 1;
+        }
+        self.cycles_in_block += 1;
+        if self.slot_in_block >= total {
+            let cycles = self.cycles_in_block.max(1);
+            self.advance_block(cycles);
+        }
+    }
+
+    fn advance_block(&mut self, prev_cycles: u32) {
+        self.prev_block_cycles = prev_cycles;
+        self.cycles_in_block = 0;
+        self.slot_in_block = 0;
+        self.first_block_lcp_done = false;
+        self.cur_block += 1;
+        if self.cur_block >= self.blocks.len() {
+            self.cur_block = 0;
+            self.period += 1;
+        }
+    }
+
+    /// One decode cycle: form a decode group from the IQ head.
+    fn decode_cycle(&mut self, out: &mut VecDeque<FusedRef>, mut idq_space: usize) {
+        let mut group_size: u8 = 0;
+        let mut simple_avail = self.n_decoders - 1;
+        let mut uop_budget = self.decode_uop_width;
+        loop {
+            // The IQ head must be a complete fused unit: the head of a
+            // macro-fused pair waits for its branch half.
+            let Some(&(fi, iter, completes)) = self.iq.front() else { break };
+            if !completes {
+                // Need the second half in the IQ too.
+                if self.iq.len() < 2 {
+                    break;
+                }
+            }
+            let mi = self.program_fused[fi as usize];
+            if usize::from(mi.fused_len) > idq_space || mi.fused_len > uop_budget {
+                break;
+            }
+            if mi.complex {
+                if group_size > 0 {
+                    break; // complex decoder only leads a group
+                }
+                simple_avail = mi.simple_after;
+            } else {
+                if group_size > 0 && simple_avail == 0 {
+                    break;
+                }
+                if group_size == self.n_decoders - 1 && mi.fusible && !self.fuse_on_last {
+                    break; // fusible instruction cannot use the last decoder
+                }
+                if group_size > 0 {
+                    simple_avail -= 1;
+                }
+            }
+            // Consume the raw unit (both halves of a fused pair).
+            self.iq.pop_front();
+            if !completes {
+                self.iq.pop_front();
+            }
+            for f in 0..mi.fused_len {
+                out.push_back(FusedRef { inst: fi, fused_idx: f, iter });
+            }
+            idq_space -= usize::from(mi.fused_len);
+            uop_budget -= mi.fused_len;
+            group_size += 1;
+            if mi.branch || group_size >= self.n_decoders {
+                break;
+            }
+        }
+    }
+
+    /// Run one MITE cycle against `program`.
+    pub fn cycle_with_program(
+        &mut self,
+        program: &Program,
+        out: &mut VecDeque<FusedRef>,
+        idq_space: usize,
+    ) {
+        // Decode first (consumes previously predecoded instructions), then
+        // predecode refills the IQ.
+        self.decode_cycle(out, idq_space);
+        self.predecode_cycle(program);
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_isa::AnnotatedBlock;
+    use facile_uarch::Uarch;
+    use facile_x86::reg::names::*;
+    use facile_x86::{Block, Mnemonic, Operand};
+
+    fn program(prog: &[(Mnemonic, Vec<Operand>)], u: Uarch) -> Program {
+        Program::new(&AnnotatedBlock::new(Block::assemble(prog).unwrap(), u))
+    }
+
+    #[test]
+    fn lsd_streams_with_boundary() {
+        // 3-µop loop on HSW (issue width 4): LSD unrolls; delivery per
+        // cycle never exceeds the issue width.
+        let p = program(
+            &[
+                (Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RCX)]),
+                (Mnemonic::Add, vec![Operand::Reg(RBX), Operand::Reg(RCX)]),
+                (Mnemonic::Add, vec![Operand::Reg(RDX), Operand::Reg(RCX)]),
+            ],
+            Uarch::Hsw,
+        );
+        let mut lsd = LsdEngine::new(&p, Uarch::Hsw.config());
+        let mut out = VecDeque::new();
+        for _ in 0..10 {
+            let before = out.len();
+            lsd.cycle(&mut out, 64);
+            assert!(out.len() - before <= 4);
+        }
+        assert!(out.len() >= 24, "LSD should stream steadily: {}", out.len());
+    }
+
+    #[test]
+    fn dsb_stops_at_boundary_for_short_loops() {
+        let p = program(
+            &[
+                (Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RCX)]),
+                (Mnemonic::Add, vec![Operand::Reg(RBX), Operand::Reg(RCX)]),
+            ],
+            Uarch::Skl,
+        );
+        assert!(p.byte_len < 32);
+        let mut dsb = DsbEngine::new(&p, Uarch::Skl.config());
+        let mut out = VecDeque::new();
+        dsb.cycle(&mut out, 64);
+        // Only one iteration's worth (2 µops) despite width 6.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn mite_delivers_in_order() {
+        let p = program(
+            &[
+                (Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RCX)]),
+                (Mnemonic::Imul, vec![Operand::Reg(RDX), Operand::Reg(RAX)]),
+            ],
+            Uarch::Skl,
+        );
+        let mut mite = MiteEngine::new(&p, Uarch::Skl.config(), false);
+        let mut out = VecDeque::new();
+        for _ in 0..20 {
+            mite.cycle_with_program(&p, &mut out, 64);
+        }
+        assert!(out.len() >= 8, "MITE should make progress: {}", out.len());
+        // Instructions alternate 0, 1, 0, 1, ... with increasing iterations.
+        let v: Vec<_> = out.iter().take(4).collect();
+        assert_eq!(v[0].inst, 0);
+        assert_eq!(v[1].inst, 1);
+        assert_eq!(v[2].inst, 0);
+        assert!(v[2].iter > v[0].iter || v[2].iter == v[0].iter + 1);
+    }
+}

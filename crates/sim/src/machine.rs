@@ -1,0 +1,600 @@
+//! The out-of-order back end and the top-level simulation loop.
+
+use crate::frontend::{DsbEngine, FrontEnd, FusedRef, LsdEngine, MiteEngine};
+use crate::program::Program;
+use crate::uop::Value;
+use facile_isa::AnnotatedBlock;
+use facile_uarch::UarchConfig;
+use std::collections::{HashMap, VecDeque};
+
+/// Which front-end path the simulation used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPath {
+    /// Legacy fetch/decode.
+    Mite,
+    /// Loop stream detector.
+    Lsd,
+    /// µop cache.
+    Dsb,
+}
+
+/// Result of a steady-state simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Measured cycles per iteration in steady state.
+    pub cycles_per_iter: f64,
+    /// The front-end path used.
+    pub path: SimPath,
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Dispatched µops per port.
+    pub port_dispatches: Vec<u64>,
+}
+
+/// An in-flight scheduler µop.
+#[derive(Debug, Clone)]
+struct ExecUop {
+    id: u64,
+    port: u8,
+    sources: Vec<u64>,
+    latency: u8,
+    occupancy: u8,
+}
+
+/// A reorder-buffer entry (one fused-domain µop).
+#[derive(Debug, Clone)]
+struct RobEntry {
+    iter: u32,
+    /// Execution µop ids that must complete before retirement.
+    members: Vec<u64>,
+    /// Whether this is the last fused µop of its iteration.
+    ends_iter: bool,
+}
+
+/// Number of iterations simulated before measurement starts.
+const WARMUP_ITERS: u32 = 16;
+/// Measured window: a multiple of every periodicity in the model
+/// (byte-layout period ≤ 16, decoder period ≤ 6, LSD unroll ≤ 8).
+const MEASURE_ITERS: u32 = 240;
+/// Hard cap on simulated cycles (over 1000 cycles per iteration means the
+/// input violates the modeling assumptions anyway).
+const MAX_CYCLES: u64 = 300_000;
+
+/// The cycle-accurate pipeline simulator.
+#[derive(Debug)]
+pub struct Machine<'a> {
+    cfg: &'a UarchConfig,
+    program: &'a Program,
+    // front end
+    idq: VecDeque<FusedRef>,
+    // rename state
+    producers: HashMap<Value, u64>,
+    next_uop_id: u64,
+    // back end
+    rs: Vec<ExecUop>,
+    rob: VecDeque<RobEntry>,
+    completion: HashMap<u64, u64>,
+    port_free_at: Vec<u64>,
+    port_pending: Vec<u32>,
+    port_dispatches: Vec<u64>,
+    // per-instruction rename cursor
+    next_fused_expected: (u32, u16, u8),
+    last_fused_of_iter: (u16, u8),
+    // measurement
+    iter_retire_cycle: HashMap<u32, u64>,
+}
+
+impl<'a> Machine<'a> {
+    fn new(cfg: &'a UarchConfig, program: &'a Program) -> Machine<'a> {
+        let n_ports = usize::from(cfg.n_ports);
+        let last_inst = (program.insts.len() - 1) as u16;
+        let last_fused = (program.insts.last().map_or(1, |d| d.fused_len().max(1)) - 1) as u8;
+        Machine {
+            cfg,
+            program,
+            idq: VecDeque::new(),
+            producers: HashMap::new(),
+            next_uop_id: 1,
+            rs: Vec::new(),
+            rob: VecDeque::new(),
+            completion: HashMap::new(),
+            port_free_at: vec![0; 16],
+            port_pending: vec![0; n_ports.max(16)],
+            port_dispatches: vec![0; n_ports],
+            next_fused_expected: (0, 0, 0),
+            last_fused_of_iter: (last_inst, last_fused),
+            iter_retire_cycle: HashMap::new(),
+        }
+    }
+
+    /// Retire up to `retire_width` fused µops in order.
+    fn retire(&mut self, cycle: u64) {
+        for _ in 0..self.cfg.retire_width {
+            let Some(head) = self.rob.front() else { return };
+            let done = head
+                .members
+                .iter()
+                .all(|m| self.completion.get(m).is_some_and(|c| *c <= cycle));
+            if !done {
+                return;
+            }
+            let head = self.rob.pop_front().expect("head exists");
+            // Completion records are kept: later consumers may still hold
+            // this µop as a source (registers stay renamed to it until the
+            // next writer).
+            if head.ends_iter {
+                self.iter_retire_cycle.insert(head.iter, cycle);
+            }
+        }
+    }
+
+    /// Dispatch ready µops to free ports, oldest first (the RS vector is
+    /// kept in age order).
+    fn dispatch(&mut self, cycle: u64) {
+        let mut any = false;
+        let mut port_taken = [false; 16];
+        let mut keep = vec![true; self.rs.len()];
+        for (idx, u) in self.rs.iter().enumerate() {
+            let p = usize::from(u.port);
+            if port_taken[p] || self.port_free_at[p] > cycle {
+                continue;
+            }
+            let ready = u
+                .sources
+                .iter()
+                .all(|s| self.completion.get(s).is_some_and(|c| *c <= cycle));
+            if !ready {
+                continue;
+            }
+            port_taken[p] = true;
+            self.port_free_at[p] = cycle + u64::from(u.occupancy);
+            self.completion.insert(u.id, cycle + u64::from(u.latency));
+            self.port_pending[p] -= 1;
+            self.port_dispatches[p] += 1;
+            keep[idx] = false;
+            any = true;
+        }
+        if any {
+            let mut i = 0;
+            self.rs.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+        }
+    }
+
+    /// Rename/issue up to `issue_width` slots from the IDQ.
+    fn rename(&mut self, cycle: u64) {
+        let mut budget = u32::from(self.cfg.issue_width);
+        loop {
+            let Some(&fr) = self.idq.front() else { return };
+            // Enforce program order (front ends deliver in order).
+            debug_assert_eq!(
+                (fr.iter, fr.inst, fr.fused_idx),
+                self.next_fused_expected,
+                "front end must deliver fused µops in program order"
+            );
+            let d = &self.program.insts[fr.inst as usize];
+            let f = &d.fused[fr.fused_idx as usize];
+            let cost = u32::from(f.issue_cost);
+            if cost > budget {
+                return;
+            }
+            if self.rob.len() >= usize::from(self.cfg.rob_size) {
+                return;
+            }
+            if self.rs.len() + f.members.len() > usize::from(self.cfg.rs_size) {
+                return;
+            }
+            self.idq.pop_front();
+            budget -= cost;
+
+            // Rename-stage handling of eliminated instructions.
+            if d.eliminated && fr.fused_idx == 0 {
+                if let Some((dsts, src)) = &d.move_alias {
+                    let alias = self.producers.get(src).copied();
+                    for v in dsts {
+                        match alias {
+                            Some(p) => {
+                                self.producers.insert(*v, p);
+                            }
+                            None => {
+                                self.producers.remove(v);
+                            }
+                        }
+                    }
+                } else {
+                    for v in &d.eliminated_produces {
+                        self.producers.remove(v); // ready immediately
+                    }
+                }
+            }
+
+            let mut members = Vec::with_capacity(f.members.len());
+            for &mi in &f.members {
+                let t = &d.uops[mi];
+                let id = self.next_uop_id;
+                self.next_uop_id += 1;
+                let sources: Vec<u64> = t
+                    .sources
+                    .iter()
+                    .filter_map(|v| self.producers.get(v).copied())
+                    .collect();
+                // Port binding: least-loaded allowed port.
+                let port = t
+                    .ports
+                    .iter()
+                    .min_by_key(|p| self.port_pending[usize::from(*p)])
+                    .expect("uop has at least one port");
+                self.port_pending[usize::from(port)] += 1;
+                for v in &t.produces {
+                    self.producers.insert(*v, id);
+                }
+                self.rs.push(ExecUop {
+                    id,
+                    port,
+                    sources,
+                    latency: t.latency,
+                    occupancy: t.occupancy.max(1),
+                });
+                members.push(id);
+            }
+            let _ = cycle;
+            let ends_iter = (fr.inst, fr.fused_idx) == self.last_fused_of_iter;
+            self.rob.push_back(RobEntry { iter: fr.iter, members, ends_iter });
+
+            // Advance the expected-order cursor.
+            self.next_fused_expected = next_ref(self.program, fr);
+        }
+    }
+}
+
+/// The next fused µop in program order after `fr`.
+fn next_ref(program: &Program, fr: FusedRef) -> (u32, u16, u8) {
+    let d = &program.insts[fr.inst as usize];
+    if usize::from(fr.fused_idx) + 1 < d.fused_len() {
+        return (fr.iter, fr.inst, fr.fused_idx + 1);
+    }
+    if usize::from(fr.inst) + 1 < program.insts.len() {
+        return (fr.iter, fr.inst + 1, 0);
+    }
+    (fr.iter + 1, 0, 0)
+}
+
+/// Simulate `ab` in loop mode (TPL) or unrolled mode (TPU) and measure the
+/// steady-state cycles per iteration.
+#[must_use]
+pub fn simulate(ab: &AnnotatedBlock, loop_mode: bool) -> SimResult {
+    let cfg = ab.uarch().config();
+    let program = Program::new(ab);
+    if program.insts.is_empty() {
+        return SimResult {
+            cycles_per_iter: 0.0,
+            path: SimPath::Mite,
+            total_cycles: 0,
+            port_dispatches: vec![0; usize::from(cfg.n_ports)],
+        };
+    }
+
+    // Front-end path selection mirrors Eq. 3 of the paper.
+    let (path, mut mite, mut lsd, mut dsbe): (
+        SimPath,
+        Option<MiteEngine>,
+        Option<LsdEngine>,
+        Option<DsbEngine>,
+    ) = if !loop_mode {
+        (SimPath::Mite, Some(MiteEngine::new(&program, cfg, false)), None, None)
+    } else if ab.jcc_erratum_applies() {
+        (SimPath::Mite, Some(MiteEngine::new(&program, cfg, true)), None, None)
+    } else if cfg.lsd_enabled && program.fused_uops_per_iter() <= u32::from(cfg.idq_size) {
+        (SimPath::Lsd, None, Some(LsdEngine::new(&program, cfg)), None)
+    } else {
+        (SimPath::Dsb, None, None, Some(DsbEngine::new(&program, cfg)))
+    };
+
+    let mut m = Machine::new(cfg, &program);
+    let target_iter = WARMUP_ITERS + MEASURE_ITERS;
+    let mut cycle: u64 = 0;
+    while cycle < MAX_CYCLES {
+        m.retire(cycle);
+        m.dispatch(cycle);
+        m.rename(cycle);
+        let idq_space = usize::from(cfg.idq_size).saturating_sub(m.idq.len());
+        match path {
+            SimPath::Mite => mite
+                .as_mut()
+                .expect("mite engine")
+                .cycle_with_program(&program, &mut m.idq, idq_space),
+            SimPath::Lsd => lsd.as_mut().expect("lsd engine").cycle(&mut m.idq, idq_space),
+            SimPath::Dsb => dsbe.as_mut().expect("dsb engine").cycle(&mut m.idq, idq_space),
+        }
+        if m.iter_retire_cycle.contains_key(&target_iter) {
+            break;
+        }
+        cycle += 1;
+    }
+
+    let t0 = m.iter_retire_cycle.get(&WARMUP_ITERS).copied();
+    let t1 = m.iter_retire_cycle.get(&target_iter).copied();
+    let cycles_per_iter = match (t0, t1) {
+        (Some(a), Some(b)) if b > a => (b - a) as f64 / f64::from(MEASURE_ITERS),
+        // Did not converge within the cap (pathological input): report the
+        // crude average.
+        _ => cycle as f64 / f64::from(target_iter.max(1)),
+    };
+    SimResult {
+        cycles_per_iter,
+        path,
+        total_cycles: cycle,
+        port_dispatches: m.port_dispatches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_uarch::Uarch;
+    use facile_x86::reg::names::*;
+    use facile_x86::reg::Width;
+    use facile_x86::{Block, Cond, Mem, Mnemonic, Operand, Reg};
+
+    fn sim(prog: &[(Mnemonic, Vec<Operand>)], u: Uarch, loop_mode: bool) -> f64 {
+        let ab = AnnotatedBlock::new(Block::assemble(prog).unwrap(), u);
+        simulate(&ab, loop_mode).cycles_per_iter
+    }
+
+    #[test]
+    fn dependency_chain_latency() {
+        // add rax, rcx carried: 1 cycle/iter.
+        let tp = sim(
+            &[(Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RCX)])],
+            Uarch::Skl,
+            false,
+        );
+        assert!((tp - 1.0).abs() < 0.05, "got {tp}");
+        // mulsd chain: 4 cycles on SKL.
+        let tp = sim(
+            &[(
+                Mnemonic::Mulsd,
+                vec![Operand::Reg(Reg::Xmm(0)), Operand::Reg(Reg::Xmm(1))],
+            )],
+            Uarch::Skl,
+            false,
+        );
+        assert!((tp - 4.0).abs() < 0.1, "got {tp}");
+    }
+
+    #[test]
+    fn port_bound_kernel() {
+        // Two independent 3-operand imuls (write-only destination, both on
+        // p1): 2 cycles/iter from port contention.
+        let tp = sim(
+            &[
+                (Mnemonic::Imul, vec![Operand::Reg(RAX), Operand::Reg(RSI), Operand::Imm(3)]),
+                (Mnemonic::Imul, vec![Operand::Reg(RCX), Operand::Reg(RSI), Operand::Imm(5)]),
+            ],
+            Uarch::Skl,
+            false,
+        );
+        assert!((tp - 2.0).abs() < 0.1, "got {tp}");
+        // The 2-operand RMW form adds a loop-carried 3-cycle chain, which
+        // dominates the port bound.
+        let tp = sim(
+            &[
+                (Mnemonic::Imul, vec![Operand::Reg(RAX), Operand::Reg(RSI)]),
+                (Mnemonic::Imul, vec![Operand::Reg(RCX), Operand::Reg(RSI)]),
+            ],
+            Uarch::Skl,
+            false,
+        );
+        assert!((tp - 3.0).abs() < 0.1, "got {tp}");
+    }
+
+    #[test]
+    fn pointer_chase_load_latency() {
+        let m = Mem::base(RAX, Width::W64);
+        let tp = sim(
+            &[(Mnemonic::Mov, vec![Operand::Reg(RAX), Operand::Mem(m)])],
+            Uarch::Skl,
+            false,
+        );
+        assert!((tp - 5.0).abs() < 0.1, "got {tp}");
+    }
+
+    #[test]
+    fn issue_width_bound_loop() {
+        // 8 independent zero-latency-dependency adds in a loop on HSW:
+        // 9 fused µops (8 adds + fused dec/jne) / issue 4 ≈ 2.25.
+        let mut prog: Vec<(Mnemonic, Vec<Operand>)> = (0..8)
+            .map(|i| {
+                let r = Reg::gpr((i % 4) as u8, Width::W64);
+                (Mnemonic::Add, vec![Operand::Reg(r), Operand::Reg(RSI)])
+            })
+            .collect();
+        prog.push((Mnemonic::Dec, vec![Operand::Reg(RDI)]));
+        prog.push((Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-30)]));
+        let tp = sim(&prog, Uarch::Hsw, true);
+        assert!(tp >= 2.0 && tp <= 2.75, "got {tp}");
+    }
+
+    #[test]
+    fn unrolled_mode_hits_front_end() {
+        // Long instructions (10 bytes): mov rax, imm64; predecode-bound
+        // when unrolled: 10/16 byte ratio ≈ 0.625..1 cycles/iter at least.
+        let prog = vec![
+            (Mnemonic::Mov, vec![Operand::Reg(RAX), Operand::Imm(0x1122334455667788)]),
+            (Mnemonic::Mov, vec![Operand::Reg(RCX), Operand::Imm(0x1122334455667788)]),
+        ];
+        let tp = sim(&prog, Uarch::Skl, false);
+        // 20 bytes per iteration -> at least 20/16 = 1.25 cycles.
+        assert!(tp >= 1.2, "got {tp}");
+    }
+
+    #[test]
+    fn lcp_stalls_unrolled() {
+        let with_lcp = sim(
+            &[
+                (Mnemonic::Add, vec![Operand::Reg(AX), Operand::Imm(0x1234)]),
+                (Mnemonic::Add, vec![Operand::Reg(CX), Operand::Imm(0x1234)]),
+            ],
+            Uarch::Skl,
+            false,
+        );
+        let without = sim(
+            &[
+                (Mnemonic::Add, vec![Operand::Reg(EAX), Operand::Imm(0x1234)]),
+                (Mnemonic::Add, vec![Operand::Reg(ECX), Operand::Imm(0x1234)]),
+            ],
+            Uarch::Skl,
+            false,
+        );
+        assert!(
+            with_lcp > without + 1.0,
+            "LCP should cost ~3 cycles each: {with_lcp} vs {without}"
+        );
+    }
+
+    #[test]
+    fn loop_path_selection() {
+        let mut prog: Vec<(Mnemonic, Vec<Operand>)> = vec![
+            (Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RSI)]),
+        ];
+        prog.push((Mnemonic::Dec, vec![Operand::Reg(RDI)]));
+        prog.push((Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-9)]));
+        let b = Block::assemble(&prog).unwrap();
+        let hsw = simulate(&AnnotatedBlock::new(b.clone(), Uarch::Hsw), true);
+        assert_eq!(hsw.path, SimPath::Lsd);
+        let skl = simulate(&AnnotatedBlock::new(b, Uarch::Skl), true);
+        assert_eq!(skl.path, SimPath::Dsb);
+    }
+
+    #[test]
+    fn divider_blocks() {
+        // Two divs: the non-pipelined divider dominates.
+        let tp = sim(
+            &[
+                (Mnemonic::Div, vec![Operand::Reg(RCX)]),
+                (Mnemonic::Div, vec![Operand::Reg(RSI)]),
+            ],
+            Uarch::Skl,
+            false,
+        );
+        assert!(tp >= 10.0, "divider should serialize: {tp}");
+    }
+
+    #[test]
+    fn empty_block_is_zero() {
+        let ab = AnnotatedBlock::new(Block::decode(&[]).unwrap(), Uarch::Skl);
+        assert_eq!(simulate(&ab, false).cycles_per_iter, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod behavior_tests {
+    use super::*;
+    use facile_isa::AnnotatedBlock;
+    use facile_uarch::Uarch;
+    use facile_x86::reg::names::*;
+    use facile_x86::reg::Width;
+    use facile_x86::{Block, Cond, Mnemonic, Operand, Reg};
+
+    fn loop_of_adds(n: usize, u: Uarch) -> AnnotatedBlock {
+        let mut prog: Vec<(Mnemonic, Vec<Operand>)> = (0..n)
+            .map(|i| {
+                let r = Reg::gpr((i % 4) as u8, Width::W64);
+                (Mnemonic::Add, vec![Operand::Reg(r), Operand::Reg(RSI)])
+            })
+            .collect();
+        prog.push((Mnemonic::Dec, vec![Operand::Reg(R11)]));
+        prog.push((Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-120)]));
+        AnnotatedBlock::new(Block::assemble(&prog).unwrap(), u)
+    }
+
+    #[test]
+    fn lsd_unrolling_beats_unaligned_streaming() {
+        // A dec-based loop carries a 1-cycle counter chain, so it cannot
+        // go below 1.0 regardless of the LSD.
+        let ab = loop_of_adds(1, Uarch::Hsw);
+        let r = simulate(&ab, true);
+        assert_eq!(r.path, SimPath::Lsd);
+        assert!((r.cycles_per_iter - 1.0).abs() < 0.1, "got {}", r.cycles_per_iter);
+        // A chain-free loop (eliminated move + cmp that only reads r11):
+        // the LSD unrolls the 2 fused µops and sustains < 1 cycle/iter.
+        let prog = vec![
+            (Mnemonic::Mov, vec![Operand::Reg(RAX), Operand::Reg(RSI)]),
+            (Mnemonic::Cmp, vec![Operand::Reg(R11), Operand::Imm(0)]),
+            (Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-13)]),
+        ];
+        let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Hsw);
+        let r = simulate(&ab, true);
+        assert_eq!(r.path, SimPath::Lsd);
+        assert!(r.cycles_per_iter < 0.8, "got {}", r.cycles_per_iter);
+    }
+
+    #[test]
+    fn dsb_width_bounds_wide_loops() {
+        // Skylake (no LSD): a loop of independent adds streams from the
+        // DSB at ~6 µops/cycle but issues at 4/cycle: issue-bound.
+        let ab = loop_of_adds(11, Uarch::Skl);
+        let r = simulate(&ab, true);
+        assert_eq!(r.path, SimPath::Dsb);
+        // 12 fused µops / 4-wide issue = 3 cycles.
+        assert!((r.cycles_per_iter - 3.0).abs() < 0.25, "got {}", r.cycles_per_iter);
+    }
+
+    #[test]
+    fn port_dispatch_counters_are_consistent() {
+        let ab = loop_of_adds(7, Uarch::Skl);
+        let r = simulate(&ab, true);
+        let dispatched: u64 = r.port_dispatches.iter().sum();
+        assert!(dispatched > 0);
+        // Only ALU ports (0,1,5,6) plus the branch ports should be used.
+        for (p, &n) in r.port_dispatches.iter().enumerate() {
+            if ![0usize, 1, 5, 6].contains(&p) {
+                assert_eq!(n, 0, "unexpected dispatches on port {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn jcc_erratum_forces_mite_on_skl() {
+        let mut prog: Vec<(Mnemonic, Vec<Operand>)> =
+            (0..30).map(|_| (Mnemonic::Nop, vec![])).collect();
+        prog.push((Mnemonic::Jmp, vec![Operand::Rel(-32)]));
+        let b = Block::assemble(&prog).unwrap();
+        let skl = simulate(&AnnotatedBlock::new(b.clone(), Uarch::Skl), true);
+        assert_eq!(skl.path, SimPath::Mite);
+        // Haswell is unaffected and uses the LSD.
+        let hsw = simulate(&AnnotatedBlock::new(b, Uarch::Hsw), true);
+        assert_eq!(hsw.path, SimPath::Lsd);
+    }
+
+    #[test]
+    fn eliminated_moves_do_not_use_ports() {
+        let prog: Vec<(Mnemonic, Vec<Operand>)> = (0..6)
+            .map(|i| {
+                let d = Reg::gpr((i % 4) as u8, Width::W64);
+                (Mnemonic::Mov, vec![Operand::Reg(d), Operand::Reg(RSI)])
+            })
+            .collect();
+        let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Skl);
+        let r = simulate(&ab, false);
+        assert_eq!(r.port_dispatches.iter().sum::<u64>(), 0);
+        // Under unrolling the block is fetch/decode-bound (MITE), between
+        // the 1.5-cycle issue bound and 2 decode groups per iteration.
+        assert!(
+            (1.5..=2.0).contains(&r.cycles_per_iter),
+            "got {}",
+            r.cycles_per_iter
+        );
+    }
+
+    #[test]
+    fn wider_machines_are_not_slower() {
+        // Newer cores should never be slower on a plain ALU loop.
+        let old = simulate(&loop_of_adds(9, Uarch::Snb), true).cycles_per_iter;
+        let new = simulate(&loop_of_adds(9, Uarch::Rkl), true).cycles_per_iter;
+        assert!(new <= old + 0.05, "RKL {new} vs SNB {old}");
+    }
+}

@@ -1,0 +1,501 @@
+//! Per-microarchitecture configuration (the uiCA `microArchConfigs`
+//! counterpart).
+//!
+//! The values are synthesized from public documentation of these
+//! microarchitectures; they are internally consistent with the pipeline
+//! simulator in `facile-sim`, which consumes the same structures.
+
+use crate::ports::{PortClasses, PortMask};
+use std::fmt;
+use std::str::FromStr;
+
+/// The nine Intel Core microarchitectures evaluated in the paper (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Uarch {
+    /// Sandy Bridge (2011).
+    Snb,
+    /// Ivy Bridge (2012).
+    Ivb,
+    /// Haswell (2013).
+    Hsw,
+    /// Broadwell (2015).
+    Bdw,
+    /// Skylake (2015).
+    Skl,
+    /// Cascade Lake (2019).
+    Clx,
+    /// Ice Lake (2019).
+    Icl,
+    /// Tiger Lake (2020).
+    Tgl,
+    /// Rocket Lake (2021).
+    Rkl,
+}
+
+impl Uarch {
+    /// All microarchitectures, oldest first.
+    pub const ALL: [Uarch; 9] = [
+        Uarch::Snb,
+        Uarch::Ivb,
+        Uarch::Hsw,
+        Uarch::Bdw,
+        Uarch::Skl,
+        Uarch::Clx,
+        Uarch::Icl,
+        Uarch::Tgl,
+        Uarch::Rkl,
+    ];
+
+    /// Three-letter abbreviation used in the paper.
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Uarch::Snb => "SNB",
+            Uarch::Ivb => "IVB",
+            Uarch::Hsw => "HSW",
+            Uarch::Bdw => "BDW",
+            Uarch::Skl => "SKL",
+            Uarch::Clx => "CLX",
+            Uarch::Icl => "ICL",
+            Uarch::Tgl => "TGL",
+            Uarch::Rkl => "RKL",
+        }
+    }
+
+    /// Full microarchitecture name.
+    #[must_use]
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Uarch::Snb => "Sandy Bridge",
+            Uarch::Ivb => "Ivy Bridge",
+            Uarch::Hsw => "Haswell",
+            Uarch::Bdw => "Broadwell",
+            Uarch::Skl => "Skylake",
+            Uarch::Clx => "Cascade Lake",
+            Uarch::Icl => "Ice Lake",
+            Uarch::Tgl => "Tiger Lake",
+            Uarch::Rkl => "Rocket Lake",
+        }
+    }
+
+    /// Release year (Table 1).
+    #[must_use]
+    pub fn released(self) -> u16 {
+        match self {
+            Uarch::Snb => 2011,
+            Uarch::Ivb => 2012,
+            Uarch::Hsw => 2013,
+            Uarch::Bdw | Uarch::Skl => 2015,
+            Uarch::Clx | Uarch::Icl => 2019,
+            Uarch::Tgl => 2020,
+            Uarch::Rkl => 2021,
+        }
+    }
+
+    /// Representative CPU (Table 1).
+    #[must_use]
+    pub fn example_cpu(self) -> &'static str {
+        match self {
+            Uarch::Snb => "Intel Core i7-2600",
+            Uarch::Ivb => "Intel Core i5-3470",
+            Uarch::Hsw => "Intel Xeon E3-1225 v3",
+            Uarch::Bdw => "Intel Core i5-5200U",
+            Uarch::Skl => "Intel Core i7-6500U",
+            Uarch::Clx => "Intel Core i9-10980XE",
+            Uarch::Icl => "Intel Core i5-1035G1",
+            Uarch::Tgl => "Intel Core i7-1165G7",
+            Uarch::Rkl => "Intel Core i9-11900",
+        }
+    }
+
+    /// The configuration for this microarchitecture.
+    #[must_use]
+    pub fn config(self) -> &'static UarchConfig {
+        config(self)
+    }
+}
+
+impl fmt::Display for Uarch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Error returned when parsing an unknown microarchitecture name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUarchError(String);
+
+impl fmt::Display for ParseUarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown microarchitecture: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseUarchError {}
+
+impl FromStr for Uarch {
+    type Err = ParseUarchError;
+
+    fn from_str(s: &str) -> Result<Uarch, ParseUarchError> {
+        let up = s.to_ascii_uppercase();
+        Uarch::ALL
+            .into_iter()
+            .find(|u| u.abbrev() == up)
+            .ok_or_else(|| ParseUarchError(s.to_string()))
+    }
+}
+
+/// Which micro-fused µops the renamer splits ("unlaminates") before issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnlaminationPolicy {
+    /// All micro-fused µops with an indexed memory operand unlaminate
+    /// (Sandy Bridge / Ivy Bridge).
+    AllIndexed,
+    /// Indexed µops unlaminate only if the instruction has more than two
+    /// register sources or also writes flags from an RMW form
+    /// (Haswell and later keep simple indexed loads fused).
+    IndexedRmw,
+}
+
+/// Complete static description of one microarchitecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UarchConfig {
+    /// Which microarchitecture this is.
+    pub arch: Uarch,
+
+    // ---- front end ----
+    /// Instructions the predecoder can predecode per cycle.
+    pub predecode_width: u8,
+    /// Total number of decoders (one complex + the rest simple).
+    pub n_decoders: u8,
+    /// Maximum µops the decode group can emit per cycle.
+    pub decode_uop_width: u8,
+    /// Whether a macro-fusible instruction can be decoded on the last
+    /// decoder (it must peek at the next instruction, which older
+    /// microarchitectures cannot do on the last decoder).
+    pub fuse_on_last_decoder: bool,
+    /// µops the DSB (µop cache) can deliver per cycle.
+    pub dsb_width: u8,
+    /// Capacity of the instruction decode queue, in µops (bounds the LSD).
+    pub idq_size: u16,
+    /// Whether the loop stream detector is enabled (disabled on
+    /// Skylake-derived cores by the SKL150 erratum).
+    pub lsd_enabled: bool,
+    /// Whether the JCC-erratum mitigation applies: blocks with a jump that
+    /// crosses or ends on a 32-byte boundary are not cached in DSB/LSD.
+    pub jcc_erratum: bool,
+    /// Maximum LSD unroll factor.
+    pub lsd_max_unroll: u8,
+
+    // ---- back end ----
+    /// Rename/issue width, in fused-domain µops per cycle.
+    pub issue_width: u8,
+    /// Number of execution ports.
+    pub n_ports: u8,
+    /// Port assignment per µop class.
+    pub ports: PortClasses,
+    /// Whether register-to-register GPR moves can be eliminated by the
+    /// renamer (disabled on Ice Lake by an erratum).
+    pub move_elim_gpr: bool,
+    /// Whether vector register moves can be eliminated.
+    pub move_elim_vec: bool,
+    /// Unlamination policy for micro-fused µops with indexed addressing.
+    pub unlamination: UnlaminationPolicy,
+    /// Reorder buffer size, in µops.
+    pub rob_size: u16,
+    /// Reservation station (scheduler) size, in µops.
+    pub rs_size: u16,
+    /// Retirement width, in µops per cycle.
+    pub retire_width: u8,
+    /// L1 load-to-use latency in cycles (simple addressing).
+    pub load_latency: u8,
+    /// Which flag-writing mnemonic classes macro-fuse with a following
+    /// conditional branch: `true` = the extended Haswell+ set (test/and/
+    /// cmp/add/sub/inc/dec), `false` = the Sandy Bridge set (cmp/test only).
+    pub extended_macro_fusion: bool,
+}
+
+impl UarchConfig {
+    /// A union of all port masks, i.e. every port usable by some µop class.
+    #[must_use]
+    pub fn all_ports(&self) -> PortMask {
+        let p = &self.ports;
+        [
+            p.alu,
+            p.shift,
+            p.branch,
+            p.mul,
+            p.div,
+            p.lea_simple,
+            p.lea_complex,
+            p.load,
+            p.store_addr,
+            p.store_data,
+            p.fp_add,
+            p.fp_mul,
+            p.fp_fma,
+            p.fp_div,
+            p.vec_ialu,
+            p.vec_imul,
+            p.vec_logic,
+            p.vec_shuffle,
+            p.slow_int,
+        ]
+        .into_iter()
+        .fold(PortMask::EMPTY, PortMask::union)
+    }
+
+    /// The LSD unroll factor for a loop of `n_uops` fused-domain µops:
+    /// the hardware unrolls small loops inside the IDQ so that close to
+    /// `issue_width` µops can be streamed per cycle (reverse engineered in
+    /// the uiCA paper). We model it as the smallest factor that maximizes
+    /// the streaming rate subject to the IDQ capacity and a per-µarch cap.
+    #[must_use]
+    pub fn lsd_unroll(&self, n_uops: u32) -> u32 {
+        if n_uops == 0 {
+            return 1;
+        }
+        let iw = u32::from(self.issue_width);
+        let cap = u32::from(self.idq_size);
+        let max_u = u32::from(self.lsd_max_unroll).min(cap / n_uops.max(1)).max(1);
+        let mut best_u = 1;
+        let mut best_rate = rate(n_uops, 1, iw);
+        for u in 2..=max_u {
+            if n_uops * u > cap {
+                break;
+            }
+            let r = rate(n_uops, u, iw);
+            if r > best_rate + 1e-9 {
+                best_rate = r;
+                best_u = u;
+            }
+        }
+        best_u
+    }
+}
+
+/// µops streamed per cycle when unrolling `u` times.
+fn rate(n: u32, u: u32, iw: u32) -> f64 {
+    let cycles = (n * u).div_ceil(iw);
+    f64::from(n * u) / f64::from(cycles)
+}
+
+fn pm(ports: &[u8]) -> PortMask {
+    PortMask::of(ports)
+}
+
+/// Port classes for the Sandy Bridge / Ivy Bridge port topology (6 ports).
+fn ports_snb() -> PortClasses {
+    PortClasses {
+        alu: pm(&[0, 1, 5]),
+        shift: pm(&[0, 5]),
+        branch: pm(&[5]),
+        mul: pm(&[1]),
+        div: pm(&[0]),
+        lea_simple: pm(&[1, 5]),
+        lea_complex: pm(&[1]),
+        load: pm(&[2, 3]),
+        store_addr: pm(&[2, 3]),
+        store_data: pm(&[4]),
+        fp_add: pm(&[1]),
+        fp_mul: pm(&[0]),
+        fp_fma: pm(&[0]), // no FMA unit; FMA-class maps to the multiplier
+        fp_div: pm(&[0]),
+        vec_ialu: pm(&[1, 5]),
+        vec_imul: pm(&[0]),
+        vec_logic: pm(&[0, 1, 5]),
+        vec_shuffle: pm(&[5]),
+        slow_int: pm(&[1]),
+    }
+}
+
+/// Port classes for Haswell / Broadwell (8 ports, p6 scalar, p7 store AGU).
+fn ports_hsw() -> PortClasses {
+    PortClasses {
+        alu: pm(&[0, 1, 5, 6]),
+        shift: pm(&[0, 6]),
+        branch: pm(&[0, 6]),
+        mul: pm(&[1]),
+        div: pm(&[0]),
+        lea_simple: pm(&[1, 5]),
+        lea_complex: pm(&[1]),
+        load: pm(&[2, 3]),
+        store_addr: pm(&[2, 3, 7]),
+        store_data: pm(&[4]),
+        fp_add: pm(&[1]),
+        fp_mul: pm(&[0, 1]),
+        fp_fma: pm(&[0, 1]),
+        fp_div: pm(&[0]),
+        vec_ialu: pm(&[1, 5]),
+        vec_imul: pm(&[0]),
+        vec_logic: pm(&[0, 1, 5]),
+        vec_shuffle: pm(&[5]),
+        slow_int: pm(&[1]),
+    }
+}
+
+/// Port classes for Skylake / Cascade Lake (FP add moved to p01).
+fn ports_skl() -> PortClasses {
+    PortClasses {
+        fp_add: pm(&[0, 1]),
+        vec_ialu: pm(&[0, 1, 5]),
+        vec_imul: pm(&[0, 1]),
+        ..ports_hsw()
+    }
+}
+
+/// Port classes for Ice Lake / Tiger Lake / Rocket Lake (10 ports:
+/// dedicated store AGUs p7/p8 and a second store-data port p9).
+fn ports_icl() -> PortClasses {
+    PortClasses {
+        store_addr: pm(&[7, 8]),
+        store_data: pm(&[4, 9]),
+        vec_shuffle: pm(&[1, 5]),
+        ..ports_skl()
+    }
+}
+
+fn config(arch: Uarch) -> &'static UarchConfig {
+    use std::sync::OnceLock;
+    static CONFIGS: OnceLock<Vec<UarchConfig>> = OnceLock::new();
+    let all = CONFIGS.get_or_init(|| Uarch::ALL.iter().map(|u| build(*u)).collect());
+    &all[Uarch::ALL.iter().position(|u| *u == arch).expect("all uarchs built")]
+}
+
+fn build(arch: Uarch) -> UarchConfig {
+    use Uarch::*;
+    let pre_skl = matches!(arch, Snb | Ivb | Hsw | Bdw);
+    let icl_plus = matches!(arch, Icl | Tgl | Rkl);
+    UarchConfig {
+        arch,
+        predecode_width: 5,
+        n_decoders: if icl_plus { 5 } else { 4 },
+        decode_uop_width: match arch {
+            Snb | Ivb | Hsw | Bdw => 4,
+            Skl | Clx => 5,
+            Icl | Tgl | Rkl => 6,
+        },
+        fuse_on_last_decoder: icl_plus,
+        dsb_width: if pre_skl { 4 } else { 6 },
+        idq_size: match arch {
+            Snb | Ivb => 28,
+            Hsw | Bdw => 56,
+            Skl | Clx => 64,
+            Icl | Tgl | Rkl => 70,
+        },
+        lsd_enabled: !matches!(arch, Skl | Clx),
+        jcc_erratum: matches!(arch, Skl | Clx),
+        lsd_max_unroll: 8,
+        issue_width: if icl_plus { 5 } else { 4 },
+        n_ports: match arch {
+            Snb | Ivb => 6,
+            Hsw | Bdw | Skl | Clx => 8,
+            Icl | Tgl | Rkl => 10,
+        },
+        ports: match arch {
+            Snb | Ivb => ports_snb(),
+            Hsw | Bdw => ports_hsw(),
+            Skl | Clx => ports_skl(),
+            Icl | Tgl | Rkl => ports_icl(),
+        },
+        move_elim_gpr: arch != Snb && arch != Icl,
+        move_elim_vec: arch != Snb,
+        unlamination: if matches!(arch, Snb | Ivb) {
+            UnlaminationPolicy::AllIndexed
+        } else {
+            UnlaminationPolicy::IndexedRmw
+        },
+        rob_size: match arch {
+            Snb | Ivb => 168,
+            Hsw | Bdw => 192,
+            Skl | Clx => 224,
+            Icl | Tgl | Rkl => 352,
+        },
+        rs_size: match arch {
+            Snb | Ivb => 54,
+            Hsw | Bdw => 60,
+            Skl | Clx => 97,
+            Icl | Tgl | Rkl => 160,
+        },
+        retire_width: if icl_plus { 8 } else { 4 },
+        load_latency: 5,
+        extended_macro_fusion: !matches!(arch, Snb | Ivb),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configs_build() {
+        for u in Uarch::ALL {
+            let c = u.config();
+            assert_eq!(c.arch, u);
+            assert!(c.n_decoders >= 4);
+            assert!(c.issue_width >= 4);
+            assert_eq!(c.all_ports().count(), u32::from(c.n_ports));
+        }
+    }
+
+    #[test]
+    fn skylake_errata() {
+        assert!(!Uarch::Skl.config().lsd_enabled);
+        assert!(Uarch::Skl.config().jcc_erratum);
+        assert!(!Uarch::Clx.config().lsd_enabled);
+        assert!(Uarch::Hsw.config().lsd_enabled);
+        assert!(!Uarch::Hsw.config().jcc_erratum);
+    }
+
+    #[test]
+    fn icelake_gpr_move_elim_disabled() {
+        assert!(!Uarch::Icl.config().move_elim_gpr);
+        assert!(Uarch::Icl.config().move_elim_vec);
+        assert!(Uarch::Tgl.config().move_elim_gpr);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for u in Uarch::ALL {
+            assert_eq!(u.abbrev().parse::<Uarch>().unwrap(), u);
+            assert_eq!(u.abbrev().to_lowercase().parse::<Uarch>().unwrap(), u);
+        }
+        assert!("XYZ".parse::<Uarch>().is_err());
+    }
+
+    #[test]
+    fn lsd_unroll_small_loops() {
+        let c = Uarch::Rkl.config(); // issue width 5
+        // A 1-µop loop streams 1 µop/cycle un-unrolled; unrolling helps.
+        assert!(c.lsd_unroll(1) > 1);
+        // A loop of exactly issue-width µops needs no unrolling.
+        assert_eq!(c.lsd_unroll(5), 1);
+        // Large loops cannot be unrolled within the IDQ.
+        assert_eq!(c.lsd_unroll(60), 1);
+    }
+
+    #[test]
+    fn lsd_unroll_respects_idq_capacity() {
+        for u in Uarch::ALL {
+            let c = u.config();
+            for n in 1..=c.idq_size as u32 {
+                let f = c.lsd_unroll(n);
+                assert!(n * f <= u32::from(c.idq_size), "{u}: {n} * {f} exceeds IDQ");
+                assert!(f >= 1 && f <= u32::from(c.lsd_max_unroll));
+            }
+        }
+    }
+
+    #[test]
+    fn table1_metadata() {
+        assert_eq!(Uarch::Rkl.released(), 2021);
+        assert_eq!(Uarch::Snb.full_name(), "Sandy Bridge");
+        assert_eq!(Uarch::Hsw.example_cpu(), "Intel Xeon E3-1225 v3");
+    }
+
+    #[test]
+    fn port_counts_grow_over_time() {
+        assert!(Uarch::Snb.config().n_ports < Uarch::Hsw.config().n_ports);
+        assert!(Uarch::Skl.config().n_ports < Uarch::Rkl.config().n_ports);
+    }
+}

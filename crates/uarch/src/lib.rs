@@ -1,0 +1,27 @@
+//! # facile-uarch
+//!
+//! Microarchitecture configurations for the nine Intel Core generations
+//! evaluated in the Facile paper (Table 1), from Sandy Bridge (2011) to
+//! Rocket Lake (2021).
+//!
+//! This crate is the counterpart of uiCA's `microArchConfigs.py`: it
+//! provides the high-level pipeline parameters (decoder counts, issue and
+//! DSB widths, IDQ capacity, LSD and JCC-erratum status) and the execution
+//! port topology that both the analytical model (`facile-core`) and the
+//! cycle-accurate simulator (`facile-sim`) consume.
+//!
+//! ```
+//! use facile_uarch::Uarch;
+//!
+//! let skl = Uarch::Skl.config();
+//! assert_eq!(skl.issue_width, 4);
+//! assert!(!skl.lsd_enabled); // SKL150 erratum
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod ports;
+
+pub use config::{ParseUarchError, Uarch, UarchConfig, UnlaminationPolicy};
+pub use ports::{PortClasses, PortMask};

@@ -1,0 +1,768 @@
+//! The assembler: turns `(Mnemonic, operands)` pairs into machine code and
+//! fully-annotated [`Inst`] values.
+//!
+//! The assembler always picks the *shortest* matching encoding (stable
+//! tie-break: table order), like a production assembler would.
+
+use crate::error::EncodeError;
+use crate::inst::Inst;
+use crate::mnemonic::Mnemonic;
+use crate::operand::{Mem, Operand};
+use crate::reg::{Reg, Width};
+use crate::table::{tables, Entry, ImmK, Map, Osz, Pat, Pfx, NO_EXT};
+
+/// Result of encoding one instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct Encoded {
+    pub bytes: Vec<u8>,
+    pub opcode_offset: u8,
+    pub has_lcp: bool,
+}
+
+#[derive(Default)]
+struct Rex {
+    w: bool,
+    r: bool,
+    x: bool,
+    b: bool,
+    /// A register requires REX to be present even with all bits clear
+    /// (spl/bpl/sil/dil).
+    force: bool,
+    /// A register forbids REX (ah/ch/dh/bh).
+    forbid: bool,
+}
+
+impl Rex {
+    fn needed(&self) -> bool {
+        self.w || self.r || self.x || self.b || self.force
+    }
+
+    fn byte(&self) -> u8 {
+        0x40 | (u8::from(self.w) << 3) | (u8::from(self.r) << 2) | (u8::from(self.x) << 1)
+            | u8::from(self.b)
+    }
+
+    fn track(&mut self, r: Reg) {
+        if r.needs_rex() {
+            if r.num() < 8 && r.width() == Width::W8 {
+                self.force = true;
+            }
+        }
+        if r.forbids_rex() {
+            self.forbid = true;
+        }
+    }
+}
+
+/// Assemble a single instruction, returning the [`Inst`] (with encoding
+/// metadata filled in) and its machine code.
+///
+/// # Errors
+/// Returns [`EncodeError::NoSuchForm`] if no encoding exists for the
+/// mnemonic/operand combination, and [`EncodeError::BadOperands`] for
+/// structurally impossible combinations (e.g. `ah` together with `r8`).
+pub fn assemble_one(
+    mnemonic: Mnemonic,
+    operands: &[Operand],
+) -> Result<(Inst, Vec<u8>), EncodeError> {
+    let t = tables();
+    let Some(candidates) = t.by_mnem.get(&mnemonic) else {
+        return Err(EncodeError::NoSuchForm { what: format!("{mnemonic}") });
+    };
+    let mut best: Option<Encoded> = None;
+    let mut rex_conflict = false;
+    for &i in candidates {
+        match try_encode(&t.entries[i], operands) {
+            Ok(Some(enc)) => {
+                if best.as_ref().is_none_or(|b| enc.bytes.len() < b.bytes.len()) {
+                    best = Some(enc);
+                }
+            }
+            Ok(None) => {}
+            Err(()) => rex_conflict = true,
+        }
+    }
+    match best {
+        Some(enc) => {
+            let inst = Inst {
+                mnemonic,
+                operands: operands.to_vec(),
+                len: enc.bytes.len() as u8,
+                opcode_offset: enc.opcode_offset,
+                has_lcp: enc.has_lcp,
+            };
+            Ok((inst, enc.bytes))
+        }
+        None if rex_conflict => Err(EncodeError::BadOperands {
+            what: format!("high-byte register mixed with REX-requiring operands in {mnemonic}"),
+        }),
+        None => Err(EncodeError::NoSuchForm {
+            what: format!(
+                "{mnemonic} {}",
+                operands.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+        }),
+    }
+}
+
+/// Effective GPR operand size for an entry, derived from the operands.
+fn effective_opsize(entry: &Entry, ops: &[Operand]) -> Option<Width> {
+    match entry.osz {
+        Osz::B => Some(Width::W8),
+        Osz::Q => Some(Width::W64),
+        Osz::D64 => Some(Width::W64),
+        Osz::X => None,
+        Osz::V => {
+            // First GPR operand that is not a fixed-width r/m (rmw) slot
+            // determines the size; fall back to the memory width.
+            for (idx, op) in ops.iter().enumerate() {
+                let fixed_rm = entry.rmw.is_some() && rm_slot_index(entry.pat) == Some(idx);
+                if fixed_rm {
+                    continue;
+                }
+                match op {
+                    Operand::Reg(r) if r.is_gpr() => {
+                        let w = if matches!(r, Reg::HighByte(_)) { Width::W8 } else { r.width() };
+                        return Some(w);
+                    }
+                    Operand::Mem(m) if !matches!(entry.pat, Pat::RM) => return Some(m.width),
+                    _ => {}
+                }
+            }
+            Some(Width::W32)
+        }
+    }
+}
+
+/// Index of the r/m operand slot within the operand list for a pattern.
+fn rm_slot_index(pat: Pat) -> Option<usize> {
+    match pat {
+        Pat::RmR | Pat::RmI | Pat::Rm | Pat::RmCl | Pat::RmX | Pat::RmRI | Pat::VXmX
+        | Pat::VXmYI | Pat::XmX => Some(0),
+        Pat::RRm | Pat::RRmI | Pat::RM | Pat::XXm | Pat::XXmI | Pat::XRm | Pat::RXm
+        | Pat::VXm => Some(1),
+        Pat::VXXm | Pat::VXXmI | Pat::VYXmI => Some(2),
+        _ => None,
+    }
+}
+
+fn gpr_of(op: Operand, w: Width) -> Option<Reg> {
+    match op {
+        Operand::Reg(r) if r.is_gpr() => {
+            let rw = if matches!(r, Reg::HighByte(_)) { Width::W8 } else { r.width() };
+            (rw == w).then_some(r)
+        }
+        _ => None,
+    }
+}
+
+fn vec_of(op: Operand, l: u8) -> Option<Reg> {
+    match (op, l) {
+        (Operand::Reg(r @ Reg::Xmm(_)), 0 | 2) => Some(r),
+        (Operand::Reg(r @ Reg::Ymm(_)), 1) => Some(r),
+        _ => None,
+    }
+}
+
+fn mem_of(op: Operand, w: Width) -> Option<Mem> {
+    match op {
+        Operand::Mem(m) if m.width == w => Some(m),
+        _ => None,
+    }
+}
+
+/// r/m slot: register of the given kind or memory of the given width.
+enum RmOp {
+    R(Reg),
+    M(Mem),
+}
+
+fn rm_gpr(op: Operand, w: Width) -> Option<RmOp> {
+    if let Some(r) = gpr_of(op, w) {
+        return Some(RmOp::R(r));
+    }
+    mem_of(op, w).map(RmOp::M)
+}
+
+fn rm_vec(op: Operand, l: u8, mw: Width) -> Option<RmOp> {
+    if let Some(r) = vec_of(op, l) {
+        return Some(RmOp::R(r));
+    }
+    mem_of(op, mw).map(RmOp::M)
+}
+
+fn imm_fits(kind: ImmK, opsize: Option<Width>, v: i64) -> bool {
+    match kind {
+        ImmK::NoImm => false,
+        ImmK::Ib => (0..=255).contains(&v),
+        ImmK::IbS => i8::try_from(v).is_ok(),
+        ImmK::Iz => match opsize {
+            Some(Width::W16) => i16::try_from(v).is_ok() || u16::try_from(v).is_ok(),
+            _ => i32::try_from(v).is_ok() || u32::try_from(v).is_ok(),
+        },
+        ImmK::Iv => match opsize {
+            Some(Width::W16) => i16::try_from(v).is_ok() || u16::try_from(v).is_ok(),
+            Some(Width::W64) => true,
+            _ => i32::try_from(v).is_ok() || u32::try_from(v).is_ok(),
+        },
+    }
+}
+
+fn imm_len(kind: ImmK, opsize: Option<Width>) -> usize {
+    match kind {
+        ImmK::NoImm => 0,
+        ImmK::Ib | ImmK::IbS => 1,
+        ImmK::Iz => match opsize {
+            Some(Width::W16) => 2,
+            _ => 4,
+        },
+        ImmK::Iv => match opsize {
+            Some(Width::W16) => 2,
+            Some(Width::W64) => 8,
+            _ => 4,
+        },
+    }
+}
+
+/// Structural match of the operands against an entry. Returns the matched
+/// slots, or `None` if the entry does not apply.
+struct Matched {
+    /// Value for the ModRM `reg` field (register or extension digit).
+    reg_field: Option<Reg>,
+    rm: Option<RmOp>,
+    /// Register encoded in the opcode byte.
+    opreg: Option<Reg>,
+    /// VEX `vvvv` register.
+    vvvv: Option<Reg>,
+    imm: Option<i64>,
+    rel: Option<i32>,
+}
+
+#[allow(clippy::too_many_lines)]
+fn match_operands(entry: &Entry, ops: &[Operand]) -> Option<Matched> {
+    let osz = effective_opsize(entry, ops);
+    let w = osz.unwrap_or(Width::W32);
+    let l = entry.vex.map_or(0, |v| v.l);
+    let vecw = if l == 1 { Width::W256 } else { Width::W128 };
+    let rm_width = entry.rmw.unwrap_or(w);
+    let rm_vwidth = entry.rmw.unwrap_or(vecw);
+    let mut m = Matched { reg_field: None, rm: None, opreg: None, vvvv: None, imm: None, rel: None };
+    match entry.pat {
+        Pat::NoOps => {
+            if !ops.is_empty() {
+                return None;
+            }
+        }
+        Pat::RmR => {
+            let [a, b] = ops else { return None };
+            m.rm = Some(rm_gpr(*a, w)?);
+            m.reg_field = Some(gpr_of(*b, w)?);
+        }
+        Pat::RRm => {
+            let [a, b] = ops else { return None };
+            m.reg_field = Some(gpr_of(*a, w)?);
+            m.rm = Some(rm_gpr(*b, rm_width)?);
+        }
+        Pat::RmRI => {
+            let [a, b, c] = ops else { return None };
+            m.rm = Some(rm_gpr(*a, w)?);
+            m.reg_field = Some(gpr_of(*b, w)?);
+            m.imm = Some(c.imm().filter(|&v| imm_fits(entry.imm, osz, v))?);
+        }
+        Pat::RmI => {
+            let [a, b] = ops else { return None };
+            m.rm = Some(rm_gpr(*a, w)?);
+            m.imm = Some(b.imm().filter(|&v| imm_fits(entry.imm, osz, v))?);
+        }
+        Pat::Rm => {
+            let [a] = ops else { return None };
+            m.rm = Some(rm_gpr(*a, w)?);
+        }
+        Pat::RmCl => {
+            let [a, b] = ops else { return None };
+            m.rm = Some(rm_gpr(*a, w)?);
+            if *b != Operand::Reg(Reg::Gpr { num: 1, width: Width::W8 }) {
+                return None;
+            }
+        }
+        Pat::OpReg => {
+            let [a] = ops else { return None };
+            m.opreg = Some(gpr_of(*a, w)?);
+        }
+        Pat::AccI => return None, // decode-only form
+        Pat::OpRegI => {
+            let [a, b] = ops else { return None };
+            m.opreg = Some(gpr_of(*a, w)?);
+            m.imm = Some(b.imm().filter(|&v| imm_fits(entry.imm, osz, v))?);
+        }
+        Pat::RRmI => {
+            let [a, b, c] = ops else { return None };
+            m.reg_field = Some(gpr_of(*a, w)?);
+            m.rm = Some(rm_gpr(*b, w)?);
+            m.imm = Some(c.imm().filter(|&v| imm_fits(entry.imm, osz, v))?);
+        }
+        Pat::RM => {
+            let [a, b] = ops else { return None };
+            m.reg_field = Some(gpr_of(*a, w)?);
+            m.rm = Some(RmOp::M(b.mem()?)); // any width: lea ignores it
+        }
+        Pat::Rel => {
+            let [a] = ops else { return None };
+            let Operand::Rel(d) = *a else { return None };
+            if entry.imm == ImmK::Ib && i8::try_from(d).is_err() {
+                return None;
+            }
+            m.rel = Some(d);
+        }
+        Pat::XXm | Pat::XXmI => {
+            let (a, b, c) = match (entry.pat, ops) {
+                (Pat::XXm, [a, b]) => (a, b, None),
+                (Pat::XXmI, [a, b, c]) => (a, b, Some(c)),
+                _ => return None,
+            };
+            m.reg_field = Some(vec_of(*a, 0)?);
+            m.rm = Some(rm_vec(*b, 0, rm_vwidth)?);
+            if let Some(c) = c {
+                m.imm = Some(c.imm().filter(|&v| imm_fits(entry.imm, osz, v))?);
+            }
+        }
+        Pat::XmX => {
+            let [a, b] = ops else { return None };
+            m.rm = Some(rm_vec(*a, 0, rm_vwidth)?);
+            m.reg_field = Some(vec_of(*b, 0)?);
+        }
+        Pat::XRm => {
+            let [a, b] = ops else { return None };
+            m.reg_field = Some(vec_of(*a, 0)?);
+            m.rm = Some(rm_gpr(*b, rm_width.is_gpr().then_some(rm_width).unwrap_or(w))?);
+        }
+        Pat::RmX => {
+            let [a, b] = ops else { return None };
+            m.rm = Some(rm_gpr(*a, rm_width.is_gpr().then_some(rm_width).unwrap_or(w))?);
+            m.reg_field = Some(vec_of(*b, 0)?);
+        }
+        Pat::RXm => {
+            let [a, b] = ops else { return None };
+            m.reg_field = Some(gpr_of(*a, w)?);
+            m.rm = Some(rm_vec(*b, 0, rm_vwidth)?);
+        }
+        Pat::XI => {
+            let [a, b] = ops else { return None };
+            m.rm = Some(RmOp::R(vec_of(*a, 0)?));
+            m.imm = Some(b.imm().filter(|&v| imm_fits(entry.imm, osz, v))?);
+        }
+        Pat::VXXm | Pat::VXXmI => {
+            let (a, b, c, i) = match (entry.pat, ops) {
+                (Pat::VXXm, [a, b, c]) => (a, b, c, None),
+                (Pat::VXXmI, [a, b, c, i]) => (a, b, c, Some(i)),
+                _ => return None,
+            };
+            m.reg_field = Some(vec_of(*a, l)?);
+            m.vvvv = Some(vec_of(*b, l)?);
+            m.rm = Some(rm_vec(*c, l, rm_vwidth)?);
+            if let Some(i) = i {
+                m.imm = Some(i.imm().filter(|&v| imm_fits(entry.imm, osz, v))?);
+            }
+        }
+        Pat::VXm => {
+            let [a, b] = ops else { return None };
+            m.reg_field = Some(vec_of(*a, l)?);
+            // vbroadcastss allows an xmm or memory source even for ymm dest
+            let srcl = if entry.map == Map::M38 && entry.op == 0x18 { 0 } else { l };
+            m.rm = Some(rm_vec(*b, srcl, rm_vwidth)?);
+        }
+        Pat::VXmX => {
+            let [a, b] = ops else { return None };
+            m.rm = Some(rm_vec(*a, l, rm_vwidth)?);
+            m.reg_field = Some(vec_of(*b, l)?);
+        }
+        Pat::VYXmI => {
+            let [a, b, c, i] = ops else { return None };
+            m.reg_field = Some(vec_of(*a, 1)?);
+            m.vvvv = Some(vec_of(*b, 1)?);
+            m.rm = Some(rm_vec(*c, 0, Width::W128)?);
+            m.imm = Some(i.imm().filter(|&v| imm_fits(entry.imm, osz, v))?);
+        }
+        Pat::VXmYI => {
+            let [a, b, i] = ops else { return None };
+            m.rm = Some(rm_vec(*a, 0, Width::W128)?);
+            m.reg_field = Some(vec_of(*b, 1)?);
+            m.imm = Some(i.imm().filter(|&v| imm_fits(entry.imm, osz, v))?);
+        }
+    }
+    Some(m)
+}
+
+/// Try to encode `ops` using `entry`. `Ok(None)` = entry does not apply;
+/// `Err(())` = structural REX conflict.
+fn try_encode(entry: &Entry, ops: &[Operand]) -> Result<Option<Encoded>, ()> {
+    if entry.decode_only {
+        return Ok(None);
+    }
+    let Some(m) = match_operands(entry, ops) else {
+        return Ok(None);
+    };
+    let osz = effective_opsize(entry, ops);
+
+    let mut rex = Rex::default();
+    if osz == Some(Width::W64) && matches!(entry.osz, Osz::V | Osz::Q) {
+        rex.w = true;
+    }
+    if let Some(r) = m.reg_field {
+        rex.track(r);
+        rex.r = r.num() >= 8;
+    }
+    if let Some(r) = m.vvvv {
+        rex.track(r);
+    }
+    if let Some(r) = m.opreg {
+        rex.track(r);
+        rex.b = r.num() >= 8;
+    }
+    let mut mem: Option<Mem> = None;
+    match &m.rm {
+        Some(RmOp::R(r)) => {
+            rex.track(*r);
+            rex.b = rex.b || r.num() >= 8;
+        }
+        Some(RmOp::M(mm)) => {
+            for r in mm.addr_regs() {
+                if r.width() != Width::W64 {
+                    return Ok(None); // only 64-bit addressing supported
+                }
+            }
+            if let Some(b) = mm.base.filter(|r| *r != Reg::Rip) {
+                rex.b = rex.b || b.num() >= 8;
+            }
+            if let Some(i) = mm.index {
+                rex.x = i.num() >= 8;
+            }
+            mem = Some(*mm);
+        }
+        None => {}
+    }
+    let _ = mem;
+
+    if rex.forbid && rex.needed() {
+        return Err(());
+    }
+
+    let mut bytes = Vec::with_capacity(15);
+    let has_66_size = osz == Some(Width::W16) && entry.osz == Osz::V;
+    let mut has_lcp = false;
+
+    if let Some(vex) = entry.vex {
+        // VEX prefix (no legacy prefixes, no REX).
+        let map_sel: u8 = match entry.map {
+            Map::M0F => 1,
+            Map::M38 => 2,
+            Map::M3A => 3,
+            Map::M1 => return Ok(None),
+        };
+        let vvvv_val = m.vvvv.map_or(0, Reg::num);
+        let l_bit = u8::from(vex.l == 1);
+        let w_bit = u8::from(vex.w == 1);
+        if map_sel == 1 && w_bit == 0 && !rex.x && !rex.b {
+            // 2-byte VEX
+            bytes.push(0xC5);
+            bytes.push(
+                (u8::from(!rex.r) << 7) | ((!vvvv_val & 0xF) << 3) | (l_bit << 2) | vex.pp,
+            );
+        } else {
+            bytes.push(0xC4);
+            bytes.push(
+                (u8::from(!rex.r) << 7) | (u8::from(!rex.x) << 6) | (u8::from(!rex.b) << 5)
+                    | map_sel,
+            );
+            bytes.push((w_bit << 7) | ((!vvvv_val & 0xF) << 3) | (l_bit << 2) | vex.pp);
+        }
+        // opcode_offset points at the VEX byte, i.e. offset 0 here.
+        bytes.push(entry.op);
+    } else {
+        if has_66_size {
+            bytes.push(0x66);
+            has_lcp = matches!(entry.imm, ImmK::Iz | ImmK::Iv) && !matches!(entry.pat, Pat::Rel);
+        }
+        match entry.pfx {
+            Pfx::N => {}
+            Pfx::P66 => bytes.push(0x66),
+            Pfx::PF2 => bytes.push(0xF2),
+            Pfx::PF3 => bytes.push(0xF3),
+        }
+        if rex.needed() {
+            bytes.push(rex.byte());
+        }
+        match entry.map {
+            Map::M1 => {}
+            Map::M0F => bytes.push(0x0F),
+            Map::M38 => bytes.extend_from_slice(&[0x0F, 0x38]),
+            Map::M3A => bytes.extend_from_slice(&[0x0F, 0x3A]),
+        }
+        bytes.push(entry.op + m.opreg.map_or(0, |r| r.num() & 7));
+    }
+    // Number of prefix bytes before the nominal opcode (for VEX, the VEX
+    // prefix itself is the nominal opcode start).
+    let opcode_offset = if entry.vex.is_some() {
+        0
+    } else {
+        let escape_len: u8 = match entry.map {
+            Map::M1 => 0,
+            Map::M0F => 1,
+            Map::M38 | Map::M3A => 2,
+        };
+        bytes.len() as u8 - 1 - escape_len
+    };
+
+    // ModRM / SIB / displacement.
+    if entry.has_modrm() {
+        let reg_bits = if entry.ext != NO_EXT {
+            entry.ext
+        } else {
+            m.reg_field.map_or(0, |r| r.num() & 7)
+        };
+        match m.rm.as_ref().expect("modrm pattern without r/m operand") {
+            RmOp::R(r) => bytes.push(0xC0 | (reg_bits << 3) | (r.num() & 7)),
+            RmOp::M(mm) => encode_mem(&mut bytes, reg_bits, *mm),
+        }
+    }
+
+    // Immediate / displacement.
+    if let Some(v) = m.imm {
+        match entry.imm {
+            ImmK::Ib | ImmK::IbS => bytes.push(v as u8),
+            _ => {
+                let n = imm_len(entry.imm, osz);
+                bytes.extend_from_slice(&v.to_le_bytes()[..n]);
+            }
+        }
+    }
+    if let Some(d) = m.rel {
+        match entry.imm {
+            ImmK::Ib => bytes.push(d as u8),
+            _ => bytes.extend_from_slice(&d.to_le_bytes()),
+        }
+    }
+
+    if bytes.len() > 15 {
+        return Ok(None);
+    }
+    Ok(Some(Encoded { bytes, opcode_offset, has_lcp }))
+}
+
+/// Emit ModRM, optional SIB, and displacement for a memory operand.
+fn encode_mem(bytes: &mut Vec<u8>, reg_bits: u8, m: Mem) {
+    let reg3 = reg_bits << 3;
+    // RIP-relative
+    if m.base == Some(Reg::Rip) {
+        bytes.push(reg3 | 0x05);
+        bytes.extend_from_slice(&m.disp.to_le_bytes());
+        return;
+    }
+    let base_num = m.base.map(|r| r.num() & 7);
+    let needs_sib = m.index.is_some() || m.base.is_none() || base_num == Some(4);
+    let (modb, disp_len) = match (m.base, m.disp) {
+        (None, _) => (0x00, 4),
+        (Some(_), 0) if base_num != Some(5) => (0x00, 0),
+        (Some(_), d) if i8::try_from(d).is_ok() => (0x40, 1),
+        (Some(_), _) => (0x80, 4),
+    };
+    if needs_sib {
+        bytes.push(modb | reg3 | 0x04);
+        let scale_bits: u8 = match m.scale {
+            1 => 0,
+            2 => 1,
+            4 => 2,
+            _ => 3,
+        };
+        let index_bits = m.index.map_or(4, |r| r.num() & 7);
+        let base_bits = base_num.unwrap_or(5);
+        bytes.push((scale_bits << 6) | (index_bits << 3) | base_bits);
+    } else {
+        bytes.push(modb | reg3 | base_num.expect("non-SIB without base"));
+    }
+    match disp_len {
+        0 => {}
+        1 => bytes.push(m.disp as u8),
+        _ => bytes.extend_from_slice(&m.disp.to_le_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnemonic::Cond;
+    use crate::reg::names::*;
+
+    fn enc(m: Mnemonic, ops: Vec<Operand>) -> Vec<u8> {
+        assemble_one(m, &ops).unwrap().1
+    }
+
+    #[test]
+    fn basic_alu() {
+        assert_eq!(enc(Mnemonic::Add, vec![EAX.into(), ECX.into()]), vec![0x01, 0xC8]);
+        assert_eq!(enc(Mnemonic::Add, vec![RAX.into(), RCX.into()]), vec![0x48, 0x01, 0xC8]);
+        assert_eq!(
+            enc(Mnemonic::Xor, vec![R8D.into(), R9D.into()]),
+            vec![0x45, 0x31, 0xC8]
+        );
+    }
+
+    #[test]
+    fn short_immediate_form_preferred() {
+        // imm fits i8: 83 /0 ib
+        assert_eq!(enc(Mnemonic::Add, vec![EAX.into(), Operand::Imm(5)]), vec![0x83, 0xC0, 0x05]);
+        // large imm: 81 /0 id
+        assert_eq!(
+            enc(Mnemonic::Add, vec![EAX.into(), Operand::Imm(0x1234)]),
+            vec![0x81, 0xC0, 0x34, 0x12, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn lcp_detection() {
+        // add ax, 0x1234 -> 66 81 C0 34 12 (length-changing prefix!)
+        let (inst, bytes) = assemble_one(
+            Mnemonic::Add,
+            &[AX.into(), Operand::Imm(0x1234)],
+        )
+        .unwrap();
+        assert_eq!(bytes, vec![0x66, 0x81, 0xC0, 0x34, 0x12]);
+        assert!(inst.has_lcp);
+        assert_eq!(inst.opcode_offset, 1);
+        // 16-bit without an immediate has no LCP
+        let (inst, _) = assemble_one(Mnemonic::Add, &[AX.into(), CX.into()]).unwrap();
+        assert!(!inst.has_lcp);
+        // mov ax, imm16 via B8+r is also LCP
+        let (inst, bytes) =
+            assemble_one(Mnemonic::Mov, &[AX.into(), Operand::Imm(0x1234)]).unwrap();
+        assert_eq!(bytes, vec![0x66, 0xB8, 0x34, 0x12]);
+        assert!(inst.has_lcp);
+    }
+
+    #[test]
+    fn mov_imm64() {
+        assert_eq!(
+            enc(Mnemonic::Mov, vec![RAX.into(), Operand::Imm(0x1122334455667788)]),
+            vec![0x48, 0xB8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]
+        );
+        // small imm into r64 picks the shorter C7 sign-extended form
+        assert_eq!(
+            enc(Mnemonic::Mov, vec![RAX.into(), Operand::Imm(1)]),
+            vec![0x48, 0xC7, 0xC0, 0x01, 0x00, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn memory_forms() {
+        use crate::operand::Mem;
+        // mov rax, [rcx] -> 48 8B 01
+        let m = Mem::base(RCX, Width::W64);
+        assert_eq!(enc(Mnemonic::Mov, vec![RAX.into(), m.into()]), vec![0x48, 0x8B, 0x01]);
+        // [rsp] needs SIB
+        let m = Mem::base(RSP, Width::W64);
+        assert_eq!(
+            enc(Mnemonic::Mov, vec![RAX.into(), m.into()]),
+            vec![0x48, 0x8B, 0x04, 0x24]
+        );
+        // [rbp] needs disp8
+        let m = Mem::base(RBP, Width::W64);
+        assert_eq!(
+            enc(Mnemonic::Mov, vec![RAX.into(), m.into()]),
+            vec![0x48, 0x8B, 0x45, 0x00]
+        );
+        // [rax+rcx*4+0x10]
+        let m = Mem::base_index(RAX, RCX, 4, 0x10, Width::W32);
+        assert_eq!(
+            enc(Mnemonic::Mov, vec![EDX.into(), m.into()]),
+            vec![0x8B, 0x54, 0x88, 0x10]
+        );
+        // rip-relative
+        let m = Mem::rip_rel(0x100, Width::W32);
+        assert_eq!(
+            enc(Mnemonic::Mov, vec![EAX.into(), m.into()]),
+            vec![0x8B, 0x05, 0x00, 0x01, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn branches() {
+        assert_eq!(enc(Mnemonic::Jmp, vec![Operand::Rel(-5)]), vec![0xEB, 0xFB]);
+        assert_eq!(
+            enc(Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-20)]),
+            vec![0x75, 0xEC]
+        );
+        assert_eq!(
+            enc(Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-300)]),
+            vec![0x0F, 0x85, 0xD4, 0xFE, 0xFF, 0xFF]
+        );
+    }
+
+    #[test]
+    fn sse_forms() {
+        let x = |n| Operand::Reg(Reg::Xmm(n));
+        assert_eq!(enc(Mnemonic::Addps, vec![x(0), x(1)]), vec![0x0F, 0x58, 0xC1]);
+        assert_eq!(enc(Mnemonic::Addpd, vec![x(0), x(1)]), vec![0x66, 0x0F, 0x58, 0xC1]);
+        assert_eq!(enc(Mnemonic::Addsd, vec![x(0), x(1)]), vec![0xF2, 0x0F, 0x58, 0xC1]);
+        assert_eq!(enc(Mnemonic::Pxor, vec![x(2), x(3)]), vec![0x66, 0x0F, 0xEF, 0xD3]);
+        assert_eq!(
+            enc(Mnemonic::Pmulld, vec![x(0), x(1)]),
+            vec![0x66, 0x0F, 0x38, 0x40, 0xC1]
+        );
+    }
+
+    #[test]
+    fn avx_forms() {
+        let y = |n| Operand::Reg(Reg::Ymm(n));
+        let x = |n| Operand::Reg(Reg::Xmm(n));
+        // 2-byte VEX: vaddps ymm0, ymm1, ymm2 -> C5 F4 58 C2
+        assert_eq!(enc(Mnemonic::Vaddps, vec![y(0), y(1), y(2)]), vec![0xC5, 0xF4, 0x58, 0xC2]);
+        // xmm variant -> C5 F0 58 C2
+        assert_eq!(enc(Mnemonic::Vaddps, vec![x(0), x(1), x(2)]), vec![0xC5, 0xF0, 0x58, 0xC2]);
+        // 3-byte VEX needed for 0F38 map: vfmadd231ps
+        assert_eq!(
+            enc(Mnemonic::Vfmadd231ps, vec![y(0), y(1), y(2)]),
+            vec![0xC4, 0xE2, 0x75, 0xB8, 0xC2]
+        );
+    }
+
+    #[test]
+    fn high_byte_rex_conflict() {
+        let r = assemble_one(
+            Mnemonic::Mov,
+            &[Operand::Reg(Reg::HighByte(0)), Operand::Reg(Reg::gpr(8, Width::W8))],
+        );
+        assert!(matches!(r, Err(EncodeError::BadOperands { .. })));
+    }
+
+    #[test]
+    fn no_such_form() {
+        let r = assemble_one(Mnemonic::Lea, &[Operand::Reg(RAX), Operand::Reg(RCX)]);
+        assert!(matches!(r, Err(EncodeError::NoSuchForm { .. })));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(
+            enc(Mnemonic::Shl, vec![EAX.into(), Operand::Imm(3)]),
+            vec![0xC1, 0xE0, 0x03]
+        );
+        assert_eq!(enc(Mnemonic::Shr, vec![RAX.into(), CL.into()]), vec![0x48, 0xD3, 0xE8]);
+    }
+
+    #[test]
+    fn multibyte_nop() {
+        use crate::operand::Mem;
+        // nop dword ptr [rax]
+        let m = Mem::base(RAX, Width::W32);
+        assert_eq!(enc(Mnemonic::Nop, vec![m.into()]), vec![0x0F, 0x1F, 0x00]);
+        // plain nop
+        assert_eq!(enc(Mnemonic::Nop, vec![]), vec![0x90]);
+    }
+
+    #[test]
+    fn push_pop() {
+        assert_eq!(enc(Mnemonic::Push, vec![RAX.into()]), vec![0x50]);
+        assert_eq!(enc(Mnemonic::Push, vec![R9.into()]), vec![0x41, 0x51]);
+        assert_eq!(enc(Mnemonic::Pop, vec![RBX.into()]), vec![0x5B]);
+    }
+}

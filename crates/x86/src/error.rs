@@ -1,0 +1,96 @@
+//! Error types for decoding and encoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while decoding machine code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended in the middle of an instruction.
+    Truncated {
+        /// Offset of the first byte of the offending instruction.
+        offset: usize,
+    },
+    /// An opcode that this decoder does not support.
+    UnknownOpcode {
+        /// Offset of the first byte of the offending instruction.
+        offset: usize,
+        /// The opcode bytes that could not be matched.
+        opcode: Vec<u8>,
+    },
+    /// The instruction would be longer than the architectural limit of 15
+    /// bytes.
+    TooLong {
+        /// Offset of the first byte of the offending instruction.
+        offset: usize,
+    },
+    /// A structurally invalid encoding (e.g. register operand where memory
+    /// is required).
+    Invalid {
+        /// Offset of the first byte of the offending instruction.
+        offset: usize,
+        /// Explanation of the violation.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { offset } => {
+                write!(f, "truncated instruction at offset {offset}")
+            }
+            DecodeError::UnknownOpcode { offset, opcode } => {
+                write!(f, "unknown opcode at offset {offset}:")?;
+                for b in opcode {
+                    write!(f, " {b:02x}")?;
+                }
+                Ok(())
+            }
+            DecodeError::TooLong { offset } => {
+                write!(f, "instruction at offset {offset} exceeds 15 bytes")
+            }
+            DecodeError::Invalid { offset, what } => {
+                write!(f, "invalid encoding at offset {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// An error produced while encoding an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// No encoding exists for the mnemonic with the given operand shapes.
+    NoSuchForm {
+        /// Description of the requested form.
+        what: String,
+    },
+    /// Operands are structurally incompatible (e.g. mixed widths where equal
+    /// widths are required, or a high-byte register combined with a
+    /// REX-requiring register).
+    BadOperands {
+        /// Explanation of the incompatibility.
+        what: String,
+    },
+    /// The immediate does not fit the encodable range for this form.
+    ImmOutOfRange {
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::NoSuchForm { what } => write!(f, "no encoding for {what}"),
+            EncodeError::BadOperands { what } => write!(f, "bad operands: {what}"),
+            EncodeError::ImmOutOfRange { value } => {
+                write!(f, "immediate out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}

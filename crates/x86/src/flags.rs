@@ -1,0 +1,55 @@
+//! EFLAGS dependence groups.
+//!
+//! For dependence analysis we follow the grouping used by uiCA and
+//! uops.info: the carry flag (`C`), the overflow flag (`O`), and the
+//! remaining status flags `SF/PF/AF/ZF` (`SPAZ`) are renamed as three
+//! independent units on modern Intel CPUs. Instructions like `inc` write
+//! `SPAZ` and `O` but leave `C` intact, which is why a finer grouping than a
+//! single "flags register" is required to avoid false dependencies.
+
+/// The carry flag group.
+pub const C: u8 = 1 << 0;
+/// The overflow flag group.
+pub const O: u8 = 1 << 1;
+/// The SF/PF/AF/ZF flag group.
+pub const SPAZ: u8 = 1 << 2;
+/// All status flag groups.
+pub const ALL: u8 = C | O | SPAZ;
+
+/// Iterate over the individual groups contained in `mask`.
+pub fn groups(mask: u8) -> impl Iterator<Item = u8> {
+    [C, O, SPAZ].into_iter().filter(move |g| mask & g != 0)
+}
+
+/// Human-readable name of a single flag group.
+///
+/// # Panics
+/// Panics if `group` is not exactly one of [`C`], [`O`], [`SPAZ`].
+#[must_use]
+pub fn group_name(group: u8) -> &'static str {
+    match group {
+        x if x == C => "CF",
+        x if x == O => "OF",
+        x if x == SPAZ => "SPAZF",
+        _ => panic!("not a single flag group: {group:#b}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_iteration() {
+        assert_eq!(groups(ALL).count(), 3);
+        assert_eq!(groups(C | SPAZ).collect::<Vec<_>>(), vec![C, SPAZ]);
+        assert_eq!(groups(0).count(), 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(group_name(C), "CF");
+        assert_eq!(group_name(O), "OF");
+        assert_eq!(group_name(SPAZ), "SPAZF");
+    }
+}

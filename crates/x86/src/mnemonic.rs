@@ -1,0 +1,297 @@
+//! Instruction mnemonics and condition codes.
+
+use std::fmt;
+
+/// x86 condition codes, in hardware encoding order (the low nibble of the
+/// `Jcc`/`SETcc`/`CMOVcc` opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow (`jo`).
+    O = 0,
+    /// Not overflow (`jno`).
+    No = 1,
+    /// Below / carry (`jb`).
+    B = 2,
+    /// Above or equal / not carry (`jae`).
+    Ae = 3,
+    /// Equal / zero (`je`).
+    E = 4,
+    /// Not equal / not zero (`jne`).
+    Ne = 5,
+    /// Below or equal (`jbe`).
+    Be = 6,
+    /// Above (`ja`).
+    A = 7,
+    /// Sign (`js`).
+    S = 8,
+    /// Not sign (`jns`).
+    Ns = 9,
+    /// Parity (`jp`).
+    P = 10,
+    /// Not parity (`jnp`).
+    Np = 11,
+    /// Less (`jl`).
+    L = 12,
+    /// Greater or equal (`jge`).
+    Ge = 13,
+    /// Less or equal (`jle`).
+    Le = 14,
+    /// Greater (`jg`).
+    G = 15,
+}
+
+impl Cond {
+    /// All 16 condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// Hardware encoding (0..=15).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Condition from its hardware encoding.
+    #[must_use]
+    pub fn from_code(code: u8) -> Cond {
+        Cond::ALL[(code & 0xF) as usize]
+    }
+
+    /// Suffix used in assembly mnemonics (`e` in `jne` is `Ne`).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::P => "p",
+            Cond::Np => "np",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+
+    /// EFLAGS groups read by this condition, as a [`crate::flags`] mask.
+    #[must_use]
+    pub fn flags_read(self) -> u8 {
+        use crate::flags;
+        match self {
+            Cond::O | Cond::No => flags::O,
+            Cond::B | Cond::Ae => flags::C,
+            Cond::E | Cond::Ne | Cond::S | Cond::Ns | Cond::P | Cond::Np => flags::SPAZ,
+            Cond::Be | Cond::A => flags::C | flags::SPAZ,
+            Cond::L | Cond::Ge | Cond::Le | Cond::G => flags::O | flags::SPAZ,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+macro_rules! mnemonics {
+    ($($variant:ident => $name:expr),* $(,)?) => {
+        /// An instruction mnemonic.
+        ///
+        /// Conditional instructions (`Jcc`, `Setcc`, `Cmovcc`) carry their
+        /// [`Cond`] so that every concrete instruction has exactly one
+        /// mnemonic value.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[allow(missing_docs)] // the names *are* the documentation
+        pub enum Mnemonic {
+            $($variant,)*
+            /// Conditional jump.
+            Jcc(Cond),
+            /// Conditional set-byte.
+            Setcc(Cond),
+            /// Conditional move.
+            Cmovcc(Cond),
+        }
+
+        impl Mnemonic {
+            /// The assembly name of this mnemonic (lowercase, Intel syntax).
+            #[must_use]
+            pub fn name(self) -> String {
+                match self {
+                    $(Mnemonic::$variant => $name.to_string(),)*
+                    Mnemonic::Jcc(c) => format!("j{}", c.suffix()),
+                    Mnemonic::Setcc(c) => format!("set{}", c.suffix()),
+                    Mnemonic::Cmovcc(c) => format!("cmov{}", c.suffix()),
+                }
+            }
+        }
+    };
+}
+
+mnemonics! {
+    // --- scalar integer ---
+    Add => "add", Adc => "adc", And => "and", Or => "or", Sbb => "sbb",
+    Sub => "sub", Xor => "xor", Cmp => "cmp", Test => "test",
+    Mov => "mov", Movzx => "movzx", Movsx => "movsx", Movsxd => "movsxd",
+    Lea => "lea", Inc => "inc", Dec => "dec", Neg => "neg", Not => "not",
+    Imul => "imul", Mul => "mul", Div => "div", Idiv => "idiv",
+    Shl => "shl", Shr => "shr", Sar => "sar", Rol => "rol", Ror => "ror",
+    Shld => "shld", Shrd => "shrd",
+    Bsf => "bsf", Bsr => "bsr", Bt => "bt",
+    Popcnt => "popcnt", Lzcnt => "lzcnt", Tzcnt => "tzcnt",
+    Bswap => "bswap", Xchg => "xchg", Cdq => "cdq", Cqo => "cqo",
+    Nop => "nop", Push => "push", Pop => "pop", Jmp => "jmp",
+    // --- SSE floating point ---
+    Movaps => "movaps", Movups => "movups", Movdqa => "movdqa", Movdqu => "movdqu",
+    Movss => "movss", Movsd => "movsd", Movd => "movd", Movq => "movq",
+    Addps => "addps", Addpd => "addpd", Addss => "addss", Addsd => "addsd",
+    Subps => "subps", Subpd => "subpd", Subss => "subss", Subsd => "subsd",
+    Mulps => "mulps", Mulpd => "mulpd", Mulss => "mulss", Mulsd => "mulsd",
+    Divps => "divps", Divpd => "divpd", Divss => "divss", Divsd => "divsd",
+    Sqrtps => "sqrtps", Sqrtpd => "sqrtpd", Sqrtss => "sqrtss", Sqrtsd => "sqrtsd",
+    Minps => "minps", Maxps => "maxps", Minss => "minss", Maxss => "maxss",
+    Minsd => "minsd", Maxsd => "maxsd",
+    Andps => "andps", Andpd => "andpd", Orps => "orps", Orpd => "orpd",
+    Xorps => "xorps", Xorpd => "xorpd",
+    Ucomiss => "ucomiss", Ucomisd => "ucomisd",
+    Cvtsi2ss => "cvtsi2ss", Cvtsi2sd => "cvtsi2sd",
+    Cvttss2si => "cvttss2si", Cvttsd2si => "cvttsd2si",
+    Cvtps2pd => "cvtps2pd", Cvtpd2ps => "cvtpd2ps",
+    Shufps => "shufps", Unpcklps => "unpcklps", Unpckhps => "unpckhps",
+    Movmskps => "movmskps", Pmovmskb => "pmovmskb",
+    // --- SSE integer ---
+    Paddb => "paddb", Paddw => "paddw", Paddd => "paddd", Paddq => "paddq",
+    Psubb => "psubb", Psubw => "psubw", Psubd => "psubd", Psubq => "psubq",
+    Pmullw => "pmullw", Pmulld => "pmulld", Pmuludq => "pmuludq",
+    Pand => "pand", Pandn => "pandn", Por => "por", Pxor => "pxor",
+    Pcmpeqb => "pcmpeqb", Pcmpeqw => "pcmpeqw", Pcmpeqd => "pcmpeqd",
+    Pcmpgtb => "pcmpgtb", Pcmpgtw => "pcmpgtw", Pcmpgtd => "pcmpgtd",
+    Pshufd => "pshufd", Pshufb => "pshufb",
+    Punpcklbw => "punpcklbw", Punpckldq => "punpckldq",
+    Psllw => "psllw", Pslld => "pslld", Psllq => "psllq",
+    Psrlw => "psrlw", Psrld => "psrld", Psrlq => "psrlq",
+    Psraw => "psraw", Psrad => "psrad",
+    // --- AVX (VEX-encoded) ---
+    Vaddps => "vaddps", Vaddpd => "vaddpd", Vsubps => "vsubps", Vsubpd => "vsubpd",
+    Vmulps => "vmulps", Vmulpd => "vmulpd", Vdivps => "vdivps", Vdivpd => "vdivpd",
+    Vxorps => "vxorps", Vandps => "vandps", Vorps => "vorps",
+    Vminps => "vminps", Vmaxps => "vmaxps", Vsqrtps => "vsqrtps",
+    Vaddss => "vaddss", Vaddsd => "vaddsd", Vmulss => "vmulss", Vmulsd => "vmulsd",
+    Vmovaps => "vmovaps", Vmovups => "vmovups", Vmovdqa => "vmovdqa", Vmovdqu => "vmovdqu",
+    Vpaddd => "vpaddd", Vpaddq => "vpaddq", Vpsubd => "vpsubd",
+    Vpand => "vpand", Vpor => "vpor", Vpxor => "vpxor", Vpmulld => "vpmulld",
+    Vshufps => "vshufps", Vbroadcastss => "vbroadcastss",
+    Vinsertf128 => "vinsertf128", Vextractf128 => "vextractf128",
+    Vfmadd231ps => "vfmadd231ps", Vfmadd231pd => "vfmadd231pd",
+    Vfmadd231ss => "vfmadd231ss", Vfmadd231sd => "vfmadd231sd",
+}
+
+impl Mnemonic {
+    /// Whether this is a control-flow instruction (conditional or not).
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        matches!(self, Mnemonic::Jmp | Mnemonic::Jcc(_))
+    }
+
+    /// Whether this is a *conditional* branch (a `Jcc`).
+    #[must_use]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Mnemonic::Jcc(_))
+    }
+
+    /// Whether this instruction can macro-fuse with a preceding flag-writing
+    /// instruction, i.e. whether it is a `Jcc`. (Which *producers* fuse with
+    /// it is microarchitecture-specific and modeled in `facile-isa`.)
+    #[must_use]
+    pub fn is_fusible_branch(self) -> bool {
+        self.is_cond_branch()
+    }
+
+    /// Whether this mnemonic is VEX-encoded (AVX).
+    #[must_use]
+    pub fn is_vex(self) -> bool {
+        use Mnemonic::*;
+        matches!(
+            self,
+            Vaddps | Vaddpd | Vsubps | Vsubpd | Vmulps | Vmulpd | Vdivps | Vdivpd | Vxorps
+                | Vandps | Vorps | Vminps | Vmaxps | Vsqrtps | Vaddss | Vaddsd | Vmulss
+                | Vmulsd | Vmovaps | Vmovups | Vmovdqa | Vmovdqu | Vpaddd | Vpaddq | Vpsubd
+                | Vpand | Vpor | Vpxor | Vpmulld | Vshufps | Vbroadcastss | Vinsertf128
+                | Vextractf128 | Vfmadd231ps | Vfmadd231pd | Vfmadd231ss | Vfmadd231sd
+        )
+    }
+}
+
+impl fmt::Display for Mnemonic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_roundtrip() {
+        for (i, c) in Cond::ALL.iter().enumerate() {
+            assert_eq!(c.code() as usize, i);
+            assert_eq!(Cond::from_code(c.code()), *c);
+        }
+    }
+
+    #[test]
+    fn cond_flag_reads() {
+        use crate::flags;
+        assert_eq!(Cond::E.flags_read(), flags::SPAZ);
+        assert_eq!(Cond::B.flags_read(), flags::C);
+        assert_eq!(Cond::A.flags_read(), flags::C | flags::SPAZ);
+        assert_eq!(Cond::L.flags_read(), flags::O | flags::SPAZ);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Mnemonic::Add.name(), "add");
+        assert_eq!(Mnemonic::Jcc(Cond::Ne).name(), "jne");
+        assert_eq!(Mnemonic::Cmovcc(Cond::Le).name(), "cmovle");
+        assert_eq!(Mnemonic::Vfmadd231ps.name(), "vfmadd231ps");
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Mnemonic::Jmp.is_branch());
+        assert!(Mnemonic::Jcc(Cond::E).is_branch());
+        assert!(Mnemonic::Jcc(Cond::E).is_cond_branch());
+        assert!(!Mnemonic::Jmp.is_cond_branch());
+        assert!(!Mnemonic::Add.is_branch());
+    }
+
+    #[test]
+    fn vex_classification() {
+        assert!(Mnemonic::Vaddps.is_vex());
+        assert!(!Mnemonic::Addps.is_vex());
+    }
+}

@@ -1,0 +1,225 @@
+//! Instruction operands: registers, memory references, immediates, and
+//! branch displacements.
+
+use crate::reg::{Reg, Width};
+use std::fmt;
+
+/// A memory operand of the form `[base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    /// Base register ([`Reg::Rip`] for RIP-relative addressing), if any.
+    pub base: Option<Reg>,
+    /// Index register (never `rsp`), if any.
+    pub index: Option<Reg>,
+    /// Scale factor applied to the index: 1, 2, 4, or 8.
+    pub scale: u8,
+    /// Signed displacement.
+    pub disp: i32,
+    /// Access width of the memory reference.
+    pub width: Width,
+}
+
+impl Mem {
+    /// `[base]` with the given access width.
+    #[must_use]
+    pub fn base(base: Reg, width: Width) -> Mem {
+        Mem { base: Some(base), index: None, scale: 1, disp: 0, width }
+    }
+
+    /// `[base + disp]`.
+    #[must_use]
+    pub fn base_disp(base: Reg, disp: i32, width: Width) -> Mem {
+        Mem { base: Some(base), index: None, scale: 1, disp, width }
+    }
+
+    /// `[base + index*scale + disp]`.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not 1, 2, 4, or 8, or if `index` is `rsp`.
+    #[must_use]
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i32, width: Width) -> Mem {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
+        assert!(
+            !(matches!(index, Reg::Gpr { num: 4, .. })),
+            "rsp cannot be an index register"
+        );
+        Mem { base: Some(base), index: Some(index), scale, disp, width }
+    }
+
+    /// RIP-relative `[rip + disp]`.
+    #[must_use]
+    pub fn rip_rel(disp: i32, width: Width) -> Mem {
+        Mem { base: Some(Reg::Rip), index: None, scale: 1, disp, width }
+    }
+
+    /// Whether this operand uses an index register. Indexed addressing is
+    /// what triggers µop unlamination on several microarchitectures.
+    #[must_use]
+    pub fn is_indexed(self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Whether this is a RIP-relative reference.
+    #[must_use]
+    pub fn is_rip_relative(self) -> bool {
+        self.base == Some(Reg::Rip)
+    }
+
+    /// Registers read to compute the effective address.
+    pub fn addr_regs(self) -> impl Iterator<Item = Reg> {
+        self.base
+            .into_iter()
+            .filter(|r| *r != Reg::Rip)
+            .chain(self.index)
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let unit = match self.width {
+            Width::W8 => "byte",
+            Width::W16 => "word",
+            Width::W32 => "dword",
+            Width::W64 => "qword",
+            Width::W128 => "xmmword",
+            Width::W256 => "ymmword",
+        };
+        write!(f, "{unit} ptr [")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                f.write_str("+")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if first {
+                write!(f, "{:#x}", self.disp)?;
+            } else if self.disp < 0 {
+                write!(f, "-{:#x}", -(i64::from(self.disp)))?;
+            } else {
+                write!(f, "+{:#x}", self.disp)?;
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+/// A single instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// A memory operand.
+    Mem(Mem),
+    /// An immediate value (sign-extended to 64 bits).
+    Imm(i64),
+    /// A branch displacement, relative to the end of the instruction.
+    Rel(i32),
+}
+
+impl Operand {
+    /// The register if this is a register operand.
+    #[must_use]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The memory operand if this is one.
+    #[must_use]
+    pub fn mem(self) -> Option<Mem> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The immediate value if this is an immediate operand.
+    #[must_use]
+    pub fn imm(self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this operand references memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Mem> for Operand {
+    fn from(m: Mem) -> Operand {
+        Operand::Mem(m)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Imm(v) => write!(f, "{v:#x}"),
+            Operand::Rel(d) => write!(f, ".{d:+}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::names::*;
+
+    #[test]
+    fn mem_display() {
+        let m = Mem::base_index(RAX, RCX, 4, 16, Width::W32);
+        assert_eq!(m.to_string(), "dword ptr [rax+rcx*4+0x10]");
+        let m = Mem::base_disp(RSP, -8, Width::W64);
+        assert_eq!(m.to_string(), "qword ptr [rsp-0x8]");
+        let m = Mem::rip_rel(0x100, Width::W64);
+        assert_eq!(m.to_string(), "qword ptr [rip+0x100]");
+    }
+
+    #[test]
+    fn indexed_detection() {
+        assert!(Mem::base_index(RAX, RCX, 1, 0, Width::W64).is_indexed());
+        assert!(!Mem::base(RAX, Width::W64).is_indexed());
+    }
+
+    #[test]
+    fn addr_regs_excludes_rip() {
+        let m = Mem::rip_rel(4, Width::W32);
+        assert_eq!(m.addr_regs().count(), 0);
+        let m = Mem::base_index(RBX, RDI, 8, 0, Width::W32);
+        let regs: Vec<_> = m.addr_regs().collect();
+        assert_eq!(regs, vec![RBX, RDI]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale")]
+    fn scale_validated() {
+        let _ = Mem::base_index(RAX, RCX, 3, 0, Width::W64);
+    }
+}

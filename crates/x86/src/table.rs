@@ -1,0 +1,584 @@
+//! The instruction encoding table shared by the encoder and the decoder.
+//!
+//! Each [`Entry`] describes one encodable *form* of an instruction:
+//! mnemonic, operand pattern, operand-size class, mandatory prefix, opcode
+//! map and byte, ModRM extension digit, immediate kind, and (for AVX) the
+//! VEX parameters. The assembler scans entries by mnemonic; the disassembler
+//! indexes them by `(map, opcode)`.
+
+use crate::mnemonic::{Cond, Mnemonic};
+use crate::reg::Width;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Mandatory (SSE) prefix of an entry, or `N` for none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pfx {
+    N,
+    P66,
+    PF2,
+    PF3,
+}
+
+/// Opcode map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Map {
+    /// Single-byte opcodes.
+    M1,
+    /// `0F`-escaped opcodes.
+    M0F,
+    /// `0F 38`-escaped opcodes.
+    M38,
+    /// `0F 3A`-escaped opcodes.
+    M3A,
+}
+
+/// Operand-size class of an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Osz {
+    /// Fixed 8-bit.
+    B,
+    /// Variable: 32-bit default, 16 with `66`, 64 with `REX.W`.
+    V,
+    /// Fixed 64-bit, requires `REX.W`.
+    Q,
+    /// Default 64-bit in long mode (no `REX.W` needed): push/pop/branches.
+    D64,
+    /// Vector instruction: GPR operand size not applicable.
+    X,
+}
+
+/// Immediate kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ImmK {
+    NoImm,
+    /// 8-bit immediate.
+    Ib,
+    /// 8-bit sign-extended immediate.
+    IbS,
+    /// 16- or 32-bit immediate depending on operand size (the LCP case).
+    Iz,
+    /// Full operand-size immediate: 16, 32, or 64 bits.
+    Iv,
+}
+
+/// Operand pattern: where each operand lives in the encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pat {
+    /// No operands.
+    NoOps,
+    /// `r/m, r` (MR direction).
+    RmR,
+    /// `r, r/m` (RM direction).
+    RRm,
+    /// `r/m, r, imm8` (shld/shrd).
+    RmRI,
+    /// `r/m, imm`.
+    RmI,
+    /// Single `r/m` operand.
+    Rm,
+    /// `r/m, cl` (shifts by CL).
+    RmCl,
+    /// Register encoded in the low 3 opcode bits.
+    OpReg,
+    /// Register in opcode plus immediate (`mov r, imm`).
+    OpRegI,
+    /// Accumulator short form: `al/ax/eax/rax, imm` (decode-only).
+    AccI,
+    /// `r, r/m, imm` (imul).
+    RRmI,
+    /// `r, m` with memory required (lea).
+    RM,
+    /// Branch with relative displacement (`ImmK::Ib` = rel8, `Iz` = rel32).
+    Rel,
+    /// `xmm, xmm/m`.
+    XXm,
+    /// `xmm/m, xmm` (MR direction).
+    XmX,
+    /// `xmm, xmm/m, imm8`.
+    XXmI,
+    /// `xmm, r/m` (movd/movq/cvtsi2*).
+    XRm,
+    /// `r/m, xmm` (movd MR direction).
+    RmX,
+    /// `r, xmm/m` (cvttss2si, movmskps, pmovmskb).
+    RXm,
+    /// `xmm, imm8` with ModRM extension digit (vector shifts).
+    XI,
+    /// VEX three-operand: `dest, vvvv, r/m`.
+    VXXm,
+    /// VEX three-operand plus imm8.
+    VXXmI,
+    /// VEX two-operand `dest(reg), r/m` (vvvv unused).
+    VXm,
+    /// VEX two-operand MR `r/m, reg` (vvvv unused).
+    VXmX,
+    /// `vinsertf128 ymm, ymm(vvvv), xmm/m128, imm8`.
+    VYXmI,
+    /// `vextractf128 xmm/m128, ymm, imm8`.
+    VXmYI,
+}
+
+/// VEX parameters of an AVX entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Vex {
+    /// Implied prefix: 0 = none, 1 = 66, 2 = F3, 3 = F2.
+    pub pp: u8,
+    /// Vector length: 0 = 128-bit, 1 = 256-bit.
+    pub l: u8,
+    /// VEX.W: 0, 1, or 2 for "ignored".
+    pub w: u8,
+}
+
+/// One encodable instruction form.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Entry {
+    pub mnem: Mnemonic,
+    pub pat: Pat,
+    pub osz: Osz,
+    pub pfx: Pfx,
+    pub map: Map,
+    pub op: u8,
+    /// ModRM `reg` extension digit for `/digit` forms, or `NO_EXT`.
+    pub ext: u8,
+    pub imm: ImmK,
+    pub vex: Option<Vex>,
+    /// Fixed width of the memory / r-m operand when it differs from the
+    /// operand size (e.g. `movss` accesses 32 bits, `movzx r32, r/m8`).
+    pub rmw: Option<Width>,
+    /// The disassembler accepts this form but the assembler never emits it
+    /// (redundant encodings such as the accumulator short forms).
+    pub decode_only: bool,
+}
+
+/// Marker for "no ModRM extension digit".
+pub(crate) const NO_EXT: u8 = 0xFF;
+
+impl Entry {
+    const fn new(mnem: Mnemonic, pat: Pat, osz: Osz, pfx: Pfx, map: Map, op: u8) -> Entry {
+        Entry {
+            mnem,
+            pat,
+            osz,
+            pfx,
+            map,
+            op,
+            ext: NO_EXT,
+            imm: ImmK::NoImm,
+            vex: None,
+            rmw: None,
+            decode_only: false,
+        }
+    }
+
+    const fn ext(mut self, d: u8) -> Entry {
+        self.ext = d;
+        self
+    }
+
+    const fn imm(mut self, k: ImmK) -> Entry {
+        self.imm = k;
+        self
+    }
+
+    const fn vex(mut self, pp: u8, l: u8, w: u8) -> Entry {
+        self.vex = Some(Vex { pp, l, w });
+        self
+    }
+
+    const fn rmw(mut self, w: Width) -> Entry {
+        self.rmw = Some(w);
+        self
+    }
+
+    const fn decode_only(mut self) -> Entry {
+        self.decode_only = true;
+        self
+    }
+
+    /// Whether this entry uses the register-in-opcode encoding.
+    pub(crate) fn is_opreg(&self) -> bool {
+        matches!(self.pat, Pat::OpReg | Pat::OpRegI)
+    }
+
+    /// Whether this entry has a ModRM byte.
+    pub(crate) fn has_modrm(&self) -> bool {
+        !matches!(
+            self.pat,
+            Pat::NoOps | Pat::OpReg | Pat::OpRegI | Pat::AccI | Pat::Rel
+        )
+    }
+}
+
+/// The full set of encoding/decoding tables, built once.
+pub(crate) struct Tables {
+    pub entries: Vec<Entry>,
+    /// Encoder index: entries per mnemonic, in table order.
+    pub by_mnem: HashMap<Mnemonic, Vec<usize>>,
+    /// Decoder index: entries per (map, opcode byte). Register-in-opcode
+    /// entries are registered under all eight opcode bytes they cover.
+    pub by_opcode: HashMap<(Map, u8), Vec<usize>>,
+}
+
+static TABLES: OnceLock<Tables> = OnceLock::new();
+
+/// Access the shared tables.
+pub(crate) fn tables() -> &'static Tables {
+    TABLES.get_or_init(build)
+}
+
+#[allow(clippy::too_many_lines)]
+fn build() -> Tables {
+    use ImmK::*;
+    use Map::*;
+    use Mnemonic::*;
+    use Osz::*;
+    use Pat::*;
+    use Pfx::*;
+
+    let mut v: Vec<Entry> = Vec::with_capacity(320);
+    let e = Entry::new;
+
+    // ---- scalar integer ALU: standard /r and /digit families ----
+    // (mnemonic, base opcode, /digit for the 81/83 immediate group)
+    let alu: &[(Mnemonic, u8, u8)] = &[
+        (Add, 0x00, 0),
+        (Or, 0x08, 1),
+        (Adc, 0x10, 2),
+        (Sbb, 0x18, 3),
+        (And, 0x20, 4),
+        (Sub, 0x28, 5),
+        (Xor, 0x30, 6),
+        (Cmp, 0x38, 7),
+    ];
+    for &(m, base, digit) in alu {
+        v.push(e(m, RmR, B, N, M1, base));
+        v.push(e(m, RmR, V, N, M1, base + 1));
+        v.push(e(m, RRm, B, N, M1, base + 2));
+        v.push(e(m, RRm, V, N, M1, base + 3));
+        v.push(e(m, RmI, V, N, M1, 0x83).ext(digit).imm(IbS)); // short form first
+        v.push(e(m, RmI, B, N, M1, 0x80).ext(digit).imm(Ib));
+        v.push(e(m, RmI, V, N, M1, 0x81).ext(digit).imm(Iz)); // the LCP form
+        // accumulator short forms, accepted on decode for real-world code
+        v.push(e(m, AccI, B, N, M1, base + 4).imm(Ib).decode_only());
+        v.push(e(m, AccI, V, N, M1, base + 5).imm(Iz).decode_only());
+    }
+
+    v.push(e(Test, RmR, B, N, M1, 0x84));
+    v.push(e(Test, RmR, V, N, M1, 0x85));
+    v.push(e(Test, RmI, B, N, M1, 0xF6).ext(0).imm(Ib));
+    v.push(e(Test, RmI, V, N, M1, 0xF7).ext(0).imm(Iz));
+    v.push(e(Test, AccI, B, N, M1, 0xA8).imm(Ib).decode_only());
+    v.push(e(Test, AccI, V, N, M1, 0xA9).imm(Iz).decode_only());
+
+    // mov
+    v.push(e(Mov, RmR, B, N, M1, 0x88));
+    v.push(e(Mov, RmR, V, N, M1, 0x89));
+    v.push(e(Mov, RRm, B, N, M1, 0x8A));
+    v.push(e(Mov, RRm, V, N, M1, 0x8B));
+    v.push(e(Mov, OpRegI, V, N, M1, 0xB8).imm(Iv));
+    v.push(e(Mov, RmI, B, N, M1, 0xC6).ext(0).imm(Ib));
+    v.push(e(Mov, RmI, V, N, M1, 0xC7).ext(0).imm(Iz));
+
+    // movzx/movsx/movsxd
+    v.push(e(Movzx, RRm, V, N, M0F, 0xB6).rmw(Width::W8));
+    v.push(e(Movzx, RRm, V, N, M0F, 0xB7).rmw(Width::W16));
+    v.push(e(Movsx, RRm, V, N, M0F, 0xBE).rmw(Width::W8));
+    v.push(e(Movsx, RRm, V, N, M0F, 0xBF).rmw(Width::W16));
+    v.push(e(Movsxd, RRm, Q, N, M1, 0x63).rmw(Width::W32));
+
+    v.push(e(Lea, RM, V, N, M1, 0x8D));
+
+    // unary group F6/F7 and FE/FF
+    v.push(e(Not, Rm, B, N, M1, 0xF6).ext(2));
+    v.push(e(Not, Rm, V, N, M1, 0xF7).ext(2));
+    v.push(e(Neg, Rm, B, N, M1, 0xF6).ext(3));
+    v.push(e(Neg, Rm, V, N, M1, 0xF7).ext(3));
+    v.push(e(Mul, Rm, B, N, M1, 0xF6).ext(4));
+    v.push(e(Mul, Rm, V, N, M1, 0xF7).ext(4));
+    v.push(e(Imul, Rm, V, N, M1, 0xF7).ext(5));
+    v.push(e(Div, Rm, B, N, M1, 0xF6).ext(6));
+    v.push(e(Div, Rm, V, N, M1, 0xF7).ext(6));
+    v.push(e(Idiv, Rm, V, N, M1, 0xF7).ext(7));
+    v.push(e(Inc, Rm, B, N, M1, 0xFE).ext(0));
+    v.push(e(Inc, Rm, V, N, M1, 0xFF).ext(0));
+    v.push(e(Dec, Rm, B, N, M1, 0xFE).ext(1));
+    v.push(e(Dec, Rm, V, N, M1, 0xFF).ext(1));
+
+    // imul r, r/m [, imm]
+    v.push(e(Imul, RRm, V, N, M0F, 0xAF));
+    v.push(e(Imul, RRmI, V, N, M1, 0x6B).imm(IbS));
+    v.push(e(Imul, RRmI, V, N, M1, 0x69).imm(Iz));
+
+    // shifts: C0/C1 /digit ib, D2/D3 /digit (by cl)
+    let shifts: &[(Mnemonic, u8)] = &[(Rol, 0), (Ror, 1), (Shl, 4), (Shr, 5), (Sar, 7)];
+    for &(m, digit) in shifts {
+        v.push(e(m, RmI, B, N, M1, 0xC0).ext(digit).imm(Ib));
+        v.push(e(m, RmI, V, N, M1, 0xC1).ext(digit).imm(Ib));
+        v.push(e(m, RmCl, B, N, M1, 0xD2).ext(digit));
+        v.push(e(m, RmCl, V, N, M1, 0xD3).ext(digit));
+    }
+    v.push(e(Shld, RmRI, V, N, M0F, 0xA4).imm(Ib));
+    v.push(e(Shrd, RmRI, V, N, M0F, 0xAC).imm(Ib));
+
+    // bit scans & counts
+    v.push(e(Bsf, RRm, V, N, M0F, 0xBC));
+    v.push(e(Bsr, RRm, V, N, M0F, 0xBD));
+    v.push(e(Bt, RmR, V, N, M0F, 0xA3));
+    v.push(e(Popcnt, RRm, V, PF3, M0F, 0xB8));
+    v.push(e(Lzcnt, RRm, V, PF3, M0F, 0xBD));
+    v.push(e(Tzcnt, RRm, V, PF3, M0F, 0xBC));
+    v.push(e(Bswap, OpReg, V, N, M0F, 0xC8));
+
+    v.push(e(Xchg, RmR, B, N, M1, 0x86));
+    v.push(e(Xchg, RmR, V, N, M1, 0x87));
+
+    v.push(e(Cdq, NoOps, V, N, M1, 0x99));
+    v.push(e(Cqo, NoOps, Q, N, M1, 0x99));
+    v.push(e(Nop, NoOps, V, N, M1, 0x90));
+    v.push(e(Nop, Rm, V, N, M0F, 0x1F).ext(0)); // multi-byte NOP
+
+    v.push(e(Push, OpReg, D64, N, M1, 0x50));
+    v.push(e(Pop, OpReg, D64, N, M1, 0x58));
+
+    // branches
+    v.push(e(Jmp, Rel, D64, N, M1, 0xEB).imm(Ib));
+    v.push(e(Jmp, Rel, D64, N, M1, 0xE9).imm(Iz));
+    for c in Cond::ALL {
+        v.push(e(Jcc(c), Rel, D64, N, M1, 0x70 + c.code()).imm(Ib));
+        v.push(e(Jcc(c), Rel, D64, N, M0F, 0x80 + c.code()).imm(Iz));
+        v.push(e(Setcc(c), Rm, B, N, M0F, 0x90 + c.code()).ext(0));
+        v.push(e(Cmovcc(c), RRm, V, N, M0F, 0x40 + c.code()));
+    }
+
+    // ---- SSE / SSE2 floating point ----
+    v.push(e(Movaps, XXm, X, N, M0F, 0x28));
+    v.push(e(Movaps, XmX, X, N, M0F, 0x29));
+    v.push(e(Movups, XXm, X, N, M0F, 0x10));
+    v.push(e(Movups, XmX, X, N, M0F, 0x11));
+    v.push(e(Movdqa, XXm, X, P66, M0F, 0x6F));
+    v.push(e(Movdqa, XmX, X, P66, M0F, 0x7F));
+    v.push(e(Movdqu, XXm, X, PF3, M0F, 0x6F));
+    v.push(e(Movdqu, XmX, X, PF3, M0F, 0x7F));
+    v.push(e(Movss, XXm, X, PF3, M0F, 0x10).rmw(Width::W32));
+    v.push(e(Movss, XmX, X, PF3, M0F, 0x11).rmw(Width::W32));
+    v.push(e(Movsd, XXm, X, PF2, M0F, 0x10).rmw(Width::W64));
+    v.push(e(Movsd, XmX, X, PF2, M0F, 0x11).rmw(Width::W64));
+    v.push(e(Movd, XRm, V, P66, M0F, 0x6E).rmw(Width::W32));
+    v.push(e(Movd, RmX, V, P66, M0F, 0x7E).rmw(Width::W32));
+    v.push(e(Movq, XRm, Q, P66, M0F, 0x6E).rmw(Width::W64));
+    v.push(e(Movq, RmX, Q, P66, M0F, 0x7E).rmw(Width::W64));
+
+    // packed/scalar arithmetic: (op byte, ps/pd/ss/sd mnemonics)
+    let fp4: &[(u8, Mnemonic, Mnemonic, Mnemonic, Mnemonic)] = &[
+        (0x58, Addps, Addpd, Addss, Addsd),
+        (0x5C, Subps, Subpd, Subss, Subsd),
+        (0x59, Mulps, Mulpd, Mulss, Mulsd),
+        (0x5E, Divps, Divpd, Divss, Divsd),
+        (0x51, Sqrtps, Sqrtpd, Sqrtss, Sqrtsd),
+    ];
+    for &(op, ps, pd, ss, sd) in fp4 {
+        v.push(e(ps, XXm, X, N, M0F, op));
+        v.push(e(pd, XXm, X, P66, M0F, op));
+        v.push(e(ss, XXm, X, PF3, M0F, op).rmw(Width::W32));
+        v.push(e(sd, XXm, X, PF2, M0F, op).rmw(Width::W64));
+    }
+    v.push(e(Minps, XXm, X, N, M0F, 0x5D));
+    v.push(e(Maxps, XXm, X, N, M0F, 0x5F));
+    v.push(e(Minss, XXm, X, PF3, M0F, 0x5D).rmw(Width::W32));
+    v.push(e(Maxss, XXm, X, PF3, M0F, 0x5F).rmw(Width::W32));
+    v.push(e(Minsd, XXm, X, PF2, M0F, 0x5D).rmw(Width::W64));
+    v.push(e(Maxsd, XXm, X, PF2, M0F, 0x5F).rmw(Width::W64));
+    v.push(e(Andps, XXm, X, N, M0F, 0x54));
+    v.push(e(Andpd, XXm, X, P66, M0F, 0x54));
+    v.push(e(Orps, XXm, X, N, M0F, 0x56));
+    v.push(e(Orpd, XXm, X, P66, M0F, 0x56));
+    v.push(e(Xorps, XXm, X, N, M0F, 0x57));
+    v.push(e(Xorpd, XXm, X, P66, M0F, 0x57));
+    v.push(e(Ucomiss, XXm, X, N, M0F, 0x2E).rmw(Width::W32));
+    v.push(e(Ucomisd, XXm, X, P66, M0F, 0x2E).rmw(Width::W64));
+    v.push(e(Cvtsi2ss, XRm, V, PF3, M0F, 0x2A));
+    v.push(e(Cvtsi2sd, XRm, V, PF2, M0F, 0x2A));
+    v.push(e(Cvttss2si, RXm, V, PF3, M0F, 0x2C).rmw(Width::W32));
+    v.push(e(Cvttsd2si, RXm, V, PF2, M0F, 0x2C).rmw(Width::W64));
+    v.push(e(Cvtps2pd, XXm, X, N, M0F, 0x5A).rmw(Width::W64));
+    v.push(e(Cvtpd2ps, XXm, X, P66, M0F, 0x5A));
+    v.push(e(Shufps, XXmI, X, N, M0F, 0xC6).imm(Ib));
+    v.push(e(Unpcklps, XXm, X, N, M0F, 0x14));
+    v.push(e(Unpckhps, XXm, X, N, M0F, 0x15));
+    v.push(e(Movmskps, RXm, V, N, M0F, 0x50));
+    v.push(e(Pmovmskb, RXm, V, P66, M0F, 0xD7));
+
+    // ---- SSE integer ----
+    let pint: &[(Mnemonic, Map, u8)] = &[
+        (Paddb, M0F, 0xFC),
+        (Paddw, M0F, 0xFD),
+        (Paddd, M0F, 0xFE),
+        (Paddq, M0F, 0xD4),
+        (Psubb, M0F, 0xF8),
+        (Psubw, M0F, 0xF9),
+        (Psubd, M0F, 0xFA),
+        (Psubq, M0F, 0xFB),
+        (Pmullw, M0F, 0xD5),
+        (Pmulld, M38, 0x40),
+        (Pmuludq, M0F, 0xF4),
+        (Pand, M0F, 0xDB),
+        (Pandn, M0F, 0xDF),
+        (Por, M0F, 0xEB),
+        (Pxor, M0F, 0xEF),
+        (Pcmpeqb, M0F, 0x74),
+        (Pcmpeqw, M0F, 0x75),
+        (Pcmpeqd, M0F, 0x76),
+        (Pcmpgtb, M0F, 0x64),
+        (Pcmpgtw, M0F, 0x65),
+        (Pcmpgtd, M0F, 0x66),
+        (Pshufb, M38, 0x00),
+        (Punpcklbw, M0F, 0x60),
+        (Punpckldq, M0F, 0x62),
+        (Psllw, M0F, 0xF1),
+        (Pslld, M0F, 0xF2),
+        (Psllq, M0F, 0xF3),
+        (Psrlw, M0F, 0xD1),
+        (Psrld, M0F, 0xD2),
+        (Psrlq, M0F, 0xD3),
+        (Psraw, M0F, 0xE1),
+        (Psrad, M0F, 0xE2),
+    ];
+    for &(m, map, op) in pint {
+        v.push(e(m, XXm, X, P66, map, op));
+    }
+    v.push(e(Pshufd, XXmI, X, P66, M0F, 0x70).imm(Ib));
+    // immediate shift forms
+    v.push(e(Psllw, XI, X, P66, M0F, 0x71).ext(6).imm(Ib));
+    v.push(e(Pslld, XI, X, P66, M0F, 0x72).ext(6).imm(Ib));
+    v.push(e(Psllq, XI, X, P66, M0F, 0x73).ext(6).imm(Ib));
+    v.push(e(Psrlw, XI, X, P66, M0F, 0x71).ext(2).imm(Ib));
+    v.push(e(Psrld, XI, X, P66, M0F, 0x72).ext(2).imm(Ib));
+    v.push(e(Psrlq, XI, X, P66, M0F, 0x73).ext(2).imm(Ib));
+    v.push(e(Psraw, XI, X, P66, M0F, 0x71).ext(4).imm(Ib));
+    v.push(e(Psrad, XI, X, P66, M0F, 0x72).ext(4).imm(Ib));
+
+    // ---- AVX ----
+    // Three-operand packed arithmetic, xmm (L0) and ymm (L1) variants.
+    let vfp: &[(Mnemonic, u8, u8)] = &[
+        // (mnemonic, pp, opcode)
+        (Vaddps, 0, 0x58),
+        (Vaddpd, 1, 0x58),
+        (Vsubps, 0, 0x5C),
+        (Vsubpd, 1, 0x5C),
+        (Vmulps, 0, 0x59),
+        (Vmulpd, 1, 0x59),
+        (Vdivps, 0, 0x5E),
+        (Vdivpd, 1, 0x5E),
+        (Vxorps, 0, 0x57),
+        (Vandps, 0, 0x54),
+        (Vorps, 0, 0x56),
+        (Vminps, 0, 0x5D),
+        (Vmaxps, 0, 0x5F),
+        (Vpaddd, 1, 0xFE),
+        (Vpaddq, 1, 0xD4),
+        (Vpsubd, 1, 0xFA),
+        (Vpand, 1, 0xDB),
+        (Vpor, 1, 0xEB),
+        (Vpxor, 1, 0xEF),
+    ];
+    for &(m, pp, op) in vfp {
+        v.push(e(m, VXXm, X, N, M0F, op).vex(pp, 0, 2));
+        v.push(e(m, VXXm, X, N, M0F, op).vex(pp, 1, 2));
+    }
+    v.push(e(Vpmulld, VXXm, X, N, M38, 0x40).vex(1, 0, 0));
+    v.push(e(Vpmulld, VXXm, X, N, M38, 0x40).vex(1, 1, 0));
+    v.push(e(Vaddss, VXXm, X, N, M0F, 0x58).vex(2, 2, 2).rmw(Width::W32));
+    v.push(e(Vaddsd, VXXm, X, N, M0F, 0x58).vex(3, 2, 2).rmw(Width::W64));
+    v.push(e(Vmulss, VXXm, X, N, M0F, 0x59).vex(2, 2, 2).rmw(Width::W32));
+    v.push(e(Vmulsd, VXXm, X, N, M0F, 0x59).vex(3, 2, 2).rmw(Width::W64));
+    v.push(e(Vshufps, VXXmI, X, N, M0F, 0xC6).vex(0, 0, 2).imm(Ib));
+    v.push(e(Vshufps, VXXmI, X, N, M0F, 0xC6).vex(0, 1, 2).imm(Ib));
+    // moves (two-operand, vvvv unused)
+    let vmov: &[(Mnemonic, u8, u8, u8)] = &[
+        // (mnemonic, pp, load op, store op)
+        (Vmovaps, 0, 0x28, 0x29),
+        (Vmovups, 0, 0x10, 0x11),
+        (Vmovdqa, 1, 0x6F, 0x7F),
+        (Vmovdqu, 2, 0x6F, 0x7F),
+    ];
+    for &(m, pp, lop, sop) in vmov {
+        for l in [0u8, 1] {
+            v.push(e(m, VXm, X, N, M0F, lop).vex(pp, l, 2));
+            v.push(e(m, VXmX, X, N, M0F, sop).vex(pp, l, 2));
+        }
+    }
+    v.push(e(Vsqrtps, VXm, X, N, M0F, 0x51).vex(0, 0, 2));
+    v.push(e(Vsqrtps, VXm, X, N, M0F, 0x51).vex(0, 1, 2));
+    v.push(e(Vbroadcastss, VXm, X, N, M38, 0x18).vex(1, 0, 0).rmw(Width::W32));
+    v.push(e(Vbroadcastss, VXm, X, N, M38, 0x18).vex(1, 1, 0).rmw(Width::W32));
+    v.push(e(Vinsertf128, VYXmI, X, N, M3A, 0x18).vex(1, 1, 0).imm(Ib).rmw(Width::W128));
+    v.push(e(Vextractf128, VXmYI, X, N, M3A, 0x19).vex(1, 1, 0).imm(Ib).rmw(Width::W128));
+    // FMA
+    v.push(e(Vfmadd231ps, VXXm, X, N, M38, 0xB8).vex(1, 0, 0));
+    v.push(e(Vfmadd231ps, VXXm, X, N, M38, 0xB8).vex(1, 1, 0));
+    v.push(e(Vfmadd231pd, VXXm, X, N, M38, 0xB8).vex(1, 0, 1));
+    v.push(e(Vfmadd231pd, VXXm, X, N, M38, 0xB8).vex(1, 1, 1));
+    v.push(e(Vfmadd231ss, VXXm, X, N, M38, 0xB9).vex(1, 2, 0).rmw(Width::W32));
+    v.push(e(Vfmadd231sd, VXXm, X, N, M38, 0xB9).vex(1, 2, 1).rmw(Width::W64));
+
+    // Build indexes.
+    let mut by_mnem: HashMap<Mnemonic, Vec<usize>> = HashMap::new();
+    let mut by_opcode: HashMap<(Map, u8), Vec<usize>> = HashMap::new();
+    for (i, ent) in v.iter().enumerate() {
+        by_mnem.entry(ent.mnem).or_default().push(i);
+        if ent.is_opreg() {
+            for r in 0..8u8 {
+                by_opcode.entry((ent.map, ent.op + r)).or_default().push(i);
+            }
+        } else {
+            by_opcode.entry((ent.map, ent.op)).or_default().push(i);
+        }
+    }
+    Tables { entries: v, by_mnem, by_opcode }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_build() {
+        let t = tables();
+        assert!(t.entries.len() > 250, "expected a rich table, got {}", t.entries.len());
+        assert!(t.by_mnem.contains_key(&Mnemonic::Add));
+        assert!(t.by_mnem.contains_key(&Mnemonic::Vfmadd231ps));
+    }
+
+    #[test]
+    fn opreg_entries_cover_eight_opcodes() {
+        let t = tables();
+        // push r64 occupies 0x50..=0x57
+        for op in 0x50..=0x57u8 {
+            let hits = &t.by_opcode[&(Map::M1, op)];
+            assert!(hits
+                .iter()
+                .any(|&i| t.entries[i].mnem == Mnemonic::Push));
+        }
+    }
+
+    #[test]
+    fn every_mnemonic_in_some_entry_has_consistent_index() {
+        let t = tables();
+        for (m, idxs) in &t.by_mnem {
+            for &i in idxs {
+                assert_eq!(t.entries[i].mnem, *m);
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_families_complete() {
+        let t = tables();
+        for c in Cond::ALL {
+            assert!(t.by_mnem.contains_key(&Mnemonic::Jcc(c)));
+            assert!(t.by_mnem.contains_key(&Mnemonic::Setcc(c)));
+            assert!(t.by_mnem.contains_key(&Mnemonic::Cmovcc(c)));
+        }
+    }
+}

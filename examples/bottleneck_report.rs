@@ -1,0 +1,31 @@
+//! Interpretability demo: analyze the built-in stress-kernel corpus and
+//! show that Facile pinpoints each kernel's designed bottleneck, including
+//! the critical dependence chain and the contended ports.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example bottleneck_report
+//! ```
+
+use facile::prelude::*;
+
+fn main() {
+    for kernel in facile::bhive::kernels() {
+        let mode = if kernel.block.ends_in_branch() {
+            Mode::Loop
+        } else {
+            Mode::Unrolled
+        };
+        let ab = AnnotatedBlock::new(kernel.block.clone(), Uarch::Skl);
+        let p = Facile::new().predict(&ab, mode);
+        println!("=== {} (designed to stress: {}) ===", kernel.name, kernel.stresses);
+        println!("{}", Report::new(&ab, mode, &p));
+
+        // Counterfactual: how much faster would the block run if the
+        // bottleneck component were idealized?
+        if let Some(b) = p.primary_bottleneck() {
+            let speedup = Facile::new().speedup_if_idealized(&ab, mode, b);
+            println!("idealizing {b} would speed this block up {speedup:.2}x\n");
+        }
+    }
+}

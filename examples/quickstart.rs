@@ -1,0 +1,41 @@
+//! Quickstart: predict the throughput of a basic block and explain it.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use facile::prelude::*;
+use facile_x86::reg::names::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a block with the assembler API: a small dot-product-style
+    // kernel body.
+    let block = Block::assemble(&[
+        (Mnemonic::Movsd, vec![Reg::Xmm(0).into(), Mem::base(RSI, facile_x86::Width::W64).into()]),
+        (Mnemonic::Mulsd, vec![Reg::Xmm(0).into(), Reg::Xmm(1).into()]),
+        (Mnemonic::Addsd, vec![Reg::Xmm(2).into(), Reg::Xmm(0).into()]),
+        (Mnemonic::Add, vec![RSI.into(), Operand::Imm(8)]),
+    ])?;
+
+    println!("analyzing:\n{block}");
+
+    // One prediction per microarchitecture: Facile is fast enough that
+    // sweeping all nine is instantaneous.
+    for uarch in Uarch::ALL {
+        let ab = AnnotatedBlock::new(block.clone(), uarch);
+        let p = Facile::new().predict(&ab, Mode::Unrolled);
+        println!(
+            "{:>4}: {:>5.2} cycles/iter  (bottleneck: {})",
+            uarch,
+            p.throughput,
+            p.primary_bottleneck().map_or("-".into(), |c| c.to_string()),
+        );
+    }
+
+    // The full interpretable report for one microarchitecture.
+    let ab = AnnotatedBlock::new(block, Uarch::Skl);
+    let p = Facile::new().predict(&ab, Mode::Unrolled);
+    println!("\n{}", Report::new(&ab, Mode::Unrolled, &p));
+    Ok(())
+}

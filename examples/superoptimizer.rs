@@ -1,0 +1,87 @@
+//! A toy superoptimizer (the paper's motivating use case): enumerate
+//! candidate instruction sequences for a small computation and rank them
+//! with Facile. Fast throughput prediction is what makes exploring many
+//! candidates feasible, and interpretability tells the optimizer *what* to
+//! fix.
+//!
+//! The task: compute `rax = 8*rcx + rcx` (i.e. `9 * rcx`). We compare
+//! semantically equivalent candidate sequences.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example superoptimizer
+//! ```
+
+use facile::prelude::*;
+use facile_x86::reg::names::*;
+use facile_x86::Width;
+use std::time::Instant;
+
+fn candidates() -> Vec<(&'static str, Vec<(Mnemonic, Vec<Operand>)>)> {
+    vec![
+        (
+            "imul (one multiply)",
+            vec![(Mnemonic::Imul, vec![RAX.into(), RCX.into(), Operand::Imm(9)])],
+        ),
+        (
+            "lea (shift-add in the AGU)",
+            vec![(
+                Mnemonic::Lea,
+                vec![
+                    RAX.into(),
+                    Mem::base_index(RCX, RCX, 8, 0, Width::W64).into(),
+                ],
+            )],
+        ),
+        (
+            "shl + add (two ALU ops)",
+            vec![
+                (Mnemonic::Mov, vec![RAX.into(), RCX.into()]),
+                (Mnemonic::Shl, vec![RAX.into(), Operand::Imm(3)]),
+                (Mnemonic::Add, vec![RAX.into(), RCX.into()]),
+            ],
+        ),
+        (
+            "add chain (naive)",
+            vec![
+                (Mnemonic::Mov, vec![RAX.into(), RCX.into()]),
+                (Mnemonic::Add, vec![RAX.into(), RAX.into()]),
+                (Mnemonic::Add, vec![RAX.into(), RAX.into()]),
+                (Mnemonic::Add, vec![RAX.into(), RAX.into()]),
+                (Mnemonic::Add, vec![RAX.into(), RCX.into()]),
+            ],
+        ),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let uarch = Uarch::Skl;
+    let f = Facile::new();
+    println!("ranking candidates for rax = 9*rcx on {}:\n", uarch.full_name());
+
+    let t0 = Instant::now();
+    let mut ranked: Vec<(f64, String, String)> = Vec::new();
+    for (name, prog) in candidates() {
+        let block = Block::assemble(&prog)?;
+        let ab = AnnotatedBlock::new(block, uarch);
+        let p = f.predict(&ab, Mode::Unrolled);
+        ranked.push((
+            p.throughput,
+            name.to_string(),
+            p.primary_bottleneck().map_or("-".into(), |c| c.to_string()),
+        ));
+    }
+    let elapsed = t0.elapsed();
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"));
+
+    for (i, (tp, name, bottleneck)) in ranked.iter().enumerate() {
+        println!("{}. {name:<28} {tp:>5.2} cycles/iter (bottleneck: {bottleneck})", i + 1);
+    }
+    println!(
+        "\nranked {} candidates in {:.1} µs — fast enough to explore \
+         thousands of rewrites per second",
+        ranked.len(),
+        elapsed.as_secs_f64() * 1e6
+    );
+    Ok(())
+}

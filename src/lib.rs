@@ -1,0 +1,59 @@
+//! # facile
+//!
+//! A Rust reproduction of **“Facile: Fast, Accurate, and Interpretable
+//! Basic-Block Throughput Prediction”** (Abel, Sharma, Reineke — IISWC
+//! 2023): an analytical model that predicts the steady-state throughput of
+//! x86-64 basic blocks on nine Intel Core microarchitectures by analyzing
+//! a small set of potential pipeline bottlenecks independently.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`x86`] — from-scratch x86-64 decoder/assembler (the XED stand-in);
+//! * [`isa`] — per-µarch instruction performance descriptors (the
+//!   uops.info stand-in);
+//! * [`uarch`] — microarchitecture configurations (Table 1);
+//! * [`model`] — the Facile analytical model itself (the paper's §4);
+//! * [`sim`] — a cycle-accurate pipeline simulator used as measurement
+//!   oracle and as the simulation-based baseline;
+//! * [`baselines`] — the competing predictors of Table 2, in spirit;
+//! * [`bhive`] — the synthetic BHive-like benchmark suite and profiler;
+//! * [`metrics`] — MAPE, Kendall's τ-b, timing and table utilities.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use facile::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // add rax, rcx ; imul rdx, rax — a latency chain through rax/rdx.
+//! let block = Block::from_hex("4801c8480fafd0")?;
+//! let ab = AnnotatedBlock::new(block, Uarch::Skl);
+//! let prediction = Facile::new().predict(&ab, Mode::Unrolled);
+//! assert!(prediction.throughput >= 1.0);
+//! println!(
+//!     "{:.2} cycles/iter, bottleneck: {:?}",
+//!     prediction.throughput,
+//!     prediction.primary_bottleneck()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use facile_baselines as baselines;
+pub use facile_bhive as bhive;
+pub use facile_core as model;
+pub use facile_isa as isa;
+pub use facile_metrics as metrics;
+pub use facile_sim as sim;
+pub use facile_uarch as uarch;
+pub use facile_x86 as x86;
+
+/// The most common imports for working with the model.
+pub mod prelude {
+    pub use facile_core::{Component, Facile, FacileConfig, Mode, Prediction, Report};
+    pub use facile_isa::AnnotatedBlock;
+    pub use facile_uarch::{PortMask, Uarch, UarchConfig};
+    pub use facile_x86::{Block, Cond, Inst, Mem, Mnemonic, Operand, Reg};
+}

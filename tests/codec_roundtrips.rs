@@ -1,0 +1,67 @@
+//! Cross-crate codec checks: every generated benchmark and corpus kernel
+//! survives assemble -> bytes -> decode -> re-assemble, and the BHive hex
+//! format round-trips.
+
+use facile::prelude::*;
+use facile_bhive::{generate_suite, kernels};
+use proptest::prelude::*;
+
+#[test]
+fn generated_suites_roundtrip_through_bytes() {
+    for seed in [1u64, 99, 31337] {
+        for b in generate_suite(40, seed) {
+            for block in [&b.unrolled, &b.looped] {
+                let re = Block::decode(block.bytes()).expect("own encodings decode");
+                assert_eq!(&re, block);
+                let hex = block.to_hex();
+                assert_eq!(&Block::from_hex(&hex).expect("hex decodes"), block);
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_roundtrips() {
+    for k in kernels() {
+        let re = Block::decode(k.block.bytes()).expect("kernel decodes");
+        assert_eq!(re, k.block);
+    }
+}
+
+#[test]
+fn annotation_is_stable_across_identical_blocks() {
+    let suite = generate_suite(10, 5);
+    for b in &suite {
+        let a1 = AnnotatedBlock::new(b.unrolled.clone(), Uarch::Bdw);
+        let a2 = AnnotatedBlock::new(b.unrolled.clone(), Uarch::Bdw);
+        assert_eq!(a1.total_fused_uops(), a2.total_fused_uops());
+        assert_eq!(a1.total_issue_uops(), a2.total_issue_uops());
+        assert_eq!(a1.total_unfused_uops(), a2.total_unfused_uops());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The whole prediction pipeline is total: arbitrary byte blobs either
+    /// fail to decode with an error or produce a finite prediction.
+    #[test]
+    fn pipeline_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..48)) {
+        if let Ok(block) = Block::decode(&bytes) {
+            let ab = AnnotatedBlock::new(block, Uarch::Skl);
+            let p = Facile::new().predict(&ab, Mode::Unrolled);
+            prop_assert!(p.throughput.is_finite());
+            prop_assert!(p.throughput >= 0.0);
+        }
+    }
+
+    /// Suite generation is total and deterministic for arbitrary seeds.
+    #[test]
+    fn generation_deterministic(seed in any::<u64>()) {
+        let a = generate_suite(3, seed);
+        let b = generate_suite(3, seed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.unrolled.bytes(), y.unrolled.bytes());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Structural invariants of the Facile model, checked across a generated
+//! corpus and every microarchitecture.
+
+use facile::prelude::*;
+use facile_bhive::generate_suite;
+use facile_core::ports::{ports, ports_exact};
+
+#[test]
+fn prediction_equals_max_of_component_bounds() {
+    let suite = generate_suite(50, 21);
+    for b in &suite {
+        for uarch in [Uarch::Snb, Uarch::Skl, Uarch::Rkl] {
+            let ab = AnnotatedBlock::new(b.unrolled.clone(), uarch);
+            let p = Facile::new().predict(&ab, Mode::Unrolled);
+            let max = p.bounds.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+            assert!((p.throughput - max).abs() < 1e-12);
+            for c in &p.bottlenecks {
+                let v = p.bound(*c).expect("bottleneck has a bound");
+                assert!((v - p.throughput).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn removing_components_never_raises_the_prediction() {
+    // Exception: the LSD participates in Eq. 3 as a *selection*, not a
+    // max — disabling it makes loops fall back to the slower DSB path, so
+    // "w/o LSD" may legitimately predict higher.
+    let suite = generate_suite(40, 22);
+    for b in &suite {
+        let ab = AnnotatedBlock::new(b.looped.clone(), Uarch::Hsw);
+        let full = Facile::new().predict(&ab, Mode::Loop).throughput;
+        for c in Component::ALL {
+            let without = Facile::with_config(FacileConfig::without(c))
+                .predict(&ab, Mode::Loop)
+                .throughput;
+            if c == Component::Lsd {
+                continue;
+            }
+            assert!(without <= full + 1e-12, "{c}: {without} > {full}");
+        }
+    }
+}
+
+#[test]
+fn counterfactual_speedups_at_least_one() {
+    let suite = generate_suite(30, 23);
+    for b in &suite {
+        let ab = AnnotatedBlock::new(b.unrolled.clone(), Uarch::Tgl);
+        for c in Component::ALL {
+            let s = Facile::new().speedup_if_idealized(&ab, Mode::Unrolled, c);
+            assert!(s >= 1.0 - 1e-12, "{c}: {s}");
+        }
+    }
+}
+
+#[test]
+fn ports_heuristic_matches_exact_enumeration_on_suite() {
+    // The paper's §4.8 claim, as a standing regression test.
+    let suite = generate_suite(60, 24);
+    for b in &suite {
+        for uarch in Uarch::ALL {
+            for block in [&b.unrolled, &b.looped] {
+                let ab = AnnotatedBlock::new(block.clone(), uarch);
+                let h = ports(&ab).bound;
+                let e = ports_exact(&ab).bound;
+                assert!(
+                    (h - e).abs() < 1e-9,
+                    "{uarch}: heuristic {h} != exact {e} for {block}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn loop_front_end_path_follows_eq3() {
+    use facile_core::FrontEndPath;
+    let suite = generate_suite(40, 25);
+    for b in &suite {
+        // Haswell: LSD enabled, no erratum.
+        let ab = AnnotatedBlock::new(b.looped.clone(), Uarch::Hsw);
+        let p = Facile::new().predict(&ab, Mode::Loop);
+        let n = ab.total_fused_uops();
+        let cfg = Uarch::Hsw.config();
+        if n <= u32::from(cfg.idq_size) {
+            assert_eq!(p.front_end, FrontEndPath::Lsd, "{}", b.id);
+        } else {
+            assert_eq!(p.front_end, FrontEndPath::Dsb, "{}", b.id);
+        }
+        // Skylake: LSD disabled -> DSB unless the JCC erratum forces MITE.
+        let ab = AnnotatedBlock::new(b.looped.clone(), Uarch::Skl);
+        let p = Facile::new().predict(&ab, Mode::Loop);
+        if ab.jcc_erratum_applies() {
+            assert_eq!(p.front_end, FrontEndPath::Mite);
+        } else {
+            assert_eq!(p.front_end, FrontEndPath::Dsb);
+        }
+    }
+}
+
+#[test]
+fn tpu_uses_the_legacy_decode_path() {
+    use facile_core::FrontEndPath;
+    let suite = generate_suite(10, 26);
+    for b in &suite {
+        let ab = AnnotatedBlock::new(b.unrolled.clone(), Uarch::Rkl);
+        let p = Facile::new().predict(&ab, Mode::Unrolled);
+        assert_eq!(p.front_end, FrontEndPath::Mite);
+        assert!(p.bound(Component::Predec).is_some());
+        assert!(p.bound(Component::Dsb).is_none());
+        assert!(p.bound(Component::Lsd).is_none());
+    }
+}
+
+#[test]
+fn simulator_never_beats_the_idealized_bounds() {
+    // The component bounds are *lower* bounds under idealized assumptions;
+    // a faithful machine cannot run faster (small tolerance for the
+    // simulator's measurement granularity).
+    let suite = generate_suite(40, 27);
+    for b in &suite {
+        for uarch in [Uarch::Ivb, Uarch::Clx] {
+            let ab = AnnotatedBlock::new(b.unrolled.clone(), uarch);
+            let measured = facile_sim::simulate(&ab, false).cycles_per_iter;
+            let p = Facile::new().predict(&ab, Mode::Unrolled);
+            assert!(
+                measured >= p.throughput - 0.08,
+                "{uarch} block {}: measured {measured} < predicted {}",
+                b.id,
+                p.throughput
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_kernels_hit_their_designed_bottlenecks() {
+    let expect: &[(&str, Component)] = &[
+        ("imul-chain", Component::Precedence),
+        ("pointer-chase", Component::Precedence),
+        ("p1-storm", Component::Ports),
+        ("lcp-heavy", Component::Predec),
+        ("nop-dense", Component::Predec),
+        ("store-forward", Component::Precedence),
+        ("fma-chain", Component::Precedence),
+    ];
+    for (name, comp) in expect {
+        let k = facile_bhive::kernel(name).expect("kernel exists");
+        let mode = if k.block.ends_in_branch() { Mode::Loop } else { Mode::Unrolled };
+        let ab = AnnotatedBlock::new(k.block, Uarch::Skl);
+        let p = Facile::new().predict(&ab, mode);
+        assert!(
+            p.bottlenecks.contains(comp),
+            "{name}: expected {comp}, got {:?}",
+            p.bottlenecks
+        );
+    }
+}

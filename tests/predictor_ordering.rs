@@ -1,0 +1,73 @@
+//! The Table 2 ordering claim at repository scale: Facile must beat every
+//! non-simulation baseline on MAPE, and the simulation-based predictor
+//! must be exact (it is the oracle).
+
+use facile_baselines::{
+    CqaLike, DiffTuneLike, FacilePredictor, IacaLike, IthemalLike, LearningBl, LlvmMcaLike,
+    OsacaLike, Predictor, UicaLike,
+};
+use facile_bhive::{generate_suite, measure_block, round2};
+use facile_core::Mode;
+use facile_metrics::mape;
+use facile_uarch::Uarch;
+
+fn suite_mape(p: &dyn Predictor, uarch: Uarch, mode: Mode, seed: u64) -> f64 {
+    let suite = generate_suite(100, seed);
+    let mut pairs = Vec::new();
+    for b in &suite {
+        let block = match mode {
+            Mode::Unrolled => &b.unrolled,
+            Mode::Loop => &b.looped,
+        };
+        let m = measure_block(block, uarch, mode == Mode::Loop);
+        if m > 0.0 {
+            pairs.push((m, round2(p.predict(block, uarch, mode))));
+        }
+    }
+    mape(&pairs)
+}
+
+#[test]
+fn facile_beats_every_baseline() {
+    let uarch = Uarch::Skl;
+    let seed = 4242;
+    // Train the learned baselines on a *different* seed than the test set.
+    let ithemal = IthemalLike::train(&[uarch], 150, 999);
+    let difftune = DiffTuneLike::train(&[uarch], 150, 999);
+    let learning_bl = LearningBl::train(&[uarch], 150, 999);
+    let baselines: Vec<(&str, &dyn Predictor)> = vec![
+        ("llvm-mca-like", &LlvmMcaLike),
+        ("CQA-like", &CqaLike),
+        ("OSACA-like", &OsacaLike),
+        ("IACA-like", &IacaLike),
+        ("Ithemal-like", &ithemal),
+        ("DiffTune-like", &difftune),
+        ("learning-bl", &learning_bl),
+    ];
+    for mode in [Mode::Unrolled, Mode::Loop] {
+        let facile = suite_mape(&FacilePredictor, uarch, mode, seed);
+        for (name, b) in &baselines {
+            let e = suite_mape(*b, uarch, mode, seed);
+            assert!(
+                facile < e,
+                "{mode}: Facile ({facile:.4}) should beat {name} ({e:.4})"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_predictor_is_exact_by_construction() {
+    let e = suite_mape(&UicaLike, Uarch::Hsw, Mode::Unrolled, 11);
+    assert!(e < 1e-9, "the simulator predicting its own measurements: {e}");
+}
+
+#[test]
+fn difftune_like_degrades_on_loops() {
+    // The paper's DiffTune row: trained on TPU, far worse on TPL.
+    let uarch = Uarch::Skl;
+    let difftune = DiffTuneLike::train(&[uarch], 150, 999);
+    let u = suite_mape(&difftune, uarch, Mode::Unrolled, 4242);
+    let l = suite_mape(&difftune, uarch, Mode::Loop, 4242);
+    assert!(l > 0.5 * u, "TPL should not be dramatically better: {l} vs {u}");
+}
