@@ -6,8 +6,7 @@ use crate::predictor::Predictor;
 use facile_core::mcr::{max_cycle_ratio_howard, RatioGraph};
 use facile_core::{dec, dsb, issue, lsd, ports, predec, Mode};
 use facile_isa::AnnotatedBlock;
-use facile_uarch::Uarch;
-use facile_x86::{flags, Block, Reg};
+use facile_x86::{flags, Reg};
 use std::collections::HashMap;
 
 /// A dependence bound that ignores rename-stage tricks: no move
@@ -44,12 +43,15 @@ pub(crate) fn naive_dependence_bound(ab: &AnnotatedBlock) -> f64 {
         .iter()
         .map(|a| {
             let e = a.inst.effects();
-            let mut consumed: Vec<V> =
-                e.reg_reads.iter().map(|r| V::R(r.full())).collect();
+            let mut consumed: Vec<V> = e.reg_reads.iter().map(|r| V::R(r.full())).collect();
             // No dependency-breaking idioms: `xor r, r` still reads `r`.
             if a.inst.is_zero_idiom() || a.inst.is_ones_idiom() {
                 consumed.extend(
-                    a.inst.operands.iter().filter_map(|o| o.reg()).map(|r| V::R(r.full())),
+                    a.inst
+                        .operands
+                        .iter()
+                        .filter_map(|o| o.reg())
+                        .map(|r| V::R(r.full())),
                 );
             }
             consumed.extend(flags::groups(e.flags_read).map(V::F));
@@ -62,17 +64,25 @@ pub(crate) fn naive_dependence_bound(ab: &AnnotatedBlock) -> f64 {
                     }
                 }
             }
-            let mut produced: Vec<V> =
-                e.reg_writes.iter().map(|r| V::R(r.full())).collect();
+            let mut produced: Vec<V> = e.reg_writes.iter().map(|r| V::R(r.full())).collect();
             produced.extend(flags::groups(e.flags_written).map(V::F));
             let lat = f64::from(a.desc.latency.max(1));
-            Fl { consumed, produced, via_load, lat }
+            Fl {
+                consumed,
+                produced,
+                via_load,
+                lat,
+            }
         })
         .collect();
     for (i, f) in fl.iter().enumerate() {
         for &c in &f.consumed {
             let from = node(&mut ids, (i, c, false));
-            let w = if f.via_load.contains(&c) { f.lat + load_lat } else { f.lat };
+            let w = if f.via_load.contains(&c) {
+                f.lat + load_lat
+            } else {
+                f.lat
+            };
             for &p in &f.produced {
                 let to = node(&mut ids, (i, p, true));
                 edges.push((from, to, w, 0));
@@ -111,22 +121,14 @@ pub(crate) fn naive_dependence_bound(ab: &AnnotatedBlock) -> f64 {
     max_cycle_ratio_howard(&g).value()
 }
 
-/// Annotate without macro fusion (tools that do not model it).
-fn annotate_unfused(block: &Block, uarch: Uarch) -> AnnotatedBlock {
-    // Build the annotated block normally, then treat fused pairs as
-    // separate instructions by re-annotating a block where fusion cannot
-    // trigger. Simplest faithful approach: annotate normally and add the
-    // branch µop back as an extra issue slot — instead we simply annotate
-    // normally; the *absence* of fusion modeling is represented by the µop
-    // count correction below.
-    AnnotatedBlock::new(block.clone(), uarch)
-}
-
 /// llvm-mca-like: models the back end from the scheduling database but
 /// "does not model the front end of a processor pipeline or techniques
 /// like macro or micro fusion" (§2). Port pressure uses naive uniform
 /// distribution, dependencies ignore rename tricks, and every instruction
-/// costs at least one issue slot per µop (no fusion, no elimination).
+/// costs at least one issue slot per µop (no fusion, no elimination). The
+/// *absence* of fusion modeling is represented by the µop count
+/// correction below (fused branches and eliminated moves are charged as
+/// separate µops).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LlvmMcaLike;
 
@@ -135,13 +137,12 @@ impl Predictor for LlvmMcaLike {
         "llvm-mca-like"
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64 {
+    fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> f64 {
         let _ = mode; // one notion: no front end, so TPU == TPL
-        let ab = annotate_unfused(block, uarch);
-        let cfg = uarch.config();
+        let cfg = ab.uarch().config();
         // Uniform fractional port pressure (no optimal balancing, no
         // elimination: every µop executes; eliminated moves get an ALU µop).
-        let mut pressure = vec![0.0f64; 16];
+        let mut pressure = [0.0f64; 16];
         let mut total_uops = 0.0;
         for a in ab.insts() {
             if a.fused_with_prev {
@@ -163,15 +164,14 @@ impl Predictor for LlvmMcaLike {
             }
             for u in &a.desc.uops {
                 for p in u.ports.iter() {
-                    pressure[usize::from(p)] +=
-                        f64::from(u.occupancy) / f64::from(u.ports.count());
+                    pressure[usize::from(p)] += f64::from(u.occupancy) / f64::from(u.ports.count());
                 }
                 total_uops += 1.0;
             }
         }
         let port_bound = pressure.iter().copied().fold(0.0, f64::max);
         let issue_bound = total_uops / f64::from(cfg.issue_width);
-        let dep_bound = naive_dependence_bound(&ab);
+        let dep_bound = naive_dependence_bound(ab);
         port_bound.max(issue_bound).max(dep_bound)
     }
 
@@ -191,19 +191,18 @@ impl Predictor for CqaLike {
         "CQA-like"
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64 {
-        let ab = AnnotatedBlock::new(block.clone(), uarch);
+    fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> f64 {
         let fe = match mode {
-            Mode::Unrolled => predec::predec(&ab, mode).max(dec::dec(&ab)),
+            Mode::Unrolled => predec::predec(ab, mode).max(dec::dec(ab)),
             Mode::Loop => {
-                if lsd::lsd_applicable(&ab) {
-                    lsd::lsd(&ab)
+                if lsd::lsd_applicable(ab) {
+                    lsd::lsd(ab)
                 } else {
-                    dsb::dsb(&ab)
+                    dsb::dsb(ab)
                 }
             }
         };
-        fe.max(issue::issue(&ab))
+        fe.max(issue::issue(ab))
     }
 
     fn native_notion(&self) -> Option<Mode> {
@@ -221,11 +220,10 @@ impl Predictor for OsacaLike {
         "OSACA-like"
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64 {
+    fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> f64 {
         let _ = mode;
-        let ab = AnnotatedBlock::new(block.clone(), uarch);
-        let cfg = uarch.config();
-        let mut pressure = vec![0.0f64; 16];
+        let cfg = ab.uarch().config();
+        let mut pressure = [0.0f64; 16];
         for a in ab.insts() {
             if a.desc.eliminated && !a.fused_with_prev {
                 // OSACA does not model move elimination: charge an ALU µop.
@@ -236,8 +234,7 @@ impl Predictor for OsacaLike {
             }
             for u in &a.desc.uops {
                 for p in u.ports.iter() {
-                    pressure[usize::from(p)] +=
-                        f64::from(u.occupancy) / f64::from(u.ports.count());
+                    pressure[usize::from(p)] += f64::from(u.occupancy) / f64::from(u.ports.count());
                 }
             }
         }
@@ -245,9 +242,8 @@ impl Predictor for OsacaLike {
         // OSACA's "critical path": the sum of latencies of the longest
         // intra-iteration chain, divided by an assumed overlap factor —
         // modeled here as the naive loop-carried bound without memory.
-        let dep = naive_dependence_bound(&ab);
-        let throughput_bound =
-            f64::from(ab.total_unfused_uops()) / f64::from(cfg.issue_width);
+        let dep = naive_dependence_bound(ab);
+        let throughput_bound = f64::from(ab.total_unfused_uops()) / f64::from(cfg.issue_width);
         port_bound.max(dep).max(throughput_bound)
     }
 
@@ -267,13 +263,12 @@ impl Predictor for IacaLike {
         "IACA-like"
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64 {
+    fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> f64 {
         let _ = mode;
-        let ab = AnnotatedBlock::new(block.clone(), uarch);
-        ports::ports(&ab)
+        ports::ports(ab)
             .bound
-            .max(issue::issue(&ab))
-            .max(naive_dependence_bound(&ab))
+            .max(issue::issue(ab))
+            .max(naive_dependence_bound(ab))
     }
 
     fn native_notion(&self) -> Option<Mode> {
@@ -284,25 +279,29 @@ impl Predictor for IacaLike {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use facile_uarch::Uarch;
     use facile_x86::reg::names::*;
-    use facile_x86::{Mnemonic, Operand};
+    use facile_x86::{Block, Mnemonic, Operand};
 
-    fn block(prog: &[(Mnemonic, Vec<Operand>)]) -> Block {
-        Block::assemble(prog).unwrap()
+    fn annotated(prog: &[(Mnemonic, Vec<Operand>)], uarch: Uarch) -> AnnotatedBlock {
+        AnnotatedBlock::new(Block::assemble(prog).unwrap(), uarch)
     }
 
     #[test]
     fn cqa_ignores_dependencies() {
         // A mulsd latency chain: CQA-like misses it entirely.
-        let b = block(&[(
-            Mnemonic::Mulsd,
-            vec![
-                Operand::Reg(facile_x86::Reg::Xmm(0)),
-                Operand::Reg(facile_x86::Reg::Xmm(1)),
-            ],
-        )]);
-        let cqa = CqaLike.predict(&b, Uarch::Skl, Mode::Loop);
-        let fac = crate::predictor::FacilePredictor.predict(&b, Uarch::Skl, Mode::Loop);
+        let ab = annotated(
+            &[(
+                Mnemonic::Mulsd,
+                vec![
+                    Operand::Reg(facile_x86::Reg::Xmm(0)),
+                    Operand::Reg(facile_x86::Reg::Xmm(1)),
+                ],
+            )],
+            Uarch::Skl,
+        );
+        let cqa = CqaLike.predict(&ab, Mode::Loop);
+        let fac = crate::predictor::FacilePredictor.predict(&ab, Mode::Loop);
         assert!(cqa < fac, "CQA-like should underpredict latency chains");
     }
 
@@ -312,31 +311,46 @@ mod tests {
         let prog: Vec<_> = (0..4)
             .map(|_| (Mnemonic::Mov, vec![Operand::Reg(RAX), Operand::Reg(RCX)]))
             .collect();
-        let b = block(&prog);
-        let mca = LlvmMcaLike.predict(&b, Uarch::Skl, Mode::Loop);
+        let ab = annotated(&prog, Uarch::Skl);
+        let mca = LlvmMcaLike.predict(&ab, Mode::Loop);
         assert!(mca >= 1.0, "no move elimination modeled: {mca}");
     }
 
     #[test]
     fn llvm_mca_catches_simple_dependence() {
-        let b = block(&[(Mnemonic::Imul, vec![Operand::Reg(RAX), Operand::Reg(RCX)])]);
-        let mca = LlvmMcaLike.predict(&b, Uarch::Skl, Mode::Loop);
+        let ab = annotated(
+            &[(Mnemonic::Imul, vec![Operand::Reg(RAX), Operand::Reg(RCX)])],
+            Uarch::Skl,
+        );
+        let mca = LlvmMcaLike.predict(&ab, Mode::Loop);
         assert!((mca - 3.0).abs() < 1e-6, "imul chain: {mca}");
     }
 
     #[test]
     fn iaca_models_ports() {
-        let b = block(&[
-            (Mnemonic::Imul, vec![Operand::Reg(RAX), Operand::Reg(RSI), Operand::Imm(3)]),
-            (Mnemonic::Imul, vec![Operand::Reg(RCX), Operand::Reg(RSI), Operand::Imm(5)]),
-        ]);
-        let iaca = IacaLike.predict(&b, Uarch::Skl, Mode::Loop);
+        let ab = annotated(
+            &[
+                (
+                    Mnemonic::Imul,
+                    vec![Operand::Reg(RAX), Operand::Reg(RSI), Operand::Imm(3)],
+                ),
+                (
+                    Mnemonic::Imul,
+                    vec![Operand::Reg(RCX), Operand::Reg(RSI), Operand::Imm(5)],
+                ),
+            ],
+            Uarch::Skl,
+        );
+        let iaca = IacaLike.predict(&ab, Mode::Loop);
         assert!((iaca - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn all_baselines_return_positive_for_nonempty() {
-        let b = block(&[(Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RCX)])]);
+        let ab = annotated(
+            &[(Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RCX)])],
+            Uarch::Hsw,
+        );
         for p in [
             &LlvmMcaLike as &dyn Predictor,
             &CqaLike,
@@ -344,7 +358,7 @@ mod tests {
             &IacaLike,
         ] {
             for mode in [Mode::Unrolled, Mode::Loop] {
-                let v = p.predict(&b, Uarch::Hsw, mode);
+                let v = p.predict(&ab, mode);
                 assert!(v > 0.0, "{} returned {v}", p.name());
             }
         }

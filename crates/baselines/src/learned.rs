@@ -10,7 +10,7 @@ use crate::predictor::Predictor;
 use facile_core::Mode;
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
-use facile_x86::{Block, Mnemonic};
+use facile_x86::Mnemonic;
 use std::collections::HashMap;
 
 /// Solve the ridge-regularized normal equations `(XᵀX + λI) w = Xᵀy`.
@@ -38,7 +38,12 @@ fn ridge_fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Vec<f64> {
     let mut v = b;
     for col in 0..k {
         let pivot = (col..k)
-            .max_by(|&p, &q| m[p][col].abs().partial_cmp(&m[q][col].abs()).expect("no NaN"))
+            .max_by(|&p, &q| {
+                m[p][col]
+                    .abs()
+                    .partial_cmp(&m[q][col].abs())
+                    .expect("no NaN")
+            })
             .expect("non-empty");
         m.swap(col, pivot);
         v.swap(col, pivot);
@@ -46,6 +51,9 @@ fn ridge_fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Vec<f64> {
         assert!(d.abs() > 1e-12, "singular system despite ridge term");
         for r in col + 1..k {
             let f = m[r][col] / d;
+            // Rows r and col of the same matrix: indexing keeps the
+            // elimination readable without split_at_mut gymnastics.
+            #[allow(clippy::needless_range_loop)]
             for c in col..k {
                 m[r][c] -= f * m[col][c];
             }
@@ -68,23 +76,22 @@ fn mnemonic_class(m: Mnemonic) -> usize {
     use Mnemonic::*;
     match m {
         Mov | Movzx | Movsx | Movsxd => 0,
-        Add | Sub | And | Or | Xor | Cmp | Test | Inc | Dec | Neg | Not | Lea | Setcc(_)
-        | Cdq | Cqo | Bt | Bswap => 1,
+        Add | Sub | And | Or | Xor | Cmp | Test | Inc | Dec | Neg | Not | Lea | Setcc(_) | Cdq
+        | Cqo | Bt | Bswap => 1,
         Shl | Shr | Sar | Rol | Ror | Shld | Shrd => 2,
         Imul | Mul => 3,
         Div | Idiv => 4,
         Cmovcc(_) | Popcnt | Lzcnt | Tzcnt | Bsf | Bsr => 5,
         Jmp | Jcc(_) => 6,
         Push | Pop | Xchg | Nop => 7,
-        Addps | Addpd | Addss | Addsd | Subps | Subpd | Subss | Subsd | Minps | Maxps
-        | Minss | Maxss | Minsd | Maxsd | Vaddps | Vaddpd | Vsubps | Vsubpd | Vaddss
-        | Vaddsd | Vminps | Vmaxps => 8,
+        Addps | Addpd | Addss | Addsd | Subps | Subpd | Subss | Subsd | Minps | Maxps | Minss
+        | Maxss | Minsd | Maxsd | Vaddps | Vaddpd | Vsubps | Vsubpd | Vaddss | Vaddsd | Vminps
+        | Vmaxps => 8,
         Mulps | Mulpd | Mulss | Mulsd | Vmulps | Vmulpd | Vmulss | Vmulsd | Vfmadd231ps
         | Vfmadd231pd | Vfmadd231ss | Vfmadd231sd => 9,
-        Divps | Divpd | Divss | Divsd | Sqrtps | Sqrtpd | Sqrtss | Sqrtsd | Vdivps
-        | Vdivpd | Vsqrtps => 10,
-        Ucomiss | Ucomisd | Cvtsi2ss | Cvtsi2sd | Cvttss2si | Cvttsd2si | Cvtps2pd
-        | Cvtpd2ps => 11,
+        Divps | Divpd | Divss | Divsd | Sqrtps | Sqrtpd | Sqrtss | Sqrtsd | Vdivps | Vdivpd
+        | Vsqrtps => 10,
+        Ucomiss | Ucomisd | Cvtsi2ss | Cvtsi2sd | Cvttss2si | Cvttsd2si | Cvtps2pd | Cvtpd2ps => 11,
         _ => 12, // vector integer / logic / shuffle / moves
     }
 }
@@ -103,9 +110,8 @@ enum FeatureSet {
     PoorPlusMca,
 }
 
-fn features(block: &Block, uarch: Uarch, set: FeatureSet) -> Vec<f64> {
+fn features(ab: &AnnotatedBlock, set: FeatureSet) -> Vec<f64> {
     let rich = set == FeatureSet::Rich;
-    let ab = AnnotatedBlock::new(block.clone(), uarch);
     let extra = match set {
         FeatureSet::Poor => 0,
         FeatureSet::Rich => 10,
@@ -117,7 +123,7 @@ fn features(block: &Block, uarch: Uarch, set: FeatureSet) -> Vec<f64> {
         f[1 + mnemonic_class(a.mnemonic)] += 1.0;
     }
     if rich {
-        let cfg = uarch.config();
+        let cfg = ab.uarch().config();
         let base = 1 + N_CLASSES;
         f[base] = f64::from(ab.total_unfused_uops());
         f[base + 1] = f64::from(ab.total_issue_uops()) / f64::from(cfg.issue_width);
@@ -138,8 +144,7 @@ fn features(block: &Block, uarch: Uarch, set: FeatureSet) -> Vec<f64> {
             for u in &a.desc.uops {
                 occ += f64::from(u.occupancy - 1);
                 for p in u.ports.iter() {
-                    pressure[usize::from(p)] +=
-                        f64::from(u.occupancy) / f64::from(u.ports.count());
+                    pressure[usize::from(p)] += f64::from(u.occupancy) / f64::from(u.ports.count());
                 }
             }
         }
@@ -150,15 +155,14 @@ fn features(block: &Block, uarch: Uarch, set: FeatureSet) -> Vec<f64> {
         f[base + 6] = pmax.max(max_lat);
         // Structural summary features a sequence model would learn to
         // approximate: the coarse per-component bounds and their maximum.
-        let chain = crate::analytic::naive_dependence_bound(&ab);
+        let chain = crate::analytic::naive_dependence_bound(ab);
         f[base + 7] = chain;
         f[base + 8] = pmax.max(f[base + 1]).max(f[base + 2]);
         f[base + 9] = f[base + 8].max(chain);
     }
     if set == FeatureSet::PoorPlusMca {
         use crate::predictor::Predictor;
-        f[1 + N_CLASSES] =
-            crate::analytic::LlvmMcaLike.predict(block, uarch, Mode::Loop);
+        f[1 + N_CLASSES] = crate::analytic::LlvmMcaLike.predict(ab, Mode::Loop);
     }
     f
 }
@@ -186,14 +190,22 @@ impl LinearModel {
                 Mode::Unrolled => &b.unrolled,
                 Mode::Loop => &b.looped,
             };
-            xs.push(features(block, uarch, set));
-            ys.push(facile_bhive::measure_block(block, uarch, notion == Mode::Loop));
+            let ab = AnnotatedBlock::new(block.clone(), uarch);
+            xs.push(features(&ab, set));
+            ys.push(facile_bhive::measure_block(
+                block,
+                uarch,
+                notion == Mode::Loop,
+            ));
         }
-        LinearModel { weights: ridge_fit(&xs, &ys, 1e-3), set }
+        LinearModel {
+            weights: ridge_fit(&xs, &ys, 1e-3),
+            set,
+        }
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch) -> f64 {
-        let f = features(block, uarch, self.set);
+    fn predict(&self, ab: &AnnotatedBlock) -> f64 {
+        let f = features(ab, self.set);
         let raw: f64 = f.iter().zip(&self.weights).map(|(a, b)| a * b).sum();
         raw.max(0.05)
     }
@@ -213,7 +225,12 @@ impl IthemalLike {
     pub fn train(uarchs: &[Uarch], n_train: usize, seed: u64) -> IthemalLike {
         let models = uarchs
             .iter()
-            .map(|&u| (u, LinearModel::train(u, FeatureSet::Rich, Mode::Unrolled, n_train, seed)))
+            .map(|&u| {
+                (
+                    u,
+                    LinearModel::train(u, FeatureSet::Rich, Mode::Unrolled, n_train, seed),
+                )
+            })
             .collect();
         IthemalLike { models }
     }
@@ -224,10 +241,10 @@ impl Predictor for IthemalLike {
         "Ithemal-like"
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch, _mode: Mode) -> f64 {
+    fn predict(&self, ab: &AnnotatedBlock, _mode: Mode) -> f64 {
         self.models
-            .get(&uarch)
-            .map_or(f64::NAN, |m| m.predict(block, uarch))
+            .get(&ab.uarch())
+            .map_or(f64::NAN, |m| m.predict(ab))
     }
 
     fn native_notion(&self) -> Option<Mode> {
@@ -251,7 +268,10 @@ impl DiffTuneLike {
         let models = uarchs
             .iter()
             .map(|&u| {
-                (u, LinearModel::train(u, FeatureSet::Poor, Mode::Unrolled, n_train, seed))
+                (
+                    u,
+                    LinearModel::train(u, FeatureSet::Poor, Mode::Unrolled, n_train, seed),
+                )
             })
             .collect();
         DiffTuneLike { models }
@@ -263,10 +283,10 @@ impl Predictor for DiffTuneLike {
         "DiffTune-like"
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch, _mode: Mode) -> f64 {
+    fn predict(&self, ab: &AnnotatedBlock, _mode: Mode) -> f64 {
         self.models
-            .get(&uarch)
-            .map_or(f64::NAN, |m| m.predict(block, uarch))
+            .get(&ab.uarch())
+            .map_or(f64::NAN, |m| m.predict(ab))
     }
 
     fn native_notion(&self) -> Option<Mode> {
@@ -310,10 +330,10 @@ impl Predictor for LearningBl {
         "learning-bl"
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch, _mode: Mode) -> f64 {
+    fn predict(&self, ab: &AnnotatedBlock, _mode: Mode) -> f64 {
         self.models
-            .get(&uarch)
-            .map_or(f64::NAN, |m| m.predict(block, uarch))
+            .get(&ab.uarch())
+            .map_or(f64::NAN, |m| m.predict(ab))
     }
 
     fn native_notion(&self) -> Option<Mode> {
@@ -343,7 +363,8 @@ mod tests {
         let mut pairs = Vec::new();
         for b in &test {
             let m = facile_bhive::measure_block(&b.unrolled, Uarch::Skl, false);
-            let p = model.predict(&b.unrolled, Uarch::Skl, Mode::Unrolled);
+            let ab = AnnotatedBlock::new(b.unrolled.clone(), Uarch::Skl);
+            let p = model.predict(&ab, Mode::Unrolled);
             if m > 0.0 {
                 pairs.push((m, p));
             }
@@ -363,10 +384,12 @@ mod tests {
             let mu = facile_bhive::measure_block(&b.unrolled, Uarch::Skl, false);
             let ml = facile_bhive::measure_block(&b.looped, Uarch::Skl, true);
             if mu > 0.0 {
-                up.push((mu, model.predict(&b.unrolled, Uarch::Skl, Mode::Unrolled)));
+                let ab = AnnotatedBlock::new(b.unrolled.clone(), Uarch::Skl);
+                up.push((mu, model.predict(&ab, Mode::Unrolled)));
             }
             if ml > 0.0 {
-                lp.push((ml, model.predict(&b.looped, Uarch::Skl, Mode::Loop)));
+                let ab = AnnotatedBlock::new(b.looped.clone(), Uarch::Skl);
+                lp.push((ml, model.predict(&ab, Mode::Loop)));
             }
         }
         assert!(

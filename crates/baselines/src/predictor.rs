@@ -1,17 +1,24 @@
 //! The common predictor interface used by the evaluation harness.
+//!
+//! Predictors consume a pre-built [`AnnotatedBlock`] rather than a raw
+//! `Block`: annotation (decoding the descriptor table, resolving macro
+//! fusion) is the same for every predictor, so callers build it once —
+//! typically through `facile-engine`'s annotation cache — and all
+//! predictors share it. This removes the per-prediction `Block` clone the
+//! old interface forced on every call.
 
 use facile_core::Mode;
-use facile_uarch::Uarch;
-use facile_x86::Block;
+use facile_isa::AnnotatedBlock;
 
 /// A basic-block throughput predictor, as compared in Table 2.
 pub trait Predictor {
     /// Tool name as it appears in the tables.
     fn name(&self) -> &'static str;
 
-    /// Predict the throughput (cycles per iteration) of `block` on `uarch`
-    /// under the given throughput notion.
-    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64;
+    /// Predict the throughput (cycles per iteration) of the annotated
+    /// block under the given throughput notion. The microarchitecture is
+    /// the one the block was annotated for (`ab.uarch()`).
+    fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> f64;
 
     /// The notion the tool was designed for (`None` = handles both). The
     /// paper grays out the other column; the harness annotates it.
@@ -29,9 +36,8 @@ impl Predictor for FacilePredictor {
         "Facile"
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64 {
-        let ab = facile_isa::AnnotatedBlock::new(block.clone(), uarch);
-        facile_core::Facile::new().predict(&ab, mode).throughput
+    fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> f64 {
+        facile_core::Facile::new().predict(ab, mode).throughput
     }
 }
 
@@ -47,23 +53,24 @@ impl Predictor for UicaLike {
         "uiCA-like (sim)"
     }
 
-    fn predict(&self, block: &Block, uarch: Uarch, mode: Mode) -> f64 {
-        let ab = facile_isa::AnnotatedBlock::new(block.clone(), uarch);
-        facile_sim::simulate(&ab, mode == Mode::Loop).cycles_per_iter
+    fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> f64 {
+        facile_sim::simulate(ab, mode == Mode::Loop).cycles_per_iter
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use facile_uarch::Uarch;
     use facile_x86::reg::names::*;
-    use facile_x86::Mnemonic;
+    use facile_x86::{Block, Mnemonic};
 
     #[test]
     fn facile_and_sim_agree_on_trivial_block() {
         let b = Block::assemble(&[(Mnemonic::Add, vec![RAX.into(), RCX.into()])]).unwrap();
-        let f = FacilePredictor.predict(&b, Uarch::Skl, Mode::Unrolled);
-        let s = UicaLike.predict(&b, Uarch::Skl, Mode::Unrolled);
+        let ab = AnnotatedBlock::new(b, Uarch::Skl);
+        let f = FacilePredictor.predict(&ab, Mode::Unrolled);
+        let s = UicaLike.predict(&ab, Mode::Unrolled);
         assert!((f - 1.0).abs() < 1e-9);
         assert!((s - 1.0).abs() < 0.05);
     }

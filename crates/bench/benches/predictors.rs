@@ -1,14 +1,44 @@
-//! Criterion micro-benchmarks for prediction latency: the quantitative
-//! backbone of the paper's efficiency claims (§6.3). One group per
-//! concern: full predictions per notion, the individual components, the
-//! cycle-accurate simulator for contrast, and scaling with block size.
+//! Micro-benchmarks for prediction latency: the quantitative backbone of
+//! the paper's efficiency claims (§6.3). One group per concern: full
+//! predictions per notion, the individual components, the cycle-accurate
+//! simulator for contrast, and scaling with block size.
+//!
+//! Self-timed (no external bench framework in this offline workspace):
+//! each benchmark is warmed up, then run in timed batches until a wall
+//! budget is spent; we report the per-iteration mean of the fastest
+//! batch, which is stable against scheduling noise.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use facile_core::{dec, ports, precedence, predec, Facile, Mode};
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
 use facile_x86::Block;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `f`, returning nanoseconds per iteration (best batch mean).
+fn bench(name: &str, mut f: impl FnMut()) {
+    const WARMUP: u32 = 3;
+    const BATCHES: u32 = 12;
+    for _ in 0..WARMUP {
+        f();
+    }
+    // Size batches so one batch takes roughly a millisecond.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let per_batch = ((1e-3 / once).clamp(1.0, 100_000.0)) as u32;
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..per_batch {
+            f();
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / f64::from(per_batch);
+        best = best.min(per_iter);
+    }
+    println!("{name:<40} {:>12.0} ns/iter", best * 1e9);
+}
 
 /// A representative mid-size block (mixed classes) from the seeded suite.
 fn sample_block() -> Block {
@@ -19,69 +49,56 @@ fn sample_loop() -> Block {
     facile_bhive::generate_suite(8, 7)[4].looped.clone()
 }
 
-fn bench_full_prediction(c: &mut Criterion) {
+fn main() {
     let ab_u = AnnotatedBlock::new(sample_block(), Uarch::Skl);
     let ab_l = AnnotatedBlock::new(sample_loop(), Uarch::Skl);
     let f = Facile::new();
-    let mut g = c.benchmark_group("facile_full");
-    g.bench_function("tpu", |b| {
-        b.iter(|| black_box(f.predict(black_box(&ab_u), Mode::Unrolled).throughput));
-    });
-    g.bench_function("tpl", |b| {
-        b.iter(|| black_box(f.predict(black_box(&ab_l), Mode::Loop).throughput));
-    });
-    g.bench_function("tpu_with_annotation", |b| {
-        let block = sample_block();
-        b.iter(|| {
-            let ab = AnnotatedBlock::new(black_box(block.clone()), Uarch::Skl);
-            black_box(f.predict(&ab, Mode::Unrolled).throughput)
-        });
-    });
-    g.finish();
-}
 
-fn bench_components(c: &mut Criterion) {
-    let ab = AnnotatedBlock::new(sample_block(), Uarch::Skl);
-    let mut g = c.benchmark_group("components");
-    g.bench_function("predec", |b| {
-        b.iter(|| black_box(predec::predec(black_box(&ab), Mode::Unrolled)));
+    println!("== facile_full");
+    bench("tpu", || {
+        black_box(f.predict(black_box(&ab_u), Mode::Unrolled).throughput);
     });
-    g.bench_function("dec", |b| b.iter(|| black_box(dec::dec(black_box(&ab)))));
-    g.bench_function("ports_heuristic", |b| {
-        b.iter(|| black_box(ports::ports(black_box(&ab)).bound));
+    bench("tpl", || {
+        black_box(f.predict(black_box(&ab_l), Mode::Loop).throughput);
     });
-    g.bench_function("ports_exact", |b| {
-        b.iter(|| black_box(ports::ports_exact(black_box(&ab)).bound));
+    let block = sample_block();
+    bench("tpu_with_annotation", || {
+        let ab = AnnotatedBlock::new(black_box(block.clone()), Uarch::Skl);
+        black_box(f.predict(&ab, Mode::Unrolled).throughput);
     });
-    g.bench_function("precedence", |b| {
-        b.iter(|| black_box(precedence::precedence(black_box(&ab)).bound));
-    });
-    g.finish();
-}
 
-fn bench_simulator_contrast(c: &mut Criterion) {
-    // The Fig. 5 story in one group: the analytical model vs. the
-    // simulation-based predictor on the same input.
-    let ab = AnnotatedBlock::new(sample_block(), Uarch::Skl);
-    let f = Facile::new();
-    let mut g = c.benchmark_group("facile_vs_simulation");
-    g.sample_size(20);
-    g.bench_function("facile", |b| {
-        b.iter(|| black_box(f.predict(black_box(&ab), Mode::Unrolled).throughput));
+    println!("== components");
+    bench("predec", || {
+        black_box(predec::predec(black_box(&ab_u), Mode::Unrolled));
     });
-    g.bench_function("simulator", |b| {
-        b.iter(|| black_box(facile_sim::simulate(black_box(&ab), false).cycles_per_iter));
+    bench("dec", || {
+        black_box(dec::dec(black_box(&ab_u)));
     });
-    g.finish();
-}
+    bench("ports_heuristic", || {
+        black_box(ports::ports(black_box(&ab_u)).bound);
+    });
+    bench("ports_exact", || {
+        black_box(ports::ports_exact(black_box(&ab_u)).bound);
+    });
+    bench("precedence", || {
+        black_box(precedence::precedence(black_box(&ab_u)).bound);
+    });
 
-fn bench_block_size_scaling(c: &mut Criterion) {
-    let f = Facile::new();
-    let mut g = c.benchmark_group("scaling");
+    println!("== facile_vs_simulation");
+    bench("facile", || {
+        black_box(f.predict(black_box(&ab_u), Mode::Unrolled).throughput);
+    });
+    bench("simulator", || {
+        black_box(facile_sim::simulate(black_box(&ab_u), false).cycles_per_iter);
+    });
+
+    println!("== scaling");
     for n in [2usize, 4, 8, 16, 24] {
         let prog: Vec<_> = (0..n)
             .map(|i| {
+                #[allow(clippy::cast_possible_truncation)]
                 let d = facile_x86::Reg::gpr((i % 8) as u8, facile_x86::Width::W64);
+                #[allow(clippy::cast_possible_truncation)]
                 let s = facile_x86::Reg::gpr(((i + 3) % 8) as u8, facile_x86::Width::W64);
                 (
                     facile_x86::Mnemonic::Add,
@@ -90,32 +107,28 @@ fn bench_block_size_scaling(c: &mut Criterion) {
             })
             .collect();
         let ab = AnnotatedBlock::new(Block::assemble(&prog).expect("assembles"), Uarch::Rkl);
-        g.bench_with_input(BenchmarkId::new("facile_tpu", n), &ab, |b, ab| {
-            b.iter(|| black_box(f.predict(black_box(ab), Mode::Unrolled).throughput));
+        bench(&format!("facile_tpu/{n}"), || {
+            black_box(f.predict(black_box(&ab), Mode::Unrolled).throughput);
         });
     }
-    g.finish();
-}
 
-fn bench_codec(c: &mut Criterion) {
-    let block = sample_block();
+    println!("== codec");
     let bytes = block.bytes().to_vec();
-    let mut g = c.benchmark_group("codec");
-    g.bench_function("decode_block", |b| {
-        b.iter(|| black_box(Block::decode(black_box(&bytes)).expect("decodes")));
+    bench("decode_block", || {
+        black_box(Block::decode(black_box(&bytes)).expect("decodes"));
     });
-    g.bench_function("annotate", |b| {
-        b.iter(|| black_box(AnnotatedBlock::new(black_box(block.clone()), Uarch::Skl)));
+    bench("annotate", || {
+        black_box(AnnotatedBlock::new(black_box(block.clone()), Uarch::Skl));
     });
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_full_prediction,
-    bench_components,
-    bench_simulator_contrast,
-    bench_block_size_scaling,
-    bench_codec
-);
-criterion_main!(benches);
+    println!("== engine_batch (facile x 512 blocks)");
+    let engine = facile_engine::Engine::with_builtins();
+    let suite = facile_bhive::generate_suite(512, 2023);
+    let items: Vec<facile_engine::BatchItem> = suite
+        .iter()
+        .map(|b| facile_engine::BatchItem::block(b.unrolled.clone(), Uarch::Skl))
+        .collect();
+    bench("predict_batch_warm", || {
+        black_box(engine.predict_batch(black_box(&items), "facile").unwrap());
+    });
+}

@@ -1,0 +1,136 @@
+//! Batch-throughput microbenchmark for the prediction engine: the start
+//! of the repository's perf trajectory toward the paper's ~10,000× speed
+//! claim. Measures blocks/second through `Engine::predict_batch` —
+//! single-thread vs parallel, cold vs warm annotation cache — verifies
+//! that the parallel path is byte-identical to the single-threaded one,
+//! and writes the numbers to `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run --release -p facile-bench --bin bench_engine -- --blocks 2000
+//! ```
+
+use facile_bench::Args;
+use facile_engine::{BatchItem, Engine, ItemResult, PredictorRegistry};
+use facile_uarch::Uarch;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const OUT_PATH: &str = "BENCH_engine.json";
+const SELECTOR: &str = "facile";
+
+fn signature(rows: &[ItemResult]) -> String {
+    let mut s = String::new();
+    for r in rows {
+        let outcome = match &r.prediction {
+            Ok(p) => format!("{:.6}|{:?}", p.throughput, p.bottleneck),
+            Err(e) => format!("err:{}", e.code()),
+        };
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{:?}|{}|{outcome}",
+            r.item, r.block_hex, r.uarch, r.mode, r.predictor
+        );
+    }
+    s
+}
+
+struct Measured {
+    secs: f64,
+    blocks_per_sec: f64,
+}
+
+fn run(engine: &Engine, items: &[BatchItem], reps: usize) -> (Measured, Vec<ItemResult>) {
+    let mut best = f64::INFINITY;
+    let mut rows = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        rows = engine
+            .predict_batch(items, SELECTOR)
+            .expect("facile is registered");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let bps = items.len() as f64 / best;
+    (
+        Measured {
+            secs: best,
+            blocks_per_sec: bps,
+        },
+        rows,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let uarch = if args.uarchs == Uarch::ALL.to_vec() {
+        Uarch::Skl
+    } else {
+        args.uarchs.first().copied().unwrap_or(Uarch::Skl)
+    };
+    let n = args.blocks.max(1000);
+    eprintln!("bench_engine: {n} blocks on {uarch}, predictors `{SELECTOR}`");
+
+    let suite = facile_bhive::generate_suite(n, args.seed);
+    let items: Vec<BatchItem> = suite
+        .iter()
+        .map(|b| BatchItem::block(b.unrolled.clone(), uarch))
+        .collect();
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let parallel_threads = host_cpus.max(4);
+    if host_cpus < 2 {
+        eprintln!(
+            "note: only {host_cpus} CPU(s) available — the parallel path cannot \
+             beat single-threaded here; the speedup field reflects the host, \
+             not the engine"
+        );
+    }
+
+    // Cold cache, single thread (annotation cost included).
+    let single = Engine::new(PredictorRegistry::with_builtins()).with_threads(1);
+    let (cold_single, rows_single) = run(&single, &items, 1);
+    // Warm cache, single thread (annotations memoized).
+    let (warm_single, _) = run(&single, &items, 3);
+
+    // Cold cache, parallel.
+    let parallel = Engine::new(PredictorRegistry::with_builtins()).with_threads(parallel_threads);
+    let (cold_parallel, rows_parallel) = run(&parallel, &items, 1);
+    // Warm cache, parallel.
+    let (warm_parallel, _) = run(&parallel, &items, 3);
+
+    assert_eq!(
+        signature(&rows_single),
+        signature(&rows_parallel),
+        "parallel batch output must be byte-identical to single-threaded"
+    );
+    eprintln!("determinism check: {parallel_threads}-thread output identical to 1-thread");
+
+    let stats = parallel.cache_stats();
+    let speedup_parallel = warm_parallel.blocks_per_sec / warm_single.blocks_per_sec;
+    let speedup_warm = warm_parallel.blocks_per_sec / cold_parallel.blocks_per_sec;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_batch_throughput\",\n  \"predictors\": \"{SELECTOR}\",\n  \"uarch\": \"{uarch}\",\n  \"blocks\": {n},\n  \"rows\": {rows},\n  \"host_cpus\": {host_cpus},\n  \"threads_parallel\": {parallel_threads},\n  \"single_thread\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel_speedup_warm\": {:.3},\n  \"warm_over_cold_speedup_parallel\": {:.3},\n  \"annotation_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {} }},\n  \"deterministic_across_threads\": true\n}}\n",
+        cold_single.secs,
+        cold_single.blocks_per_sec,
+        warm_single.secs,
+        warm_single.blocks_per_sec,
+        cold_parallel.secs,
+        cold_parallel.blocks_per_sec,
+        warm_parallel.secs,
+        warm_parallel.blocks_per_sec,
+        speedup_parallel,
+        speedup_warm,
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        rows = rows_single.len(),
+    );
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_engine.json");
+    println!("{json}");
+    eprintln!(
+        "single warm: {:.0} blocks/s; parallel warm ({} threads): {:.0} blocks/s ({speedup_parallel:.2}x)",
+        warm_single.blocks_per_sec, parallel_threads, warm_parallel.blocks_per_sec
+    );
+    eprintln!("wrote {OUT_PATH}");
+}

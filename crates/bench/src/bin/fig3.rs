@@ -3,12 +3,14 @@
 //! cycles on Rocket Lake, for Facile, the simulation-based predictor, the
 //! llvm-mca-like and the CQA-like baselines.
 
-use facile_baselines::{CqaLike, FacilePredictor, LlvmMcaLike, Predictor, UicaLike};
 use facile_bench::{Args, MeasuredSuite};
 use facile_core::Mode;
+use facile_engine::{BatchItem, Engine};
 use facile_metrics::Heatmap;
 use facile_uarch::Uarch;
 use std::io::Write;
+
+const PREDICTORS: [&str; 4] = ["facile", "sim", "llvm-mca", "cqa"];
 
 fn main() {
     let mut args = Args::parse();
@@ -24,18 +26,31 @@ fn main() {
         args.seed
     );
     let ms = MeasuredSuite::build(args.blocks, args.seed, uarch);
-    let predictors: Vec<&(dyn Predictor + Sync)> =
-        vec![&FacilePredictor, &UicaLike, &LlvmMcaLike, &CqaLike];
+    let engine = Engine::with_builtins();
     std::fs::create_dir_all("results").expect("create results dir");
-    for p in predictors {
-        let idx: Vec<usize> = (0..ms.suite.len()).collect();
-        let preds = facile_bench::parallel_map(&idx, |&i| {
-            facile_bhive::round2(p.predict(ms.block(i, Mode::Loop), uarch, Mode::Loop))
-        });
+
+    // One batch over blocks x predictors: the engine parallelizes and
+    // shares annotations across all four rows.
+    let items: Vec<BatchItem> = ms
+        .suite
+        .iter()
+        .map(|b| BatchItem::block(b.looped.clone(), uarch).with_mode(Mode::Loop))
+        .collect();
+    let rows = engine
+        .predict_batch(&items, &PREDICTORS.join(","))
+        .expect("built-in predictor keys");
+
+    for (j, key) in PREDICTORS.iter().enumerate() {
+        let p = engine.registry().get(key).expect("built-in key");
         let mut h = Heatmap::new(20, 10.0);
         let mut n = 0;
-        for (i, &pred) in preds.iter().enumerate() {
-            let m = ms.measured(i, Mode::Loop);
+        for row in rows.iter().skip(j).step_by(PREDICTORS.len()) {
+            debug_assert_eq!(row.predictor, *key);
+            let m = ms.measured(row.item, Mode::Loop);
+            let pred = match &row.prediction {
+                Ok(p) => facile_bhive::round2(p.throughput),
+                Err(_) => 0.0,
+            };
             if m > 0.0 && m < 10.0 {
                 h.add(m, pred);
                 n += 1;

@@ -75,18 +75,32 @@ fn main() {
         })
         .collect();
 
-    let abs_u: Vec<_> = ms.suite.iter().map(|b| annotate(&b.unrolled, uarch)).collect();
-    let abs_l: Vec<_> = ms.suite.iter().map(|b| annotate(&b.looped, uarch)).collect();
+    let abs_u: Vec<_> = ms
+        .suite
+        .iter()
+        .map(|b| annotate(&b.unrolled, uarch))
+        .collect();
+    let abs_l: Vec<_> = ms
+        .suite
+        .iter()
+        .map(|b| annotate(&b.looped, uarch))
+        .collect();
 
     print_stats(
         "TPU",
         vec![
             ("overhead", TimingStats::from_samples(&overhead)),
-            ("Predec", time_component(&abs_u, |ab| predec::predec(ab, Mode::Unrolled))),
+            (
+                "Predec",
+                time_component(&abs_u, |ab| predec::predec(ab, Mode::Unrolled)),
+            ),
             ("Dec", time_component(&abs_u, dec::dec)),
             ("Issue", time_component(&abs_u, issue::issue)),
             ("Ports", time_component(&abs_u, |ab| ports::ports(ab).bound)),
-            ("Precedence", time_component(&abs_u, |ab| precedence::precedence(ab).bound)),
+            (
+                "Precedence",
+                time_component(&abs_u, |ab| precedence::precedence(ab).bound),
+            ),
         ],
     );
     print_stats(
@@ -117,7 +131,10 @@ fn main() {
             ("LSD", time_component(&abs_l, lsd::lsd)),
             ("Issue", time_component(&abs_l, issue::issue)),
             ("Ports", time_component(&abs_l, |ab| ports::ports(ab).bound)),
-            ("Precedence", time_component(&abs_l, |ab| precedence::precedence(ab).bound)),
+            (
+                "Precedence",
+                time_component(&abs_l, |ab| precedence::precedence(ab).bound),
+            ),
         ],
     );
 }

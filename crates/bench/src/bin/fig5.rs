@@ -8,16 +8,31 @@
 //! the analytical model is orders of magnitude faster than the
 //! simulation-based predictor that defines state-of-the-art accuracy — is
 //! reproduced directly.
+//!
+//! Blocks are annotated once up front (through the engine's cache, as the
+//! batch path would); the timed region is each predictor's `predict`
+//! call, which is the per-tool cost the figure compares.
 
-use facile_baselines::{
-    CqaLike, DiffTuneLike, FacilePredictor, IacaLike, IthemalLike, LearningBl, LlvmMcaLike,
-    OsacaLike, Predictor, UicaLike,
-};
+use facile_baselines::{DiffTuneLike, IthemalLike, LearningBl};
 use facile_bench::{Args, MeasuredSuite};
 use facile_core::Mode;
+use facile_engine::{Baseline, Engine, PredictRequest, PredictorRegistry};
 use facile_metrics::{Table, TimingStats};
 use facile_uarch::Uarch;
+use std::sync::Arc;
 use std::time::Instant;
+
+const ROWS: [&str; 9] = [
+    "facile",
+    "ithemal",
+    "iaca",
+    "llvm-mca",
+    "sim",
+    "cqa",
+    "osaca",
+    "difftune",
+    "learning-bl",
+];
 
 fn main() {
     let mut args = Args::parse();
@@ -34,20 +49,21 @@ fn main() {
     let ms = MeasuredSuite::build(args.blocks, args.seed, uarch);
 
     eprintln!("training learned baselines...");
-    let ithemal = IthemalLike::train(&[uarch], args.train, args.seed ^ 0xACE1);
-    let difftune = DiffTuneLike::train(&[uarch], args.train, args.seed ^ 0xACE1);
-    let learning_bl = LearningBl::train(&[uarch], args.train, args.seed ^ 0xACE1);
-    let predictors: Vec<&(dyn Predictor + Sync)> = vec![
-        &FacilePredictor,
-        &ithemal,
-        &IacaLike,
-        &LlvmMcaLike,
-        &UicaLike,
-        &CqaLike,
-        &OsacaLike,
-        &difftune,
-        &learning_bl,
-    ];
+    let mut registry = PredictorRegistry::with_builtins();
+    let tseed = args.seed ^ 0xACE1;
+    registry.register(Arc::new(Baseline::new(
+        "ithemal",
+        IthemalLike::train(&[uarch], args.train, tseed),
+    )));
+    registry.register(Arc::new(Baseline::new(
+        "difftune",
+        DiffTuneLike::train(&[uarch], args.train, tseed),
+    )));
+    registry.register(Arc::new(Baseline::new(
+        "learning-bl",
+        LearningBl::train(&[uarch], args.train, tseed),
+    )));
+    let engine = Engine::new(registry);
 
     let mut t = Table::new(vec![
         "Predictor",
@@ -56,14 +72,16 @@ fn main() {
         "TPL mean (µs)",
         "TPL median",
     ]);
-    for p in predictors {
+    for key in ROWS {
+        let p = engine.registry().get(key).expect("built-in key");
         let mut cells = vec![p.name().to_string()];
         for mode in [Mode::Unrolled, Mode::Loop] {
             let samples: Vec<f64> = (0..ms.suite.len())
                 .map(|i| {
-                    let block = ms.block(i, mode);
+                    let ab = engine.annotate(ms.block(i, mode), uarch);
+                    let req = PredictRequest::new(&ab, mode);
                     let t0 = Instant::now();
-                    std::hint::black_box(p.predict(block, uarch, mode));
+                    std::hint::black_box(p.predict(&req).ok());
                     t0.elapsed().as_secs_f64() * 1e6
                 })
                 .collect();

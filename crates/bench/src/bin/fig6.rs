@@ -54,8 +54,7 @@ fn main() {
     for comp in ORDER {
         let mut row = vec![comp.name().to_string()];
         for cls in &classes {
-            let share =
-                cls.iter().filter(|c| **c == comp).count() as f64 / cls.len() as f64;
+            let share = cls.iter().filter(|c| **c == comp).count() as f64 / cls.len() as f64;
             row.push(format!("{:.1}%", 100.0 * share));
         }
         t.row(row);

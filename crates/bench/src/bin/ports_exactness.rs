@@ -6,7 +6,6 @@ use facile_bench::{annotate, Args};
 use facile_bhive::generate_suite;
 use facile_core::ports::{ports, ports_exact};
 use facile_metrics::Table;
-use facile_uarch::Uarch;
 
 fn main() {
     let args = Args::parse();

@@ -1,16 +1,34 @@
 //! Regenerates Table 2: MAPE and Kendall's τ for every predictor on the
 //! BHiveU and BHiveL suites across all microarchitectures.
 //!
+//! All predictors are served through the `facile-engine` registry: the
+//! learned rows are trained with the harness's `--train`/`--seed`
+//! parameters and registered under their usual keys, then every row is
+//! evaluated via the batched engine path (shared annotation cache, worker
+//! pool).
+//!
 //! Rows whose tool is designed for the *other* throughput notion are
 //! marked with a trailing `*` (the paper prints them in gray).
 
-use facile_baselines::{
-    CqaLike, DiffTuneLike, FacilePredictor, IacaLike, IthemalLike, LearningBl, LlvmMcaLike,
-    OsacaLike, Predictor, UicaLike,
-};
+use facile_baselines::{DiffTuneLike, IthemalLike, LearningBl};
 use facile_bench::{evaluate, pct, tau, Args, MeasuredSuite};
 use facile_core::Mode;
+use facile_engine::{Baseline, Engine, PredictorRegistry};
 use facile_metrics::Table;
+use std::sync::Arc;
+
+/// Row order of the paper's Table 2 (registry keys).
+const ROWS: [&str; 9] = [
+    "facile",
+    "sim",
+    "ithemal",
+    "iaca",
+    "osaca",
+    "llvm-mca",
+    "difftune",
+    "learning-bl",
+    "cqa",
+];
 
 fn main() {
     let args = Args::parse();
@@ -23,21 +41,21 @@ fn main() {
     );
 
     eprintln!("training learned baselines...");
-    let ithemal = IthemalLike::train(&args.uarchs, args.train, args.seed ^ 0xACE1);
-    let difftune = DiffTuneLike::train(&args.uarchs, args.train, args.seed ^ 0xACE1);
-    let learning_bl = LearningBl::train(&args.uarchs, args.train, args.seed ^ 0xACE1);
-
-    let predictors: Vec<&(dyn Predictor + Sync)> = vec![
-        &FacilePredictor,
-        &UicaLike,
-        &ithemal,
-        &IacaLike,
-        &OsacaLike,
-        &LlvmMcaLike,
-        &difftune,
-        &learning_bl,
-        &CqaLike,
-    ];
+    let mut registry = PredictorRegistry::with_builtins();
+    let tseed = args.seed ^ 0xACE1;
+    registry.register(Arc::new(Baseline::new(
+        "ithemal",
+        IthemalLike::train(&args.uarchs, args.train, tseed),
+    )));
+    registry.register(Arc::new(Baseline::new(
+        "difftune",
+        DiffTuneLike::train(&args.uarchs, args.train, tseed),
+    )));
+    registry.register(Arc::new(Baseline::new(
+        "learning-bl",
+        LearningBl::train(&args.uarchs, args.train, tseed),
+    )));
+    let engine = Engine::new(registry);
 
     println!("Table 2: Comparison of predictors on BHiveU and BHiveL.\n");
     let mut t = Table::new(vec![
@@ -51,9 +69,10 @@ fn main() {
     for &uarch in &args.uarchs {
         eprintln!("measuring suite on {uarch}...");
         let ms = MeasuredSuite::build(args.blocks, args.seed, uarch);
-        for p in &predictors {
-            let au = evaluate(&ms, uarch, *p, Mode::Unrolled);
-            let al = evaluate(&ms, uarch, *p, Mode::Loop);
+        for key in ROWS {
+            let p = engine.registry().get(key).expect("built-in key");
+            let au = evaluate(&ms, &engine, key, Mode::Unrolled);
+            let al = evaluate(&ms, &engine, key, Mode::Loop);
             let mark = |m: Mode| -> &'static str {
                 match p.native_notion() {
                     Some(n) if n != m => "*",

@@ -19,7 +19,14 @@ fn main() {
         Component::Ports,
         Component::Precedence,
     ];
-    let mut t = Table::new(vec!["µArch", "Predec", "Dec", "Issue", "Ports", "Precedence"]);
+    let mut t = Table::new(vec![
+        "µArch",
+        "Predec",
+        "Dec",
+        "Issue",
+        "Ports",
+        "Precedence",
+    ]);
     for &uarch in &args.uarchs {
         eprintln!("analyzing {uarch}...");
         // Measurements are not needed for the counterfactual itself, but we

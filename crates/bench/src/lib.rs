@@ -20,12 +20,11 @@
 
 #![warn(missing_docs)]
 
-use facile_baselines::Predictor;
 use facile_bhive::{generate_suite, Bench};
 use facile_core::Mode;
+use facile_engine::{BatchItem, Engine};
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Command-line arguments shared by the experiment binaries.
 #[derive(Debug, Clone)]
@@ -42,7 +41,12 @@ pub struct Args {
 
 impl Default for Args {
     fn default() -> Args {
-        Args { blocks: 500, seed: 2023, train: 300, uarchs: Uarch::ALL.to_vec() }
+        Args {
+            blocks: 500,
+            seed: 2023,
+            train: 300,
+            uarchs: Uarch::ALL.to_vec(),
+        }
     }
 }
 
@@ -82,28 +86,11 @@ impl Args {
     }
 }
 
-/// Map `f` over `items` in parallel using scoped threads, preserving order.
+/// Map `f` over `items` in parallel, preserving order (a slice-based
+/// wrapper over the engine's worker pool).
 pub fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
     let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
-    let next = AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<U>>> =
-        (0..items.len()).map(|_| std::sync::Mutex::new(None)).collect();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                *slots[i].lock().expect("no poisoning") = Some(f(&items[i]));
-            });
-        }
-    })
-    .expect("worker threads do not panic");
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("no poisoning").expect("every slot filled"))
-        .collect()
+    facile_engine::parallel_map_indexed(items.len(), threads, |i| f(&items[i]))
 }
 
 /// A suite measured on one microarchitecture.
@@ -111,6 +98,8 @@ pub fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -
 pub struct MeasuredSuite {
     /// The benchmarks.
     pub suite: Vec<Bench>,
+    /// The microarchitecture the measurements were taken on.
+    pub uarch: Uarch,
     /// Measured TPU per benchmark.
     pub tpu: Vec<f64>,
     /// Measured TPL per benchmark.
@@ -125,9 +114,15 @@ impl MeasuredSuite {
         let tpu = parallel_map(&suite, |b| {
             facile_bhive::measure_block(&b.unrolled, uarch, false)
         });
-        let tpl =
-            parallel_map(&suite, |b| facile_bhive::measure_block(&b.looped, uarch, true));
-        MeasuredSuite { suite, tpu, tpl }
+        let tpl = parallel_map(&suite, |b| {
+            facile_bhive::measure_block(&b.looped, uarch, true)
+        });
+        MeasuredSuite {
+            suite,
+            uarch,
+            tpu,
+            tpl,
+        }
     }
 
     /// The measured value for a benchmark under a notion.
@@ -158,23 +153,27 @@ pub struct Accuracy {
     pub tau: f64,
 }
 
-/// Evaluate a predictor against a measured suite.
+/// Evaluate a registered predictor against a measured suite through the
+/// engine's batch path: one [`BatchItem`] per benchmark, predictions
+/// fanned out on the engine's worker pool with annotations shared via its
+/// cache. Rows that fail (e.g. an untrained learned model) count as a
+/// prediction of `0.0`, like the old harness treated non-finite output.
 #[must_use]
-pub fn evaluate(
-    ms: &MeasuredSuite,
-    uarch: Uarch,
-    predictor: &(dyn Predictor + Sync),
-    mode: Mode,
-) -> Accuracy {
-    let idx: Vec<usize> = (0..ms.suite.len()).collect();
-    let preds = parallel_map(&idx, |&i| {
-        let p = predictor.predict(ms.block(i, mode), uarch, mode);
-        facile_bhive::round2(p)
-    });
-    let mut pairs = Vec::with_capacity(preds.len());
+pub fn evaluate(ms: &MeasuredSuite, engine: &Engine, key: &str, mode: Mode) -> Accuracy {
+    let items: Vec<BatchItem> = (0..ms.suite.len())
+        .map(|i| BatchItem::block(ms.block(i, mode).clone(), ms.uarch).with_mode(mode))
+        .collect();
+    let rows = engine
+        .predict_batch(&items, key)
+        .expect("evaluate() is called with registered predictor keys");
+    let mut pairs = Vec::with_capacity(rows.len());
     let (mut xs, mut ys) = (Vec::new(), Vec::new());
-    for (i, &p) in preds.iter().enumerate() {
-        let m = ms.measured(i, mode);
+    for row in &rows {
+        let m = ms.measured(row.item, mode);
+        let p = match &row.prediction {
+            Ok(p) => facile_bhive::round2(p.throughput),
+            Err(_) => 0.0,
+        };
         if m > 0.0 {
             pairs.push((m, if p.is_finite() { p } else { 0.0 }));
             xs.push(m);
@@ -228,9 +227,13 @@ mod tests {
     #[test]
     fn evaluate_facile_small() {
         let ms = MeasuredSuite::build(12, 5, Uarch::Skl);
-        let acc =
-            evaluate(&ms, Uarch::Skl, &facile_baselines::FacilePredictor, Mode::Unrolled);
-        assert!(acc.mape < 0.15, "facile should track the oracle: {}", acc.mape);
+        let engine = Engine::with_builtins();
+        let acc = evaluate(&ms, &engine, "facile", Mode::Unrolled);
+        assert!(
+            acc.mape < 0.15,
+            "facile should track the oracle: {}",
+            acc.mape
+        );
         assert!(acc.tau > 0.7);
     }
 }

@@ -55,9 +55,18 @@ pub fn kernels() -> Vec<Kernel> {
         "p1-storm",
         "Ports (all µops bound to the multiplier port)",
         &[
-            (Mnemonic::Imul, vec![RAX.into(), RSI.into(), Operand::Imm(3)]),
-            (Mnemonic::Imul, vec![RCX.into(), RSI.into(), Operand::Imm(5)]),
-            (Mnemonic::Imul, vec![RDX.into(), RSI.into(), Operand::Imm(7)]),
+            (
+                Mnemonic::Imul,
+                vec![RAX.into(), RSI.into(), Operand::Imm(3)],
+            ),
+            (
+                Mnemonic::Imul,
+                vec![RCX.into(), RSI.into(), Operand::Imm(5)],
+            ),
+            (
+                Mnemonic::Imul,
+                vec![RDX.into(), RSI.into(), Operand::Imm(7)],
+            ),
         ],
     ));
 
@@ -189,12 +198,19 @@ pub fn kernels() -> Vec<Kernel> {
     v.push({
         let mut body: Vec<Asm> = Vec::new();
         for i in 0..30u8 {
-            let r = Reg::Gpr { num: i % 4, width: Width::W64 };
+            let r = Reg::Gpr {
+                num: i % 4,
+                width: Width::W64,
+            };
             body.push((Mnemonic::Add, vec![r.into(), RSI.into()]));
         }
         body.push((Mnemonic::Dec, vec![R11.into()]));
         body.push((Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-98)]));
-        assemble("dsb-large-loop", "DSB (loop exceeds the SNB/IVB IDQ)", &body)
+        assemble(
+            "dsb-large-loop",
+            "DSB (loop exceeds the SNB/IVB IDQ)",
+            &body,
+        )
     });
 
     // 16-byte-boundary crossing instructions (predecoder O(b) slots).
@@ -202,9 +218,18 @@ pub fn kernels() -> Vec<Kernel> {
         "boundary-crossers",
         "Predec (instructions crossing 16-byte fetch blocks)",
         &[
-            (Mnemonic::Mov, vec![RAX.into(), Operand::Imm(0x1122334455667788)]), // 10 B
-            (Mnemonic::Mov, vec![RCX.into(), Operand::Imm(0x1122334455667788)]), // 10 B
-            (Mnemonic::Mov, vec![RDX.into(), Operand::Imm(0x1122334455667788)]), // 10 B
+            (
+                Mnemonic::Mov,
+                vec![RAX.into(), Operand::Imm(0x1122334455667788)],
+            ), // 10 B
+            (
+                Mnemonic::Mov,
+                vec![RCX.into(), Operand::Imm(0x1122334455667788)],
+            ), // 10 B
+            (
+                Mnemonic::Mov,
+                vec![RDX.into(), Operand::Imm(0x1122334455667788)],
+            ), // 10 B
         ],
     ));
 

@@ -9,10 +9,9 @@
 //! in two variants: the plain block (`BHiveU`, measured under unrolling)
 //! and a loop variant ending in a conditional branch (`BHiveL`).
 
+use crate::rng::StdRng;
 use facile_x86::reg::{names, Width};
 use facile_x86::{Block, Cond, Mem, Mnemonic, Operand, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Application domain of a generated block (BHive's source categories).
@@ -84,11 +83,17 @@ const PTR_REGS: [u8; 4] = [12, 13, 14, 15];
 const COUNTER_REG: u8 = 11; // r11 drives the loop branch
 
 fn data_reg(rng: &mut StdRng, w: Width) -> Reg {
-    Reg::Gpr { num: DATA_REGS[rng.gen_range(0..DATA_REGS.len())], width: w }
+    Reg::Gpr {
+        num: DATA_REGS[rng.gen_range(0..DATA_REGS.len())],
+        width: w,
+    }
 }
 
 fn ptr_reg(rng: &mut StdRng) -> Reg {
-    Reg::Gpr { num: PTR_REGS[rng.gen_range(0..PTR_REGS.len())], width: Width::W64 }
+    Reg::Gpr {
+        num: PTR_REGS[rng.gen_range(0..PTR_REGS.len())],
+        width: Width::W64,
+    }
 }
 
 fn xmm(rng: &mut StdRng) -> Reg {
@@ -101,7 +106,9 @@ fn ymm(rng: &mut StdRng) -> Reg {
 
 fn mem(rng: &mut StdRng, w: Width) -> Mem {
     let base = ptr_reg(rng);
-    let disp = *[0, 0, 8, 16, 24, 64, -8].get(rng.gen_range(0..7)).expect("in range");
+    let disp = *[0, 0, 8, 16, 24, 64, -8]
+        .get(rng.gen_range(0..7))
+        .expect("in range");
     if rng.gen_bool(0.3) {
         let mut index = data_reg(rng, Width::W64);
         while index.num() == 4 {
@@ -263,7 +270,10 @@ type Asm = (Mnemonic, Vec<Operand>);
 /// write to many different registers, giving instruction-level parallelism
 /// that a fully random choice would destroy.
 fn dest_reg(hint: u8, w: Width) -> Reg {
-    Reg::Gpr { num: DATA_REGS[usize::from(hint) % DATA_REGS.len()], width: w }
+    Reg::Gpr {
+        num: DATA_REGS[usize::from(hint) % DATA_REGS.len()],
+        width: w,
+    }
 }
 
 fn dest_xmm(hint: u8) -> Reg {
@@ -273,26 +283,42 @@ fn dest_xmm(hint: u8) -> Reg {
 #[allow(clippy::too_many_lines)]
 fn instantiate(rng: &mut StdRng, t: T, hint: u8) -> Asm {
     use Mnemonic as M;
-    let w = if rng.gen_bool(0.7) { Width::W64 } else { Width::W32 };
+    let w = if rng.gen_bool(0.7) {
+        Width::W64
+    } else {
+        Width::W32
+    };
     let alu = [M::Add, M::Sub, M::And, M::Or, M::Xor][rng.gen_range(0..5)];
     match t {
         T::AluRR => (alu, vec![dest_reg(hint, w).into(), data_reg(rng, w).into()]),
         T::AluRI => (
             alu,
-            vec![dest_reg(hint, w).into(), Operand::Imm(rng.gen_range(1..1000))],
+            vec![
+                dest_reg(hint, w).into(),
+                Operand::Imm(rng.gen_range(1..1000)),
+            ],
         ),
         T::AluLoad => (alu, vec![dest_reg(hint, w).into(), mem(rng, w).into()]),
         T::AluStore => (alu, vec![mem(rng, w).into(), data_reg(rng, w).into()]),
-        T::MovRR => (M::Mov, vec![dest_reg(hint, w).into(), data_reg(rng, w).into()]),
+        T::MovRR => (
+            M::Mov,
+            vec![dest_reg(hint, w).into(), data_reg(rng, w).into()],
+        ),
         T::MovRI => (
             M::Mov,
-            vec![dest_reg(hint, w).into(), Operand::Imm(rng.gen_range(0..1 << 30))],
+            vec![
+                dest_reg(hint, w).into(),
+                Operand::Imm(rng.gen_range(0..1 << 30)),
+            ],
         ),
         T::Load => (M::Mov, vec![dest_reg(hint, w).into(), mem(rng, w).into()]),
         T::Store => (M::Mov, vec![mem(rng, w).into(), data_reg(rng, w).into()]),
         T::Lea => (
             M::Lea,
-            vec![dest_reg(hint, Width::W64).into(), mem(rng, Width::W64).into()],
+            vec![
+                dest_reg(hint, Width::W64).into(),
+                mem(rng, Width::W64).into(),
+            ],
         ),
         T::Shift => (
             [M::Shl, M::Shr, M::Sar][rng.gen_range(0..3)],
@@ -302,7 +328,10 @@ fn instantiate(rng: &mut StdRng, t: T, hint: u8) -> Asm {
             [M::Rol, M::Ror][rng.gen_range(0..2)],
             vec![dest_reg(hint, w).into(), Operand::Imm(rng.gen_range(1..31))],
         ),
-        T::Imul => (M::Imul, vec![dest_reg(hint, w).into(), data_reg(rng, w).into()]),
+        T::Imul => (
+            M::Imul,
+            vec![dest_reg(hint, w).into(), data_reg(rng, w).into()],
+        ),
         T::Imul3 => (
             M::Imul,
             vec![
@@ -342,7 +371,10 @@ fn instantiate(rng: &mut StdRng, t: T, hint: u8) -> Asm {
             vec![data_reg(rng, w).into(), data_reg(rng, w).into()],
         ),
         T::ZeroIdiom => {
-            let r = Reg::Gpr { num: dest_reg(hint, Width::W32).num(), width: Width::W32 };
+            let r = Reg::Gpr {
+                num: dest_reg(hint, Width::W32).num(),
+                width: Width::W32,
+            };
             (M::Xor, vec![r.into(), r.into()])
         }
         T::Lcp16 => (
@@ -364,8 +396,7 @@ fn instantiate(rng: &mut StdRng, t: T, hint: u8) -> Asm {
             vec![dest_xmm(hint).into(), xmm(rng).into(), xmm(rng).into()],
         ),
         T::FpPacked => (
-            [M::Addps, M::Mulps, M::Addpd, M::Mulpd, M::Minps, M::Maxps]
-                [rng.gen_range(0..6)],
+            [M::Addps, M::Mulps, M::Addpd, M::Mulpd, M::Minps, M::Maxps][rng.gen_range(0..6)],
             vec![dest_xmm(hint).into(), xmm(rng).into()],
         ),
         T::FpDiv => (
@@ -418,7 +449,11 @@ fn instantiate(rng: &mut StdRng, t: T, hint: u8) -> Asm {
         ),
         T::Fma => (
             M::Vfmadd231ps,
-            vec![Operand::Reg(Reg::Ymm(hint % 8)), ymm(rng).into(), ymm(rng).into()],
+            vec![
+                Operand::Reg(Reg::Ymm(hint % 8)),
+                ymm(rng).into(),
+                ymm(rng).into(),
+            ],
         ),
         T::VecMul => (
             [M::Pmulld, M::Pmullw, M::Pmuludq][rng.gen_range(0..3)],
@@ -490,7 +525,12 @@ pub fn generate_suite(n: usize, seed: u64) -> Vec<Bench> {
         let mut looped_src = body.clone();
         looped_src.extend(loop_tail(&mut rng, unrolled.byte_len() as i32));
         let looped = Block::assemble(&looped_src).expect("loop variant must assemble");
-        out.push(Bench { id: id as u32, domain, unrolled, looped });
+        out.push(Bench {
+            id: id as u32,
+            domain,
+            unrolled,
+            looped,
+        });
     }
     out
 }
@@ -499,7 +539,10 @@ pub fn generate_suite(n: usize, seed: u64) -> Vec<Bench> {
 /// never writes it, so the loop variant's trip count is well-defined.
 #[must_use]
 pub fn counter_reg() -> Reg {
-    Reg::Gpr { num: COUNTER_REG, width: Width::W64 }
+    Reg::Gpr {
+        num: COUNTER_REG,
+        width: Width::W64,
+    }
 }
 
 #[cfg(test)]

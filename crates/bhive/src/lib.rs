@@ -22,6 +22,7 @@
 pub mod corpus;
 pub mod gen;
 pub mod measure;
+pub mod rng;
 
 pub use corpus::{kernel, kernels, Kernel};
 pub use gen::{counter_reg, generate_suite, Bench, Domain};

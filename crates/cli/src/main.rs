@@ -1,32 +1,53 @@
-//! `facile` — command-line front end for the throughput model (the
-//! counterpart of the original tool's `facile.py`).
+//! `facile` — command-line front end for the throughput model, built on
+//! the batched prediction engine (`facile-engine`).
 //!
 //! ```text
 //! facile --hex 4801c84889c8 --uarch SKL --mode auto
 //! facile --kernel imul-chain --all-uarchs
 //! facile --hex 01c8 --compare
+//! echo 4801c8480fafd0 | facile --batch --predictors 'facile,sim' --json
+//! facile --batch --all-uarchs --csv < blocks.csv
 //! ```
+//!
+//! Batch mode reads one block per line from stdin — either bare hex or
+//! BHive CSV (`hex,...`; everything after the first comma is ignored) —
+//! and emits one row per `(block, uarch, predictor)` combination. Rows
+//! are ordered and byte-identical regardless of `--threads`, so output
+//! is diffable across runs and machines. Undecodable lines become error
+//! rows; they never abort the batch.
 
 use facile_core::{Facile, Mode, Report};
-use facile_isa::AnnotatedBlock;
+use facile_engine::{BatchItem, Engine, ItemResult, PredictorRegistry};
 use facile_uarch::Uarch;
 use facile_x86::Block;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 struct Options {
     hex: Option<String>,
     kernel: Option<String>,
+    batch: bool,
     uarch: Uarch,
     all_uarchs: bool,
     mode: ModeArg,
     compare: bool,
+    predictors: String,
+    format: Format,
+    threads: Option<usize>,
 }
 
-#[derive(PartialEq)]
+#[derive(PartialEq, Clone, Copy)]
 enum ModeArg {
     Auto,
     Loop,
     Unroll,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Human,
+    Json,
+    Csv,
 }
 
 const USAGE: &str = "\
@@ -35,15 +56,26 @@ facile — fast, accurate, and interpretable basic-block throughput prediction
 USAGE:
     facile --hex <BYTES> [OPTIONS]
     facile --kernel <NAME> [OPTIONS]
+    facile --batch [OPTIONS] < blocks.txt
 
-OPTIONS:
+INPUT:
     --hex <BYTES>      basic block as hex machine code (BHive format)
     --kernel <NAME>    analyze a named kernel from the built-in corpus
+    --batch            read blocks from stdin, one per line (bare hex or
+                       BHive CSV `hex,...`; `#` lines are comments)
+
+OPTIONS:
     --uarch <ABBR>     microarchitecture (SNB..RKL; default SKL)
     --all-uarchs       analyze on all nine microarchitectures
     --mode <MODE>      auto | loop (TPL) | unroll (TPU); default auto:
                        loop if the block ends in a branch
-    --compare          also run the cycle-accurate simulator
+    --predictors <KEYS> comma-separated registry keys or glob patterns
+                       (default `facile`; e.g. `facile,sim`, `*`)
+    --compare          shorthand for adding `sim` to --predictors
+    --json             machine-readable output, one JSON object per row
+    --csv              machine-readable output, CSV with header
+    --threads <N>      batch worker threads (default: all cores)
+    --list-predictors  list registered predictor keys
     --list-kernels     list the built-in corpus kernels
     --help             show this help
 ";
@@ -52,10 +84,14 @@ fn parse_args() -> Result<Option<Options>, String> {
     let mut o = Options {
         hex: None,
         kernel: None,
+        batch: false,
         uarch: Uarch::Skl,
         all_uarchs: false,
         mode: ModeArg::Auto,
         compare: false,
+        predictors: String::from("facile"),
+        format: Format::Human,
+        threads: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     if it.peek().is_none() {
@@ -76,8 +112,20 @@ fn parse_args() -> Result<Option<Options>, String> {
                 }
                 return Ok(None);
             }
+            "--list-predictors" => {
+                let registry = PredictorRegistry::with_builtins();
+                for key in registry.keys() {
+                    let p = registry.get(key).expect("listed key resolves");
+                    let notion = p
+                        .native_notion()
+                        .map_or_else(|| "both".to_string(), |m| m.to_string());
+                    println!("{key:<14} {:<20} native notion: {notion}", p.name());
+                }
+                return Ok(None);
+            }
             "--hex" => o.hex = Some(val("--hex")?),
             "--kernel" => o.kernel = Some(val("--kernel")?),
+            "--batch" => o.batch = true,
             "--uarch" => {
                 o.uarch = val("--uarch")?.parse().map_err(|e| format!("{e}"))?;
             }
@@ -91,10 +139,215 @@ fn parse_args() -> Result<Option<Options>, String> {
                 };
             }
             "--compare" => o.compare = true,
+            "--predictors" => o.predictors = val("--predictors")?,
+            "--json" => o.format = Format::Json,
+            "--csv" => o.format = Format::Csv,
+            "--threads" => {
+                o.threads = Some(
+                    val("--threads")?
+                        .parse()
+                        .map_err(|_| "numeric --threads".to_string())?,
+                );
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
+    if o.compare && !o.predictors.split(',').any(|t| t.trim() == "sim") {
+        o.predictors.push_str(",sim");
+    }
     Ok(Some(o))
+}
+
+fn uarch_list(o: &Options) -> Vec<Uarch> {
+    if o.all_uarchs {
+        Uarch::ALL.to_vec()
+    } else {
+        vec![o.uarch]
+    }
+}
+
+fn fixed_mode(o: &Options) -> Option<Mode> {
+    match o.mode {
+        ModeArg::Auto => None,
+        ModeArg::Loop => Some(Mode::Loop),
+        ModeArg::Unroll => Some(Mode::Unrolled),
+    }
+}
+
+/// Minimal JSON string escaping (we only emit simple ASCII-ish fields).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// CSV field quoting per RFC 4180 (only when needed).
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn mode_str(mode: Option<Mode>) -> &'static str {
+    match mode {
+        Some(Mode::Unrolled) => "tpu",
+        Some(Mode::Loop) => "tpl",
+        None => "",
+    }
+}
+
+const CSV_HEADER: &str = "block,uarch,mode,predictor,status,throughput,bottleneck,error";
+
+fn emit_row<W: Write + ?Sized>(out: &mut W, format: Format, r: &ItemResult) -> std::io::Result<()> {
+    match format {
+        Format::Json => {
+            let core = format!(
+                "\"block\":\"{}\",\"uarch\":\"{}\",\"mode\":\"{}\",\"predictor\":\"{}\"",
+                json_escape(&r.block_hex),
+                r.uarch,
+                mode_str(r.mode),
+                json_escape(&r.predictor),
+            );
+            match &r.prediction {
+                Ok(p) => {
+                    let bn = p
+                        .bottleneck
+                        .as_ref()
+                        .map_or_else(|| "null".to_string(), |b| format!("\"{}\"", json_escape(b)));
+                    writeln!(
+                        out,
+                        "{{{core},\"status\":\"ok\",\"throughput\":{:.4},\"bottleneck\":{bn}}}",
+                        p.throughput
+                    )
+                }
+                Err(e) => writeln!(
+                    out,
+                    "{{{core},\"status\":\"error\",\"code\":\"{}\",\"error\":\"{}\"}}",
+                    e.code(),
+                    json_escape(&e.to_string())
+                ),
+            }
+        }
+        Format::Csv => match &r.prediction {
+            Ok(p) => writeln!(
+                out,
+                "{},{},{},{},ok,{:.4},{},",
+                csv_escape(&r.block_hex),
+                r.uarch,
+                mode_str(r.mode),
+                csv_escape(&r.predictor),
+                p.throughput,
+                csv_escape(p.bottleneck.as_deref().unwrap_or("")),
+            ),
+            Err(e) => writeln!(
+                out,
+                "{},{},{},{},{},,,{}",
+                csv_escape(&r.block_hex),
+                r.uarch,
+                mode_str(r.mode),
+                csv_escape(&r.predictor),
+                e.code(),
+                csv_escape(&e.to_string()),
+            ),
+        },
+        Format::Human => match &r.prediction {
+            Ok(p) => writeln!(
+                out,
+                "{:<24} {:<4} {:<3} {:<12} {:>8.2} cyc/iter{}",
+                r.block_hex,
+                r.uarch.to_string(),
+                mode_str(r.mode),
+                r.predictor,
+                p.throughput,
+                p.bottleneck
+                    .as_ref()
+                    .map_or_else(String::new, |b| format!("  bottleneck: {b}")),
+            ),
+            Err(e) => writeln!(
+                out,
+                "{:<24} {:<4} {:<3} {:<12} error: {e}",
+                r.block_hex,
+                r.uarch.to_string(),
+                mode_str(r.mode),
+                r.predictor,
+            ),
+        },
+    }
+}
+
+fn build_engine(o: &Options) -> Engine {
+    let mut engine = Engine::new(PredictorRegistry::with_builtins());
+    if let Some(t) = o.threads {
+        engine = engine.with_threads(t);
+    }
+    engine
+}
+
+/// Batch mode: stream stdin lines through the engine.
+fn run_batch(o: &Options) -> Result<(), String> {
+    let engine = build_engine(o);
+    let uarchs = uarch_list(o);
+    let mode = fixed_mode(o);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    if o.format == Format::Csv {
+        writeln!(&mut out, "{CSV_HEADER}").map_err(|e| e.to_string())?;
+    }
+
+    // Stream in chunks: bounded memory on arbitrarily large inputs, and
+    // each chunk still fans out in parallel across the worker pool.
+    const CHUNK: usize = 4096;
+    let mut items: Vec<BatchItem> = Vec::with_capacity(CHUNK);
+    let flush = |items: &mut Vec<BatchItem>, out: &mut dyn Write| -> Result<(), String> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let rows = engine
+            .predict_batch(items, &o.predictors)
+            .map_err(|e| e.to_string())?;
+        for r in &rows {
+            emit_row(out, o.format, r).map_err(|e| e.to_string())?;
+        }
+        items.clear();
+        // Annotations are only reused within a chunk; dropping them here
+        // keeps memory bounded on arbitrarily large streams.
+        engine.clear_cache();
+        Ok(())
+    };
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // BHive CSV: the block is everything before the first comma.
+        let hex = line.split(',').next().unwrap_or(line).trim().to_string();
+        for &u in &uarchs {
+            items.push(BatchItem {
+                input: facile_engine::BlockInput::Hex(hex.clone()),
+                uarch: u,
+                mode,
+            });
+        }
+        if items.len() >= CHUNK {
+            flush(&mut items, &mut out)?;
+        }
+    }
+    flush(&mut items, &mut out)?;
+    out.flush().map_err(|e| e.to_string())
 }
 
 fn load_block(o: &Options) -> Result<Block, String> {
@@ -103,21 +356,70 @@ fn load_block(o: &Options) -> Result<Block, String> {
         (None, Some(k)) => facile_bhive::kernel(k)
             .map(|k| k.block)
             .ok_or_else(|| format!("unknown kernel: {k} (try --list-kernels)")),
-        _ => Err("provide exactly one of --hex or --kernel".into()),
+        _ => Err("provide exactly one of --hex, --kernel, or --batch".into()),
     }
 }
 
-fn analyze(block: &Block, uarch: Uarch, mode: Mode, compare: bool) {
-    let ab = AnnotatedBlock::new(block.clone(), uarch);
-    let prediction = Facile::new().predict(&ab, mode);
-    println!("{}", Report::new(&ab, mode, &prediction));
-    if compare {
-        let sim = facile_sim::simulate(&ab, mode == Mode::Loop);
-        println!(
-            "cycle-accurate simulation: {:.2} cycles/iteration (via {:?})\n",
-            sim.cycles_per_iter, sim.path
-        );
+/// Single-block mode: the interpretable report (plus any extra
+/// predictors), or machine-readable rows with --json/--csv.
+fn run_single(o: &Options) -> Result<(), String> {
+    let block = load_block(o)?;
+    if block.is_empty() {
+        return Err("empty basic block".into());
     }
+    let mode = fixed_mode(o).unwrap_or(if block.ends_in_branch() {
+        Mode::Loop
+    } else {
+        Mode::Unrolled
+    });
+    let engine = build_engine(o);
+    let uarchs = uarch_list(o);
+
+    if o.format != Format::Human {
+        let items: Vec<BatchItem> = uarchs
+            .iter()
+            .map(|&u| BatchItem::block(block.clone(), u).with_mode(mode))
+            .collect();
+        let rows = engine
+            .predict_batch(&items, &o.predictors)
+            .map_err(|e| e.to_string())?;
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        if o.format == Format::Csv {
+            writeln!(&mut out, "{CSV_HEADER}").map_err(|e| e.to_string())?;
+        }
+        for r in &rows {
+            emit_row(&mut out, o.format, r).map_err(|e| e.to_string())?;
+        }
+        return out.flush().map_err(|e| e.to_string());
+    }
+
+    println!(
+        "block ({} instructions, {} bytes):",
+        block.num_insts(),
+        block.byte_len()
+    );
+    print!("{block}");
+    println!();
+    let extra = engine
+        .registry()
+        .resolve(&o.predictors)
+        .map_err(|e| e.to_string())?;
+    for &uarch in &uarchs {
+        let ab = engine.annotate(&block, uarch);
+        let prediction = Facile::new().predict(&ab, mode);
+        println!("{}", Report::new(&ab, mode, &prediction));
+        for p in extra.iter().filter(|p| p.key() != "facile") {
+            match p.predict(&facile_engine::PredictRequest::new(&ab, mode)) {
+                Ok(pred) => println!("{}: {:.2} cycles/iteration", p.name(), pred.throughput),
+                Err(e) => println!("{}: error: {e}", p.name()),
+            }
+        }
+        if !extra.is_empty() && extra.iter().any(|p| p.key() != "facile") {
+            println!();
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -129,37 +431,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let block = match load_block(&opts) {
-        Ok(b) => b,
+    let result = if opts.batch {
+        run_batch(&opts)
+    } else {
+        run_single(&opts)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(1);
+            ExitCode::from(1)
         }
-    };
-    if block.is_empty() {
-        eprintln!("error: empty basic block");
-        return ExitCode::from(1);
     }
-    let mode = match opts.mode {
-        ModeArg::Loop => Mode::Loop,
-        ModeArg::Unroll => Mode::Unrolled,
-        ModeArg::Auto => {
-            if block.ends_in_branch() {
-                Mode::Loop
-            } else {
-                Mode::Unrolled
-            }
-        }
-    };
-    println!("block ({} instructions, {} bytes):", block.num_insts(), block.byte_len());
-    print!("{block}");
-    println!();
-    if opts.all_uarchs {
-        for u in Uarch::ALL {
-            analyze(&block, u, mode, opts.compare);
-        }
-    } else {
-        analyze(&block, opts.uarch, mode, opts.compare);
-    }
-    ExitCode::SUCCESS
 }

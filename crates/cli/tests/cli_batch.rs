@@ -1,0 +1,142 @@
+//! Golden tests for the CLI's machine-readable batch output: the exact
+//! bytes must be stable (they are diffed by downstream tooling) and
+//! independent of the worker-thread count.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_facile(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_facile"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn facile");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("facile runs");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.success(),
+    )
+}
+
+const BATCH_INPUT: &str = "\
+# comment lines and blanks are skipped
+
+4801c8480fafd0
+4801c8,12.34
+zznothex
+49ffcb75fb
+";
+
+#[test]
+fn batch_json_golden() {
+    let (stdout, stderr, ok) = run_facile(
+        &["--batch", "--predictors", "facile", "--json"],
+        BATCH_INPUT,
+    );
+    assert!(ok, "stderr: {stderr}");
+    let expected = "\
+{\"block\":\"4801c8480fafd0\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"facile\",\"status\":\"ok\",\"throughput\":3.0000,\"bottleneck\":\"Precedence\"}
+{\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"facile\",\"status\":\"ok\",\"throughput\":1.0000,\"bottleneck\":\"Precedence\"}
+{\"block\":\"zznothex\",\"uarch\":\"SKL\",\"mode\":\"\",\"predictor\":\"facile\",\"status\":\"error\",\"code\":\"bad-hex\",\"error\":\"not a hex-encoded block: \\\"zznothex\\\"\"}
+{\"block\":\"49ffcb75fb\",\"uarch\":\"SKL\",\"mode\":\"tpl\",\"predictor\":\"facile\",\"status\":\"ok\",\"throughput\":1.0000,\"bottleneck\":\"DSB\"}
+";
+    assert_eq!(stdout, expected);
+}
+
+#[test]
+fn batch_csv_golden() {
+    let (stdout, stderr, ok) =
+        run_facile(&["--batch", "--predictors", "facile", "--csv"], BATCH_INPUT);
+    assert!(ok, "stderr: {stderr}");
+    let expected = "\
+block,uarch,mode,predictor,status,throughput,bottleneck,error
+4801c8480fafd0,SKL,tpu,facile,ok,3.0000,Precedence,
+4801c8,SKL,tpu,facile,ok,1.0000,Precedence,
+zznothex,SKL,,facile,bad-hex,,,\"not a hex-encoded block: \"\"zznothex\"\"\"
+49ffcb75fb,SKL,tpl,facile,ok,1.0000,DSB,
+";
+    assert_eq!(stdout, expected);
+}
+
+#[test]
+fn batch_output_is_identical_across_thread_counts() {
+    // A bigger batch (including error lines) must produce byte-identical
+    // output on one thread and on many.
+    let mut input = String::new();
+    for b in facile_bhive::generate_suite(50, 1234) {
+        input.push_str(&b.unrolled.to_hex());
+        input.push('\n');
+        input.push_str(&b.looped.to_hex());
+        input.push('\n');
+        if b.id % 7 == 0 {
+            input.push_str("deadbeefdeadbeefff\n"); // undecodable
+        }
+    }
+    let args_base = ["--batch", "--predictors", "facile,sim", "--json"];
+    let (one, _, ok1) = run_facile(&[&args_base[..], &["--threads", "1"]].concat(), &input);
+    let (many, _, ok8) = run_facile(&[&args_base[..], &["--threads", "8"]].concat(), &input);
+    assert!(ok1 && ok8);
+    assert_eq!(one, many);
+    let rows = one.lines().count();
+    assert_eq!(rows, (100 + 8) * 2, "one row per (block, predictor)");
+}
+
+#[test]
+fn batch_thousand_blocks_no_panics() {
+    // Acceptance criterion: >= 1000 blocks through stdin, one row per
+    // (block, predictor), no panics on undecodable input.
+    let mut input = String::new();
+    let suite = facile_bhive::generate_suite(500, 77);
+    for b in &suite {
+        input.push_str(&b.unrolled.to_hex());
+        input.push('\n');
+        input.push_str(&b.looped.to_hex());
+        input.push('\n');
+    }
+    input.push_str("zz\n0f0b\n"); // junk: non-hex, then an unsupported opcode (ud2)
+    let (stdout, stderr, ok) = run_facile(&["--batch", "--predictors", "facile", "--json"], &input);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.lines().count(), 1002);
+    let errors = stdout
+        .lines()
+        .filter(|l| l.contains("\"status\":\"error\""))
+        .count();
+    assert_eq!(errors, 2);
+    assert!(!stderr.contains("panic"), "{stderr}");
+}
+
+#[test]
+fn unknown_predictor_selector_fails_cleanly() {
+    let (_, stderr, ok) = run_facile(&["--batch", "--predictors", "uica", "--json"], "4801c8\n");
+    assert!(!ok);
+    assert!(stderr.contains("no predictor matches"), "{stderr}");
+}
+
+#[test]
+fn single_block_json_uses_the_same_row_format() {
+    let (stdout, stderr, ok) = run_facile(
+        &[
+            "--hex",
+            "4801c8480fafd0",
+            "--json",
+            "--predictors",
+            "facile,sim",
+        ],
+        "",
+    );
+    assert!(ok, "stderr: {stderr}");
+    let expected = "\
+{\"block\":\"4801c8480fafd0\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"facile\",\"status\":\"ok\",\"throughput\":3.0000,\"bottleneck\":\"Precedence\"}
+{\"block\":\"4801c8480fafd0\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"sim\",\"status\":\"ok\",\"throughput\":3.0000,\"bottleneck\":null}
+";
+    assert_eq!(stdout, expected);
+}

@@ -64,11 +64,17 @@ pub fn variants() -> Vec<Variant> {
         both("Facile", FacileConfig::default()),
         unrolled(
             "Facile w/ SimplePredec",
-            FacileConfig { simple_predec: true, ..FacileConfig::default() },
+            FacileConfig {
+                simple_predec: true,
+                ..FacileConfig::default()
+            },
         ),
         unrolled(
             "Facile w/ SimpleDec",
-            FacileConfig { simple_dec: true, ..FacileConfig::default() },
+            FacileConfig {
+                simple_dec: true,
+                ..FacileConfig::default()
+            },
         ),
         unrolled("only Predec", FacileConfig::only(Predec)),
         unrolled("only Dec", FacileConfig::only(Dec)),
@@ -124,14 +130,20 @@ mod tests {
     #[test]
     fn every_variant_produces_a_finite_prediction() {
         let prog = vec![
-            (Mnemonic::Add, vec![
-                Operand::Reg(Reg::gpr(0, Width::W64)),
-                Operand::Reg(Reg::gpr(1, Width::W64)),
-            ]),
-            (Mnemonic::Imul, vec![
-                Operand::Reg(Reg::gpr(2, Width::W64)),
-                Operand::Reg(Reg::gpr(0, Width::W64)),
-            ]),
+            (
+                Mnemonic::Add,
+                vec![
+                    Operand::Reg(Reg::gpr(0, Width::W64)),
+                    Operand::Reg(Reg::gpr(1, Width::W64)),
+                ],
+            ),
+            (
+                Mnemonic::Imul,
+                vec![
+                    Operand::Reg(Reg::gpr(2, Width::W64)),
+                    Operand::Reg(Reg::gpr(0, Width::W64)),
+                ],
+            ),
         ];
         let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Skl);
         for v in variants() {
@@ -150,10 +162,13 @@ mod tests {
     fn full_model_dominates_only_variants() {
         // "only X" can never predict *higher* than the full model (it is a
         // subset of the maximum).
-        let prog = vec![(Mnemonic::Add, vec![
-            Operand::Reg(Reg::gpr(0, Width::W64)),
-            Operand::Reg(Reg::gpr(1, Width::W64)),
-        ])];
+        let prog = vec![(
+            Mnemonic::Add,
+            vec![
+                Operand::Reg(Reg::gpr(0, Width::W64)),
+                Operand::Reg(Reg::gpr(1, Width::W64)),
+            ],
+        )];
         let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Rkl);
         let full = Facile::new().predict(&ab, Mode::Unrolled).throughput;
         for v in variants() {

@@ -39,11 +39,9 @@ fn decoder_view(ab: &AnnotatedBlock) -> Vec<DecInst> {
 fn is_fusible_mnemonic(m: Mnemonic, cfg: &UarchConfig) -> bool {
     match m {
         Mnemonic::Cmp | Mnemonic::Test => true,
-        Mnemonic::And
-        | Mnemonic::Add
-        | Mnemonic::Sub
-        | Mnemonic::Inc
-        | Mnemonic::Dec => cfg.extended_macro_fusion,
+        Mnemonic::And | Mnemonic::Add | Mnemonic::Sub | Mnemonic::Inc | Mnemonic::Dec => {
+            cfg.extended_macro_fusion
+        }
         _ => false,
     }
 }
@@ -73,8 +71,8 @@ pub fn dec(ab: &AnnotatedBlock) -> f64 {
     let mut n_avail_simple: u8 = 0;
     // nComplexDecInIteration: decode groups started in each iteration.
     let mut groups_in_iter: Vec<u32> = vec![0]; // index 0 unused; iteration starts at 1
-    // firstInstrOnDecInIteration[d]: iteration in which the first
-    // instruction of the benchmark was first allocated to decoder d.
+                                                // firstInstrOnDecInIteration[d]: iteration in which the first
+                                                // instruction of the benchmark was first allocated to decoder d.
     let mut first_on_dec: Vec<i64> = vec![-1; n_decoders];
 
     // Steady state is reached within #decoders + 1 iterations by the
@@ -86,9 +84,7 @@ pub fn dec(ab: &AnnotatedBlock) -> f64 {
                 cur_dec = 0;
                 n_avail_simple = i.simple_after;
             } else if n_avail_simple == 0
-                || (cur_dec + 1 == n_decoders - 1
-                    && i.fusible
-                    && !cfg.fuse_on_last_decoder)
+                || (cur_dec + 1 == n_decoders - 1 && i.fusible && !cfg.fuse_on_last_decoder)
             {
                 cur_dec = 0;
                 n_avail_simple = cfg.n_decoders - 1;
@@ -108,9 +104,7 @@ pub fn dec(ab: &AnnotatedBlock) -> f64 {
                 let f = first_on_dec[cur_dec];
                 if f >= 0 {
                     let u = iteration - f;
-                    let cycles: u32 = groups_in_iter[f as usize..iteration as usize]
-                        .iter()
-                        .sum();
+                    let cycles: u32 = groups_in_iter[f as usize..iteration as usize].iter().sum();
                     return f64::from(cycles) / u as f64;
                 }
                 first_on_dec[cur_dec] = iteration;
@@ -127,10 +121,7 @@ pub fn dec(ab: &AnnotatedBlock) -> f64 {
 pub fn simple_dec(ab: &AnnotatedBlock) -> f64 {
     let cfg = ab.uarch().config();
     let n = ab.fused_insts().count() as f64;
-    let c = ab
-        .fused_insts()
-        .filter(|a| a.desc.complex_decoder)
-        .count() as f64;
+    let c = ab.fused_insts().filter(|a| a.desc.complex_decoder).count() as f64;
     (n / f64::from(cfg.n_decoders)).max(c)
 }
 

@@ -29,10 +29,7 @@ mod tests {
         let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Snb);
         // 2 instructions, each 2 issue-µops after unlamination; width 4.
         assert!((issue(&ab) - 1.0).abs() < 1e-9);
-        let ab = AnnotatedBlock::new(
-            Block::assemble(&prog).unwrap(),
-            Uarch::Skl,
-        );
+        let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Skl);
         // SKL keeps them fused: 2 µops / 4 = 0.5.
         assert!((issue(&ab) - 0.5).abs() < 1e-9);
     }

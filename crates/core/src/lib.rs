@@ -57,8 +57,8 @@ pub mod predec;
 pub mod predict;
 pub mod report;
 
+pub use ablation::{variants as ablation_variants, Variant};
 pub use ports::PortsAnalysis;
 pub use precedence::{ChainLink, PrecedenceAnalysis};
 pub use predict::{Component, Facile, FacileConfig, FrontEndPath, Mode, Prediction};
-pub use ablation::{variants as ablation_variants, Variant};
 pub use report::Report;

@@ -38,7 +38,11 @@ impl RatioGraph {
     /// An empty graph with `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> RatioGraph {
-        RatioGraph { n, edges: Vec::new(), out: vec![Vec::new(); n] }
+        RatioGraph {
+            n,
+            edges: Vec::new(),
+            out: vec![Vec::new(); n],
+        }
     }
 
     /// Add an edge.
@@ -49,7 +53,12 @@ impl RatioGraph {
         assert!(from < self.n && to < self.n, "edge endpoint out of range");
         assert!(weight >= 0.0, "negative or NaN latency weight");
         self.out[from].push(self.edges.len());
-        self.edges.push(REdge { from, to, weight, count });
+        self.edges.push(REdge {
+            from,
+            to,
+            weight,
+            count,
+        });
     }
 
     /// Number of nodes.
@@ -206,7 +215,10 @@ pub fn max_cycle_ratio_howard(g: &RatioGraph) -> Mcr {
                     let pred = cyc
                         .iter()
                         .copied()
-                        .find(|&p| g.edges()[policy[p].expect("edge")].to == u && p != u || (p == u && cyc.len() == 1))
+                        .find(|&p| {
+                            g.edges()[policy[p].expect("edge")].to == u && p != u
+                                || (p == u && cyc.len() == 1)
+                        })
                         .expect("cycle predecessor exists");
                     if pred == v {
                         break;
@@ -279,7 +291,10 @@ pub fn max_cycle_ratio_howard(g: &RatioGraph) -> Mcr {
                 cycle.push(v);
                 v = g.edges()[policy[v].expect("edge")].to;
             }
-            best = Mcr::Ratio { value: lam.max(0.0), cycle };
+            best = Mcr::Ratio {
+                value: lam.max(0.0),
+                cycle,
+            };
             break;
         }
     }
@@ -321,7 +336,10 @@ pub fn max_cycle_ratio_lawler(g: &RatioGraph) -> Mcr {
             hi = mid;
         }
     }
-    Mcr::Ratio { value: lo.max(0.0), cycle: Vec::new() }
+    Mcr::Ratio {
+        value: lo.max(0.0),
+        cycle: Vec::new(),
+    }
 }
 
 /// Bellman–Ford-style detection of a cycle with positive total weight under

@@ -67,7 +67,11 @@ fn best_bound(loads: &[(PortMask, f64)], candidates: &[PortMask]) -> PortsAnalys
             .sum();
         let bound = load / f64::from(pc.count());
         if bound > best.bound + 1e-12 {
-            best = PortsAnalysis { bound, critical_ports: pc, load_on_critical: load };
+            best = PortsAnalysis {
+                bound,
+                critical_ports: pc,
+                load_on_critical: load,
+            };
         }
     }
     best
@@ -175,13 +179,22 @@ mod tests {
                 (Mnemonic::Add, vec![Operand::Reg(RBX), Operand::Reg(RCX)]),
             ],
             vec![
-                (Mnemonic::Mulsd, vec![Operand::Reg(Reg::Xmm(0)), Operand::Reg(Reg::Xmm(1))]),
-                (Mnemonic::Addsd, vec![Operand::Reg(Reg::Xmm(2)), Operand::Reg(Reg::Xmm(3))]),
-                (Mnemonic::Pshufd, vec![
-                    Operand::Reg(Reg::Xmm(4)),
-                    Operand::Reg(Reg::Xmm(5)),
-                    Operand::Imm(0),
-                ]),
+                (
+                    Mnemonic::Mulsd,
+                    vec![Operand::Reg(Reg::Xmm(0)), Operand::Reg(Reg::Xmm(1))],
+                ),
+                (
+                    Mnemonic::Addsd,
+                    vec![Operand::Reg(Reg::Xmm(2)), Operand::Reg(Reg::Xmm(3))],
+                ),
+                (
+                    Mnemonic::Pshufd,
+                    vec![
+                        Operand::Reg(Reg::Xmm(4)),
+                        Operand::Reg(Reg::Xmm(5)),
+                        Operand::Imm(0),
+                    ],
+                ),
             ],
         ];
         for prog in progs {
@@ -199,7 +212,10 @@ mod tests {
         // The heuristic considers a subset of candidates, so it can only be
         // lower or equal.
         let prog = vec![
-            (Mnemonic::Divss, vec![Operand::Reg(Reg::Xmm(0)), Operand::Reg(Reg::Xmm(1))]),
+            (
+                Mnemonic::Divss,
+                vec![Operand::Reg(Reg::Xmm(0)), Operand::Reg(Reg::Xmm(1))],
+            ),
             (Mnemonic::Imul, vec![Operand::Reg(RAX), Operand::Reg(RCX)]),
         ];
         let ab = annotate(&prog, Uarch::Hsw);
@@ -215,7 +231,11 @@ mod tests {
         )];
         let ab = annotate(&prog, Uarch::Skl);
         let p = ports(&ab);
-        assert!(p.bound >= 3.0, "divider occupancy should bound: {}", p.bound);
+        assert!(
+            p.bound >= 3.0,
+            "divider occupancy should bound: {}",
+            p.bound
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ fn value_name(v: Value) -> String {
     match v {
         Value::Reg(r) => r.to_string(),
         Value::Flag(g) => flags::group_name(g).to_string(),
-        Value::Mem { base, index, scale, disp } => {
+        Value::Mem {
+            base,
+            index,
+            scale,
+            disp,
+        } => {
             let mut s = String::from("[");
             if let Some(b) = base {
                 s.push_str(&b.to_string());
@@ -150,7 +155,10 @@ fn flows(ab: &AnnotatedBlock) -> Vec<Flow> {
 pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
     let fl = flows(ab);
     if fl.is_empty() {
-        return PrecedenceAnalysis { bound: 0.0, critical_chain: Vec::new() };
+        return PrecedenceAnalysis {
+            bound: 0.0,
+            critical_chain: Vec::new(),
+        };
     }
     let load_lat = f64::from(ab.uarch().config().load_latency);
 
@@ -158,8 +166,8 @@ pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
     let mut ids: HashMap<(usize, Value, bool), usize> = HashMap::new();
     let mut meta: Vec<(usize, Value, bool)> = Vec::new();
     let node = |ids: &mut HashMap<(usize, Value, bool), usize>,
-                    meta: &mut Vec<(usize, Value, bool)>,
-                    key: (usize, Value, bool)| {
+                meta: &mut Vec<(usize, Value, bool)>,
+                key: (usize, Value, bool)| {
         *ids.entry(key).or_insert_with(|| {
             meta.push(key);
             meta.len() - 1
@@ -228,20 +236,33 @@ pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
     }
 
     match max_cycle_ratio_howard(&g) {
-        Mcr::Acyclic => PrecedenceAnalysis { bound: 0.0, critical_chain: Vec::new() },
+        Mcr::Acyclic => PrecedenceAnalysis {
+            bound: 0.0,
+            critical_chain: Vec::new(),
+        },
         Mcr::Unbounded => {
             // Cannot occur: every cycle must cross an iteration boundary.
-            PrecedenceAnalysis { bound: f64::INFINITY, critical_chain: Vec::new() }
+            PrecedenceAnalysis {
+                bound: f64::INFINITY,
+                critical_chain: Vec::new(),
+            }
         }
         Mcr::Ratio { value, cycle } => {
             let critical_chain = cycle
                 .into_iter()
                 .map(|nid| {
                     let (fi, v, produced) = meta[nid];
-                    ChainLink { inst: fl[fi].index, value: value_name(v), produced }
+                    ChainLink {
+                        inst: fl[fi].index,
+                        value: value_name(v),
+                        produced,
+                    }
                 })
                 .collect();
-            PrecedenceAnalysis { bound: value, critical_chain }
+            PrecedenceAnalysis {
+                bound: value,
+                critical_chain,
+            }
         }
     }
 }

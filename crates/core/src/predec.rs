@@ -71,10 +71,12 @@ pub fn predec(ab: &AnnotatedBlock, mode: Mode) -> f64 {
         }
     }
 
-    let cycle_nlcp =
-        |b: usize| -> f64 { (f64::from(l_cnt[b] + o_cnt[b]) / width).ceil() };
+    let cycle_nlcp = |b: usize| -> f64 { (f64::from(l_cnt[b] + o_cnt[b]) / width).ceil() };
 
     let mut total = 0.0;
+    // Index arithmetic over a ring of blocks (b and its predecessor):
+    // clearer with explicit indices than with enumerate().
+    #[allow(clippy::needless_range_loop)]
     for b in 0..n_blocks {
         let prev = if b == 0 { n_blocks - 1 } else { b - 1 };
         let nlcp = cycle_nlcp(b);

@@ -322,7 +322,10 @@ impl Facile {
 
         // Order bounds by the canonical component order.
         bounds.sort_by_key(|(comp, _)| {
-            Component::ALL.iter().position(|c| c == comp).expect("known component")
+            Component::ALL
+                .iter()
+                .position(|c| c == comp)
+                .expect("known component")
         });
 
         let throughput = bounds.iter().map(|(_, b)| *b).fold(0.0, f64::max);

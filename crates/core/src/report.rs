@@ -21,7 +21,11 @@ impl<'a> Report<'a> {
     /// Build a report for a prediction of `ab`.
     #[must_use]
     pub fn new(ab: &'a AnnotatedBlock, mode: Mode, prediction: &'a Prediction) -> Report<'a> {
-        Report { ab, mode, prediction }
+        Report {
+            ab,
+            mode,
+            prediction,
+        }
     }
 }
 
@@ -37,7 +41,11 @@ impl fmt::Display for Report<'_> {
         )?;
         writeln!(f, "component bounds:")?;
         for (c, b) in &p.bounds {
-            let marker = if p.bottlenecks.contains(c) { " <- bottleneck" } else { "" };
+            let marker = if p.bottlenecks.contains(c) {
+                " <- bottleneck"
+            } else {
+                ""
+            };
             writeln!(f, "  {:<11} {b:>7.2}{marker}", c.name())?;
         }
         if let Some(pa) = &p.ports_analysis {

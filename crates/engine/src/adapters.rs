@@ -1,0 +1,235 @@
+//! Adapters exposing the workspace's predictors through the engine's
+//! object-safe [`Predictor`] trait.
+
+use crate::error::PredictError;
+use crate::predictor::{PredictRequest, Prediction, Predictor};
+use facile_core::Mode;
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The Facile analytical model, with its interpretability surfaced: the
+/// returned [`Prediction`] carries the primary bottleneck component.
+#[derive(Debug, Clone, Default)]
+pub struct FacileAdapter {
+    model: facile_core::Facile,
+}
+
+impl FacileAdapter {
+    /// Adapter around a specific model configuration.
+    #[must_use]
+    pub fn with_model(model: facile_core::Facile) -> FacileAdapter {
+        FacileAdapter { model }
+    }
+}
+
+impl Predictor for FacileAdapter {
+    fn key(&self) -> &str {
+        "facile"
+    }
+
+    fn name(&self) -> &str {
+        "Facile"
+    }
+
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, PredictError> {
+        let p = self.model.predict(req.annotated(), req.mode());
+        check_throughput("facile", req.mode(), p.throughput)?;
+        Ok(Prediction {
+            throughput: p.throughput,
+            bottleneck: p.primary_bottleneck().map(|c| c.name().to_string()),
+        })
+    }
+}
+
+/// Adapter for any [`facile_baselines::Predictor`] value under a fixed
+/// registry key. Used for both the stateless analytic baselines and
+/// pre-trained learned instances.
+#[derive(Debug, Clone)]
+pub struct Baseline<P> {
+    key: &'static str,
+    inner: P,
+}
+
+impl<P> Baseline<P> {
+    /// Wrap `inner` under `key`.
+    pub fn new(key: &'static str, inner: P) -> Baseline<P> {
+        Baseline { key, inner }
+    }
+}
+
+impl<P> Predictor for Baseline<P>
+where
+    P: facile_baselines::Predictor + Send + Sync,
+{
+    fn key(&self) -> &str {
+        self.key
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn native_notion(&self) -> Option<Mode> {
+        self.inner.native_notion()
+    }
+
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, PredictError> {
+        let v = self.inner.predict(req.annotated(), req.mode());
+        if v.is_nan() {
+            // The learned baselines signal "no model for this uarch" with
+            // NaN; surface it as a structured error.
+            return Err(PredictError::NotTrained {
+                predictor: self.key.to_string(),
+                uarch: req.uarch(),
+            });
+        }
+        check_throughput(self.key, req.mode(), v)?;
+        Ok(Prediction::plain(v))
+    }
+}
+
+/// How the lazily-trained learned baselines are trained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainConfig {
+    /// Training-suite size per microarchitecture.
+    pub n_train: usize,
+    /// Training-suite seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            n_train: 60,
+            seed: 2023,
+        }
+    }
+}
+
+type TrainFn = fn(Uarch, TrainConfig) -> Arc<dyn facile_baselines::Predictor + Send + Sync>;
+
+/// A learned baseline that trains per-microarchitecture models on first
+/// use. Training is deterministic in `(uarch, TrainConfig)`, so batch
+/// results do not depend on scheduling order.
+pub struct LazyLearned {
+    key: &'static str,
+    name: &'static str,
+    native: Option<Mode>,
+    train: TrainFn,
+    config: TrainConfig,
+    models: Mutex<HashMap<Uarch, Arc<dyn facile_baselines::Predictor + Send + Sync>>>,
+}
+
+impl LazyLearned {
+    fn new(key: &'static str, name: &'static str, train: TrainFn, config: TrainConfig) -> Self {
+        LazyLearned {
+            key,
+            name,
+            native: Some(Mode::Unrolled),
+            train,
+            config,
+            models: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The Ithemal-like learned row.
+    #[must_use]
+    pub fn ithemal(config: TrainConfig) -> LazyLearned {
+        LazyLearned::new(
+            "ithemal",
+            "Ithemal-like",
+            |u, c| {
+                Arc::new(facile_baselines::IthemalLike::train(
+                    &[u],
+                    c.n_train,
+                    c.seed,
+                ))
+            },
+            config,
+        )
+    }
+
+    /// The DiffTune-like learned row.
+    #[must_use]
+    pub fn difftune(config: TrainConfig) -> LazyLearned {
+        LazyLearned::new(
+            "difftune",
+            "DiffTune-like",
+            |u, c| {
+                Arc::new(facile_baselines::DiffTuneLike::train(
+                    &[u],
+                    c.n_train,
+                    c.seed,
+                ))
+            },
+            config,
+        )
+    }
+
+    /// The per-opcode learned row ("DiffTune revisited").
+    #[must_use]
+    pub fn learning_bl(config: TrainConfig) -> LazyLearned {
+        LazyLearned::new(
+            "learning-bl",
+            "learning-bl",
+            |u, c| Arc::new(facile_baselines::LearningBl::train(&[u], c.n_train, c.seed)),
+            config,
+        )
+    }
+
+    fn predict_trained(&self, ab: &AnnotatedBlock, mode: Mode) -> f64 {
+        let uarch = ab.uarch();
+        // Clone the Arc under the lock and predict outside it, so
+        // concurrent workers only serialize on first-use training, not on
+        // every prediction.
+        let model = {
+            let mut models = self.models.lock().expect("no poisoning");
+            Arc::clone(
+                models
+                    .entry(uarch)
+                    .or_insert_with(|| (self.train)(uarch, self.config)),
+            )
+        };
+        model.predict(ab, mode)
+    }
+}
+
+impl Predictor for LazyLearned {
+    fn key(&self) -> &str {
+        self.key
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn native_notion(&self) -> Option<Mode> {
+        self.native
+    }
+
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, PredictError> {
+        let v = self.predict_trained(req.annotated(), req.mode());
+        if v.is_nan() {
+            return Err(PredictError::NotTrained {
+                predictor: self.key.to_string(),
+                uarch: req.uarch(),
+            });
+        }
+        check_throughput(self.key, req.mode(), v)?;
+        Ok(Prediction::plain(v))
+    }
+}
+
+fn check_throughput(key: &str, mode: Mode, v: f64) -> Result<(), PredictError> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(())
+    } else {
+        Err(PredictError::InvalidOutput {
+            predictor: key.to_string(),
+            value: format!("{v}"),
+            mode,
+        })
+    }
+}

@@ -1,0 +1,120 @@
+//! The `(block bytes, uarch)`-keyed annotation cache.
+//!
+//! Building an [`AnnotatedBlock`] (descriptor lookups, macro-fusion
+//! resolution) is the shared front half of every predictor; in a batch
+//! run over `blocks × uarchs × predictors` it would otherwise be repeated
+//! once per predictor. The cache memoizes it per `(bytes, uarch)` pair
+//! and hands out `Arc`s, so concurrent workers share one annotation.
+
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters of an [`AnnotationCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to annotate.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+// Two levels (uarch, then bytes) so the hit path can probe with the
+// borrowed `&[u8]` — no per-lookup allocation; `to_vec` happens only on
+// the insert path.
+type CacheMap = HashMap<Uarch, HashMap<Vec<u8>, Arc<AnnotatedBlock>>>;
+
+/// A thread-safe memo table from `(block bytes, uarch)` to the shared
+/// annotation.
+#[derive(Debug, Default)]
+pub struct AnnotationCache {
+    map: Mutex<CacheMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnnotationCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> AnnotationCache {
+        AnnotationCache::default()
+    }
+
+    /// The annotation of `block` on `uarch`, computed at most once per
+    /// distinct byte sequence. Takes `&Block`; the one clone needed to
+    /// own the annotation happens only on a miss.
+    pub fn annotate(&self, block: &Block, uarch: Uarch) -> Arc<AnnotatedBlock> {
+        if let Some(hit) = self
+            .map
+            .lock()
+            .expect("no poisoning")
+            .get(&uarch)
+            .and_then(|per_uarch| per_uarch.get(block.bytes()))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Annotate outside the lock so workers don't serialize on misses;
+        // a racing duplicate annotation is deterministic and harmless.
+        let ab = Arc::new(AnnotatedBlock::new(block.clone(), uarch));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("no poisoning");
+        Arc::clone(
+            map.entry(uarch)
+                .or_default()
+                .entry(block.bytes().to_vec())
+                .or_insert(ab),
+        )
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .map
+                .lock()
+                .expect("no poisoning")
+                .values()
+                .map(HashMap::len)
+                .sum(),
+        }
+    }
+
+    /// Drop all entries and reset counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("no poisoning").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_x86::reg::names::*;
+    use facile_x86::Mnemonic;
+
+    #[test]
+    fn annotation_is_shared_per_bytes_and_uarch() {
+        let cache = AnnotationCache::new();
+        let b = Block::assemble(&[(Mnemonic::Add, vec![RAX.into(), RCX.into()])]).unwrap();
+        let a1 = cache.annotate(&b, Uarch::Skl);
+        let a2 = cache.annotate(&b, Uarch::Skl);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let a3 = cache.annotate(&b, Uarch::Hsw);
+        assert!(!Arc::ptr_eq(&a1, &a3));
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.entries, 2);
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

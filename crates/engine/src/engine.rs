@@ -1,0 +1,344 @@
+//! The batch prediction engine.
+
+use crate::cache::{AnnotationCache, CacheStats};
+use crate::error::PredictError;
+use crate::predictor::{PredictRequest, Prediction, Predictor};
+use crate::registry::PredictorRegistry;
+use facile_core::Mode;
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A block to predict, in whatever form the caller has it.
+#[derive(Debug, Clone)]
+pub enum BlockInput {
+    /// Hex machine code (BHive format). Decoded by the engine; decode
+    /// failures become per-item errors, not panics.
+    Hex(String),
+    /// Raw machine code bytes.
+    Bytes(Vec<u8>),
+    /// An already-decoded block.
+    Block(Block),
+}
+
+impl BlockInput {
+    fn decode(&self) -> Result<Block, PredictError> {
+        match self {
+            BlockInput::Hex(h) => {
+                let h = h.trim();
+                if h.is_empty() || h.len() % 2 != 0 || !h.chars().all(|c| c.is_ascii_hexdigit()) {
+                    return Err(PredictError::BadHex {
+                        input: h.to_string(),
+                    });
+                }
+                Block::from_hex(h).map_err(|source| PredictError::Decode {
+                    input: h.to_string(),
+                    source,
+                })
+            }
+            BlockInput::Bytes(b) => Block::decode(b).map_err(|source| PredictError::Decode {
+                input: b.iter().map(|x| format!("{x:02x}")).collect(),
+                source,
+            }),
+            BlockInput::Block(b) => Ok(b.clone()),
+        }
+    }
+
+    /// The input rendered as hex (as supplied, without decoding).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        match self {
+            BlockInput::Hex(h) => h.trim().to_lowercase(),
+            BlockInput::Bytes(b) => b.iter().map(|x| format!("{x:02x}")).collect(),
+            BlockInput::Block(b) => b.to_hex(),
+        }
+    }
+}
+
+/// One unit of batch work: a block on a microarchitecture, with an
+/// optional fixed throughput notion (`None` = auto: loop iff the block
+/// ends in a branch).
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The block.
+    pub input: BlockInput,
+    /// The microarchitecture to predict on.
+    pub uarch: Uarch,
+    /// Fixed notion, or `None` for auto-detection.
+    pub mode: Option<Mode>,
+}
+
+impl BatchItem {
+    /// An item from hex machine code with auto notion.
+    #[must_use]
+    pub fn hex(hex: impl Into<String>, uarch: Uarch) -> BatchItem {
+        BatchItem {
+            input: BlockInput::Hex(hex.into()),
+            uarch,
+            mode: None,
+        }
+    }
+
+    /// An item from a decoded block with auto notion.
+    #[must_use]
+    pub fn block(block: Block, uarch: Uarch) -> BatchItem {
+        BatchItem {
+            input: BlockInput::Block(block),
+            uarch,
+            mode: None,
+        }
+    }
+
+    /// Fix the throughput notion.
+    #[must_use]
+    pub fn with_mode(mut self, mode: Mode) -> BatchItem {
+        self.mode = Some(mode);
+        self
+    }
+}
+
+/// One row of batch output: the outcome of one `(item, predictor)` pair.
+#[derive(Debug, Clone)]
+pub struct ItemResult {
+    /// Index of the originating [`BatchItem`].
+    pub item: usize,
+    /// The block as hex (canonical if it decoded, as-supplied otherwise).
+    pub block_hex: String,
+    /// The microarchitecture.
+    pub uarch: Uarch,
+    /// The resolved notion (`None` only when decoding failed before the
+    /// notion could be determined).
+    pub mode: Option<Mode>,
+    /// Registry key of the predictor that produced this row.
+    pub predictor: String,
+    /// The prediction, or the structured reason there is none.
+    pub prediction: Result<Prediction, PredictError>,
+}
+
+/// The prediction engine: a predictor registry, a worker pool, and a
+/// shared annotation cache.
+///
+/// `predict_batch` fans a batch out over `items × predictors` on `threads`
+/// worker threads. Output is deterministic and ordered — row `k` is item
+/// `k / P`, predictor `k % P` (registration order) — regardless of the
+/// number of threads.
+pub struct Engine {
+    registry: PredictorRegistry,
+    threads: usize,
+    cache: AnnotationCache,
+}
+
+impl Engine {
+    /// An engine over the given registry, with one worker per available
+    /// CPU.
+    #[must_use]
+    pub fn new(registry: PredictorRegistry) -> Engine {
+        let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+        Engine {
+            registry,
+            threads,
+            cache: AnnotationCache::new(),
+        }
+    }
+
+    /// An engine with every built-in predictor registered.
+    #[must_use]
+    pub fn with_builtins() -> Engine {
+        Engine::new(PredictorRegistry::with_builtins())
+    }
+
+    /// Set the worker count (`0` or `1` = run on the calling thread).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Engine {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The registry.
+    #[must_use]
+    pub fn registry(&self) -> &PredictorRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry (to register custom predictors).
+    pub fn registry_mut(&mut self) -> &mut PredictorRegistry {
+        &mut self.registry
+    }
+
+    /// Annotation-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached annotations.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Annotate through the engine's cache.
+    pub fn annotate(&self, block: &Block, uarch: Uarch) -> Arc<AnnotatedBlock> {
+        self.cache.annotate(block, uarch)
+    }
+
+    /// Predict one block with one predictor (by key).
+    ///
+    /// # Errors
+    /// Unknown key, undecodable/empty block, or a predictor failure.
+    pub fn predict_one(
+        &self,
+        block: &Block,
+        uarch: Uarch,
+        mode: Mode,
+        key: &str,
+    ) -> Result<Prediction, PredictError> {
+        let p = self
+            .registry
+            .get(key)
+            .ok_or_else(|| PredictError::UnknownPredictor {
+                pattern: key.to_string(),
+                available: self.registry.keys().map(str::to_string).collect(),
+            })?;
+        if block.is_empty() {
+            return Err(PredictError::EmptyBlock);
+        }
+        let ab = self.annotate(block, uarch);
+        p.predict(&PredictRequest::new(&ab, mode))
+    }
+
+    /// Run a batch: every item against every predictor the `selector`
+    /// resolves to (comma-separated keys / glob patterns).
+    ///
+    /// Per-item failures (bad hex, unsupported opcodes, untrained models)
+    /// are reported in the corresponding rows; only an unresolvable
+    /// selector fails the whole call.
+    ///
+    /// # Errors
+    /// [`PredictError::UnknownPredictor`] if the selector matches nothing.
+    pub fn predict_batch(
+        &self,
+        items: &[BatchItem],
+        selector: &str,
+    ) -> Result<Vec<ItemResult>, PredictError> {
+        let predictors = self.registry.resolve(selector)?;
+        Ok(self.run_batch(items, &predictors))
+    }
+
+    /// Run a batch against explicitly resolved predictors.
+    pub fn run_batch(
+        &self,
+        items: &[BatchItem],
+        predictors: &[Arc<dyn Predictor>],
+    ) -> Vec<ItemResult> {
+        // Stage 1: decode + annotate each item once (parallel over items).
+        struct Prepared {
+            hex: String,
+            mode: Option<Mode>,
+            annotated: Result<Arc<AnnotatedBlock>, PredictError>,
+        }
+        let prepared: Vec<Prepared> = self.parallel_map(items.len(), |i| {
+            let item = &items[i];
+            match item.input.decode() {
+                Ok(block) if block.is_empty() => Prepared {
+                    hex: item.input.hex(),
+                    mode: item.mode,
+                    annotated: Err(PredictError::EmptyBlock),
+                },
+                Ok(block) => {
+                    let mode = item.mode.unwrap_or(if block.ends_in_branch() {
+                        Mode::Loop
+                    } else {
+                        Mode::Unrolled
+                    });
+                    Prepared {
+                        hex: block.to_hex(),
+                        mode: Some(mode),
+                        annotated: Ok(self.annotate(&block, item.uarch)),
+                    }
+                }
+                Err(e) => Prepared {
+                    hex: item.input.hex(),
+                    mode: item.mode,
+                    annotated: Err(e),
+                },
+            }
+        });
+
+        // Stage 2: fan out over items × predictors.
+        let n = items.len() * predictors.len();
+        self.parallel_map(n, |k| {
+            let (i, j) = (k / predictors.len(), k % predictors.len());
+            let p = &predictors[j];
+            let prep = &prepared[i];
+            let prediction = match &prep.annotated {
+                Ok(ab) => {
+                    let mode = prep.mode.expect("annotated items have a resolved mode");
+                    p.predict(&PredictRequest::new(ab, mode))
+                }
+                Err(e) => Err(e.clone()),
+            };
+            ItemResult {
+                item: i,
+                block_hex: prep.hex.clone(),
+                uarch: items[i].uarch,
+                mode: prep.mode,
+                predictor: p.key().to_string(),
+                prediction,
+            }
+        })
+    }
+
+    /// Cross-product convenience: `blocks × uarchs` as batch items.
+    #[must_use]
+    pub fn matrix_items(blocks: &[Block], uarchs: &[Uarch]) -> Vec<BatchItem> {
+        blocks
+            .iter()
+            .flat_map(|b| uarchs.iter().map(|&u| BatchItem::block(b.clone(), u)))
+            .collect()
+    }
+
+    /// Order-preserving parallel map over `0..n` on the engine's worker
+    /// pool.
+    fn parallel_map<U: Send>(&self, n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+        parallel_map_indexed(n, self.threads, f)
+    }
+}
+
+/// Order-preserving parallel map over `0..n` with a bounded pool of
+/// scoped worker threads (runs inline when `threads <= 1` or the job is
+/// tiny). This is the engine's worker pool; it is exported so harness
+/// code can share the implementation instead of duplicating it.
+pub fn parallel_map_indexed<U: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize) -> U + Sync,
+) -> Vec<U> {
+    let threads = threads.min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock().expect("no poisoning") = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("no poisoning").expect("slot filled"))
+        .collect()
+}

@@ -1,0 +1,118 @@
+//! Structured prediction errors.
+//!
+//! Every failure mode of the engine is a variant here; nothing in the
+//! batch path panics on bad input. Errors carry enough context to be
+//! rendered in machine-readable output (one error per batch row) without
+//! aborting the rest of the batch.
+
+use facile_core::Mode;
+use facile_uarch::Uarch;
+use facile_x86::DecodeError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a prediction (or a batch row) could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// The input bytes / hex string did not decode to a basic block.
+    Decode {
+        /// The offending input, as supplied (hex).
+        input: String,
+        /// The decoder's diagnosis.
+        source: DecodeError,
+    },
+    /// The input hex string contained a non-hex character or an odd
+    /// number of digits.
+    BadHex {
+        /// The offending input, as supplied.
+        input: String,
+    },
+    /// The block decoded to zero instructions.
+    EmptyBlock,
+    /// A predictor selector did not match any registered predictor.
+    UnknownPredictor {
+        /// The selector (key or glob pattern) that failed to resolve.
+        pattern: String,
+        /// The keys that are registered.
+        available: Vec<String>,
+    },
+    /// A learned predictor has no trained model for this
+    /// microarchitecture (or training produced a non-finite output).
+    NotTrained {
+        /// Registry key of the predictor.
+        predictor: String,
+        /// The microarchitecture it was asked about.
+        uarch: Uarch,
+    },
+    /// The predictor produced a non-finite or negative throughput.
+    InvalidOutput {
+        /// Registry key of the predictor.
+        predictor: String,
+        /// The value it produced.
+        value: String,
+        /// The notion it was evaluating.
+        mode: Mode,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::Decode { input, source } => {
+                write!(f, "cannot decode block {input:?}: {source}")
+            }
+            PredictError::BadHex { input } => {
+                write!(f, "not a hex-encoded block: {input:?}")
+            }
+            PredictError::EmptyBlock => f.write_str("empty basic block"),
+            PredictError::UnknownPredictor { pattern, available } => {
+                write!(
+                    f,
+                    "no predictor matches {pattern:?} (available: {})",
+                    available.join(", ")
+                )
+            }
+            PredictError::NotTrained { predictor, uarch } => {
+                write!(
+                    f,
+                    "predictor {predictor:?} has no trained model for {uarch}"
+                )
+            }
+            PredictError::InvalidOutput {
+                predictor,
+                value,
+                mode,
+            } => {
+                write!(
+                    f,
+                    "predictor {predictor:?} produced invalid {mode} output: {value}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PredictError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PredictError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl PredictError {
+    /// A short machine-readable code for this error (stable across
+    /// releases; used in JSON/CSV batch output).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            PredictError::Decode { .. } => "decode-error",
+            PredictError::BadHex { .. } => "bad-hex",
+            PredictError::EmptyBlock => "empty-block",
+            PredictError::UnknownPredictor { .. } => "unknown-predictor",
+            PredictError::NotTrained { .. } => "not-trained",
+            PredictError::InvalidOutput { .. } => "invalid-output",
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The first-class, object-safe prediction interface.
+
+use crate::error::PredictError;
+use facile_core::Mode;
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+
+/// Everything a predictor needs for one prediction: the annotated block
+/// (built once per `(block bytes, uarch)` by the engine's cache and shared
+/// across predictors) and the throughput notion to evaluate.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictRequest<'a> {
+    annotated: &'a AnnotatedBlock,
+    mode: Mode,
+}
+
+impl<'a> PredictRequest<'a> {
+    /// Build a request from a pre-annotated block.
+    #[must_use]
+    pub fn new(annotated: &'a AnnotatedBlock, mode: Mode) -> PredictRequest<'a> {
+        PredictRequest { annotated, mode }
+    }
+
+    /// The annotated block.
+    #[must_use]
+    pub fn annotated(&self) -> &'a AnnotatedBlock {
+        self.annotated
+    }
+
+    /// The underlying basic block.
+    #[must_use]
+    pub fn block(&self) -> &'a Block {
+        self.annotated.block()
+    }
+
+    /// The microarchitecture the block was annotated for.
+    #[must_use]
+    pub fn uarch(&self) -> Uarch {
+        self.annotated.uarch()
+    }
+
+    /// The throughput notion to evaluate.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+}
+
+/// The result of one successful prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted steady-state throughput in cycles per iteration.
+    pub throughput: f64,
+    /// The primary bottleneck, if the predictor is interpretable enough
+    /// to report one (Facile reports its bottleneck component).
+    pub bottleneck: Option<String>,
+}
+
+impl Prediction {
+    /// A bare throughput value with no interpretability detail.
+    #[must_use]
+    pub fn plain(throughput: f64) -> Prediction {
+        Prediction {
+            throughput,
+            bottleneck: None,
+        }
+    }
+}
+
+/// A basic-block throughput predictor.
+///
+/// This is the object-safe interface every predictor in the workspace is
+/// served through: built-ins are registered in a
+/// [`PredictorRegistry`](crate::PredictorRegistry) under string keys, and
+/// the [`Engine`](crate::Engine) fans batches out over `&dyn Predictor`.
+/// Implementations must be thread-safe — `predict` is called concurrently
+/// from the engine's worker pool.
+pub trait Predictor: Send + Sync {
+    /// Stable registry key (lowercase, no spaces): `"facile"`, `"sim"`,
+    /// `"llvm-mca"`, ...
+    fn key(&self) -> &str;
+
+    /// Human-readable tool name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// The notion the tool was designed for (`None` = handles both).
+    fn native_notion(&self) -> Option<Mode> {
+        None
+    }
+
+    /// Predict the throughput of the requested block, or explain why it
+    /// cannot be predicted. Must not panic on any decodable input.
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, PredictError>;
+}

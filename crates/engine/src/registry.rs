@@ -1,0 +1,198 @@
+//! Name-addressed predictor registry with glob-style lookup.
+
+use crate::adapters::{Baseline, FacileAdapter, LazyLearned, TrainConfig};
+use crate::error::PredictError;
+use crate::predictor::Predictor;
+use std::sync::Arc;
+
+/// A registry mapping string keys to predictors.
+///
+/// Keys are resolved with [`PredictorRegistry::resolve`], which accepts a
+/// comma-separated list of exact keys or glob patterns (`*` matches any
+/// run of characters, `?` one character): `"facile,sim"`, `"*-like"`,
+/// `"*"`. Registration order is preserved and determines output order in
+/// batch results.
+pub struct PredictorRegistry {
+    entries: Vec<Arc<dyn Predictor>>,
+}
+
+impl Default for PredictorRegistry {
+    fn default() -> Self {
+        PredictorRegistry::new()
+    }
+}
+
+impl PredictorRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> PredictorRegistry {
+        PredictorRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry with every built-in predictor registered:
+    ///
+    /// | key | predictor |
+    /// |-----|-----------|
+    /// | `facile` | the Facile analytical model (with bottleneck report) |
+    /// | `sim` | the cycle-accurate simulator (uiCA-like row) |
+    /// | `iaca` | IACA-like analytical baseline |
+    /// | `osaca` | OSACA-like analytical baseline |
+    /// | `llvm-mca` | llvm-mca-like analytical baseline |
+    /// | `cqa` | CQA-like analytical baseline |
+    /// | `ithemal` | Ithemal-like learned baseline (trained lazily) |
+    /// | `difftune` | DiffTune-like learned baseline (trained lazily) |
+    /// | `learning-bl` | per-opcode learned baseline (trained lazily) |
+    ///
+    /// The learned rows train on first use for each microarchitecture,
+    /// with `config` controlling suite size and seed.
+    #[must_use]
+    pub fn with_builtins_config(config: TrainConfig) -> PredictorRegistry {
+        let mut r = PredictorRegistry::new();
+        r.register(Arc::new(FacileAdapter::default()));
+        r.register(Arc::new(Baseline::new("sim", facile_baselines::UicaLike)));
+        r.register(Arc::new(Baseline::new("iaca", facile_baselines::IacaLike)));
+        r.register(Arc::new(Baseline::new(
+            "osaca",
+            facile_baselines::OsacaLike,
+        )));
+        r.register(Arc::new(Baseline::new(
+            "llvm-mca",
+            facile_baselines::LlvmMcaLike,
+        )));
+        r.register(Arc::new(Baseline::new("cqa", facile_baselines::CqaLike)));
+        r.register(Arc::new(LazyLearned::ithemal(config)));
+        r.register(Arc::new(LazyLearned::difftune(config)));
+        r.register(Arc::new(LazyLearned::learning_bl(config)));
+        r
+    }
+
+    /// [`PredictorRegistry::with_builtins_config`] with default training.
+    #[must_use]
+    pub fn with_builtins() -> PredictorRegistry {
+        PredictorRegistry::with_builtins_config(TrainConfig::default())
+    }
+
+    /// Register a predictor. A predictor with the same key is replaced in
+    /// place (keeping its position); otherwise the new entry is appended.
+    pub fn register(&mut self, p: Arc<dyn Predictor>) {
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.key() == p.key()) {
+            *slot = p;
+        } else {
+            self.entries.push(p);
+        }
+    }
+
+    /// Look up a predictor by exact key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Arc<dyn Predictor>> {
+        self.entries.iter().find(|e| e.key() == key).cloned()
+    }
+
+    /// All registered keys, in registration order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.key())
+    }
+
+    /// Number of registered predictors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolve a comma-separated list of keys / glob patterns into
+    /// predictors, deduplicated, in registration order per token.
+    ///
+    /// # Errors
+    /// [`PredictError::UnknownPredictor`] if any token matches nothing.
+    pub fn resolve(&self, selector: &str) -> Result<Vec<Arc<dyn Predictor>>, PredictError> {
+        let mut out: Vec<Arc<dyn Predictor>> = Vec::new();
+        for token in selector.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let before = out.len();
+            for e in &self.entries {
+                if glob_match(token, e.key()) && !out.iter().any(|o| o.key() == e.key()) {
+                    out.push(Arc::clone(e));
+                }
+            }
+            // A token that matched only already-selected keys is fine; a
+            // token that matched nothing at all is an error.
+            let any_matched = self.entries.iter().any(|e| glob_match(token, e.key()));
+            if out.len() == before && !any_matched {
+                return Err(PredictError::UnknownPredictor {
+                    pattern: token.to_string(),
+                    available: self.keys().map(str::to_string).collect(),
+                });
+            }
+        }
+        if out.is_empty() {
+            return Err(PredictError::UnknownPredictor {
+                pattern: selector.to_string(),
+                available: self.keys().map(str::to_string).collect(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Glob matching with `*` (any run, possibly empty) and `?` (exactly one
+/// character). Everything else matches literally.
+#[must_use]
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Iterative wildcard matching with backtracking over the last `*`.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut mark) = (None::<usize>, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            mark = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("facile", "facile"));
+        assert!(!glob_match("facile", "facil"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("fa*le", "facile"));
+        assert!(glob_match("f?cile", "facile"));
+        assert!(!glob_match("f?cile", "fcile"));
+        assert!(glob_match("*-mca", "llvm-mca"));
+        assert!(!glob_match("*-mca", "osaca"));
+        assert!(glob_match("**", "x"));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(!glob_match("a*b*c", "aXXbYY"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Integration tests for the unified prediction API: registry lookup
+//! (exact, glob, unknown-key), batch determinism under parallelism, error
+//! propagation for undecodable input, and annotation-cache reuse.
+
+use facile_core::Mode;
+use facile_engine::{BatchItem, Engine, PredictError, PredictorRegistry, TrainConfig};
+use facile_uarch::Uarch;
+use facile_x86::Block;
+
+fn analytic_registry() -> PredictorRegistry {
+    // Builtins minus the lazily-trained learned rows, so tests stay fast.
+    let mut r = PredictorRegistry::new();
+    let full = PredictorRegistry::with_builtins();
+    for key in ["facile", "sim", "iaca", "osaca", "llvm-mca", "cqa"] {
+        r.register(full.get(key).unwrap());
+    }
+    r
+}
+
+#[test]
+fn registry_exact_lookup() {
+    let r = PredictorRegistry::with_builtins();
+    let p = r.get("facile").expect("facile is registered");
+    assert_eq!(p.key(), "facile");
+    assert_eq!(p.name(), "Facile");
+    assert!(r.get("nope").is_none());
+    assert_eq!(r.len(), 9);
+    let keys: Vec<&str> = r.keys().collect();
+    assert_eq!(keys[0], "facile");
+    assert!(keys.contains(&"llvm-mca"));
+    assert!(keys.contains(&"learning-bl"));
+}
+
+#[test]
+fn registry_glob_and_list_resolution() {
+    let r = PredictorRegistry::with_builtins();
+    let all = r.resolve("*").unwrap();
+    assert_eq!(all.len(), r.len());
+
+    let two = r.resolve("facile,sim").unwrap();
+    assert_eq!(
+        two.iter().map(|p| p.key().to_string()).collect::<Vec<_>>(),
+        vec!["facile", "sim"]
+    );
+
+    let mca = r.resolve("*mca*").unwrap();
+    assert_eq!(mca.len(), 1);
+    assert_eq!(mca[0].key(), "llvm-mca");
+
+    // Duplicates collapse; order follows first occurrence.
+    let dedup = r.resolve("sim,facile,sim,facile").unwrap();
+    assert_eq!(
+        dedup
+            .iter()
+            .map(|p| p.key().to_string())
+            .collect::<Vec<_>>(),
+        vec!["sim", "facile"]
+    );
+}
+
+#[test]
+fn registry_unknown_key_is_a_structured_error() {
+    let r = PredictorRegistry::with_builtins();
+    let err = r
+        .resolve("facile,uica")
+        .err()
+        .expect("unknown key must fail");
+    assert_eq!(err.code(), "unknown-predictor");
+    match err {
+        PredictError::UnknownPredictor { pattern, available } => {
+            assert_eq!(pattern, "uica");
+            assert!(available.contains(&"facile".to_string()));
+        }
+        other => panic!("expected UnknownPredictor, got {other:?}"),
+    }
+    assert!(r.resolve("zz*").is_err());
+}
+
+#[test]
+fn registry_replaces_same_key_in_place() {
+    let mut r = analytic_registry();
+    let n = r.len();
+    let replacement = PredictorRegistry::with_builtins().get("facile").unwrap();
+    r.register(replacement);
+    assert_eq!(r.len(), n);
+    assert_eq!(r.keys().next(), Some("facile"));
+}
+
+fn row_signature(rows: &[facile_engine::ItemResult]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            let outcome = match &r.prediction {
+                Ok(p) => format!("{:.6}|{:?}", p.throughput, p.bottleneck),
+                Err(e) => format!("err:{}:{e}", e.code()),
+            };
+            format!(
+                "{}|{}|{}|{:?}|{}",
+                r.item, r.block_hex, r.uarch, r.mode, outcome
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn batch_is_deterministic_across_thread_counts() {
+    let suite = facile_bhive::generate_suite(40, 91);
+    let mut items = Vec::new();
+    for b in &suite {
+        for u in [Uarch::Skl, Uarch::Hsw, Uarch::Rkl] {
+            items.push(BatchItem::block(b.unrolled.clone(), u));
+            items.push(BatchItem::block(b.looped.clone(), u));
+        }
+    }
+    // Sprinkle in failures: they must also be deterministic rows.
+    items.push(BatchItem::hex("zz", Uarch::Skl));
+    items.push(BatchItem::hex("", Uarch::Skl));
+
+    let single = Engine::new(analytic_registry()).with_threads(1);
+    let parallel = Engine::new(analytic_registry()).with_threads(8);
+    let a = single.predict_batch(&items, "facile,sim,iaca").unwrap();
+    let b = parallel.predict_batch(&items, "facile,sim,iaca").unwrap();
+    assert_eq!(a.len(), items.len() * 3);
+    assert_eq!(row_signature(&a), row_signature(&b));
+}
+
+#[test]
+fn undecodable_and_empty_inputs_become_error_rows() {
+    let engine = Engine::new(analytic_registry()).with_threads(2);
+    let items = vec![
+        BatchItem::hex("4801c8", Uarch::Skl), // fine: add rax, rcx
+        BatchItem::hex("notahexstring", Uarch::Skl), // bad characters
+        BatchItem::hex("f", Uarch::Skl),      // odd digit count
+        BatchItem::hex("0f0b0f0b", Uarch::Skl), // ud2: unsupported opcode
+        BatchItem::hex("", Uarch::Skl),       // empty
+    ];
+    let rows = engine.predict_batch(&items, "facile").unwrap();
+    assert_eq!(rows.len(), 5);
+    assert!(rows[0].prediction.is_ok());
+    assert!(matches!(
+        rows[1].prediction.as_ref().unwrap_err(),
+        PredictError::BadHex { .. }
+    ));
+    assert!(matches!(
+        rows[2].prediction.as_ref().unwrap_err(),
+        PredictError::BadHex { .. }
+    ));
+    assert!(matches!(
+        rows[3].prediction.as_ref().unwrap_err(),
+        PredictError::Decode { .. }
+    ));
+    assert!(matches!(
+        rows[4].prediction.as_ref().unwrap_err(),
+        PredictError::BadHex { .. } | PredictError::EmptyBlock
+    ));
+    // Error display carries the offending input.
+    let msg = rows[3].prediction.as_ref().unwrap_err().to_string();
+    assert!(msg.contains("0f0b"), "{msg}");
+}
+
+#[test]
+fn annotation_cache_is_shared_across_predictors_and_items() {
+    let engine = Engine::new(analytic_registry()).with_threads(4);
+    let block = Block::from_hex("4801c8480fafd0").unwrap();
+    let items: Vec<BatchItem> = (0..10)
+        .map(|_| BatchItem::block(block.clone(), Uarch::Skl))
+        .collect();
+    let rows = engine
+        .predict_batch(&items, "facile,sim,iaca,osaca")
+        .unwrap();
+    assert_eq!(rows.len(), 40);
+    assert!(rows.iter().all(|r| r.prediction.is_ok()));
+    let stats = engine.cache_stats();
+    // One distinct (bytes, uarch) pair: one miss (racing duplicate
+    // annotations allowed but the suite is small enough not to race).
+    assert_eq!(stats.entries, 1);
+    assert!(stats.hits >= 9, "annotations must be reused: {stats:?}");
+
+    // Same bytes, different uarch: a separate entry.
+    engine
+        .predict_batch(&[BatchItem::block(block.clone(), Uarch::Hsw)], "facile")
+        .unwrap();
+    assert_eq!(engine.cache_stats().entries, 2);
+}
+
+#[test]
+fn auto_mode_follows_trailing_branch() {
+    let engine = Engine::new(analytic_registry()).with_threads(1);
+    let plain = BatchItem::hex("4801c8", Uarch::Skl);
+    // dec r11; jne -5 -- a loop.
+    let lp = BatchItem::hex("49ffcb75fb", Uarch::Skl);
+    let rows = engine.predict_batch(&[plain, lp], "facile").unwrap();
+    assert_eq!(rows[0].mode, Some(Mode::Unrolled));
+    assert_eq!(rows[1].mode, Some(Mode::Loop));
+    // Explicit mode overrides auto-detection.
+    let forced = BatchItem::hex("4801c8", Uarch::Skl).with_mode(Mode::Loop);
+    let rows = engine.predict_batch(&[forced], "facile").unwrap();
+    assert_eq!(rows[0].mode, Some(Mode::Loop));
+}
+
+#[test]
+fn predict_one_matches_batch_row() {
+    let engine = Engine::new(analytic_registry());
+    let block = Block::from_hex("4801c8480fafd0").unwrap();
+    let one = engine
+        .predict_one(&block, Uarch::Skl, Mode::Unrolled, "facile")
+        .unwrap();
+    let rows = engine
+        .predict_batch(&[BatchItem::block(block, Uarch::Skl)], "facile")
+        .unwrap();
+    let row = rows[0].prediction.as_ref().unwrap();
+    assert_eq!(one.throughput, row.throughput);
+    assert_eq!(one.bottleneck, row.bottleneck);
+    assert!(one.bottleneck.is_some(), "facile reports its bottleneck");
+
+    let err = engine
+        .predict_one(
+            &Block::from_hex("4801c8").unwrap(),
+            Uarch::Skl,
+            Mode::Unrolled,
+            "nope",
+        )
+        .unwrap_err();
+    assert!(matches!(err, PredictError::UnknownPredictor { .. }));
+}
+
+#[test]
+fn facile_agrees_with_direct_model_call() {
+    let engine = Engine::new(analytic_registry());
+    let suite = facile_bhive::generate_suite(12, 5);
+    for b in &suite {
+        let ab = facile_isa::AnnotatedBlock::new(b.unrolled.clone(), Uarch::Skl);
+        let direct = facile_core::Facile::new()
+            .predict(&ab, Mode::Unrolled)
+            .throughput;
+        let via = engine
+            .predict_one(&b.unrolled, Uarch::Skl, Mode::Unrolled, "facile")
+            .unwrap()
+            .throughput;
+        assert_eq!(direct, via);
+    }
+}
+
+#[test]
+fn lazy_learned_trains_on_first_use() {
+    let mut registry = PredictorRegistry::new();
+    registry.register(std::sync::Arc::new(facile_engine::LazyLearned::difftune(
+        TrainConfig {
+            n_train: 20,
+            seed: 7,
+        },
+    )));
+    let engine = Engine::new(registry).with_threads(2);
+    let items = vec![
+        BatchItem::hex("4801c8", Uarch::Skl),
+        BatchItem::hex("480fafd0", Uarch::Skl),
+    ];
+    let rows = engine.predict_batch(&items, "difftune").unwrap();
+    for r in &rows {
+        let p = r.prediction.as_ref().expect("trained on demand");
+        assert!(p.throughput > 0.0);
+    }
+}

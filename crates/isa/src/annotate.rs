@@ -87,7 +87,11 @@ impl AnnotatedBlock {
                 i += 1;
             }
         }
-        AnnotatedBlock { uarch, block, insts }
+        AnnotatedBlock {
+            uarch,
+            block,
+            insts,
+        }
     }
 
     /// The microarchitecture this block was annotated for.
@@ -117,19 +121,28 @@ impl AnnotatedBlock {
     /// Total fused-domain µops delivered per iteration (DSB/LSD view).
     #[must_use]
     pub fn total_fused_uops(&self) -> u32 {
-        self.insts.iter().map(|a| u32::from(a.desc.fused_uops)).sum()
+        self.insts
+            .iter()
+            .map(|a| u32::from(a.desc.fused_uops))
+            .sum()
     }
 
     /// Total µops issued by the renamer per iteration (after unlamination).
     #[must_use]
     pub fn total_issue_uops(&self) -> u32 {
-        self.insts.iter().map(|a| u32::from(a.desc.issue_uops)).sum()
+        self.insts
+            .iter()
+            .map(|a| u32::from(a.desc.issue_uops))
+            .sum()
     }
 
     /// Total unfused-domain µops dispatched to ports per iteration.
     #[must_use]
     pub fn total_unfused_uops(&self) -> u32 {
-        self.insts.iter().map(|a| a.desc.unfused_uops() as u32).sum()
+        self.insts
+            .iter()
+            .map(|a| a.desc.unfused_uops() as u32)
+            .sum()
     }
 
     /// Length of the block in bytes.
@@ -163,9 +176,7 @@ impl AnnotatedBlock {
                 i += 2;
                 continue;
             }
-            if a.inst.is_branch()
-                && Block::crosses_or_ends_on_32(a.start, a.inst.len as usize)
-            {
+            if a.inst.is_branch() && Block::crosses_or_ends_on_32(a.start, a.inst.len as usize) {
                 return true;
             }
             i += 1;

@@ -31,15 +31,27 @@ fn latencies(arch: Uarch) -> Lat {
     let modern = matches!(arch, Skl | Clx | Icl | Tgl | Rkl);
     Lat {
         fp_add: if modern { 4 } else { 3 },
-        fp_mul: if matches!(arch, Snb | Ivb | Hsw) { 5 } else { 4 },
+        fp_mul: if matches!(arch, Snb | Ivb | Hsw) {
+            5
+        } else {
+            4
+        },
         fp_fma: if matches!(arch, Hsw | Bdw) { 5 } else { 4 },
         fp_div: if modern { 11 } else { 14 },
         fp_div_occ: if modern { 3 } else { 7 },
         fp_sqrt: if modern { 12 } else { 16 },
         fp_sqrt_occ: if modern { 4 } else { 8 },
         imul: 3,
-        idiv: if matches!(arch, Icl | Tgl | Rkl) { 15 } else { 21 },
-        idiv_occ: if matches!(arch, Icl | Tgl | Rkl) { 4 } else { 6 },
+        idiv: if matches!(arch, Icl | Tgl | Rkl) {
+            15
+        } else {
+            21
+        },
+        idiv_occ: if matches!(arch, Icl | Tgl | Rkl) {
+            4
+        } else {
+            6
+        },
         cvt: 6,
         pmulld: if modern { 10 } else { 5 },
         cmov_uops: if modern { 1 } else { 2 },
@@ -54,20 +66,25 @@ struct Compute {
 
 impl Compute {
     fn none() -> Compute {
-        Compute { uops: Vec::new(), latency: 0 }
+        Compute {
+            uops: Vec::new(),
+            latency: 0,
+        }
     }
 
     fn one(ports: PortMask, latency: u8) -> Compute {
-        Compute { uops: vec![Uop::compute(ports)], latency }
+        Compute {
+            uops: vec![Uop::compute(ports)],
+            latency,
+        }
     }
 }
 
 /// Whether a `lea` is "complex" (slow): three components (base + index +
 /// displacement) or RIP-relative addressing.
 fn lea_is_complex(m: Mem) -> bool {
-    let parts = usize::from(m.base.is_some())
-        + usize::from(m.index.is_some())
-        + usize::from(m.disp != 0);
+    let parts =
+        usize::from(m.base.is_some()) + usize::from(m.index.is_some()) + usize::from(m.disp != 0);
     parts >= 3 || m.is_rip_relative()
 }
 
@@ -116,10 +133,7 @@ fn compute_part(inst: &Inst, cfg: &UarchConfig) -> Compute {
             latency: 4,
         },
         Div | Idiv => Compute {
-            uops: vec![
-                Uop::blocking(p.div, lat.idiv_occ),
-                Uop::compute(p.alu),
-            ],
+            uops: vec![Uop::blocking(p.div, lat.idiv_occ), Uop::compute(p.alu)],
             latency: lat.idiv,
         },
         Cmovcc(_) => Compute {
@@ -155,9 +169,7 @@ fn compute_part(inst: &Inst, cfg: &UarchConfig) -> Compute {
         Mulps | Mulpd | Mulss | Mulsd | Vmulps | Vmulpd | Vmulss | Vmulsd => {
             Compute::one(p.fp_mul, lat.fp_mul)
         }
-        Vfmadd231ps | Vfmadd231pd | Vfmadd231ss | Vfmadd231sd => {
-            Compute::one(p.fp_fma, lat.fp_fma)
-        }
+        Vfmadd231ps | Vfmadd231pd | Vfmadd231ss | Vfmadd231sd => Compute::one(p.fp_fma, lat.fp_fma),
         Divps | Divpd | Divss | Divsd | Vdivps | Vdivpd => Compute {
             uops: vec![Uop::blocking(p.fp_div, lat.fp_div_occ)],
             latency: lat.fp_div,
@@ -220,9 +232,7 @@ fn unlaminates(inst: &Inst, mem: Mem, cfg: &UarchConfig) -> bool {
         // Haswell and later keep simple indexed loads fused; indexed
         // operations with two or more other inputs (RMW, cmp reg, …)
         // unlaminate.
-        UnlaminationPolicy::IndexedRmw => {
-            inst.effects().stores || compute_inputs(inst) >= 2
-        }
+        UnlaminationPolicy::IndexedRmw => inst.effects().stores || compute_inputs(inst) >= 2,
     }
 }
 
@@ -251,11 +261,10 @@ pub fn describe(inst: &Inst, cfg: &UarchConfig) -> InstrDesc {
     }
 
     // Eliminated register-register moves.
-    let gpr_move = inst.is_reg_reg_move()
-        && inst.operands[0].reg().is_some_and(facile_x86::Reg::is_gpr);
+    let gpr_move =
+        inst.is_reg_reg_move() && inst.operands[0].reg().is_some_and(facile_x86::Reg::is_gpr);
     let vec_move = inst.is_reg_reg_move() && !gpr_move;
-    let move_eliminated =
-        (gpr_move && cfg.move_elim_gpr) || (vec_move && cfg.move_elim_vec);
+    let move_eliminated = (gpr_move && cfg.move_elim_gpr) || (vec_move && cfg.move_elim_vec);
 
     // Zero idioms are handled at rename: no ports, no latency.
     let zero_idiom = inst.is_zero_idiom();
@@ -289,7 +298,11 @@ pub fn describe(inst: &Inst, cfg: &UarchConfig) -> InstrDesc {
         let stores = effects.stores;
         let unlam = unlaminates(inst, mem, cfg);
         if loads {
-            uops.push(Uop { ports: cfg.ports.load, kind: UopKind::Load, occupancy: 1 });
+            uops.push(Uop {
+                ports: cfg.ports.load,
+                kind: UopKind::Load,
+                occupancy: 1,
+            });
         }
         uops.extend(compute.uops.iter().copied());
         if stores {
@@ -355,9 +368,7 @@ pub fn describe(inst: &Inst, cfg: &UarchConfig) -> InstrDesc {
         simple_decoders_after: simple_after,
         eliminated: false,
         latency: compute.latency,
-        load_latency_extra: if inst.mnemonic == Mnemonic::Div
-            || inst.mnemonic == Mnemonic::Idiv
-        {
+        load_latency_extra: if inst.mnemonic == Mnemonic::Div || inst.mnemonic == Mnemonic::Idiv {
             lat.idiv_occ
         } else {
             0
@@ -405,7 +416,10 @@ pub fn macro_fuses(a: &Inst, b: &Inst, cfg: &UarchConfig) -> bool {
         return true;
     }
     if cmp_like {
-        return !matches!(cond, Cond::S | Cond::Ns | Cond::P | Cond::Np | Cond::O | Cond::No);
+        return !matches!(
+            cond,
+            Cond::S | Cond::Ns | Cond::P | Cond::Np | Cond::O | Cond::No
+        );
     }
     if inc_dec {
         return matches!(
@@ -423,7 +437,11 @@ pub fn describe_fused_pair(a: &Inst, _b: &Inst, cfg: &UarchConfig) -> InstrDesc 
     let mut uops = Vec::with_capacity(2);
     let effects = a.effects();
     if effects.loads {
-        uops.push(Uop { ports: cfg.ports.load, kind: UopKind::Load, occupancy: 1 });
+        uops.push(Uop {
+            ports: cfg.ports.load,
+            kind: UopKind::Load,
+            occupancy: 1,
+        });
     }
     uops.push(Uop::compute(cfg.ports.branch));
     InstrDesc {
@@ -525,7 +543,10 @@ mod tests {
         // Ice Lake: GPR move elimination disabled, vector enabled.
         let d = describe(&i, Uarch::Icl.config());
         assert!(!d.eliminated);
-        let v = inst(Mnemonic::Movaps, vec![Reg::Xmm(0).into(), Reg::Xmm(1).into()]);
+        let v = inst(
+            Mnemonic::Movaps,
+            vec![Reg::Xmm(0).into(), Reg::Xmm(1).into()],
+        );
         assert!(describe(&v, Uarch::Icl.config()).eliminated);
     }
 
@@ -549,11 +570,17 @@ mod tests {
 
     #[test]
     fn fp_latencies_by_era() {
-        let addsd = inst(Mnemonic::Addsd, vec![Reg::Xmm(0).into(), Reg::Xmm(1).into()]);
+        let addsd = inst(
+            Mnemonic::Addsd,
+            vec![Reg::Xmm(0).into(), Reg::Xmm(1).into()],
+        );
         assert_eq!(describe(&addsd, Uarch::Hsw.config()).latency, 3);
         assert_eq!(describe(&addsd, skl()).latency, 4);
         // SKL runs FP adds on two ports, HSW on one.
-        assert_eq!(describe(&addsd, Uarch::Hsw.config()).uops[0].ports.count(), 1);
+        assert_eq!(
+            describe(&addsd, Uarch::Hsw.config()).uops[0].ports.count(),
+            1
+        );
         assert_eq!(describe(&addsd, skl()).uops[0].ports.count(), 2);
     }
 
@@ -603,7 +630,10 @@ mod tests {
         let complex = Mem::base_index(RAX, RCX, 4, 8, Width::W64);
         let d = describe(&inst(Mnemonic::Lea, vec![RDX.into(), simple.into()]), skl());
         assert_eq!(d.latency, 1);
-        let d = describe(&inst(Mnemonic::Lea, vec![RDX.into(), complex.into()]), skl());
+        let d = describe(
+            &inst(Mnemonic::Lea, vec![RDX.into(), complex.into()]),
+            skl(),
+        );
         assert_eq!(d.latency, 3);
         assert_eq!(d.uops[0].ports.count(), 1);
     }

@@ -33,13 +33,21 @@ impl Uop {
     /// A pipelined compute µop on the given ports.
     #[must_use]
     pub fn compute(ports: PortMask) -> Uop {
-        Uop { ports, kind: UopKind::Compute, occupancy: 1 }
+        Uop {
+            ports,
+            kind: UopKind::Compute,
+            occupancy: 1,
+        }
     }
 
     /// A compute µop occupying its port for `occ` cycles.
     #[must_use]
     pub fn blocking(ports: PortMask, occ: u8) -> Uop {
-        Uop { ports, kind: UopKind::Compute, occupancy: occ }
+        Uop {
+            ports,
+            kind: UopKind::Compute,
+            occupancy: occ,
+        }
     }
 }
 

@@ -34,7 +34,8 @@ pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| {
-        xs[a].partial_cmp(&xs[b])
+        xs[a]
+            .partial_cmp(&xs[b])
             .expect("no NaNs")
             .then(ys[a].partial_cmp(&ys[b]).expect("no NaNs"))
     });

@@ -14,7 +14,10 @@ impl Table {
     /// Create a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.
@@ -95,7 +98,12 @@ impl Heatmap {
     /// A `bins` × `bins` heatmap covering `[0, max)` on both axes.
     #[must_use]
     pub fn new(bins: usize, max: f64) -> Heatmap {
-        Heatmap { bins, max, counts: vec![0; bins * bins], clipped: 0 }
+        Heatmap {
+            bins,
+            max,
+            counts: vec![0; bins * bins],
+            clipped: 0,
+        }
     }
 
     /// Add a (measured, predicted) sample.

@@ -4,8 +4,7 @@ use facile_metrics::{kendall_tau_b, kendall_tau_b_naive, mape};
 use proptest::prelude::*;
 
 fn ranking() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0u32..50, 2..60)
-        .prop_map(|v| v.into_iter().map(f64::from).collect())
+    proptest::collection::vec(0u32..50, 2..60).prop_map(|v| v.into_iter().map(f64::from).collect())
 }
 
 proptest! {

@@ -1,0 +1,26 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for vectors with lengths drawn from a range.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// A vector of values from `elem`, with length in `len`.
+#[must_use]
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}

@@ -1,0 +1,85 @@
+//! A minimal, deterministic, dependency-free stand-in for the `proptest`
+//! crate, covering exactly the API surface used by this workspace's
+//! property tests: strategies (`Just`, ranges, tuples, `any`,
+//! `prop_oneof!`, `prop_map`/`prop_flat_map`/`prop_filter`/`boxed`,
+//! `collection::vec`, `option::of`), the `proptest!` test macro with
+//! `ProptestConfig::with_cases`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the ordinary assertion message. Generation is fully deterministic — the
+//! per-test RNG is seeded from the test function's name, so failures
+//! reproduce across runs and machines.
+
+pub mod collection;
+pub mod config;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body (panics on failure; no
+/// shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs its body for `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::new(
+                    $crate::test_runner::fnv1a(stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    let ( $($pat,)* ) = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )*
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}

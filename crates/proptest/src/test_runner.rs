@@ -1,0 +1,53 @@
+//! The deterministic RNG driving strategy generation.
+
+/// FNV-1a hash of a string, used to derive a per-test seed from the test
+/// function name so every test has an independent, stable stream.
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A small, fast, deterministic PRNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create an RNG from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let v = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        v
+    }
+
+    /// Uniform index in `0..n` (n must be nonzero).
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires a nonempty range");
+        #[allow(clippy::cast_possible_truncation)]
+        let v = (self.next_u64() % n as u64) as usize;
+        v
+    }
+}

@@ -52,11 +52,21 @@ impl LsdEngine {
         for copy in 0..unroll {
             for d in &program.insts {
                 for f in 0..d.fused_len() {
-                    sequence.push(FusedRef { inst: d.index, fused_idx: f as u8, iter: copy });
+                    sequence.push(FusedRef {
+                        inst: d.index,
+                        fused_idx: f as u8,
+                        iter: copy,
+                    });
                 }
             }
         }
-        LsdEngine { sequence, unroll, pos: 0, width: cfg.issue_width, iter_base: 0 }
+        LsdEngine {
+            sequence,
+            unroll,
+            pos: 0,
+            width: cfg.issue_width,
+            iter_base: 0,
+        }
     }
 }
 
@@ -105,7 +115,11 @@ impl DsbEngine {
         let mut per_iter = Vec::new();
         for d in &program.insts {
             for f in 0..d.fused_len() {
-                per_iter.push(FusedRef { inst: d.index, fused_idx: f as u8, iter: 0 });
+                per_iter.push(FusedRef {
+                    inst: d.index,
+                    fused_idx: f as u8,
+                    iter: 0,
+                });
             }
         }
         DsbEngine {
@@ -200,7 +214,11 @@ impl MiteEngine {
     #[must_use]
     pub fn new(program: &Program, cfg: &UarchConfig, loop_mode: bool) -> MiteEngine {
         let l = program.byte_len.max(1);
-        let copies = if loop_mode { 1 } else { (lcm(l, 16) / l) as u32 };
+        let copies = if loop_mode {
+            1
+        } else {
+            (lcm(l, 16) / l) as u32
+        };
         let n_blocks = ((copies as usize) * l).div_ceil(16);
         let mut blocks = vec![PredecBlock::default(); n_blocks];
         for copy in 0..copies {
@@ -308,10 +326,9 @@ impl MiteEngine {
         let mut group_size: u8 = 0;
         let mut simple_avail = self.n_decoders - 1;
         let mut uop_budget = self.decode_uop_width;
-        loop {
-            // The IQ head must be a complete fused unit: the head of a
-            // macro-fused pair waits for its branch half.
-            let Some(&(fi, iter, completes)) = self.iq.front() else { break };
+        // The IQ head must be a complete fused unit: the head of a
+        // macro-fused pair waits for its branch half.
+        while let Some(&(fi, iter, completes)) = self.iq.front() {
             if !completes {
                 // Need the second half in the IQ too.
                 if self.iq.len() < 2 {
@@ -344,7 +361,11 @@ impl MiteEngine {
                 self.iq.pop_front();
             }
             for f in 0..mi.fused_len {
-                out.push_back(FusedRef { inst: fi, fused_idx: f, iter });
+                out.push_back(FusedRef {
+                    inst: fi,
+                    fused_idx: f,
+                    iter,
+                });
             }
             idq_space -= usize::from(mi.fused_len);
             uop_budget -= mi.fused_len;

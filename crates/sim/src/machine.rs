@@ -242,7 +242,11 @@ impl<'a> Machine<'a> {
             }
             let _ = cycle;
             let ends_iter = (fr.inst, fr.fused_idx) == self.last_fused_of_iter;
-            self.rob.push_back(RobEntry { iter: fr.iter, members, ends_iter });
+            self.rob.push_back(RobEntry {
+                iter: fr.iter,
+                members,
+                ends_iter,
+            });
 
             // Advance the expected-order cursor.
             self.next_fused_expected = next_ref(self.program, fr);
@@ -284,13 +288,33 @@ pub fn simulate(ab: &AnnotatedBlock, loop_mode: bool) -> SimResult {
         Option<LsdEngine>,
         Option<DsbEngine>,
     ) = if !loop_mode {
-        (SimPath::Mite, Some(MiteEngine::new(&program, cfg, false)), None, None)
+        (
+            SimPath::Mite,
+            Some(MiteEngine::new(&program, cfg, false)),
+            None,
+            None,
+        )
     } else if ab.jcc_erratum_applies() {
-        (SimPath::Mite, Some(MiteEngine::new(&program, cfg, true)), None, None)
+        (
+            SimPath::Mite,
+            Some(MiteEngine::new(&program, cfg, true)),
+            None,
+            None,
+        )
     } else if cfg.lsd_enabled && program.fused_uops_per_iter() <= u32::from(cfg.idq_size) {
-        (SimPath::Lsd, None, Some(LsdEngine::new(&program, cfg)), None)
+        (
+            SimPath::Lsd,
+            None,
+            Some(LsdEngine::new(&program, cfg)),
+            None,
+        )
     } else {
-        (SimPath::Dsb, None, None, Some(DsbEngine::new(&program, cfg)))
+        (
+            SimPath::Dsb,
+            None,
+            None,
+            Some(DsbEngine::new(&program, cfg)),
+        )
     };
 
     let mut m = Machine::new(cfg, &program);
@@ -306,8 +330,14 @@ pub fn simulate(ab: &AnnotatedBlock, loop_mode: bool) -> SimResult {
                 .as_mut()
                 .expect("mite engine")
                 .cycle_with_program(&program, &mut m.idq, idq_space),
-            SimPath::Lsd => lsd.as_mut().expect("lsd engine").cycle(&mut m.idq, idq_space),
-            SimPath::Dsb => dsbe.as_mut().expect("dsb engine").cycle(&mut m.idq, idq_space),
+            SimPath::Lsd => lsd
+                .as_mut()
+                .expect("lsd engine")
+                .cycle(&mut m.idq, idq_space),
+            SimPath::Dsb => dsbe
+                .as_mut()
+                .expect("dsb engine")
+                .cycle(&mut m.idq, idq_space),
         }
         if m.iter_retire_cycle.contains_key(&target_iter) {
             break;
@@ -371,8 +401,14 @@ mod tests {
         // p1): 2 cycles/iter from port contention.
         let tp = sim(
             &[
-                (Mnemonic::Imul, vec![Operand::Reg(RAX), Operand::Reg(RSI), Operand::Imm(3)]),
-                (Mnemonic::Imul, vec![Operand::Reg(RCX), Operand::Reg(RSI), Operand::Imm(5)]),
+                (
+                    Mnemonic::Imul,
+                    vec![Operand::Reg(RAX), Operand::Reg(RSI), Operand::Imm(3)],
+                ),
+                (
+                    Mnemonic::Imul,
+                    vec![Operand::Reg(RCX), Operand::Reg(RSI), Operand::Imm(5)],
+                ),
             ],
             Uarch::Skl,
             false,
@@ -415,7 +451,7 @@ mod tests {
         prog.push((Mnemonic::Dec, vec![Operand::Reg(RDI)]));
         prog.push((Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-30)]));
         let tp = sim(&prog, Uarch::Hsw, true);
-        assert!(tp >= 2.0 && tp <= 2.75, "got {tp}");
+        assert!((2.0..=2.75).contains(&tp), "got {tp}");
     }
 
     #[test]
@@ -423,8 +459,14 @@ mod tests {
         // Long instructions (10 bytes): mov rax, imm64; predecode-bound
         // when unrolled: 10/16 byte ratio ≈ 0.625..1 cycles/iter at least.
         let prog = vec![
-            (Mnemonic::Mov, vec![Operand::Reg(RAX), Operand::Imm(0x1122334455667788)]),
-            (Mnemonic::Mov, vec![Operand::Reg(RCX), Operand::Imm(0x1122334455667788)]),
+            (
+                Mnemonic::Mov,
+                vec![Operand::Reg(RAX), Operand::Imm(0x1122334455667788)],
+            ),
+            (
+                Mnemonic::Mov,
+                vec![Operand::Reg(RCX), Operand::Imm(0x1122334455667788)],
+            ),
         ];
         let tp = sim(&prog, Uarch::Skl, false);
         // 20 bytes per iteration -> at least 20/16 = 1.25 cycles.
@@ -457,9 +499,8 @@ mod tests {
 
     #[test]
     fn loop_path_selection() {
-        let mut prog: Vec<(Mnemonic, Vec<Operand>)> = vec![
-            (Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RSI)]),
-        ];
+        let mut prog: Vec<(Mnemonic, Vec<Operand>)> =
+            vec![(Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RSI)])];
         prog.push((Mnemonic::Dec, vec![Operand::Reg(RDI)]));
         prog.push((Mnemonic::Jcc(Cond::Ne), vec![Operand::Rel(-9)]));
         let b = Block::assemble(&prog).unwrap();
@@ -518,7 +559,11 @@ mod behavior_tests {
         let ab = loop_of_adds(1, Uarch::Hsw);
         let r = simulate(&ab, true);
         assert_eq!(r.path, SimPath::Lsd);
-        assert!((r.cycles_per_iter - 1.0).abs() < 0.1, "got {}", r.cycles_per_iter);
+        assert!(
+            (r.cycles_per_iter - 1.0).abs() < 0.1,
+            "got {}",
+            r.cycles_per_iter
+        );
         // A chain-free loop (eliminated move + cmp that only reads r11):
         // the LSD unrolls the 2 fused µops and sustains < 1 cycle/iter.
         let prog = vec![
@@ -540,7 +585,11 @@ mod behavior_tests {
         let r = simulate(&ab, true);
         assert_eq!(r.path, SimPath::Dsb);
         // 12 fused µops / 4-wide issue = 3 cycles.
-        assert!((r.cycles_per_iter - 3.0).abs() < 0.25, "got {}", r.cycles_per_iter);
+        assert!(
+            (r.cycles_per_iter - 3.0).abs() < 0.25,
+            "got {}",
+            r.cycles_per_iter
+        );
     }
 
     #[test]

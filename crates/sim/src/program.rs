@@ -70,7 +70,11 @@ impl Program {
                 i += 1;
             }
         }
-        Program { insts, raw, byte_len: ab.byte_len() }
+        Program {
+            insts,
+            raw,
+            byte_len: ab.byte_len(),
+        }
     }
 
     /// Total fused-domain µops per iteration.

@@ -109,18 +109,12 @@ impl DynInst {
 /// branch) into its dynamic form.
 #[must_use]
 #[allow(clippy::too_many_lines)]
-pub fn expand(
-    a: &AnnotatedInst,
-    index: u16,
-    cfg: &UarchConfig,
-    fused_branch: bool,
-) -> DynInst {
+pub fn expand(a: &AnnotatedInst, index: u16, cfg: &UarchConfig, fused_branch: bool) -> DynInst {
     let desc: &InstrDesc = &a.desc;
     let e = a.inst.effects();
 
-    let reg_values = |regs: &[Reg]| -> Vec<Value> {
-        regs.iter().map(|r| Value::Reg(r.full())).collect()
-    };
+    let reg_values =
+        |regs: &[Reg]| -> Vec<Value> { regs.iter().map(|r| Value::Reg(r.full())).collect() };
     let addr_regs: Vec<Value> = e
         .mem
         .map(|m| m.addr_regs().map(|r| Value::Reg(r.full())).collect())
@@ -139,9 +133,7 @@ pub fn expand(
 
     if desc.eliminated {
         let move_alias = if a.inst.is_reg_reg_move() {
-            let src = Value::Reg(
-                a.inst.operands[1].reg().expect("reg-reg move").full(),
-            );
+            let src = Value::Reg(a.inst.operands[1].reg().expect("reg-reg move").full());
             Some((outputs.clone(), src))
         } else {
             None
@@ -149,11 +141,20 @@ pub fn expand(
         return DynInst {
             index,
             uops: Vec::new(),
-            fused: vec![FusedUopTemplate { issue_cost: 1, members: Vec::new() };
-                usize::from(desc.fused_uops.max(1))],
+            fused: vec![
+                FusedUopTemplate {
+                    issue_cost: 1,
+                    members: Vec::new()
+                };
+                usize::from(desc.fused_uops.max(1))
+            ],
             eliminated: true,
             move_alias,
-            eliminated_produces: if a.inst.is_reg_reg_move() { Vec::new() } else { outputs },
+            eliminated_produces: if a.inst.is_reg_reg_move() {
+                Vec::new()
+            } else {
+                outputs
+            },
             complex_decoder: desc.complex_decoder,
             simple_decoders_after: desc.simple_decoders_after,
             is_branch: a.inst.is_branch() || fused_branch,
@@ -170,8 +171,14 @@ pub fn expand(
         .filter(|u| u.kind == UopKind::Compute)
         .count();
 
-    let load_token = Value::Token { inst: index, slot: 0 };
-    let store_token = Value::Token { inst: index, slot: 1 };
+    let load_token = Value::Token {
+        inst: index,
+        slot: 0,
+    };
+    let store_token = Value::Token {
+        inst: index,
+        slot: 1,
+    };
 
     let mut uops: Vec<UopTemplate> = Vec::with_capacity(desc.uops.len());
     let mut compute_seen = false;
@@ -283,16 +290,24 @@ pub fn expand(
         // main group(s) + store group
         let main_groups = n_fused - 1;
         distribute(&main_members, main_groups, &mut fused);
-        fused.push(FusedUopTemplate { issue_cost: 1, members: store_members });
+        fused.push(FusedUopTemplate {
+            issue_cost: 1,
+            members: store_members,
+        });
     } else if stores && n_fused == 1 {
         // pure store: the sta+std pair is the single fused µop
-        fused.push(FusedUopTemplate { issue_cost: 1, members: (0..uops.len()).collect() });
+        fused.push(FusedUopTemplate {
+            issue_cost: 1,
+            members: (0..uops.len()).collect(),
+        });
     } else {
         distribute(&main_members, n_fused, &mut fused);
     }
     // Unlamination: spread the extra issue cost over the memory groups.
     for _ in 0..extra_issue {
-        if let Some(g) = fused.iter_mut().find(|g| g.issue_cost == 1 && !g.members.is_empty())
+        if let Some(g) = fused
+            .iter_mut()
+            .find(|g| g.issue_cost == 1 && !g.members.is_empty())
         {
             g.issue_cost = 2;
         }
@@ -319,7 +334,10 @@ fn distribute(members: &[usize], n: usize, out: &mut Vec<FusedUopTemplate>) {
     let mut it = members.iter().copied();
     for _ in 0..n {
         let chunk: Vec<usize> = it.by_ref().take(per.max(1)).collect();
-        out.push(FusedUopTemplate { issue_cost: 1, members: chunk });
+        out.push(FusedUopTemplate {
+            issue_cost: 1,
+            members: chunk,
+        });
     }
 }
 

@@ -257,7 +257,9 @@ impl UarchConfig {
         }
         let iw = u32::from(self.issue_width);
         let cap = u32::from(self.idq_size);
-        let max_u = u32::from(self.lsd_max_unroll).min(cap / n_uops.max(1)).max(1);
+        let max_u = u32::from(self.lsd_max_unroll)
+            .min(cap / n_uops.max(1))
+            .max(1);
         let mut best_u = 1;
         let mut best_rate = rate(n_uops, 1, iw);
         for u in 2..=max_u {
@@ -359,7 +361,10 @@ fn config(arch: Uarch) -> &'static UarchConfig {
     use std::sync::OnceLock;
     static CONFIGS: OnceLock<Vec<UarchConfig>> = OnceLock::new();
     let all = CONFIGS.get_or_init(|| Uarch::ALL.iter().map(|u| build(*u)).collect());
-    &all[Uarch::ALL.iter().position(|u| *u == arch).expect("all uarchs built")]
+    &all[Uarch::ALL
+        .iter()
+        .position(|u| *u == arch)
+        .expect("all uarchs built")]
 }
 
 fn build(arch: Uarch) -> UarchConfig {
@@ -466,7 +471,7 @@ mod tests {
     #[test]
     fn lsd_unroll_small_loops() {
         let c = Uarch::Rkl.config(); // issue width 5
-        // A 1-µop loop streams 1 µop/cycle un-unrolled; unrolling helps.
+                                     // A 1-µop loop streams 1 µop/cycle un-unrolled; unrolling helps.
         assert!(c.lsd_unroll(1) > 1);
         // A loop of exactly issue-width µops needs no unrolling.
         assert_eq!(c.lsd_unroll(5), 1);

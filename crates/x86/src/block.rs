@@ -34,7 +34,11 @@ impl Block {
             insts.push(inst);
             pos += len;
         }
-        Ok(Block { insts, bytes: bytes.to_vec(), offsets })
+        Ok(Block {
+            insts,
+            bytes: bytes.to_vec(),
+            offsets,
+        })
     }
 
     /// Assemble a block from `(mnemonic, operands)` pairs.
@@ -51,7 +55,11 @@ impl Block {
             insts.push(inst);
             bytes.extend_from_slice(&code);
         }
-        Ok(Block { insts, bytes, offsets })
+        Ok(Block {
+            insts,
+            bytes,
+            offsets,
+        })
     }
 
     /// The instructions of the block.
@@ -122,7 +130,7 @@ impl Block {
     #[must_use]
     pub fn crosses_or_ends_on_32(start: usize, len: usize) -> bool {
         let end = start + len; // exclusive end == "ends on boundary" if divisible
-        start / 32 != (end - 1) / 32 || end % 32 == 0
+        start / 32 != (end - 1) / 32 || end.is_multiple_of(32)
     }
 
     /// Hex representation of the machine code (lowercase, no separators),
@@ -139,8 +147,11 @@ impl Block {
     /// decodes the bytes.
     pub fn from_hex(hex: &str) -> Result<Block, DecodeError> {
         let hex = hex.trim();
-        if hex.len() % 2 != 0 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
-            return Err(DecodeError::Invalid { offset: 0, what: "malformed hex string" });
+        if !hex.len().is_multiple_of(2) || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(DecodeError::Invalid {
+                offset: 0,
+                what: "malformed hex string",
+            });
         }
         let bytes: Vec<u8> = (0..hex.len())
             .step_by(2)
@@ -191,7 +202,10 @@ mod tests {
     fn ends_in_branch() {
         let b = Block::assemble(&[
             (Mnemonic::Dec, vec![RCX.into()]),
-            (Mnemonic::Jcc(crate::mnemonic::Cond::Ne), vec![Operand::Rel(-5)]),
+            (
+                Mnemonic::Jcc(crate::mnemonic::Cond::Ne),
+                vec![Operand::Rel(-5)],
+            ),
         ])
         .unwrap();
         assert!(b.ends_in_branch());

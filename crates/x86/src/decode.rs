@@ -19,7 +19,11 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(bytes: &'a [u8], start: usize) -> Cursor<'a> {
-        Cursor { bytes, pos: start, start }
+        Cursor {
+            bytes,
+            pos: start,
+            start,
+        }
     }
 
     fn u8(&mut self) -> Result<u8, DecodeError> {
@@ -167,7 +171,10 @@ pub fn decode_one(bytes: &[u8], offset: usize) -> Result<(Inst, usize), DecodeEr
                     2 => Map::M38,
                     3 => Map::M3A,
                     _ => {
-                        return Err(DecodeError::Invalid { offset, what: "bad VEX map" });
+                        return Err(DecodeError::Invalid {
+                            offset,
+                            what: "bad VEX map",
+                        });
                     }
                 };
                 VexInfo {
@@ -197,7 +204,10 @@ pub fn decode_one(bytes: &[u8], offset: usize) -> Result<(Inst, usize), DecodeEr
 
     let t = tables();
     let Some(candidates) = t.by_opcode.get(&(map, opcode)) else {
-        return Err(DecodeError::UnknownOpcode { offset, opcode: vec![opcode] });
+        return Err(DecodeError::UnknownOpcode {
+            offset,
+            opcode: vec![opcode],
+        });
     };
 
     // Filter candidates by prefix/VEX/extension-digit constraints.
@@ -248,7 +258,10 @@ pub fn decode_one(bytes: &[u8], offset: usize) -> Result<(Inst, usize), DecodeEr
     }
 
     let Some(entry) = matched.first().copied() else {
-        return Err(DecodeError::UnknownOpcode { offset, opcode: vec![opcode] });
+        return Err(DecodeError::UnknownOpcode {
+            offset,
+            opcode: vec![opcode],
+        });
     };
 
     decode_with_entry(entry, &mut c, pfx, vex, opcode, offset)
@@ -326,13 +339,19 @@ fn parse_modrm(
         let idx = ((sib >> 3) & 7) | (xx << 3);
         let bs = (sib & 7) | (bx << 3);
         if idx != 4 {
-            index = Some(Reg::Gpr { num: idx, width: Width::W64 });
+            index = Some(Reg::Gpr {
+                num: idx,
+                width: Width::W64,
+            });
         }
         if (sib & 7) == 5 && md == 0 {
             base = None; // disp32, no base
             disp = c.i32()?;
         } else {
-            base = Some(Reg::Gpr { num: bs, width: Width::W64 });
+            base = Some(Reg::Gpr {
+                num: bs,
+                width: Width::W64,
+            });
             disp = match md {
                 0 => 0,
                 1 => c.i8()?,
@@ -343,7 +362,10 @@ fn parse_modrm(
         base = Some(Reg::Rip);
         disp = c.i32()?;
     } else {
-        base = Some(Reg::Gpr { num: rm_low | (bx << 3), width: Width::W64 });
+        base = Some(Reg::Gpr {
+            num: rm_low | (bx << 3),
+            width: Width::W64,
+        });
         disp = match md {
             0 => 0,
             1 => c.i8()?,
@@ -351,9 +373,21 @@ fn parse_modrm(
         };
     }
     if index.is_some_and(|r| matches!(r, Reg::Gpr { num: 4, .. })) {
-        return Err(DecodeError::Invalid { offset, what: "rsp used as index" });
+        return Err(DecodeError::Invalid {
+            offset,
+            what: "rsp used as index",
+        });
     }
-    Ok((reg, RmVal::Mem(Mem { base, index, scale, disp, width: mem_width })))
+    Ok((
+        reg,
+        RmVal::Mem(Mem {
+            base,
+            index,
+            scale,
+            disp,
+            width: mem_width,
+        }),
+    ))
 }
 
 fn read_imm(c: &mut Cursor<'_>, kind: ImmK, w: Width) -> Result<i64, DecodeError> {
@@ -449,7 +483,10 @@ fn decode_with_entry(
         }
         Pat::RmCl => {
             ops.push(rm_gpr_op(rm.as_ref().unwrap()));
-            ops.push(Operand::Reg(Reg::Gpr { num: 1, width: Width::W8 }));
+            ops.push(Operand::Reg(Reg::Gpr {
+                num: 1,
+                width: Width::W8,
+            }));
         }
         Pat::AccI => {
             ops.push(Operand::Reg(gpr(0)));
@@ -469,7 +506,10 @@ fn decode_with_entry(
         }
         Pat::RM => {
             let RmVal::Mem(m) = rm.as_ref().unwrap() else {
-                return Err(DecodeError::Invalid { offset, what: "lea requires memory operand" });
+                return Err(DecodeError::Invalid {
+                    offset,
+                    what: "lea requires memory operand",
+                });
             };
             ops.push(Operand::Reg(gpr(reg_num)));
             ops.push(Operand::Mem(*m));
@@ -526,7 +566,11 @@ fn decode_with_entry(
         Pat::VXm => {
             ops.push(Operand::Reg(vreg(reg_num)));
             // vbroadcastss reads an xmm or m32 source regardless of L
-            let src_l = if entry.map == Map::M38 && entry.op == 0x18 { 0 } else { eff_l };
+            let src_l = if entry.map == Map::M38 && entry.op == 0x18 {
+                0
+            } else {
+                eff_l
+            };
             ops.push(rm_vec_op(rm.as_ref().unwrap(), src_l));
         }
         Pat::VXmX => {
@@ -659,8 +703,14 @@ mod tests {
             decode_one(&[0x81, 0xC0, 0x34], 0),
             Err(DecodeError::Truncated { .. })
         ));
-        assert!(matches!(decode_one(&[0x0F], 0), Err(DecodeError::Truncated { .. })));
-        assert!(matches!(decode_one(&[], 0), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            decode_one(&[0x0F], 0),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_one(&[], 0),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -678,7 +728,10 @@ mod tests {
         let i = dec(&[0x88, 0xEC]);
         assert_eq!(
             i.operands,
-            vec![Operand::Reg(Reg::HighByte(0)), Operand::Reg(Reg::HighByte(1))]
+            vec![
+                Operand::Reg(Reg::HighByte(0)),
+                Operand::Reg(Reg::HighByte(1))
+            ]
         );
         // with REX: spl etc.
         let i = dec(&[0x40, 0x88, 0xEC]);
@@ -739,6 +792,9 @@ mod acc_form_tests {
         use crate::encode::assemble_one;
         let (_, bytes) =
             assemble_one(Mnemonic::Add, &[EAX.into(), Operand::Imm(0x11223344)]).unwrap();
-        assert_ne!(bytes[0], 0x05, "assembler should use the canonical 81 /0 form");
+        assert_ne!(
+            bytes[0], 0x05,
+            "assembler should use the canonical 81 /0 form"
+        );
     }
 }

@@ -38,15 +38,15 @@ impl Rex {
     }
 
     fn byte(&self) -> u8 {
-        0x40 | (u8::from(self.w) << 3) | (u8::from(self.r) << 2) | (u8::from(self.x) << 1)
+        0x40 | (u8::from(self.w) << 3)
+            | (u8::from(self.r) << 2)
+            | (u8::from(self.x) << 1)
             | u8::from(self.b)
     }
 
     fn track(&mut self, r: Reg) {
-        if r.needs_rex() {
-            if r.num() < 8 && r.width() == Width::W8 {
-                self.force = true;
-            }
+        if r.needs_rex() && r.num() < 8 && r.width() == Width::W8 {
+            self.force = true;
         }
         if r.forbids_rex() {
             self.forbid = true;
@@ -67,14 +67,19 @@ pub fn assemble_one(
 ) -> Result<(Inst, Vec<u8>), EncodeError> {
     let t = tables();
     let Some(candidates) = t.by_mnem.get(&mnemonic) else {
-        return Err(EncodeError::NoSuchForm { what: format!("{mnemonic}") });
+        return Err(EncodeError::NoSuchForm {
+            what: format!("{mnemonic}"),
+        });
     };
     let mut best: Option<Encoded> = None;
     let mut rex_conflict = false;
     for &i in candidates {
         match try_encode(&t.entries[i], operands) {
             Ok(Some(enc)) => {
-                if best.as_ref().is_none_or(|b| enc.bytes.len() < b.bytes.len()) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| enc.bytes.len() < b.bytes.len())
+                {
                     best = Some(enc);
                 }
             }
@@ -99,7 +104,11 @@ pub fn assemble_one(
         None => Err(EncodeError::NoSuchForm {
             what: format!(
                 "{mnemonic} {}",
-                operands.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
+                operands
+                    .iter()
+                    .map(|o| o.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
         }),
     }
@@ -122,7 +131,11 @@ fn effective_opsize(entry: &Entry, ops: &[Operand]) -> Option<Width> {
                 }
                 match op {
                     Operand::Reg(r) if r.is_gpr() => {
-                        let w = if matches!(r, Reg::HighByte(_)) { Width::W8 } else { r.width() };
+                        let w = if matches!(r, Reg::HighByte(_)) {
+                            Width::W8
+                        } else {
+                            r.width()
+                        };
                         return Some(w);
                     }
                     Operand::Mem(m) if !matches!(entry.pat, Pat::RM) => return Some(m.width),
@@ -137,10 +150,18 @@ fn effective_opsize(entry: &Entry, ops: &[Operand]) -> Option<Width> {
 /// Index of the r/m operand slot within the operand list for a pattern.
 fn rm_slot_index(pat: Pat) -> Option<usize> {
     match pat {
-        Pat::RmR | Pat::RmI | Pat::Rm | Pat::RmCl | Pat::RmX | Pat::RmRI | Pat::VXmX
-        | Pat::VXmYI | Pat::XmX => Some(0),
-        Pat::RRm | Pat::RRmI | Pat::RM | Pat::XXm | Pat::XXmI | Pat::XRm | Pat::RXm
-        | Pat::VXm => Some(1),
+        Pat::RmR
+        | Pat::RmI
+        | Pat::Rm
+        | Pat::RmCl
+        | Pat::RmX
+        | Pat::RmRI
+        | Pat::VXmX
+        | Pat::VXmYI
+        | Pat::XmX => Some(0),
+        Pat::RRm | Pat::RRmI | Pat::RM | Pat::XXm | Pat::XXmI | Pat::XRm | Pat::RXm | Pat::VXm => {
+            Some(1)
+        }
         Pat::VXXm | Pat::VXXmI | Pat::VYXmI => Some(2),
         _ => None,
     }
@@ -149,7 +170,11 @@ fn rm_slot_index(pat: Pat) -> Option<usize> {
 fn gpr_of(op: Operand, w: Width) -> Option<Reg> {
     match op {
         Operand::Reg(r) if r.is_gpr() => {
-            let rw = if matches!(r, Reg::HighByte(_)) { Width::W8 } else { r.width() };
+            let rw = if matches!(r, Reg::HighByte(_)) {
+                Width::W8
+            } else {
+                r.width()
+            };
             (rw == w).then_some(r)
         }
         _ => None,
@@ -246,7 +271,14 @@ fn match_operands(entry: &Entry, ops: &[Operand]) -> Option<Matched> {
     let vecw = if l == 1 { Width::W256 } else { Width::W128 };
     let rm_width = entry.rmw.unwrap_or(w);
     let rm_vwidth = entry.rmw.unwrap_or(vecw);
-    let mut m = Matched { reg_field: None, rm: None, opreg: None, vvvv: None, imm: None, rel: None };
+    let mut m = Matched {
+        reg_field: None,
+        rm: None,
+        opreg: None,
+        vvvv: None,
+        imm: None,
+        rel: None,
+    };
     match entry.pat {
         Pat::NoOps => {
             if !ops.is_empty() {
@@ -281,7 +313,12 @@ fn match_operands(entry: &Entry, ops: &[Operand]) -> Option<Matched> {
         Pat::RmCl => {
             let [a, b] = ops else { return None };
             m.rm = Some(rm_gpr(*a, w)?);
-            if *b != Operand::Reg(Reg::Gpr { num: 1, width: Width::W8 }) {
+            if *b
+                != Operand::Reg(Reg::Gpr {
+                    num: 1,
+                    width: Width::W8,
+                })
+            {
                 return None;
             }
         }
@@ -334,11 +371,11 @@ fn match_operands(entry: &Entry, ops: &[Operand]) -> Option<Matched> {
         Pat::XRm => {
             let [a, b] = ops else { return None };
             m.reg_field = Some(vec_of(*a, 0)?);
-            m.rm = Some(rm_gpr(*b, rm_width.is_gpr().then_some(rm_width).unwrap_or(w))?);
+            m.rm = Some(rm_gpr(*b, if rm_width.is_gpr() { rm_width } else { w })?);
         }
         Pat::RmX => {
             let [a, b] = ops else { return None };
-            m.rm = Some(rm_gpr(*a, rm_width.is_gpr().then_some(rm_width).unwrap_or(w))?);
+            m.rm = Some(rm_gpr(*a, if rm_width.is_gpr() { rm_width } else { w })?);
             m.reg_field = Some(vec_of(*b, 0)?);
         }
         Pat::RXm => {
@@ -368,7 +405,11 @@ fn match_operands(entry: &Entry, ops: &[Operand]) -> Option<Matched> {
             let [a, b] = ops else { return None };
             m.reg_field = Some(vec_of(*a, l)?);
             // vbroadcastss allows an xmm or memory source even for ymm dest
-            let srcl = if entry.map == Map::M38 && entry.op == 0x18 { 0 } else { l };
+            let srcl = if entry.map == Map::M38 && entry.op == 0x18 {
+                0
+            } else {
+                l
+            };
             m.rm = Some(rm_vec(*b, srcl, rm_vwidth)?);
         }
         Pat::VXmX => {
@@ -465,13 +506,13 @@ fn try_encode(entry: &Entry, ops: &[Operand]) -> Result<Option<Encoded>, ()> {
         if map_sel == 1 && w_bit == 0 && !rex.x && !rex.b {
             // 2-byte VEX
             bytes.push(0xC5);
-            bytes.push(
-                (u8::from(!rex.r) << 7) | ((!vvvv_val & 0xF) << 3) | (l_bit << 2) | vex.pp,
-            );
+            bytes.push((u8::from(!rex.r) << 7) | ((!vvvv_val & 0xF) << 3) | (l_bit << 2) | vex.pp);
         } else {
             bytes.push(0xC4);
             bytes.push(
-                (u8::from(!rex.r) << 7) | (u8::from(!rex.x) << 6) | (u8::from(!rex.b) << 5)
+                (u8::from(!rex.r) << 7)
+                    | (u8::from(!rex.x) << 6)
+                    | (u8::from(!rex.b) << 5)
                     | map_sel,
             );
             bytes.push((w_bit << 7) | ((!vvvv_val & 0xF) << 3) | (l_bit << 2) | vex.pp);
@@ -546,7 +587,11 @@ fn try_encode(entry: &Entry, ops: &[Operand]) -> Result<Option<Encoded>, ()> {
     if bytes.len() > 15 {
         return Ok(None);
     }
-    Ok(Some(Encoded { bytes, opcode_offset, has_lcp }))
+    Ok(Some(Encoded {
+        bytes,
+        opcode_offset,
+        has_lcp,
+    }))
 }
 
 /// Emit ModRM, optional SIB, and displacement for a memory operand.
@@ -599,8 +644,14 @@ mod tests {
 
     #[test]
     fn basic_alu() {
-        assert_eq!(enc(Mnemonic::Add, vec![EAX.into(), ECX.into()]), vec![0x01, 0xC8]);
-        assert_eq!(enc(Mnemonic::Add, vec![RAX.into(), RCX.into()]), vec![0x48, 0x01, 0xC8]);
+        assert_eq!(
+            enc(Mnemonic::Add, vec![EAX.into(), ECX.into()]),
+            vec![0x01, 0xC8]
+        );
+        assert_eq!(
+            enc(Mnemonic::Add, vec![RAX.into(), RCX.into()]),
+            vec![0x48, 0x01, 0xC8]
+        );
         assert_eq!(
             enc(Mnemonic::Xor, vec![R8D.into(), R9D.into()]),
             vec![0x45, 0x31, 0xC8]
@@ -610,7 +661,10 @@ mod tests {
     #[test]
     fn short_immediate_form_preferred() {
         // imm fits i8: 83 /0 ib
-        assert_eq!(enc(Mnemonic::Add, vec![EAX.into(), Operand::Imm(5)]), vec![0x83, 0xC0, 0x05]);
+        assert_eq!(
+            enc(Mnemonic::Add, vec![EAX.into(), Operand::Imm(5)]),
+            vec![0x83, 0xC0, 0x05]
+        );
         // large imm: 81 /0 id
         assert_eq!(
             enc(Mnemonic::Add, vec![EAX.into(), Operand::Imm(0x1234)]),
@@ -621,11 +675,8 @@ mod tests {
     #[test]
     fn lcp_detection() {
         // add ax, 0x1234 -> 66 81 C0 34 12 (length-changing prefix!)
-        let (inst, bytes) = assemble_one(
-            Mnemonic::Add,
-            &[AX.into(), Operand::Imm(0x1234)],
-        )
-        .unwrap();
+        let (inst, bytes) =
+            assemble_one(Mnemonic::Add, &[AX.into(), Operand::Imm(0x1234)]).unwrap();
         assert_eq!(bytes, vec![0x66, 0x81, 0xC0, 0x34, 0x12]);
         assert!(inst.has_lcp);
         assert_eq!(inst.opcode_offset, 1);
@@ -642,7 +693,10 @@ mod tests {
     #[test]
     fn mov_imm64() {
         assert_eq!(
-            enc(Mnemonic::Mov, vec![RAX.into(), Operand::Imm(0x1122334455667788)]),
+            enc(
+                Mnemonic::Mov,
+                vec![RAX.into(), Operand::Imm(0x1122334455667788)]
+            ),
             vec![0x48, 0xB8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]
         );
         // small imm into r64 picks the shorter C7 sign-extended form
@@ -657,7 +711,10 @@ mod tests {
         use crate::operand::Mem;
         // mov rax, [rcx] -> 48 8B 01
         let m = Mem::base(RCX, Width::W64);
-        assert_eq!(enc(Mnemonic::Mov, vec![RAX.into(), m.into()]), vec![0x48, 0x8B, 0x01]);
+        assert_eq!(
+            enc(Mnemonic::Mov, vec![RAX.into(), m.into()]),
+            vec![0x48, 0x8B, 0x01]
+        );
         // [rsp] needs SIB
         let m = Mem::base(RSP, Width::W64);
         assert_eq!(
@@ -700,10 +757,22 @@ mod tests {
     #[test]
     fn sse_forms() {
         let x = |n| Operand::Reg(Reg::Xmm(n));
-        assert_eq!(enc(Mnemonic::Addps, vec![x(0), x(1)]), vec![0x0F, 0x58, 0xC1]);
-        assert_eq!(enc(Mnemonic::Addpd, vec![x(0), x(1)]), vec![0x66, 0x0F, 0x58, 0xC1]);
-        assert_eq!(enc(Mnemonic::Addsd, vec![x(0), x(1)]), vec![0xF2, 0x0F, 0x58, 0xC1]);
-        assert_eq!(enc(Mnemonic::Pxor, vec![x(2), x(3)]), vec![0x66, 0x0F, 0xEF, 0xD3]);
+        assert_eq!(
+            enc(Mnemonic::Addps, vec![x(0), x(1)]),
+            vec![0x0F, 0x58, 0xC1]
+        );
+        assert_eq!(
+            enc(Mnemonic::Addpd, vec![x(0), x(1)]),
+            vec![0x66, 0x0F, 0x58, 0xC1]
+        );
+        assert_eq!(
+            enc(Mnemonic::Addsd, vec![x(0), x(1)]),
+            vec![0xF2, 0x0F, 0x58, 0xC1]
+        );
+        assert_eq!(
+            enc(Mnemonic::Pxor, vec![x(2), x(3)]),
+            vec![0x66, 0x0F, 0xEF, 0xD3]
+        );
         assert_eq!(
             enc(Mnemonic::Pmulld, vec![x(0), x(1)]),
             vec![0x66, 0x0F, 0x38, 0x40, 0xC1]
@@ -715,9 +784,15 @@ mod tests {
         let y = |n| Operand::Reg(Reg::Ymm(n));
         let x = |n| Operand::Reg(Reg::Xmm(n));
         // 2-byte VEX: vaddps ymm0, ymm1, ymm2 -> C5 F4 58 C2
-        assert_eq!(enc(Mnemonic::Vaddps, vec![y(0), y(1), y(2)]), vec![0xC5, 0xF4, 0x58, 0xC2]);
+        assert_eq!(
+            enc(Mnemonic::Vaddps, vec![y(0), y(1), y(2)]),
+            vec![0xC5, 0xF4, 0x58, 0xC2]
+        );
         // xmm variant -> C5 F0 58 C2
-        assert_eq!(enc(Mnemonic::Vaddps, vec![x(0), x(1), x(2)]), vec![0xC5, 0xF0, 0x58, 0xC2]);
+        assert_eq!(
+            enc(Mnemonic::Vaddps, vec![x(0), x(1), x(2)]),
+            vec![0xC5, 0xF0, 0x58, 0xC2]
+        );
         // 3-byte VEX needed for 0F38 map: vfmadd231ps
         assert_eq!(
             enc(Mnemonic::Vfmadd231ps, vec![y(0), y(1), y(2)]),
@@ -729,7 +804,10 @@ mod tests {
     fn high_byte_rex_conflict() {
         let r = assemble_one(
             Mnemonic::Mov,
-            &[Operand::Reg(Reg::HighByte(0)), Operand::Reg(Reg::gpr(8, Width::W8))],
+            &[
+                Operand::Reg(Reg::HighByte(0)),
+                Operand::Reg(Reg::gpr(8, Width::W8)),
+            ],
         );
         assert!(matches!(r, Err(EncodeError::BadOperands { .. })));
     }
@@ -746,7 +824,10 @@ mod tests {
             enc(Mnemonic::Shl, vec![EAX.into(), Operand::Imm(3)]),
             vec![0xC1, 0xE0, 0x03]
         );
-        assert_eq!(enc(Mnemonic::Shr, vec![RAX.into(), CL.into()]), vec![0x48, 0xD3, 0xE8]);
+        assert_eq!(
+            enc(Mnemonic::Shr, vec![RAX.into(), CL.into()]),
+            vec![0x48, 0xD3, 0xE8]
+        );
     }
 
     #[test]

@@ -69,7 +69,13 @@ impl Inst {
     /// [`crate::encode::assemble`]; this is mainly useful in tests.
     #[must_use]
     pub fn synthetic(mnemonic: Mnemonic, operands: Vec<Operand>) -> Inst {
-        Inst { mnemonic, operands, len: 0, opcode_offset: 0, has_lcp: false }
+        Inst {
+            mnemonic,
+            operands,
+            len: 0,
+            opcode_offset: 0,
+            has_lcp: false,
+        }
     }
 
     /// The memory operand, if the instruction has one.
@@ -165,12 +171,13 @@ impl Inst {
             // Pure writes.
             Mov | Movzx | Movsx | Movsxd | Lea | Movaps | Movups | Movdqa | Movdqu | Movd
             | Movq | Pshufd | Sqrtps | Sqrtpd | Sqrtss | Sqrtsd | Cvttss2si | Cvttsd2si
-            | Cvtps2pd | Cvtpd2ps | Movmskps | Pmovmskb | Setcc(_) | Bsf | Bsr | Popcnt
-            | Lzcnt | Tzcnt | Pop | Vaddps | Vaddpd | Vsubps | Vsubpd | Vmulps | Vmulpd
-            | Vdivps | Vdivpd | Vxorps | Vandps | Vorps | Vminps | Vmaxps | Vsqrtps | Vaddss
-            | Vaddsd | Vmulss | Vmulsd | Vmovaps | Vmovups | Vmovdqa | Vmovdqu | Vpaddd
-            | Vpaddq | Vpsubd | Vpand | Vpor | Vpxor | Vpmulld | Vshufps | Vbroadcastss
-            | Vextractf128 => DstKind::Write,
+            | Cvtps2pd | Cvtpd2ps | Movmskps | Pmovmskb | Setcc(_) | Bsf | Bsr | Popcnt | Lzcnt
+            | Tzcnt | Pop | Vaddps | Vaddpd | Vsubps | Vsubpd | Vmulps | Vmulpd | Vdivps
+            | Vdivpd | Vxorps | Vandps | Vorps | Vminps | Vmaxps | Vsqrtps | Vaddss | Vaddsd
+            | Vmulss | Vmulsd | Vmovaps | Vmovups | Vmovdqa | Vmovdqu | Vpaddd | Vpaddq
+            | Vpsubd | Vpand | Vpor | Vpxor | Vpmulld | Vshufps | Vbroadcastss | Vextractf128 => {
+                DstKind::Write
+            }
             // imul has both a 2-operand RMW form and a 3-operand write form.
             Imul => {
                 if self.operands.len() == 3 {
@@ -180,8 +187,8 @@ impl Inst {
                 }
             }
             // No destination.
-            Cmp | Test | Bt | Ucomiss | Ucomisd | Jmp | Jcc(_) | Nop | Push | Cdq | Cqo
-            | Mul | Div | Idiv => DstKind::None,
+            Cmp | Test | Bt | Ucomiss | Ucomisd | Jmp | Jcc(_) | Nop | Push | Cdq | Cqo | Mul
+            | Div | Idiv => DstKind::None,
             // Everything else reads and writes its destination. This
             // includes `cmovcc` (dest is preserved when the condition is
             // false), `movss/movsd xmm, xmm` and `cvtsi2ss/sd` (they merge

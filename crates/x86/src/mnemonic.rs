@@ -236,11 +236,43 @@ impl Mnemonic {
         use Mnemonic::*;
         matches!(
             self,
-            Vaddps | Vaddpd | Vsubps | Vsubpd | Vmulps | Vmulpd | Vdivps | Vdivpd | Vxorps
-                | Vandps | Vorps | Vminps | Vmaxps | Vsqrtps | Vaddss | Vaddsd | Vmulss
-                | Vmulsd | Vmovaps | Vmovups | Vmovdqa | Vmovdqu | Vpaddd | Vpaddq | Vpsubd
-                | Vpand | Vpor | Vpxor | Vpmulld | Vshufps | Vbroadcastss | Vinsertf128
-                | Vextractf128 | Vfmadd231ps | Vfmadd231pd | Vfmadd231ss | Vfmadd231sd
+            Vaddps
+                | Vaddpd
+                | Vsubps
+                | Vsubpd
+                | Vmulps
+                | Vmulpd
+                | Vdivps
+                | Vdivpd
+                | Vxorps
+                | Vandps
+                | Vorps
+                | Vminps
+                | Vmaxps
+                | Vsqrtps
+                | Vaddss
+                | Vaddsd
+                | Vmulss
+                | Vmulsd
+                | Vmovaps
+                | Vmovups
+                | Vmovdqa
+                | Vmovdqu
+                | Vpaddd
+                | Vpaddq
+                | Vpsubd
+                | Vpand
+                | Vpor
+                | Vpxor
+                | Vpmulld
+                | Vshufps
+                | Vbroadcastss
+                | Vinsertf128
+                | Vextractf128
+                | Vfmadd231ps
+                | Vfmadd231pd
+                | Vfmadd231ss
+                | Vfmadd231sd
         )
     }
 }

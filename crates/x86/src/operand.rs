@@ -23,13 +23,25 @@ impl Mem {
     /// `[base]` with the given access width.
     #[must_use]
     pub fn base(base: Reg, width: Width) -> Mem {
-        Mem { base: Some(base), index: None, scale: 1, disp: 0, width }
+        Mem {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp: 0,
+            width,
+        }
     }
 
     /// `[base + disp]`.
     #[must_use]
     pub fn base_disp(base: Reg, disp: i32, width: Width) -> Mem {
-        Mem { base: Some(base), index: None, scale: 1, disp, width }
+        Mem {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+            width,
+        }
     }
 
     /// `[base + index*scale + disp]`.
@@ -43,13 +55,25 @@ impl Mem {
             !(matches!(index, Reg::Gpr { num: 4, .. })),
             "rsp cannot be an index register"
         );
-        Mem { base: Some(base), index: Some(index), scale, disp, width }
+        Mem {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+            width,
+        }
     }
 
     /// RIP-relative `[rip + disp]`.
     #[must_use]
     pub fn rip_rel(disp: i32, width: Width) -> Mem {
-        Mem { base: Some(Reg::Rip), index: None, scale: 1, disp, width }
+        Mem {
+            base: Some(Reg::Rip),
+            index: None,
+            scale: 1,
+            disp,
+            width,
+        }
     }
 
     /// Whether this operand uses an index register. Indexed addressing is

@@ -78,8 +78,8 @@ pub enum Reg {
 }
 
 const GPR64: [&str; 16] = [
-    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
-    "r13", "r14", "r15",
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12", "r13",
+    "r14", "r15",
 ];
 const GPR32: [&str; 16] = [
     "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d", "r12d",
@@ -102,8 +102,14 @@ impl Reg {
     #[must_use]
     pub fn full(self) -> Reg {
         match self {
-            Reg::Gpr { num, .. } => Reg::Gpr { num, width: Width::W64 },
-            Reg::HighByte(i) => Reg::Gpr { num: i, width: Width::W64 },
+            Reg::Gpr { num, .. } => Reg::Gpr {
+                num,
+                width: Width::W64,
+            },
+            Reg::HighByte(i) => Reg::Gpr {
+                num: i,
+                width: Width::W64,
+            },
             Reg::Xmm(n) | Reg::Ymm(n) => Reg::Ymm(n),
             Reg::Rip => Reg::Rip,
         }

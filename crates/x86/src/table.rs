@@ -259,7 +259,7 @@ fn build() -> Tables {
         v.push(e(m, RmI, V, N, M1, 0x83).ext(digit).imm(IbS)); // short form first
         v.push(e(m, RmI, B, N, M1, 0x80).ext(digit).imm(Ib));
         v.push(e(m, RmI, V, N, M1, 0x81).ext(digit).imm(Iz)); // the LCP form
-        // accumulator short forms, accepted on decode for real-world code
+                                                              // accumulator short forms, accepted on decode for real-world code
         v.push(e(m, AccI, B, N, M1, base + 4).imm(Ib).decode_only());
         v.push(e(m, AccI, V, N, M1, base + 5).imm(Iz).decode_only());
     }
@@ -488,10 +488,26 @@ fn build() -> Tables {
     }
     v.push(e(Vpmulld, VXXm, X, N, M38, 0x40).vex(1, 0, 0));
     v.push(e(Vpmulld, VXXm, X, N, M38, 0x40).vex(1, 1, 0));
-    v.push(e(Vaddss, VXXm, X, N, M0F, 0x58).vex(2, 2, 2).rmw(Width::W32));
-    v.push(e(Vaddsd, VXXm, X, N, M0F, 0x58).vex(3, 2, 2).rmw(Width::W64));
-    v.push(e(Vmulss, VXXm, X, N, M0F, 0x59).vex(2, 2, 2).rmw(Width::W32));
-    v.push(e(Vmulsd, VXXm, X, N, M0F, 0x59).vex(3, 2, 2).rmw(Width::W64));
+    v.push(
+        e(Vaddss, VXXm, X, N, M0F, 0x58)
+            .vex(2, 2, 2)
+            .rmw(Width::W32),
+    );
+    v.push(
+        e(Vaddsd, VXXm, X, N, M0F, 0x58)
+            .vex(3, 2, 2)
+            .rmw(Width::W64),
+    );
+    v.push(
+        e(Vmulss, VXXm, X, N, M0F, 0x59)
+            .vex(2, 2, 2)
+            .rmw(Width::W32),
+    );
+    v.push(
+        e(Vmulsd, VXXm, X, N, M0F, 0x59)
+            .vex(3, 2, 2)
+            .rmw(Width::W64),
+    );
     v.push(e(Vshufps, VXXmI, X, N, M0F, 0xC6).vex(0, 0, 2).imm(Ib));
     v.push(e(Vshufps, VXXmI, X, N, M0F, 0xC6).vex(0, 1, 2).imm(Ib));
     // moves (two-operand, vvvv unused)
@@ -510,17 +526,43 @@ fn build() -> Tables {
     }
     v.push(e(Vsqrtps, VXm, X, N, M0F, 0x51).vex(0, 0, 2));
     v.push(e(Vsqrtps, VXm, X, N, M0F, 0x51).vex(0, 1, 2));
-    v.push(e(Vbroadcastss, VXm, X, N, M38, 0x18).vex(1, 0, 0).rmw(Width::W32));
-    v.push(e(Vbroadcastss, VXm, X, N, M38, 0x18).vex(1, 1, 0).rmw(Width::W32));
-    v.push(e(Vinsertf128, VYXmI, X, N, M3A, 0x18).vex(1, 1, 0).imm(Ib).rmw(Width::W128));
-    v.push(e(Vextractf128, VXmYI, X, N, M3A, 0x19).vex(1, 1, 0).imm(Ib).rmw(Width::W128));
+    v.push(
+        e(Vbroadcastss, VXm, X, N, M38, 0x18)
+            .vex(1, 0, 0)
+            .rmw(Width::W32),
+    );
+    v.push(
+        e(Vbroadcastss, VXm, X, N, M38, 0x18)
+            .vex(1, 1, 0)
+            .rmw(Width::W32),
+    );
+    v.push(
+        e(Vinsertf128, VYXmI, X, N, M3A, 0x18)
+            .vex(1, 1, 0)
+            .imm(Ib)
+            .rmw(Width::W128),
+    );
+    v.push(
+        e(Vextractf128, VXmYI, X, N, M3A, 0x19)
+            .vex(1, 1, 0)
+            .imm(Ib)
+            .rmw(Width::W128),
+    );
     // FMA
     v.push(e(Vfmadd231ps, VXXm, X, N, M38, 0xB8).vex(1, 0, 0));
     v.push(e(Vfmadd231ps, VXXm, X, N, M38, 0xB8).vex(1, 1, 0));
     v.push(e(Vfmadd231pd, VXXm, X, N, M38, 0xB8).vex(1, 0, 1));
     v.push(e(Vfmadd231pd, VXXm, X, N, M38, 0xB8).vex(1, 1, 1));
-    v.push(e(Vfmadd231ss, VXXm, X, N, M38, 0xB9).vex(1, 2, 0).rmw(Width::W32));
-    v.push(e(Vfmadd231sd, VXXm, X, N, M38, 0xB9).vex(1, 2, 1).rmw(Width::W64));
+    v.push(
+        e(Vfmadd231ss, VXXm, X, N, M38, 0xB9)
+            .vex(1, 2, 0)
+            .rmw(Width::W32),
+    );
+    v.push(
+        e(Vfmadd231sd, VXXm, X, N, M38, 0xB9)
+            .vex(1, 2, 1)
+            .rmw(Width::W64),
+    );
 
     // Build indexes.
     let mut by_mnem: HashMap<Mnemonic, Vec<usize>> = HashMap::new();
@@ -535,7 +577,11 @@ fn build() -> Tables {
             by_opcode.entry((ent.map, ent.op)).or_default().push(i);
         }
     }
-    Tables { entries: v, by_mnem, by_opcode }
+    Tables {
+        entries: v,
+        by_mnem,
+        by_opcode,
+    }
 }
 
 #[cfg(test)]
@@ -545,7 +591,11 @@ mod tests {
     #[test]
     fn tables_build() {
         let t = tables();
-        assert!(t.entries.len() > 250, "expected a rich table, got {}", t.entries.len());
+        assert!(
+            t.entries.len() > 250,
+            "expected a rich table, got {}",
+            t.entries.len()
+        );
         assert!(t.by_mnem.contains_key(&Mnemonic::Add));
         assert!(t.by_mnem.contains_key(&Mnemonic::Vfmadd231ps));
     }
@@ -556,9 +606,7 @@ mod tests {
         // push r64 occupies 0x50..=0x57
         for op in 0x50..=0x57u8 {
             let hits = &t.by_opcode[&(Map::M1, op)];
-            assert!(hits
-                .iter()
-                .any(|&i| t.entries[i].mnem == Mnemonic::Push));
+            assert!(hits.iter().any(|&i| t.entries[i].mnem == Mnemonic::Push));
         }
     }
 

@@ -15,18 +15,21 @@ fn any_gpr(width: Width) -> impl Strategy<Value = Reg> {
 }
 
 fn any_width() -> impl Strategy<Value = Width> {
-    prop_oneof![
-        Just(Width::W16),
-        Just(Width::W32),
-        Just(Width::W64),
-    ]
+    prop_oneof![Just(Width::W16), Just(Width::W32), Just(Width::W64),]
 }
 
 fn any_mem(width: Width) -> impl Strategy<Value = Mem> {
-    let base = (0u8..16).prop_map(|n| Reg::Gpr { num: n, width: Width::W64 });
+    let base = (0u8..16).prop_map(|n| Reg::Gpr {
+        num: n,
+        width: Width::W64,
+    });
     let index = proptest::option::of(
-        (0u8..16).prop_filter("rsp is not a valid index", |n| *n != 4)
-            .prop_map(|n| Reg::Gpr { num: n, width: Width::W64 }),
+        (0u8..16)
+            .prop_filter("rsp is not a valid index", |n| *n != 4)
+            .prop_map(|n| Reg::Gpr {
+                num: n,
+                width: Width::W64,
+            }),
     );
     let scale = prop_oneof![Just(1u8), Just(2), Just(4), Just(8)];
     let disp = prop_oneof![Just(0i32), -128i32..128, any::<i32>()];
@@ -58,22 +61,30 @@ fn any_form() -> impl Strategy<Value = (Mnemonic, Vec<Operand>)> {
         Just(Mnemonic::Cmp),
         Just(Mnemonic::Mov),
     ];
-    let alu_rr = (alu.clone(), any_width(), any_gpr(Width::W64), any_gpr(Width::W64)).prop_map(
-        |(m, w, a, b)| {
-            let a = Reg::Gpr { num: a.num(), width: w };
-            let b = Reg::Gpr { num: b.num(), width: w };
+    let alu_rr = (
+        alu.clone(),
+        any_width(),
+        any_gpr(Width::W64),
+        any_gpr(Width::W64),
+    )
+        .prop_map(|(m, w, a, b)| {
+            let a = Reg::Gpr {
+                num: a.num(),
+                width: w,
+            };
+            let b = Reg::Gpr {
+                num: b.num(),
+                width: w,
+            };
             (m, vec![Operand::Reg(a), Operand::Reg(b)])
-        },
-    );
+        });
     let alu_rm = (alu.clone(), any_width()).prop_flat_map(|(m, w)| {
-        (any_gpr(w), any_mem(w)).prop_map(move |(r, mem)| {
-            (m, vec![Operand::Reg(r), Operand::Mem(mem)])
-        })
+        (any_gpr(w), any_mem(w))
+            .prop_map(move |(r, mem)| (m, vec![Operand::Reg(r), Operand::Mem(mem)]))
     });
     let alu_mr = (alu.clone(), any_width()).prop_flat_map(|(m, w)| {
-        (any_mem(w), any_gpr(w)).prop_map(move |(mem, r)| {
-            (m, vec![Operand::Mem(mem), Operand::Reg(r)])
-        })
+        (any_mem(w), any_gpr(w))
+            .prop_map(move |(mem, r)| (m, vec![Operand::Mem(mem), Operand::Reg(r)]))
     });
     // note: canonical immediates only (values representable by the form)
     let alu_imm = (alu, any_width()).prop_flat_map(|(m, w)| {
@@ -94,7 +105,11 @@ fn any_form() -> impl Strategy<Value = (Mnemonic, Vec<Operand>)> {
     )
         .prop_flat_map(|(m, w)| rm_operand(w).prop_map(move |rm| (m, vec![rm])));
     let shift = (
-        prop_oneof![Just(Mnemonic::Shl), Just(Mnemonic::Shr), Just(Mnemonic::Sar)],
+        prop_oneof![
+            Just(Mnemonic::Shl),
+            Just(Mnemonic::Shr),
+            Just(Mnemonic::Sar)
+        ],
         any_width(),
         0i64..64,
     )
@@ -105,9 +120,8 @@ fn any_form() -> impl Strategy<Value = (Mnemonic, Vec<Operand>)> {
         let w = if w == Width::W16 { Width::W32 } else { w };
         // the decoder reports lea's (semantically irrelevant) memory width
         // as the destination width, so generate it that way
-        (any_gpr(w), any_mem(w)).prop_map(move |(r, mem)| {
-            (Mnemonic::Lea, vec![Operand::Reg(r), Operand::Mem(mem)])
-        })
+        (any_gpr(w), any_mem(w))
+            .prop_map(move |(r, mem)| (Mnemonic::Lea, vec![Operand::Reg(r), Operand::Mem(mem)]))
     });
     let branch = (any::<bool>(), 0u8..16, -120i32..120).prop_map(|(cond, cc, d)| {
         if cond {
@@ -129,7 +143,10 @@ fn any_form() -> impl Strategy<Value = (Mnemonic, Vec<Operand>)> {
         0u8..16,
     )
         .prop_map(|(m, a, b)| {
-            (m, vec![Operand::Reg(Reg::Xmm(a)), Operand::Reg(Reg::Xmm(b))])
+            (
+                m,
+                vec![Operand::Reg(Reg::Xmm(a)), Operand::Reg(Reg::Xmm(b))],
+            )
         });
     let avx = (
         prop_oneof![
@@ -154,7 +171,10 @@ fn any_form() -> impl Strategy<Value = (Mnemonic, Vec<Operand>)> {
             (m, vec![r(a), r(b), r(c)])
         });
     let stack = (any::<bool>(), 0u8..16).prop_map(|(push, n)| {
-        let r = Reg::Gpr { num: n, width: Width::W64 };
+        let r = Reg::Gpr {
+            num: n,
+            width: Width::W64,
+        };
         if push {
             (Mnemonic::Push, vec![Operand::Reg(r)])
         } else {
@@ -194,7 +214,7 @@ proptest! {
     #[test]
     fn decoded_length_is_positive_and_bounded(bytes in proptest::collection::vec(any::<u8>(), 1..32)) {
         if let Ok((_, len)) = decode_one(&bytes, 0) {
-            prop_assert!(len >= 1 && len <= 15 && len <= bytes.len());
+            prop_assert!((1..=15).contains(&len) && len <= bytes.len());
         }
     }
 

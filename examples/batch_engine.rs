@@ -1,0 +1,80 @@
+//! Batch prediction through the engine: a suite of blocks fanned out over
+//! several predictors and microarchitectures on a worker pool, with
+//! annotations shared through the engine's cache and failures reported as
+//! structured per-row errors.
+//!
+//! ```text
+//! cargo run --release --example batch_engine
+//! ```
+
+use facile::prelude::*;
+
+fn main() {
+    let engine = Engine::with_builtins().with_threads(8);
+
+    // A mixed batch: generated benchmarks on two uarchs, plus junk input.
+    let suite = facile::bhive::generate_suite(12, 42);
+    let mut items: Vec<BatchItem> = Vec::new();
+    for b in &suite {
+        for uarch in [Uarch::Skl, Uarch::Rkl] {
+            items.push(BatchItem::block(b.unrolled.clone(), uarch));
+        }
+    }
+    items.push(BatchItem::hex("deadbeefff", Uarch::Skl)); // undecodable
+
+    let rows = engine.predict_batch(&items, "facile,sim,llvm-mca").unwrap();
+    println!(
+        "{} rows ((blocks x uarchs + 1 junk line) x 3 predictors):\n",
+        rows.len()
+    );
+    for r in rows.iter().take(9) {
+        match &r.prediction {
+            Ok(p) => println!(
+                "  {:<22} {:<4} {:<9} {:>6.2} cyc/iter  {}",
+                r.block_hex,
+                r.uarch.to_string(),
+                r.predictor,
+                p.throughput,
+                p.bottleneck.as_deref().unwrap_or("-"),
+            ),
+            Err(e) => println!(
+                "  {:<22} {:<4} {:<9} error: {e}",
+                r.block_hex,
+                r.uarch.to_string(),
+                r.predictor
+            ),
+        }
+    }
+    println!("  ...");
+    for r in rows
+        .iter()
+        .rev()
+        .take(3)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
+        match &r.prediction {
+            Ok(p) => println!(
+                "  {:<22} {:<4} {:<9} {:>6.2} cyc/iter",
+                r.block_hex,
+                r.uarch.to_string(),
+                r.predictor,
+                p.throughput
+            ),
+            Err(e) => println!(
+                "  {:<22} {:<4} {:<9} error: {e}",
+                r.block_hex,
+                r.uarch.to_string(),
+                r.predictor
+            ),
+        }
+    }
+
+    let stats = engine.cache_stats();
+    println!(
+        "\nannotation cache: {} entries, {} hits, {} misses \
+         (annotations shared across the 3 predictors)",
+        stats.entries, stats.hits, stats.misses
+    );
+}

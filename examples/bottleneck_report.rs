@@ -18,7 +18,10 @@ fn main() {
         };
         let ab = AnnotatedBlock::new(kernel.block.clone(), Uarch::Skl);
         let p = Facile::new().predict(&ab, mode);
-        println!("=== {} (designed to stress: {}) ===", kernel.name, kernel.stresses);
+        println!(
+            "=== {} (designed to stress: {}) ===",
+            kernel.name, kernel.stresses
+        );
         println!("{}", Report::new(&ab, mode, &p));
 
         // Counterfactual: how much faster would the block run if the

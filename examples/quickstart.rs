@@ -12,9 +12,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Build a block with the assembler API: a small dot-product-style
     // kernel body.
     let block = Block::assemble(&[
-        (Mnemonic::Movsd, vec![Reg::Xmm(0).into(), Mem::base(RSI, facile_x86::Width::W64).into()]),
-        (Mnemonic::Mulsd, vec![Reg::Xmm(0).into(), Reg::Xmm(1).into()]),
-        (Mnemonic::Addsd, vec![Reg::Xmm(2).into(), Reg::Xmm(0).into()]),
+        (
+            Mnemonic::Movsd,
+            vec![
+                Reg::Xmm(0).into(),
+                Mem::base(RSI, facile_x86::Width::W64).into(),
+            ],
+        ),
+        (
+            Mnemonic::Mulsd,
+            vec![Reg::Xmm(0).into(), Reg::Xmm(1).into()],
+        ),
+        (
+            Mnemonic::Addsd,
+            vec![Reg::Xmm(2).into(), Reg::Xmm(0).into()],
+        ),
         (Mnemonic::Add, vec![RSI.into(), Operand::Imm(8)]),
     ])?;
 

@@ -17,11 +17,16 @@ use facile_x86::reg::names::*;
 use facile_x86::Width;
 use std::time::Instant;
 
-fn candidates() -> Vec<(&'static str, Vec<(Mnemonic, Vec<Operand>)>)> {
+type Candidate = (&'static str, Vec<(Mnemonic, Vec<Operand>)>);
+
+fn candidates() -> Vec<Candidate> {
     vec![
         (
             "imul (one multiply)",
-            vec![(Mnemonic::Imul, vec![RAX.into(), RCX.into(), Operand::Imm(9)])],
+            vec![(
+                Mnemonic::Imul,
+                vec![RAX.into(), RCX.into(), Operand::Imm(9)],
+            )],
         ),
         (
             "lea (shift-add in the AGU)",
@@ -57,7 +62,10 @@ fn candidates() -> Vec<(&'static str, Vec<(Mnemonic, Vec<Operand>)>)> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let uarch = Uarch::Skl;
     let f = Facile::new();
-    println!("ranking candidates for rax = 9*rcx on {}:\n", uarch.full_name());
+    println!(
+        "ranking candidates for rax = 9*rcx on {}:\n",
+        uarch.full_name()
+    );
 
     let t0 = Instant::now();
     let mut ranked: Vec<(f64, String, String)> = Vec::new();
@@ -75,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"));
 
     for (i, (tp, name, bottleneck)) in ranked.iter().enumerate() {
-        println!("{}. {name:<28} {tp:>5.2} cycles/iter (bottleneck: {bottleneck})", i + 1);
+        println!(
+            "{}. {name:<28} {tp:>5.2} cycles/iter (bottleneck: {bottleneck})",
+            i + 1
+        );
     }
     println!(
         "\nranked {} candidates in {:.1} µs — fast enough to explore \

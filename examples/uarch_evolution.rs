@@ -37,7 +37,10 @@ fn main() {
             *counts.entry(b.name()).or_default() += 1;
         }
         let pct = |k: &str| -> String {
-            format!("{:.1}%", 100.0 * *counts.get(k).unwrap_or(&0) as f64 / suite.len() as f64)
+            format!(
+                "{:.1}%",
+                100.0 * *counts.get(k).unwrap_or(&0) as f64 / suite.len() as f64
+            )
         };
         println!(
             "{:<6} {:>8} {:>8} {:>8} {:>8} {:>10}",

@@ -10,7 +10,11 @@ use facile_metrics::{kendall_tau_b, mape};
 fn accuracy(uarch: Uarch, loop_mode: bool, n: usize, seed: u64) -> (f64, f64, usize, usize) {
     let suite = generate_suite(n, seed);
     let f = Facile::new();
-    let mode = if loop_mode { Mode::Loop } else { Mode::Unrolled };
+    let mode = if loop_mode {
+        Mode::Loop
+    } else {
+        Mode::Unrolled
+    };
     let mut pairs = Vec::new();
     let (mut xs, mut ys) = (Vec::new(), Vec::new());
     let (mut optimistic, mut pessimistic) = (0usize, 0usize);
@@ -30,7 +34,12 @@ fn accuracy(uarch: Uarch, loop_mode: bool, n: usize, seed: u64) -> (f64, f64, us
             ys.push(p);
         }
     }
-    (mape(&pairs), kendall_tau_b(&xs, &ys), optimistic, pessimistic)
+    (
+        mape(&pairs),
+        kendall_tau_b(&xs, &ys),
+        optimistic,
+        pessimistic,
+    )
 }
 
 #[test]

@@ -148,7 +148,11 @@ fn corpus_kernels_hit_their_designed_bottlenecks() {
     ];
     for (name, comp) in expect {
         let k = facile_bhive::kernel(name).expect("kernel exists");
-        let mode = if k.block.ends_in_branch() { Mode::Loop } else { Mode::Unrolled };
+        let mode = if k.block.ends_in_branch() {
+            Mode::Loop
+        } else {
+            Mode::Unrolled
+        };
         let ab = AnnotatedBlock::new(k.block, Uarch::Skl);
         let p = Facile::new().predict(&ab, mode);
         assert!(

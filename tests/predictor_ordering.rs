@@ -8,10 +8,17 @@ use facile_baselines::{
 };
 use facile_bhive::{generate_suite, measure_block, round2};
 use facile_core::Mode;
+use facile_engine::AnnotationCache;
 use facile_metrics::mape;
 use facile_uarch::Uarch;
 
-fn suite_mape(p: &dyn Predictor, uarch: Uarch, mode: Mode, seed: u64) -> f64 {
+fn suite_mape(
+    cache: &AnnotationCache,
+    p: &dyn Predictor,
+    uarch: Uarch,
+    mode: Mode,
+    seed: u64,
+) -> f64 {
     let suite = generate_suite(100, seed);
     let mut pairs = Vec::new();
     for b in &suite {
@@ -21,7 +28,8 @@ fn suite_mape(p: &dyn Predictor, uarch: Uarch, mode: Mode, seed: u64) -> f64 {
         };
         let m = measure_block(block, uarch, mode == Mode::Loop);
         if m > 0.0 {
-            pairs.push((m, round2(p.predict(block, uarch, mode))));
+            let ab = cache.annotate(block, uarch);
+            pairs.push((m, round2(p.predict(&ab, mode))));
         }
     }
     mape(&pairs)
@@ -44,10 +52,14 @@ fn facile_beats_every_baseline() {
         ("DiffTune-like", &difftune),
         ("learning-bl", &learning_bl),
     ];
+    // One cache for the whole comparison: the suites are regenerated from
+    // the same seed per mode, so annotations are shared across all
+    // predictors the way the engine's batch path serves them.
+    let cache = AnnotationCache::new();
     for mode in [Mode::Unrolled, Mode::Loop] {
-        let facile = suite_mape(&FacilePredictor, uarch, mode, seed);
+        let facile = suite_mape(&cache, &FacilePredictor, uarch, mode, seed);
         for (name, b) in &baselines {
-            let e = suite_mape(*b, uarch, mode, seed);
+            let e = suite_mape(&cache, *b, uarch, mode, seed);
             assert!(
                 facile < e,
                 "{mode}: Facile ({facile:.4}) should beat {name} ({e:.4})"
@@ -58,8 +70,17 @@ fn facile_beats_every_baseline() {
 
 #[test]
 fn simulation_predictor_is_exact_by_construction() {
-    let e = suite_mape(&UicaLike, Uarch::Hsw, Mode::Unrolled, 11);
-    assert!(e < 1e-9, "the simulator predicting its own measurements: {e}");
+    let e = suite_mape(
+        &AnnotationCache::new(),
+        &UicaLike,
+        Uarch::Hsw,
+        Mode::Unrolled,
+        11,
+    );
+    assert!(
+        e < 1e-9,
+        "the simulator predicting its own measurements: {e}"
+    );
 }
 
 #[test]
@@ -67,7 +88,11 @@ fn difftune_like_degrades_on_loops() {
     // The paper's DiffTune row: trained on TPU, far worse on TPL.
     let uarch = Uarch::Skl;
     let difftune = DiffTuneLike::train(&[uarch], 150, 999);
-    let u = suite_mape(&difftune, uarch, Mode::Unrolled, 4242);
-    let l = suite_mape(&difftune, uarch, Mode::Loop, 4242);
-    assert!(l > 0.5 * u, "TPL should not be dramatically better: {l} vs {u}");
+    let cache = AnnotationCache::new();
+    let u = suite_mape(&cache, &difftune, uarch, Mode::Unrolled, 4242);
+    let l = suite_mape(&cache, &difftune, uarch, Mode::Loop, 4242);
+    assert!(
+        l > 0.5 * u,
+        "TPL should not be dramatically better: {l} vs {u}"
+    );
 }
