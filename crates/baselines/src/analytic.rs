@@ -42,12 +42,12 @@ pub(crate) fn naive_dependence_bound(ab: &AnnotatedBlock) -> f64 {
     let fl: Vec<Fl> = insts
         .iter()
         .map(|a| {
-            let e = a.inst.effects();
+            let e = a.effects();
             let mut consumed: Vec<V> = e.reg_reads.iter().map(|r| V::R(r.full())).collect();
             // No dependency-breaking idioms: `xor r, r` still reads `r`.
-            if a.inst.is_zero_idiom() || a.inst.is_ones_idiom() {
+            if a.inst().is_zero_idiom() || a.inst().is_ones_idiom() {
                 consumed.extend(
-                    a.inst
+                    a.inst()
                         .operands
                         .iter()
                         .filter_map(|o| o.reg())
@@ -66,7 +66,7 @@ pub(crate) fn naive_dependence_bound(ab: &AnnotatedBlock) -> f64 {
             }
             let mut produced: Vec<V> = e.reg_writes.iter().map(|r| V::R(r.full())).collect();
             produced.extend(flags::groups(e.flags_written).map(V::F));
-            let lat = f64::from(a.desc.latency.max(1));
+            let lat = f64::from(a.desc().latency.max(1));
             Fl {
                 consumed,
                 produced,
@@ -154,7 +154,7 @@ impl Predictor for LlvmMcaLike {
                 total_uops += 1.0;
                 continue;
             }
-            if a.desc.eliminated {
+            if a.desc().eliminated {
                 let ports = cfg.ports.alu;
                 for p in ports.iter() {
                     pressure[usize::from(p)] += 1.0 / f64::from(ports.count());
@@ -162,7 +162,7 @@ impl Predictor for LlvmMcaLike {
                 total_uops += 1.0;
                 continue;
             }
-            for u in &a.desc.uops {
+            for u in &a.desc().uops {
                 for p in u.ports.iter() {
                     pressure[usize::from(p)] += f64::from(u.occupancy) / f64::from(u.ports.count());
                 }
@@ -225,14 +225,14 @@ impl Predictor for OsacaLike {
         let cfg = ab.uarch().config();
         let mut pressure = [0.0f64; 16];
         for a in ab.insts() {
-            if a.desc.eliminated && !a.fused_with_prev {
+            if a.desc().eliminated && !a.fused_with_prev {
                 // OSACA does not model move elimination: charge an ALU µop.
                 for p in cfg.ports.alu.iter() {
                     pressure[usize::from(p)] += 1.0 / f64::from(cfg.ports.alu.count());
                 }
                 continue;
             }
-            for u in &a.desc.uops {
+            for u in &a.desc().uops {
                 for p in u.ports.iter() {
                     pressure[usize::from(p)] += f64::from(u.occupancy) / f64::from(u.ports.count());
                 }

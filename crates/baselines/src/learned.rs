@@ -134,14 +134,14 @@ fn features(ab: &AnnotatedBlock, set: FeatureSet) -> Vec<f64> {
         let mut max_lat = 0.0f64;
         let mut pressure = vec![0.0f64; 16];
         for a in ab.insts() {
-            if a.desc.has_load() {
+            if a.desc().has_load() {
                 loads += 1.0;
             }
-            if a.desc.has_store() {
+            if a.desc().has_store() {
                 stores += 1.0;
             }
-            max_lat = max_lat.max(f64::from(a.desc.latency));
-            for u in &a.desc.uops {
+            max_lat = max_lat.max(f64::from(a.desc().latency));
+            for u in &a.desc().uops {
                 occ += f64::from(u.occupancy - 1);
                 for p in u.ports.iter() {
                     pressure[usize::from(p)] += f64::from(u.occupancy) / f64::from(u.ports.count());

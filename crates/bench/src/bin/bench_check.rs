@@ -1,0 +1,100 @@
+//! Compare a fresh `bench_engine` result against a committed baseline and
+//! fail (exit 1) on a warm-throughput regression beyond the tolerance.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--max-regression 0.25]
+//! ```
+//!
+//! Used by CI: the committed `BENCH_engine.json` is copied aside, the
+//! benchmark re-runs, and this gate rejects the build if warm
+//! single-thread throughput dropped by more than 25%. Parallel-vs-single
+//! is additionally required not to be a slowdown (>= 0.95 to leave room
+//! for timer noise on busy runners).
+
+use std::process::ExitCode;
+
+/// Extract the number following `"key":` after `section` in a flat JSON
+/// text (the bench file is machine-written; no general parser needed).
+fn field(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let k = tail.find(&format!("\"{key}\""))?;
+    let tail = &tail[k..];
+    let colon = tail.find(':')?;
+    let rest = tail[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn load(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args
+        .next()
+        .ok_or("usage: bench_check <baseline.json> <fresh.json> [--max-regression R]")?;
+    let fresh_path = args
+        .next()
+        .ok_or("usage: bench_check <baseline.json> <fresh.json> [--max-regression R]")?;
+    let mut max_regression = 0.25;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .ok_or("--max-regression requires a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regression: {e}"))?;
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+
+    let baseline = load(&baseline_path)?;
+    let fresh = load(&fresh_path)?;
+    let get = |json: &str, path: &str| -> Result<f64, String> {
+        field(json, "single_thread", path)
+            .ok_or_else(|| format!("field single_thread.{path} not found"))
+    };
+    let base_warm = get(&baseline, "warm_cache_blocks_per_sec")?;
+    let fresh_warm = get(&fresh, "warm_cache_blocks_per_sec")?;
+    let floor = base_warm * (1.0 - max_regression);
+    println!(
+        "warm single-thread: baseline {base_warm:.0} blocks/s, fresh {fresh_warm:.0} blocks/s \
+         (floor {floor:.0}, tolerance {:.0}%)",
+        max_regression * 100.0
+    );
+    if fresh_warm < floor {
+        return Err(format!(
+            "warm-throughput regression: {fresh_warm:.0} < {floor:.0} blocks/s \
+             ({:.1}% below the committed baseline)",
+            (1.0 - fresh_warm / base_warm) * 100.0
+        ));
+    }
+
+    // Top-level field: section and key coincide.
+    let speedup = field(&fresh, "parallel_speedup_warm", "parallel_speedup_warm")
+        .ok_or("field parallel_speedup_warm not found")?;
+    println!("parallel_speedup_warm: {speedup:.3}");
+    if speedup < 0.95 {
+        return Err(format!(
+            "the worker pool makes the engine slower: parallel_speedup_warm = {speedup:.3} < 0.95"
+        ));
+    }
+    println!("bench_check: OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_check: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,16 +1,24 @@
-//! Batch-throughput microbenchmark for the prediction engine: the start
-//! of the repository's perf trajectory toward the paper's ~10,000× speed
-//! claim. Measures blocks/second through `Engine::predict_batch` —
-//! single-thread vs parallel, cold vs warm annotation cache — verifies
-//! that the parallel path is byte-identical to the single-threaded one,
-//! and writes the numbers to `BENCH_engine.json`.
+//! Batch-throughput microbenchmark for the prediction engine: the
+//! repository's perf gate on the paper's ~10,000× speed claim. Measures
+//! blocks/second through `Engine::predict_batch` — single-thread vs
+//! parallel, cold vs warm annotation cache — verifies that multi-threaded
+//! output is byte-identical to single-threaded output, and writes the
+//! numbers to `BENCH_engine.json`.
+//!
+//! Host reporting is honest: `host_cpus` and `threads_parallel` are both
+//! derived from `available_parallelism`. On a single-CPU host the
+//! parallel configuration *is* the single-threaded configuration (the
+//! engine falls back to inline execution), so the single-thread
+//! measurements are reused verbatim for the parallel section and a
+//! `note` field says so — re-measuring the same configuration would only
+//! report timer noise as a "speedup".
 //!
 //! ```text
 //! cargo run --release -p facile-bench --bin bench_engine -- --blocks 2000
 //! ```
 
 use facile_bench::Args;
-use facile_engine::{BatchItem, Engine, ItemResult, PredictorRegistry};
+use facile_engine::{host_threads, BatchItem, Engine, ItemResult, PredictorRegistry};
 use facile_uarch::Uarch;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -34,6 +42,7 @@ fn signature(rows: &[ItemResult]) -> String {
     s
 }
 
+#[derive(Clone, Copy)]
 struct Measured {
     secs: f64,
     blocks_per_sec: f64,
@@ -76,41 +85,60 @@ fn main() {
         .map(|b| BatchItem::block(b.unrolled.clone(), uarch))
         .collect();
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let parallel_threads = host_cpus.max(4);
-    if host_cpus < 2 {
-        eprintln!(
-            "note: only {host_cpus} CPU(s) available — the parallel path cannot \
-             beat single-threaded here; the speedup field reflects the host, \
-             not the engine"
-        );
-    }
+    // Honest host reporting: the parallel configuration uses exactly the
+    // host's available parallelism, and both numbers are recorded.
+    let host_cpus = host_threads();
+    let parallel_threads = host_cpus;
 
     // Cold cache, single thread (annotation cost included).
     let single = Engine::new(PredictorRegistry::with_builtins()).with_threads(1);
     let (cold_single, rows_single) = run(&single, &items, 1);
     // Warm cache, single thread (annotations memoized).
     let (warm_single, _) = run(&single, &items, 3);
+    // Counters from the engine that produced the timed measurements
+    // (1 cold + 3 warm passes), so the recorded hit rate explains the
+    // warm-over-cold speedup.
+    let stats = single.cache_stats();
 
-    // Cold cache, parallel.
-    let parallel = Engine::new(PredictorRegistry::with_builtins()).with_threads(parallel_threads);
-    let (cold_parallel, rows_parallel) = run(&parallel, &items, 1);
-    // Warm cache, parallel.
-    let (warm_parallel, _) = run(&parallel, &items, 3);
-
+    // Determinism gate: a many-threaded engine (even when time-sliced on
+    // few CPUs, this exercises the chunked parallel map) must produce
+    // byte-identical rows.
+    let check_threads = host_cpus.max(8);
+    let checker = Engine::new(PredictorRegistry::with_builtins()).with_threads(check_threads);
+    let (_, rows_checker) = run(&checker, &items, 1);
     assert_eq!(
         signature(&rows_single),
-        signature(&rows_parallel),
+        signature(&rows_checker),
         "parallel batch output must be byte-identical to single-threaded"
     );
-    eprintln!("determinism check: {parallel_threads}-thread output identical to 1-thread");
+    eprintln!("determinism check: {check_threads}-thread output identical to 1-thread");
 
-    let stats = parallel.cache_stats();
+    // Parallel throughput: only a separate measurement when the host can
+    // actually run workers in parallel.
+    let (cold_parallel, warm_parallel, note) = if parallel_threads > 1 {
+        let parallel =
+            Engine::new(PredictorRegistry::with_builtins()).with_threads(parallel_threads);
+        let (cold, _) = run(&parallel, &items, 1);
+        let (warm, _) = run(&parallel, &items, 3);
+        (cold, warm, None)
+    } else {
+        (
+            cold_single,
+            warm_single,
+            Some(
+                "host has 1 CPU: the parallel configuration degenerates to the \
+                 single-threaded engine, so its measurements are reused verbatim",
+            ),
+        )
+    };
+
+    let intern = stats.intern;
     let speedup_parallel = warm_parallel.blocks_per_sec / warm_single.blocks_per_sec;
     let speedup_warm = warm_parallel.blocks_per_sec / cold_parallel.blocks_per_sec;
 
+    let note_json = note.map_or(String::new(), |n| format!("\n  \"note\": \"{n}\","));
     let json = format!(
-        "{{\n  \"benchmark\": \"engine_batch_throughput\",\n  \"predictors\": \"{SELECTOR}\",\n  \"uarch\": \"{uarch}\",\n  \"blocks\": {n},\n  \"rows\": {rows},\n  \"host_cpus\": {host_cpus},\n  \"threads_parallel\": {parallel_threads},\n  \"single_thread\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel_speedup_warm\": {:.3},\n  \"warm_over_cold_speedup_parallel\": {:.3},\n  \"annotation_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {} }},\n  \"deterministic_across_threads\": true\n}}\n",
+        "{{\n  \"benchmark\": \"engine_batch_throughput\",\n  \"predictors\": \"{SELECTOR}\",\n  \"uarch\": \"{uarch}\",\n  \"blocks\": {n},\n  \"rows\": {rows},\n  \"host_cpus\": {host_cpus},\n  \"threads_parallel\": {parallel_threads},{note_json}\n  \"single_thread\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel_speedup_warm\": {:.3},\n  \"warm_over_cold_speedup_parallel\": {:.3},\n  \"annotation_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {} }},\n  \"intern_table\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {} }},\n  \"deterministic_across_threads\": true,\n  \"determinism_check_threads\": {check_threads}\n}}\n",
         cold_single.secs,
         cold_single.blocks_per_sec,
         warm_single.secs,
@@ -121,9 +149,12 @@ fn main() {
         warm_parallel.blocks_per_sec,
         speedup_parallel,
         speedup_warm,
-        stats.hits,
-        stats.misses,
-        stats.entries,
+        stats.annotation.hits,
+        stats.annotation.misses,
+        stats.annotation.entries,
+        intern.hits,
+        intern.misses,
+        intern.entries,
         rows = rows_single.len(),
     );
     std::fs::write(OUT_PATH, &json).expect("write BENCH_engine.json");

@@ -45,7 +45,7 @@ fn main() {
         let mut h = Heatmap::new(20, 10.0);
         let mut n = 0;
         for row in rows.iter().skip(j).step_by(PREDICTORS.len()) {
-            debug_assert_eq!(row.predictor, *key);
+            debug_assert_eq!(&*row.predictor, *key);
             let m = ms.measured(row.item, Mode::Loop);
             let pred = match &row.prediction {
                 Ok(p) => facile_bhive::round2(p.throughput),

@@ -34,6 +34,7 @@ struct Options {
     predictors: String,
     format: Format,
     threads: Option<usize>,
+    stats: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -75,6 +76,9 @@ OPTIONS:
     --json             machine-readable output, one JSON object per row
     --csv              machine-readable output, CSV with header
     --threads <N>      batch worker threads (default: all cores)
+    --stats            report cache counters (annotation cache + descriptor
+                       intern table) after the run: a trailing JSON object
+                       with --json, a summary on stderr otherwise
     --list-predictors  list registered predictor keys
     --list-kernels     list the built-in corpus kernels
     --help             show this help
@@ -92,6 +96,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         predictors: String::from("facile"),
         format: Format::Human,
         threads: None,
+        stats: false,
     };
     let mut it = std::env::args().skip(1).peekable();
     if it.peek().is_none() {
@@ -149,6 +154,7 @@ fn parse_args() -> Result<Option<Options>, String> {
                         .map_err(|_| "numeric --threads".to_string())?,
                 );
             }
+            "--stats" => o.stats = true,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -295,6 +301,50 @@ fn build_engine(o: &Options) -> Engine {
     engine
 }
 
+/// Cache counters accumulated over a run (batch mode drops annotations
+/// between chunks to bound memory, so hits/misses are summed across
+/// chunks and `entries` is the high-water mark).
+#[derive(Default, Clone, Copy)]
+struct StatsTally {
+    ann_hits: u64,
+    ann_misses: u64,
+    ann_entries: usize,
+}
+
+impl StatsTally {
+    fn absorb(&mut self, s: facile_engine::EngineStats) {
+        self.ann_hits += s.annotation.hits;
+        self.ann_misses += s.annotation.misses;
+        self.ann_entries = self.ann_entries.max(s.annotation.entries);
+    }
+}
+
+/// Emit cache counters: a trailing JSON object on stdout with --json, a
+/// human-readable summary on stderr otherwise (CSV output stays pure).
+fn emit_stats<W: Write + ?Sized>(
+    out: &mut W,
+    format: Format,
+    t: StatsTally,
+) -> std::io::Result<()> {
+    let i = facile_isa::intern_stats();
+    match format {
+        Format::Json => writeln!(
+            out,
+            "{{\"stats\":{{\"annotation_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\
+             \"intern_table\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}}}}}",
+            t.ann_hits, t.ann_misses, t.ann_entries, i.hits, i.misses, i.entries
+        ),
+        Format::Csv | Format::Human => {
+            eprintln!(
+                "stats: annotation cache {} hits / {} misses / {} entries; \
+                 intern table {} hits / {} misses / {} entries",
+                t.ann_hits, t.ann_misses, t.ann_entries, i.hits, i.misses, i.entries
+            );
+            Ok(())
+        }
+    }
+}
+
 /// Batch mode: stream stdin lines through the engine.
 fn run_batch(o: &Options) -> Result<(), String> {
     let engine = build_engine(o);
@@ -311,7 +361,11 @@ fn run_batch(o: &Options) -> Result<(), String> {
     // each chunk still fans out in parallel across the worker pool.
     const CHUNK: usize = 4096;
     let mut items: Vec<BatchItem> = Vec::with_capacity(CHUNK);
-    let flush = |items: &mut Vec<BatchItem>, out: &mut dyn Write| -> Result<(), String> {
+    let mut tally = StatsTally::default();
+    let flush = |items: &mut Vec<BatchItem>,
+                 out: &mut dyn Write,
+                 tally: &mut StatsTally|
+     -> Result<(), String> {
         if items.is_empty() {
             return Ok(());
         }
@@ -324,6 +378,7 @@ fn run_batch(o: &Options) -> Result<(), String> {
         items.clear();
         // Annotations are only reused within a chunk; dropping them here
         // keeps memory bounded on arbitrarily large streams.
+        tally.absorb(engine.cache_stats());
         engine.clear_cache();
         Ok(())
     };
@@ -343,10 +398,13 @@ fn run_batch(o: &Options) -> Result<(), String> {
             });
         }
         if items.len() >= CHUNK {
-            flush(&mut items, &mut out)?;
+            flush(&mut items, &mut out, &mut tally)?;
         }
     }
-    flush(&mut items, &mut out)?;
+    flush(&mut items, &mut out, &mut tally)?;
+    if o.stats {
+        emit_stats(&mut out, o.format, tally).map_err(|e| e.to_string())?;
+    }
     out.flush().map_err(|e| e.to_string())
 }
 
@@ -391,6 +449,11 @@ fn run_single(o: &Options) -> Result<(), String> {
         for r in &rows {
             emit_row(&mut out, o.format, r).map_err(|e| e.to_string())?;
         }
+        if o.stats {
+            let mut tally = StatsTally::default();
+            tally.absorb(engine.cache_stats());
+            emit_stats(&mut out, o.format, tally).map_err(|e| e.to_string())?;
+        }
         return out.flush().map_err(|e| e.to_string());
     }
 
@@ -418,6 +481,11 @@ fn run_single(o: &Options) -> Result<(), String> {
         if !extra.is_empty() && extra.iter().any(|p| p.key() != "facile") {
             println!();
         }
+    }
+    if o.stats {
+        let mut tally = StatsTally::default();
+        tally.absorb(engine.cache_stats());
+        emit_stats(&mut std::io::stderr(), Format::Human, tally).map_err(|e| e.to_string())?;
     }
     Ok(())
 }

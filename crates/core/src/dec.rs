@@ -10,10 +10,11 @@
 
 use facile_isa::AnnotatedBlock;
 use facile_uarch::UarchConfig;
+use facile_util::SmallVec;
 use facile_x86::Mnemonic;
 
 /// Per-instruction facts the decoder model needs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct DecInst {
     complex: bool,
     simple_after: u8,
@@ -21,16 +22,23 @@ struct DecInst {
     branch: bool,
 }
 
-fn decoder_view(ab: &AnnotatedBlock) -> Vec<DecInst> {
+fn decoder_view(ab: &AnnotatedBlock, out: &mut SmallVec<DecInst, 32>) {
     let cfg = ab.uarch().config();
-    ab.fused_insts()
-        .map(|a| DecInst {
-            complex: a.desc.complex_decoder,
-            simple_after: a.desc.simple_decoders_after,
-            fusible: is_fusible_mnemonic(a.inst.mnemonic, cfg),
-            branch: a.inst.is_branch() || is_fused_branch(ab, a.start),
-        })
-        .collect()
+    let insts = ab.insts();
+    out.clear();
+    for (i, a) in insts.iter().enumerate() {
+        if a.fused_with_prev {
+            continue;
+        }
+        // The head of a macro-fused pair decodes as a branch.
+        let fused_head = insts.get(i + 1).is_some_and(|n| n.fused_with_prev);
+        out.push(DecInst {
+            complex: a.desc().complex_decoder,
+            simple_after: a.desc().simple_decoders_after,
+            fusible: is_fusible_mnemonic(a.inst().mnemonic, cfg),
+            branch: a.inst().is_branch() || fused_head,
+        });
+    }
 }
 
 /// Whether this mnemonic *could* macro-fuse with a following branch; such
@@ -46,21 +54,12 @@ fn is_fusible_mnemonic(m: Mnemonic, cfg: &UarchConfig) -> bool {
     }
 }
 
-/// Whether the instruction starting at `start` heads a macro-fused pair.
-fn is_fused_branch(ab: &AnnotatedBlock, start: usize) -> bool {
-    let insts = ab.insts();
-    insts
-        .iter()
-        .position(|a| a.start == start)
-        .and_then(|i| insts.get(i + 1))
-        .is_some_and(|next| next.fused_with_prev)
-}
-
 /// The full decoder model (`Dec`, Algorithm 1): predicted cycles per
 /// iteration.
 #[must_use]
 pub fn dec(ab: &AnnotatedBlock) -> f64 {
-    let insts = decoder_view(ab);
+    let mut insts: SmallVec<DecInst, 32> = SmallVec::new();
+    decoder_view(ab, &mut insts);
     if insts.is_empty() {
         return 0.0;
     }
@@ -70,10 +69,14 @@ pub fn dec(ab: &AnnotatedBlock) -> f64 {
     let mut cur_dec = n_decoders - 1;
     let mut n_avail_simple: u8 = 0;
     // nComplexDecInIteration: decode groups started in each iteration.
-    let mut groups_in_iter: Vec<u32> = vec![0]; // index 0 unused; iteration starts at 1
-                                                // firstInstrOnDecInIteration[d]: iteration in which the first
-                                                // instruction of the benchmark was first allocated to decoder d.
-    let mut first_on_dec: Vec<i64> = vec![-1; n_decoders];
+    let mut groups_in_iter: SmallVec<u32, 8> = SmallVec::new();
+    groups_in_iter.push(0); // index 0 unused; iteration starts at 1
+                            // firstInstrOnDecInIteration[d]: iteration in which the first
+                            // instruction of the benchmark was first allocated to decoder d.
+    let mut first_on_dec: SmallVec<i64, 8> = SmallVec::new();
+    for _ in 0..n_decoders {
+        first_on_dec.push(-1);
+    }
 
     // Steady state is reached within #decoders + 1 iterations by the
     // pigeonhole principle; cap defensively anyway.
@@ -121,7 +124,10 @@ pub fn dec(ab: &AnnotatedBlock) -> f64 {
 pub fn simple_dec(ab: &AnnotatedBlock) -> f64 {
     let cfg = ab.uarch().config();
     let n = ab.fused_insts().count() as f64;
-    let c = ab.fused_insts().filter(|a| a.desc.complex_decoder).count() as f64;
+    let c = ab
+        .fused_insts()
+        .filter(|a| a.desc().complex_decoder)
+        .count() as f64;
     (n / f64::from(cfg.n_decoders)).max(c)
 }
 

@@ -31,7 +31,6 @@ pub struct REdge {
 pub struct RatioGraph {
     n: usize,
     edges: Vec<REdge>,
-    out: Vec<Vec<usize>>,
 }
 
 impl RatioGraph {
@@ -41,8 +40,14 @@ impl RatioGraph {
         RatioGraph {
             n,
             edges: Vec::new(),
-            out: vec![Vec::new(); n],
         }
+    }
+
+    /// Reset to an empty graph with `n` nodes, keeping the edge buffer's
+    /// allocation (for scratch-arena reuse across calls).
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.edges.clear();
     }
 
     /// Add an edge.
@@ -52,7 +57,6 @@ impl RatioGraph {
     pub fn add_edge(&mut self, from: usize, to: usize, weight: f64, count: u32) {
         assert!(from < self.n && to < self.n, "edge endpoint out of range");
         assert!(weight >= 0.0, "negative or NaN latency weight");
-        self.out[from].push(self.edges.len());
         self.edges.push(REdge {
             from,
             to,
@@ -115,10 +119,40 @@ impl Mcr {
     }
 }
 
+/// Reusable buffers for [`max_cycle_ratio_howard`]. The solver runs once
+/// per prediction in the batch hot path; without reuse each call makes
+/// eight-plus vector allocations (plus two more per trim round).
+#[derive(Debug, Default)]
+struct HowardScratch {
+    alive: Vec<bool>,
+    has_out: Vec<bool>,
+    has_in: Vec<bool>,
+    policy: Vec<Option<usize>>,
+    lambda: Vec<f64>,
+    dist: Vec<f64>,
+    cycle_of: Vec<Option<usize>>,
+    state: Vec<u8>,
+    path: Vec<usize>,
+}
+
+thread_local! {
+    static HOWARD_SCRATCH: std::cell::RefCell<HowardScratch> =
+        std::cell::RefCell::new(HowardScratch::default());
+}
+
+fn reset<T: Clone>(buf: &mut Vec<T>, n: usize, value: T) {
+    buf.clear();
+    buf.resize(n, value);
+}
+
 /// Maximum cycle ratio via Howard's policy iteration.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn max_cycle_ratio_howard(g: &RatioGraph) -> Mcr {
+    HOWARD_SCRATCH.with(|s| howard_with(g, &mut s.borrow_mut()))
+}
+
+#[allow(clippy::too_many_lines)]
+fn howard_with(g: &RatioGraph, s: &mut HowardScratch) -> Mcr {
     let n = g.num_nodes();
     if n == 0 || g.num_edges() == 0 {
         return Mcr::Acyclic;
@@ -126,11 +160,14 @@ pub fn max_cycle_ratio_howard(g: &RatioGraph) -> Mcr {
 
     // Restrict to nodes that can lie on a cycle: iteratively trim nodes
     // without outgoing or incoming edges.
-    let mut alive = vec![true; n];
+    let alive = &mut s.alive;
+    reset(alive, n, true);
     loop {
         let mut changed = false;
-        let mut has_out = vec![false; n];
-        let mut has_in = vec![false; n];
+        let has_out = &mut s.has_out;
+        let has_in = &mut s.has_in;
+        reset(has_out, n, false);
+        reset(has_in, n, false);
         for e in g.edges() {
             if alive[e.from] && alive[e.to] {
                 has_out[e.from] = true;
@@ -152,30 +189,36 @@ pub fn max_cycle_ratio_howard(g: &RatioGraph) -> Mcr {
     }
 
     // Initial policy: any outgoing edge to a live node.
-    let mut policy: Vec<Option<usize>> = vec![None; n];
+    let policy = &mut s.policy;
+    reset(policy, n, None);
     for (ei, e) in g.edges().iter().enumerate() {
         if alive[e.from] && alive[e.to] && policy[e.from].is_none() {
             policy[e.from] = Some(ei);
         }
     }
 
-    let mut lambda = vec![f64::NEG_INFINITY; n];
-    let mut dist = vec![0.0f64; n];
-    let mut cycle_of: Vec<Option<usize>> = vec![None; n]; // representative node of the policy cycle reached
+    let lambda = &mut s.lambda;
+    let dist = &mut s.dist;
+    let cycle_of = &mut s.cycle_of; // representative node of the policy cycle reached
+    reset(lambda, n, f64::NEG_INFINITY);
+    reset(dist, n, 0.0f64);
+    reset(cycle_of, n, None);
     let mut best = Mcr::Acyclic;
 
     for _round in 0..1000 {
         // --- policy evaluation ---
         // Walk the functional policy graph; every live node reaches exactly
         // one cycle.
-        let mut state = vec![0u8; n]; // 0 unvisited, 1 in progress, 2 done
+        let state = &mut s.state; // 0 unvisited, 1 in progress, 2 done
+        reset(state, n, 0u8);
         let mut unbounded = false;
         for start in 0..n {
             if !alive[start] || state[start] != 0 {
                 continue;
             }
             // Follow the policy path, marking in-progress nodes.
-            let mut path = Vec::new();
+            let path = &mut s.path;
+            path.clear();
             let mut v = start;
             while alive[v] && state[v] == 0 {
                 state[v] = 1;
@@ -272,7 +315,7 @@ pub fn max_cycle_ratio_howard(g: &RatioGraph) -> Mcr {
             // Converged: the answer is the best policy cycle.
             let lam = lambda
                 .iter()
-                .zip(&alive)
+                .zip(alive.iter())
                 .filter(|(_, a)| **a)
                 .map(|(l, _)| *l)
                 .fold(f64::NEG_INFINITY, f64::max);

@@ -14,6 +14,12 @@
 
 use facile_isa::AnnotatedBlock;
 use facile_uarch::PortMask;
+use facile_util::SmallVec;
+
+/// Inline capacity for per-prediction port-load and candidate lists: real
+/// machines have at most ten ports, so distinct port combinations per
+/// block are few and these buffers essentially never spill.
+const INLINE_MASKS: usize = 24;
 
 /// Result of the port-contention analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,23 +37,22 @@ pub struct PortsAnalysis {
 /// µops of eliminated instructions and macro-fused branches never reach the
 /// ports and are excluded (the fused pair's µops are attributed to the
 /// pair's head instruction).
-fn port_loads(ab: &AnnotatedBlock) -> Vec<(PortMask, f64)> {
-    let mut loads: Vec<(PortMask, f64)> = Vec::new();
+fn port_loads(ab: &AnnotatedBlock, loads: &mut SmallVec<(PortMask, f64), INLINE_MASKS>) {
+    loads.clear();
     for a in ab.insts() {
-        if a.desc.eliminated {
+        if a.desc().eliminated {
             continue;
         }
-        for u in &a.desc.uops {
+        for u in &a.desc().uops {
             if u.ports.is_empty() {
                 continue;
             }
-            match loads.iter_mut().find(|(m, _)| *m == u.ports) {
+            match loads.as_mut_slice().iter_mut().find(|(m, _)| *m == u.ports) {
                 Some((_, w)) => *w += f64::from(u.occupancy),
                 None => loads.push((u.ports, f64::from(u.occupancy))),
             }
         }
     }
-    loads
 }
 
 fn best_bound(loads: &[(PortMask, f64)], candidates: &[PortMask]) -> PortsAnalysis {
@@ -81,11 +86,11 @@ fn best_bound(loads: &[(PortMask, f64)], candidates: &[PortMask]) -> PortsAnalys
 /// combinations of pairs of µops (including each combination by itself).
 #[must_use]
 pub fn ports(ab: &AnnotatedBlock) -> PortsAnalysis {
-    let loads = port_loads(ab);
-    let masks: Vec<PortMask> = loads.iter().map(|(m, _)| *m).collect();
-    let mut candidates: Vec<PortMask> = Vec::with_capacity(masks.len() * masks.len());
-    for (i, &a) in masks.iter().enumerate() {
-        for &b in &masks[i..] {
+    let mut loads: SmallVec<(PortMask, f64), INLINE_MASKS> = SmallVec::new();
+    port_loads(ab, &mut loads);
+    let mut candidates: SmallVec<PortMask, INLINE_MASKS> = SmallVec::new();
+    for (i, &(a, _)) in loads.iter().enumerate() {
+        for &(b, _) in &loads[i..] {
             let u = a.union(b);
             if !candidates.contains(&u) {
                 candidates.push(u);
@@ -100,7 +105,8 @@ pub fn ports(ab: &AnnotatedBlock) -> PortsAnalysis {
 /// distribution assumption).
 #[must_use]
 pub fn ports_exact(ab: &AnnotatedBlock) -> PortsAnalysis {
-    let loads = port_loads(ab);
+    let mut loads: SmallVec<(PortMask, f64), INLINE_MASKS> = SmallVec::new();
+    port_loads(ab, &mut loads);
     let all: PortMask = loads
         .iter()
         .map(|(m, _)| *m)

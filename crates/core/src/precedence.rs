@@ -7,14 +7,14 @@
 use crate::mcr::{max_cycle_ratio_howard, Mcr, RatioGraph};
 use facile_isa::AnnotatedBlock;
 use facile_x86::{flags, Mem, Reg};
-use std::collections::HashMap;
+use std::cell::RefCell;
 
 /// Cycles between a store-data µop executing and the stored value being
 /// available for forwarding (on top of the consumer's load latency).
 const STORE_LATENCY: f64 = 1.0;
 
 /// A renamed value: the unit of dependence tracking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Value {
     /// A full architectural register.
     Reg(Reg),
@@ -86,75 +86,164 @@ pub struct PrecedenceAnalysis {
     pub critical_chain: Vec<ChainLink>,
 }
 
-/// Per-instruction dataflow summary used to build the graph.
-struct Flow {
+/// A half-open range into one of the scratch pools.
+#[derive(Debug, Clone, Copy, Default)]
+struct Rng {
+    start: u32,
+    end: u32,
+}
+
+impl Rng {
+    fn iter(self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+/// Per-instruction dataflow summary. Value lists live as ranges in the
+/// shared scratch pool instead of per-flow vectors, so building the
+/// dependence graph of a block allocates nothing once the thread-local
+/// scratch has warmed up.
+#[derive(Debug, Clone, Copy)]
+struct FlowMeta {
     /// Original index in the annotated block.
-    index: usize,
-    consumed: Vec<Value>,
-    produced: Vec<Value>,
+    index: u32,
+    consumed: Rng,
+    produced: Rng,
     /// Values consumed through the load path (address registers of a
     /// loading instruction plus the loaded memory value).
-    via_load: Vec<Value>,
+    via_load: Rng,
+    /// Graph nodes of the consumed/produced values (ranges into the node
+    /// pool; within a flow and role, node values are unique).
+    cnodes: Rng,
+    pnodes: Rng,
     latency: f64,
     stores_mem: Option<Value>,
 }
 
-fn flows(ab: &AnnotatedBlock) -> Vec<Flow> {
-    let mut out = Vec::with_capacity(ab.insts().len());
+#[derive(Debug, Clone, Copy)]
+struct NodeMeta {
+    flow: u32,
+    value: Value,
+    produced: bool,
+}
+
+/// Reusable buffers for the precedence analysis (one per thread).
+#[derive(Debug, Default)]
+struct PrecScratch {
+    vals: Vec<Value>,
+    flows: Vec<FlowMeta>,
+    nodes: Vec<NodeMeta>,
+    graph: RatioGraph,
+}
+
+thread_local! {
+    static PREC_SCRATCH: RefCell<PrecScratch> = RefCell::new(PrecScratch::default());
+}
+
+/// Remove *consecutive* duplicates from `vals[start..]` (the same
+/// semantics `Vec::dedup` had when each flow owned its own vector).
+fn dedup_tail(vals: &mut Vec<Value>, start: usize) {
+    let mut w = start;
+    for r in start..vals.len() {
+        if w == start || vals[w - 1] != vals[r] {
+            vals[w] = vals[r];
+            w += 1;
+        }
+    }
+    vals.truncate(w);
+}
+
+fn build_flows(ab: &AnnotatedBlock, vals: &mut Vec<Value>, flows: &mut Vec<FlowMeta>) {
+    vals.clear();
+    flows.clear();
     for (index, a) in ab.insts().iter().enumerate() {
         if a.fused_with_prev {
             continue; // the pair is represented by its head
         }
-        let e = a.inst.effects();
-        let mut consumed: Vec<Value> = Vec::new();
-        let mut via_load: Vec<Value> = Vec::new();
+        let e = a.effects();
+        let c_start = vals.len();
         for r in &e.reg_reads {
-            consumed.push(Value::Reg(r.full()));
+            vals.push(Value::Reg(r.full()));
         }
         for g in flags::groups(e.flags_read) {
-            consumed.push(Value::Flag(g));
+            vals.push(Value::Flag(g));
         }
-        let mut produced: Vec<Value> = Vec::new();
-        for r in &e.reg_writes {
-            produced.push(Value::Reg(r.full()));
+        let mv = e.mem.map(mem_value);
+        if let (Some(mv), true) = (mv, e.loads) {
+            vals.push(mv);
         }
-        for g in flags::groups(e.flags_written) {
-            produced.push(Value::Flag(g));
-        }
-        let mut stores_mem = None;
-        if let Some(m) = e.mem {
-            let mv = mem_value(m);
+        dedup_tail(vals, c_start);
+        let consumed = Rng {
+            start: c_start as u32,
+            end: vals.len() as u32,
+        };
+
+        let v_start = vals.len();
+        if let (Some(m), Some(mv)) = (e.mem, mv) {
             if e.loads {
-                consumed.push(mv);
-                via_load.push(mv);
+                vals.push(mv);
                 for r in m.addr_regs() {
-                    via_load.push(Value::Reg(r.full()));
+                    vals.push(Value::Reg(r.full()));
                 }
             }
-            if e.stores {
-                produced.push(mv);
-                stores_mem = Some(mv);
-            }
         }
-        consumed.dedup();
-        produced.dedup();
-        out.push(Flow {
-            index,
+        let via_load = Rng {
+            start: v_start as u32,
+            end: vals.len() as u32,
+        };
+
+        let p_start = vals.len();
+        for r in &e.reg_writes {
+            vals.push(Value::Reg(r.full()));
+        }
+        for g in flags::groups(e.flags_written) {
+            vals.push(Value::Flag(g));
+        }
+        let mut stores_mem = None;
+        if let (Some(mv), true) = (mv, e.stores) {
+            vals.push(mv);
+            stores_mem = Some(mv);
+        }
+        dedup_tail(vals, p_start);
+        let produced = Rng {
+            start: p_start as u32,
+            end: vals.len() as u32,
+        };
+
+        flows.push(FlowMeta {
+            index: index as u32,
             consumed,
             produced,
             via_load,
-            latency: f64::from(a.desc.latency),
+            cnodes: Rng::default(),
+            pnodes: Rng::default(),
+            latency: f64::from(a.desc().latency),
             stores_mem,
         });
     }
-    out
 }
 
-/// The `Precedence` throughput bound with its critical chain.
-#[must_use]
-pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
-    let fl = flows(ab);
-    if fl.is_empty() {
+/// Find the node whose value is `v` within a node range (node values are
+/// unique within a flow and role, so the first match is the id).
+fn node_in(nodes: &[NodeMeta], rng: Rng, v: Value) -> usize {
+    rng.iter()
+        .find(|&i| nodes[i].value == v)
+        .expect("node created in the first pass")
+}
+
+fn precedence_with(
+    ab: &AnnotatedBlock,
+    s: &mut PrecScratch,
+    want_chain: bool,
+) -> PrecedenceAnalysis {
+    let PrecScratch {
+        vals,
+        flows,
+        nodes,
+        graph,
+    } = s;
+    build_flows(ab, vals, flows);
+    if flows.is_empty() {
         return PrecedenceAnalysis {
             bound: 0.0,
             critical_chain: Vec::new(),
@@ -162,34 +251,55 @@ pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
     }
     let load_lat = f64::from(ab.uarch().config().load_latency);
 
-    // Node bookkeeping: (flow position, value, produced?) -> node id.
-    let mut ids: HashMap<(usize, Value, bool), usize> = HashMap::new();
-    let mut meta: Vec<(usize, Value, bool)> = Vec::new();
-    let node = |ids: &mut HashMap<(usize, Value, bool), usize>,
-                meta: &mut Vec<(usize, Value, bool)>,
-                key: (usize, Value, bool)| {
-        *ids.entry(key).or_insert_with(|| {
-            meta.push(key);
-            meta.len() - 1
-        })
-    };
-
-    // First pass: create all nodes so the graph size is known.
-    for (fi, f) in fl.iter().enumerate() {
-        for &c in &f.consumed {
-            node(&mut ids, &mut meta, (fi, c, false));
+    // First pass: create all nodes so the graph size is known. Within a
+    // flow and role, values are deduplicated (the values lists only ever
+    // hold a handful of entries, so a linear scan beats hashing).
+    nodes.clear();
+    // Explicit indexing: the loop writes the node ranges back into the
+    // flow being visited.
+    #[allow(clippy::needless_range_loop)]
+    for fi in 0..flows.len() {
+        let f = flows[fi];
+        let c_start = nodes.len();
+        for vi in f.consumed.iter() {
+            let v = vals[vi];
+            if !nodes[c_start..].iter().any(|nm| nm.value == v) {
+                nodes.push(NodeMeta {
+                    flow: fi as u32,
+                    value: v,
+                    produced: false,
+                });
+            }
         }
-        for &p in &f.produced {
-            node(&mut ids, &mut meta, (fi, p, true));
+        let p_start = nodes.len();
+        flows[fi].cnodes = Rng {
+            start: c_start as u32,
+            end: p_start as u32,
+        };
+        for vi in f.produced.iter() {
+            let v = vals[vi];
+            if !nodes[p_start..].iter().any(|nm| nm.value == v) {
+                nodes.push(NodeMeta {
+                    flow: fi as u32,
+                    value: v,
+                    produced: true,
+                });
+            }
         }
+        flows[fi].pnodes = Rng {
+            start: p_start as u32,
+            end: nodes.len() as u32,
+        };
     }
-    let mut g = RatioGraph::new(meta.len());
+    graph.reset(nodes.len());
 
     // Intra-instruction latency edges: consumed -> produced.
-    for (fi, f) in fl.iter().enumerate() {
-        for &c in &f.consumed {
-            let through_load = f.via_load.contains(&c);
-            for &p in &f.produced {
+    for f in flows.iter() {
+        for ci in f.consumed.iter() {
+            let c = vals[ci];
+            let through_load = f.via_load.iter().any(|vi| vals[vi] == c);
+            for pi in f.produced.iter() {
+                let p = vals[pi];
                 let mut w = f.latency;
                 if through_load {
                     w += load_lat;
@@ -197,22 +307,25 @@ pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
                 if f.stores_mem == Some(p) {
                     w += STORE_LATENCY;
                 }
-                let from = ids[&(fi, c, false)];
-                let to = ids[&(fi, p, true)];
-                g.add_edge(from, to, w, 0);
+                let from = node_in(nodes, f.cnodes, c);
+                let to = node_in(nodes, f.pnodes, p);
+                graph.add_edge(from, to, w, 0);
             }
         }
     }
 
     // Dependence edges: last writer -> consumer, with iteration count 1 for
     // loop-carried (wrapping) dependencies.
-    let n = fl.len();
-    for (j, f) in fl.iter().enumerate() {
-        for &c in &f.consumed {
+    let n = flows.len();
+    let produces = |fl: &FlowMeta, c: Value| fl.produced.iter().any(|vi| vals[vi] == c);
+    for j in 0..n {
+        let f = flows[j];
+        for ci in f.consumed.iter() {
+            let c = vals[ci];
             // scan backwards within the iteration
             let mut producer: Option<(usize, u32)> = None;
             for i in (0..j).rev() {
-                if fl[i].produced.contains(&c) {
+                if produces(&flows[i], c) {
                     producer = Some((i, 0));
                     break;
                 }
@@ -221,21 +334,21 @@ pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
                 // wrap around: last writer in the previous iteration,
                 // scanning from the end down to (and including) j itself
                 for i in (j..n).rev() {
-                    if fl[i].produced.contains(&c) {
+                    if produces(&flows[i], c) {
                         producer = Some((i, 1));
                         break;
                     }
                 }
             }
             if let Some((i, count)) = producer {
-                let from = ids[&(i, c, true)];
-                let to = ids[&(j, c, false)];
-                g.add_edge(from, to, 0.0, count);
+                let from = node_in(nodes, flows[i].pnodes, c);
+                let to = node_in(nodes, f.cnodes, c);
+                graph.add_edge(from, to, 0.0, count);
             }
         }
     }
 
-    match max_cycle_ratio_howard(&g) {
+    match max_cycle_ratio_howard(graph) {
         Mcr::Acyclic => PrecedenceAnalysis {
             bound: 0.0,
             critical_chain: Vec::new(),
@@ -248,23 +361,41 @@ pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
             }
         }
         Mcr::Ratio { value, cycle } => {
-            let critical_chain = cycle
-                .into_iter()
-                .map(|nid| {
-                    let (fi, v, produced) = meta[nid];
-                    ChainLink {
-                        inst: fl[fi].index,
-                        value: value_name(v),
-                        produced,
-                    }
-                })
-                .collect();
+            let critical_chain = if want_chain {
+                cycle
+                    .into_iter()
+                    .map(|nid| {
+                        let nm = nodes[nid];
+                        ChainLink {
+                            inst: flows[nm.flow as usize].index as usize,
+                            value: value_name(nm.value),
+                            produced: nm.produced,
+                        }
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             PrecedenceAnalysis {
                 bound: value,
                 critical_chain,
             }
         }
     }
+}
+
+/// The `Precedence` throughput bound with its critical chain.
+#[must_use]
+pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
+    PREC_SCRATCH.with(|s| precedence_with(ab, &mut s.borrow_mut(), true))
+}
+
+/// The `Precedence` throughput bound alone, skipping the human-readable
+/// critical-chain rendering (which allocates a string per link). Always
+/// equal to `precedence(ab).bound`; the batch engine uses this variant.
+#[must_use]
+pub fn precedence_bound(ab: &AnnotatedBlock) -> f64 {
+    PREC_SCRATCH.with(|s| precedence_with(ab, &mut s.borrow_mut(), false).bound)
 }
 
 #[cfg(test)]

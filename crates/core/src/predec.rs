@@ -8,16 +8,21 @@
 
 use crate::predict::Mode;
 use facile_isa::AnnotatedBlock;
+use std::cell::RefCell;
 
-/// Byte-placement facts for one instruction instance.
-#[derive(Debug, Clone, Copy)]
-struct Placement {
-    /// 16-byte block containing the last byte.
-    last_block: usize,
-    /// 16-byte block containing the first nominal-opcode byte.
-    opcode_block: usize,
-    /// Whether the instruction has a length-changing prefix.
-    lcp: bool,
+/// Reusable per-16-byte-block counters (one set per thread): the
+/// predecoder bound runs once per prediction, and for layouts that only
+/// repeat after several unrolled copies the counter arrays are the size
+/// of the whole repeating window.
+#[derive(Debug, Default)]
+struct PredecScratch {
+    l_cnt: Vec<u32>,
+    o_cnt: Vec<u32>,
+    lcp_cnt: Vec<u32>,
+}
+
+thread_local! {
+    static PREDEC_SCRATCH: RefCell<PredecScratch> = RefCell::new(PredecScratch::default());
 }
 
 /// The full predecoder model: per-16-byte-block cycle counts with boundary
@@ -39,54 +44,53 @@ pub fn predec(ab: &AnnotatedBlock, mode: Mode) -> f64 {
     };
     let n_blocks = (u * l).div_ceil(16);
 
-    // Placements of all instruction instances across the unrolled copies.
-    let mut placements: Vec<Placement> = Vec::new();
-    for copy in 0..u {
-        let base = copy * l;
-        for a in ab.insts() {
-            let start = base + a.start;
-            let len = a.inst.len as usize;
-            placements.push(Placement {
-                last_block: (start + len - 1) / 16,
-                opcode_block: (start + a.inst.opcode_offset as usize) / 16,
-                lcp: a.inst.has_lcp,
-            });
+    PREDEC_SCRATCH.with(|s| {
+        let s = &mut *s.borrow_mut();
+        // L(b): instructions whose last byte is in block b.
+        // O(b): instructions whose nominal opcode starts in block b but
+        //       whose last byte is in a later block.
+        // LCP(b): LCP instructions whose nominal opcode starts in block b.
+        let (l_cnt, o_cnt, lcp_cnt) = (&mut s.l_cnt, &mut s.o_cnt, &mut s.lcp_cnt);
+        for c in [&mut *l_cnt, &mut *o_cnt, &mut *lcp_cnt] {
+            c.clear();
+            c.resize(n_blocks, 0);
         }
-    }
-
-    // L(b): instructions whose last byte is in block b.
-    // O(b): instructions whose nominal opcode starts in block b but whose
-    //       last byte is in a later block.
-    // LCP(b): LCP instructions whose nominal opcode starts in block b.
-    let mut l_cnt = vec![0u32; n_blocks];
-    let mut o_cnt = vec![0u32; n_blocks];
-    let mut lcp_cnt = vec![0u32; n_blocks];
-    for p in &placements {
-        l_cnt[p.last_block] += 1;
-        if p.opcode_block != p.last_block {
-            o_cnt[p.opcode_block] += 1;
+        // Placements of all instruction instances across the unrolled
+        // copies, counted directly (no materialized placement list).
+        for copy in 0..u {
+            let base = copy * l;
+            for a in ab.insts() {
+                let start = base + a.start;
+                let inst = a.inst();
+                let last_block = (start + inst.len as usize - 1) / 16;
+                let opcode_block = (start + inst.opcode_offset as usize) / 16;
+                l_cnt[last_block] += 1;
+                if opcode_block != last_block {
+                    o_cnt[opcode_block] += 1;
+                }
+                if inst.has_lcp {
+                    lcp_cnt[opcode_block] += 1;
+                }
+            }
         }
-        if p.lcp {
-            lcp_cnt[p.opcode_block] += 1;
+
+        let cycle_nlcp = |b: usize| -> f64 { (f64::from(l_cnt[b] + o_cnt[b]) / width).ceil() };
+
+        let mut total = 0.0;
+        // Index arithmetic over a ring of blocks (b and its predecessor):
+        // clearer with explicit indices than with enumerate().
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..n_blocks {
+            let prev = if b == 0 { n_blocks - 1 } else { b - 1 };
+            let nlcp = cycle_nlcp(b);
+            // The length-decoding algorithm for LCP instructions runs while
+            // the previous block finishes predecoding, hiding all but one
+            // of the previous block's cycles.
+            let lcp_pen = (3.0 * f64::from(lcp_cnt[b]) - (cycle_nlcp(prev) - 1.0)).max(0.0);
+            total += nlcp + lcp_pen;
         }
-    }
-
-    let cycle_nlcp = |b: usize| -> f64 { (f64::from(l_cnt[b] + o_cnt[b]) / width).ceil() };
-
-    let mut total = 0.0;
-    // Index arithmetic over a ring of blocks (b and its predecessor):
-    // clearer with explicit indices than with enumerate().
-    #[allow(clippy::needless_range_loop)]
-    for b in 0..n_blocks {
-        let prev = if b == 0 { n_blocks - 1 } else { b - 1 };
-        let nlcp = cycle_nlcp(b);
-        // The length-decoding algorithm for LCP instructions runs while the
-        // previous block finishes predecoding, hiding all but one of the
-        // previous block's cycles.
-        let lcp_pen = (3.0 * f64::from(lcp_cnt[b]) - (cycle_nlcp(prev) - 1.0)).max(0.0);
-        total += nlcp + lcp_pen;
-    }
-    total / u as f64
+        total / u as f64
+    })
 }
 
 /// The simplified predecoder model (`SimplePredec`): one 16-byte block per
@@ -166,7 +170,7 @@ mod tests {
             (Mnemonic::Nop, vec![]),
         ]; // 7 bytes total
         let ab = annotate(&prog);
-        assert!(ab.insts()[0].inst.has_lcp);
+        assert!(ab.insts()[0].inst().has_lcp);
         let with_lcp = predec(&ab, Mode::Unrolled);
         // Same layout without LCP.
         let prog2 = vec![

@@ -253,6 +253,20 @@ impl Facile {
     /// Predict the throughput of `ab` under the given notion.
     #[must_use]
     pub fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> Prediction {
+        self.predict_impl(ab, mode, true)
+    }
+
+    /// Like [`Facile::predict`], but without the interpretability payloads:
+    /// the critical dependence chain (which allocates a rendered string per
+    /// link) is skipped and `precedence_analysis` is `None`. Throughput,
+    /// bounds, bottlenecks, and front-end path are bit-identical to
+    /// [`Facile::predict`] — the batch engine relies on that.
+    #[must_use]
+    pub fn predict_brief(&self, ab: &AnnotatedBlock, mode: Mode) -> Prediction {
+        self.predict_impl(ab, mode, false)
+    }
+
+    fn predict_impl(&self, ab: &AnnotatedBlock, mode: Mode, detail: bool) -> Prediction {
         let c = &self.config;
         let mut bounds: Vec<(Component, f64)> = Vec::with_capacity(7);
         let mut ports_analysis = None;
@@ -315,9 +329,16 @@ impl Facile {
             ports_analysis = Some(pa);
         }
         if c.use_precedence {
-            let pa = precedence(ab);
-            bounds.push((Component::Precedence, pa.bound));
-            precedence_analysis = Some(pa);
+            if detail {
+                let pa = precedence(ab);
+                bounds.push((Component::Precedence, pa.bound));
+                precedence_analysis = Some(pa);
+            } else {
+                bounds.push((
+                    Component::Precedence,
+                    crate::precedence::precedence_bound(ab),
+                ));
+            }
         }
 
         // Order bounds by the canonical component order.

@@ -62,7 +62,7 @@ impl fmt::Display for Report<'_> {
                 write!(f, "critical dependence chain:")?;
                 for link in &pr.critical_chain {
                     if link.produced {
-                        let inst = &self.ab.insts()[link.inst].inst;
+                        let inst = self.ab.insts()[link.inst].inst();
                         write!(f, " -> [{}] {}", link.value, inst)?;
                     }
                 }

@@ -34,7 +34,9 @@ impl Predictor for FacileAdapter {
     }
 
     fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, PredictError> {
-        let p = self.model.predict(req.annotated(), req.mode());
+        // The brief path skips the rendered critical-chain payload but is
+        // bit-identical in throughput and bottleneck attribution.
+        let p = self.model.predict_brief(req.annotated(), req.mode());
         check_throughput("facile", req.mode(), p.throughput)?;
         Ok(Prediction {
             throughput: p.throughput,

@@ -5,13 +5,20 @@
 //! run over `blocks × uarchs × predictors` it would otherwise be repeated
 //! once per predictor. The cache memoizes it per `(bytes, uarch)` pair
 //! and hands out `Arc`s, so concurrent workers share one annotation.
+//!
+//! The table is split into independent lock shards selected by a
+//! deterministic hash of the block bytes, so a pool of workers probing
+//! the warm cache does not serialize on one global mutex.
 
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
+use facile_util::{hash_bytes, FxHashMap};
 use facile_x86::Block;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Number of lock shards (a power of two; selection is a mask).
+const SHARDS: usize = 16;
 
 /// Hit/miss counters of an [`AnnotationCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,13 +34,13 @@ pub struct CacheStats {
 // Two levels (uarch, then bytes) so the hit path can probe with the
 // borrowed `&[u8]` — no per-lookup allocation; `to_vec` happens only on
 // the insert path.
-type CacheMap = HashMap<Uarch, HashMap<Vec<u8>, Arc<AnnotatedBlock>>>;
+type CacheMap = FxHashMap<Uarch, FxHashMap<Vec<u8>, Arc<AnnotatedBlock>>>;
 
-/// A thread-safe memo table from `(block bytes, uarch)` to the shared
-/// annotation.
+/// A thread-safe, sharded memo table from `(block bytes, uarch)` to the
+/// shared annotation.
 #[derive(Debug, Default)]
 pub struct AnnotationCache {
-    map: Mutex<CacheMap>,
+    shards: [Mutex<CacheMap>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -45,12 +52,17 @@ impl AnnotationCache {
         AnnotationCache::default()
     }
 
+    #[inline]
+    fn shard(&self, block: &Block) -> &Mutex<CacheMap> {
+        &self.shards[(hash_bytes(block.bytes()) as usize) & (SHARDS - 1)]
+    }
+
     /// The annotation of `block` on `uarch`, computed at most once per
     /// distinct byte sequence. Takes `&Block`; the one clone needed to
     /// own the annotation happens only on a miss.
     pub fn annotate(&self, block: &Block, uarch: Uarch) -> Arc<AnnotatedBlock> {
-        if let Some(hit) = self
-            .map
+        let shard = self.shard(block);
+        if let Some(hit) = shard
             .lock()
             .expect("no poisoning")
             .get(&uarch)
@@ -63,7 +75,7 @@ impl AnnotationCache {
         // a racing duplicate annotation is deterministic and harmless.
         let ab = Arc::new(AnnotatedBlock::new(block.clone(), uarch));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("no poisoning");
+        let mut map = shard.lock().expect("no poisoning");
         Arc::clone(
             map.entry(uarch)
                 .or_default()
@@ -78,18 +90,24 @@ impl AnnotationCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self
-                .map
-                .lock()
-                .expect("no poisoning")
-                .values()
-                .map(HashMap::len)
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .expect("no poisoning")
+                        .values()
+                        .map(FxHashMap::len)
+                        .sum::<usize>()
+                })
                 .sum(),
         }
     }
 
     /// Drop all entries and reset counters.
     pub fn clear(&self) {
-        self.map.lock().expect("no poisoning").clear();
+        for s in &self.shards {
+            s.lock().expect("no poisoning").clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -116,5 +134,29 @@ mod tests {
         assert_eq!(s.entries, 2);
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn entries_count_across_shards() {
+        let cache = AnnotationCache::new();
+        // Distinct byte patterns land in different shards; the aggregate
+        // entry count must still see all of them.
+        let blocks: Vec<Block> = (0..32u8)
+            .map(|i| {
+                Block::assemble(&[(
+                    Mnemonic::Add,
+                    vec![
+                        facile_x86::Reg::gpr(i % 8, facile_x86::reg::Width::W64).into(),
+                        RCX.into(),
+                    ],
+                )])
+                .unwrap()
+            })
+            .collect();
+        for b in &blocks {
+            cache.annotate(b, Uarch::Skl);
+        }
+        let distinct: std::collections::HashSet<&[u8]> = blocks.iter().map(Block::bytes).collect();
+        assert_eq!(cache.stats().entries, distinct.len());
     }
 }

@@ -5,7 +5,7 @@ use crate::error::PredictError;
 use crate::predictor::{PredictRequest, Prediction, Predictor};
 use crate::registry::PredictorRegistry;
 use facile_core::Mode;
-use facile_isa::AnnotatedBlock;
+use facile_isa::{AnnotatedBlock, InternStats};
 use facile_uarch::Uarch;
 use facile_x86::Block;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -24,6 +24,9 @@ pub enum BlockInput {
 }
 
 impl BlockInput {
+    /// Decode to an owned block (used for the hex/byte forms; an
+    /// already-decoded [`BlockInput::Block`] is borrowed, not cloned, by
+    /// the batch pipeline).
     fn decode(&self) -> Result<Block, PredictError> {
         match self {
             BlockInput::Hex(h) => {
@@ -100,21 +103,36 @@ impl BatchItem {
 }
 
 /// One row of batch output: the outcome of one `(item, predictor)` pair.
+///
+/// The string fields are `Arc<str>` so that fanning one item out over
+/// many predictors (and one predictor over many rows) shares the
+/// underlying allocations instead of cloning them per row.
 #[derive(Debug, Clone)]
 pub struct ItemResult {
     /// Index of the originating [`BatchItem`].
     pub item: usize,
     /// The block as hex (canonical if it decoded, as-supplied otherwise).
-    pub block_hex: String,
+    pub block_hex: Arc<str>,
     /// The microarchitecture.
     pub uarch: Uarch,
     /// The resolved notion (`None` only when decoding failed before the
     /// notion could be determined).
     pub mode: Option<Mode>,
     /// Registry key of the predictor that produced this row.
-    pub predictor: String,
+    pub predictor: Arc<str>,
     /// The prediction, or the structured reason there is none.
     pub prediction: Result<Prediction, PredictError>,
+}
+
+/// Aggregate counters of the engine's two memoization layers: the
+/// per-engine `(block bytes, uarch)` annotation cache and the
+/// process-wide `(instruction bytes, uarch)` descriptor intern table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Block-level annotation cache counters.
+    pub annotation: CacheStats,
+    /// Instruction-level descriptor intern table counters.
+    pub intern: InternStats,
 }
 
 /// The prediction engine: a predictor registry, a worker pool, and a
@@ -132,13 +150,12 @@ pub struct Engine {
 
 impl Engine {
     /// An engine over the given registry, with one worker per available
-    /// CPU.
+    /// CPU (`std::thread::available_parallelism`).
     #[must_use]
     pub fn new(registry: PredictorRegistry) -> Engine {
-        let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
         Engine {
             registry,
-            threads,
+            threads: host_threads(),
             cache: AnnotationCache::new(),
         }
     }
@@ -167,12 +184,18 @@ impl Engine {
         &mut self.registry
     }
 
-    /// Annotation-cache counters.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+    /// Counters of both memoization layers: this engine's annotation
+    /// cache and the process-wide descriptor intern table.
+    pub fn cache_stats(&self) -> EngineStats {
+        EngineStats {
+            annotation: self.cache.stats(),
+            intern: facile_isa::intern_stats(),
+        }
     }
 
-    /// Drop all cached annotations.
+    /// Drop all cached annotations. (The process-wide intern table is
+    /// left untouched: it is shared with other engines and is bounded by
+    /// the number of distinct instruction encodings, not blocks.)
     pub fn clear_cache(&self) {
         self.cache.clear();
     }
@@ -190,6 +213,10 @@ impl Engine {
 
     /// Predict one block with one predictor (by key).
     ///
+    /// This routes through the same prepare/dispatch pipeline as
+    /// [`Engine::predict_batch`], so single-block calls hit (and warm)
+    /// the same annotation cache and intern table as batch runs.
+    ///
     /// # Errors
     /// Unknown key, undecodable/empty block, or a predictor failure.
     pub fn predict_one(
@@ -206,11 +233,11 @@ impl Engine {
                 pattern: key.to_string(),
                 available: self.registry.keys().map(str::to_string).collect(),
             })?;
-        if block.is_empty() {
-            return Err(PredictError::EmptyBlock);
-        }
-        let ab = self.annotate(block, uarch);
-        p.predict(&PredictRequest::new(&ab, mode))
+        let item = BatchItem::block(block.clone(), uarch).with_mode(mode);
+        let mut rows = self.run_batch(std::slice::from_ref(&item), std::slice::from_ref(&p));
+        rows.pop()
+            .expect("one item × one predictor = one row")
+            .prediction
     }
 
     /// Run a batch: every item against every predictor the `selector`
@@ -237,41 +264,50 @@ impl Engine {
         items: &[BatchItem],
         predictors: &[Arc<dyn Predictor>],
     ) -> Vec<ItemResult> {
-        // Stage 1: decode + annotate each item once (parallel over items).
         struct Prepared {
-            hex: String,
+            hex: Arc<str>,
             mode: Option<Mode>,
             annotated: Result<Arc<AnnotatedBlock>, PredictError>,
         }
-        let prepared: Vec<Prepared> = self.parallel_map(items.len(), |i| {
-            let item = &items[i];
-            match item.input.decode() {
-                Ok(block) if block.is_empty() => Prepared {
-                    hex: item.input.hex(),
+        let prepare = |block: &Block, item: &BatchItem| -> Prepared {
+            if block.is_empty() {
+                return Prepared {
+                    hex: item.input.hex().into(),
                     mode: item.mode,
                     annotated: Err(PredictError::EmptyBlock),
-                },
-                Ok(block) => {
-                    let mode = item.mode.unwrap_or(if block.ends_in_branch() {
-                        Mode::Loop
-                    } else {
-                        Mode::Unrolled
-                    });
-                    Prepared {
-                        hex: block.to_hex(),
-                        mode: Some(mode),
-                        annotated: Ok(self.annotate(&block, item.uarch)),
-                    }
-                }
-                Err(e) => Prepared {
-                    hex: item.input.hex(),
-                    mode: item.mode,
-                    annotated: Err(e),
+                };
+            }
+            let mode = item.mode.unwrap_or(if block.ends_in_branch() {
+                Mode::Loop
+            } else {
+                Mode::Unrolled
+            });
+            Prepared {
+                hex: block.to_hex().into(),
+                mode: Some(mode),
+                annotated: Ok(self.annotate(block, item.uarch)),
+            }
+        };
+        // Stage 1: decode + annotate each item once (parallel over items).
+        // Already-decoded inputs are borrowed straight from the batch —
+        // no per-run block clones on the warm path.
+        let prepared: Vec<Prepared> = self.parallel_map(items.len(), |i| {
+            let item = &items[i];
+            match &item.input {
+                BlockInput::Block(b) => prepare(b, item),
+                other => match other.decode() {
+                    Ok(block) => prepare(&block, item),
+                    Err(e) => Prepared {
+                        hex: item.input.hex().into(),
+                        mode: item.mode,
+                        annotated: Err(e),
+                    },
                 },
             }
         });
 
         // Stage 2: fan out over items × predictors.
+        let keys: Vec<Arc<str>> = predictors.iter().map(|p| Arc::from(p.key())).collect();
         let n = items.len() * predictors.len();
         self.parallel_map(n, |k| {
             let (i, j) = (k / predictors.len(), k % predictors.len());
@@ -286,10 +322,10 @@ impl Engine {
             };
             ItemResult {
                 item: i,
-                block_hex: prep.hex.clone(),
+                block_hex: Arc::clone(&prep.hex),
                 uarch: items[i].uarch,
                 mode: prep.mode,
-                predictor: p.key().to_string(),
+                predictor: Arc::clone(&keys[j]),
                 prediction,
             }
         })
@@ -311,34 +347,73 @@ impl Engine {
     }
 }
 
+/// The host's available parallelism (used to size worker pools).
+#[must_use]
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Upper bound on the contiguous chunk of indices handed to a worker at
+/// once: big enough to amortize the per-chunk bookkeeping on large
+/// batches, while small jobs shrink the chunk (down to one index) so a
+/// handful of expensive items still spreads across the pool.
+const PAR_CHUNK: usize = 32;
+
+/// Jobs smaller than this run inline: thread spawning costs more than
+/// the work distribution can win back.
+const PAR_MIN: usize = 8;
+
 /// Order-preserving parallel map over `0..n` with a bounded pool of
-/// scoped worker threads (runs inline when `threads <= 1` or the job is
-/// tiny). This is the engine's worker pool; it is exported so harness
-/// code can share the implementation instead of duplicating it.
+/// scoped worker threads. This is the engine's worker pool; it is
+/// exported so harness code can share the implementation instead of
+/// duplicating it.
+///
+/// Work is dealt as contiguous chunks claimed off an atomic counter, and
+/// each worker writes its chunk through a disjoint `&mut` slice of the
+/// output — one lock acquisition per chunk instead of the former
+/// per-element `Vec<Mutex<Option<U>>>` slots. Batches that are too small
+/// to amortize thread spawning (or `threads <= 1`) run inline on the
+/// calling thread; either way the output is identical, element `i` being
+/// exactly `f(i)`.
 pub fn parallel_map_indexed<U: Send>(
     n: usize,
     threads: usize,
     f: impl Fn(usize) -> U + Sync,
 ) -> Vec<U> {
-    let threads = threads.min(n.max(1));
-    if threads <= 1 {
+    // Chunk size adapts to the job: aim for ~4 chunks per worker (for
+    // load balancing on uneven items) but never exceed PAR_CHUNK.
+    let chunk = n.div_ceil(threads.max(1) * 4).clamp(1, PAR_CHUNK);
+    let threads = threads.min(n.div_ceil(chunk));
+    if threads <= 1 || n < PAR_MIN {
         return (0..n).map(f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                *slots[i].lock().expect("no poisoning") = Some(f(i));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("no poisoning").expect("slot filled"))
-        .collect()
+    // A chunk of the output: the base index plus the disjoint window of
+    // slots the owning worker fills.
+    type Chunk<'a, U> = Mutex<(usize, &'a mut [Option<U>])>;
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        // Disjoint output windows, one per chunk. The Mutex is claimed
+        // exactly once, by the worker that pops the chunk's index.
+        let chunks: Vec<Chunk<'_, U>> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, slice)| Mutex::new((ci * chunk, slice)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(chunk) = chunks.get(ci) else { break };
+                    let mut guard = chunk.lock().expect("no poisoning");
+                    let (base, slice) = &mut *guard;
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(f(*base + off));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter().map(|s| s.expect("chunk filled")).collect()
 }

@@ -38,7 +38,9 @@ pub mod registry;
 
 pub use adapters::{Baseline, FacileAdapter, LazyLearned, TrainConfig};
 pub use cache::{AnnotationCache, CacheStats};
-pub use engine::{parallel_map_indexed, BatchItem, BlockInput, Engine, ItemResult};
+pub use engine::{
+    host_threads, parallel_map_indexed, BatchItem, BlockInput, Engine, EngineStats, ItemResult,
+};
 pub use error::PredictError;
 pub use predictor::{PredictRequest, Prediction, Predictor};
 pub use registry::{glob_match, PredictorRegistry};

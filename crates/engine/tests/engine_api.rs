@@ -169,7 +169,7 @@ fn annotation_cache_is_shared_across_predictors_and_items() {
         .unwrap();
     assert_eq!(rows.len(), 40);
     assert!(rows.iter().all(|r| r.prediction.is_ok()));
-    let stats = engine.cache_stats();
+    let stats = engine.cache_stats().annotation;
     // One distinct (bytes, uarch) pair: one miss (racing duplicate
     // annotations allowed but the suite is small enough not to race).
     assert_eq!(stats.entries, 1);
@@ -179,7 +179,7 @@ fn annotation_cache_is_shared_across_predictors_and_items() {
     engine
         .predict_batch(&[BatchItem::block(block.clone(), Uarch::Hsw)], "facile")
         .unwrap();
-    assert_eq!(engine.cache_stats().entries, 2);
+    assert_eq!(engine.cache_stats().annotation.entries, 2);
 }
 
 #[test]

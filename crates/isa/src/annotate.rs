@@ -3,19 +3,34 @@
 
 use crate::classify::{describe, describe_fused_pair, macro_fuses};
 use crate::desc::InstrDesc;
+use crate::intern::{interner, DescInterner, InternedInst};
 use facile_uarch::Uarch;
-use facile_x86::{Block, Inst};
+use facile_x86::{Block, Effects, Inst};
+use std::sync::Arc;
+
+/// The descriptor of a macro-fused branch: invisible to the decoders and
+/// the back end (the pair's µops are attributed to the head instruction).
+static FUSED_TAIL_DESC: InstrDesc = InstrDesc {
+    fused_uops: 0,
+    issue_uops: 0,
+    uops: Vec::new(),
+    complex_decoder: false,
+    simple_decoders_after: 0,
+    eliminated: true,
+    latency: 0,
+    load_latency_extra: 0,
+};
 
 /// One instruction of an annotated block.
+///
+/// Holds an `Arc` reference into the process-wide descriptor intern table
+/// instead of per-occurrence clones of the instruction and its
+/// descriptor, so annotating a corpus does the heavy classification once
+/// per *distinct* instruction encoding.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnnotatedInst {
-    /// The decoded instruction.
-    pub inst: Inst,
-    /// Its performance descriptor on the block's microarchitecture. For a
-    /// macro-fused producer (e.g. the `cmp` of a `cmp+jcc` pair) this is
-    /// the descriptor of the *pair*; for the fused branch itself it is an
-    /// empty descriptor.
-    pub desc: InstrDesc,
+    /// Shared interned entry: decoded instruction + effects + descriptor.
+    entry: Arc<InternedInst>,
     /// Byte offset of the instruction within the block.
     pub start: usize,
     /// Whether this instruction is macro-fused with the *preceding*
@@ -24,10 +39,37 @@ pub struct AnnotatedInst {
 }
 
 impl AnnotatedInst {
+    /// The decoded instruction. For a macro-fused producer this is the
+    /// producer itself (e.g. the `cmp` of a `cmp+jcc` pair).
+    #[must_use]
+    pub fn inst(&self) -> &Inst {
+        &self.entry.inst
+    }
+
+    /// The performance descriptor on the block's microarchitecture. For a
+    /// macro-fused producer this is the descriptor of the *pair*; for the
+    /// fused branch itself it is an empty descriptor.
+    #[must_use]
+    pub fn desc(&self) -> &InstrDesc {
+        if self.fused_with_prev {
+            &FUSED_TAIL_DESC
+        } else {
+            &self.entry.desc
+        }
+    }
+
+    /// Architectural reads and writes of [`Self::inst`], computed once per
+    /// distinct encoding (predictors used to re-derive these on every
+    /// prediction, which dominated their allocation profile).
+    #[must_use]
+    pub fn effects(&self) -> &Effects {
+        &self.entry.effects
+    }
+
     /// End offset (exclusive) of this instruction.
     #[must_use]
     pub fn end(&self) -> usize {
-        self.start + self.inst.len as usize
+        self.start + self.inst().len as usize
     }
 }
 
@@ -40,57 +82,90 @@ pub struct AnnotatedBlock {
     uarch: Uarch,
     block: Block,
     insts: Vec<AnnotatedInst>,
+    // µop totals are consumed by several per-prediction bounds; cache them
+    // at annotation time so predictions don't re-walk the block.
+    total_fused: u32,
+    total_issue: u32,
+    total_unfused: u32,
 }
 
 impl AnnotatedBlock {
-    /// Annotate `block` for `uarch`: look up descriptors and apply
-    /// macro fusion.
+    /// Annotate `block` for `uarch`: look up descriptors (through the
+    /// process-wide intern table) and apply macro fusion.
     #[must_use]
     pub fn new(block: Block, uarch: Uarch) -> AnnotatedBlock {
+        AnnotatedBlock::build(block, uarch, Some(interner()))
+    }
+
+    /// Annotate without the intern table: every descriptor is classified
+    /// from scratch. This is the naive reference path; it produces results
+    /// identical to [`AnnotatedBlock::new`] and exists so tests can assert
+    /// exactly that.
+    #[must_use]
+    pub fn new_uninterned(block: Block, uarch: Uarch) -> AnnotatedBlock {
+        AnnotatedBlock::build(block, uarch, None)
+    }
+
+    fn build(block: Block, uarch: Uarch, table: Option<&DescInterner>) -> AnnotatedBlock {
         let cfg = uarch.config();
         let raw = block.insts();
+        let bytes = block.bytes();
+        let single = |i: usize| -> Arc<InternedInst> {
+            let start = block.offset(i);
+            let end = start + raw[i].len as usize;
+            match table {
+                Some(t) => t.single(&bytes[start..end], &raw[i], cfg),
+                None => Arc::new(InternedInst {
+                    inst: raw[i].clone(),
+                    effects: raw[i].effects(),
+                    desc: describe(&raw[i], cfg),
+                }),
+            }
+        };
         let mut insts: Vec<AnnotatedInst> = Vec::with_capacity(raw.len());
         let mut i = 0;
         while i < raw.len() {
             let start = block.offset(i);
             if i + 1 < raw.len() && macro_fuses(&raw[i], &raw[i + 1], cfg) {
-                let pair = describe_fused_pair(&raw[i], &raw[i + 1], cfg);
+                let pair_end = block.offset(i + 1) + raw[i + 1].len as usize;
+                let pair = match table {
+                    Some(t) => t.pair(&bytes[start..pair_end], &raw[i], &raw[i + 1], cfg),
+                    None => Arc::new(InternedInst {
+                        inst: raw[i].clone(),
+                        effects: raw[i].effects(),
+                        desc: describe_fused_pair(&raw[i], &raw[i + 1], cfg),
+                    }),
+                };
                 insts.push(AnnotatedInst {
-                    inst: raw[i].clone(),
-                    desc: pair,
+                    entry: pair,
                     start,
                     fused_with_prev: false,
                 });
                 insts.push(AnnotatedInst {
-                    inst: raw[i + 1].clone(),
-                    desc: InstrDesc {
-                        fused_uops: 0,
-                        issue_uops: 0,
-                        uops: Vec::new(),
-                        complex_decoder: false,
-                        simple_decoders_after: 0,
-                        eliminated: true,
-                        latency: 0,
-                        load_latency_extra: 0,
-                    },
+                    entry: single(i + 1),
                     start: block.offset(i + 1),
                     fused_with_prev: true,
                 });
                 i += 2;
             } else {
                 insts.push(AnnotatedInst {
-                    inst: raw[i].clone(),
-                    desc: describe(&raw[i], cfg),
+                    entry: single(i),
                     start,
                     fused_with_prev: false,
                 });
                 i += 1;
             }
         }
+        let total_fused = insts.iter().map(|a| u32::from(a.desc().fused_uops)).sum();
+        let total_issue = insts.iter().map(|a| u32::from(a.desc().issue_uops)).sum();
+        let total_unfused = insts.iter().map(|a| a.desc().unfused_uops() as u32).sum();
         AnnotatedBlock {
             uarch,
             block,
             insts,
+            total_fused,
+            total_issue,
+            total_unfused,
         }
     }
 
@@ -121,28 +196,19 @@ impl AnnotatedBlock {
     /// Total fused-domain µops delivered per iteration (DSB/LSD view).
     #[must_use]
     pub fn total_fused_uops(&self) -> u32 {
-        self.insts
-            .iter()
-            .map(|a| u32::from(a.desc.fused_uops))
-            .sum()
+        self.total_fused
     }
 
     /// Total µops issued by the renamer per iteration (after unlamination).
     #[must_use]
     pub fn total_issue_uops(&self) -> u32 {
-        self.insts
-            .iter()
-            .map(|a| u32::from(a.desc.issue_uops))
-            .sum()
+        self.total_issue
     }
 
     /// Total unfused-domain µops dispatched to ports per iteration.
     #[must_use]
     pub fn total_unfused_uops(&self) -> u32 {
-        self.insts
-            .iter()
-            .map(|a| a.desc.unfused_uops() as u32)
-            .sum()
+        self.total_unfused
     }
 
     /// Length of the block in bytes.
@@ -176,7 +242,8 @@ impl AnnotatedBlock {
                 i += 2;
                 continue;
             }
-            if a.inst.is_branch() && Block::crosses_or_ends_on_32(a.start, a.inst.len as usize) {
+            if a.inst().is_branch() && Block::crosses_or_ends_on_32(a.start, a.inst().len as usize)
+            {
                 return true;
             }
             i += 1;
@@ -228,6 +295,33 @@ mod tests {
         assert_eq!(ab.total_fused_uops(), 2);
         assert_eq!(ab.total_issue_uops(), 2);
         assert_eq!(ab.total_unfused_uops(), 1); // only the add reaches ports
+    }
+
+    #[test]
+    fn interned_equals_uninterned() {
+        for u in [Uarch::Skl, Uarch::Snb, Uarch::Icl] {
+            let a = AnnotatedBlock::new(loop_block(), u);
+            let b = AnnotatedBlock::new_uninterned(loop_block(), u);
+            assert_eq!(a.insts(), b.insts(), "{u}");
+            assert_eq!(a.total_fused_uops(), b.total_fused_uops());
+            assert_eq!(a.total_issue_uops(), b.total_issue_uops());
+            assert_eq!(a.total_unfused_uops(), b.total_unfused_uops());
+        }
+    }
+
+    #[test]
+    fn fused_tail_exposes_branch_but_empty_desc() {
+        let ab = AnnotatedBlock::new(loop_block(), Uarch::Skl);
+        let tail = &ab.insts()[2];
+        assert!(tail.fused_with_prev);
+        assert!(tail.inst().is_branch());
+        assert!(tail.desc().eliminated);
+        assert_eq!(tail.desc().fused_uops, 0);
+        assert!(tail.desc().uops.is_empty());
+        // The pair head carries the pair's descriptor and its own inst.
+        let head = &ab.insts()[1];
+        assert_eq!(head.inst().mnemonic, Mnemonic::Dec);
+        assert!(head.desc().fused_uops > 0);
     }
 
     #[test]

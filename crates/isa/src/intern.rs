@@ -1,0 +1,272 @@
+//! The instruction-descriptor intern table.
+//!
+//! A corpus like BHive is massively redundant at the instruction level:
+//! a few hundred distinct instruction encodings cover millions of block
+//! occurrences. Classification ([`describe`]) and architectural-effect
+//! extraction ([`Inst::effects`]) are by far the heaviest per-instruction
+//! steps of annotation, so this module memoizes them process-wide, keyed
+//! by `(instruction bytes, uarch)`: the first time an encoding is seen on
+//! a microarchitecture it is described once, and every later occurrence —
+//! in any block, on any thread — shares the same [`InternedInst`] through
+//! an `Arc`.
+//!
+//! The table is sharded by a deterministic hash of the key bytes so that
+//! concurrent annotation threads do not serialize on a single lock.
+//!
+//! Keying by raw bytes is sound because x86 decoding is prefix-
+//! deterministic: a byte string either decodes to exactly one instruction
+//! of exactly its own length or it does not appear as a single-entry key
+//! at all. Macro-fused pairs are keyed by the concatenated bytes of both
+//! instructions, which can never collide with a single-instruction key of
+//! the same bytes (the pair's first instruction boundary falls strictly
+//! inside the byte string).
+
+use crate::classify::{describe, describe_fused_pair};
+use crate::desc::InstrDesc;
+use facile_uarch::{Uarch, UarchConfig};
+use facile_util::{hash_bytes, FxHashMap};
+use facile_x86::{Effects, Inst};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of independent lock shards. A power of two so shard selection
+/// is a mask; 16 is comfortably above any realistic worker count for the
+/// offline workloads this crate serves.
+const SHARDS: usize = 16;
+
+/// Per-shard entry cap. Keys include immediates and displacements, so a
+/// streaming corpus with varied constants can mint unbounded distinct
+/// encodings; when a shard reaches this many entries it is flushed
+/// (outstanding `Arc`s stay valid, later occurrences simply re-intern),
+/// bounding the table at `SHARDS × SHARD_CAP` entries (~128k) while
+/// still covering any realistic working set of distinct instructions.
+const SHARD_CAP: usize = 8192;
+
+/// Everything the annotation of one instruction occurrence needs, computed
+/// once per distinct `(bytes, uarch)` pair and shared via `Arc`:
+/// the decoded instruction, its architectural effects, and its performance
+/// descriptor. For a macro-fused pair the `inst`/`effects` are those of the
+/// *first* (producing) instruction and `desc` describes the whole pair,
+/// mirroring how [`crate::AnnotatedBlock`] attributes fused pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternedInst {
+    /// The decoded instruction (pair head for fused pairs).
+    pub inst: Inst,
+    /// Architectural reads/writes of `inst` (computed once; reading them
+    /// per prediction used to be a dominant allocation source).
+    pub effects: Effects,
+    /// The performance descriptor on the keyed microarchitecture.
+    pub desc: InstrDesc,
+}
+
+/// Hit/miss/entry counters of the intern table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InternStats {
+    /// Lookups served from the table.
+    pub hits: u64,
+    /// Lookups that had to classify.
+    pub misses: u64,
+    /// Distinct `(bytes, uarch)` entries resident.
+    pub entries: usize,
+}
+
+// Per-shard table: uarch -> instruction bytes -> interned entry. Two
+// levels so the hit path probes with the borrowed `&[u8]` — key bytes are
+// copied only on the insert path.
+type ShardMap = FxHashMap<Uarch, FxHashMap<Box<[u8]>, Arc<InternedInst>>>;
+
+/// The process-wide descriptor intern table.
+#[derive(Debug, Default)]
+pub struct DescInterner {
+    shards: [Mutex<ShardMap>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DescInterner {
+    /// An empty interner (the global one is reached via [`interner`]).
+    #[must_use]
+    pub fn new() -> DescInterner {
+        DescInterner::default()
+    }
+
+    #[inline]
+    fn shard(&self, bytes: &[u8]) -> &Mutex<ShardMap> {
+        &self.shards[(hash_bytes(bytes) as usize) & (SHARDS - 1)]
+    }
+
+    fn lookup(
+        &self,
+        bytes: &[u8],
+        uarch: Uarch,
+        build: impl FnOnce() -> InternedInst,
+    ) -> Arc<InternedInst> {
+        let shard = self.shard(bytes);
+        if let Some(hit) = shard
+            .lock()
+            .expect("no poisoning")
+            .get(&uarch)
+            .and_then(|per_uarch| per_uarch.get(bytes))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Classify outside the lock so concurrent misses on the same shard
+        // don't serialize on the heavy work; a racing duplicate is
+        // deterministic (same inputs, same descriptor) and harmless.
+        let entry = Arc::new(build());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard.lock().expect("no poisoning");
+        if map.values().map(FxHashMap::len).sum::<usize>() >= SHARD_CAP {
+            // Bounded memory on unbounded streams: drop the shard and
+            // start over. Interning is a pure memoization, so results
+            // are unaffected.
+            map.clear();
+        }
+        Arc::clone(
+            map.entry(uarch)
+                .or_default()
+                .entry(bytes.into())
+                .or_insert(entry),
+        )
+    }
+
+    /// The interned entry for a single (unfused) instruction whose
+    /// encoding is `bytes`.
+    pub fn single(&self, bytes: &[u8], inst: &Inst, cfg: &UarchConfig) -> Arc<InternedInst> {
+        self.lookup(bytes, cfg.arch, || InternedInst {
+            inst: inst.clone(),
+            effects: inst.effects(),
+            desc: describe(inst, cfg),
+        })
+    }
+
+    /// The interned entry for a macro-fused pair, keyed by the
+    /// concatenated bytes of both instructions.
+    pub fn pair(
+        &self,
+        bytes: &[u8],
+        first: &Inst,
+        second: &Inst,
+        cfg: &UarchConfig,
+    ) -> Arc<InternedInst> {
+        self.lookup(bytes, cfg.arch, || InternedInst {
+            inst: first.clone(),
+            effects: first.effects(),
+            desc: describe_fused_pair(first, second, cfg),
+        })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> InternStats {
+        InternStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .expect("no poisoning")
+                        .values()
+                        .map(FxHashMap::len)
+                        .sum::<usize>()
+                })
+                .sum(),
+        }
+    }
+
+    /// Drop all entries and reset the counters. Outstanding `Arc`s keep
+    /// their entries alive; only the table's references are released.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("no poisoning").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide interner used by [`crate::AnnotatedBlock::new`].
+pub fn interner() -> &'static DescInterner {
+    static GLOBAL: OnceLock<DescInterner> = OnceLock::new();
+    GLOBAL.get_or_init(DescInterner::new)
+}
+
+/// Counters of the process-wide interner (plumbed into
+/// `facile_engine::Engine::cache_stats` and the CLI's `--stats` output).
+#[must_use]
+pub fn intern_stats() -> InternStats {
+    interner().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_x86::reg::names::*;
+    use facile_x86::{Block, Mnemonic};
+
+    #[test]
+    fn single_entries_are_shared_per_bytes_and_uarch() {
+        let t = DescInterner::new();
+        let b = Block::assemble(&[(Mnemonic::Add, vec![RAX.into(), RCX.into()])]).unwrap();
+        let cfg_skl = Uarch::Skl.config();
+        let cfg_hsw = Uarch::Hsw.config();
+        let a1 = t.single(b.bytes(), &b.insts()[0], cfg_skl);
+        let a2 = t.single(b.bytes(), &b.insts()[0], cfg_skl);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let a3 = t.single(b.bytes(), &b.insts()[0], cfg_hsw);
+        assert!(!Arc::ptr_eq(&a1, &a3));
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+        t.clear();
+        assert_eq!(t.stats(), InternStats::default());
+        // The cleared table re-interns; the old Arc is still valid.
+        let a4 = t.single(b.bytes(), &b.insts()[0], cfg_skl);
+        assert!(!Arc::ptr_eq(&a1, &a4));
+        assert_eq!(a1.desc, a4.desc);
+    }
+
+    #[test]
+    fn interned_matches_direct_classification() {
+        let t = DescInterner::new();
+        let b = Block::assemble(&[
+            (Mnemonic::Imul, vec![RAX.into(), RCX.into()]),
+            (Mnemonic::Add, vec![RDX.into(), RBX.into()]),
+        ])
+        .unwrap();
+        for u in Uarch::ALL {
+            let cfg = u.config();
+            for (i, inst) in b.insts().iter().enumerate() {
+                let start = b.offset(i);
+                let end = start + inst.len as usize;
+                let e = t.single(&b.bytes()[start..end], inst, cfg);
+                assert_eq!(e.desc, describe(inst, cfg), "{u}");
+                assert_eq!(e.effects, inst.effects());
+                assert_eq!(&e.inst, inst);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_entries_do_not_collide_with_singles() {
+        // dec rdx; jne -7 macro-fuses on SKL: the pair key spans both
+        // instructions and must be distinct from dec's own entry.
+        let b = Block::assemble(&[
+            (Mnemonic::Dec, vec![RDX.into()]),
+            (
+                Mnemonic::Jcc(facile_x86::Cond::Ne),
+                vec![facile_x86::Operand::Rel(-7)],
+            ),
+        ])
+        .unwrap();
+        let t = DescInterner::new();
+        let cfg = Uarch::Skl.config();
+        let insts = b.insts();
+        let single = t.single(&b.bytes()[..insts[0].len as usize], &insts[0], cfg);
+        let pair = t.pair(b.bytes(), &insts[0], &insts[1], cfg);
+        assert!(!Arc::ptr_eq(&single, &pair));
+        assert_eq!(pair.desc, describe_fused_pair(&insts[0], &insts[1], cfg));
+        assert_eq!(t.stats().entries, 2);
+    }
+}

@@ -29,7 +29,9 @@
 pub mod annotate;
 pub mod classify;
 pub mod desc;
+pub mod intern;
 
 pub use annotate::{AnnotatedBlock, AnnotatedInst};
 pub use classify::{describe, describe_fused_pair, macro_fuses};
 pub use desc::{InstrDesc, Uop, UopKind};
+pub use intern::{intern_stats, DescInterner, InternStats, InternedInst};

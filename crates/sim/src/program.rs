@@ -49,9 +49,9 @@ impl Program {
             insts.push(expand(a, fused_idx, cfg, pair));
             raw.push(RawInst {
                 start: a.start,
-                len: a.inst.len as usize,
-                opcode_off: a.inst.opcode_offset as usize,
-                lcp: a.inst.has_lcp,
+                len: a.inst().len as usize,
+                opcode_off: a.inst().opcode_offset as usize,
+                lcp: a.inst().has_lcp,
                 fused_idx,
                 completes_unit: !pair,
             });
@@ -59,9 +59,9 @@ impl Program {
                 let b = &all[i + 1];
                 raw.push(RawInst {
                     start: b.start,
-                    len: b.inst.len as usize,
-                    opcode_off: b.inst.opcode_offset as usize,
-                    lcp: b.inst.has_lcp,
+                    len: b.inst().len as usize,
+                    opcode_off: b.inst().opcode_offset as usize,
+                    lcp: b.inst().has_lcp,
                     fused_idx,
                     completes_unit: true,
                 });

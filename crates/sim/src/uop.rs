@@ -110,8 +110,8 @@ impl DynInst {
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn expand(a: &AnnotatedInst, index: u16, cfg: &UarchConfig, fused_branch: bool) -> DynInst {
-    let desc: &InstrDesc = &a.desc;
-    let e = a.inst.effects();
+    let desc: &InstrDesc = a.desc();
+    let e = a.effects();
 
     let reg_values =
         |regs: &[Reg]| -> Vec<Value> { regs.iter().map(|r| Value::Reg(r.full())).collect() };
@@ -132,8 +132,8 @@ pub fn expand(a: &AnnotatedInst, index: u16, cfg: &UarchConfig, fused_branch: bo
         .collect();
 
     if desc.eliminated {
-        let move_alias = if a.inst.is_reg_reg_move() {
-            let src = Value::Reg(a.inst.operands[1].reg().expect("reg-reg move").full());
+        let move_alias = if a.inst().is_reg_reg_move() {
+            let src = Value::Reg(a.inst().operands[1].reg().expect("reg-reg move").full());
             Some((outputs.clone(), src))
         } else {
             None
@@ -150,14 +150,14 @@ pub fn expand(a: &AnnotatedInst, index: u16, cfg: &UarchConfig, fused_branch: bo
             ],
             eliminated: true,
             move_alias,
-            eliminated_produces: if a.inst.is_reg_reg_move() {
+            eliminated_produces: if a.inst().is_reg_reg_move() {
                 Vec::new()
             } else {
                 outputs
             },
             complex_decoder: desc.complex_decoder,
             simple_decoders_after: desc.simple_decoders_after,
-            is_branch: a.inst.is_branch() || fused_branch,
+            is_branch: a.inst().is_branch() || fused_branch,
             is_fusible: is_fusible(a, cfg),
         };
     }
@@ -322,7 +322,7 @@ pub fn expand(a: &AnnotatedInst, index: u16, cfg: &UarchConfig, fused_branch: bo
         eliminated_produces: Vec::new(),
         complex_decoder: desc.complex_decoder,
         simple_decoders_after: desc.simple_decoders_after,
-        is_branch: a.inst.is_branch() || fused_branch,
+        is_branch: a.inst().is_branch() || fused_branch,
         is_fusible: is_fusible(a, cfg),
     }
 }
@@ -343,7 +343,7 @@ fn distribute(members: &[usize], n: usize, out: &mut Vec<FusedUopTemplate>) {
 
 fn is_fusible(a: &AnnotatedInst, cfg: &UarchConfig) -> bool {
     use facile_x86::Mnemonic;
-    match a.inst.mnemonic {
+    match a.inst().mnemonic {
         Mnemonic::Cmp | Mnemonic::Test => true,
         Mnemonic::And | Mnemonic::Add | Mnemonic::Sub | Mnemonic::Inc | Mnemonic::Dec => {
             cfg.extended_macro_fusion

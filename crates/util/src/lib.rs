@@ -1,0 +1,22 @@
+//! # facile-util
+//!
+//! Small, dependency-free performance utilities shared across the
+//! workspace's hot paths (the repository is built offline, so these are
+//! in-tree stand-ins for the usual `rustc-hash`/`smallvec` crates):
+//!
+//! * [`fxhash`] — a fast, deterministic, non-cryptographic hasher for
+//!   interning and sharding. Never use it for untrusted keys where
+//!   HashDoS matters; every table in this workspace is keyed by data the
+//!   process itself generated or decoded.
+//! * [`SmallVec`] — an inline-first vector for `Copy` element types,
+//!   written entirely in safe Rust: the first `N` elements live on the
+//!   stack and the buffer spills to a heap `Vec` only when it outgrows
+//!   the inline capacity.
+
+#![warn(missing_docs)]
+
+pub mod fxhash;
+mod smallvec;
+
+pub use fxhash::{hash_bytes, FxBuildHasher, FxHashMap, FxHasher};
+pub use smallvec::SmallVec;

@@ -1,0 +1,185 @@
+//! An inline-first vector for `Copy` types, in safe Rust.
+
+/// A vector whose first `N` elements live inline on the stack; it spills
+/// to a heap `Vec` only when it outgrows the inline capacity.
+///
+/// Restricted to `T: Copy + Default` so the inline buffer can be a plain
+/// array (no `MaybeUninit`, no `unsafe`). That covers every hot-path use
+/// in this workspace: port loads, decoder facts, placement counters.
+///
+/// `clear()` keeps the spilled heap allocation around, so a reused
+/// `SmallVec` stops allocating after its first growth — which is what the
+/// thread-local scratch arenas in `facile-core` rely on.
+#[derive(Debug, Clone)]
+pub enum SmallVec<T: Copy + Default, const N: usize> {
+    /// All elements fit inline: a fixed buffer plus the live length.
+    Inline([T; N], usize),
+    /// The buffer has spilled to the heap.
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        SmallVec::Inline([T::default(); N], 0)
+    }
+
+    /// Number of live elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            SmallVec::Inline(_, len) => *len,
+            SmallVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append an element, spilling to the heap when the inline buffer is
+    /// full.
+    pub fn push(&mut self, value: T) {
+        match self {
+            SmallVec::Inline(buf, len) => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(2 * N.max(1));
+                    v.extend_from_slice(&buf[..*len]);
+                    v.push(value);
+                    *self = SmallVec::Heap(v);
+                }
+            }
+            SmallVec::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Drop all elements. A spilled heap buffer keeps its capacity (and
+    /// stays in use), so a long-lived scratch `SmallVec` allocates at
+    /// most once.
+    pub fn clear(&mut self) {
+        match self {
+            SmallVec::Inline(_, len) => *len = 0,
+            SmallVec::Heap(v) => v.clear(),
+        }
+    }
+
+    /// The live elements as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SmallVec::Inline(buf, len) => &buf[..*len],
+            SmallVec::Heap(v) => v,
+        }
+    }
+
+    /// The live elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            SmallVec::Inline(buf, len) => &mut buf[..*len],
+            SmallVec::Heap(v) => v,
+        }
+    }
+
+    /// Whether the buffer has spilled to the heap.
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        matches!(self, SmallVec::Heap(_))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for SmallVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v.push(4);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn clear_keeps_heap_capacity() {
+        let mut v: SmallVec<u8, 2> = SmallVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        v.clear();
+        assert!(v.is_empty());
+        // Still heap-backed: no re-spill allocation on the next growth.
+        assert!(v.spilled());
+        v.push(7);
+        assert_eq!(v.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn deref_and_iter() {
+        let mut v: SmallVec<u16, 3> = SmallVec::new();
+        v.extend([5, 6, 7]);
+        assert_eq!(v[1], 6);
+        assert_eq!(v.iter().sum::<u16>(), 18);
+        v.as_mut_slice()[0] = 1;
+        assert_eq!(v[0], 1);
+        let total: u16 = (&v).into_iter().copied().sum();
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn zero_capacity_goes_straight_to_heap() {
+        let mut v: SmallVec<u8, 0> = SmallVec::new();
+        v.push(1);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[1]);
+    }
+}

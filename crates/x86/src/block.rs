@@ -137,7 +137,13 @@ impl Block {
     /// the format used by the BHive suite.
     #[must_use]
     pub fn to_hex(&self) -> String {
-        self.bytes.iter().map(|b| format!("{b:02x}")).collect()
+        const DIGITS: &[u8; 16] = b"0123456789abcdef";
+        let mut s = String::with_capacity(2 * self.bytes.len());
+        for b in &self.bytes {
+            s.push(DIGITS[usize::from(b >> 4)] as char);
+            s.push(DIGITS[usize::from(b & 0xf)] as char);
+        }
+        s
     }
 
     /// Decode a block from a BHive-style hex string.

@@ -75,6 +75,6 @@ fn main() {
     println!(
         "\nannotation cache: {} entries, {} hits, {} misses \
          (annotations shared across the 3 predictors)",
-        stats.entries, stats.hits, stats.misses
+        stats.annotation.entries, stats.annotation.hits, stats.annotation.misses
     );
 }
