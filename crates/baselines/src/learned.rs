@@ -294,7 +294,7 @@ impl Predictor for DiffTuneLike {
     }
 }
 
-/// The "learning-bl" baseline of [7] (DiffTune revisited): a per-opcode
+/// The "learning-bl" baseline of \[7\] (DiffTune revisited): a per-opcode
 /// cost table fit by least squares — each instruction class contributes a
 /// learned constant number of cycles.
 #[derive(Debug, Clone)]
@@ -303,7 +303,7 @@ pub struct LearningBl {
 }
 
 impl LearningBl {
-    /// Train on `n_train` blocks per microarchitecture (on TPU, as in [7]).
+    /// Train on `n_train` blocks per microarchitecture (on TPU, as in \[7\]).
     #[must_use]
     pub fn train(uarchs: &[Uarch], n_train: usize, seed: u64) -> LearningBl {
         let models = uarchs

@@ -1,0 +1,103 @@
+//! Per-µarch bottleneck-distribution report over the BHive-style corpus:
+//! for every microarchitecture and both throughput notions, which
+//! pipeline component binds how often according to Facile's typed
+//! bottleneck attribution.
+//!
+//! This is the corpus-level consumer of the explanation data layer: the
+//! engine runs at brief detail (the allocation-free path — attribution is
+//! carried on every row even without a full explanation), and the rows
+//! are folded into [`facile_metrics::BottleneckDistribution`]s.
+//!
+//! ```text
+//! cargo run --release -p facile-bench --bin bottlenecks
+//! cargo run --release -p facile-bench --bin bottlenecks -- --blocks 500 --uarch SKL,RKL
+//! ```
+//!
+//! Defaults to the 2000-block suite (seed 2023).
+
+use facile_bench::Args;
+use facile_bhive::generate_suite;
+use facile_core::{Component, Mode};
+use facile_engine::{BatchItem, Engine};
+use facile_metrics::{BottleneckDistribution, Table};
+use facile_uarch::Uarch;
+
+fn distribution(engine: &Engine, items: &[BatchItem]) -> BottleneckDistribution {
+    let mut dist = BottleneckDistribution::new();
+    for row in engine.run_batch(
+        items,
+        &engine.registry().resolve("facile").expect("builtin"),
+    ) {
+        match &row.prediction {
+            Ok(p) => dist.record(p.bottleneck),
+            Err(_) => dist.record_error(),
+        }
+    }
+    dist
+}
+
+fn main() {
+    let args = Args::parse_with(Args {
+        blocks: 2000,
+        ..Args::default()
+    });
+    let suite = generate_suite(args.blocks, args.seed);
+    let engine = Engine::with_builtins();
+    println!(
+        "Bottleneck distribution of the Facile model over the BHive-style \
+         corpus ({} blocks, seed {}).\n",
+        args.blocks, args.seed
+    );
+
+    for (mode, title) in [(Mode::Unrolled, "TPU"), (Mode::Loop, "TPL")] {
+        let mut header = vec!["Component".to_string()];
+        header.extend(args.uarchs.iter().map(ToString::to_string));
+        let mut t = Table::new(header.iter().map(String::as_str).collect());
+        let dists: Vec<BottleneckDistribution> = args
+            .uarchs
+            .iter()
+            .map(|&u| {
+                let items: Vec<BatchItem> = suite
+                    .iter()
+                    .map(|b| {
+                        let block = match mode {
+                            Mode::Unrolled => &b.unrolled,
+                            Mode::Loop => &b.looped,
+                        };
+                        BatchItem::block(block.clone(), u).with_mode(mode)
+                    })
+                    .collect();
+                distribution(&engine, &items)
+            })
+            .collect();
+        for comp in Component::ALL {
+            if dists.iter().all(|d| d.count(comp) == 0) {
+                continue; // e.g. LSD/DSB rows under TPU
+            }
+            let mut row = vec![comp.name().to_string()];
+            for d in &dists {
+                row.push(format!("{:.1}%", 100.0 * d.share(comp)));
+            }
+            t.row(row);
+        }
+        println!(
+            "{title} (dominant per µarch: {}):\n",
+            summary(&args.uarchs, &dists)
+        );
+        println!("{t}");
+    }
+}
+
+fn summary(uarchs: &[Uarch], dists: &[BottleneckDistribution]) -> String {
+    uarchs
+        .iter()
+        .zip(dists)
+        .map(|(u, d)| {
+            format!(
+                "{u}={}",
+                d.dominant().map_or("-", facile_core::Component::name)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}

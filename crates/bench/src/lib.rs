@@ -57,7 +57,17 @@ impl Args {
     /// Panics on malformed flag values.
     #[must_use]
     pub fn parse() -> Args {
-        let mut args = Args::default();
+        Args::parse_with(Args::default())
+    }
+
+    /// Like [`Args::parse`], but starting from binary-specific defaults
+    /// (e.g. the `bottlenecks` report defaults to the 2000-block corpus).
+    ///
+    /// # Panics
+    /// Panics on malformed flag values.
+    #[must_use]
+    pub fn parse_with(defaults: Args) -> Args {
+        let mut args = defaults;
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             let mut val = || it.next().expect("flag requires a value");

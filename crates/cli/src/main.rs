@@ -5,8 +5,9 @@
 //! facile --hex 4801c84889c8 --uarch SKL --mode auto
 //! facile --kernel imul-chain --all-uarchs
 //! facile --hex 01c8 --compare
-//! echo 4801c8480fafd0 | facile --batch --predictors 'facile,sim' --json
-//! facile --batch --all-uarchs --csv < blocks.csv
+//! facile --hex 4801c8 --explain --format json
+//! echo 4801c8480fafd0 | facile --batch --predictors 'facile,sim' --format json
+//! facile --batch --all-uarchs --format csv --explain < blocks.csv
 //! ```
 //!
 //! Batch mode reads one block per line from stdin — either bare hex or
@@ -15,9 +16,16 @@
 //! are ordered and byte-identical regardless of `--threads`, so output
 //! is diffable across runs and machines. Undecodable lines become error
 //! rows; they never abort the batch.
+//!
+//! `--explain` upgrades rows to full explanation detail: structured
+//! per-component bounds, critical-chain edges, and port loads as an
+//! `explanation` JSON object (`--format json`/`csv`) or an indented
+//! text summary (`--format text`).
 
-use facile_core::{Facile, Mode, Report};
+use facile_core::{Detail, Explanation, Facile, Mode, Report};
 use facile_engine::{BatchItem, Engine, ItemResult, PredictorRegistry};
+use facile_explain::json_escape;
+use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
 use facile_x86::Block;
 use std::io::{BufRead, Write};
@@ -33,6 +41,7 @@ struct Options {
     compare: bool,
     predictors: String,
     format: Format,
+    explain: bool,
     threads: Option<usize>,
     stats: bool,
 }
@@ -73,12 +82,19 @@ OPTIONS:
     --predictors <KEYS> comma-separated registry keys or glob patterns
                        (default `facile`; e.g. `facile,sim`, `*`)
     --compare          shorthand for adding `sim` to --predictors
-    --json             machine-readable output, one JSON object per row
-    --csv              machine-readable output, CSV with header
+    --format <FMT>     text | json | csv (default text); json/csv are
+                       machine-readable, one row per (block, uarch,
+                       predictor)
+    --explain          attach the full typed explanation to every row:
+                       per-component bounds with evidence, critical
+                       dependence chain, and port loads (an `explanation`
+                       object with --format json/csv, indented text
+                       otherwise); composes with --batch
+    --json, --csv      deprecated aliases for --format json / --format csv
     --threads <N>      batch worker threads (default: all cores)
     --stats            report cache counters (annotation cache + descriptor
                        intern table) after the run: a trailing JSON object
-                       with --json, a summary on stderr otherwise
+                       with --format json, a summary on stderr otherwise
     --list-predictors  list registered predictor keys
     --list-kernels     list the built-in corpus kernels
     --help             show this help
@@ -95,6 +111,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         compare: false,
         predictors: String::from("facile"),
         format: Format::Human,
+        explain: false,
         threads: None,
         stats: false,
     };
@@ -145,8 +162,23 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             "--compare" => o.compare = true,
             "--predictors" => o.predictors = val("--predictors")?,
-            "--json" => o.format = Format::Json,
-            "--csv" => o.format = Format::Csv,
+            "--format" => {
+                o.format = match val("--format")?.as_str() {
+                    "text" | "human" => Format::Human,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => return Err(format!("unknown format: {other} (text|json|csv)")),
+                };
+            }
+            "--explain" => o.explain = true,
+            "--json" => {
+                eprintln!("note: --json is deprecated; use --format json");
+                o.format = Format::Json;
+            }
+            "--csv" => {
+                eprintln!("note: --csv is deprecated; use --format csv");
+                o.format = Format::Csv;
+            }
             "--threads" => {
                 o.threads = Some(
                     val("--threads")?
@@ -180,21 +212,12 @@ fn fixed_mode(o: &Options) -> Option<Mode> {
     }
 }
 
-/// Minimal JSON string escaping (we only emit simple ASCII-ish fields).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+fn detail(o: &Options) -> Detail {
+    if o.explain {
+        Detail::Full
+    } else {
+        Detail::Brief
     }
-    out
 }
 
 /// CSV field quoting per RFC 4180 (only when needed).
@@ -216,7 +239,20 @@ fn mode_str(mode: Option<Mode>) -> &'static str {
 
 const CSV_HEADER: &str = "block,uarch,mode,predictor,status,throughput,bottleneck,error";
 
-fn emit_row<W: Write + ?Sized>(out: &mut W, format: Format, r: &ItemResult) -> std::io::Result<()> {
+fn csv_header(explain: bool) -> String {
+    if explain {
+        format!("{CSV_HEADER},explanation")
+    } else {
+        CSV_HEADER.to_string()
+    }
+}
+
+fn emit_row<W: Write + ?Sized>(
+    out: &mut W,
+    format: Format,
+    explain: bool,
+    r: &ItemResult,
+) -> std::io::Result<()> {
     match format {
         Format::Json => {
             let core = format!(
@@ -230,11 +266,14 @@ fn emit_row<W: Write + ?Sized>(out: &mut W, format: Format, r: &ItemResult) -> s
                 Ok(p) => {
                     let bn = p
                         .bottleneck
+                        .map_or_else(|| "null".to_string(), |b| format!("\"{}\"", b.name()));
+                    let expl = p
+                        .explanation
                         .as_ref()
-                        .map_or_else(|| "null".to_string(), |b| format!("\"{}\"", json_escape(b)));
+                        .map_or_else(String::new, |e| format!(",\"explanation\":{}", e.to_json()));
                     writeln!(
                         out,
-                        "{{{core},\"status\":\"ok\",\"throughput\":{:.4},\"bottleneck\":{bn}}}",
+                        "{{{core},\"status\":\"ok\",\"throughput\":{:.4},\"bottleneck\":{bn}{expl}}}",
                         p.throughput
                     )
                 }
@@ -246,41 +285,63 @@ fn emit_row<W: Write + ?Sized>(out: &mut W, format: Format, r: &ItemResult) -> s
                 ),
             }
         }
-        Format::Csv => match &r.prediction {
-            Ok(p) => writeln!(
-                out,
-                "{},{},{},{},ok,{:.4},{},",
-                csv_escape(&r.block_hex),
-                r.uarch,
-                mode_str(r.mode),
-                csv_escape(&r.predictor),
-                p.throughput,
-                csv_escape(p.bottleneck.as_deref().unwrap_or("")),
-            ),
-            Err(e) => writeln!(
-                out,
-                "{},{},{},{},{},,,{}",
-                csv_escape(&r.block_hex),
-                r.uarch,
-                mode_str(r.mode),
-                csv_escape(&r.predictor),
-                e.code(),
-                csv_escape(&e.to_string()),
-            ),
-        },
+        Format::Csv => {
+            let extra = |expl_field: &str| {
+                if explain {
+                    format!(",{expl_field}")
+                } else {
+                    String::new()
+                }
+            };
+            match &r.prediction {
+                Ok(p) => writeln!(
+                    out,
+                    "{},{},{},{},ok,{:.4},{},{}",
+                    csv_escape(&r.block_hex),
+                    r.uarch,
+                    mode_str(r.mode),
+                    csv_escape(&r.predictor),
+                    p.throughput,
+                    p.bottleneck.map_or("", |b| b.name()),
+                    extra(
+                        &p.explanation
+                            .as_ref()
+                            .map_or_else(String::new, |e| { csv_escape(&e.to_json()) })
+                    ),
+                ),
+                Err(e) => writeln!(
+                    out,
+                    "{},{},{},{},{},,,{}{}",
+                    csv_escape(&r.block_hex),
+                    r.uarch,
+                    mode_str(r.mode),
+                    csv_escape(&r.predictor),
+                    e.code(),
+                    csv_escape(&e.to_string()),
+                    extra(""),
+                ),
+            }
+        }
         Format::Human => match &r.prediction {
-            Ok(p) => writeln!(
-                out,
-                "{:<24} {:<4} {:<3} {:<12} {:>8.2} cyc/iter{}",
-                r.block_hex,
-                r.uarch.to_string(),
-                mode_str(r.mode),
-                r.predictor,
-                p.throughput,
-                p.bottleneck
-                    .as_ref()
-                    .map_or_else(String::new, |b| format!("  bottleneck: {b}")),
-            ),
+            Ok(p) => {
+                writeln!(
+                    out,
+                    "{:<24} {:<4} {:<3} {:<12} {:>8.2} cyc/iter{}",
+                    r.block_hex,
+                    r.uarch.to_string(),
+                    mode_str(r.mode),
+                    r.predictor,
+                    p.throughput,
+                    p.bottleneck
+                        .map_or_else(String::new, |b| format!("  bottleneck: {b}")),
+                )?;
+                if let Some(e) = &p.explanation {
+                    for line in e.to_text().lines() {
+                        writeln!(out, "    {line}")?;
+                    }
+                }
+                Ok(())
+            }
             Err(e) => writeln!(
                 out,
                 "{:<24} {:<4} {:<3} {:<12} error: {e}",
@@ -319,8 +380,8 @@ impl StatsTally {
     }
 }
 
-/// Emit cache counters: a trailing JSON object on stdout with --json, a
-/// human-readable summary on stderr otherwise (CSV output stays pure).
+/// Emit cache counters: a trailing JSON object on stdout with JSON output,
+/// a human-readable summary on stderr otherwise (CSV output stays pure).
 fn emit_stats<W: Write + ?Sized>(
     out: &mut W,
     format: Format,
@@ -350,11 +411,12 @@ fn run_batch(o: &Options) -> Result<(), String> {
     let engine = build_engine(o);
     let uarchs = uarch_list(o);
     let mode = fixed_mode(o);
+    let row_detail = detail(o);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     if o.format == Format::Csv {
-        writeln!(&mut out, "{CSV_HEADER}").map_err(|e| e.to_string())?;
+        writeln!(&mut out, "{}", csv_header(o.explain)).map_err(|e| e.to_string())?;
     }
 
     // Stream in chunks: bounded memory on arbitrarily large inputs, and
@@ -373,7 +435,7 @@ fn run_batch(o: &Options) -> Result<(), String> {
             .predict_batch(items, &o.predictors)
             .map_err(|e| e.to_string())?;
         for r in &rows {
-            emit_row(out, o.format, r).map_err(|e| e.to_string())?;
+            emit_row(out, o.format, o.explain, r).map_err(|e| e.to_string())?;
         }
         items.clear();
         // Annotations are only reused within a chunk; dropping them here
@@ -395,6 +457,7 @@ fn run_batch(o: &Options) -> Result<(), String> {
                 input: facile_engine::BlockInput::Hex(hex.clone()),
                 uarch: u,
                 mode,
+                detail: row_detail,
             });
         }
         if items.len() >= CHUNK {
@@ -418,8 +481,37 @@ fn load_block(o: &Options) -> Result<Block, String> {
     }
 }
 
+/// `--explain` extras for the single-block text report: the contended-port
+/// load map and the per-instruction attribution with disassembly.
+fn print_explain_details(ab: &AnnotatedBlock, e: &Explanation) {
+    if let Some(p) = e.ports() {
+        if !p.port_loads.is_empty() {
+            print!("port loads:");
+            for l in &p.port_loads {
+                print!(" {}={:.2}", l.ports, l.uops);
+            }
+            println!();
+        }
+    }
+    let contributors: Vec<_> = e.attributions.iter().filter(|a| !a.is_zero()).collect();
+    if !contributors.is_empty() {
+        println!("per-instruction attribution:");
+        for a in contributors {
+            let inst = ab.insts()[a.inst as usize].inst();
+            let mut line = format!("  #{:<2} {:<28}", a.inst, inst.to_string());
+            if a.critical_port_uops > 0.0 {
+                line.push_str(&format!(" ports={:.2}", a.critical_port_uops));
+            }
+            if a.chain_latency > 0.0 {
+                line.push_str(&format!(" chain={:.2}", a.chain_latency));
+            }
+            println!("{line}");
+        }
+    }
+}
+
 /// Single-block mode: the interpretable report (plus any extra
-/// predictors), or machine-readable rows with --json/--csv.
+/// predictors), or machine-readable rows with --format json/csv.
 fn run_single(o: &Options) -> Result<(), String> {
     let block = load_block(o)?;
     if block.is_empty() {
@@ -436,7 +528,11 @@ fn run_single(o: &Options) -> Result<(), String> {
     if o.format != Format::Human {
         let items: Vec<BatchItem> = uarchs
             .iter()
-            .map(|&u| BatchItem::block(block.clone(), u).with_mode(mode))
+            .map(|&u| {
+                BatchItem::block(block.clone(), u)
+                    .with_mode(mode)
+                    .with_detail(detail(o))
+            })
             .collect();
         let rows = engine
             .predict_batch(&items, &o.predictors)
@@ -444,10 +540,10 @@ fn run_single(o: &Options) -> Result<(), String> {
         let stdout = std::io::stdout();
         let mut out = std::io::BufWriter::new(stdout.lock());
         if o.format == Format::Csv {
-            writeln!(&mut out, "{CSV_HEADER}").map_err(|e| e.to_string())?;
+            writeln!(&mut out, "{}", csv_header(o.explain)).map_err(|e| e.to_string())?;
         }
         for r in &rows {
-            emit_row(&mut out, o.format, r).map_err(|e| e.to_string())?;
+            emit_row(&mut out, o.format, o.explain, r).map_err(|e| e.to_string())?;
         }
         if o.stats {
             let mut tally = StatsTally::default();
@@ -470,8 +566,12 @@ fn run_single(o: &Options) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     for &uarch in &uarchs {
         let ab = engine.annotate(&block, uarch);
-        let prediction = Facile::new().predict(&ab, mode);
-        println!("{}", Report::new(&ab, mode, &prediction));
+        let explanation = Facile::new().explain(&ab, mode);
+        print!("{}", Report::new(&ab, &explanation));
+        if o.explain {
+            print_explain_details(&ab, &explanation);
+        }
+        println!();
         for p in extra.iter().filter(|p| p.key() != "facile") {
             match p.predict(&facile_engine::PredictRequest::new(&ab, mode)) {
                 Ok(pred) => println!("{}: {:.2} cycles/iteration", p.name(), pred.throughput),

@@ -140,3 +140,108 @@ fn single_block_json_uses_the_same_row_format() {
 ";
     assert_eq!(stdout, expected);
 }
+
+#[test]
+fn format_flag_matches_deprecated_aliases() {
+    // `--format json`/`--format csv` must be byte-identical on stdout to
+    // the deprecated `--json`/`--csv` aliases (which stay supported).
+    for (new_flag, old_flag) in [
+        (&["--format", "json"][..], "--json"),
+        (&["--format", "csv"][..], "--csv"),
+    ] {
+        let (new_out, _, ok_new) = run_facile(
+            &[&["--batch", "--predictors", "facile"], new_flag].concat(),
+            BATCH_INPUT,
+        );
+        let (old_out, old_err, ok_old) = run_facile(
+            &["--batch", "--predictors", "facile", old_flag],
+            BATCH_INPUT,
+        );
+        assert!(ok_new && ok_old);
+        assert_eq!(new_out, old_out);
+        assert!(old_err.contains("deprecated"), "{old_err}");
+    }
+}
+
+#[test]
+fn explain_json_rows_carry_structured_explanations() {
+    let (stdout, stderr, ok) = run_facile(
+        &[
+            "--batch",
+            "--predictors",
+            "facile",
+            "--explain",
+            "--format",
+            "json",
+        ],
+        "4801c8480fafd0\n49ffcb75fb\n",
+    );
+    assert!(ok, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        assert!(line.contains("\"explanation\":{"), "{line}");
+        assert!(line.contains("\"bounds\":[{\"component\":"), "{line}");
+        assert!(line.contains("\"critical_chain\":[{\"inst\":"), "{line}");
+        assert!(line.contains("\"port_loads\":[{\"ports\":"), "{line}");
+        assert!(line.contains("\"front_end\":"), "{line}");
+    }
+    // The TPU row decodes through MITE, the short loop through the DSB.
+    assert!(lines[0].contains("\"front_end\":\"MITE\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"front_end\":\"DSB\""), "{}", lines[1]);
+
+    // Without --explain the rows carry no explanation object but still
+    // have the bottleneck column.
+    let (brief, _, ok) = run_facile(
+        &["--batch", "--predictors", "facile", "--format", "json"],
+        "4801c8480fafd0\n",
+    );
+    assert!(ok);
+    assert!(!brief.contains("explanation"));
+    assert!(brief.contains("\"bottleneck\":\"Precedence\""));
+}
+
+#[test]
+fn explain_csv_appends_an_explanation_column() {
+    let (stdout, stderr, ok) = run_facile(
+        &[
+            "--batch",
+            "--predictors",
+            "facile",
+            "--explain",
+            "--format",
+            "csv",
+        ],
+        "4801c8\nzznothex\n",
+    );
+    assert!(ok, "stderr: {stderr}");
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "block,uarch,mode,predictor,status,throughput,bottleneck,error,explanation"
+    );
+    let ok_row = lines.next().unwrap();
+    assert!(
+        ok_row.starts_with("4801c8,SKL,tpu,facile,ok,1.0000,Precedence,,"),
+        "{ok_row}"
+    );
+    assert!(ok_row.contains("critical_chain"), "{ok_row}");
+    // Error rows keep the column (empty).
+    let err_row = lines.next().unwrap();
+    assert!(err_row.ends_with(','), "{err_row}");
+}
+
+#[test]
+fn explain_text_batch_rows_get_indented_summaries() {
+    let (stdout, stderr, ok) = run_facile(
+        &["--batch", "--predictors", "facile", "--explain"],
+        "4801c8480fafd0\n",
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("    front end: MITE; bottleneck: Precedence"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("    bounds: "), "{stdout}");
+    assert!(stdout.contains("    chain: [rdx]@1+3.00/carry"), "{stdout}");
+}

@@ -8,6 +8,7 @@
 //! the benchmark is assigned to the same decoder a second time — at that
 //! point the decoder has reached its steady state.
 
+use facile_explain::{Component, ComponentAnalysis, DecEvidence, Evidence};
 use facile_isa::AnnotatedBlock;
 use facile_uarch::UarchConfig;
 use facile_util::SmallVec;
@@ -58,6 +59,23 @@ fn is_fusible_mnemonic(m: Mnemonic, cfg: &UarchConfig) -> bool {
 /// iteration.
 #[must_use]
 pub fn dec(ab: &AnnotatedBlock) -> f64 {
+    dec_impl(ab, None)
+}
+
+/// The decoder bound as a typed [`ComponentAnalysis`], with the
+/// steady-state decode-group breakdown as evidence.
+#[must_use]
+pub fn dec_analysis(ab: &AnnotatedBlock) -> ComponentAnalysis {
+    let mut ev = DecEvidence::default();
+    let bound = dec_impl(ab, Some(&mut ev));
+    ComponentAnalysis {
+        component: Component::Dec,
+        bound,
+        evidence: Evidence::Dec(ev),
+    }
+}
+
+fn dec_impl(ab: &AnnotatedBlock, mut evidence: Option<&mut DecEvidence>) -> f64 {
     let mut insts: SmallVec<DecInst, 32> = SmallVec::new();
     decoder_view(ab, &mut insts);
     if insts.is_empty() {
@@ -108,6 +126,14 @@ pub fn dec(ab: &AnnotatedBlock) -> f64 {
                 if f >= 0 {
                     let u = iteration - f;
                     let cycles: u32 = groups_in_iter[f as usize..iteration as usize].iter().sum();
+                    if let Some(ev) = evidence.as_deref_mut() {
+                        *ev = DecEvidence {
+                            decoders: cfg.n_decoders,
+                            steady_cycles: cycles,
+                            steady_iterations: u as u32,
+                            complex_insts: insts.iter().filter(|i| i.complex).count() as u32,
+                        };
+                    }
                     return f64::from(cycles) / u as f64;
                 }
                 first_on_dec[cur_dec] = iteration;

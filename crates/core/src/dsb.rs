@@ -1,6 +1,28 @@
 //! The decoded stream buffer (µop cache) throughput predictor (§4.5).
 
+use facile_explain::{Component, ComponentAnalysis, DsbEvidence, Evidence};
 use facile_isa::AnnotatedBlock;
+
+/// The kernel's view of the block: the evidence struct doubles as the
+/// single source of the bound's inputs, so the Full-detail evidence can
+/// never diverge from the computed bound.
+fn dsb_view(ab: &AnnotatedBlock) -> DsbEvidence {
+    DsbEvidence {
+        fused_uops: ab.total_fused_uops(),
+        dsb_width: ab.uarch().config().dsb_width,
+        rounded_up: ab.byte_len() < 32,
+    }
+}
+
+fn dsb_bound(v: DsbEvidence) -> f64 {
+    let n = f64::from(v.fused_uops);
+    let w = f64::from(v.dsb_width);
+    if v.rounded_up {
+        (n / w).ceil()
+    } else {
+        n / w
+    }
+}
 
 /// DSB delivery bound: `n / w` µops over the DSB width, rounded up to whole
 /// cycles for blocks shorter than 32 bytes (after a branch, the DSB cannot
@@ -9,12 +31,18 @@ use facile_isa::AnnotatedBlock;
 /// Returns predicted cycles per iteration.
 #[must_use]
 pub fn dsb(ab: &AnnotatedBlock) -> f64 {
-    let n = f64::from(ab.total_fused_uops());
-    let w = f64::from(ab.uarch().config().dsb_width);
-    if ab.byte_len() < 32 {
-        (n / w).ceil()
-    } else {
-        n / w
+    dsb_bound(dsb_view(ab))
+}
+
+/// The DSB bound as a typed [`ComponentAnalysis`], with the delivery
+/// breakdown as evidence.
+#[must_use]
+pub fn dsb_analysis(ab: &AnnotatedBlock) -> ComponentAnalysis {
+    let view = dsb_view(ab);
+    ComponentAnalysis {
+        component: Component::Dsb,
+        bound: dsb_bound(view),
+        evidence: Evidence::Dsb(view),
     }
 }
 

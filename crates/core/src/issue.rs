@@ -1,12 +1,38 @@
 //! The rename/issue stage throughput predictor (§4.7).
 
+use facile_explain::{Component, ComponentAnalysis, Evidence, IssueEvidence};
 use facile_isa::AnnotatedBlock;
+
+/// The kernel's view of the block: the evidence struct doubles as the
+/// single source of the bound's inputs.
+fn issue_view(ab: &AnnotatedBlock) -> IssueEvidence {
+    IssueEvidence {
+        issue_uops: ab.total_issue_uops(),
+        issue_width: ab.uarch().config().issue_width,
+    }
+}
+
+fn issue_bound(v: IssueEvidence) -> f64 {
+    f64::from(v.issue_uops) / f64::from(v.issue_width)
+}
 
 /// Issue bound: fused-domain µops after unlamination, divided by the issue
 /// width. Returns predicted cycles per iteration.
 #[must_use]
 pub fn issue(ab: &AnnotatedBlock) -> f64 {
-    f64::from(ab.total_issue_uops()) / f64::from(ab.uarch().config().issue_width)
+    issue_bound(issue_view(ab))
+}
+
+/// The issue bound as a typed [`ComponentAnalysis`], with the µop count
+/// and issue width as evidence.
+#[must_use]
+pub fn issue_analysis(ab: &AnnotatedBlock) -> ComponentAnalysis {
+    let view = issue_view(ab);
+    ComponentAnalysis {
+        component: Component::Issue,
+        bound: issue_bound(view),
+        evidence: Evidence::Issue(view),
+    }
 }
 
 #[cfg(test)]

@@ -19,10 +19,14 @@
 //!
 //! Two throughput notions are supported: [`Mode::Unrolled`] (TPU, Eq. 1)
 //! and [`Mode::Loop`] (TPL, Eq. 2–3 with JCC-erratum and LSD handling).
-//! Because the model is compositional, every prediction carries its
-//! per-component bounds, the bottleneck set, counterfactual speedups
-//! ([`Facile::speedup_if_idealized`]), and interpretable detail like the
-//! critical dependence chain ([`report::Report`]).
+//! Because the model is compositional, every prediction is directly
+//! explainable: [`Facile::predict`] returns the per-component bounds and
+//! the bottleneck set, [`Facile::explain`] returns the full typed
+//! [`Explanation`] (evidence per component, critical dependence chain,
+//! contended-port load map, per-instruction attributions — see the
+//! `facile-explain` crate), [`Facile::speedup_if_idealized`] computes
+//! counterfactual speedups, and [`report::Report`] renders an
+//! explanation as text.
 //!
 //! ```
 //! use facile_core::{Facile, Mode};
@@ -58,7 +62,10 @@ pub mod predict;
 pub mod report;
 
 pub use ablation::{variants as ablation_variants, Variant};
+pub use facile_explain::{
+    ChainStep, ComponentAnalysis, Detail, Evidence, Explanation, InstAttribution, ValueRef,
+};
 pub use ports::PortsAnalysis;
-pub use precedence::{ChainLink, PrecedenceAnalysis};
+pub use precedence::PrecedenceAnalysis;
 pub use predict::{Component, Facile, FacileConfig, FrontEndPath, Mode, Prediction};
 pub use report::Report;

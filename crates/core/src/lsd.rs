@@ -1,6 +1,28 @@
 //! The loop stream detector throughput predictor (§4.6).
 
+use facile_explain::{Component, ComponentAnalysis, Evidence, LsdEvidence};
 use facile_isa::AnnotatedBlock;
+
+/// The kernel's view of the loop: the evidence struct doubles as the
+/// single source of the bound's inputs, so the Full-detail evidence can
+/// never diverge from the computed bound.
+fn lsd_view(ab: &AnnotatedBlock) -> LsdEvidence {
+    let cfg = ab.uarch().config();
+    let n = ab.total_fused_uops();
+    LsdEvidence {
+        fused_uops: n,
+        unroll: if n == 0 { 0 } else { cfg.lsd_unroll(n) },
+        issue_width: cfg.issue_width,
+    }
+}
+
+fn lsd_bound(v: LsdEvidence) -> f64 {
+    if v.fused_uops == 0 {
+        return 0.0;
+    }
+    let i = u32::from(v.issue_width);
+    f64::from((v.fused_uops * v.unroll).div_ceil(i)) / f64::from(v.unroll)
+}
 
 /// LSD streaming bound: the LSD locks the loop's µops in the IDQ and
 /// streams them to the renamer, but the last µop of one iteration and the
@@ -12,14 +34,19 @@ use facile_isa::AnnotatedBlock;
 /// Returns predicted cycles per iteration.
 #[must_use]
 pub fn lsd(ab: &AnnotatedBlock) -> f64 {
-    let cfg = ab.uarch().config();
-    let n = ab.total_fused_uops();
-    if n == 0 {
-        return 0.0;
+    lsd_bound(lsd_view(ab))
+}
+
+/// The LSD bound as a typed [`ComponentAnalysis`], with the streaming
+/// breakdown (µops, in-IDQ unroll factor, issue width) as evidence.
+#[must_use]
+pub fn lsd_analysis(ab: &AnnotatedBlock) -> ComponentAnalysis {
+    let view = lsd_view(ab);
+    ComponentAnalysis {
+        component: Component::Lsd,
+        bound: lsd_bound(view),
+        evidence: Evidence::Lsd(view),
     }
-    let u = cfg.lsd_unroll(n);
-    let i = u32::from(cfg.issue_width);
-    f64::from((n * u).div_ceil(i)) / f64::from(u)
 }
 
 /// Whether the loop qualifies for the LSD on this microarchitecture: the

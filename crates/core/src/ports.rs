@@ -12,6 +12,7 @@
 //! that the heuristic matches the exact (LP-derived) bound on all BHive
 //! benchmarks; the property tests replicate that comparison.
 
+use facile_explain::{Component, ComponentAnalysis, Evidence, PortLoad, PortsEvidence};
 use facile_isa::AnnotatedBlock;
 use facile_uarch::PortMask;
 use facile_util::SmallVec;
@@ -82,12 +83,17 @@ fn best_bound(loads: &[(PortMask, f64)], candidates: &[PortMask]) -> PortsAnalys
     best
 }
 
-/// The paper's pairwise heuristic: consider only unions of the port
-/// combinations of pairs of µops (including each combination by itself).
-#[must_use]
-pub fn ports(ab: &AnnotatedBlock) -> PortsAnalysis {
-    let mut loads: SmallVec<(PortMask, f64), INLINE_MASKS> = SmallVec::new();
-    port_loads(ab, &mut loads);
+/// The shared pairwise-heuristic implementation: fill `loads` with the
+/// per-combination load map and return the best bound over unions of
+/// µop-pair port combinations. Both [`ports`] and [`ports_analysis`] are
+/// thin wrappers, so the brief bound and the Full-detail evidence can
+/// never diverge. (`loads` is an out-param rather than a return value:
+/// the inline SmallVec is large, and this runs on the warm batch path.)
+fn pairwise_best(
+    ab: &AnnotatedBlock,
+    loads: &mut SmallVec<(PortMask, f64), INLINE_MASKS>,
+) -> PortsAnalysis {
+    port_loads(ab, loads);
     let mut candidates: SmallVec<PortMask, INLINE_MASKS> = SmallVec::new();
     for (i, &(a, _)) in loads.iter().enumerate() {
         for &(b, _) in &loads[i..] {
@@ -97,7 +103,36 @@ pub fn ports(ab: &AnnotatedBlock) -> PortsAnalysis {
             }
         }
     }
-    best_bound(&loads, &candidates)
+    best_bound(loads, &candidates)
+}
+
+/// The paper's pairwise heuristic: consider only unions of the port
+/// combinations of pairs of µops (including each combination by itself).
+#[must_use]
+pub fn ports(ab: &AnnotatedBlock) -> PortsAnalysis {
+    let mut loads: SmallVec<(PortMask, f64), INLINE_MASKS> = SmallVec::new();
+    pairwise_best(ab, &mut loads)
+}
+
+/// The port-contention bound as a typed [`ComponentAnalysis`]: the
+/// pairwise-heuristic bound plus the full contended-port load map as
+/// evidence.
+#[must_use]
+pub fn ports_analysis(ab: &AnnotatedBlock) -> ComponentAnalysis {
+    let mut loads: SmallVec<(PortMask, f64), INLINE_MASKS> = SmallVec::new();
+    let best = pairwise_best(ab, &mut loads);
+    ComponentAnalysis {
+        component: Component::Ports,
+        bound: best.bound,
+        evidence: Evidence::Ports(PortsEvidence {
+            critical_ports: best.critical_ports,
+            load_on_critical: best.load_on_critical,
+            port_loads: loads
+                .iter()
+                .map(|&(ports, uops)| PortLoad { ports, uops })
+                .collect(),
+        }),
+    }
 }
 
 /// The exact bound: enumerate *all* subsets of the ports that appear in the

@@ -5,7 +5,11 @@
 //! cycle ratio (latency over spanned iterations) of that graph.
 
 use crate::mcr::{max_cycle_ratio_howard, Mcr, RatioGraph};
+use facile_explain::{
+    ChainStep, Component, ComponentAnalysis, Evidence, PrecedenceEvidence, ValueRef,
+};
 use facile_isa::AnnotatedBlock;
+use facile_util::FxHashMap;
 use facile_x86::{flags, Mem, Reg};
 use std::cell::RefCell;
 
@@ -13,22 +17,10 @@ use std::cell::RefCell;
 /// available for forwarding (on top of the consumer's load latency).
 const STORE_LATENCY: f64 = 1.0;
 
-/// A renamed value: the unit of dependence tracking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Value {
-    /// A full architectural register.
-    Reg(Reg),
-    /// One EFLAGS group (see [`facile_x86::flags`]).
-    Flag(u8),
-    /// A memory location, identified syntactically by its address
-    /// expression (full registers) and access-independent displacement.
-    Mem {
-        base: Option<Reg>,
-        index: Option<Reg>,
-        scale: u8,
-        disp: i32,
-    },
-}
+/// A renamed value: the unit of dependence tracking. This is the typed
+/// [`ValueRef`] of the explanation layer — the same representation flows
+/// from graph construction to the rendered chain.
+type Value = ValueRef;
 
 fn mem_value(m: Mem) -> Value {
     Value::Mem {
@@ -39,51 +31,15 @@ fn mem_value(m: Mem) -> Value {
     }
 }
 
-fn value_name(v: Value) -> String {
-    match v {
-        Value::Reg(r) => r.to_string(),
-        Value::Flag(g) => flags::group_name(g).to_string(),
-        Value::Mem {
-            base,
-            index,
-            scale,
-            disp,
-        } => {
-            let mut s = String::from("[");
-            if let Some(b) = base {
-                s.push_str(&b.to_string());
-            }
-            if let Some(i) = index {
-                s.push_str(&format!("+{i}*{scale}"));
-            }
-            if disp != 0 {
-                s.push_str(&format!("{disp:+#x}"));
-            }
-            s.push(']');
-            s
-        }
-    }
-}
-
-/// One link of the critical dependence chain, for interpretable output.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ChainLink {
-    /// Index of the instruction in the block.
-    pub inst: usize,
-    /// Human-readable name of the value at this link.
-    pub value: String,
-    /// Whether the link is a produced (vs consumed) value.
-    pub produced: bool,
-}
-
 /// Result of the precedence analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrecedenceAnalysis {
     /// Throughput bound in cycles per iteration (0 when no loop-carried
     /// dependence exists).
     pub bound: f64,
-    /// The critical dependence chain (one representative cycle).
-    pub critical_chain: Vec<ChainLink>,
+    /// The critical dependence chain (one representative cycle) as typed
+    /// hops with per-instruction latency contributions.
+    pub critical_chain: Vec<ChainStep>,
 }
 
 /// A half-open range into one of the scratch pools.
@@ -362,17 +318,7 @@ fn precedence_with(
         }
         Mcr::Ratio { value, cycle } => {
             let critical_chain = if want_chain {
-                cycle
-                    .into_iter()
-                    .map(|nid| {
-                        let nm = nodes[nid];
-                        ChainLink {
-                            inst: flows[nm.flow as usize].index as usize,
-                            value: value_name(nm.value),
-                            produced: nm.produced,
-                        }
-                    })
-                    .collect()
+                typed_chain(&cycle, nodes, flows, graph)
             } else {
                 Vec::new()
             };
@@ -384,18 +330,79 @@ fn precedence_with(
     }
 }
 
+/// Turn a critical cycle (alternating consumed/produced nodes) into typed
+/// chain hops: one [`ChainStep`] per produced node, carrying the latency
+/// of the intra-instruction edge leading into it and whether the
+/// dependence edge leaving it wraps to the next iteration.
+///
+/// Edge weights are looked up in the ratio graph itself — `(from, to)`
+/// uniquely identifies an edge type and weight by construction — so the
+/// reported latencies are exactly the ones the MCR solver maximized:
+/// `Σ latency / #loop-carried` over the chain equals the bound.
+fn typed_chain(
+    cycle: &[usize],
+    nodes: &[NodeMeta],
+    flows: &[FlowMeta],
+    graph: &RatioGraph,
+) -> Vec<ChainStep> {
+    let len = cycle.len();
+    // Resolve every consecutive cycle pair to its graph edge in one pass
+    // over the edge list (a policy cycle visits each node once, so the
+    // `(from, to)` pairs are distinct).
+    let wanted: FxHashMap<(usize, usize), usize> = (0..len)
+        .map(|k| ((cycle[k], cycle[(k + 1) % len]), k))
+        .collect();
+    let mut cycle_edges: Vec<Option<&crate::mcr::REdge>> = vec![None; len];
+    for e in graph.edges() {
+        if let Some(&k) = wanted.get(&(e.from, e.to)) {
+            cycle_edges[k].get_or_insert(e);
+        }
+    }
+    let edge = |k: usize| cycle_edges[k].expect("critical-cycle edge exists in the graph");
+    let mut chain = Vec::new();
+    for k in 0..len {
+        let nm = nodes[cycle[k]];
+        if !nm.produced {
+            continue;
+        }
+        let intra = edge((k + len - 1) % len);
+        let dep = edge(k);
+        chain.push(ChainStep {
+            inst: flows[nm.flow as usize].index,
+            value: nm.value,
+            latency: intra.weight,
+            loop_carried: dep.count > 0,
+        });
+    }
+    chain
+}
+
 /// The `Precedence` throughput bound with its critical chain.
 #[must_use]
 pub fn precedence(ab: &AnnotatedBlock) -> PrecedenceAnalysis {
     PREC_SCRATCH.with(|s| precedence_with(ab, &mut s.borrow_mut(), true))
 }
 
-/// The `Precedence` throughput bound alone, skipping the human-readable
-/// critical-chain rendering (which allocates a string per link). Always
-/// equal to `precedence(ab).bound`; the batch engine uses this variant.
+/// The `Precedence` throughput bound alone, skipping the critical-chain
+/// extraction (which allocates the chain vector). Always equal to
+/// `precedence(ab).bound`; the batch engine uses this variant.
 #[must_use]
 pub fn precedence_bound(ab: &AnnotatedBlock) -> f64 {
     PREC_SCRATCH.with(|s| precedence_with(ab, &mut s.borrow_mut(), false).bound)
+}
+
+/// The precedence bound as a typed [`ComponentAnalysis`], with the
+/// critical dependence chain as evidence.
+#[must_use]
+pub fn precedence_analysis(ab: &AnnotatedBlock) -> ComponentAnalysis {
+    let p = precedence(ab);
+    ComponentAnalysis {
+        component: Component::Precedence,
+        bound: p.bound,
+        evidence: Evidence::Precedence(PrecedenceEvidence {
+            critical_chain: p.critical_chain,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -549,6 +556,15 @@ mod tests {
             vec![Operand::Reg(Reg::Xmm(0)), Operand::Reg(Reg::Xmm(1))],
         )];
         let p = precedence(&annotate(&prog, Uarch::Skl));
-        assert!(p.critical_chain.iter().any(|l| l.value == "ymm0"));
+        assert!(p
+            .critical_chain
+            .iter()
+            .any(|l| l.value.to_string() == "ymm0"));
+        // The chain's latencies over its loop-carried hops reproduce the
+        // bound (the maximum cycle ratio).
+        let lat: f64 = p.critical_chain.iter().map(|l| l.latency).sum();
+        let carried = p.critical_chain.iter().filter(|l| l.loop_carried).count();
+        assert!(carried > 0);
+        assert!((lat / carried as f64 - p.bound).abs() < 1e-9);
     }
 }

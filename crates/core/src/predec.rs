@@ -7,6 +7,7 @@
 //! predecoding of the previous block.
 
 use crate::predict::Mode;
+use facile_explain::{Component, ComponentAnalysis, Evidence, PredecEvidence};
 use facile_isa::AnnotatedBlock;
 use std::cell::RefCell;
 
@@ -31,6 +32,24 @@ thread_local! {
 /// Returns predicted cycles per iteration.
 #[must_use]
 pub fn predec(ab: &AnnotatedBlock, mode: Mode) -> f64 {
+    predec_impl(ab, mode, None)
+}
+
+/// The predecoder bound as a typed [`ComponentAnalysis`], with the
+/// frontend path breakdown (unroll window, chunk count, boundary
+/// crossings, LCP penalty cycles) as evidence.
+#[must_use]
+pub fn predec_analysis(ab: &AnnotatedBlock, mode: Mode) -> ComponentAnalysis {
+    let mut ev = PredecEvidence::default();
+    let bound = predec_impl(ab, mode, Some(&mut ev));
+    ComponentAnalysis {
+        component: Component::Predec,
+        bound,
+        evidence: Evidence::Predec(ev),
+    }
+}
+
+fn predec_impl(ab: &AnnotatedBlock, mode: Mode, evidence: Option<&mut PredecEvidence>) -> f64 {
     let l = ab.byte_len();
     if l == 0 {
         return 0.0;
@@ -77,6 +96,8 @@ pub fn predec(ab: &AnnotatedBlock, mode: Mode) -> f64 {
         let cycle_nlcp = |b: usize| -> f64 { (f64::from(l_cnt[b] + o_cnt[b]) / width).ceil() };
 
         let mut total = 0.0;
+        let mut base = 0.0;
+        let mut penalty = 0.0;
         // Index arithmetic over a ring of blocks (b and its predecessor):
         // clearer with explicit indices than with enumerate().
         #[allow(clippy::needless_range_loop)]
@@ -88,6 +109,20 @@ pub fn predec(ab: &AnnotatedBlock, mode: Mode) -> f64 {
             // of the previous block's cycles.
             let lcp_pen = (3.0 * f64::from(lcp_cnt[b]) - (cycle_nlcp(prev) - 1.0)).max(0.0);
             total += nlcp + lcp_pen;
+            // Evidence-only split; `total` stays the authoritative sum so
+            // the bound is bit-identical with and without evidence.
+            base += nlcp;
+            penalty += lcp_pen;
+        }
+        if let Some(ev) = evidence {
+            *ev = PredecEvidence {
+                unroll_copies: u as u32,
+                chunks: n_blocks as u32,
+                lcp_insts: ab.insts().iter().filter(|a| a.inst().has_lcp).count() as u32,
+                boundary_crossings: o_cnt.iter().sum(),
+                base_cycles: base / u as f64,
+                lcp_penalty_cycles: penalty / u as f64,
+            };
         }
         total / u as f64
     })

@@ -1,101 +1,19 @@
 //! The top-level Facile predictor: combines the component bounds into TPU
-//! and TPL predictions (§4.1, §4.2) and identifies bottlenecks.
+//! and TPL predictions (§4.1, §4.2), identifies bottlenecks, and — through
+//! [`Facile::explain`] — produces the typed [`Explanation`] that carries
+//! the evidence behind every bound.
 
-use crate::dec::{dec, simple_dec};
-use crate::dsb::dsb;
-use crate::issue::issue;
-use crate::lsd::{lsd, lsd_applicable};
-use crate::ports::{ports, PortsAnalysis};
-use crate::precedence::{precedence, PrecedenceAnalysis};
-use crate::predec::{predec, simple_predec};
+use crate::dec::{dec, dec_analysis, simple_dec};
+use crate::dsb::{dsb, dsb_analysis};
+use crate::issue::{issue, issue_analysis};
+use crate::lsd::{lsd, lsd_analysis, lsd_applicable};
+use crate::ports::{ports, ports_analysis};
+use crate::precedence::{precedence_analysis, precedence_bound};
+use crate::predec::{predec, predec_analysis, simple_predec};
+use facile_explain::{ComponentAnalysis, Evidence, Explanation, InstAttribution};
 use facile_isa::AnnotatedBlock;
-use std::fmt;
 
-/// The throughput notion to predict (§3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Mode {
-    /// TPU: the block is unrolled; the front end fetches and decodes every
-    /// instance.
-    Unrolled,
-    /// TPL: the block ends in a branch and runs as a loop; in steady state
-    /// µops are streamed from the LSD or DSB unless the JCC erratum forces
-    /// the legacy decode path.
-    Loop,
-}
-
-impl fmt::Display for Mode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Mode::Unrolled => "TPU",
-            Mode::Loop => "TPL",
-        })
-    }
-}
-
-/// A pipeline component analyzed by Facile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Component {
-    /// The predecoder (§4.3).
-    Predec,
-    /// The decoders (§4.4).
-    Dec,
-    /// The µop cache (§4.5, loops only).
-    Dsb,
-    /// The loop stream detector (§4.6, loops only).
-    Lsd,
-    /// The rename/issue stage (§4.7).
-    Issue,
-    /// Execution-port contention (§4.8).
-    Ports,
-    /// Inter-iteration dependence chains (§4.9).
-    Precedence,
-}
-
-impl Component {
-    /// All components in the tie-breaking order used for bottleneck
-    /// attribution: front end before back end (as in the paper's Fig. 6).
-    pub const ALL: [Component; 7] = [
-        Component::Predec,
-        Component::Dec,
-        Component::Lsd,
-        Component::Dsb,
-        Component::Issue,
-        Component::Ports,
-        Component::Precedence,
-    ];
-
-    /// Display name.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Component::Predec => "Predec",
-            Component::Dec => "Dec",
-            Component::Dsb => "DSB",
-            Component::Lsd => "LSD",
-            Component::Issue => "Issue",
-            Component::Ports => "Ports",
-            Component::Precedence => "Precedence",
-        }
-    }
-}
-
-impl fmt::Display for Component {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Which front-end path serves the loop in steady state (Eq. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FrontEndPath {
-    /// Legacy decode pipeline (predecoder + decoders); used for unrolled
-    /// code and for loops hit by the JCC erratum.
-    Mite,
-    /// The loop stream detector.
-    Lsd,
-    /// The decoded stream buffer (µop cache).
-    Dsb,
-}
+pub use facile_explain::{Component, Detail, FrontEndPath, Mode};
 
 /// Configuration of the Facile model: which components are active and
 /// whether the simplified predecoder/decoder variants are used. The default
@@ -193,7 +111,9 @@ impl FacileConfig {
     }
 }
 
-/// A throughput prediction with its per-component bounds.
+/// A throughput prediction with its per-component bounds: the compact
+/// summary form of an [`Explanation`] (use [`Facile::explain`] when the
+/// evidence — port-load map, critical chain, attributions — is needed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
     /// Predicted throughput in cycles per iteration.
@@ -205,10 +125,6 @@ pub struct Prediction {
     pub bottlenecks: Vec<Component>,
     /// Which front-end path the prediction assumed.
     pub front_end: FrontEndPath,
-    /// Port-contention details (present if the ports component ran).
-    pub ports_analysis: Option<PortsAnalysis>,
-    /// Dependence-chain details (present if the precedence component ran).
-    pub precedence_analysis: Option<PrecedenceAnalysis>,
 }
 
 impl Prediction {
@@ -222,6 +138,21 @@ impl Prediction {
     #[must_use]
     pub fn primary_bottleneck(&self) -> Option<Component> {
         self.bottlenecks.first().copied()
+    }
+}
+
+impl From<Explanation> for Prediction {
+    fn from(e: Explanation) -> Prediction {
+        Prediction {
+            throughput: e.throughput,
+            bounds: e
+                .components
+                .iter()
+                .map(|a| (a.component, a.bound))
+                .collect(),
+            bottlenecks: e.bottlenecks,
+            front_end: e.front_end,
+        }
     }
 }
 
@@ -253,117 +184,119 @@ impl Facile {
     /// Predict the throughput of `ab` under the given notion.
     #[must_use]
     pub fn predict(&self, ab: &AnnotatedBlock, mode: Mode) -> Prediction {
-        self.predict_impl(ab, mode, true)
+        Prediction::from(self.analyze(ab, mode, Detail::Brief))
     }
 
-    /// Like [`Facile::predict`], but without the interpretability payloads:
-    /// the critical dependence chain (which allocates a rendered string per
-    /// link) is skipped and `precedence_analysis` is `None`. Throughput,
-    /// bounds, bottlenecks, and front-end path are bit-identical to
-    /// [`Facile::predict`] — the batch engine relies on that.
+    /// Alias of [`Facile::predict`], kept for the batch engine's hot path:
+    /// historically the brief variant skipped the interpretability
+    /// payloads, which now live exclusively in [`Facile::explain`].
     #[must_use]
     pub fn predict_brief(&self, ab: &AnnotatedBlock, mode: Mode) -> Prediction {
-        self.predict_impl(ab, mode, false)
+        self.predict(ab, mode)
     }
 
-    fn predict_impl(&self, ab: &AnnotatedBlock, mode: Mode, detail: bool) -> Prediction {
+    /// Fully explain the prediction: per-component bounds with typed
+    /// evidence (frontend breakdown, contended-port load map, critical
+    /// dependence chain) plus per-instruction attributions. Throughput,
+    /// bounds, bottleneck set, and front-end path are bit-identical to
+    /// [`Facile::predict`].
+    #[must_use]
+    pub fn explain(&self, ab: &AnnotatedBlock, mode: Mode) -> Explanation {
+        self.analyze(ab, mode, Detail::Full)
+    }
+
+    /// The single implementation behind [`Facile::predict`] and
+    /// [`Facile::explain`]: run every enabled component kernel at the
+    /// requested [`Detail`] and compose the analyses. [`Detail::Brief`]
+    /// and [`Detail::Bounds`] skip all evidence collection (this is the
+    /// batch engine's allocation-lean warm path); [`Detail::Full`]
+    /// additionally collects typed evidence and attributions.
+    #[must_use]
+    pub fn analyze(&self, ab: &AnnotatedBlock, mode: Mode, detail: Detail) -> Explanation {
         let c = &self.config;
-        let mut bounds: Vec<(Component, f64)> = Vec::with_capacity(7);
-        let mut ports_analysis = None;
-        let mut precedence_analysis = None;
+        let full = detail.wants_evidence();
+        let mut components: Vec<ComponentAnalysis> = Vec::with_capacity(7);
 
-        let predec_bound = c.use_predec.then(|| {
-            if c.simple_predec {
-                simple_predec(ab)
-            } else {
-                predec(ab, mode)
-            }
-        });
-        let dec_bound = c.use_dec.then(|| {
-            if c.simple_dec {
-                simple_dec(ab)
-            } else {
-                dec(ab)
-            }
-        });
-
-        // Front-end contribution.
-        let (front_end, fe_bounds): (FrontEndPath, Vec<(Component, f64)>) = match mode {
-            Mode::Unrolled => {
-                let mut v = Vec::new();
-                if let Some(b) = predec_bound {
-                    v.push((Component::Predec, b));
-                }
-                if let Some(b) = dec_bound {
-                    v.push((Component::Dec, b));
-                }
-                (FrontEndPath::Mite, v)
-            }
+        // Front-end path selection (Eq. 3) and contribution.
+        let front_end = match mode {
+            Mode::Unrolled => FrontEndPath::Mite,
             Mode::Loop => {
                 if ab.jcc_erratum_applies() {
-                    let mut v = Vec::new();
-                    if let Some(b) = predec_bound {
-                        v.push((Component::Predec, b));
-                    }
-                    if let Some(b) = dec_bound {
-                        v.push((Component::Dec, b));
-                    }
-                    (FrontEndPath::Mite, v)
+                    FrontEndPath::Mite
                 } else if c.use_lsd && lsd_applicable(ab) {
-                    (FrontEndPath::Lsd, vec![(Component::Lsd, lsd(ab))])
-                } else if c.use_dsb {
-                    (FrontEndPath::Dsb, vec![(Component::Dsb, dsb(ab))])
+                    FrontEndPath::Lsd
                 } else {
-                    (FrontEndPath::Dsb, Vec::new())
+                    FrontEndPath::Dsb
                 }
             }
         };
-        bounds.extend(fe_bounds);
-
-        if c.use_issue {
-            bounds.push((Component::Issue, issue(ab)));
-        }
-        if c.use_ports {
-            let pa = ports(ab);
-            bounds.push((Component::Ports, pa.bound));
-            ports_analysis = Some(pa);
-        }
-        if c.use_precedence {
-            if detail {
-                let pa = precedence(ab);
-                bounds.push((Component::Precedence, pa.bound));
-                precedence_analysis = Some(pa);
-            } else {
-                bounds.push((
-                    Component::Precedence,
-                    crate::precedence::precedence_bound(ab),
-                ));
+        match front_end {
+            FrontEndPath::Mite => {
+                if c.use_predec {
+                    components.push(if c.simple_predec {
+                        ComponentAnalysis::bare(Component::Predec, simple_predec(ab))
+                    } else if full {
+                        predec_analysis(ab, mode)
+                    } else {
+                        ComponentAnalysis::bare(Component::Predec, predec(ab, mode))
+                    });
+                }
+                if c.use_dec {
+                    components.push(if c.simple_dec {
+                        ComponentAnalysis::bare(Component::Dec, simple_dec(ab))
+                    } else if full {
+                        dec_analysis(ab)
+                    } else {
+                        ComponentAnalysis::bare(Component::Dec, dec(ab))
+                    });
+                }
+            }
+            FrontEndPath::Lsd => {
+                components.push(if full {
+                    lsd_analysis(ab)
+                } else {
+                    ComponentAnalysis::bare(Component::Lsd, lsd(ab))
+                });
+            }
+            FrontEndPath::Dsb => {
+                if c.use_dsb {
+                    components.push(if full {
+                        dsb_analysis(ab)
+                    } else {
+                        ComponentAnalysis::bare(Component::Dsb, dsb(ab))
+                    });
+                }
             }
         }
 
-        // Order bounds by the canonical component order.
-        bounds.sort_by_key(|(comp, _)| {
-            Component::ALL
-                .iter()
-                .position(|c| c == comp)
-                .expect("known component")
-        });
-
-        let throughput = bounds.iter().map(|(_, b)| *b).fold(0.0, f64::max);
-        let bottlenecks = bounds
-            .iter()
-            .filter(|(_, b)| throughput > 0.0 && (b - throughput).abs() < 1e-9)
-            .map(|(c, _)| *c)
-            .collect();
-
-        Prediction {
-            throughput,
-            bounds,
-            bottlenecks,
-            front_end,
-            ports_analysis,
-            precedence_analysis,
+        if c.use_issue {
+            components.push(if full {
+                issue_analysis(ab)
+            } else {
+                ComponentAnalysis::bare(Component::Issue, issue(ab))
+            });
         }
+        if c.use_ports {
+            components.push(if full {
+                ports_analysis(ab)
+            } else {
+                ComponentAnalysis::bare(Component::Ports, ports(ab).bound)
+            });
+        }
+        if c.use_precedence {
+            components.push(if full {
+                precedence_analysis(ab)
+            } else {
+                ComponentAnalysis::bare(Component::Precedence, precedence_bound(ab))
+            });
+        }
+
+        let attributions = if full {
+            attribute(ab, &components)
+        } else {
+            Vec::new()
+        };
+        Explanation::compose(mode, front_end, components, attributions)
     }
 
     /// Counterfactual speedup if `component` were made infinitely fast
@@ -386,6 +319,50 @@ impl Facile {
             full / ideal
         }
     }
+}
+
+/// Per-instruction attribution against the collected evidence: how many
+/// occupancy-weighted µops each instruction places on the critical port
+/// set, and how much latency it contributes along the critical dependence
+/// chain.
+fn attribute(ab: &AnnotatedBlock, components: &[ComponentAnalysis]) -> Vec<InstAttribution> {
+    let critical = components.iter().find_map(|a| match &a.evidence {
+        Evidence::Ports(p) if !p.critical_ports.is_empty() => Some(p.critical_ports),
+        _ => None,
+    });
+    let chain = components
+        .iter()
+        .find_map(|a| match &a.evidence {
+            Evidence::Precedence(p) => Some(p.critical_chain.as_slice()),
+            _ => None,
+        })
+        .unwrap_or(&[]);
+    ab.insts()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let mut uops = 0.0;
+            if let Some(cp) = critical {
+                if !a.desc().eliminated {
+                    for u in &a.desc().uops {
+                        if !u.ports.is_empty() && u.ports.is_subset_of(cp) {
+                            uops += f64::from(u.occupancy);
+                        }
+                    }
+                }
+            }
+            let lat = chain
+                .iter()
+                .filter(|s| s.inst as usize == i)
+                .map(|s| s.latency)
+                .sum();
+            InstAttribution {
+                inst: i as u32,
+                critical_port_uops: uops,
+                chain_latency: lat,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -499,5 +476,65 @@ mod tests {
         let ab = annotate(&prog, Uarch::Skl);
         let p = Facile::new().predict(&ab, Mode::Unrolled);
         assert_eq!(p.primary_bottleneck(), Some(Component::Precedence));
+    }
+
+    #[test]
+    fn explain_matches_predict_bit_for_bit() {
+        for (prog, mode) in [
+            (adds_loop(6), Mode::Unrolled),
+            (adds_loop(2), Mode::Loop),
+            (adds_loop(9), Mode::Loop),
+        ] {
+            for u in Uarch::ALL {
+                let ab = annotate(&prog, u);
+                let p = Facile::new().predict(&ab, mode);
+                let e = Facile::new().explain(&ab, mode);
+                assert_eq!(p.throughput.to_bits(), e.throughput.to_bits(), "{u}");
+                assert_eq!(p.bottlenecks, e.bottlenecks, "{u}");
+                assert_eq!(p.front_end, e.front_end, "{u}");
+                let eb: Vec<(Component, f64)> = e
+                    .components
+                    .iter()
+                    .map(|a| (a.component, a.bound))
+                    .collect();
+                assert_eq!(p.bounds, eb, "{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_carries_typed_evidence() {
+        let ab = annotate(&adds_loop(6), Uarch::Skl);
+        let e = Facile::new().explain(&ab, Mode::Unrolled);
+        assert!(matches!(
+            e.evidence(Component::Predec),
+            Some(Evidence::Predec(_))
+        ));
+        assert!(matches!(e.evidence(Component::Dec), Some(Evidence::Dec(_))));
+        assert!(matches!(
+            e.evidence(Component::Ports),
+            Some(Evidence::Ports(_))
+        ));
+        assert!(matches!(
+            e.evidence(Component::Precedence),
+            Some(Evidence::Precedence(_))
+        ));
+        // Attributions cover every instruction of the block.
+        assert_eq!(e.attributions.len(), ab.insts().len());
+        // The dependent adds contribute latency along the chain.
+        assert!(e.attributions.iter().any(|a| a.chain_latency > 0.0));
+    }
+
+    #[test]
+    fn brief_detail_collects_no_evidence() {
+        let ab = annotate(&adds_loop(4), Uarch::Skl);
+        for detail in [Detail::Brief, Detail::Bounds] {
+            let e = Facile::new().analyze(&ab, Mode::Unrolled, detail);
+            assert!(e
+                .components
+                .iter()
+                .all(|a| matches!(a.evidence, Evidence::None)));
+            assert!(e.attributions.is_empty());
+        }
     }
 }

@@ -1,73 +1,74 @@
 //! Human-readable interpretability reports.
 //!
 //! Facile's compositional structure makes its predictions directly
-//! explainable: the report lists every component bound, names the
-//! bottleneck(s), and — where applicable — shows the critical dependence
-//! chain or the contended ports.
+//! explainable. The structured form of an explanation is the typed
+//! [`Explanation`] from `facile-explain` (per-component bounds with
+//! evidence, critical chain, port loads, attributions); this module is a
+//! *thin renderer* over that data model which additionally disassembles
+//! the instructions on the critical chain. Its output is byte-identical
+//! to the legacy stringly-typed report (pinned by the golden test in
+//! `tests/golden_report.rs`).
 
-use crate::predict::{Mode, Prediction};
+use facile_explain::Explanation;
 use facile_isa::AnnotatedBlock;
 use std::fmt;
 
 /// A formatted explanation of one prediction.
+///
+/// Build it from [`Facile::explain`]'s output; the annotated block is
+/// needed to render the instructions on the critical dependence chain.
+///
+/// [`Facile::explain`]: crate::Facile::explain
 #[derive(Debug, Clone)]
 pub struct Report<'a> {
     ab: &'a AnnotatedBlock,
-    mode: Mode,
-    prediction: &'a Prediction,
+    explanation: &'a Explanation,
 }
 
 impl<'a> Report<'a> {
-    /// Build a report for a prediction of `ab`.
+    /// Build a report over a full explanation of `ab`.
     #[must_use]
-    pub fn new(ab: &'a AnnotatedBlock, mode: Mode, prediction: &'a Prediction) -> Report<'a> {
-        Report {
-            ab,
-            mode,
-            prediction,
-        }
+    pub fn new(ab: &'a AnnotatedBlock, explanation: &'a Explanation) -> Report<'a> {
+        Report { ab, explanation }
     }
 }
 
 impl fmt::Display for Report<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let p = self.prediction;
+        let e = self.explanation;
         writeln!(
             f,
             "{} on {}: {:.2} cycles/iteration",
-            self.mode,
+            e.mode,
             self.ab.uarch().config().arch.full_name(),
-            p.throughput
+            e.throughput
         )?;
         writeln!(f, "component bounds:")?;
-        for (c, b) in &p.bounds {
-            let marker = if p.bottlenecks.contains(c) {
+        for a in &e.components {
+            let marker = if e.bottlenecks.contains(&a.component) {
                 " <- bottleneck"
             } else {
                 ""
             };
-            writeln!(f, "  {:<11} {b:>7.2}{marker}", c.name())?;
+            writeln!(f, "  {:<11} {:>7.2}{marker}", a.component.name(), a.bound)?;
         }
-        if let Some(pa) = &p.ports_analysis {
-            if !pa.critical_ports.is_empty() {
+        if let Some(p) = e.ports() {
+            if !p.critical_ports.is_empty() {
                 writeln!(
                     f,
                     "port contention: {:.2} uops on {}",
-                    pa.load_on_critical, pa.critical_ports
+                    p.load_on_critical, p.critical_ports
                 )?;
             }
         }
-        if let Some(pr) = &p.precedence_analysis {
-            if !pr.critical_chain.is_empty() {
-                write!(f, "critical dependence chain:")?;
-                for link in &pr.critical_chain {
-                    if link.produced {
-                        let inst = self.ab.insts()[link.inst].inst();
-                        write!(f, " -> [{}] {}", link.value, inst)?;
-                    }
-                }
-                writeln!(f)?;
+        let chain = e.critical_chain();
+        if !chain.is_empty() {
+            write!(f, "critical dependence chain:")?;
+            for step in chain {
+                let inst = self.ab.insts()[step.inst as usize].inst();
+                write!(f, " -> [{}] {}", step.value, inst)?;
             }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -76,7 +77,7 @@ impl fmt::Display for Report<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predict::Facile;
+    use crate::predict::{Facile, Mode};
     use facile_uarch::Uarch;
     use facile_x86::reg::names::*;
     use facile_x86::{Block, Mnemonic, Operand};
@@ -85,8 +86,8 @@ mod tests {
     fn report_contains_bounds_and_bottleneck() {
         let prog = vec![(Mnemonic::Add, vec![Operand::Reg(RAX), Operand::Reg(RCX)])];
         let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Skl);
-        let p = Facile::new().predict(&ab, Mode::Unrolled);
-        let text = Report::new(&ab, Mode::Unrolled, &p).to_string();
+        let e = Facile::new().explain(&ab, Mode::Unrolled);
+        let text = Report::new(&ab, &e).to_string();
         assert!(text.contains("cycles/iteration"));
         assert!(text.contains("bottleneck"));
         assert!(text.contains("Precedence"));
@@ -102,8 +103,8 @@ mod tests {
             ],
         )];
         let ab = AnnotatedBlock::new(Block::assemble(&prog).unwrap(), Uarch::Skl);
-        let p = Facile::new().predict(&ab, Mode::Unrolled);
-        let text = Report::new(&ab, Mode::Unrolled, &p).to_string();
+        let e = Facile::new().explain(&ab, Mode::Unrolled);
+        let text = Report::new(&ab, &e).to_string();
         assert!(text.contains("critical dependence chain"), "{text}");
         assert!(text.contains("mulsd"), "{text}");
     }

@@ -1,0 +1,152 @@
+//! Property tests for the typed explanation subsystem, across random
+//! BHive-like blocks × all microarchitectures:
+//!
+//! * `explanation.throughput` is exactly (`bit for bit`) the maximum of
+//!   the component bounds;
+//! * the bottleneck set equals the argmax set, ordered by the paper's
+//!   front-end-first tie break (so `primary_bottleneck` is the dominant
+//!   one);
+//! * Brief and Full detail levels agree bit-identically on throughput,
+//!   bounds, and bottlenecks (the batch engine's allocation-lean path
+//!   may not change a single bit);
+//! * the typed critical chain reproduces the precedence bound:
+//!   `Σ latency / #loop-carried hops` is the maximum cycle ratio, and
+//!   every hop references a real instruction of the block.
+
+use facile_core::{Component, Detail, Evidence, Facile, Mode};
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use proptest::prelude::*;
+
+fn any_block() -> impl Strategy<Value = facile_bhive::Bench> {
+    (0u64..500, 0usize..8).prop_map(|(seed, idx)| {
+        facile_bhive::generate_suite(idx + 1, 3000 + seed)
+            .pop()
+            .expect("suite is non-empty")
+    })
+}
+
+fn any_uarch() -> impl Strategy<Value = Uarch> {
+    (0usize..Uarch::ALL.len()).prop_map(|i| Uarch::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn explanation_invariants(bench in any_block(), uarch in any_uarch()) {
+        let model = Facile::new();
+        for (block, mode) in [
+            (&bench.unrolled, Mode::Unrolled),
+            (&bench.looped, Mode::Loop),
+        ] {
+            if block.is_empty() {
+                continue;
+            }
+            let ab = AnnotatedBlock::new(block.clone(), uarch);
+            let e = model.explain(&ab, mode);
+
+            // Throughput is the exact max of the component bounds.
+            let max = e.components.iter().map(|a| a.bound).fold(0.0, f64::max);
+            prop_assert_eq!(e.throughput.to_bits(), max.to_bits());
+
+            // Components arrive in tie-break order and the bottleneck set
+            // is exactly the argmax set in that order.
+            let ranks: Vec<usize> =
+                e.components.iter().map(|a| a.component.rank()).collect();
+            prop_assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+            let argmax: Vec<Component> = e
+                .components
+                .iter()
+                .filter(|a| e.throughput > 0.0 && (a.bound - e.throughput).abs() < 1e-9)
+                .map(|a| a.component)
+                .collect();
+            prop_assert_eq!(&e.bottlenecks, &argmax);
+            prop_assert_eq!(e.primary_bottleneck(), argmax.first().copied());
+
+            // Brief vs Full agree bit-identically.
+            for detail in [Detail::Brief, Detail::Bounds] {
+                let brief = model.analyze(&ab, mode, detail);
+                prop_assert_eq!(brief.throughput.to_bits(), e.throughput.to_bits());
+                prop_assert_eq!(&brief.bottlenecks, &e.bottlenecks);
+                prop_assert_eq!(brief.front_end, e.front_end);
+                let bb: Vec<_> = brief.components.iter().map(|a| (a.component, a.bound.to_bits())).collect();
+                let fb: Vec<_> = e.components.iter().map(|a| (a.component, a.bound.to_bits())).collect();
+                prop_assert_eq!(bb, fb);
+            }
+
+            // The summary Prediction is the same composition.
+            let p = model.predict(&ab, mode);
+            prop_assert_eq!(p.throughput.to_bits(), e.throughput.to_bits());
+            prop_assert_eq!(&p.bottlenecks, &e.bottlenecks);
+
+            // The typed chain reproduces the precedence bound.
+            if let Some(Evidence::Precedence(pe)) = e.evidence(Component::Precedence) {
+                let chain = &pe.critical_chain;
+                let bound = e.bound(Component::Precedence).expect("bound present");
+                if chain.is_empty() {
+                    prop_assert!(bound == 0.0 || !bound.is_finite());
+                } else {
+                    let lat: f64 = chain.iter().map(|s| s.latency).sum();
+                    let carried = chain.iter().filter(|s| s.loop_carried).count();
+                    prop_assert!(carried > 0, "a critical cycle must wrap");
+                    prop_assert!(
+                        (lat / carried as f64 - bound).abs() < 1e-6,
+                        "chain ratio {} != bound {}",
+                        lat / carried as f64,
+                        bound
+                    );
+                    for s in chain {
+                        prop_assert!((s.inst as usize) < ab.insts().len());
+                        prop_assert!(s.latency >= 0.0);
+                    }
+                }
+            }
+
+            // Evidence must describe the bound that was actually computed:
+            // re-derive the formula kernels' bounds from their evidence
+            // fields and require bit-identity (predec is additive across
+            // a division split, so it gets an epsilon).
+            for a in &e.components {
+                use facile_core::Evidence as Ev;
+                let bound = a.bound;
+                match &a.evidence {
+                    Ev::Dsb(d) => {
+                        let n = f64::from(d.fused_uops);
+                        let w = f64::from(d.dsb_width);
+                        let exp = if d.rounded_up { (n / w).ceil() } else { n / w };
+                        prop_assert_eq!(bound.to_bits(), exp.to_bits());
+                    }
+                    Ev::Lsd(l) if l.fused_uops > 0 => {
+                        let exp = f64::from((l.fused_uops * l.unroll).div_ceil(u32::from(l.issue_width)))
+                            / f64::from(l.unroll);
+                        prop_assert_eq!(bound.to_bits(), exp.to_bits());
+                    }
+                    Ev::Issue(i) => {
+                        let exp = f64::from(i.issue_uops) / f64::from(i.issue_width);
+                        prop_assert_eq!(bound.to_bits(), exp.to_bits());
+                    }
+                    Ev::Dec(d) if d.steady_iterations > 0 => {
+                        let exp = f64::from(d.steady_cycles) / f64::from(d.steady_iterations);
+                        prop_assert_eq!(bound.to_bits(), exp.to_bits());
+                    }
+                    Ev::Predec(p) => {
+                        prop_assert!((p.base_cycles + p.lcp_penalty_cycles - bound).abs() < 1e-9);
+                    }
+                    Ev::Ports(p) if !p.critical_ports.is_empty() => {
+                        // The critical set's load over its width is the bound.
+                        let exp = p.load_on_critical / f64::from(p.critical_ports.count());
+                        prop_assert!((exp - bound).abs() < 1e-9);
+                    }
+                    _ => {}
+                }
+            }
+
+            // Attributions cover the whole block and chain latency adds up.
+            prop_assert_eq!(e.attributions.len(), ab.insts().len());
+            let attr_chain: f64 = e.attributions.iter().map(|a| a.chain_latency).sum();
+            let chain_total: f64 = e.critical_chain().iter().map(|s| s.latency).sum();
+            prop_assert!((attr_chain - chain_total).abs() < 1e-9);
+        }
+    }
+}

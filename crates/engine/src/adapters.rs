@@ -34,13 +34,17 @@ impl Predictor for FacileAdapter {
     }
 
     fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, PredictError> {
-        // The brief path skips the rendered critical-chain payload but is
-        // bit-identical in throughput and bottleneck attribution.
-        let p = self.model.predict_brief(req.annotated(), req.mode());
-        check_throughput("facile", req.mode(), p.throughput)?;
+        // One analysis at the requested detail: Brief collects no
+        // evidence (the allocation-lean batch path, bit-identical in
+        // throughput and bottleneck attribution to the richer levels);
+        // Bounds/Full additionally return the typed explanation.
+        let detail = req.detail();
+        let e = self.model.analyze(req.annotated(), req.mode(), detail);
+        check_throughput("facile", req.mode(), e.throughput)?;
         Ok(Prediction {
-            throughput: p.throughput,
-            bottleneck: p.primary_bottleneck().map(|c| c.name().to_string()),
+            throughput: e.throughput,
+            bottleneck: e.primary_bottleneck(),
+            explanation: (detail != facile_explain::Detail::Brief).then(|| Box::new(e)),
         })
     }
 }

@@ -5,6 +5,7 @@ use crate::error::PredictError;
 use crate::predictor::{PredictRequest, Prediction, Predictor};
 use crate::registry::PredictorRegistry;
 use facile_core::Mode;
+use facile_explain::Detail;
 use facile_isa::{AnnotatedBlock, InternStats};
 use facile_uarch::Uarch;
 use facile_x86::Block;
@@ -71,6 +72,9 @@ pub struct BatchItem {
     pub uarch: Uarch,
     /// Fixed notion, or `None` for auto-detection.
     pub mode: Option<Mode>,
+    /// Explanation detail to request (default [`Detail::Brief`], which
+    /// keeps the warm batch path allocation-free).
+    pub detail: Detail,
 }
 
 impl BatchItem {
@@ -81,6 +85,7 @@ impl BatchItem {
             input: BlockInput::Hex(hex.into()),
             uarch,
             mode: None,
+            detail: Detail::Brief,
         }
     }
 
@@ -91,6 +96,7 @@ impl BatchItem {
             input: BlockInput::Block(block),
             uarch,
             mode: None,
+            detail: Detail::Brief,
         }
     }
 
@@ -98,6 +104,13 @@ impl BatchItem {
     #[must_use]
     pub fn with_mode(mut self, mode: Mode) -> BatchItem {
         self.mode = Some(mode);
+        self
+    }
+
+    /// Request an explanation detail level for this item's rows.
+    #[must_use]
+    pub fn with_detail(mut self, detail: Detail) -> BatchItem {
+        self.detail = detail;
         self
     }
 }
@@ -211,7 +224,13 @@ impl Engine {
         self.cache.annotate(block, uarch)
     }
 
-    /// Predict one block with one predictor (by key).
+    /// Predict one block with one predictor (by key), at
+    /// [`Detail::Brief`]: the returned prediction carries the throughput
+    /// and bottleneck but no `explanation` payload. To get a typed
+    /// explanation, build a [`BatchItem`] with
+    /// [`BatchItem::with_detail`] and run it through
+    /// [`Engine::predict_batch`] (or call `facile_core::Facile::explain`
+    /// directly on [`Engine::annotate`]'s output).
     ///
     /// This routes through the same prepare/dispatch pipeline as
     /// [`Engine::predict_batch`], so single-block calls hit (and warm)
@@ -316,7 +335,7 @@ impl Engine {
             let prediction = match &prep.annotated {
                 Ok(ab) => {
                     let mode = prep.mode.expect("annotated items have a resolved mode");
-                    p.predict(&PredictRequest::new(ab, mode))
+                    p.predict(&PredictRequest::new(ab, mode).with_detail(items[i].detail))
                 }
                 Err(e) => Err(e.clone()),
             };

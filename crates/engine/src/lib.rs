@@ -42,5 +42,6 @@ pub use engine::{
     host_threads, parallel_map_indexed, BatchItem, BlockInput, Engine, EngineStats, ItemResult,
 };
 pub use error::PredictError;
+pub use facile_explain::{Detail, Explanation};
 pub use predictor::{PredictRequest, Prediction, Predictor};
 pub use registry::{glob_match, PredictorRegistry};

@@ -2,24 +2,39 @@
 
 use crate::error::PredictError;
 use facile_core::Mode;
+use facile_explain::{Component, Detail, Explanation};
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
 use facile_x86::Block;
 
 /// Everything a predictor needs for one prediction: the annotated block
 /// (built once per `(block bytes, uarch)` by the engine's cache and shared
-/// across predictors) and the throughput notion to evaluate.
+/// across predictors), the throughput notion to evaluate, and the
+/// explanation [`Detail`] the caller wants back.
 #[derive(Debug, Clone, Copy)]
 pub struct PredictRequest<'a> {
     annotated: &'a AnnotatedBlock,
     mode: Mode,
+    detail: Detail,
 }
 
 impl<'a> PredictRequest<'a> {
-    /// Build a request from a pre-annotated block.
+    /// Build a request from a pre-annotated block, at [`Detail::Brief`]
+    /// (the allocation-lean batch default).
     #[must_use]
     pub fn new(annotated: &'a AnnotatedBlock, mode: Mode) -> PredictRequest<'a> {
-        PredictRequest { annotated, mode }
+        PredictRequest {
+            annotated,
+            mode,
+            detail: Detail::Brief,
+        }
+    }
+
+    /// Request a different explanation detail level.
+    #[must_use]
+    pub fn with_detail(mut self, detail: Detail) -> PredictRequest<'a> {
+        self.detail = detail;
+        self
     }
 
     /// The annotated block.
@@ -45,6 +60,12 @@ impl<'a> PredictRequest<'a> {
     pub fn mode(&self) -> Mode {
         self.mode
     }
+
+    /// The requested explanation detail.
+    #[must_use]
+    pub fn detail(&self) -> Detail {
+        self.detail
+    }
 }
 
 /// The result of one successful prediction.
@@ -53,8 +74,14 @@ pub struct Prediction {
     /// Predicted steady-state throughput in cycles per iteration.
     pub throughput: f64,
     /// The primary bottleneck, if the predictor is interpretable enough
-    /// to report one (Facile reports its bottleneck component).
-    pub bottleneck: Option<String>,
+    /// to report one (Facile reports its bottleneck component; this is
+    /// carried even at [`Detail::Brief`], so batch rows always have
+    /// attribution).
+    pub bottleneck: Option<Component>,
+    /// The typed explanation, if the request asked for more than
+    /// [`Detail::Brief`] and the predictor can produce one (boxed: brief
+    /// rows stay small and the warm path allocation-free).
+    pub explanation: Option<Box<Explanation>>,
 }
 
 impl Prediction {
@@ -64,6 +91,7 @@ impl Prediction {
         Prediction {
             throughput,
             bottleneck: None,
+            explanation: None,
         }
     }
 }
@@ -91,5 +119,7 @@ pub trait Predictor: Send + Sync {
 
     /// Predict the throughput of the requested block, or explain why it
     /// cannot be predicted. Must not panic on any decodable input.
+    /// Predictors that cannot explain themselves ignore
+    /// [`PredictRequest::detail`] and leave `explanation` empty.
     fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, PredictError>;
 }

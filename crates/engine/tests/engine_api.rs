@@ -260,3 +260,56 @@ fn lazy_learned_trains_on_first_use() {
         assert!(p.throughput > 0.0);
     }
 }
+
+#[test]
+fn detail_levels_thread_explanations_through_the_batch() {
+    use facile_engine::Detail;
+    let engine = Engine::new(analytic_registry()).with_threads(1);
+    let hex = "4801c8480fafd0"; // add rax,rcx ; imul rdx,rax
+    let mk = |detail: Detail| BatchItem::hex(hex, Uarch::Skl).with_detail(detail);
+
+    let rows = engine
+        .predict_batch(
+            &[mk(Detail::Brief), mk(Detail::Bounds), mk(Detail::Full)],
+            "facile",
+        )
+        .unwrap();
+    let preds: Vec<_> = rows
+        .iter()
+        .map(|r| r.prediction.as_ref().expect("decodes"))
+        .collect();
+
+    // Brief: bottleneck but no explanation payload.
+    assert!(preds[0].bottleneck.is_some());
+    assert!(preds[0].explanation.is_none());
+
+    // Bounds: explanation with per-component bounds, but no evidence.
+    let bounds = preds[1].explanation.as_ref().expect("bounds level");
+    assert!(!bounds.components.is_empty());
+    assert!(bounds.critical_chain().is_empty());
+    assert!(bounds.ports().is_none());
+
+    // Full: evidence and attributions present.
+    let full = preds[2].explanation.as_ref().expect("full level");
+    assert!(!full.critical_chain().is_empty());
+    assert!(full.ports().is_some());
+    assert!(!full.attributions.is_empty());
+
+    // All three detail levels agree bit-identically on the numbers.
+    for p in &preds {
+        assert_eq!(p.throughput.to_bits(), preds[0].throughput.to_bits());
+        assert_eq!(p.bottleneck, preds[0].bottleneck);
+    }
+    assert_eq!(bounds.throughput.to_bits(), full.throughput.to_bits());
+    assert_eq!(bounds.bottlenecks, full.bottlenecks);
+
+    // Non-explaining predictors ignore the detail request.
+    let sim = engine
+        .predict_batch(&[mk(Detail::Full)], "sim")
+        .unwrap()
+        .pop()
+        .unwrap()
+        .prediction
+        .unwrap();
+    assert!(sim.explanation.is_none());
+}

@@ -87,12 +87,15 @@ proptest! {
                 }
             }
 
-            // The brief Facile path must also match the full (chain-
-            // rendering) predict bit for bit.
-            let full = facile_core::Facile::new().predict(&naive, mode);
+            // The brief (evidence-free) Facile path must also match the
+            // full explanation bit for bit: same throughput, same bounds,
+            // same bottleneck set under the tie break.
+            let full = facile_core::Facile::new().explain(&naive, mode);
             let brief = facile_core::Facile::new().predict_brief(&naive, mode);
             prop_assert_eq!(full.throughput.to_bits(), brief.throughput.to_bits());
-            prop_assert_eq!(&full.bounds, &brief.bounds);
+            let full_bounds: Vec<_> =
+                full.components.iter().map(|a| (a.component, a.bound)).collect();
+            prop_assert_eq!(&full_bounds, &brief.bounds);
             prop_assert_eq!(&full.bottlenecks, &brief.bottlenecks);
         }
     }

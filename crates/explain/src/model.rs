@@ -1,0 +1,175 @@
+//! The model vocabulary: throughput notions, pipeline components, front-end
+//! paths, and explanation detail levels.
+//!
+//! These types used to live in `facile-core::predict`; they moved here so
+//! that the explanation data model can be shared by layers that do not
+//! depend on the core model (metrics, renderers). `facile-core` re-exports
+//! them, so `facile_core::Mode` etc. keep working.
+
+use std::fmt;
+
+/// The throughput notion to predict (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// TPU: the block is unrolled; the front end fetches and decodes every
+    /// instance.
+    Unrolled,
+    /// TPL: the block ends in a branch and runs as a loop; in steady state
+    /// µops are streamed from the LSD or DSB unless the JCC erratum forces
+    /// the legacy decode path.
+    Loop,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Unrolled => "TPU",
+            Mode::Loop => "TPL",
+        })
+    }
+}
+
+/// A pipeline component analyzed by Facile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The predecoder (§4.3).
+    Predec,
+    /// The decoders (§4.4).
+    Dec,
+    /// The µop cache (§4.5, loops only).
+    Dsb,
+    /// The loop stream detector (§4.6, loops only).
+    Lsd,
+    /// The rename/issue stage (§4.7).
+    Issue,
+    /// Execution-port contention (§4.8).
+    Ports,
+    /// Inter-iteration dependence chains (§4.9).
+    Precedence,
+}
+
+impl Component {
+    /// All components in the tie-breaking order used for bottleneck
+    /// attribution: front end before back end (as in the paper's Fig. 6).
+    pub const ALL: [Component; 7] = [
+        Component::Predec,
+        Component::Dec,
+        Component::Lsd,
+        Component::Dsb,
+        Component::Issue,
+        Component::Ports,
+        Component::Precedence,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Predec => "Predec",
+            Component::Dec => "Dec",
+            Component::Dsb => "DSB",
+            Component::Lsd => "LSD",
+            Component::Issue => "Issue",
+            Component::Ports => "Ports",
+            Component::Precedence => "Precedence",
+        }
+    }
+
+    /// Position in the tie-breaking order ([`Component::ALL`]).
+    #[must_use]
+    pub fn rank(self) -> usize {
+        Component::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("every component is in ALL")
+    }
+
+    /// Parse a display name back into a component (the inverse of
+    /// [`Component::name`]); used by consumers of machine-readable rows.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Component> {
+        Component::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which front-end path serves the loop in steady state (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEndPath {
+    /// Legacy decode pipeline (predecoder + decoders); used for unrolled
+    /// code and for loops hit by the JCC erratum.
+    Mite,
+    /// The loop stream detector.
+    Lsd,
+    /// The decoded stream buffer (µop cache).
+    Dsb,
+}
+
+impl FrontEndPath {
+    /// Display name (`MITE`, `LSD`, `DSB`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FrontEndPath::Mite => "MITE",
+            FrontEndPath::Lsd => "LSD",
+            FrontEndPath::Dsb => "DSB",
+        }
+    }
+}
+
+impl fmt::Display for FrontEndPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How much explanation a prediction should carry.
+///
+/// The batch engine's warm path stays allocation-free (and bit-identical
+/// to the seed behaviour) at [`Detail::Brief`]; the richer levels trade
+/// some per-prediction allocation for machine-consumable evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Detail {
+    /// Throughput + bottleneck attribution only (the batch default).
+    #[default]
+    Brief,
+    /// Additionally carry the per-component bounds.
+    Bounds,
+    /// Everything: bounds, typed evidence (port-load map, critical
+    /// dependence chain), and per-instruction attributions.
+    Full,
+}
+
+impl Detail {
+    /// Whether this level collects typed evidence and attributions.
+    #[must_use]
+    pub fn wants_evidence(self) -> bool {
+        matches!(self, Detail::Full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_roundtrip() {
+        for c in Component::ALL {
+            assert_eq!(Component::from_name(c.name()), Some(c));
+            assert_eq!(Component::ALL[c.rank()], c);
+        }
+        assert_eq!(Component::from_name("nope"), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::Unrolled.to_string(), "TPU");
+        assert_eq!(FrontEndPath::Mite.to_string(), "MITE");
+        assert_eq!(Component::Dsb.to_string(), "DSB");
+    }
+}

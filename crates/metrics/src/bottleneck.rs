@@ -1,0 +1,142 @@
+//! Corpus-level bottleneck statistics.
+//!
+//! Facile's typed explanations make per-block bottleneck attribution a
+//! machine-consumable field, so a corpus of predictions can be reduced to
+//! a *bottleneck distribution*: which pipeline component binds how often
+//! on a given microarchitecture. This is the aggregation the paper's
+//! Fig. 6 (bottleneck evolution) is built from, and the `bench`
+//! `bottlenecks` binary reports it per µarch over the BHive-style corpus.
+
+use facile_explain::Component;
+
+/// Counts of primary bottlenecks over a corpus of predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BottleneckDistribution {
+    counts: [u64; Component::ALL.len()],
+    /// Successful predictions with no bottleneck (all bounds zero).
+    unbounded: u64,
+    /// Failed predictions (decode errors, untrained models, ...).
+    errors: u64,
+}
+
+impl BottleneckDistribution {
+    /// An empty distribution.
+    #[must_use]
+    pub fn new() -> BottleneckDistribution {
+        BottleneckDistribution::default()
+    }
+
+    /// Record one successful prediction's primary bottleneck (`None` when
+    /// the prediction had no non-zero bound).
+    pub fn record(&mut self, bottleneck: Option<Component>) {
+        match bottleneck {
+            Some(c) => self.counts[c.rank()] += 1,
+            None => self.unbounded += 1,
+        }
+    }
+
+    /// Record one failed prediction.
+    pub fn record_error(&mut self) {
+        self.errors += 1;
+    }
+
+    /// Predictions recorded with `component` as the primary bottleneck.
+    #[must_use]
+    pub fn count(&self, component: Component) -> u64 {
+        self.counts[component.rank()]
+    }
+
+    /// Successful predictions with no bottleneck.
+    #[must_use]
+    pub fn unbounded(&self) -> u64 {
+        self.unbounded
+    }
+
+    /// Failed predictions.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Total successful predictions recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.unbounded
+    }
+
+    /// Share of successful predictions bottlenecked on `component`, in
+    /// `[0, 1]` (0 when nothing was recorded).
+    #[must_use]
+    pub fn share(&self, component: Component) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(component) as f64 / total as f64
+        }
+    }
+
+    /// The most frequent bottleneck, ties broken by the paper's
+    /// front-end-first component order.
+    #[must_use]
+    pub fn dominant(&self) -> Option<Component> {
+        Component::ALL
+            .into_iter()
+            .filter(|c| self.count(*c) > 0)
+            .max_by_key(|c| (self.count(*c), std::cmp::Reverse(c.rank())))
+    }
+
+    /// Merge another distribution into this one (e.g. per-shard tallies).
+    pub fn merge(&mut self, other: &BottleneckDistribution) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+        self.unbounded += other.unbounded;
+        self.errors += other.errors;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_count_share() {
+        let mut d = BottleneckDistribution::new();
+        d.record(Some(Component::Ports));
+        d.record(Some(Component::Ports));
+        d.record(Some(Component::Precedence));
+        d.record(None);
+        d.record_error();
+        assert_eq!(d.count(Component::Ports), 2);
+        assert_eq!(d.count(Component::Predec), 0);
+        assert_eq!(d.unbounded(), 1);
+        assert_eq!(d.errors(), 1);
+        assert_eq!(d.total(), 4);
+        assert!((d.share(Component::Ports) - 0.5).abs() < 1e-12);
+        assert_eq!(d.dominant(), Some(Component::Ports));
+    }
+
+    #[test]
+    fn dominant_tie_breaks_toward_front_end() {
+        let mut d = BottleneckDistribution::new();
+        d.record(Some(Component::Precedence));
+        d.record(Some(Component::Predec));
+        assert_eq!(d.dominant(), Some(Component::Predec));
+        assert_eq!(BottleneckDistribution::new().dominant(), None);
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = BottleneckDistribution::new();
+        a.record(Some(Component::Dec));
+        let mut b = BottleneckDistribution::new();
+        b.record(Some(Component::Dec));
+        b.record(None);
+        b.record_error();
+        a.merge(&b);
+        assert_eq!(a.count(Component::Dec), 2);
+        assert_eq!(a.unbounded(), 1);
+        assert_eq!(a.errors(), 1);
+    }
+}

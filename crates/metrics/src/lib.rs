@@ -3,8 +3,9 @@
 //! Evaluation metrics and reporting utilities for the experiment harness:
 //! MAPE and tie-aware Kendall tau-b (the two accuracy metrics of the
 //! paper's §6.2), wall-clock timing statistics for the efficiency studies,
-//! and plain-text table/heatmap writers for regenerating the paper's
-//! tables and figures.
+//! corpus-level [`BottleneckDistribution`]s over Facile's typed bottleneck
+//! attributions, and plain-text table/heatmap writers for regenerating
+//! the paper's tables and figures.
 //!
 //! ```
 //! use facile_metrics::{mape, kendall_tau_b};
@@ -18,9 +19,11 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod bottleneck;
 pub mod table;
 pub mod timing;
 
 pub use accuracy::{geomean, kendall_tau_b, kendall_tau_b_naive, mape, mean};
+pub use bottleneck::BottleneckDistribution;
 pub use table::{Heatmap, Table};
 pub use timing::{time_each, TimingStats};

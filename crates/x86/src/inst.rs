@@ -66,7 +66,7 @@ enum DstKind {
 
 impl Inst {
     /// Create an instruction value without encoding metadata. Prefer
-    /// [`crate::encode::assemble`]; this is mainly useful in tests.
+    /// [`Block::assemble`](crate::Block::assemble); this is mainly useful in tests.
     #[must_use]
     pub fn synthetic(mnemonic: Mnemonic, operands: Vec<Operand>) -> Inst {
         Inst {

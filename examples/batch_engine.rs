@@ -35,7 +35,7 @@ fn main() {
                 r.uarch.to_string(),
                 r.predictor,
                 p.throughput,
-                p.bottleneck.as_deref().unwrap_or("-"),
+                p.bottleneck.map_or("-", |b| b.name()),
             ),
             Err(e) => println!(
                 "  {:<22} {:<4} {:<9} error: {e}",

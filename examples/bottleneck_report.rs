@@ -17,12 +17,12 @@ fn main() {
             Mode::Unrolled
         };
         let ab = AnnotatedBlock::new(kernel.block.clone(), Uarch::Skl);
-        let p = Facile::new().predict(&ab, mode);
+        let p = Facile::new().explain(&ab, mode);
         println!(
             "=== {} (designed to stress: {}) ===",
             kernel.name, kernel.stresses
         );
-        println!("{}", Report::new(&ab, mode, &p));
+        println!("{}", Report::new(&ab, &p));
 
         // Counterfactual: how much faster would the block run if the
         // bottleneck component were idealized?

@@ -45,9 +45,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // The full interpretable report for one microarchitecture.
+    // The full typed explanation for one microarchitecture: the Report is
+    // a thin text renderer over it, and the same data drives the CLI's
+    // --explain JSON output.
     let ab = AnnotatedBlock::new(block, Uarch::Skl);
-    let p = Facile::new().predict(&ab, Mode::Unrolled);
-    println!("\n{}", Report::new(&ab, Mode::Unrolled, &p));
+    let explanation = Facile::new().explain(&ab, Mode::Unrolled);
+    println!("\n{}", Report::new(&ab, &explanation));
+    for step in explanation.critical_chain() {
+        println!(
+            "chain hop: inst #{} produces {} after {:.2} cycles{}",
+            step.inst,
+            step.value,
+            step.latency,
+            if step.loop_carried {
+                " (loop-carried)"
+            } else {
+                ""
+            }
+        );
+    }
     Ok(())
 }

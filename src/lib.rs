@@ -16,6 +16,9 @@
 //!   uops.info stand-in);
 //! * [`uarch`] — microarchitecture configurations (Table 1);
 //! * [`model`] — the Facile analytical model itself (the paper's §4);
+//! * [`explain`] — the typed explanation data model: per-component
+//!   evidence, critical-chain edges, port-load maps, bottleneck
+//!   attribution, and JSON/text renderers;
 //! * [`sim`] — a cycle-accurate pipeline simulator used as measurement
 //!   oracle and as the simulation-based baseline;
 //! * [`baselines`] — the competing predictors of Table 2, in spirit;
@@ -77,6 +80,7 @@ pub use facile_baselines as baselines;
 pub use facile_bhive as bhive;
 pub use facile_core as model;
 pub use facile_engine as engine;
+pub use facile_explain as explain;
 pub use facile_isa as isa;
 pub use facile_metrics as metrics;
 pub use facile_sim as sim;
@@ -85,7 +89,9 @@ pub use facile_x86 as x86;
 
 /// The most common imports for working with the model.
 pub mod prelude {
-    pub use facile_core::{Component, Facile, FacileConfig, Mode, Prediction, Report};
+    pub use facile_core::{
+        Component, Detail, Explanation, Facile, FacileConfig, Mode, Prediction, Report,
+    };
     pub use facile_engine::{
         BatchItem, BlockInput, Engine, ItemResult, PredictError, PredictRequest, PredictorRegistry,
     };
