@@ -1,0 +1,105 @@
+//! Differential sweep: the per-microarchitecture disagreement-rate
+//! matrix over **all** registered predictor pairs, on ≥ 2000 generated
+//! blocks, written to `BENCH_diff.json`.
+//!
+//! This is the repository's standing inconsistency audit: a cell whose
+//! rate jumps between two commits means a model changed its mind about a
+//! family of blocks — exactly the regression an aggregate MAPE can hide.
+//! The matrix is deterministic in `(--blocks, --seed, --train)`, so the
+//! committed artifact diffs cleanly.
+//!
+//! ```text
+//! cargo run --release -p facile-bench --bin diff_sweep -- --blocks 2000
+//! ```
+
+use facile_bench::Args;
+use facile_diff::{run, DiffConfig};
+use facile_engine::{Engine, PredictorRegistry, TrainConfig};
+use facile_uarch::Uarch;
+
+const OUT_PATH: &str = "BENCH_diff.json";
+
+/// Relative-disagreement threshold of the sweep (50%: the larger
+/// prediction exceeds the smaller by half).
+const THRESHOLD: f64 = 0.5;
+
+fn main() {
+    let args = Args::parse();
+    let blocks = args.blocks.max(2000);
+    let uarchs = if args.uarchs.is_empty() {
+        Uarch::ALL.to_vec()
+    } else {
+        args.uarchs.clone()
+    };
+    eprintln!(
+        "diff_sweep: {blocks} blocks (seed {}), all predictor pairs on {} uarchs, threshold {THRESHOLD}",
+        args.seed,
+        uarchs.len()
+    );
+
+    let engine = Engine::new(PredictorRegistry::with_builtins_config(TrainConfig {
+        n_train: args.train,
+        seed: args.seed,
+    }));
+    let keys: Vec<String> = engine.registry().keys().map(str::to_string).collect();
+
+    let t0 = std::time::Instant::now();
+    let cfg = DiffConfig {
+        selector: "*".to_string(),
+        uarchs: uarchs.clone(),
+        threshold: THRESHOLD,
+        seed: args.seed,
+        count: blocks,
+        max_counterexamples: 0, // matrix only: the CLI shrinks on demand
+        shrink: false,
+        ..DiffConfig::default()
+    };
+    let report = run(&engine, &cfg).expect("builtin registry has >= 2 predictors");
+    eprintln!(
+        "swept {} comparisons in {:.1}s ({} flagged)",
+        report.rows_compared,
+        t0.elapsed().as_secs_f64(),
+        report.flagged
+    );
+
+    let uarch_names: Vec<String> = uarchs.iter().map(|u| format!("\"{u}\"")).collect();
+    let key_names: Vec<String> = keys.iter().map(|k| format!("\"{k}\"")).collect();
+    let cells: Vec<String> = report
+        .matrix
+        .iter()
+        .map(|c| format!("    {}", c.to_json()))
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"diff_sweep\",\n  \"blocks\": {blocks},\n  \"seed\": {},\n  \
+         \"train\": {},\n  \"threshold\": {THRESHOLD},\n  \"predictors\": [{}],\n  \
+         \"uarchs\": [{}],\n  \"rows_compared\": {},\n  \"flagged\": {},\n  \"matrix\": [\n{}\n  ]\n}}\n",
+        args.seed,
+        args.train,
+        key_names.join(", "),
+        uarch_names.join(", "),
+        report.rows_compared,
+        report.flagged,
+        cells.join(",\n"),
+    );
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_diff.json");
+    println!("{json}");
+
+    // A compact rate table per uarch on stderr for humans.
+    for &u in &uarchs {
+        let worst = report
+            .matrix
+            .iter()
+            .filter(|c| c.uarch == u)
+            .max_by(|x, y| x.rate().total_cmp(&y.rate()));
+        if let Some(w) = worst {
+            eprintln!(
+                "{u}: worst pair {}|{} rate {:.3} (max delta {:.2})",
+                w.a,
+                w.b,
+                w.rate(),
+                w.max_delta
+            );
+        }
+    }
+    eprintln!("wrote {OUT_PATH}");
+}

@@ -1,0 +1,213 @@
+//! BHive CSV records: `hex[,throughput]` lines, as used by the BHive
+//! suite's measurement files and by this workspace's batch inputs.
+//!
+//! Parsing is strict and typed: every malformed-line failure mode is a
+//! [`CsvError`] variant, so harnesses can distinguish "skip this comment"
+//! from "this line is broken" without string matching. Serialization via
+//! [`CsvRecord::to_line`] round-trips: `parse_line(&r.to_line())`
+//! reproduces `r` exactly (f64 `Display` is shortest-round-trip in Rust).
+
+use facile_x86::{Block, DecodeError};
+use std::fmt;
+
+/// One parsed BHive CSV line: a block and its optional measured
+/// throughput (cycles per iteration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvRecord {
+    /// The decoded block.
+    pub block: Block,
+    /// The measured throughput, if the line carried one.
+    pub throughput: Option<f64>,
+}
+
+impl CsvRecord {
+    /// Serialize back to a BHive CSV line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self.throughput {
+            Some(t) => format!("{},{t}", self.block.to_hex()),
+            None => self.block.to_hex(),
+        }
+    }
+}
+
+/// Why a BHive CSV line could not be parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// The hex field is not a well-formed hex string (odd length or a
+    /// non-hex digit).
+    BadHex {
+        /// The offending field, as supplied.
+        field: String,
+    },
+    /// The hex field decoded to no instructions.
+    EmptyBlock,
+    /// The hex field is well-formed hex but does not decode to a block.
+    Decode {
+        /// The offending field, as supplied.
+        field: String,
+        /// The decoder's diagnosis.
+        source: DecodeError,
+    },
+    /// The throughput field is not a finite, non-negative number.
+    BadThroughput {
+        /// The offending field, as supplied.
+        field: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::BadHex { field } => write!(f, "not a hex-encoded block: {field:?}"),
+            CsvError::EmptyBlock => f.write_str("empty basic block"),
+            CsvError::Decode { field, source } => {
+                write!(f, "cannot decode block {field:?}: {source}")
+            }
+            CsvError::BadThroughput { field } => {
+                write!(f, "not a throughput value: {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The hex field of a BHive CSV line (everything before the first
+/// comma), or `None` for blank lines and `#` comments.
+///
+/// This is the line shape shared by every consumer: streaming batch
+/// inputs use it directly (leaving hex validation to the engine, which
+/// turns bad blocks into error rows), while [`parse_line`] layers strict
+/// typed validation on top for whole-file inputs.
+#[must_use]
+pub fn hex_field(line: &str) -> Option<&str> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    Some(line.split(',').next().unwrap_or(line).trim())
+}
+
+/// Parse one BHive CSV line.
+///
+/// Returns `Ok(None)` for blank lines and `#` comments (skippable),
+/// `Ok(Some(record))` for a well-formed `hex[,throughput]` line, and a
+/// typed [`CsvError`] otherwise. Fields beyond the second are ignored,
+/// matching the BHive files (which carry extra provenance columns).
+///
+/// # Errors
+/// See [`CsvError`] for every failure mode.
+pub fn parse_line(line: &str) -> Result<Option<CsvRecord>, CsvError> {
+    let Some(hex) = hex_field(line) else {
+        return Ok(None);
+    };
+    let mut fields = line.trim().split(',');
+    fields.next(); // the hex field
+    if hex.is_empty() || !hex.len().is_multiple_of(2) || !hex.bytes().all(|b| b.is_ascii_hexdigit())
+    {
+        return Err(CsvError::BadHex {
+            field: hex.to_string(),
+        });
+    }
+    let block = Block::from_hex(hex).map_err(|source| CsvError::Decode {
+        field: hex.to_string(),
+        source,
+    })?;
+    if block.is_empty() {
+        return Err(CsvError::EmptyBlock);
+    }
+    let throughput = match fields.next().map(str::trim) {
+        None | Some("") => None,
+        Some(t) => {
+            let v: f64 = t.parse().map_err(|_| CsvError::BadThroughput {
+                field: t.to_string(),
+            })?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(CsvError::BadThroughput {
+                    field: t.to_string(),
+                });
+            }
+            Some(v)
+        }
+    };
+    Ok(Some(CsvRecord { block, throughput }))
+}
+
+/// Parse a whole BHive CSV document, skipping blanks and comments.
+///
+/// # Errors
+/// The first [`CsvError`] encountered, tagged with its 1-based line
+/// number.
+pub fn parse(text: &str) -> Result<Vec<CsvRecord>, (usize, CsvError)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match parse_line(line) {
+            Ok(Some(r)) => out.push(r),
+            Ok(None) => {}
+            Err(e) => return Err((i + 1, e)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_hex_and_measured_lines() {
+        let r = parse_line("4801c8").unwrap().unwrap();
+        assert_eq!(r.block.to_hex(), "4801c8");
+        assert_eq!(r.throughput, None);
+        let r = parse_line("4801c8,12.34,extra,columns").unwrap().unwrap();
+        assert_eq!(r.throughput, Some(12.34));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("   ").unwrap(), None);
+        assert_eq!(parse_line("# 4801c8").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed() {
+        assert!(matches!(
+            parse_line("zznothex"),
+            Err(CsvError::BadHex { .. })
+        ));
+        assert!(matches!(parse_line("4801c"), Err(CsvError::BadHex { .. })));
+        assert!(matches!(
+            parse_line("0f0b"),
+            Err(CsvError::Decode { .. }) // ud2: undecodable opcode
+        ));
+        assert!(matches!(
+            parse_line("4801c8,fast"),
+            Err(CsvError::BadThroughput { .. })
+        ));
+        assert!(matches!(
+            parse_line("4801c8,-1.0"),
+            Err(CsvError::BadThroughput { .. })
+        ));
+        assert!(matches!(
+            parse_line("4801c8,inf"),
+            Err(CsvError::BadThroughput { .. })
+        ));
+    }
+
+    #[test]
+    fn document_errors_carry_line_numbers() {
+        let (line, err) = parse("# header\n4801c8\nzz\n").unwrap_err();
+        assert_eq!(line, 3);
+        assert!(matches!(err, CsvError::BadHex { .. }));
+        assert_eq!(parse("# only comments\n\n").unwrap(), vec![]);
+    }
+}

@@ -62,6 +62,83 @@ impl fmt::Display for Domain {
     }
 }
 
+/// A domain-weighted generation preset: how a [`BenchStream`] picks the
+/// application domain of each generated benchmark.
+///
+/// [`Preset::BALANCED`] cycles through the domains round-robin (consuming
+/// no random draws, which keeps it byte-compatible with the historical
+/// [`generate_suite`] sequence). The weighted presets draw the domain from
+/// the weight table, biasing the adversarial workload toward one kind of
+/// code — useful for differential testing, where e.g. a SIMD-heavy stream
+/// stresses the port models much harder than a balanced mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preset {
+    /// Preset name (stable; addressable from the CLI).
+    pub name: &'static str,
+    /// Per-domain weights in [`Domain::ALL`] order; all zero means
+    /// round-robin.
+    pub weights: [u32; 6],
+}
+
+impl Preset {
+    /// Round-robin over all six domains (the BHive-like default mix).
+    pub const BALANCED: Preset = Preset {
+        name: "balanced",
+        weights: [0; 6],
+    };
+
+    /// Every named preset: `balanced`, one single-domain preset per
+    /// [`Domain`], and two mixed stress presets.
+    pub const ALL: [Preset; 9] = [
+        Preset::BALANCED,
+        Preset::only(Domain::Numeric, "numeric"),
+        Preset::only(Domain::ScalarInt, "scalar-int"),
+        Preset::only(Domain::Crypto, "crypto"),
+        Preset::only(Domain::Database, "database"),
+        Preset::only(Domain::Compiler, "compiler"),
+        Preset::only(Domain::Simd, "simd"),
+        // Vector-biased: most blocks SIMD/numeric, a trickle of the rest.
+        Preset {
+            name: "vector-heavy",
+            weights: [30, 4, 2, 2, 2, 60],
+        },
+        // Memory/branch-flavoured scalar code.
+        Preset {
+            name: "memory-heavy",
+            weights: [2, 25, 5, 40, 28, 0],
+        },
+    ];
+
+    const fn only(domain: Domain, name: &'static str) -> Preset {
+        let mut weights = [0u32; 6];
+        weights[domain as usize] = 1;
+        Preset { name, weights }
+    }
+
+    /// Look up a preset by name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Preset> {
+        Preset::ALL.into_iter().find(|p| p.name == name)
+    }
+
+    /// Pick the domain of benchmark `id`. Round-robin presets consume no
+    /// randomness; weighted presets consume exactly one draw.
+    fn pick_domain(&self, rng: &mut StdRng, id: u32) -> Domain {
+        let total: u32 = self.weights.iter().sum();
+        if total == 0 {
+            return Domain::ALL[id as usize % Domain::ALL.len()];
+        }
+        let mut roll = rng.gen_range(0..total);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if roll < w {
+                return Domain::ALL[i];
+            }
+            roll -= w;
+        }
+        Domain::ALL[0]
+    }
+}
+
 /// One benchmark: a basic block in both throughput-notion variants.
 #[derive(Debug, Clone)]
 pub struct Bench {
@@ -509,30 +586,147 @@ fn loop_tail(rng: &mut StdRng, body_bytes: i32) -> Vec<Asm> {
     }
 }
 
+/// A seedable, infinite, lazily-evaluated stream of generated benchmarks.
+///
+/// The streaming form of [`generate_suite`]: it produces the same
+/// deterministic sequence for the same `(seed, preset)` without
+/// materializing a whole suite up front, which is what the differential
+/// harness needs to hunt over arbitrarily many blocks in bounded memory.
+///
+/// With [`Preset::BALANCED`], `BenchStream::new(seed)` reproduces the
+/// historical [`generate_suite`] sequence exactly.
+#[derive(Debug, Clone)]
+pub struct BenchStream {
+    rng: StdRng,
+    next_id: u32,
+    preset: Preset,
+}
+
+impl BenchStream {
+    /// A balanced stream (identical to the [`generate_suite`] sequence).
+    #[must_use]
+    pub fn new(seed: u64) -> BenchStream {
+        BenchStream::with_preset(seed, Preset::BALANCED)
+    }
+
+    /// A stream drawing domains from `preset`.
+    #[must_use]
+    pub fn with_preset(seed: u64, preset: Preset) -> BenchStream {
+        BenchStream {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            preset,
+        }
+    }
+}
+
+impl Iterator for BenchStream {
+    type Item = Bench;
+
+    fn next(&mut self) -> Option<Bench> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let domain = self.preset.pick_domain(&mut self.rng, id);
+        let body = gen_body(&mut self.rng, domain);
+        let unrolled = Block::assemble(&body).expect("generated body must assemble");
+        let mut looped_src = body.clone();
+        looped_src.extend(loop_tail(&mut self.rng, unrolled.byte_len() as i32));
+        let looped = Block::assemble(&looped_src).expect("loop variant must assemble");
+        Some(Bench {
+            id,
+            domain,
+            unrolled,
+            looped,
+        })
+    }
+}
+
+/// One block drawn from a [`BlockStream`]: a benchmark variant plus its
+/// provenance.
+#[derive(Debug, Clone)]
+pub struct GenBlock {
+    /// The originating benchmark id.
+    pub bench_id: u32,
+    /// The originating domain.
+    pub domain: Domain,
+    /// Whether this is the loop variant (`BHiveL`; ends in a branch) or
+    /// the unrolled variant (`BHiveU`).
+    pub looped: bool,
+    /// The block.
+    pub block: Block,
+}
+
+impl GenBlock {
+    /// A short stable identifier, e.g. `"gen-17u"` / `"gen-17l"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "gen-{}{}",
+            self.bench_id,
+            if self.looped { 'l' } else { 'u' }
+        )
+    }
+}
+
+/// A seedable stream of individual blocks: each generated benchmark
+/// contributes its unrolled variant, then its loop variant.
+#[derive(Debug, Clone)]
+pub struct BlockStream {
+    benches: BenchStream,
+    pending: Option<GenBlock>,
+}
+
+impl BlockStream {
+    /// A balanced block stream.
+    #[must_use]
+    pub fn new(seed: u64) -> BlockStream {
+        BlockStream::with_preset(seed, Preset::BALANCED)
+    }
+
+    /// A block stream drawing domains from `preset`.
+    #[must_use]
+    pub fn with_preset(seed: u64, preset: Preset) -> BlockStream {
+        BlockStream {
+            benches: BenchStream::with_preset(seed, preset),
+            pending: None,
+        }
+    }
+}
+
+impl Iterator for BlockStream {
+    type Item = GenBlock;
+
+    fn next(&mut self) -> Option<GenBlock> {
+        if let Some(looped) = self.pending.take() {
+            return Some(looped);
+        }
+        let b = self.benches.next()?;
+        self.pending = Some(GenBlock {
+            bench_id: b.id,
+            domain: b.domain,
+            looped: true,
+            block: b.looped,
+        });
+        Some(GenBlock {
+            bench_id: b.id,
+            domain: b.domain,
+            looped: false,
+            block: b.unrolled,
+        })
+    }
+}
+
 /// Generate a deterministic benchmark suite of `n` blocks.
+///
+/// Equivalent to `BenchStream::new(seed).take(n)` (the streaming form);
+/// the sequence is stable across releases.
 ///
 /// # Panics
 /// Panics if a generated block fails to assemble (a generator bug caught
 /// by the property tests).
 #[must_use]
 pub fn generate_suite(n: usize, seed: u64) -> Vec<Bench> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(n);
-    for id in 0..n {
-        let domain = Domain::ALL[id % Domain::ALL.len()];
-        let body = gen_body(&mut rng, domain);
-        let unrolled = Block::assemble(&body).expect("generated body must assemble");
-        let mut looped_src = body.clone();
-        looped_src.extend(loop_tail(&mut rng, unrolled.byte_len() as i32));
-        let looped = Block::assemble(&looped_src).expect("loop variant must assemble");
-        out.push(Bench {
-            id: id as u32,
-            domain,
-            unrolled,
-            looped,
-        });
-    }
-    out
+    BenchStream::new(seed).take(n).collect()
 }
 
 /// The loop-counter register (`r11`), reserved by the generator: the body
@@ -588,6 +782,69 @@ mod tests {
         let suite = generate_suite(12, 3);
         for d in Domain::ALL {
             assert!(suite.iter().any(|b| b.domain == d));
+        }
+    }
+
+    #[test]
+    fn stream_matches_generate_suite() {
+        // The streaming generator is the same sequence as the batch form:
+        // callers can switch between them without changing any goldens.
+        let suite = generate_suite(30, 2023);
+        let streamed: Vec<Bench> = BenchStream::new(2023).take(30).collect();
+        for (a, b) in suite.iter().zip(&streamed) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.unrolled, b.unrolled);
+            assert_eq!(a.looped, b.looped);
+        }
+    }
+
+    #[test]
+    fn block_stream_yields_both_variants_in_order() {
+        let blocks: Vec<GenBlock> = BlockStream::new(5).take(10).collect();
+        let suite = generate_suite(5, 5);
+        for (i, gb) in blocks.iter().enumerate() {
+            let bench = &suite[i / 2];
+            assert_eq!(gb.bench_id, bench.id);
+            assert_eq!(gb.domain, bench.domain);
+            if i % 2 == 0 {
+                assert!(!gb.looped);
+                assert_eq!(gb.block, bench.unrolled);
+                assert_eq!(gb.label(), format!("gen-{}u", bench.id));
+            } else {
+                assert!(gb.looped);
+                assert_eq!(gb.block, bench.looped);
+                assert_eq!(gb.label(), format!("gen-{}l", bench.id));
+            }
+        }
+    }
+
+    #[test]
+    fn presets_are_deterministic_and_biased() {
+        let a: Vec<Bench> = BenchStream::with_preset(9, Preset::by_name("simd").unwrap())
+            .take(20)
+            .collect();
+        let b: Vec<Bench> = BenchStream::with_preset(9, Preset::by_name("simd").unwrap())
+            .take(20)
+            .collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.unrolled, y.unrolled);
+        }
+        assert!(a.iter().all(|x| x.domain == Domain::Simd));
+        let heavy: Vec<Bench> =
+            BenchStream::with_preset(9, Preset::by_name("vector-heavy").unwrap())
+                .take(60)
+                .collect();
+        let simd = heavy
+            .iter()
+            .filter(|x| matches!(x.domain, Domain::Simd | Domain::Numeric))
+            .count();
+        assert!(simd > 30, "vector-heavy should be mostly vector domains");
+        assert!(Preset::by_name("nonexistent").is_none());
+        // Every named preset generates assemblable blocks.
+        for p in Preset::ALL {
+            let n = BenchStream::with_preset(3, p).take(4).count();
+            assert_eq!(n, 4);
         }
     }
 

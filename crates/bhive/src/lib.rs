@@ -20,10 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod csv;
 pub mod gen;
 pub mod measure;
 pub mod rng;
 
 pub use corpus::{kernel, kernels, Kernel};
-pub use gen::{counter_reg, generate_suite, Bench, Domain};
+pub use csv::{CsvError, CsvRecord};
+pub use gen::{
+    counter_reg, generate_suite, Bench, BenchStream, BlockStream, Domain, GenBlock, Preset,
+};
 pub use measure::{measure_block, measure_suite, round2, Measured};

@@ -1,0 +1,99 @@
+//! Property tests for the BHive CSV codec: parse → `Block` → serialize
+//! must round-trip exactly over generator-produced blocks, and every
+//! malformed-line shape must surface as its typed error, never a panic.
+
+use facile_bhive::csv::{self, CsvError, CsvRecord};
+use facile_bhive::BlockStream;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// serialize → parse reproduces the record exactly (block bytes and
+    /// measurement), for both bare-hex and measured lines.
+    #[test]
+    fn round_trip_serialize_then_parse(
+        seed in 0u64..1000,
+        idx in 0usize..8,
+        tput_cents in proptest::option::of(0u32..1_000_000),
+    ) {
+        let gb = BlockStream::new(seed).nth(idx).expect("infinite stream");
+        let record = CsvRecord {
+            block: gb.block.clone(),
+            throughput: tput_cents.map(|c| f64::from(c) / 100.0),
+        };
+        let line = record.to_line();
+        let parsed = csv::parse_line(&line).expect("well-formed line").expect("not a comment");
+        prop_assert_eq!(parsed.block.bytes(), record.block.bytes());
+        prop_assert_eq!(parsed.block, record.block);
+        prop_assert_eq!(parsed.throughput, record.throughput);
+        // And serializing the parsed record is bit-stable.
+        prop_assert_eq!(parsed.to_line(), line);
+    }
+
+    /// parse → serialize round-trips lines with extra provenance columns
+    /// down to the canonical two-field form.
+    #[test]
+    fn parse_ignores_extra_columns(seed in 0u64..500, idx in 0usize..6) {
+        let gb = BlockStream::new(seed).nth(idx).expect("infinite stream");
+        let hex = gb.block.to_hex();
+        let line = format!("{hex},3.25,skylake,extra");
+        let parsed = csv::parse_line(&line).expect("well-formed").expect("record");
+        prop_assert_eq!(parsed.to_line(), format!("{hex},3.25"));
+    }
+
+    /// Every malformed mutation of a valid line is rejected with the
+    /// matching typed error — corrupt hex digits, odd lengths, and broken
+    /// throughput fields never panic and never parse.
+    #[test]
+    fn malformed_lines_error_without_panicking(
+        seed in 0u64..500,
+        kind in 0u8..5,
+    ) {
+        let gb = BlockStream::new(seed).next().expect("infinite stream");
+        let hex = gb.block.to_hex();
+        let (line, expect_hex, expect_tput) = match kind {
+            // Non-hex character in the block field.
+            0 => (format!("z{}", &hex[1..]), true, false),
+            // Odd number of hex digits.
+            1 => (hex[..hex.len() - 1].to_string(), true, false),
+            // Non-numeric throughput.
+            2 => (format!("{hex},fast"), false, true),
+            // Negative throughput.
+            3 => (format!("{hex},-2.5"), false, true),
+            // Non-finite throughput.
+            _ => (format!("{hex},NaN"), false, true),
+        };
+        match csv::parse_line(&line) {
+            Err(CsvError::BadHex { .. }) => prop_assert!(expect_hex, "{line}"),
+            Err(CsvError::BadThroughput { .. }) => prop_assert!(expect_tput, "{line}"),
+            other => prop_assert!(false, "expected a typed error for {line:?}, got {other:?}"),
+        }
+    }
+
+    /// Whole-document parsing: valid lines mixed with comments parse in
+    /// order; a malformed line reports its 1-based position.
+    #[test]
+    fn document_round_trip(seed in 0u64..200, n in 1usize..6) {
+        let blocks: Vec<_> = BlockStream::new(seed).take(n).collect();
+        let mut doc = String::from("# generated corpus\n\n");
+        for (i, gb) in blocks.iter().enumerate() {
+            doc.push_str(&CsvRecord {
+                block: gb.block.clone(),
+                throughput: Some(f64::from(i as u32) + 0.5),
+            }.to_line());
+            doc.push('\n');
+        }
+        let parsed = csv::parse(&doc).expect("document parses");
+        prop_assert_eq!(parsed.len(), n);
+        for (i, (rec, gb)) in parsed.iter().zip(&blocks).enumerate() {
+            prop_assert_eq!(&rec.block, &gb.block);
+            prop_assert_eq!(rec.throughput, Some(f64::from(i as u32) + 0.5));
+        }
+        // Corrupt the document: error pinpoints the line.
+        let bad = format!("{doc}oddhex1\n");
+        let (lineno, err) = csv::parse(&bad).unwrap_err();
+        prop_assert_eq!(lineno, doc.lines().count() + 1);
+        prop_assert!(matches!(err, CsvError::BadHex { .. }));
+    }
+}

@@ -8,6 +8,7 @@
 //! facile --hex 4801c8 --explain --format json
 //! echo 4801c8480fafd0 | facile --batch --predictors 'facile,sim' --format json
 //! facile --batch --all-uarchs --format csv --explain < blocks.csv
+//! facile diff --predictors facile,sim --seed 42 --count 500 --format json
 //! ```
 //!
 //! Batch mode reads one block per line from stdin — either bare hex or
@@ -30,6 +31,8 @@ use facile_uarch::Uarch;
 use facile_x86::Block;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+
+mod diff_cmd;
 
 struct Options {
     hex: Option<String>,
@@ -67,6 +70,7 @@ USAGE:
     facile --hex <BYTES> [OPTIONS]
     facile --kernel <NAME> [OPTIONS]
     facile --batch [OPTIONS] < blocks.txt
+    facile diff [DIFF OPTIONS]        (see `facile diff --help`)
 
 INPUT:
     --hex <BYTES>      basic block as hex machine code (BHive format)
@@ -446,12 +450,13 @@ fn run_batch(o: &Options) -> Result<(), String> {
     };
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| e.to_string())?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        // BHive CSV line shape (block = everything before the first
+        // comma); hex validation stays with the engine so bad blocks
+        // become error rows instead of aborting the stream.
+        let Some(hex) = facile_bhive::csv::hex_field(&line) else {
             continue;
-        }
-        // BHive CSV: the block is everything before the first comma.
-        let hex = line.split(',').next().unwrap_or(line).trim().to_string();
+        };
+        let hex = hex.to_string();
         for &u in &uarchs {
             items.push(BatchItem {
                 input: facile_engine::BlockInput::Hex(hex.clone()),
@@ -591,6 +596,9 @@ fn run_single(o: &Options) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("diff") {
+        return diff_cmd::main(std::env::args().skip(2).collect());
+    }
     let opts = match parse_args() {
         Ok(Some(o)) => o,
         Ok(None) => return ExitCode::SUCCESS,

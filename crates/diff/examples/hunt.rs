@@ -1,0 +1,40 @@
+//! Quick demonstration hunt: facile vs the cycle-accurate simulator on
+//! Skylake, printing the matrix and the first shrunken counterexamples.
+
+use facile_diff::{run, DiffConfig};
+use facile_engine::Engine;
+
+fn main() {
+    let engine = Engine::with_builtins();
+    let mut cfg = DiffConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().expect("flag value");
+        match flag.as_str() {
+            "--count" => cfg.count = val().parse().unwrap(),
+            "--seed" => cfg.seed = val().parse().unwrap(),
+            "--threshold" => cfg.threshold = val().parse().unwrap(),
+            "--predictors" => cfg.selector = val(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let report = run(&engine, &cfg).expect("hunt runs");
+    eprintln!("elapsed: {:?}", t0.elapsed());
+    for cell in &report.matrix {
+        println!(
+            "{} {}|{}: {}/{} flagged (rate {:.3}, max {:.2})",
+            cell.uarch,
+            cell.a,
+            cell.b,
+            cell.flagged,
+            cell.compared,
+            cell.rate(),
+            cell.max_delta
+        );
+    }
+    println!("{}", report.summary_json());
+    for f in report.findings.iter().take(5) {
+        print!("{}", f.to_text());
+    }
+}

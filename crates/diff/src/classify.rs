@@ -1,0 +1,145 @@
+//! Classification of a disagreement through the typed explanation layer.
+
+use facile_explain::{Component, Explanation};
+
+/// What kind of model divergence a flagged disagreement is, derived from
+/// the typed [`Explanation`]s of the two predictors (where available).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffClass {
+    /// Both sides explain themselves and blame *different* components:
+    /// the models disagree about what limits the block at all.
+    BottleneckDivergence {
+        /// Primary bottleneck of the first predictor.
+        a: Component,
+        /// Primary bottleneck of the second predictor.
+        b: Component,
+    },
+    /// The divergence is localized to one component: either both sides
+    /// blame it but bound it differently (e.g. two port maps that assign
+    /// the same µops to different pipes), or only one side explains
+    /// itself and this is the component its number rests on.
+    ComponentDivergence(Component),
+    /// Neither side produced an explanation; the disagreement is real but
+    /// cannot be attributed to a model component.
+    Unclassified,
+}
+
+/// The divergence vocabulary: what a [`ComponentDivergence`] on each
+/// component is called.
+///
+/// [`ComponentDivergence`]: DiffClass::ComponentDivergence
+#[must_use]
+pub fn component_divergence_label(c: Component) -> &'static str {
+    match c {
+        Component::Predec => "predecode divergence",
+        Component::Dec => "decode divergence",
+        Component::Dsb => "dsb-delivery divergence",
+        Component::Lsd => "lsd-stream divergence",
+        Component::Issue => "issue-width divergence",
+        Component::Ports => "port-map divergence",
+        Component::Precedence => "chain-latency divergence",
+    }
+}
+
+impl DiffClass {
+    /// Human-readable label, e.g. `"port-map divergence"` or
+    /// `"bottleneck divergence (Ports vs Precedence)"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            DiffClass::BottleneckDivergence { a, b } => {
+                format!("bottleneck divergence ({} vs {})", a.name(), b.name())
+            }
+            DiffClass::ComponentDivergence(c) => component_divergence_label(*c).to_string(),
+            DiffClass::Unclassified => "unclassified".to_string(),
+        }
+    }
+
+    /// Stable machine-readable code: `"bottleneck:Ports|Precedence"`,
+    /// `"component:Ports"`, or `"unclassified"`.
+    #[must_use]
+    pub fn code(&self) -> String {
+        match self {
+            DiffClass::BottleneckDivergence { a, b } => {
+                format!("bottleneck:{}|{}", a.name(), b.name())
+            }
+            DiffClass::ComponentDivergence(c) => format!("component:{}", c.name()),
+            DiffClass::Unclassified => "unclassified".to_string(),
+        }
+    }
+
+    /// Whether the disagreement could be attributed to the model.
+    #[must_use]
+    pub fn is_classified(&self) -> bool {
+        !matches!(self, DiffClass::Unclassified)
+    }
+}
+
+/// Classify a disagreement from the two sides' explanations (either may
+/// be absent: only interpretable predictors produce one).
+#[must_use]
+pub fn classify(a: Option<&Explanation>, b: Option<&Explanation>) -> DiffClass {
+    let pa = a.and_then(Explanation::primary_bottleneck);
+    let pb = b.and_then(Explanation::primary_bottleneck);
+    match (pa, pb) {
+        (Some(x), Some(y)) if x == y => DiffClass::ComponentDivergence(x),
+        (Some(x), Some(y)) => DiffClass::BottleneckDivergence { a: x, b: y },
+        (Some(x), None) | (None, Some(x)) => DiffClass::ComponentDivergence(x),
+        (None, None) => DiffClass::Unclassified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_explain::{ComponentAnalysis, FrontEndPath, Mode};
+
+    fn explanation(bottleneck: Component, bound: f64) -> Explanation {
+        Explanation::compose(
+            Mode::Unrolled,
+            FrontEndPath::Mite,
+            vec![ComponentAnalysis::bare(bottleneck, bound)],
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn classification_cases() {
+        let ports = explanation(Component::Ports, 2.0);
+        let prec = explanation(Component::Precedence, 3.0);
+        assert_eq!(
+            classify(Some(&ports), Some(&prec)),
+            DiffClass::BottleneckDivergence {
+                a: Component::Ports,
+                b: Component::Precedence
+            }
+        );
+        assert_eq!(
+            classify(Some(&ports), Some(&explanation(Component::Ports, 4.0))),
+            DiffClass::ComponentDivergence(Component::Ports)
+        );
+        assert_eq!(
+            classify(Some(&prec), None),
+            DiffClass::ComponentDivergence(Component::Precedence)
+        );
+        assert_eq!(classify(None, None), DiffClass::Unclassified);
+    }
+
+    #[test]
+    fn labels_and_codes_are_stable() {
+        let c = DiffClass::ComponentDivergence(Component::Ports);
+        assert_eq!(c.label(), "port-map divergence");
+        assert_eq!(c.code(), "component:Ports");
+        assert!(c.is_classified());
+        let c = DiffClass::ComponentDivergence(Component::Precedence);
+        assert_eq!(c.label(), "chain-latency divergence");
+        let c = DiffClass::BottleneckDivergence {
+            a: Component::Ports,
+            b: Component::Precedence,
+        };
+        assert_eq!(c.label(), "bottleneck divergence (Ports vs Precedence)");
+        assert_eq!(c.code(), "bottleneck:Ports|Precedence");
+        assert!(!DiffClass::Unclassified.is_classified());
+        assert_eq!(DiffClass::Unclassified.code(), "unclassified");
+    }
+}

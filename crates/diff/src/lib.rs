@@ -1,0 +1,76 @@
+//! # facile-diff
+//!
+//! Differential testing for throughput predictors: hunt for blocks where
+//! two registry predictors disagree, then shrink each disagreement to a
+//! minimal reproducing block.
+//!
+//! Aggregate error metrics (MAPE, Kendall's τ) hide model bugs: a
+//! predictor can be 10% off on average while being 5× off on one family
+//! of blocks. Following AnICA's insight that *disagreements between
+//! predictors* are where model bugs live, this crate streams
+//! generator-produced (and corpus / user-supplied) blocks through any set
+//! of registry predictors via the batch engine, flags every pair whose
+//! relative disagreement exceeds a threshold, classifies the divergence
+//! using the typed explanation layer (port-map vs chain-latency vs
+//! front-end divergence), and delta-debugs each flagged block down to a
+//! **1-minimal counterexample**: removing any single instruction from the
+//! shrunken block drops the disagreement below the threshold.
+//!
+//! Everything is deterministic — seeded generation, no wall clock, no
+//! randomness in the shrinker — so a reported counterexample replays
+//! bit-identically from `(seed, config)`, regardless of worker-thread
+//! count.
+//!
+//! ```
+//! use facile_diff::{DiffConfig, run};
+//! use facile_engine::Engine;
+//!
+//! let engine = Engine::with_builtins();
+//! let cfg = DiffConfig {
+//!     count: 20,
+//!     threshold: 0.5,
+//!     ..DiffConfig::default()
+//! };
+//! let report = run(&engine, &cfg).unwrap();
+//! assert_eq!(report.scanned_blocks, 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod harness;
+pub mod shrink;
+
+pub use classify::{classify, DiffClass};
+pub use harness::{run, DiffConfig, DiffError, DiffReport, Finding, PairCell, PredictorSide};
+pub use shrink::{remove_inst, DiffPair, ShrinkResult};
+
+/// Floor for the relative-disagreement denominator, in cycles: two
+/// predictions a quarter cycle apart on a sub-quarter-cycle block are
+/// measurement noise, not a model bug.
+pub const MIN_DENOM: f64 = 0.25;
+
+/// Relative disagreement between two throughput predictions:
+/// `|a − b| / max(min(a, b), MIN_DENOM)`.
+///
+/// Symmetric, zero iff equal, and scaled by the smaller prediction so a
+/// 2-vs-4-cycle disagreement (1.0) counts as hard as 20-vs-40.
+#[must_use]
+pub fn rel_delta(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.min(b).max(MIN_DENOM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_delta_basics() {
+        assert_eq!(rel_delta(2.0, 2.0), 0.0);
+        assert_eq!(rel_delta(2.0, 4.0), 1.0);
+        assert_eq!(rel_delta(4.0, 2.0), 1.0);
+        // Sub-quarter-cycle denominators are clamped.
+        assert_eq!(rel_delta(0.0, 0.25), 1.0);
+        assert!(rel_delta(0.01, 0.02).abs() < 0.05);
+    }
+}

@@ -1,0 +1,358 @@
+//! The deterministic delta-debugger: shrink a flagged block to a
+//! 1-minimal counterexample.
+//!
+//! Two reduction moves, applied greedily in a fixed order until neither
+//! applies:
+//!
+//! 1. **Instruction-subset reduction** — drop one instruction (splicing
+//!    its bytes out of the block; every remaining instruction re-decodes
+//!    unchanged) if the pair still disagrees past the threshold.
+//! 2. **Operand simplification** — re-assemble one instruction with a
+//!    structurally simpler operand (drop an index register, zero a
+//!    displacement, collapse an immediate to 1) if the disagreement
+//!    survives.
+//!
+//! Each accepted move strictly decreases `(instruction count, operand
+//! complexity)` lexicographically, so the loop terminates; candidates are
+//! tried in a fixed order with no randomness or wall-clock input, so for
+//! a given engine the result is a pure function of the input block — and
+//! because the loop only stops when **no** single-instruction removal
+//! keeps the disagreement above threshold, the result is 1-minimal by
+//! construction.
+
+use crate::rel_delta;
+use facile_engine::{BatchItem, Engine, PredictError, Predictor};
+use facile_explain::{Explanation, Mode};
+use facile_uarch::Uarch;
+use facile_x86::{Block, Mem, Mnemonic, Operand};
+use std::sync::Arc;
+
+/// One predictor pair bound to a microarchitecture and throughput notion:
+/// the oracle the shrinker queries. The notion is pinned at flag time so
+/// that removing a trailing branch during shrinking cannot silently flip
+/// a TPL disagreement into a TPU one.
+pub struct DiffPair<'e> {
+    engine: &'e Engine,
+    pair: [Arc<dyn Predictor>; 2],
+    uarch: Uarch,
+    mode: Mode,
+}
+
+/// The outcome of shrinking one flagged block.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The 1-minimal block.
+    pub block: Block,
+    /// The two predictions on the shrunk block.
+    pub predictions: (f64, f64),
+    /// Relative disagreement of the shrunk block (still ≥ the threshold).
+    pub delta: f64,
+    /// Number of instructions removed.
+    pub removals: u32,
+    /// Number of operand simplifications applied.
+    pub simplifications: u32,
+}
+
+impl<'e> DiffPair<'e> {
+    /// Bind a predictor pair by registry key.
+    ///
+    /// # Errors
+    /// [`PredictError::UnknownPredictor`] if either key is unregistered.
+    pub fn new(
+        engine: &'e Engine,
+        a: &str,
+        b: &str,
+        uarch: Uarch,
+        mode: Mode,
+    ) -> Result<DiffPair<'e>, PredictError> {
+        let resolve = |key: &str| {
+            engine
+                .registry()
+                .get(key)
+                .ok_or_else(|| PredictError::UnknownPredictor {
+                    pattern: key.to_string(),
+                    available: engine.registry().keys().map(str::to_string).collect(),
+                })
+        };
+        Ok(DiffPair {
+            engine,
+            pair: [resolve(a)?, resolve(b)?],
+            uarch,
+            mode,
+        })
+    }
+
+    /// Bind an already-resolved pair.
+    #[must_use]
+    pub fn from_predictors(
+        engine: &'e Engine,
+        a: Arc<dyn Predictor>,
+        b: Arc<dyn Predictor>,
+        uarch: Uarch,
+        mode: Mode,
+    ) -> DiffPair<'e> {
+        DiffPair {
+            engine,
+            pair: [a, b],
+            uarch,
+            mode,
+        }
+    }
+
+    /// The registry keys of the pair.
+    #[must_use]
+    pub fn keys(&self) -> (&str, &str) {
+        (self.pair[0].key(), self.pair[1].key())
+    }
+
+    /// Both predictions for `block`, or `None` if either side fails
+    /// (undecodable subsets and predictor errors end a shrink branch,
+    /// they never abort the hunt).
+    #[must_use]
+    pub fn predict(&self, block: &Block) -> Option<(f64, f64)> {
+        if block.is_empty() {
+            return None;
+        }
+        let item = BatchItem::block(block.clone(), self.uarch).with_mode(self.mode);
+        let rows = self
+            .engine
+            .run_batch(std::slice::from_ref(&item), &self.pair);
+        match (&rows[0].prediction, &rows[1].prediction) {
+            (Ok(a), Ok(b)) => Some((a.throughput, b.throughput)),
+            _ => None,
+        }
+    }
+
+    /// Both sides' full-detail explanations for `block` (either side may
+    /// be `None`: only interpretable predictors produce one).
+    #[must_use]
+    pub fn explain(&self, block: &Block) -> (Option<Box<Explanation>>, Option<Box<Explanation>>) {
+        let item = BatchItem::block(block.clone(), self.uarch)
+            .with_mode(self.mode)
+            .with_detail(facile_explain::Detail::Full);
+        let mut rows = self
+            .engine
+            .run_batch(std::slice::from_ref(&item), &self.pair);
+        let mut take = |i: usize| match std::mem::replace(
+            &mut rows[i].prediction,
+            Err(PredictError::EmptyBlock),
+        ) {
+            Ok(p) => p.explanation,
+            Err(_) => None,
+        };
+        let a = take(0);
+        let b = take(1);
+        (a, b)
+    }
+
+    /// Relative disagreement for `block`, or `None` if either side fails.
+    #[must_use]
+    pub fn delta(&self, block: &Block) -> Option<f64> {
+        self.predict(block).map(|(a, b)| rel_delta(a, b))
+    }
+
+    /// Shrink `block` to a 1-minimal counterexample for `threshold`.
+    ///
+    /// Returns `None` if the block does not disagree past the threshold
+    /// in the first place. Otherwise the result satisfies: (1) its delta
+    /// is still ≥ `threshold`; (2) removing **any** single instruction
+    /// drops the delta below `threshold` (or makes a side fail); (3) the
+    /// function is deterministic and idempotent — shrinking the result
+    /// again returns it unchanged.
+    #[must_use]
+    pub fn shrink(&self, block: &Block, threshold: f64) -> Option<ShrinkResult> {
+        self.delta(block).filter(|d| *d >= threshold)?;
+        let mut cur = block.clone();
+        let mut removals = 0u32;
+        let mut simplifications = 0u32;
+        loop {
+            if let Some(next) = self.reduce_once(&cur, threshold) {
+                cur = next;
+                removals += 1;
+                continue;
+            }
+            if let Some(next) = self.simplify_once(&cur, threshold) {
+                cur = next;
+                simplifications += 1;
+                continue;
+            }
+            break;
+        }
+        let predictions = self.predict(&cur).expect("accepted shrink states predict");
+        let delta = rel_delta(predictions.0, predictions.1);
+        Some(ShrinkResult {
+            block: cur,
+            predictions,
+            delta,
+            removals,
+            simplifications,
+        })
+    }
+
+    /// The first single-instruction removal that keeps the disagreement
+    /// above threshold, in instruction order.
+    fn reduce_once(&self, block: &Block, threshold: f64) -> Option<Block> {
+        (0..block.num_insts())
+            .filter_map(|i| remove_inst(block, i))
+            .find(|cand| self.delta(cand).is_some_and(|d| d >= threshold))
+    }
+
+    /// The first operand simplification that keeps the disagreement above
+    /// threshold, scanning instructions and their simplification ladders
+    /// in order.
+    fn simplify_once(&self, block: &Block, threshold: f64) -> Option<Block> {
+        for i in 0..block.num_insts() {
+            for cand in simplified_variants(block, i) {
+                if self.delta(&cand).is_some_and(|d| d >= threshold) {
+                    return Some(cand);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// `block` with instruction `i` spliced out (its bytes removed and the
+/// remainder re-decoded). Returns `None` when the block has a single
+/// instruction (counterexamples never shrink to empty) or — defensively —
+/// if the spliced bytes fail to re-decode.
+#[must_use]
+pub fn remove_inst(block: &Block, i: usize) -> Option<Block> {
+    if block.num_insts() <= 1 || i >= block.num_insts() {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(block.byte_len());
+    for (j, (off, inst)) in block.iter_with_offsets().enumerate() {
+        if j != i {
+            bytes.extend_from_slice(&block.bytes()[off..inst.end_offset(off)]);
+        }
+    }
+    Block::decode(&bytes).ok()
+}
+
+/// Structural complexity of one operand: the count of simplifiable
+/// features. Every accepted simplification strictly decreases the total,
+/// which is what makes the shrink loop terminate.
+fn operand_complexity(op: &Operand) -> u32 {
+    match op {
+        Operand::Mem(m) => u32::from(m.index.is_some()) + u32::from(m.disp != 0),
+        Operand::Imm(v) => u32::from(*v != 0 && *v != 1),
+        _ => 0,
+    }
+}
+
+fn block_complexity(block: &Block) -> u32 {
+    block
+        .insts()
+        .iter()
+        .flat_map(|i| i.operands.iter())
+        .map(operand_complexity)
+        .sum()
+}
+
+/// Candidate blocks where instruction `i` has exactly one operand
+/// simplified, in a fixed order (per operand: drop the index register,
+/// then zero the displacement; immediates collapse to 1). Candidates
+/// that fail to re-assemble or that do not strictly decrease the block's
+/// operand complexity are dropped.
+fn simplified_variants(block: &Block, i: usize) -> Vec<Block> {
+    let inst = &block.insts()[i];
+    let mut out = Vec::new();
+    for (k, op) in inst.operands.iter().enumerate() {
+        let mut simpler: Vec<Operand> = Vec::new();
+        match *op {
+            Operand::Mem(m) => {
+                if m.index.is_some() {
+                    simpler.push(Operand::Mem(Mem {
+                        index: None,
+                        scale: 1,
+                        ..m
+                    }));
+                }
+                if m.disp != 0 {
+                    simpler.push(Operand::Mem(Mem { disp: 0, ..m }));
+                }
+            }
+            Operand::Imm(v) if v != 0 && v != 1 => simpler.push(Operand::Imm(1)),
+            _ => {}
+        }
+        for s in simpler {
+            if let Some(cand) = reassemble_with(block, i, k, s) {
+                if block_complexity(&cand) < block_complexity(block) {
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Re-assemble the whole block with operand `k` of instruction `i`
+/// replaced. `None` if any instruction fails to re-encode (blocks from
+/// foreign encoders may not round-trip through our assembler).
+fn reassemble_with(block: &Block, i: usize, k: usize, op: Operand) -> Option<Block> {
+    let prog: Vec<(Mnemonic, Vec<Operand>)> = block
+        .insts()
+        .iter()
+        .enumerate()
+        .map(|(j, inst)| {
+            let mut ops = inst.operands.clone();
+            if j == i {
+                ops[k] = op;
+            }
+            (inst.mnemonic, ops)
+        })
+        .collect();
+    Block::assemble(&prog).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_x86::reg::names::*;
+    use facile_x86::reg::Width;
+
+    fn block(prog: &[(Mnemonic, Vec<Operand>)]) -> Block {
+        Block::assemble(prog).unwrap()
+    }
+
+    #[test]
+    fn remove_inst_splices_bytes() {
+        let b = block(&[
+            (Mnemonic::Add, vec![RAX.into(), RCX.into()]),
+            (Mnemonic::Imul, vec![RDX.into(), RAX.into()]),
+            (Mnemonic::Nop, vec![]),
+        ]);
+        let r = remove_inst(&b, 1).unwrap();
+        assert_eq!(r.num_insts(), 2);
+        assert_eq!(r.insts()[0], b.insts()[0]);
+        assert_eq!(r.insts()[1], b.insts()[2]);
+        // Single-instruction blocks are irreducible.
+        let one = block(&[(Mnemonic::Nop, vec![])]);
+        assert!(remove_inst(&one, 0).is_none());
+        assert!(remove_inst(&b, 99).is_none());
+    }
+
+    #[test]
+    fn simplified_variants_reduce_complexity() {
+        let m = Mem::base_index(R12, RCX, 8, 64, Width::W64);
+        let b = block(&[
+            (Mnemonic::Mov, vec![RAX.into(), m.into()]),
+            (Mnemonic::Add, vec![RAX.into(), Operand::Imm(500)]),
+        ]);
+        let c0 = block_complexity(&b);
+        assert_eq!(c0, 3); // index + disp + non-unit imm
+        let vars = simplified_variants(&b, 0);
+        assert_eq!(vars.len(), 2); // drop index; zero disp
+        for v in &vars {
+            assert!(block_complexity(v) < c0);
+            assert_eq!(v.num_insts(), 2);
+        }
+        let vars = simplified_variants(&b, 1);
+        assert_eq!(vars.len(), 1); // imm -> 1
+        assert_eq!(vars[0].insts()[1].operands[1], Operand::Imm(1));
+        // Already-minimal operands yield no candidates.
+        let simple = block(&[(Mnemonic::Add, vec![RAX.into(), RCX.into()])]);
+        assert!(simplified_variants(&simple, 0).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! End-to-end determinism of the differential harness: for a fixed
+//! config, the full report — matrix, findings, shrunken blocks,
+//! classifications — must be identical across runs and worker-thread
+//! counts.
+
+use facile_diff::{run, DiffConfig, DiffReport};
+use facile_engine::Engine;
+use facile_uarch::Uarch;
+
+/// Canonical serialization of everything the report asserts.
+fn signature(r: &DiffReport) -> String {
+    let mut s = r.summary_json();
+    s.push('\n');
+    for c in &r.matrix {
+        s.push_str(&c.to_json());
+        s.push('\n');
+    }
+    for f in &r.findings {
+        s.push_str(&f.to_json());
+        s.push('\n');
+    }
+    s
+}
+
+fn config() -> DiffConfig {
+    DiffConfig {
+        selector: "facile,llvm-mca,cqa".to_string(),
+        uarchs: vec![Uarch::Skl, Uarch::Rkl],
+        threshold: 0.4,
+        seed: 13,
+        count: 40,
+        include_corpus: true,
+        max_counterexamples: 8,
+        ..DiffConfig::default()
+    }
+}
+
+#[test]
+fn report_is_identical_across_thread_counts() {
+    let one = run(&Engine::with_builtins().with_threads(1), &config()).unwrap();
+    let eight = run(&Engine::with_builtins().with_threads(8), &config()).unwrap();
+    assert_eq!(signature(&one), signature(&eight));
+    // And across two runs of the same engine (cache warm vs cold).
+    let engine = Engine::with_builtins();
+    let a = run(&engine, &config()).unwrap();
+    let b = run(&engine, &config()).unwrap();
+    assert_eq!(signature(&a), signature(&b));
+    assert_eq!(signature(&a), signature(&one));
+}
+
+#[test]
+fn findings_are_classified_and_deduplicated() {
+    let engine = Engine::with_builtins();
+    let report = run(&engine, &config()).unwrap();
+    assert!(report.flagged > 0, "config should surface disagreements");
+    assert!(!report.findings.is_empty());
+    for f in &report.findings {
+        // facile participates in every pair here, so every finding has at
+        // least one explanation to classify from.
+        if f.a.key == "facile" || f.b.key == "facile" {
+            assert!(f.class.is_classified(), "{}", f.to_json());
+        }
+        assert!(f.delta >= report.threshold);
+        assert!(f.original_delta >= report.threshold);
+        assert!(f.shrunk_insts <= f.original_insts);
+    }
+    // Deduplication: no two findings share (pair, uarch, mode, block).
+    for (i, f) in report.findings.iter().enumerate() {
+        for g in &report.findings[i + 1..] {
+            assert!(
+                !(f.shrunk_hex == g.shrunk_hex
+                    && f.uarch == g.uarch
+                    && f.mode == g.mode
+                    && f.a.key == g.a.key
+                    && f.b.key == g.b.key),
+                "duplicate finding: {}",
+                f.shrunk_hex
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_and_extra_blocks_are_scanned() {
+    let engine = Engine::with_builtins();
+    let mut cfg = config();
+    cfg.count = 0;
+    cfg.include_corpus = true;
+    cfg.extra_blocks = vec![(
+        "mine".to_string(),
+        facile_x86::Block::from_hex("4801c8480fafd0").unwrap(),
+    )];
+    let report = run(&engine, &cfg).unwrap();
+    let n_kernels = facile_bhive::kernels().len();
+    assert_eq!(report.scanned_blocks, n_kernels + 1);
+}

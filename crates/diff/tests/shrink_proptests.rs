@@ -1,0 +1,115 @@
+//! Property tests for the delta-debugger: every shrunk block still
+//! disagrees past the threshold, shrinking is deterministic and
+//! idempotent, and the result is 1-minimal (removing any single
+//! instruction kills the disagreement).
+
+use facile_diff::{rel_delta, remove_inst, DiffPair};
+use facile_engine::Engine;
+use facile_explain::Mode;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+use proptest::prelude::*;
+
+const THRESHOLD: f64 = 0.3;
+
+/// Fast analytic predictor pairs with healthy disagreement rates (no
+/// learned rows: no training cost, no simulator: debug-build speed).
+const PAIRS: [(&str, &str); 3] = [
+    ("facile", "llvm-mca"),
+    ("facile", "iaca"),
+    ("llvm-mca", "cqa"),
+];
+
+/// Scan the seeded stream for the first block the pair disagrees on.
+fn find_flagged(
+    engine: &Engine,
+    pair_idx: usize,
+    uarch: Uarch,
+    seed: u64,
+) -> Option<(DiffPair<'_>, Block)> {
+    let (a, b) = PAIRS[pair_idx];
+    for gb in facile_bhive::BlockStream::new(seed).take(40) {
+        let mode = if gb.looped {
+            Mode::Loop
+        } else {
+            Mode::Unrolled
+        };
+        let pair = DiffPair::new(engine, a, b, uarch, mode).expect("builtin keys");
+        if pair.delta(&gb.block).is_some_and(|d| d >= THRESHOLD) {
+            return Some((pair, gb.block));
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Soundness + 1-minimality: the shrunk block still exceeds the
+    /// threshold, and removing any single instruction drops the
+    /// disagreement below it (or breaks a predictor).
+    #[test]
+    fn shrunk_blocks_are_sound_and_minimal(
+        seed in 0u64..40,
+        pair_idx in 0usize..3,
+        uarch_idx in 0usize..3,
+    ) {
+        let engine = Engine::with_builtins();
+        let uarch = [Uarch::Skl, Uarch::Icl, Uarch::Snb][uarch_idx];
+        // `None` = no disagreement in this window: vacuously true case.
+        if let Some((pair, block)) = find_flagged(&engine, pair_idx, uarch, seed) {
+            let shrunk = pair.shrink(&block, THRESHOLD).expect("block was flagged");
+            // Sound: still a counterexample.
+            prop_assert!(shrunk.delta >= THRESHOLD);
+            prop_assert_eq!(
+                shrunk.delta,
+                rel_delta(shrunk.predictions.0, shrunk.predictions.1)
+            );
+            prop_assert!(shrunk.block.num_insts() >= 1);
+            prop_assert!(shrunk.block.num_insts() <= block.num_insts());
+            // 1-minimal: no single-instruction removal stays above threshold.
+            for i in 0..shrunk.block.num_insts() {
+                if let Some(cand) = remove_inst(&shrunk.block, i) {
+                    let d = pair.delta(&cand);
+                    prop_assert!(
+                        d.is_none() || d.unwrap() < THRESHOLD,
+                        "removing inst {i} keeps delta {:?} >= {THRESHOLD} on {}",
+                        d,
+                        shrunk.block.to_hex()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Determinism + idempotence: shrinking the same flagged block twice
+    /// (and on engines with different thread counts) yields the same
+    /// bytes, and re-shrinking the result is a no-op.
+    #[test]
+    fn shrinking_is_deterministic_and_idempotent(
+        seed in 0u64..40,
+        pair_idx in 0usize..3,
+    ) {
+        let engine1 = Engine::with_builtins().with_threads(1);
+        let engine8 = Engine::with_builtins().with_threads(8);
+        if let Some((pair1, block)) = find_flagged(&engine1, pair_idx, Uarch::Skl, seed) {
+            let (a, b) = PAIRS[pair_idx];
+            let mode = if block.ends_in_branch() { Mode::Loop } else { Mode::Unrolled };
+            let pair8 = DiffPair::new(&engine8, a, b, Uarch::Skl, mode).expect("builtin keys");
+
+            let s1 = pair1.shrink(&block, THRESHOLD).expect("flagged");
+            let s1b = pair1.shrink(&block, THRESHOLD).expect("flagged");
+            let s8 = pair8.shrink(&block, THRESHOLD).expect("flagged");
+            prop_assert_eq!(s1.block.bytes(), s1b.block.bytes());
+            prop_assert_eq!(s1.block.bytes(), s8.block.bytes());
+            prop_assert_eq!(s1.delta, s8.delta);
+            prop_assert_eq!(s1.predictions, s8.predictions);
+
+            // Idempotent: the shrunk block is its own fixpoint.
+            let again = pair1.shrink(&s1.block, THRESHOLD).expect("still flagged");
+            prop_assert_eq!(again.block.bytes(), s1.block.bytes());
+            prop_assert_eq!(again.removals, 0);
+            prop_assert_eq!(again.simplifications, 0);
+        }
+    }
+}

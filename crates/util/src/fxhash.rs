@@ -113,6 +113,58 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_cases() {
+        // Writing nothing leaves the hasher in its initial state: the
+        // empty key has a well-defined (zero) hash and is still a usable
+        // map key, distinct from every one-byte key.
+        let mut h = FxHasher::default();
+        h.write(b"");
+        assert_eq!(h.finish(), FxHasher::default().finish());
+        assert_eq!(hash_bytes(b""), h.finish());
+        for b in 0..=255u8 {
+            assert_ne!(hash_bytes(b""), hash_bytes(&[b]));
+        }
+        let mut m: FxHashMap<Vec<u8>, u32> = FxHashMap::default();
+        m.insert(Vec::new(), 7);
+        m.insert(vec![0], 8);
+        assert_eq!(m.get([].as_slice()), Some(&7));
+        assert_eq!(m.get([0u8].as_slice()), Some(&8));
+        assert_eq!(m.remove([].as_slice()), Some(7));
+        assert_eq!(m.get([].as_slice()), None);
+    }
+
+    #[test]
+    fn colliding_shard_keys_coexist() {
+        // The engine uses `hash_bytes % shards` for shard selection, so
+        // keys that collide on the low bits share a shard/bucket. Group
+        // 4096 distinct keys into 16 shard classes: every class gets
+        // members, the assignment is deterministic, and a map holding
+        // only same-shard (bucket-colliding) keys still resolves each key
+        // to its own value.
+        let keys: Vec<Vec<u8>> = (0..4096u16).map(|i| i.to_le_bytes().to_vec()).collect();
+        let shard = |k: &[u8]| (hash_bytes(k) % 16) as usize;
+        let mut by_shard: Vec<Vec<&Vec<u8>>> = vec![Vec::new(); 16];
+        for k in &keys {
+            assert_eq!(shard(k), shard(k), "shard choice is deterministic");
+            by_shard[shard(k)].push(k);
+        }
+        assert!(
+            by_shard.iter().all(|s| s.len() > 64),
+            "low bits spread keys over every shard: {:?}",
+            by_shard.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        let crowded = by_shard.iter().max_by_key(|s| s.len()).expect("16 shards");
+        let mut m: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
+        for (i, k) in crowded.iter().enumerate() {
+            m.insert((*k).clone(), i);
+        }
+        assert_eq!(m.len(), crowded.len());
+        for (i, k) in crowded.iter().enumerate() {
+            assert_eq!(m.get(k.as_slice()), Some(&i), "collision lost a key");
+        }
+    }
+
+    #[test]
     fn integer_writes_spread() {
         let mut a = FxHasher::default();
         a.write_u64(1);

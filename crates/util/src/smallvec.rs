@@ -176,6 +176,50 @@ mod tests {
     }
 
     #[test]
+    fn spill_boundary_is_exact() {
+        // Filling to exactly N stays inline; element N+1 triggers the
+        // spill; nothing is lost or reordered across the transition.
+        let mut v: SmallVec<u32, 8> = SmallVec::new();
+        for i in 0..8 {
+            v.push(i);
+            assert!(!v.spilled(), "still inline at len {}", v.len());
+            assert_eq!(v.len(), (i + 1) as usize);
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        v.push(8);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        // An extend that crosses the boundary mid-iteration also keeps
+        // every element in order.
+        let mut w: SmallVec<u32, 4> = SmallVec::new();
+        w.extend(0..10);
+        assert!(w.spilled());
+        assert_eq!(w.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn inline_heap_inline_round_trip() {
+        // inline → heap: spill, then copy the live elements into a fresh
+        // SmallVec of the same capacity → inline again, same contents.
+        let mut spilled: SmallVec<u16, 4> = SmallVec::new();
+        spilled.extend([10, 20, 30, 40, 50, 60]);
+        assert!(spilled.spilled());
+        let mut back: SmallVec<u16, 4> = SmallVec::new();
+        back.extend(spilled.as_slice()[..3].iter().copied());
+        assert!(!back.spilled(), "3 elements fit inline in a 4-cap buffer");
+        assert_eq!(back.as_slice(), &[10, 20, 30]);
+        // The round trip preserves per-element equality with the source.
+        for (a, b) in back.iter().zip(spilled.iter()) {
+            assert_eq!(a, b);
+        }
+        // Exactly-N copies also stay inline (the boundary itself).
+        let mut exact: SmallVec<u16, 4> = SmallVec::new();
+        exact.extend(spilled.as_slice()[..4].iter().copied());
+        assert!(!exact.spilled());
+        assert_eq!(exact.as_slice(), &spilled.as_slice()[..4]);
+    }
+
+    #[test]
     fn zero_capacity_goes_straight_to_heap() {
         let mut v: SmallVec<u8, 0> = SmallVec::new();
         v.push(1);

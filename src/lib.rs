@@ -23,7 +23,9 @@
 //!   oracle and as the simulation-based baseline;
 //! * [`baselines`] — the competing predictors of Table 2, in spirit;
 //! * [`bhive`] — the synthetic BHive-like benchmark suite and profiler;
-//! * [`metrics`] — MAPE, Kendall's τ-b, timing and table utilities.
+//! * [`metrics`] — MAPE, Kendall's τ-b, timing and table utilities;
+//! * [`diff`] — the differential-testing harness: cross-predictor
+//!   inconsistency hunting with deterministic block shrinking.
 //!
 //! ## Quickstart: one block, interpretable
 //!
@@ -79,6 +81,7 @@
 pub use facile_baselines as baselines;
 pub use facile_bhive as bhive;
 pub use facile_core as model;
+pub use facile_diff as diff;
 pub use facile_engine as engine;
 pub use facile_explain as explain;
 pub use facile_isa as isa;
