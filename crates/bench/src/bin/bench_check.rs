@@ -1,15 +1,21 @@
 //! Compare a fresh `bench_engine` result against a committed baseline and
-//! fail (exit 1) on a warm-throughput regression beyond the tolerance.
+//! fail (exit 1) on a throughput regression beyond the tolerance, in any
+//! of the gated configurations: warm single-thread, cold single-thread
+//! (the annotate-included first pass), and the nine-uarch sweep (which
+//! exercises the planner batch API and the two-level decode/annotate
+//! cache).
 //!
 //! ```text
 //! bench_check <baseline.json> <fresh.json> [--max-regression 0.25]
 //! ```
 //!
 //! Used by CI: the committed `BENCH_engine.json` is copied aside, the
-//! benchmark re-runs, and this gate rejects the build if warm
-//! single-thread throughput dropped by more than 25%. Parallel-vs-single
-//! is additionally required not to be a slowdown (>= 0.95 to leave room
-//! for timer noise on busy runners).
+//! benchmark re-runs, and this gate rejects the build if any gated
+//! configuration dropped by more than 25%. Parallel-vs-single is
+//! additionally required not to be a slowdown (>= 0.95 to leave room
+//! for timer noise on busy runners). Baselines from before the
+//! multi-uarch sweep existed simply skip that gate (the field probe
+//! reports it as absent).
 
 use std::process::ExitCode;
 
@@ -56,24 +62,53 @@ fn run() -> Result<(), String> {
 
     let baseline = load(&baseline_path)?;
     let fresh = load(&fresh_path)?;
-    let get = |json: &str, path: &str| -> Result<f64, String> {
-        field(json, "single_thread", path)
-            .ok_or_else(|| format!("field single_thread.{path} not found"))
-    };
-    let base_warm = get(&baseline, "warm_cache_blocks_per_sec")?;
-    let fresh_warm = get(&fresh, "warm_cache_blocks_per_sec")?;
-    let floor = base_warm * (1.0 - max_regression);
-    println!(
-        "warm single-thread: baseline {base_warm:.0} blocks/s, fresh {fresh_warm:.0} blocks/s \
-         (floor {floor:.0}, tolerance {:.0}%)",
-        max_regression * 100.0
-    );
-    if fresh_warm < floor {
-        return Err(format!(
-            "warm-throughput regression: {fresh_warm:.0} < {floor:.0} blocks/s \
-             ({:.1}% below the committed baseline)",
-            (1.0 - fresh_warm / base_warm) * 100.0
-        ));
+    // Gated configurations: (label, json section, key, required).
+    // `multi_uarch` is optional so the gate still works against
+    // baselines committed before the sweep existed.
+    let gates = [
+        (
+            "warm single-thread",
+            "single_thread",
+            "warm_cache_blocks_per_sec",
+            true,
+        ),
+        (
+            "cold single-thread",
+            "single_thread",
+            "cold_cache_blocks_per_sec",
+            true,
+        ),
+        (
+            "multi-uarch sweep warm",
+            "multi_uarch",
+            "warm_cache_blocks_per_sec",
+            false,
+        ),
+    ];
+    for (label, section, key, required) in gates {
+        let base = match field(&baseline, section, key) {
+            Some(v) => v,
+            None if !required => {
+                println!("{label}: baseline predates {section}.{key}; gate skipped");
+                continue;
+            }
+            None => return Err(format!("field {section}.{key} not found in baseline")),
+        };
+        let fresh_v = field(&fresh, section, key)
+            .ok_or_else(|| format!("field {section}.{key} not found in fresh result"))?;
+        let floor = base * (1.0 - max_regression);
+        println!(
+            "{label}: baseline {base:.0} blocks/s, fresh {fresh_v:.0} blocks/s \
+             (floor {floor:.0}, tolerance {:.0}%)",
+            max_regression * 100.0
+        );
+        if fresh_v < floor {
+            return Err(format!(
+                "{label} throughput regression: {fresh_v:.0} < {floor:.0} blocks/s \
+                 ({:.1}% below the committed baseline)",
+                (1.0 - fresh_v / base) * 100.0
+            ));
+        }
     }
 
     // Top-level field: section and key coincide.

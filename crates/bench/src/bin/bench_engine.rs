@@ -1,9 +1,11 @@
 //! Batch-throughput microbenchmark for the prediction engine: the
 //! repository's perf gate on the paper's ~10,000× speed claim. Measures
 //! blocks/second through `Engine::predict_batch` — single-thread vs
-//! parallel, cold vs warm annotation cache — verifies that multi-threaded
-//! output is byte-identical to single-threaded output, and writes the
-//! numbers to `BENCH_engine.json`.
+//! parallel, cold vs warm cache, plus a nine-uarch sweep that exercises
+//! the two-level (decode-once / annotate-per-uarch) cache — verifies
+//! that multi-threaded output is byte-identical to single-threaded
+//! output, records per-kernel mean/max timing from a separate
+//! instrumented pass, and writes the numbers to `BENCH_engine.json`.
 //!
 //! Host reporting is honest: `host_cpus` and `threads_parallel` are both
 //! derived from `available_parallelism`. On a single-CPU host the
@@ -100,6 +102,22 @@ fn main() {
     // warm-over-cold speedup.
     let stats = single.cache_stats();
 
+    // Multi-uarch sweep: the same blocks across all nine
+    // microarchitectures, exercising the planner batch API and the
+    // two-level cache (decode once per bytes, annotate per uarch).
+    let sweep_items: Vec<BatchItem> = suite
+        .iter()
+        .flat_map(|b| {
+            Uarch::ALL
+                .iter()
+                .map(|&u| BatchItem::block(b.unrolled.clone(), u))
+        })
+        .collect();
+    let sweep_engine = Engine::new(PredictorRegistry::with_builtins()).with_threads(1);
+    let (sweep_cold, _) = run(&sweep_engine, &sweep_items, 1);
+    let (sweep_warm, _) = run(&sweep_engine, &sweep_items, 3);
+    let sweep_stats = sweep_engine.cache_stats();
+
     // Determinism gate: a many-threaded engine (even when time-sliced on
     // few CPUs, this exercises the chunked parallel map) must produce
     // byte-identical rows.
@@ -132,13 +150,37 @@ fn main() {
         )
     };
 
+    // Per-kernel timing from a separate instrumented warm pass (the
+    // timed measurements above run without instrumentation, so the
+    // recorded throughput never pays for the clock reads).
+    facile_core::timing::reset();
+    Engine::set_kernel_timing(true);
+    let _ = run(&single, &items, 1);
+    Engine::set_kernel_timing(false);
+    let kernels = facile_core::timing::snapshot();
+    let kernel_json: Vec<String> = facile_core::Component::ALL
+        .into_iter()
+        .map(|c| (c, kernels[c as usize]))
+        .filter(|(_, k)| k.count > 0)
+        .map(|(c, k)| {
+            format!(
+                "    {{ \"kernel\": \"{}\", \"count\": {}, \"mean_us\": {:.3}, \"max_us\": {:.3} }}",
+                c.name(),
+                k.count,
+                k.mean_us,
+                k.max_us
+            )
+        })
+        .collect();
+    let solver = facile_core::mcr::solve_path_counts();
+
     let intern = stats.intern;
     let speedup_parallel = warm_parallel.blocks_per_sec / warm_single.blocks_per_sec;
     let speedup_warm = warm_parallel.blocks_per_sec / cold_parallel.blocks_per_sec;
 
     let note_json = note.map_or(String::new(), |n| format!("\n  \"note\": \"{n}\","));
     let json = format!(
-        "{{\n  \"benchmark\": \"engine_batch_throughput\",\n  \"predictors\": \"{SELECTOR}\",\n  \"uarch\": \"{uarch}\",\n  \"blocks\": {n},\n  \"rows\": {rows},\n  \"host_cpus\": {host_cpus},\n  \"threads_parallel\": {parallel_threads},{note_json}\n  \"single_thread\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel_speedup_warm\": {:.3},\n  \"warm_over_cold_speedup_parallel\": {:.3},\n  \"annotation_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {} }},\n  \"intern_table\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {} }},\n  \"deterministic_across_threads\": true,\n  \"determinism_check_threads\": {check_threads}\n}}\n",
+        "{{\n  \"benchmark\": \"engine_batch_throughput\",\n  \"predictors\": \"{SELECTOR}\",\n  \"uarch\": \"{uarch}\",\n  \"blocks\": {n},\n  \"rows\": {rows},\n  \"host_cpus\": {host_cpus},\n  \"threads_parallel\": {parallel_threads},{note_json}\n  \"single_thread\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"multi_uarch\": {{\n    \"uarchs\": {n_uarchs},\n    \"items\": {sweep_n},\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1},\n    \"decode_hits\": {},\n    \"decode_misses\": {},\n    \"annotate_misses\": {}\n  }},\n  \"parallel_speedup_warm\": {:.3},\n  \"warm_over_cold_speedup_parallel\": {:.3},\n  \"planner\": {{ \"items\": {}, \"deduped\": {} }},\n  \"annotation_cache\": {{ \"hits\": {}, \"misses\": {}, \"decode_hits\": {}, \"decode_misses\": {}, \"entries\": {}, \"blocks\": {} }},\n  \"intern_table\": {{ \"hits\": {}, \"misses\": {}, \"core_hits\": {}, \"core_misses\": {}, \"byte_entries\": {}, \"entries\": {} }},\n  \"solver_paths\": {{ \"acyclic\": {}, \"simple_cycle\": {}, \"longest_path\": {}, \"howard\": {} }},\n  \"kernels\": [\n{}\n  ],\n  \"deterministic_across_threads\": true,\n  \"determinism_check_threads\": {check_threads}\n}}\n",
         cold_single.secs,
         cold_single.blocks_per_sec,
         warm_single.secs,
@@ -147,21 +189,47 @@ fn main() {
         cold_parallel.blocks_per_sec,
         warm_parallel.secs,
         warm_parallel.blocks_per_sec,
+        sweep_cold.secs,
+        sweep_cold.blocks_per_sec,
+        sweep_warm.secs,
+        sweep_warm.blocks_per_sec,
+        sweep_stats.annotation.decode_hits,
+        sweep_stats.annotation.decode_misses,
+        sweep_stats.annotation.misses,
         speedup_parallel,
         speedup_warm,
+        stats.planner.items,
+        stats.planner.deduped,
         stats.annotation.hits,
         stats.annotation.misses,
+        stats.annotation.decode_hits,
+        stats.annotation.decode_misses,
         stats.annotation.entries,
+        stats.annotation.blocks,
         intern.hits,
         intern.misses,
+        intern.core_hits,
+        intern.core_misses,
+        intern.byte_entries,
         intern.entries,
+        solver.acyclic,
+        solver.simple_cycle,
+        solver.longest_path,
+        solver.howard,
+        kernel_json.join(",\n"),
         rows = rows_single.len(),
+        n_uarchs = Uarch::ALL.len(),
+        sweep_n = sweep_items.len(),
     );
     std::fs::write(OUT_PATH, &json).expect("write BENCH_engine.json");
     println!("{json}");
     eprintln!(
-        "single warm: {:.0} blocks/s; parallel warm ({} threads): {:.0} blocks/s ({speedup_parallel:.2}x)",
-        warm_single.blocks_per_sec, parallel_threads, warm_parallel.blocks_per_sec
+        "single warm: {:.0} blocks/s; parallel warm ({} threads): {:.0} blocks/s ({speedup_parallel:.2}x); \
+         multi-uarch sweep warm: {:.0} blocks/s",
+        warm_single.blocks_per_sec,
+        parallel_threads,
+        warm_parallel.blocks_per_sec,
+        sweep_warm.blocks_per_sec
     );
     eprintln!("wrote {OUT_PATH}");
 }

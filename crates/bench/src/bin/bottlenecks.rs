@@ -22,18 +22,43 @@ use facile_engine::{BatchItem, Engine};
 use facile_metrics::{BottleneckDistribution, Table};
 use facile_uarch::Uarch;
 
-fn distribution(engine: &Engine, items: &[BatchItem]) -> BottleneckDistribution {
-    let mut dist = BottleneckDistribution::new();
-    for row in engine.run_batch(
-        items,
+/// One planner-enabled batch over the whole `uarchs × blocks` corpus
+/// (instead of a per-uarch loop): the engine's two-level cache decodes
+/// and interns each block's instruction cores once and only the
+/// per-uarch annotation differs, so the sweep reflects the shared
+/// decode path. Rows fold into one distribution per uarch (row order is
+/// deterministic: items are emitted uarch-major).
+fn distributions(
+    engine: &Engine,
+    suite: &[facile_bhive::Bench],
+    uarchs: &[Uarch],
+    mode: Mode,
+) -> Vec<BottleneckDistribution> {
+    let items: Vec<BatchItem> = uarchs
+        .iter()
+        .flat_map(|&u| {
+            suite.iter().map(move |b| {
+                let block = match mode {
+                    Mode::Unrolled => &b.unrolled,
+                    Mode::Loop => &b.looped,
+                };
+                BatchItem::block(block.clone(), u).with_mode(mode)
+            })
+        })
+        .collect();
+    let rows = engine.run_batch(
+        &items,
         &engine.registry().resolve("facile").expect("builtin"),
-    ) {
+    );
+    let mut dists = vec![BottleneckDistribution::new(); uarchs.len()];
+    for (k, row) in rows.iter().enumerate() {
+        let dist = &mut dists[k / suite.len()];
         match &row.prediction {
             Ok(p) => dist.record(p.bottleneck),
             Err(_) => dist.record_error(),
         }
     }
-    dist
+    dists
 }
 
 fn main() {
@@ -53,23 +78,7 @@ fn main() {
         let mut header = vec!["Component".to_string()];
         header.extend(args.uarchs.iter().map(ToString::to_string));
         let mut t = Table::new(header.iter().map(String::as_str).collect());
-        let dists: Vec<BottleneckDistribution> = args
-            .uarchs
-            .iter()
-            .map(|&u| {
-                let items: Vec<BatchItem> = suite
-                    .iter()
-                    .map(|b| {
-                        let block = match mode {
-                            Mode::Unrolled => &b.unrolled,
-                            Mode::Loop => &b.looped,
-                        };
-                        BatchItem::block(block.clone(), u).with_mode(mode)
-                    })
-                    .collect();
-                distribution(&engine, &items)
-            })
-            .collect();
+        let dists = distributions(&engine, &suite, &args.uarchs, mode);
         for comp in Component::ALL {
             if dists.iter().all(|d| d.count(comp) == 0) {
                 continue; // e.g. LSD/DSB rows under TPU

@@ -96,9 +96,10 @@ OPTIONS:
                        otherwise); composes with --batch
     --json, --csv      deprecated aliases for --format json / --format csv
     --threads <N>      batch worker threads (default: all cores)
-    --stats            report cache counters (annotation cache + descriptor
-                       intern table) after the run: a trailing JSON object
-                       with --format json, a summary on stderr otherwise
+    --stats            report run counters after the run (batch planner
+                       dedup, two-level block cache, descriptor intern
+                       table, per-kernel mean/max timing): a trailing JSON
+                       object with --format json, stderr lines otherwise
     --list-predictors  list registered predictor keys
     --list-kernels     list the built-in corpus kernels
     --help             show this help
@@ -363,48 +364,128 @@ fn build_engine(o: &Options) -> Engine {
     if let Some(t) = o.threads {
         engine = engine.with_threads(t);
     }
+    if o.stats {
+        // `--stats` reports per-kernel timing, which is only collected
+        // while the opt-in accounting is on.
+        Engine::set_kernel_timing(true);
+    }
     engine
 }
 
-/// Cache counters accumulated over a run (batch mode drops annotations
+/// Counters accumulated over a run (batch mode drops annotations
 /// between chunks to bound memory, so hits/misses are summed across
-/// chunks and `entries` is the high-water mark).
+/// chunks and resident-entry counts are high-water marks).
 #[derive(Default, Clone, Copy)]
 struct StatsTally {
+    planned: u64,
+    deduped: u64,
     ann_hits: u64,
     ann_misses: u64,
+    decode_hits: u64,
+    decode_misses: u64,
     ann_entries: usize,
+    blocks: usize,
 }
 
 impl StatsTally {
     fn absorb(&mut self, s: facile_engine::EngineStats) {
+        // Planner counters are engine-lifetime totals, not per-chunk
+        // deltas: take the latest value instead of summing.
+        self.planned = s.planner.items;
+        self.deduped = s.planner.deduped;
         self.ann_hits += s.annotation.hits;
         self.ann_misses += s.annotation.misses;
+        self.decode_hits += s.annotation.decode_hits;
+        self.decode_misses += s.annotation.decode_misses;
         self.ann_entries = self.ann_entries.max(s.annotation.entries);
+        self.blocks = self.blocks.max(s.annotation.blocks);
     }
 }
 
-/// Emit cache counters: a trailing JSON object on stdout with JSON output,
-/// a human-readable summary on stderr otherwise (CSV output stays pure).
+/// Emit planner/cache counters and (when collected) per-kernel timing:
+/// a trailing JSON object on stdout with JSON output, a human-readable
+/// summary on stderr otherwise (CSV output stays pure).
 fn emit_stats<W: Write + ?Sized>(
     out: &mut W,
     format: Format,
     t: StatsTally,
 ) -> std::io::Result<()> {
     let i = facile_isa::intern_stats();
+    let kernels = facile_core::timing::snapshot();
+    let kernel_rows: Vec<(facile_core::Component, facile_engine::KernelTiming)> =
+        facile_core::Component::ALL
+            .into_iter()
+            .map(|c| (c, kernels[c as usize]))
+            .filter(|(_, k)| k.count > 0)
+            .collect();
     match format {
-        Format::Json => writeln!(
-            out,
-            "{{\"stats\":{{\"annotation_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\
-             \"intern_table\":{{\"hits\":{},\"misses\":{},\"entries\":{}}}}}}}",
-            t.ann_hits, t.ann_misses, t.ann_entries, i.hits, i.misses, i.entries
-        ),
+        Format::Json => {
+            let kernel_json: Vec<String> = kernel_rows
+                .iter()
+                .map(|(c, k)| {
+                    format!(
+                        "{{\"kernel\":\"{}\",\"count\":{},\"mean_us\":{:.3},\"max_us\":{:.3}}}",
+                        c.name(),
+                        k.count,
+                        k.mean_us,
+                        k.max_us
+                    )
+                })
+                .collect();
+            writeln!(
+                out,
+                "{{\"stats\":{{\"planner\":{{\"items\":{},\"deduped\":{}}},\
+                 \"block_cache\":{{\"decode_hits\":{},\"decode_misses\":{},\"annotate_hits\":{},\
+                 \"annotate_misses\":{},\"blocks\":{},\"annotations\":{}}},\
+                 \"intern_table\":{{\"hits\":{},\"misses\":{},\"core_hits\":{},\"core_misses\":{},\
+                 \"byte_entries\":{},\"entries\":{}}},\"kernels\":[{}]}}}}",
+                t.planned,
+                t.deduped,
+                t.decode_hits,
+                t.decode_misses,
+                t.ann_hits,
+                t.ann_misses,
+                t.blocks,
+                t.ann_entries,
+                i.hits,
+                i.misses,
+                i.core_hits,
+                i.core_misses,
+                i.byte_entries,
+                i.entries,
+                kernel_json.join(",")
+            )
+        }
         Format::Csv | Format::Human => {
             eprintln!(
-                "stats: annotation cache {} hits / {} misses / {} entries; \
-                 intern table {} hits / {} misses / {} entries",
-                t.ann_hits, t.ann_misses, t.ann_entries, i.hits, i.misses, i.entries
+                "stats: planner {} items / {} deduped; block cache {} decode hits / {} decode \
+                 misses / {} annotate hits / {} annotate misses ({} blocks, {} annotations); \
+                 intern table {} hits / {} misses ({} core hits / {} core misses, {} byte \
+                 entries, {} descriptors)",
+                t.planned,
+                t.deduped,
+                t.decode_hits,
+                t.decode_misses,
+                t.ann_hits,
+                t.ann_misses,
+                t.blocks,
+                t.ann_entries,
+                i.hits,
+                i.misses,
+                i.core_hits,
+                i.core_misses,
+                i.byte_entries,
+                i.entries
             );
+            for (c, k) in kernel_rows {
+                eprintln!(
+                    "stats: kernel {} mean {:.2} us / max {:.2} us over {} calls",
+                    c.name(),
+                    k.mean_us,
+                    k.max_us,
+                    k.count
+                );
+            }
             Ok(())
         }
     }

@@ -60,6 +60,7 @@ pub mod precedence;
 pub mod predec;
 pub mod predict;
 pub mod report;
+pub mod timing;
 
 pub use ablation::{variants as ablation_variants, Variant};
 pub use facile_explain::{

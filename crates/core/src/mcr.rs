@@ -4,13 +4,30 @@
 //! maximum, over all cycles `C` of a dependence graph, of
 //! `Σ latency(e) / Σ iteration_count(e)` for `e ∈ C`.
 //!
-//! Two independent solvers are provided:
-//! * [`max_cycle_ratio_howard`] — Howard's policy-iteration algorithm, as
-//!   used by the paper (citing Dasdan's survey); this is the production
-//!   solver.
+//! Three solvers are provided:
+//! * [`solve`] — the production solver: a scratch-pooled iterative Tarjan
+//!   SCC condensation, with cheap linear-time fast paths inside each
+//!   nontrivial SCC (a simple cycle is summed directly; an SCC whose only
+//!   loop-carried edge closes an otherwise acyclic subgraph is solved by a
+//!   longest-path DP in topological order) and Howard policy iteration
+//!   only for the SCCs that genuinely need it. Dependence graphs of
+//!   straight-line blocks are overwhelmingly acyclic or close small
+//!   cycles, so the common case is O(V+E) instead of policy iteration
+//!   over the whole graph.
+//! * [`solve_reference`] (= [`max_cycle_ratio_howard`]) — Howard's
+//!   policy-iteration algorithm over the full graph, as used by the paper
+//!   (citing Dasdan's survey). Retained as the oracle the property tests
+//!   pin [`solve`] against, and as the cycle extractor behind the typed
+//!   critical-chain rendering.
 //! * [`max_cycle_ratio_lawler`] — Lawler's binary search over λ with
 //!   Bellman–Ford positive-cycle detection; used to cross-check Howard in
 //!   the test suite.
+//!
+//! All edge weights that reach these solvers are sums of small integral
+//! latencies, so cycle/path sums are exact in `f64` regardless of
+//! summation order; [`solve`] and [`solve_reference`] therefore agree
+//! *bit for bit* on the ratio (both compute the same `Σw / Σt` division),
+//! which the equivalence proptests assert.
 
 /// An edge of a ratio graph.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -348,6 +365,510 @@ fn howard_with(g: &RatioGraph, s: &mut HowardScratch) -> Mcr {
         return max_cycle_ratio_lawler(g);
     }
     best
+}
+
+/// Howard's policy iteration over the full graph: the reference solver
+/// the structure-aware [`solve`] is property-tested against, and the one
+/// the chain extraction uses (its critical cycle — including its
+/// starting rotation — is what the golden reports pin).
+#[must_use]
+pub fn solve_reference(g: &RatioGraph) -> Mcr {
+    max_cycle_ratio_howard(g)
+}
+
+/// Reusable buffers for [`solve`] (one set per thread). The solver runs
+/// once per prediction on the batch hot path, so everything — CSR
+/// adjacency, Tarjan state, SCC buckets, the per-SCC subgraph, and the
+/// DP arrays — lives in pooled vectors that warm up once.
+#[derive(Debug, Default)]
+struct SolveScratch {
+    // CSR adjacency: edge indices of node v are csr[head[v]..head[v+1]].
+    head: Vec<u32>,
+    csr: Vec<u32>,
+    // Iterative Tarjan state.
+    order: Vec<u32>, // 0 = unvisited, else DFS index + 1
+    low: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<u32>,
+    call: Vec<(u32, u32)>, // (node, cursor into its CSR window)
+    comp: Vec<u32>,        // SCC id per node, in completion order
+    // SCC buckets: members grouped by component, edges grouped by the
+    // component both endpoints share.
+    comp_members: Vec<u32>,
+    member_start: Vec<u32>,
+    comp_edges: Vec<u32>,
+    edge_start: Vec<u32>,
+    // Per-SCC fast paths: local ids, out-degrees, DP state.
+    local: Vec<u32>,
+    out_deg: Vec<u32>,
+    indeg: Vec<u32>,
+    dist: Vec<f64>,
+    pred: Vec<u32>,
+    topo: Vec<u32>,
+    cycle_buf: Vec<usize>,
+    // Howard-inside-SCC subproblem.
+    sub: RatioGraph,
+    sub_nodes: Vec<u32>, // local id -> global node
+    howard: HowardScratch,
+}
+
+thread_local! {
+    static SOLVE_SCRATCH: std::cell::RefCell<SolveScratch> =
+        std::cell::RefCell::new(SolveScratch::default());
+}
+
+/// Which per-SCC strategies [`solve`] has taken, process-wide: how often
+/// the query ended with no nontrivial SCC at all, and how many SCCs were
+/// resolved by direct simple-cycle summation, the single-carried-edge
+/// longest-path DP, and Howard policy iteration respectively. Relaxed
+/// counters; cheap enough to stay on in production and exposed so the
+/// perf harness can show *why* the fast paths win.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolvePathCounts {
+    /// Queries that found no cycle (acyclic graph).
+    pub acyclic: u64,
+    /// SCCs resolved as a single simple cycle (one summation).
+    pub simple_cycle: u64,
+    /// SCCs resolved by the longest-path DP over one carried edge.
+    pub longest_path: u64,
+    /// SCCs that needed Howard policy iteration.
+    pub howard: u64,
+}
+
+static SOLVE_ACYCLIC: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static SOLVE_SIMPLE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static SOLVE_DP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static SOLVE_HOWARD: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn bump(counter: &std::sync::atomic::AtomicU64) {
+    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Current [`SolvePathCounts`].
+#[must_use]
+pub fn solve_path_counts() -> SolvePathCounts {
+    use std::sync::atomic::Ordering::Relaxed;
+    SolvePathCounts {
+        acyclic: SOLVE_ACYCLIC.load(Relaxed),
+        simple_cycle: SOLVE_SIMPLE.load(Relaxed),
+        longest_path: SOLVE_DP.load(Relaxed),
+        howard: SOLVE_HOWARD.load(Relaxed),
+    }
+}
+
+/// Maximum cycle ratio via SCC condensation with linear fast paths:
+/// the production solver. Bit-identical in ratio to [`solve_reference`]
+/// whenever edge weights are exactly representable sums (integral
+/// latencies are), which the proptests pin. The reported critical cycle
+/// attains the ratio but may be a different (equally critical) cycle, or
+/// the same cycle under a different rotation, than the reference's.
+#[must_use]
+pub fn solve(g: &RatioGraph) -> Mcr {
+    SOLVE_SCRATCH.with(|s| solve_with(g, &mut s.borrow_mut(), true))
+}
+
+/// [`solve`] without critical-cycle extraction: the returned
+/// [`Mcr::Ratio`] has an empty `cycle`. The batch hot path only needs
+/// the bound, and skipping extraction keeps the fast paths free of the
+/// one per-call allocation the cycle vector would cost.
+#[must_use]
+pub fn solve_value(g: &RatioGraph) -> Mcr {
+    SOLVE_SCRATCH.with(|s| solve_with(g, &mut s.borrow_mut(), false))
+}
+
+/// Component id of nodes in trivial SCCs (single node, no self-loop):
+/// they cannot lie on a cycle and are skipped everywhere.
+const TRIVIAL: u32 = u32::MAX;
+
+/// Iterative Tarjan over the CSR adjacency in `s`. Nodes of trivial
+/// components get `comp = TRIVIAL`; each *nontrivial* component (size
+/// ≥ 2, or a single node with a self-loop) is assigned an id in
+/// completion order and its members — which Tarjan pops consecutively —
+/// are appended to `s.comp_members`, with `s.member_start` delimiting
+/// the per-component ranges. Returns the number of nontrivial
+/// components; when it is zero the graph is acyclic and the caller is
+/// done without any bucketing passes.
+fn tarjan(g: &RatioGraph, s: &mut SolveScratch) -> usize {
+    let n = g.num_nodes();
+    reset(&mut s.order, n, 0u32);
+    reset(&mut s.comp, n, TRIVIAL);
+    // `low` and `on_stack` are written at push time before any read, so
+    // they only need capacity, not re-initialization.
+    if s.low.len() < n {
+        s.low.resize(n, 0);
+    }
+    if s.on_stack.len() < n {
+        s.on_stack.resize(n, false);
+    }
+    s.stack.clear();
+    s.call.clear();
+    s.comp_members.clear();
+    s.member_start.clear();
+    s.member_start.push(0);
+    let mut next_order = 1u32;
+    let mut ncomp = 0usize;
+    for root in 0..n {
+        if s.order[root] != 0 {
+            continue;
+        }
+        s.call.push((root as u32, s.head[root]));
+        s.order[root] = next_order;
+        s.low[root] = next_order;
+        next_order += 1;
+        s.stack.push(root as u32);
+        s.on_stack[root] = true;
+        while let Some(&mut (v, ref mut cursor)) = s.call.last_mut() {
+            let v = v as usize;
+            if *cursor < s.head[v + 1] {
+                let w = g.edges()[s.csr[*cursor as usize] as usize].to;
+                *cursor += 1;
+                if s.order[w] == 0 {
+                    s.call.push((w as u32, s.head[w]));
+                    s.order[w] = next_order;
+                    s.low[w] = next_order;
+                    next_order += 1;
+                    s.stack.push(w as u32);
+                    s.on_stack[w] = true;
+                } else if s.on_stack[w] {
+                    s.low[v] = s.low[v].min(s.order[w]);
+                }
+            } else {
+                s.call.pop();
+                if let Some(&(p, _)) = s.call.last() {
+                    let p = p as usize;
+                    s.low[p] = s.low[p].min(s.low[v]);
+                }
+                if s.low[v] == s.order[v] {
+                    // v is the root of a component: pop it off the stack.
+                    let first = s.comp_members.len();
+                    loop {
+                        let w = s.stack.pop().expect("stack holds the component") as usize;
+                        s.on_stack[w] = false;
+                        s.comp[w] = ncomp as u32;
+                        s.comp_members.push(w as u32);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let size = s.comp_members.len() - first;
+                    let nontrivial = size > 1
+                        || (s.head[v] as usize..s.head[v + 1] as usize)
+                            .any(|i| g.edges()[s.csr[i] as usize].to == v);
+                    if nontrivial {
+                        ncomp += 1;
+                        s.member_start.push(s.comp_members.len() as u32);
+                    } else {
+                        s.comp[v] = TRIVIAL;
+                        s.comp_members.truncate(first);
+                    }
+                }
+            }
+        }
+    }
+    ncomp
+}
+
+/// The contribution of one SCC, as `(ratio numerator/denominator already
+/// divided, cycle in global node ids)`, or `None` for an unbounded SCC.
+type SccRatio = Option<(f64, Vec<usize>)>;
+
+#[allow(clippy::too_many_lines)]
+fn solve_with(g: &RatioGraph, s: &mut SolveScratch, want_cycle: bool) -> Mcr {
+    let n = g.num_nodes();
+    if n == 0 || g.num_edges() == 0 {
+        bump(&SOLVE_ACYCLIC);
+        return Mcr::Acyclic;
+    }
+
+    // CSR adjacency (counting sort of edges by source).
+    let ne = g.num_edges();
+    reset(&mut s.head, n + 1, 0u32);
+    for e in g.edges() {
+        s.head[e.from + 1] += 1;
+    }
+    for v in 0..n {
+        s.head[v + 1] += s.head[v];
+    }
+    reset(&mut s.csr, ne, 0u32);
+    {
+        // `head` doubles as the write cursor and is rewound afterwards.
+        for (ei, e) in g.edges().iter().enumerate() {
+            s.csr[s.head[e.from] as usize] = ei as u32;
+            s.head[e.from] += 1;
+        }
+        for v in (1..=n).rev() {
+            s.head[v] = s.head[v - 1];
+        }
+        s.head[0] = 0;
+    }
+
+    let ncomp = tarjan(g, s);
+    if ncomp == 0 {
+        bump(&SOLVE_ACYCLIC);
+        return Mcr::Acyclic; // every component is trivial: no cycle at all
+    }
+
+    // Bucket intra-SCC edges by (nontrivial) component: a counting sort
+    // over `ncomp` buckets — `ncomp` is almost always 1 or 2, so these
+    // arrays are tiny regardless of graph size.
+    reset(&mut s.edge_start, ncomp + 1, 0u32);
+    for e in g.edges() {
+        let c = s.comp[e.from];
+        if c != TRIVIAL && c == s.comp[e.to] {
+            s.edge_start[c as usize + 1] += 1;
+        }
+    }
+    for c in 0..ncomp {
+        s.edge_start[c + 1] += s.edge_start[c];
+    }
+    let intra_total = s.edge_start[ncomp] as usize;
+    reset(&mut s.comp_edges, intra_total, 0u32);
+    for (ei, e) in g.edges().iter().enumerate() {
+        let c = s.comp[e.from];
+        if c != TRIVIAL && c == s.comp[e.to] {
+            s.comp_edges[s.edge_start[c as usize] as usize] = ei as u32;
+            s.edge_start[c as usize] += 1;
+        }
+    }
+    for c in (1..=ncomp).rev() {
+        s.edge_start[c] = s.edge_start[c - 1];
+    }
+    s.edge_start[0] = 0;
+
+    // `local` is written for every member before any read, per SCC.
+    if s.local.len() < n {
+        s.local.resize(n, 0);
+    }
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for c in 0..ncomp {
+        let members = s.member_start[c] as usize..s.member_start[c + 1] as usize;
+        let edges = s.edge_start[c] as usize..s.edge_start[c + 1] as usize;
+        let (m, k) = (members.len(), edges.len());
+        debug_assert!(k > 0, "a nontrivial SCC has at least one intra edge");
+        let ratio = scc_ratio(g, s, members, edges, m, k, want_cycle);
+        match ratio {
+            None => return Mcr::Unbounded,
+            Some((value, cycle)) => {
+                if best.as_ref().is_none_or(|(b, _)| value > *b) {
+                    best = Some((value, cycle));
+                }
+            }
+        }
+    }
+    match best {
+        None => Mcr::Acyclic,
+        Some((value, cycle)) => Mcr::Ratio {
+            value: value.max(0.0),
+            cycle,
+        },
+    }
+}
+
+/// The maximum cycle ratio contributed by one nontrivial SCC, via the
+/// cheapest applicable method: direct summation of a simple cycle, a
+/// longest-path DP when a single carried edge closes an acyclic
+/// subgraph, or Howard policy iteration on the induced subproblem.
+#[allow(clippy::too_many_lines)]
+fn scc_ratio(
+    g: &RatioGraph,
+    s: &mut SolveScratch,
+    members: std::ops::Range<usize>,
+    edges: std::ops::Range<usize>,
+    m: usize,
+    k: usize,
+    want_cycle: bool,
+) -> SccRatio {
+    // Local ids + per-member out-degree within the SCC.
+    for (li, &v) in s.comp_members[members.clone()].iter().enumerate() {
+        s.local[v as usize] = li as u32;
+    }
+    reset(&mut s.out_deg, m, 0u32);
+    let mut carried = 0usize;
+    let mut carried_edge = 0usize;
+    for &ei in &s.comp_edges[edges.clone()] {
+        let e = &g.edges()[ei as usize];
+        s.out_deg[s.local[e.from] as usize] += 1;
+        if e.count > 0 {
+            carried += 1;
+            carried_edge = ei as usize;
+        }
+    }
+
+    // Fast path 1 — a simple cycle: as many intra edges as members and
+    // every member with exactly one in-SCC successor. Strong
+    // connectivity then forces a single Hamiltonian cycle; its ratio is
+    // one summation.
+    if k == m && s.out_deg.iter().all(|&d| d == 1) {
+        bump(&SOLVE_SIMPLE);
+        let start = s.comp_members[members.start] as usize;
+        let mut w_sum = 0.0;
+        let mut t_sum = 0u32;
+        s.cycle_buf.clear();
+        let mut v = start;
+        loop {
+            if want_cycle {
+                s.cycle_buf.push(v);
+            }
+            // The unique in-SCC out-edge of v (first CSR hit suffices).
+            let ei = (s.head[v] as usize..s.head[v + 1] as usize)
+                .map(|i| s.csr[i] as usize)
+                .find(|&ei| {
+                    let e = &g.edges()[ei];
+                    s.comp[e.from] == s.comp[e.to]
+                })
+                .expect("member has one in-SCC out-edge");
+            let e = &g.edges()[ei];
+            w_sum += e.weight;
+            t_sum += e.count;
+            v = e.to;
+            if v == start {
+                break;
+            }
+        }
+        if t_sum == 0 {
+            return if w_sum > EPS {
+                None
+            } else {
+                Some((0.0, std::mem::take(&mut s.cycle_buf)))
+            };
+        }
+        return Some((w_sum / f64::from(t_sum), std::mem::take(&mut s.cycle_buf)));
+    }
+
+    // Fast path 2 — exactly one loop-carried edge: removing it must
+    // leave the SCC acyclic (every cycle of a well-formed dependence
+    // graph crosses an iteration boundary), and then the maximum ratio
+    // is the longest path closing that edge, found by one DP pass in
+    // topological order.
+    if carried == 1 {
+        if let Some(r) = single_carried_ratio(g, s, &members, &edges, m, carried_edge, want_cycle) {
+            bump(&SOLVE_DP);
+            return Some(r);
+        }
+        // A residual zero-count cycle exists: fall through to Howard,
+        // which classifies it (Unbounded or ratio-0) consistently.
+    }
+
+    // General case: Howard policy iteration, but only on this SCC's
+    // induced subgraph.
+    bump(&SOLVE_HOWARD);
+    s.sub.reset(m);
+    s.sub_nodes.clear();
+    s.sub_nodes
+        .extend(s.comp_members[members.clone()].iter().copied());
+    for &ei in &s.comp_edges[edges.clone()] {
+        let e = &g.edges()[ei as usize];
+        s.sub.add_edge(
+            s.local[e.from] as usize,
+            s.local[e.to] as usize,
+            e.weight,
+            e.count,
+        );
+    }
+    match howard_with(&s.sub, &mut s.howard) {
+        Mcr::Unbounded => None,
+        // A nontrivial SCC always contains a cycle; Howard can only
+        // report Acyclic here if every cycle has ratio ≤ 0, i.e. 0.
+        Mcr::Acyclic => Some((0.0, vec![s.sub_nodes[0] as usize])),
+        Mcr::Ratio { value, cycle } => Some((
+            value,
+            cycle.into_iter().map(|v| s.sub_nodes[v] as usize).collect(),
+        )),
+    }
+}
+
+/// Fast path 2 of [`scc_ratio`]: the SCC's single carried edge closes an
+/// otherwise acyclic subgraph, so the maximum ratio is
+/// `(longest path from the edge's head back to its tail + its weight) /
+/// its count`. Returns `None` when the residual subgraph still has a
+/// (zero-count) cycle and the caller must fall back to Howard.
+fn single_carried_ratio(
+    g: &RatioGraph,
+    s: &mut SolveScratch,
+    members: &std::ops::Range<usize>,
+    edges: &std::ops::Range<usize>,
+    m: usize,
+    carried_edge: usize,
+    want_cycle: bool,
+) -> Option<(f64, Vec<usize>)> {
+    let ce = g.edges()[carried_edge];
+    // Kahn topological order over the intra edges minus the carried one.
+    reset(&mut s.indeg, m, 0u32);
+    for &ei in &s.comp_edges[edges.clone()] {
+        if ei as usize == carried_edge {
+            continue;
+        }
+        s.indeg[s.local[g.edges()[ei as usize].to] as usize] += 1;
+    }
+    s.topo.clear();
+    for li in 0..m {
+        if s.indeg[li] == 0 {
+            s.topo.push(li as u32);
+        }
+    }
+    // The DP runs interleaved with Kahn's scan: dist is final for a node
+    // by the time it is popped, because all predecessors came first.
+    reset(&mut s.dist, m, f64::NEG_INFINITY);
+    if want_cycle {
+        reset(&mut s.pred, m, u32::MAX);
+    }
+    let src = s.local[ce.to] as usize;
+    s.dist[src] = 0.0;
+    let mut popped = 0usize;
+    while popped < s.topo.len() {
+        let li = s.topo[popped] as usize;
+        popped += 1;
+        let v = s.comp_members[members.start + li] as usize;
+        let d = s.dist[li];
+        for i in s.head[v] as usize..s.head[v + 1] as usize {
+            let ei = s.csr[i] as usize;
+            if ei == carried_edge {
+                continue;
+            }
+            let e = &g.edges()[ei];
+            if s.comp[e.from] != s.comp[e.to] {
+                continue;
+            }
+            let lt = s.local[e.to] as usize;
+            if d > f64::NEG_INFINITY && d + e.weight > s.dist[lt] {
+                s.dist[lt] = d + e.weight;
+                if want_cycle {
+                    s.pred[lt] = li as u32;
+                }
+            }
+            s.indeg[lt] -= 1;
+            if s.indeg[lt] == 0 {
+                s.topo.push(lt as u32);
+            }
+        }
+    }
+    if popped < m {
+        return None; // residual cycle: not actually acyclic without ce
+    }
+    let sink = s.local[ce.from] as usize;
+    debug_assert!(
+        s.dist[sink] > f64::NEG_INFINITY,
+        "strong connectivity guarantees a path back to the carried edge"
+    );
+    // Walk the predecessor links back from the carried edge's tail to its
+    // head: that longest path plus the carried edge is the critical cycle.
+    s.cycle_buf.clear();
+    if want_cycle {
+        let mut li = sink;
+        loop {
+            s.cycle_buf
+                .push(s.comp_members[members.start + li] as usize);
+            if li == src {
+                break;
+            }
+            li = s.pred[li] as usize;
+        }
+        s.cycle_buf.reverse();
+    }
+    Some((
+        (s.dist[sink] + ce.weight) / f64::from(ce.count),
+        std::mem::take(&mut s.cycle_buf),
+    ))
 }
 
 /// Maximum cycle ratio via Lawler's binary search with Bellman–Ford

@@ -4,7 +4,7 @@
 //! by the block's instructions and bounds the throughput by the maximum
 //! cycle ratio (latency over spanned iterations) of that graph.
 
-use crate::mcr::{max_cycle_ratio_howard, Mcr, RatioGraph};
+use crate::mcr::{solve_reference, solve_value, Mcr, RatioGraph};
 use facile_explain::{
     ChainStep, Component, ComponentAnalysis, Evidence, PrecedenceEvidence, ValueRef,
 };
@@ -89,8 +89,30 @@ struct PrecScratch {
     vals: Vec<Value>,
     flows: Vec<FlowMeta>,
     nodes: Vec<NodeMeta>,
+    /// Graph node id of each `vals` entry (filled during node creation,
+    /// so edge construction never re-scans a node range for a value).
+    val_node: Vec<u32>,
     graph: RatioGraph,
+    /// Last-writer table: one entry per distinct produced value (blocks
+    /// produce a few dozen distinct values at most, so a linear scan
+    /// beats hashing).
+    writers: Vec<Writer>,
 }
+
+/// One last-writer entry: the value, the flow that last produced it
+/// (tagged with [`WRAP`] until the sweep has seen a producer this
+/// iteration), and the graph node of that producer's output.
+#[derive(Debug, Clone, Copy)]
+struct Writer {
+    value: Value,
+    flow_tag: u32,
+    pnode: u32,
+}
+
+/// High bit of [`Writer::flow_tag`]: the entry still refers to the
+/// previous iteration's producer, so a consumer resolving to it is
+/// loop-carried.
+const WRAP: u32 = 1 << 31;
 
 thread_local! {
     static PREC_SCRATCH: RefCell<PrecScratch> = RefCell::new(PrecScratch::default());
@@ -179,38 +201,31 @@ fn build_flows(ab: &AnnotatedBlock, vals: &mut Vec<Value>, flows: &mut Vec<FlowM
     }
 }
 
-/// Find the node whose value is `v` within a node range (node values are
-/// unique within a flow and role, so the first match is the id).
-fn node_in(nodes: &[NodeMeta], rng: Rng, v: Value) -> usize {
-    rng.iter()
-        .find(|&i| nodes[i].value == v)
-        .expect("node created in the first pass")
-}
-
-fn precedence_with(
+/// Build the dependence graph of the prepared flows into `graph`.
+///
+/// Node creation dedups values within a flow and role by linear scan
+/// (the lists only ever hold a handful of entries). Dependence-edge
+/// resolution is a single forward pass over a last-writer table — one
+/// `(value, producer)` entry per distinct produced value — replacing the
+/// former per-consumer backward scan over all flows, which was quadratic
+/// in block length and dominated graph construction on long blocks.
+fn build_graph(
     ab: &AnnotatedBlock,
-    s: &mut PrecScratch,
-    want_chain: bool,
-) -> PrecedenceAnalysis {
-    let PrecScratch {
-        vals,
-        flows,
-        nodes,
-        graph,
-    } = s;
-    build_flows(ab, vals, flows);
-    if flows.is_empty() {
-        return PrecedenceAnalysis {
-            bound: 0.0,
-            critical_chain: Vec::new(),
-        };
-    }
+    vals: &[Value],
+    flows: &mut [FlowMeta],
+    nodes: &mut Vec<NodeMeta>,
+    val_node: &mut Vec<u32>,
+    graph: &mut RatioGraph,
+) {
     let load_lat = f64::from(ab.uarch().config().load_latency);
 
-    // First pass: create all nodes so the graph size is known. Within a
-    // flow and role, values are deduplicated (the values lists only ever
-    // hold a handful of entries, so a linear scan beats hashing).
+    // First pass: create all nodes so the graph size is known, recording
+    // each value entry's node id as it is resolved. Within a flow and
+    // role, values are deduplicated (the lists only ever hold a handful
+    // of entries, so a linear scan beats hashing).
     nodes.clear();
+    val_node.clear();
+    val_node.resize(vals.len(), 0);
     // Explicit indexing: the loop writes the node ranges back into the
     // flow being visited.
     #[allow(clippy::needless_range_loop)]
@@ -219,12 +234,16 @@ fn precedence_with(
         let c_start = nodes.len();
         for vi in f.consumed.iter() {
             let v = vals[vi];
-            if !nodes[c_start..].iter().any(|nm| nm.value == v) {
-                nodes.push(NodeMeta {
-                    flow: fi as u32,
-                    value: v,
-                    produced: false,
-                });
+            match nodes[c_start..].iter().position(|nm| nm.value == v) {
+                Some(off) => val_node[vi] = (c_start + off) as u32,
+                None => {
+                    val_node[vi] = nodes.len() as u32;
+                    nodes.push(NodeMeta {
+                        flow: fi as u32,
+                        value: v,
+                        produced: false,
+                    });
+                }
             }
         }
         let p_start = nodes.len();
@@ -234,12 +253,16 @@ fn precedence_with(
         };
         for vi in f.produced.iter() {
             let v = vals[vi];
-            if !nodes[p_start..].iter().any(|nm| nm.value == v) {
-                nodes.push(NodeMeta {
-                    flow: fi as u32,
-                    value: v,
-                    produced: true,
-                });
+            match nodes[p_start..].iter().position(|nm| nm.value == v) {
+                Some(off) => val_node[vi] = (p_start + off) as u32,
+                None => {
+                    val_node[vi] = nodes.len() as u32;
+                    nodes.push(NodeMeta {
+                        flow: fi as u32,
+                        value: v,
+                        produced: true,
+                    });
+                }
             }
         }
         flows[fi].pnodes = Rng {
@@ -263,48 +286,116 @@ fn precedence_with(
                 if f.stores_mem == Some(p) {
                     w += STORE_LATENCY;
                 }
-                let from = node_in(nodes, f.cnodes, c);
-                let to = node_in(nodes, f.pnodes, p);
-                graph.add_edge(from, to, w, 0);
+                graph.add_edge(val_node[ci] as usize, val_node[pi] as usize, w, 0);
             }
         }
     }
+}
 
-    // Dependence edges: last writer -> consumer, with iteration count 1 for
-    // loop-carried (wrapping) dependencies.
-    let n = flows.len();
-    let produces = |fl: &FlowMeta, c: Value| fl.produced.iter().any(|vi| vals[vi] == c);
-    for j in 0..n {
-        let f = flows[j];
+/// Dependence edges: last writer -> consumer, with iteration count 1 for
+/// loop-carried (wrapping) dependencies. `writers` is the scratch
+/// last-writer table; the return value says whether any loop-carried
+/// edge was added (if none was, the graph cannot have a cycle at all:
+/// count-0 edges strictly advance the flow index, so the caller can skip
+/// the solver outright).
+fn add_dependence_edges(
+    vals: &[Value],
+    flows: &[FlowMeta],
+    val_node: &[u32],
+    graph: &mut RatioGraph,
+    writers: &mut Vec<Writer>,
+) -> bool {
+    // Seed the table with each value's last writer over the whole block:
+    // a forward sweep keeps overwriting, so the surviving entry is the
+    // producer a wrap-around (loop-carried) dependence resolves to. The
+    // WRAP tag marks entries still referring to the previous iteration.
+    writers.clear();
+    for (i, f) in flows.iter().enumerate() {
+        for pi in f.produced.iter() {
+            let v = vals[pi];
+            let (flow_tag, pnode) = (i as u32 | WRAP, val_node[pi]);
+            match writers.iter_mut().find(|w| w.value == v) {
+                Some(slot) => {
+                    slot.flow_tag = flow_tag;
+                    slot.pnode = pnode;
+                }
+                None => writers.push(Writer {
+                    value: v,
+                    flow_tag,
+                    pnode,
+                }),
+            }
+        }
+    }
+    let mut any_carried = false;
+    for (j, f) in flows.iter().enumerate() {
         for ci in f.consumed.iter() {
             let c = vals[ci];
-            // scan backwards within the iteration
-            let mut producer: Option<(usize, u32)> = None;
-            for i in (0..j).rev() {
-                if produces(&flows[i], c) {
-                    producer = Some((i, 0));
-                    break;
-                }
-            }
-            if producer.is_none() {
-                // wrap around: last writer in the previous iteration,
-                // scanning from the end down to (and including) j itself
-                for i in (j..n).rev() {
-                    if produces(&flows[i], c) {
-                        producer = Some((i, 1));
-                        break;
-                    }
-                }
-            }
-            if let Some((i, count)) = producer {
-                let from = node_in(nodes, flows[i].pnodes, c);
-                let to = node_in(nodes, f.cnodes, c);
-                graph.add_edge(from, to, 0.0, count);
+            // The most recent writer: this iteration if already seen
+            // (count 0), else the block's last writer (count 1).
+            if let Some(w) = writers.iter().find(|w| w.value == c) {
+                let count = u32::from(w.flow_tag & WRAP != 0);
+                any_carried |= count != 0;
+                graph.add_edge(w.pnode as usize, val_node[ci] as usize, 0.0, count);
             }
         }
+        for pi in f.produced.iter() {
+            let v = vals[pi];
+            let slot = writers
+                .iter_mut()
+                .find(|w| w.value == v)
+                .expect("every produced value was seeded");
+            slot.flow_tag = j as u32;
+            slot.pnode = val_node[pi];
+        }
+    }
+    any_carried
+}
+
+fn precedence_with(
+    ab: &AnnotatedBlock,
+    s: &mut PrecScratch,
+    want_chain: bool,
+) -> PrecedenceAnalysis {
+    let PrecScratch {
+        vals,
+        flows,
+        nodes,
+        val_node,
+        graph,
+        writers,
+    } = s;
+    build_flows(ab, vals, flows);
+    if flows.is_empty() {
+        return PrecedenceAnalysis {
+            bound: 0.0,
+            critical_chain: Vec::new(),
+        };
+    }
+    build_graph(ab, vals, flows, nodes, val_node, graph);
+    let any_carried = add_dependence_edges(vals, flows, val_node, graph, writers);
+    if !any_carried {
+        // No loop-carried dependence: intra edges point consumed ->
+        // produced within a flow and count-0 dependence edges point to a
+        // strictly later flow, so the graph is acyclic by construction —
+        // no solver call needed.
+        return PrecedenceAnalysis {
+            bound: 0.0,
+            critical_chain: Vec::new(),
+        };
     }
 
-    match max_cycle_ratio_howard(graph) {
+    // Bound-only queries (the batch hot path) go through the
+    // structure-aware SCC solver; chain extraction stays on the full
+    // Howard reference, whose critical-cycle choice — including its
+    // rotation — is what the golden reports pin byte-for-byte. The two
+    // agree bit-identically on the bound (property-tested).
+    let mcr = if want_chain {
+        solve_reference(graph)
+    } else {
+        solve_value(graph)
+    };
+    match mcr {
         Mcr::Acyclic => PrecedenceAnalysis {
             bound: 0.0,
             critical_chain: Vec::new(),
@@ -375,6 +466,31 @@ fn typed_chain(
         });
     }
     chain
+}
+
+/// Build the dependence graph only (no MCR solve): a measurement hook
+/// for the perf harness, returning the graph's `(nodes, edges)`.
+#[doc(hidden)]
+#[must_use]
+pub fn graph_size(ab: &AnnotatedBlock) -> (usize, usize) {
+    PREC_SCRATCH.with(|s| {
+        let sc = &mut s.borrow_mut();
+        let PrecScratch {
+            vals,
+            flows,
+            nodes,
+            val_node,
+            graph,
+            writers,
+        } = &mut **sc;
+        build_flows(ab, vals, flows);
+        if flows.is_empty() {
+            return (0, 0);
+        }
+        build_graph(ab, vals, flows, nodes, val_node, graph);
+        add_dependence_edges(vals, flows, val_node, graph, writers);
+        (graph.num_nodes(), graph.num_edges())
+    })
 }
 
 /// The `Precedence` throughput bound with its critical chain.

@@ -20,6 +20,11 @@ struct PredecScratch {
     l_cnt: Vec<u32>,
     o_cnt: Vec<u32>,
     lcp_cnt: Vec<u32>,
+    /// Per-instruction placement facts `(last byte, opcode byte, lcp)`,
+    /// hoisted out of the unrolled-copies loop (reading them through the
+    /// annotation's interned entry once per *copy* was a dominant share
+    /// of this kernel's time).
+    insts: Vec<(u32, u32, bool)>,
 }
 
 thread_local! {
@@ -74,20 +79,29 @@ fn predec_impl(ab: &AnnotatedBlock, mode: Mode, evidence: Option<&mut PredecEvid
             c.clear();
             c.resize(n_blocks, 0);
         }
+        // Per-instruction placement facts, read from the interned entry
+        // once (not once per unrolled copy).
+        s.insts.clear();
+        s.insts.extend(ab.insts().iter().map(|a| {
+            let inst = a.inst();
+            (
+                (a.start + inst.len as usize - 1) as u32,
+                (a.start + inst.opcode_offset as usize) as u32,
+                inst.has_lcp,
+            )
+        }));
         // Placements of all instruction instances across the unrolled
         // copies, counted directly (no materialized placement list).
         for copy in 0..u {
-            let base = copy * l;
-            for a in ab.insts() {
-                let start = base + a.start;
-                let inst = a.inst();
-                let last_block = (start + inst.len as usize - 1) / 16;
-                let opcode_block = (start + inst.opcode_offset as usize) / 16;
+            let base = (copy * l) as u32;
+            for &(last, opcode, has_lcp) in &s.insts {
+                let last_block = ((base + last) / 16) as usize;
+                let opcode_block = ((base + opcode) / 16) as usize;
                 l_cnt[last_block] += 1;
                 if opcode_block != last_block {
                     o_cnt[opcode_block] += 1;
                 }
-                if inst.has_lcp {
+                if has_lcp {
                     lcp_cnt[opcode_block] += 1;
                 }
             }

@@ -216,6 +216,17 @@ impl Facile {
         let c = &self.config;
         let full = detail.wants_evidence();
         let mut components: Vec<ComponentAnalysis> = Vec::with_capacity(7);
+        // Opt-in per-kernel accounting (`--stats`, bench_engine): one
+        // relaxed load when off; timers only run when on.
+        let timed = crate::timing::enabled();
+        let time = |a: ComponentAnalysis, t0: Option<std::time::Instant>| -> ComponentAnalysis {
+            if let Some(t0) = t0 {
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                crate::timing::record(a.component, ns);
+            }
+            a
+        };
+        let start = || timed.then(std::time::Instant::now);
 
         // Front-end path selection (Eq. 3) and contribution.
         let front_end = match mode {
@@ -233,62 +244,90 @@ impl Facile {
         match front_end {
             FrontEndPath::Mite => {
                 if c.use_predec {
-                    components.push(if c.simple_predec {
-                        ComponentAnalysis::bare(Component::Predec, simple_predec(ab))
-                    } else if full {
-                        predec_analysis(ab, mode)
-                    } else {
-                        ComponentAnalysis::bare(Component::Predec, predec(ab, mode))
-                    });
+                    let t0 = start();
+                    components.push(time(
+                        if c.simple_predec {
+                            ComponentAnalysis::bare(Component::Predec, simple_predec(ab))
+                        } else if full {
+                            predec_analysis(ab, mode)
+                        } else {
+                            ComponentAnalysis::bare(Component::Predec, predec(ab, mode))
+                        },
+                        t0,
+                    ));
                 }
                 if c.use_dec {
-                    components.push(if c.simple_dec {
-                        ComponentAnalysis::bare(Component::Dec, simple_dec(ab))
-                    } else if full {
-                        dec_analysis(ab)
-                    } else {
-                        ComponentAnalysis::bare(Component::Dec, dec(ab))
-                    });
+                    let t0 = start();
+                    components.push(time(
+                        if c.simple_dec {
+                            ComponentAnalysis::bare(Component::Dec, simple_dec(ab))
+                        } else if full {
+                            dec_analysis(ab)
+                        } else {
+                            ComponentAnalysis::bare(Component::Dec, dec(ab))
+                        },
+                        t0,
+                    ));
                 }
             }
             FrontEndPath::Lsd => {
-                components.push(if full {
-                    lsd_analysis(ab)
-                } else {
-                    ComponentAnalysis::bare(Component::Lsd, lsd(ab))
-                });
+                let t0 = start();
+                components.push(time(
+                    if full {
+                        lsd_analysis(ab)
+                    } else {
+                        ComponentAnalysis::bare(Component::Lsd, lsd(ab))
+                    },
+                    t0,
+                ));
             }
             FrontEndPath::Dsb => {
                 if c.use_dsb {
-                    components.push(if full {
-                        dsb_analysis(ab)
-                    } else {
-                        ComponentAnalysis::bare(Component::Dsb, dsb(ab))
-                    });
+                    let t0 = start();
+                    components.push(time(
+                        if full {
+                            dsb_analysis(ab)
+                        } else {
+                            ComponentAnalysis::bare(Component::Dsb, dsb(ab))
+                        },
+                        t0,
+                    ));
                 }
             }
         }
 
         if c.use_issue {
-            components.push(if full {
-                issue_analysis(ab)
-            } else {
-                ComponentAnalysis::bare(Component::Issue, issue(ab))
-            });
+            let t0 = start();
+            components.push(time(
+                if full {
+                    issue_analysis(ab)
+                } else {
+                    ComponentAnalysis::bare(Component::Issue, issue(ab))
+                },
+                t0,
+            ));
         }
         if c.use_ports {
-            components.push(if full {
-                ports_analysis(ab)
-            } else {
-                ComponentAnalysis::bare(Component::Ports, ports(ab).bound)
-            });
+            let t0 = start();
+            components.push(time(
+                if full {
+                    ports_analysis(ab)
+                } else {
+                    ComponentAnalysis::bare(Component::Ports, ports(ab).bound)
+                },
+                t0,
+            ));
         }
         if c.use_precedence {
-            components.push(if full {
-                precedence_analysis(ab)
-            } else {
-                ComponentAnalysis::bare(Component::Precedence, precedence_bound(ab))
-            });
+            let t0 = start();
+            components.push(time(
+                if full {
+                    precedence_analysis(ab)
+                } else {
+                    ComponentAnalysis::bare(Component::Precedence, precedence_bound(ab))
+                },
+                t0,
+            ));
         }
 
         let attributions = if full {

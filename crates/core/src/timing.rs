@@ -1,0 +1,123 @@
+//! Opt-in per-kernel wall-clock accounting.
+//!
+//! When enabled, [`Facile::analyze`](crate::Facile::analyze) records the
+//! duration of every component-kernel invocation into process-wide
+//! relaxed counters, so `--stats` (and `bench_engine`) can report where
+//! prediction time goes without a separate `fig4` run. Disabled (the
+//! default), the cost is one relaxed load per kernel call; the timers
+//! themselves only run while enabled, so production throughput is
+//! unaffected.
+
+use facile_explain::Component;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Cell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: Cell = Cell {
+    count: AtomicU64::new(0),
+    total_ns: AtomicU64::new(0),
+    max_ns: AtomicU64::new(0),
+};
+
+static CELLS: [Cell; Component::ALL.len()] = [ZERO; Component::ALL.len()];
+
+/// Turn kernel timing on or off, process-wide.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether kernel timing is currently on.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record one kernel invocation (called by `Facile::analyze` when
+/// [`enabled`] — callers outside the crate normally never need this).
+pub fn record(kernel: Component, ns: u64) {
+    let cell = &CELLS[kernel as usize];
+    cell.count.fetch_add(1, Ordering::Relaxed);
+    cell.total_ns.fetch_add(ns, Ordering::Relaxed);
+    cell.max_ns.fetch_max(ns, Ordering::Relaxed);
+}
+
+/// Aggregated timing of one component kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelTiming {
+    /// Invocations recorded.
+    pub count: u64,
+    /// Mean time per invocation, in microseconds (0 when `count == 0`).
+    pub mean_us: f64,
+    /// Slowest invocation, in microseconds.
+    pub max_us: f64,
+}
+
+/// Snapshot of all kernels, indexed by discriminant: read entry
+/// `kernel as usize` (NOT the position in [`Component::ALL`], whose
+/// tie-break order swaps Lsd and Dsb).
+#[must_use]
+pub fn snapshot() -> [KernelTiming; Component::ALL.len()] {
+    let mut out = [KernelTiming::default(); Component::ALL.len()];
+    for (cell, slot) in CELLS.iter().zip(out.iter_mut()) {
+        let count = cell.count.load(Ordering::Relaxed);
+        let total = cell.total_ns.load(Ordering::Relaxed);
+        let max = cell.max_ns.load(Ordering::Relaxed);
+        *slot = KernelTiming {
+            count,
+            #[allow(clippy::cast_precision_loss)]
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                total as f64 / count as f64 / 1e3
+            },
+            #[allow(clippy::cast_precision_loss)]
+            max_us: max as f64 / 1e3,
+        };
+    }
+    out
+}
+
+/// Reset all counters to zero (the enabled flag is left as-is).
+pub fn reset() {
+    for cell in &CELLS {
+        cell.count.store(0, Ordering::Relaxed);
+        cell.total_ns.store(0, Ordering::Relaxed);
+        cell.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        reset();
+        record(Component::Ports, 2_000);
+        record(Component::Ports, 4_000);
+        record(Component::Precedence, 10_000);
+        let snap = snapshot();
+        let ports = snap[Component::Ports as usize];
+        assert_eq!(ports.count, 2);
+        assert!((ports.mean_us - 3.0).abs() < 1e-9);
+        assert!((ports.max_us - 4.0).abs() < 1e-9);
+        assert_eq!(snap[Component::Precedence as usize].count, 1);
+        reset();
+        assert_eq!(snapshot()[Component::Ports as usize].count, 0);
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+    }
+}

@@ -1,10 +1,20 @@
-//! The `(block bytes, uarch)`-keyed annotation cache.
+//! The two-level `(block bytes → decoded block → per-uarch annotation)`
+//! cache.
 //!
 //! Building an [`AnnotatedBlock`] (descriptor lookups, macro-fusion
 //! resolution) is the shared front half of every predictor; in a batch
 //! run over `blocks × uarchs × predictors` it would otherwise be repeated
-//! once per predictor. The cache memoizes it per `(bytes, uarch)` pair
-//! and hands out `Arc`s, so concurrent workers share one annotation.
+//! once per predictor. Decoding the block's bytes is shared even wider:
+//! it is identical across *all* microarchitectures, so a nine-uarch sweep
+//! that kept a flat `(bytes, uarch)` table re-decoded every block nine
+//! times. The cache therefore has two levels:
+//!
+//! * **Level 1 — per bytes**: the decoded [`Block`], stored once and
+//!   shared via `Arc` (this is also where hex/byte inputs are decoded at
+//!   most once per distinct byte string).
+//! * **Level 2 — per uarch**: the [`AnnotatedBlock`], stored in a fixed
+//!   array indexed by the microarchitecture — the second uarch of a sweep
+//!   costs an array probe, not a rehash of the block bytes.
 //!
 //! The table is split into independent lock shards selected by a
 //! deterministic hash of the block bytes, so a pool of workers probing
@@ -13,36 +23,71 @@
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
 use facile_util::{hash_bytes, FxHashMap};
-use facile_x86::Block;
+use facile_x86::{Block, DecodeError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Number of lock shards (a power of two; selection is a mask).
 const SHARDS: usize = 16;
 
-/// Hit/miss counters of an [`AnnotationCache`].
+/// Hit/miss counters of a [`AnnotationCache`], per level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Annotation lookups served from the cache (level 2 hits).
     pub hits: u64,
-    /// Lookups that had to annotate.
+    /// Annotation lookups that had to annotate (level 2 misses).
     pub misses: u64,
-    /// Entries currently resident.
+    /// Lookups that found the decoded block resident (level 1 hits),
+    /// including every level-2 hit. A `decode_hits > hits` gap is the
+    /// multi-uarch sweep win: the bytes were known, only the
+    /// per-uarch annotation was new.
+    pub decode_hits: u64,
+    /// Lookups whose bytes had never been seen: the block was decoded
+    /// (or registered, for pre-decoded inputs) from scratch.
+    pub decode_misses: u64,
+    /// Annotations currently resident (level 2 entries).
     pub entries: usize,
+    /// Distinct decoded blocks currently resident (level 1 entries).
+    pub blocks: usize,
 }
 
-// Two levels (uarch, then bytes) so the hit path can probe with the
-// borrowed `&[u8]` — no per-lookup allocation; `to_vec` happens only on
-// the insert path.
-type CacheMap = FxHashMap<Uarch, FxHashMap<Vec<u8>, Arc<AnnotatedBlock>>>;
+/// One level-1 entry: the decoded block, its canonical hex rendering
+/// (batch rows carry it; rendering once per distinct bytes beats
+/// re-formatting it per row), and the per-uarch annotations (an array
+/// index per [`Uarch`], not a second map).
+#[derive(Debug)]
+struct ByteEntry {
+    block: Arc<Block>,
+    hex: Arc<str>,
+    annos: [Option<Arc<AnnotatedBlock>>; Uarch::ALL.len()],
+}
 
-/// A thread-safe, sharded memo table from `(block bytes, uarch)` to the
-/// shared annotation.
+impl ByteEntry {
+    fn new(block: Arc<Block>) -> ByteEntry {
+        ByteEntry {
+            hex: block.to_hex().into(),
+            block,
+            annos: Default::default(),
+        }
+    }
+}
+
+type CacheMap = FxHashMap<Box<[u8]>, ByteEntry>;
+
+/// The microarchitecture with index `ui` (inverse of `uarch as usize`).
+fn ui_uarch(ui: usize) -> Uarch {
+    Uarch::ALL[ui]
+}
+
+/// A thread-safe, sharded two-level memo table from block bytes to the
+/// shared decoded block and its per-uarch annotations.
 #[derive(Debug, Default)]
 pub struct AnnotationCache {
     shards: [Mutex<CacheMap>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    decode_hits: AtomicU64,
+    decode_misses: AtomicU64,
 }
 
 impl AnnotationCache {
@@ -53,53 +98,151 @@ impl AnnotationCache {
     }
 
     #[inline]
-    fn shard(&self, block: &Block) -> &Mutex<CacheMap> {
-        &self.shards[(hash_bytes(block.bytes()) as usize) & (SHARDS - 1)]
+    fn shard(&self, bytes: &[u8]) -> &Mutex<CacheMap> {
+        &self.shards[(hash_bytes(bytes) as usize) & (SHARDS - 1)]
     }
 
-    /// The annotation of `block` on `uarch`, computed at most once per
-    /// distinct byte sequence. Takes `&Block`; the one clone needed to
-    /// own the annotation happens only on a miss.
-    pub fn annotate(&self, block: &Block, uarch: Uarch) -> Arc<AnnotatedBlock> {
-        let shard = self.shard(block);
-        if let Some(hit) = shard
-            .lock()
-            .expect("no poisoning")
-            .get(&uarch)
-            .and_then(|per_uarch| per_uarch.get(block.bytes()))
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+    /// The decoded block for `bytes`, decoding at most once per distinct
+    /// byte string. Decode failures are not cached (error inputs are the
+    /// rare path and keeping them out bounds the table by valid blocks).
+    ///
+    /// # Errors
+    /// Whatever [`Block::decode`] reports for the bytes.
+    pub fn decode(&self, bytes: &[u8]) -> Result<Arc<Block>, DecodeError> {
+        let shard = self.shard(bytes);
+        if let Some(e) = shard.lock().expect("no poisoning").get(bytes) {
+            self.decode_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&e.block));
         }
-        // Annotate outside the lock so workers don't serialize on misses;
-        // a racing duplicate annotation is deterministic and harmless.
-        let ab = Arc::new(AnnotatedBlock::new(block.clone(), uarch));
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Decode outside the lock; a racing duplicate decode is
+        // deterministic and harmless.
+        let block = Arc::new(Block::decode(bytes)?);
+        self.decode_misses.fetch_add(1, Ordering::Relaxed);
         let mut map = shard.lock().expect("no poisoning");
-        Arc::clone(
-            map.entry(uarch)
-                .or_default()
-                .entry(block.bytes().to_vec())
-                .or_insert(ab),
-        )
+        Ok(Arc::clone(
+            &map.entry(bytes.into())
+                .or_insert_with(|| ByteEntry::new(block))
+                .block,
+        ))
+    }
+
+    /// The annotation of `block` on `uarch` plus the block's canonical
+    /// hex, computed at most once per distinct `(byte sequence, uarch)`.
+    /// Takes a shared block; a level-1 miss registers it (no re-decode,
+    /// no block clone).
+    pub fn annotate_shared(
+        &self,
+        block: &Arc<Block>,
+        uarch: Uarch,
+    ) -> (Arc<AnnotatedBlock>, Arc<str>) {
+        let bytes = block.bytes();
+        let ui = uarch as usize;
+        let shard = self.shard(bytes);
+        let shared = {
+            let map = shard.lock().expect("no poisoning");
+            match map.get(bytes) {
+                Some(e) => {
+                    if let Some(hit) = &e.annos[ui] {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.decode_hits.fetch_add(1, Ordering::Relaxed);
+                        return (Arc::clone(hit), Arc::clone(&e.hex));
+                    }
+                    self.decode_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(Arc::clone(&e.block))
+                }
+                None => {
+                    self.decode_misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        };
+        let block = shared.unwrap_or_else(|| Arc::clone(block));
+        self.finish_annotation(bytes, block, ui)
+    }
+
+    /// Shared tail of the annotate paths: annotate outside the lock (so
+    /// workers don't serialize on misses; a racing duplicate annotation
+    /// is deterministic and harmless), then publish the entry.
+    fn finish_annotation(
+        &self,
+        bytes: &[u8],
+        block: Arc<Block>,
+        ui: usize,
+    ) -> (Arc<AnnotatedBlock>, Arc<str>) {
+        let ab = Arc::new(AnnotatedBlock::new_shared(Arc::clone(&block), ui_uarch(ui)));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.shard(bytes).lock().expect("no poisoning");
+        if let Some(e) = map.get_mut(bytes) {
+            return (
+                Arc::clone(e.annos[ui].get_or_insert(ab)),
+                Arc::clone(&e.hex),
+            );
+        }
+        let mut entry = ByteEntry::new(block);
+        entry.annos[ui] = Some(Arc::clone(&ab));
+        let hex = Arc::clone(&entry.hex);
+        map.insert(bytes.into(), entry);
+        (ab, hex)
+    }
+
+    /// [`AnnotationCache::annotate_shared`] from a borrowed block: the
+    /// one clone needed to own the level-1 entry happens only when the
+    /// bytes were never seen.
+    pub fn annotate(&self, block: &Block, uarch: Uarch) -> Arc<AnnotatedBlock> {
+        self.annotate_with_hex(block, uarch).0
+    }
+
+    /// [`AnnotationCache::annotate`] returning the cached canonical hex
+    /// rendering along with the annotation.
+    pub fn annotate_with_hex(
+        &self,
+        block: &Block,
+        uarch: Uarch,
+    ) -> (Arc<AnnotatedBlock>, Arc<str>) {
+        let bytes = block.bytes();
+        let ui = uarch as usize;
+        let shard = self.shard(bytes);
+        let shared = {
+            let map = shard.lock().expect("no poisoning");
+            match map.get(bytes) {
+                Some(e) => {
+                    if let Some(hit) = &e.annos[ui] {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.decode_hits.fetch_add(1, Ordering::Relaxed);
+                        return (Arc::clone(hit), Arc::clone(&e.hex));
+                    }
+                    self.decode_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(Arc::clone(&e.block))
+                }
+                None => {
+                    self.decode_misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+        };
+        // The clone happens only when the bytes were never registered.
+        let block = shared.unwrap_or_else(|| Arc::new(block.clone()));
+        self.finish_annotation(bytes, block, ui)
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let (mut blocks, mut entries) = (0, 0);
+        for s in &self.shards {
+            let map = s.lock().expect("no poisoning");
+            blocks += map.len();
+            entries += map
+                .values()
+                .map(|e| e.annos.iter().flatten().count())
+                .sum::<usize>();
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| {
-                    s.lock()
-                        .expect("no poisoning")
-                        .values()
-                        .map(FxHashMap::len)
-                        .sum::<usize>()
-                })
-                .sum(),
+            decode_hits: self.decode_hits.load(Ordering::Relaxed),
+            decode_misses: self.decode_misses.load(Ordering::Relaxed),
+            entries,
+            blocks,
         }
     }
 
@@ -110,6 +253,8 @@ impl AnnotationCache {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.decode_hits.store(0, Ordering::Relaxed);
+        self.decode_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -132,8 +277,30 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 2);
         assert_eq!(s.entries, 2);
+        // One decoded block backs both annotations.
+        assert_eq!(s.blocks, 1);
+        assert_eq!(s.decode_misses, 1);
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn decode_is_memoized_and_shared_with_annotations() {
+        let cache = AnnotationCache::new();
+        let b = Block::assemble(&[(Mnemonic::Add, vec![RAX.into(), RCX.into()])]).unwrap();
+        let d1 = cache.decode(b.bytes()).expect("valid bytes");
+        let d2 = cache.decode(b.bytes()).expect("valid bytes");
+        assert!(Arc::ptr_eq(&d1, &d2));
+        // The annotation reuses the cached decoded block.
+        let (a, hex) = cache.annotate_shared(&d1, Uarch::Skl);
+        assert!(std::ptr::eq(a.block(), &*d1));
+        assert_eq!(&*hex, d1.to_hex());
+        let s = cache.stats();
+        assert_eq!(s.decode_misses, 1);
+        assert!(s.decode_hits >= 2);
+        // Bad bytes error out and are not cached.
+        assert!(cache.decode(&[0x06]).is_err());
+        assert_eq!(cache.stats().blocks, 1);
     }
 
     #[test]
@@ -158,5 +325,6 @@ mod tests {
         }
         let distinct: std::collections::HashSet<&[u8]> = blocks.iter().map(Block::bytes).collect();
         assert_eq!(cache.stats().entries, distinct.len());
+        assert_eq!(cache.stats().blocks, distinct.len());
     }
 }

@@ -4,12 +4,13 @@ use crate::cache::{AnnotationCache, CacheStats};
 use crate::error::PredictError;
 use crate::predictor::{PredictRequest, Prediction, Predictor};
 use crate::registry::PredictorRegistry;
+use facile_core::timing::KernelTiming;
 use facile_core::Mode;
 use facile_explain::Detail;
 use facile_isa::{AnnotatedBlock, InternStats};
 use facile_uarch::Uarch;
 use facile_x86::Block;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A block to predict, in whatever form the caller has it.
@@ -25,28 +26,29 @@ pub enum BlockInput {
 }
 
 impl BlockInput {
-    /// Decode to an owned block (used for the hex/byte forms; an
-    /// already-decoded [`BlockInput::Block`] is borrowed, not cloned, by
-    /// the batch pipeline).
-    fn decode(&self) -> Result<Block, PredictError> {
+    /// Decode to a shared block through the engine's two-level cache
+    /// (identical bytes decode at most once per engine); an
+    /// already-decoded [`BlockInput::Block`] is registered, not cloned,
+    /// unless its bytes were never seen.
+    fn decode_cached(&self, cache: &AnnotationCache) -> Result<Arc<Block>, PredictError> {
         match self {
             BlockInput::Hex(h) => {
                 let h = h.trim();
-                if h.is_empty() || h.len() % 2 != 0 || !h.chars().all(|c| c.is_ascii_hexdigit()) {
+                let Some(bytes) = parse_hex(h) else {
                     return Err(PredictError::BadHex {
                         input: h.to_string(),
                     });
-                }
-                Block::from_hex(h).map_err(|source| PredictError::Decode {
+                };
+                cache.decode(&bytes).map_err(|source| PredictError::Decode {
                     input: h.to_string(),
                     source,
                 })
             }
-            BlockInput::Bytes(b) => Block::decode(b).map_err(|source| PredictError::Decode {
+            BlockInput::Bytes(b) => cache.decode(b).map_err(|source| PredictError::Decode {
                 input: b.iter().map(|x| format!("{x:02x}")).collect(),
                 source,
             }),
-            BlockInput::Block(b) => Ok(b.clone()),
+            BlockInput::Block(_) => unreachable!("pre-decoded inputs skip decode_cached"),
         }
     }
 
@@ -59,6 +61,20 @@ impl BlockInput {
             BlockInput::Block(b) => b.to_hex(),
         }
     }
+}
+
+/// Parse an even-length hex string into bytes (`None` on empty, odd
+/// length, or a non-hex character): the byte-level half of the former
+/// `Block::from_hex` path, split out so the decoded-block cache can be
+/// probed by bytes without decoding first.
+fn parse_hex(h: &str) -> Option<Vec<u8>> {
+    if h.is_empty() || !h.len().is_multiple_of(2) || !h.chars().all(|c| c.is_ascii_hexdigit()) {
+        return None;
+    }
+    (0..h.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&h[i..i + 2], 16).ok())
+        .collect()
 }
 
 /// One unit of batch work: a block on a microarchitecture, with an
@@ -137,15 +153,53 @@ pub struct ItemResult {
     pub prediction: Result<Prediction, PredictError>,
 }
 
-/// Aggregate counters of the engine's two memoization layers: the
-/// per-engine `(block bytes, uarch)` annotation cache and the
-/// process-wide `(instruction bytes, uarch)` descriptor intern table.
+/// Batch-planner counters: how much duplicate work the dedup stage
+/// removed before it reached the predictors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlannerStats {
+    /// Batch items planned (every item of every `run_batch` call).
+    pub items: u64,
+    /// Items that were duplicates of another item in the same batch
+    /// (same bytes, uarch, notion, and detail) and were served by
+    /// fanning out an already-computed prediction.
+    pub deduped: u64,
+}
+
+/// Aggregate counters of the engine's memoization layers: the batch
+/// planner's dedup stage, the per-engine two-level block cache (decoded
+/// blocks + per-uarch annotations), the process-wide
+/// `(instruction bytes, uarch)` descriptor intern table, and — when
+/// [`Engine::set_kernel_timing`] is on — per-kernel wall-clock timing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EngineStats {
-    /// Block-level annotation cache counters.
+    /// Batch-planner dedup counters.
+    pub planner: PlannerStats,
+    /// Block-level two-level cache counters (decode + annotate levels).
     pub annotation: CacheStats,
     /// Instruction-level descriptor intern table counters.
     pub intern: InternStats,
+    /// Per-kernel timing (all zero unless kernel timing is enabled),
+    /// indexed by `Component as usize`.
+    pub kernels: [KernelTiming; facile_core::Component::ALL.len()],
+}
+
+impl EngineStats {
+    /// Per-kernel timings paired with their components, skipping kernels
+    /// that never ran (all of them, unless kernel timing is enabled).
+    pub fn kernel_rows(&self) -> impl Iterator<Item = (facile_core::Component, KernelTiming)> + '_ {
+        facile_core::Component::ALL
+            .into_iter()
+            .map(|c| (c, self.kernels[c as usize]))
+            .filter(|(_, t)| t.count > 0)
+    }
+}
+
+/// One prepared work unit: canonical hex, resolved notion, and the
+/// shared annotation (or the structured reason there is none).
+struct Prepared {
+    hex: Arc<str>,
+    mode: Option<Mode>,
+    annotated: Result<Arc<AnnotatedBlock>, PredictError>,
 }
 
 /// The prediction engine: a predictor registry, a worker pool, and a
@@ -159,6 +213,9 @@ pub struct Engine {
     registry: PredictorRegistry,
     threads: usize,
     cache: AnnotationCache,
+    dedup: bool,
+    planned_items: AtomicU64,
+    deduped_items: AtomicU64,
 }
 
 impl Engine {
@@ -170,6 +227,9 @@ impl Engine {
             registry,
             threads: host_threads(),
             cache: AnnotationCache::new(),
+            dedup: true,
+            planned_items: AtomicU64::new(0),
+            deduped_items: AtomicU64::new(0),
         }
     }
 
@@ -183,6 +243,16 @@ impl Engine {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Engine {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable the batch planner's dedup stage (on by
+    /// default). Rows are bit-identical either way — duplicate items are
+    /// served by fanning one computed prediction out — so this switch
+    /// exists for the equivalence tests and for perf comparisons.
+    #[must_use]
+    pub fn with_dedup(mut self, dedup: bool) -> Engine {
+        self.dedup = dedup;
         self
     }
 
@@ -201,9 +271,22 @@ impl Engine {
     /// cache and the process-wide descriptor intern table.
     pub fn cache_stats(&self) -> EngineStats {
         EngineStats {
+            planner: PlannerStats {
+                items: self.planned_items.load(Ordering::Relaxed),
+                deduped: self.deduped_items.load(Ordering::Relaxed),
+            },
             annotation: self.cache.stats(),
             intern: facile_isa::intern_stats(),
+            kernels: facile_core::timing::snapshot(),
         }
+    }
+
+    /// Turn per-kernel wall-clock accounting on or off (process-wide;
+    /// see `facile_core::timing`). Off by default: timing adds two
+    /// clock reads per kernel invocation, which the batch hot path
+    /// doesn't pay unless asked to.
+    pub fn set_kernel_timing(enabled: bool) {
+        facile_core::timing::set_enabled(enabled);
     }
 
     /// Drop all cached annotations. (The process-wide intern table is
@@ -278,44 +361,31 @@ impl Engine {
     }
 
     /// Run a batch against explicitly resolved predictors.
+    ///
+    /// The batch is *planned* first: items that are exact duplicates —
+    /// same block bytes (or raw input string), microarchitecture, notion,
+    /// and detail — collapse to one unit of work, predicted once and
+    /// fanned back out to every requesting row. Rows keep their exact
+    /// positions and are bit-identical with the dedup stage on or off
+    /// (predictions are pure functions of the unit).
     pub fn run_batch(
         &self,
         items: &[BatchItem],
         predictors: &[Arc<dyn Predictor>],
     ) -> Vec<ItemResult> {
-        struct Prepared {
-            hex: Arc<str>,
-            mode: Option<Mode>,
-            annotated: Result<Arc<AnnotatedBlock>, PredictError>,
-        }
-        let prepare = |block: &Block, item: &BatchItem| -> Prepared {
-            if block.is_empty() {
-                return Prepared {
-                    hex: item.input.hex().into(),
-                    mode: item.mode,
-                    annotated: Err(PredictError::EmptyBlock),
-                };
-            }
-            let mode = item.mode.unwrap_or(if block.ends_in_branch() {
-                Mode::Loop
-            } else {
-                Mode::Unrolled
-            });
-            Prepared {
-                hex: block.to_hex().into(),
-                mode: Some(mode),
-                annotated: Ok(self.annotate(block, item.uarch)),
-            }
-        };
-        // Stage 1: decode + annotate each item once (parallel over items).
-        // Already-decoded inputs are borrowed straight from the batch —
-        // no per-run block clones on the warm path.
-        let prepared: Vec<Prepared> = self.parallel_map(items.len(), |i| {
-            let item = &items[i];
+        // Stage 0: plan. `item_unit[i]` is the work unit of item `i`;
+        // `units[u]` is the representative item index.
+        let (units, item_unit, unit_refs) = self.plan(items);
+
+        // Stage 1: decode + annotate each unit once (parallel over
+        // units). Already-decoded inputs are borrowed straight from the
+        // batch; hex/byte inputs decode through the level-1 cache.
+        let prepared: Vec<Prepared> = self.parallel_map(units.len(), |u| {
+            let item = &items[units[u]];
             match &item.input {
-                BlockInput::Block(b) => prepare(b, item),
-                other => match other.decode() {
-                    Ok(block) => prepare(&block, item),
+                BlockInput::Block(b) => self.prepare(b, item),
+                other => match other.decode_cached(&self.cache) {
+                    Ok(block) => self.prepare_shared(&block, item),
                     Err(e) => Prepared {
                         hex: item.input.hex().into(),
                         mode: item.mode,
@@ -325,29 +395,147 @@ impl Engine {
             }
         });
 
-        // Stage 2: fan out over items × predictors.
+        // Stage 2: fan out over units × predictors.
         let keys: Vec<Arc<str>> = predictors.iter().map(|p| Arc::from(p.key())).collect();
-        let n = items.len() * predictors.len();
-        self.parallel_map(n, |k| {
-            let (i, j) = (k / predictors.len(), k % predictors.len());
-            let p = &predictors[j];
-            let prep = &prepared[i];
-            let prediction = match &prep.annotated {
+        let np = predictors.len();
+        let unit_predictions = self.parallel_map(units.len() * np, |k| {
+            let (u, j) = (k / np, k % np);
+            let prep = &prepared[u];
+            match &prep.annotated {
                 Ok(ab) => {
                     let mode = prep.mode.expect("annotated items have a resolved mode");
-                    p.predict(&PredictRequest::new(ab, mode).with_detail(items[i].detail))
+                    let detail = items[units[u]].detail;
+                    predictors[j].predict(&PredictRequest::new(ab, mode).with_detail(detail))
                 }
                 Err(e) => Err(e.clone()),
-            };
-            ItemResult {
-                item: i,
-                block_hex: Arc::clone(&prep.hex),
-                uarch: items[i].uarch,
-                mode: prep.mode,
-                predictor: Arc::clone(&keys[j]),
-                prediction,
             }
-        })
+        });
+
+        // Stage 3: fan the unit results back out to the requesting rows,
+        // in exact (item, predictor) order. A unit referenced once (the
+        // overwhelmingly common case) moves its prediction into the row;
+        // shared units clone.
+        let mut unit_predictions: Vec<Option<Result<Prediction, PredictError>>> =
+            unit_predictions.into_iter().map(Some).collect();
+        (0..items.len() * np)
+            .map(|k| {
+                let (i, j) = (k / np, k % np);
+                let u = item_unit[i] as usize;
+                let slot = &mut unit_predictions[u * np + j];
+                let prediction = if unit_refs[u] == 1 {
+                    slot.take().expect("sole consumer of this unit row")
+                } else {
+                    slot.as_ref().expect("kept for shared consumers").clone()
+                };
+                let prep = &prepared[u];
+                ItemResult {
+                    item: i,
+                    block_hex: Arc::clone(&prep.hex),
+                    uarch: items[i].uarch,
+                    mode: prep.mode,
+                    predictor: Arc::clone(&keys[j]),
+                    prediction,
+                }
+            })
+            .collect()
+    }
+
+    /// The planner: collapse duplicate items to work units. Returns
+    /// `(units, item_unit, unit_refs)` — representative item index per
+    /// unit, unit index per item, and per-unit reference counts.
+    fn plan(&self, items: &[BatchItem]) -> (Vec<usize>, Vec<u32>, Vec<u32>) {
+        self.planned_items
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        let mut units: Vec<usize> = Vec::with_capacity(items.len());
+        let mut item_unit: Vec<u32> = Vec::with_capacity(items.len());
+        let mut unit_refs: Vec<u32> = Vec::with_capacity(items.len());
+        if !self.dedup {
+            units.extend(0..items.len());
+            item_unit.extend(0..items.len() as u32);
+            unit_refs.extend(std::iter::repeat_n(1, items.len()));
+            return (units, item_unit, unit_refs);
+        }
+        // Key on the *input* representation (bytes for decoded/byte
+        // inputs, the trimmed string for hex): equal inputs are equal
+        // work by construction, and unequal spellings of the same block
+        // merely miss a dedup opportunity (the block cache still shares
+        // the decode).
+        #[derive(PartialEq, Eq, Hash)]
+        enum InputKey<'a> {
+            Bytes(&'a [u8]),
+            Hex(&'a str),
+        }
+        let mut seen: facile_util::FxHashMap<(InputKey<'_>, Uarch, i8, u8), u32> =
+            facile_util::FxHashMap::with_capacity_and_hasher(items.len(), Default::default());
+        for (i, item) in items.iter().enumerate() {
+            let input = match &item.input {
+                BlockInput::Block(b) => InputKey::Bytes(b.bytes()),
+                BlockInput::Bytes(b) => InputKey::Bytes(b),
+                BlockInput::Hex(h) => InputKey::Hex(h.trim()),
+            };
+            let mode_tag = item.mode.map_or(-1i8, |m| m as i8);
+            let key = (input, item.uarch, mode_tag, item.detail as u8);
+            let u = *seen.entry(key).or_insert_with(|| {
+                units.push(i);
+                unit_refs.push(0);
+                (units.len() - 1) as u32
+            });
+            unit_refs[u as usize] += 1;
+            item_unit.push(u);
+        }
+        self.deduped_items
+            .fetch_add((items.len() - units.len()) as u64, Ordering::Relaxed);
+        (units, item_unit, unit_refs)
+    }
+
+    /// Resolve one prepared unit: empty-block check, notion resolution,
+    /// canonical hex, annotation through the two-level cache.
+    fn prepare(&self, block: &Block, item: &BatchItem) -> Prepared {
+        match self.resolve(block, item) {
+            Err(empty) => empty,
+            Ok(mode) => {
+                let (annotated, hex) = self.cache.annotate_with_hex(block, item.uarch);
+                Prepared {
+                    hex,
+                    mode: Some(mode),
+                    annotated: Ok(annotated),
+                }
+            }
+        }
+    }
+
+    /// [`Engine::prepare`] for a block already shared through the
+    /// level-1 cache: annotation registers the `Arc` instead of cloning.
+    fn prepare_shared(&self, block: &Arc<Block>, item: &BatchItem) -> Prepared {
+        match self.resolve(block, item) {
+            Err(empty) => empty,
+            Ok(mode) => {
+                let (annotated, hex) = self.cache.annotate_shared(block, item.uarch);
+                Prepared {
+                    hex,
+                    mode: Some(mode),
+                    annotated: Ok(annotated),
+                }
+            }
+        }
+    }
+
+    /// Shared front half of the prepare paths: empty-block check and
+    /// notion resolution (the canonical hex comes from the cache's
+    /// level-1 entry, rendered once per distinct bytes).
+    fn resolve(&self, block: &Block, item: &BatchItem) -> Result<Mode, Prepared> {
+        if block.is_empty() {
+            return Err(Prepared {
+                hex: item.input.hex().into(),
+                mode: item.mode,
+                annotated: Err(PredictError::EmptyBlock),
+            });
+        }
+        Ok(item.mode.unwrap_or(if block.ends_in_branch() {
+            Mode::Loop
+        } else {
+            Mode::Unrolled
+        }))
     }
 
     /// Cross-product convenience: `blocks × uarchs` as batch items.

@@ -40,8 +40,10 @@ pub use adapters::{Baseline, FacileAdapter, LazyLearned, TrainConfig};
 pub use cache::{AnnotationCache, CacheStats};
 pub use engine::{
     host_threads, parallel_map_indexed, BatchItem, BlockInput, Engine, EngineStats, ItemResult,
+    PlannerStats,
 };
 pub use error::PredictError;
+pub use facile_core::timing::KernelTiming;
 pub use facile_explain::{Detail, Explanation};
 pub use predictor::{PredictRequest, Prediction, Predictor};
 pub use registry::{glob_match, PredictorRegistry};

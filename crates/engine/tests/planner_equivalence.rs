@@ -1,0 +1,161 @@
+//! Batch-planner equivalence proptests: duplicate-heavy batches must
+//! produce rows **byte-identical** to the dedup-free pipeline, at 1 and
+//! 8 worker threads, with every row in its exact position. The planner
+//! may only change *how often* a prediction is computed, never any bit
+//! of any row.
+
+use facile_core::Mode;
+use facile_engine::{BatchItem, Engine, PredictorRegistry};
+use facile_explain::Detail;
+use facile_uarch::Uarch;
+use proptest::prelude::*;
+
+/// Builtins minus the lazily-trained learned rows (training in a
+/// proptest loop would dominate the runtime; the learned rows share the
+/// same planner/annotation plumbing as the analytic ones).
+fn analytic_registry() -> PredictorRegistry {
+    let mut r = PredictorRegistry::new();
+    let full = PredictorRegistry::with_builtins();
+    for key in ["facile", "sim", "iaca", "llvm-mca"] {
+        r.register(full.get(key).expect("builtin key"));
+    }
+    r
+}
+
+fn render(rows: &[facile_engine::ItemResult]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            let outcome = match &r.prediction {
+                Ok(p) => format!("{:x}|{:?}", p.throughput.to_bits(), p.bottleneck),
+                Err(e) => format!("err:{}", e.code()),
+            };
+            format!(
+                "{}|{}|{}|{:?}|{}|{outcome}",
+                r.item, r.block_hex, r.uarch, r.mode, r.predictor
+            )
+        })
+        .collect()
+}
+
+/// A duplicate-heavy batch: a handful of distinct blocks, each item
+/// drawn from them with a pseudo-random uarch/mode/dup pattern, plus
+/// undecodable and empty inputs mixed in (duplicated error items must
+/// dedup just like successful ones).
+fn dup_heavy_items(distinct: usize, len: usize, salt: u64) -> Vec<BatchItem> {
+    let suite = facile_bhive::generate_suite(distinct.max(1), 9000 + salt);
+    let uarchs = [Uarch::Skl, Uarch::Hsw, Uarch::Rkl];
+    (0..len)
+        .map(|i| {
+            let r = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(salt);
+            match r % 11 {
+                0 => BatchItem::hex("zz-not-hex", uarchs[(r / 11) as usize % 3]),
+                1 => BatchItem::hex("", Uarch::Skl),
+                _ => {
+                    let b = &suite[(r / 7) as usize % suite.len()];
+                    let (block, mode) = if r.is_multiple_of(2) {
+                        (&b.unrolled, Mode::Unrolled)
+                    } else {
+                        (&b.looped, Mode::Loop)
+                    };
+                    let mut item = BatchItem::block(block.clone(), uarchs[(r / 3) as usize % 3]);
+                    if r.is_multiple_of(3) {
+                        item = item.with_mode(mode);
+                    }
+                    if r.is_multiple_of(5) {
+                        item = item.with_detail(Detail::Bounds);
+                    }
+                    item
+                }
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dedup on vs off × 1 vs 8 threads: all four row streams identical.
+    #[test]
+    fn dedup_is_invisible_in_rows(
+        distinct in 1usize..4,
+        len in 1usize..60,
+        salt in 0u64..500,
+    ) {
+        let items = dup_heavy_items(distinct, len, salt);
+        let mut expected: Option<Vec<String>> = None;
+        let mut planner_saw_dups = false;
+        for dedup in [false, true] {
+            for threads in [1usize, 8] {
+                let engine = Engine::new(analytic_registry())
+                    .with_threads(threads)
+                    .with_dedup(dedup);
+                let rows = engine
+                    .predict_batch(&items, "*")
+                    .expect("glob resolves");
+                prop_assert_eq!(rows.len(), items.len() * 4);
+                let rendered = render(&rows);
+                match &expected {
+                    None => expected = Some(rendered),
+                    Some(want) => prop_assert_eq!(
+                        &rendered,
+                        want,
+                        "dedup={} threads={}",
+                        dedup,
+                        threads
+                    ),
+                }
+                let stats = engine.cache_stats().planner;
+                prop_assert_eq!(stats.items, items.len() as u64);
+                if dedup {
+                    planner_saw_dups |= stats.deduped > 0;
+                } else {
+                    prop_assert_eq!(stats.deduped, 0);
+                }
+            }
+        }
+        // With ≤ 4 distinct blocks, 3 uarchs and a long batch, duplicates
+        // are guaranteed somewhere in the run.
+        if len > 40 {
+            prop_assert!(planner_saw_dups, "expected the planner to find duplicates");
+        }
+    }
+}
+
+/// The planner keys on `(input, uarch, mode, detail)` — items differing
+/// in any key component must NOT be merged.
+#[test]
+fn near_duplicates_are_not_merged() {
+    let b = facile_bhive::generate_suite(1, 42)
+        .pop()
+        .expect("one block");
+    let items = vec![
+        BatchItem::block(b.looped.clone(), Uarch::Skl),
+        BatchItem::block(b.looped.clone(), Uarch::Hsw), // other uarch
+        BatchItem::block(b.looped.clone(), Uarch::Skl).with_mode(Mode::Unrolled), // other mode
+        BatchItem::block(b.looped.clone(), Uarch::Skl).with_detail(Detail::Full), // other detail
+        BatchItem::block(b.looped.clone(), Uarch::Skl), // true duplicate of #0
+    ];
+    let engine = Engine::new(analytic_registry()).with_threads(1);
+    let rows = engine.predict_batch(&items, "facile").expect("resolves");
+    assert_eq!(rows.len(), 5);
+    let stats = engine.cache_stats().planner;
+    assert_eq!(stats.items, 5);
+    assert_eq!(stats.deduped, 1);
+    // The auto-notion row and the forced-unrolled row genuinely differ.
+    assert_eq!(rows[0].mode, Some(Mode::Loop));
+    assert_eq!(rows[2].mode, Some(Mode::Unrolled));
+    // Detail::Full rides an explanation; the Brief duplicate must not.
+    assert!(rows[3].prediction.as_ref().unwrap().explanation.is_some());
+    assert!(rows[4].prediction.as_ref().unwrap().explanation.is_none());
+    // The duplicate row is bit-identical to its representative.
+    assert_eq!(
+        rows[0].prediction.as_ref().unwrap().throughput.to_bits(),
+        rows[4].prediction.as_ref().unwrap().throughput.to_bits()
+    );
+    assert!(std::sync::Arc::ptr_eq(
+        &rows[0].block_hex,
+        &rows[4].block_hex
+    ));
+}

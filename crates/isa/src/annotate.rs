@@ -3,6 +3,7 @@
 
 use crate::classify::{describe, describe_fused_pair, macro_fuses};
 use crate::desc::InstrDesc;
+use crate::intern::InternedInst as Interned;
 use crate::intern::{interner, DescInterner, InternedInst};
 use facile_uarch::Uarch;
 use facile_x86::{Block, Effects, Inst};
@@ -43,7 +44,7 @@ impl AnnotatedInst {
     /// producer itself (e.g. the `cmp` of a `cmp+jcc` pair).
     #[must_use]
     pub fn inst(&self) -> &Inst {
-        &self.entry.inst
+        self.entry.inst()
     }
 
     /// The performance descriptor on the block's microarchitecture. For a
@@ -63,7 +64,7 @@ impl AnnotatedInst {
     /// prediction, which dominated their allocation profile).
     #[must_use]
     pub fn effects(&self) -> &Effects {
-        &self.entry.effects
+        self.entry.effects()
     }
 
     /// End offset (exclusive) of this instruction.
@@ -80,7 +81,7 @@ impl AnnotatedInst {
 #[derive(Debug, Clone)]
 pub struct AnnotatedBlock {
     uarch: Uarch,
-    block: Block,
+    block: Arc<Block>,
     insts: Vec<AnnotatedInst>,
     // µop totals are consumed by several per-prediction bounds; cache them
     // at annotation time so predictions don't re-walk the block.
@@ -94,6 +95,14 @@ impl AnnotatedBlock {
     /// process-wide intern table) and apply macro fusion.
     #[must_use]
     pub fn new(block: Block, uarch: Uarch) -> AnnotatedBlock {
+        AnnotatedBlock::build(Arc::new(block), uarch, Some(interner()))
+    }
+
+    /// Annotate an already-shared block: a nine-uarch sweep reuses one
+    /// `Arc<Block>` instead of cloning the decoded block per
+    /// microarchitecture (the engine's two-level cache uses this).
+    #[must_use]
+    pub fn new_shared(block: Arc<Block>, uarch: Uarch) -> AnnotatedBlock {
         AnnotatedBlock::build(block, uarch, Some(interner()))
     }
 
@@ -103,10 +112,10 @@ impl AnnotatedBlock {
     /// exactly that.
     #[must_use]
     pub fn new_uninterned(block: Block, uarch: Uarch) -> AnnotatedBlock {
-        AnnotatedBlock::build(block, uarch, None)
+        AnnotatedBlock::build(Arc::new(block), uarch, None)
     }
 
-    fn build(block: Block, uarch: Uarch, table: Option<&DescInterner>) -> AnnotatedBlock {
+    fn build(block: Arc<Block>, uarch: Uarch, table: Option<&DescInterner>) -> AnnotatedBlock {
         let cfg = uarch.config();
         let raw = block.insts();
         let bytes = block.bytes();
@@ -115,11 +124,7 @@ impl AnnotatedBlock {
             let end = start + raw[i].len as usize;
             match table {
                 Some(t) => t.single(&bytes[start..end], &raw[i], cfg),
-                None => Arc::new(InternedInst {
-                    inst: raw[i].clone(),
-                    effects: raw[i].effects(),
-                    desc: describe(&raw[i], cfg),
-                }),
+                None => Arc::new(Interned::uninterned(raw[i].clone(), describe(&raw[i], cfg))),
             }
         };
         let mut insts: Vec<AnnotatedInst> = Vec::with_capacity(raw.len());
@@ -130,11 +135,10 @@ impl AnnotatedBlock {
                 let pair_end = block.offset(i + 1) + raw[i + 1].len as usize;
                 let pair = match table {
                     Some(t) => t.pair(&bytes[start..pair_end], &raw[i], &raw[i + 1], cfg),
-                    None => Arc::new(InternedInst {
-                        inst: raw[i].clone(),
-                        effects: raw[i].effects(),
-                        desc: describe_fused_pair(&raw[i], &raw[i + 1], cfg),
-                    }),
+                    None => Arc::new(Interned::uninterned(
+                        raw[i].clone(),
+                        describe_fused_pair(&raw[i], &raw[i + 1], cfg),
+                    )),
                 };
                 insts.push(AnnotatedInst {
                     entry: pair,

@@ -7,7 +7,7 @@
 
 use crate::desc::{InstrDesc, Uop, UopKind};
 use facile_uarch::{PortMask, Uarch, UarchConfig, UnlaminationPolicy};
-use facile_x86::{Inst, Mem, Mnemonic, Operand};
+use facile_x86::{Effects, Inst, Mem, Mnemonic, Operand};
 
 /// Per-era latency parameters (cycles).
 struct Lat {
@@ -243,7 +243,15 @@ fn unlaminates(inst: &Inst, mem: Mem, cfg: &UarchConfig) -> bool {
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn describe(inst: &Inst, cfg: &UarchConfig) -> InstrDesc {
-    let effects = inst.effects();
+    describe_with_effects(inst, &inst.effects(), cfg)
+}
+
+/// [`describe`] with the architectural effects already computed, so
+/// callers that interned the effects (the two-level descriptor table
+/// classifies one instruction on up to nine microarchitectures) don't
+/// recompute them per microarchitecture.
+#[must_use]
+pub fn describe_with_effects(inst: &Inst, effects: &Effects, cfg: &UarchConfig) -> InstrDesc {
     let lat = latencies(cfg.arch);
 
     // NOP: decodes to one µop that is never executed.
@@ -434,8 +442,18 @@ pub fn macro_fuses(a: &Inst, b: &Inst, cfg: &UarchConfig) -> bool {
 /// as a single branch µop (plus a load µop if the producer reads memory).
 #[must_use]
 pub fn describe_fused_pair(a: &Inst, _b: &Inst, cfg: &UarchConfig) -> InstrDesc {
+    describe_fused_pair_with_effects(a, &a.effects(), cfg)
+}
+
+/// [`describe_fused_pair`] with the producer's effects precomputed (see
+/// [`describe_with_effects`]).
+#[must_use]
+pub fn describe_fused_pair_with_effects(
+    _a: &Inst,
+    effects: &Effects,
+    cfg: &UarchConfig,
+) -> InstrDesc {
     let mut uops = Vec::with_capacity(2);
-    let effects = a.effects();
     if effects.loads {
         uops.push(Uop {
             ports: cfg.ports.load,

@@ -2,13 +2,19 @@
 //!
 //! A corpus like BHive is massively redundant at the instruction level:
 //! a few hundred distinct instruction encodings cover millions of block
-//! occurrences. Classification ([`describe`]) and architectural-effect
-//! extraction ([`Inst::effects`]) are by far the heaviest per-instruction
-//! steps of annotation, so this module memoizes them process-wide, keyed
-//! by `(instruction bytes, uarch)`: the first time an encoding is seen on
-//! a microarchitecture it is described once, and every later occurrence —
-//! in any block, on any thread — shares the same [`InternedInst`] through
-//! an `Arc`.
+//! occurrences. Classification ([`describe`](crate::classify::describe))
+//! and architectural-effect extraction ([`Inst::effects`]) are by far
+//! the heaviest per-instruction steps of annotation, so this module memoizes them process-wide in a
+//! **two-level** table keyed by instruction bytes:
+//!
+//! * **Level 1 — per bytes** ([`InternedCore`]): the decoded instruction
+//!   and its architectural effects. These are microarchitecture-
+//!   *independent*, so a nine-uarch sweep computes them once, not nine
+//!   times.
+//! * **Level 2 — per `(bytes, uarch)`** ([`InternedInst`]): the
+//!   performance descriptor, stored in a fixed array indexed by the
+//!   microarchitecture — probing a second uarch costs an array index,
+//!   not another hash lookup.
 //!
 //! The table is sharded by a deterministic hash of the key bytes so that
 //! concurrent annotation threads do not serialize on a single lock.
@@ -21,7 +27,7 @@
 //! the same bytes (the pair's first instruction boundary falls strictly
 //! inside the byte string).
 
-use crate::classify::{describe, describe_fused_pair};
+use crate::classify::{describe_fused_pair_with_effects, describe_with_effects};
 use crate::desc::InstrDesc;
 use facile_uarch::{Uarch, UarchConfig};
 use facile_util::{hash_bytes, FxHashMap};
@@ -34,53 +40,100 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// offline workloads this crate serves.
 const SHARDS: usize = 16;
 
-/// Per-shard entry cap. Keys include immediates and displacements, so a
-/// streaming corpus with varied constants can mint unbounded distinct
-/// encodings; when a shard reaches this many entries it is flushed
-/// (outstanding `Arc`s stay valid, later occurrences simply re-intern),
-/// bounding the table at `SHARDS × SHARD_CAP` entries (~128k) while
-/// still covering any realistic working set of distinct instructions.
+/// Per-shard byte-entry cap. Keys include immediates and displacements,
+/// so a streaming corpus with varied constants can mint unbounded
+/// distinct encodings; when a shard reaches this many entries it is
+/// flushed (outstanding `Arc`s stay valid, later occurrences simply
+/// re-intern), bounding the table at `SHARDS × SHARD_CAP` byte entries
+/// (~128k) while still covering any realistic working set of distinct
+/// instructions.
 const SHARD_CAP: usize = 8192;
 
-/// Everything the annotation of one instruction occurrence needs, computed
-/// once per distinct `(bytes, uarch)` pair and shared via `Arc`:
-/// the decoded instruction, its architectural effects, and its performance
-/// descriptor. For a macro-fused pair the `inst`/`effects` are those of the
-/// *first* (producing) instruction and `desc` describes the whole pair,
-/// mirroring how [`crate::AnnotatedBlock`] attributes fused pairs.
+/// The microarchitecture-independent half of an interned instruction:
+/// computed once per distinct byte encoding, shared across every
+/// microarchitecture's [`InternedInst`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct InternedInst {
+pub struct InternedCore {
     /// The decoded instruction (pair head for fused pairs).
     pub inst: Inst,
     /// Architectural reads/writes of `inst` (computed once; reading them
     /// per prediction used to be a dominant allocation source).
     pub effects: Effects,
+}
+
+/// Everything the annotation of one instruction occurrence needs, shared
+/// via `Arc`: the per-bytes [`InternedCore`] and the per-uarch
+/// performance descriptor. For a macro-fused pair the core describes the
+/// *first* (producing) instruction and `desc` describes the whole pair,
+/// mirroring how [`crate::AnnotatedBlock`] attributes fused pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternedInst {
+    core: Arc<InternedCore>,
     /// The performance descriptor on the keyed microarchitecture.
     pub desc: InstrDesc,
 }
 
-/// Hit/miss/entry counters of the intern table.
+impl InternedInst {
+    /// The decoded instruction (pair head for fused pairs).
+    #[must_use]
+    pub fn inst(&self) -> &Inst {
+        &self.core.inst
+    }
+
+    /// Architectural reads/writes of [`InternedInst::inst`].
+    #[must_use]
+    pub fn effects(&self) -> &Effects {
+        &self.core.effects
+    }
+
+    /// Build an entry without a table (the uninterned reference path).
+    #[must_use]
+    pub fn uninterned(inst: Inst, desc: InstrDesc) -> InternedInst {
+        let effects = inst.effects();
+        InternedInst {
+            core: Arc::new(InternedCore { inst, effects }),
+            desc,
+        }
+    }
+}
+
+/// Hit/miss/entry counters of the two-level intern table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct InternStats {
-    /// Lookups served from the table.
+    /// Descriptor lookups served fully from the table (core + desc).
     pub hits: u64,
-    /// Lookups that had to classify.
+    /// Lookups that had to classify a descriptor.
     pub misses: u64,
-    /// Distinct `(bytes, uarch)` entries resident.
+    /// Level-1 hits: the bytes were known (decode + effects reused),
+    /// even when the requested uarch's descriptor still had to be
+    /// classified. Always ≥ `hits`.
+    pub core_hits: u64,
+    /// Level-1 misses: bytes never seen, decode + effects computed.
+    pub core_misses: u64,
+    /// Distinct byte encodings resident (level-1 entries).
+    pub byte_entries: usize,
+    /// Distinct `(bytes, uarch)` descriptors resident (level-2 entries).
     pub entries: usize,
 }
 
-// Per-shard table: uarch -> instruction bytes -> interned entry. Two
-// levels so the hit path probes with the borrowed `&[u8]` — key bytes are
-// copied only on the insert path.
-type ShardMap = FxHashMap<Uarch, FxHashMap<Box<[u8]>, Arc<InternedInst>>>;
+/// One level-1 entry: the shared core plus the per-uarch descriptor
+/// slots (an array index per [`Uarch`], not a second map).
+#[derive(Debug)]
+struct ByteEntry {
+    core: Arc<InternedCore>,
+    per_uarch: [Option<Arc<InternedInst>>; Uarch::ALL.len()],
+}
 
-/// The process-wide descriptor intern table.
+type ShardMap = FxHashMap<Box<[u8]>, ByteEntry>;
+
+/// The process-wide two-level descriptor intern table.
 #[derive(Debug, Default)]
 pub struct DescInterner {
     shards: [Mutex<ShardMap>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    core_hits: AtomicU64,
+    core_misses: AtomicU64,
 }
 
 impl DescInterner {
@@ -98,47 +151,73 @@ impl DescInterner {
     fn lookup(
         &self,
         bytes: &[u8],
-        uarch: Uarch,
-        build: impl FnOnce() -> InternedInst,
+        cfg: &UarchConfig,
+        build_core: impl FnOnce() -> InternedCore,
+        classify: impl FnOnce(&InternedCore) -> InstrDesc,
     ) -> Arc<InternedInst> {
+        let uarch = cfg.arch as usize;
         let shard = self.shard(bytes);
-        if let Some(hit) = shard
-            .lock()
-            .expect("no poisoning")
-            .get(&uarch)
-            .and_then(|per_uarch| per_uarch.get(bytes))
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
+        // Fast path: both levels hit under one lock, one hash probe.
+        let core = {
+            let map = shard.lock().expect("no poisoning");
+            match map.get(bytes) {
+                Some(entry) => {
+                    if let Some(hit) = &entry.per_uarch[uarch] {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.core_hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(hit);
+                    }
+                    Some(Arc::clone(&entry.core))
+                }
+                None => None,
+            }
+        };
         // Classify outside the lock so concurrent misses on the same shard
         // don't serialize on the heavy work; a racing duplicate is
         // deterministic (same inputs, same descriptor) and harmless.
-        let entry = Arc::new(build());
+        let (core, core_hit) = match core {
+            Some(core) => (core, true),
+            None => (Arc::new(build_core()), false),
+        };
+        self.core_hits
+            .fetch_add(u64::from(core_hit), Ordering::Relaxed);
+        self.core_misses
+            .fetch_add(u64::from(!core_hit), Ordering::Relaxed);
+        let entry = Arc::new(InternedInst {
+            desc: classify(&core),
+            core: Arc::clone(&core),
+        });
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = shard.lock().expect("no poisoning");
-        if map.values().map(FxHashMap::len).sum::<usize>() >= SHARD_CAP {
+        if let Some(e) = map.get_mut(bytes) {
+            // Known bytes: only the uarch slot was missing (the key is
+            // not re-allocated on this path).
+            return Arc::clone(e.per_uarch[uarch].get_or_insert(entry));
+        }
+        if map.len() >= SHARD_CAP {
             // Bounded memory on unbounded streams: drop the shard and
             // start over. Interning is a pure memoization, so results
             // are unaffected.
             map.clear();
         }
-        Arc::clone(
-            map.entry(uarch)
-                .or_default()
-                .entry(bytes.into())
-                .or_insert(entry),
-        )
+        let mut per_uarch: [Option<Arc<InternedInst>>; Uarch::ALL.len()] = Default::default();
+        per_uarch[uarch] = Some(Arc::clone(&entry));
+        map.insert(bytes.into(), ByteEntry { core, per_uarch });
+        entry
     }
 
     /// The interned entry for a single (unfused) instruction whose
     /// encoding is `bytes`.
     pub fn single(&self, bytes: &[u8], inst: &Inst, cfg: &UarchConfig) -> Arc<InternedInst> {
-        self.lookup(bytes, cfg.arch, || InternedInst {
-            inst: inst.clone(),
-            effects: inst.effects(),
-            desc: describe(inst, cfg),
-        })
+        self.lookup(
+            bytes,
+            cfg,
+            || InternedCore {
+                inst: inst.clone(),
+                effects: inst.effects(),
+            },
+            |core| describe_with_effects(&core.inst, &core.effects, cfg),
+        )
     }
 
     /// The interned entry for a macro-fused pair, keyed by the
@@ -150,29 +229,36 @@ impl DescInterner {
         second: &Inst,
         cfg: &UarchConfig,
     ) -> Arc<InternedInst> {
-        self.lookup(bytes, cfg.arch, || InternedInst {
-            inst: first.clone(),
-            effects: first.effects(),
-            desc: describe_fused_pair(first, second, cfg),
-        })
+        let _ = second; // the pair descriptor only depends on the producer
+        self.lookup(
+            bytes,
+            cfg,
+            || InternedCore {
+                inst: first.clone(),
+                effects: first.effects(),
+            },
+            |core| describe_fused_pair_with_effects(&core.inst, &core.effects, cfg),
+        )
     }
 
     /// Current counters.
     pub fn stats(&self) -> InternStats {
+        let (mut byte_entries, mut entries) = (0, 0);
+        for s in &self.shards {
+            let map = s.lock().expect("no poisoning");
+            byte_entries += map.len();
+            entries += map
+                .values()
+                .map(|e| e.per_uarch.iter().flatten().count())
+                .sum::<usize>();
+        }
         InternStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| {
-                    s.lock()
-                        .expect("no poisoning")
-                        .values()
-                        .map(FxHashMap::len)
-                        .sum::<usize>()
-                })
-                .sum(),
+            core_hits: self.core_hits.load(Ordering::Relaxed),
+            core_misses: self.core_misses.load(Ordering::Relaxed),
+            byte_entries,
+            entries,
         }
     }
 
@@ -184,6 +270,8 @@ impl DescInterner {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.core_hits.store(0, Ordering::Relaxed);
+        self.core_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -203,6 +291,7 @@ pub fn intern_stats() -> InternStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::{describe, describe_fused_pair};
     use facile_x86::reg::names::*;
     use facile_x86::{Block, Mnemonic};
 
@@ -217,8 +306,11 @@ mod tests {
         assert!(Arc::ptr_eq(&a1, &a2));
         let a3 = t.single(b.bytes(), &b.insts()[0], cfg_hsw);
         assert!(!Arc::ptr_eq(&a1, &a3));
+        // The uarch-independent core is shared across uarch entries.
+        assert!(Arc::ptr_eq(&a1.core, &a3.core));
         let s = t.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+        assert_eq!((s.core_hits, s.core_misses, s.byte_entries), (2, 1, 1));
         t.clear();
         assert_eq!(t.stats(), InternStats::default());
         // The cleared table re-interns; the old Arc is still valid.
@@ -242,10 +334,15 @@ mod tests {
                 let end = start + inst.len as usize;
                 let e = t.single(&b.bytes()[start..end], inst, cfg);
                 assert_eq!(e.desc, describe(inst, cfg), "{u}");
-                assert_eq!(e.effects, inst.effects());
-                assert_eq!(&e.inst, inst);
+                assert_eq!(e.effects(), &inst.effects());
+                assert_eq!(e.inst(), inst);
             }
         }
+        // One core per distinct encoding, one descriptor per (bytes, uarch).
+        let s = t.stats();
+        assert_eq!(s.byte_entries, 2);
+        assert_eq!(s.entries, 2 * Uarch::ALL.len());
+        assert_eq!(s.core_misses, 2);
     }
 
     #[test]
@@ -268,5 +365,6 @@ mod tests {
         assert!(!Arc::ptr_eq(&single, &pair));
         assert_eq!(pair.desc, describe_fused_pair(&insts[0], &insts[1], cfg));
         assert_eq!(t.stats().entries, 2);
+        assert_eq!(t.stats().byte_entries, 2);
     }
 }
