@@ -100,7 +100,7 @@ fn main() {
     // Counters from the engine that produced the timed measurements
     // (1 cold + 3 warm passes), so the recorded hit rate explains the
     // warm-over-cold speedup.
-    let stats = single.cache_stats();
+    let stats = single.snapshot();
 
     // Multi-uarch sweep: the same blocks across all nine
     // microarchitectures, exercising the planner batch API and the
@@ -116,7 +116,7 @@ fn main() {
     let sweep_engine = Engine::new(PredictorRegistry::with_builtins()).with_threads(1);
     let (sweep_cold, _) = run(&sweep_engine, &sweep_items, 1);
     let (sweep_warm, _) = run(&sweep_engine, &sweep_items, 3);
-    let sweep_stats = sweep_engine.cache_stats();
+    let sweep_stats = sweep_engine.snapshot();
 
     // Determinism gate: a many-threaded engine (even when time-sliced on
     // few CPUs, this exercises the chunked parallel map) must produce

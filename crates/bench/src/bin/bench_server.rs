@@ -1,0 +1,274 @@
+//! Serving benchmark for `facile-server`: round-trip latency and
+//! served throughput through a live in-process daemon, and the
+//! warm-from-snapshot speedup of the persistent annotation cache.
+//! Writes `BENCH_server.json`.
+//!
+//! Three sections:
+//!
+//! * **round_trip** — single-block requests over TCP against the
+//!   default server configuration, for 1 client and for 8 concurrent
+//!   clients: p50/p99 round-trip latency and served blocks/second.
+//!   With one client every request pays the full micro-batch gather
+//!   window; with eight, concurrent requests share gathered batches,
+//!   so per-client latency holds roughly constant while aggregate
+//!   throughput scales — that asymmetry *is* the design working.
+//! * **batch_stream** — the 2000-block suite streamed as chunked batch
+//!   requests through one connection (how `facile client --batch`
+//!   drives the daemon): served blocks/second end to end.
+//! * **snapshot** — the same suite cold (fresh engine) vs
+//!   warm-from-snapshot (fresh engine + restored annotation cache):
+//!   first-batch seconds for each and the speedup, which the roadmap
+//!   gates at ≥1.5×.
+//!
+//! ```text
+//! cargo run --release -p facile-bench --bin bench_server -- --blocks 1000
+//! ```
+
+use facile_bench::Args;
+use facile_bhive::generate_suite;
+use facile_engine::{host_threads, BatchItem, Engine};
+use facile_server::{snapshot, BoundAddr, Endpoint, Server, ServerConfig};
+use facile_uarch::Uarch;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+const OUT_PATH: &str = "BENCH_server.json";
+
+/// Hex blocks of the benchmark suite: both rotations of each bench.
+fn suite_hex(blocks: usize, seed: u64) -> Vec<String> {
+    generate_suite(blocks / 2, seed)
+        .into_iter()
+        .flat_map(|b| [b.unrolled.to_hex(), b.looped.to_hex()])
+        .collect()
+}
+
+struct Client {
+    tx: TcpStream,
+    rx: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let tx = TcpStream::connect(addr).expect("server accepts");
+        tx.set_nodelay(true).expect("nodelay");
+        let rx = BufReader::new(tx.try_clone().expect("stream clones"));
+        Client { tx, rx }
+    }
+
+    /// One request line out, one reply line in; panics on `ok:false`.
+    fn round_trip(&mut self, req: &str) -> String {
+        writeln!(self.tx, "{req}").expect("request writes");
+        let mut line = String::new();
+        self.rx.read_line(&mut line).expect("reply arrives");
+        assert!(line.contains("\"ok\":true"), "server error: {line}");
+        line
+    }
+}
+
+struct Percentiles {
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentiles(latencies_us: &mut [f64]) -> Percentiles {
+    latencies_us.sort_by(f64::total_cmp);
+    let at = |q: f64| {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let i = ((latencies_us.len() - 1) as f64 * q).round() as usize;
+        latencies_us[i]
+    };
+    Percentiles {
+        p50_us: at(0.50),
+        p99_us: at(0.99),
+    }
+}
+
+/// `clients` connections, each serving its share of `hexes` as
+/// single-block requests. Returns (p50, p99, aggregate blocks/s).
+fn measure_round_trips(addr: SocketAddr, hexes: &[String], clients: usize) -> (Percentiles, f64) {
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let share: Vec<String> = hexes.iter().skip(c).step_by(clients).cloned().collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut lat = Vec::with_capacity(share.len());
+                for hex in &share {
+                    let t0 = Instant::now();
+                    client.round_trip(&format!(r#"{{"op":"predict","block":"{hex}"}}"#));
+                    lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let secs = wall.elapsed().as_secs_f64();
+    #[allow(clippy::cast_precision_loss)]
+    let bps = hexes.len() as f64 / secs;
+    (percentiles(&mut latencies), bps)
+}
+
+/// The whole suite as chunked batch requests on one connection.
+fn measure_batch_stream(addr: SocketAddr, hexes: &[String], chunk: usize) -> f64 {
+    let mut client = Client::connect(addr);
+    let t0 = Instant::now();
+    for slab in hexes.chunks(chunk) {
+        let mut req = String::from("{\"op\":\"batch\",\"blocks\":[");
+        for (i, h) in slab.iter().enumerate() {
+            if i > 0 {
+                req.push(',');
+            }
+            let _ = write!(req, "\"{h}\"");
+        }
+        req.push_str("]}");
+        client.round_trip(&req);
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let bps = hexes.len() as f64 / t0.elapsed().as_secs_f64();
+    bps
+}
+
+struct SnapshotNumbers {
+    cold_secs: f64,
+    warm_secs: f64,
+    speedup: f64,
+    load_secs: f64,
+    file_bytes: usize,
+}
+
+/// Cold first batch vs warm-from-snapshot first batch, each on a fresh
+/// engine — the restart scenario the snapshot exists for. Best of
+/// `REPS` fresh runs per side, so a stray scheduler hiccup on either
+/// side doesn't decide the gate.
+fn measure_snapshot(hexes: &[String]) -> SnapshotNumbers {
+    const REPS: usize = 3;
+    let items: Vec<BatchItem> = hexes
+        .iter()
+        .map(|h| BatchItem::hex(h.clone(), Uarch::Skl))
+        .collect();
+    let path = std::env::temp_dir().join(format!("facile-bench-snap-{}.bin", std::process::id()));
+
+    let mut cold_secs = f64::INFINITY;
+    let mut file_bytes = 0;
+    for _ in 0..REPS {
+        let cold = Engine::with_builtins().with_threads(host_threads());
+        let t0 = Instant::now();
+        cold.predict_batch(&items, "facile").expect("facile runs");
+        cold_secs = cold_secs.min(t0.elapsed().as_secs_f64());
+        file_bytes = snapshot::save(&path, cold.cache())
+            .expect("snapshot saves")
+            .file_bytes;
+    }
+
+    let mut warm_secs = f64::INFINITY;
+    let mut load_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let warm = Engine::with_builtins().with_threads(host_threads());
+        let t0 = Instant::now();
+        snapshot::load(&path, warm.cache()).expect("snapshot loads");
+        load_secs = load_secs.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        warm.predict_batch(&items, "facile").expect("facile runs");
+        warm_secs = warm_secs.min(t0.elapsed().as_secs_f64());
+    }
+    std::fs::remove_file(&path).ok();
+
+    SnapshotNumbers {
+        cold_secs,
+        warm_secs,
+        speedup: cold_secs / warm_secs,
+        load_secs,
+        file_bytes,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let blocks = args.blocks.max(2);
+    let hexes = suite_hex(blocks, args.seed);
+    eprintln!(
+        "bench_server: {} blocks, seed {}, {} host threads",
+        hexes.len(),
+        args.seed,
+        host_threads()
+    );
+
+    let mut cfg = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".to_string()));
+    cfg.threads = host_threads();
+    let server = Server::start(cfg).expect("server starts");
+    let addr = match server.bound() {
+        BoundAddr::Tcp(a) => *a,
+        #[cfg(unix)]
+        other => panic!("expected TCP, got {other}"),
+    };
+
+    // Warm the server once so latency sections measure serving, not
+    // first-touch annotation.
+    measure_batch_stream(addr, &hexes, 1024);
+
+    eprintln!("bench_server: round trips, 1 client");
+    let (p1, bps1) = measure_round_trips(addr, &hexes, 1);
+    eprintln!("bench_server: round trips, 8 clients");
+    let (p8, bps8) = measure_round_trips(addr, &hexes, 8);
+    eprintln!("bench_server: batch stream");
+    let stream_bps = measure_batch_stream(addr, &hexes, 1024);
+
+    let counters = server.counters();
+    let g = |a: &std::sync::atomic::AtomicU64| a.load(std::sync::atomic::Ordering::Relaxed);
+    let batches = g(&counters.batches);
+    let batched_items = g(&counters.batched_items);
+    server.stop();
+
+    eprintln!("bench_server: snapshot warm-vs-cold");
+    let snap = measure_snapshot(&hexes);
+
+    #[allow(clippy::cast_precision_loss)]
+    let items_per_batch = if batches == 0 {
+        0.0
+    } else {
+        batched_items as f64 / batches as f64
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"server_round_trip_and_snapshot\",\n  \"blocks\": {},\n  \
+         \"seed\": {},\n  \"host_cpus\": {},\n  \"gather_window_us\": 500,\n  \
+         \"round_trip\": {{\n    \
+         \"clients_1\": {{ \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"blocks_per_sec\": {:.1} }},\n    \
+         \"clients_8\": {{ \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"blocks_per_sec\": {:.1} }}\n  }},\n  \
+         \"batch_stream\": {{ \"chunk\": 1024, \"blocks_per_sec\": {:.1} }},\n  \
+         \"server_batches\": {{ \"batches\": {batches}, \"batched_items\": {batched_items}, \
+         \"items_per_batch\": {items_per_batch:.2} }},\n  \
+         \"snapshot\": {{\n    \"cold_first_batch_secs\": {:.6},\n    \
+         \"warm_first_batch_secs\": {:.6},\n    \"load_secs\": {:.6},\n    \
+         \"file_bytes\": {},\n    \"warm_over_cold_speedup\": {:.3},\n    \
+         \"gate_speedup_min\": 1.5,\n    \"gate_met\": {}\n  }}\n}}\n",
+        hexes.len(),
+        args.seed,
+        host_threads(),
+        p1.p50_us,
+        p1.p99_us,
+        bps1,
+        p8.p50_us,
+        p8.p99_us,
+        bps8,
+        stream_bps,
+        snap.cold_secs,
+        snap.warm_secs,
+        snap.load_secs,
+        snap.file_bytes,
+        snap.speedup,
+        snap.speedup >= 1.5,
+    );
+    std::fs::write(OUT_PATH, &json).expect("bench output writes");
+    print!("{json}");
+    eprintln!("bench_server: wrote {OUT_PATH}");
+}

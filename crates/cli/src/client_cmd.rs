@@ -1,0 +1,374 @@
+//! `facile client` — talk to a running `facile serve` daemon.
+//!
+//! The client is deliberately thin: it builds protocol request lines,
+//! streams reply rows to stdout, and does **no row formatting of its
+//! own** — JSON rows are echoed verbatim from the reply (byte-identical
+//! to `facile --batch --format json` by construction), CSV rows are the
+//! reply's carried strings under the same header line `facile --batch
+//! --format csv` prints.
+
+use facile_engine::render::csv_header;
+use facile_server::json::{self, Kind, Value};
+use facile_uarch::Uarch;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+facile client — send prediction requests to a facile serve daemon
+
+USAGE:
+    facile client --socket <PATH> --hex <BYTES> [OPTIONS]
+    facile client --tcp <ADDR> --batch [FILE] [OPTIONS]
+    facile client --socket <PATH> --op stats|ping
+
+CONNECTION (exactly one):
+    --socket <PATH>    connect to a Unix-domain socket
+    --tcp <ADDR>       connect to a TCP address (host:port)
+
+INPUT (exactly one):
+    --hex <BYTES>      predict a single block
+    --batch [FILE]     read blocks from FILE (default stdin), one per
+                       line — bare hex or BHive CSV, exactly like
+                       `facile --batch`
+    --op <OP>          a one-off request: `stats` (print the server's
+                       counters as JSON) or `ping`
+
+OPTIONS:
+    --uarch <ABBR>     microarchitecture (default SKL)
+    --all-uarchs       predict on all nine microarchitectures
+    --mode <MODE>      auto | loop | unroll (default auto)
+    --predictors <KEYS> predictor selector (server default when omitted)
+    --format <FMT>     json | csv row output (default json)
+    --explain          request full explanations (and the CSV
+                       explanation column)
+    --deadline-ms <N>  per-request queue deadline
+    --chunk <N>        blocks per request in batch mode (default 1024)
+    --help             show this help
+
+Row output is byte-identical to `facile --batch` with the same flags:
+rows come off the wire in the CLI's own rendering.
+";
+
+/// Where to connect (resolved to a live socket in [`drive`]).
+enum ConnectTo {
+    #[cfg(unix)]
+    Unix(String),
+    Tcp(String),
+}
+
+struct Options {
+    connect: ConnectTo,
+    hex: Option<String>,
+    /// `Some(path)` = batch from a file, `Some(None)` = batch from stdin.
+    batch: Option<Option<String>>,
+    op: Option<String>,
+    uarch: Uarch,
+    all_uarchs: bool,
+    mode: Option<&'static str>,
+    predictors: Option<String>,
+    csv: bool,
+    explain: bool,
+    deadline_ms: Option<u64>,
+    chunk: usize,
+}
+
+fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
+    let mut connect: Option<ConnectTo> = None;
+    let mut hex = None;
+    let mut batch: Option<Option<String>> = None;
+    let mut op = None;
+    let mut uarch = Uarch::Skl;
+    let mut all_uarchs = false;
+    let mut mode = None;
+    let mut predictors = None;
+    let mut csv = false;
+    let mut explain = false;
+    let mut deadline_ms = None;
+    let mut chunk = 1024usize;
+    let mut it = args.into_iter().peekable();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--socket" => {
+                let path = it.next().ok_or("--socket requires a value")?;
+                #[cfg(unix)]
+                {
+                    connect = Some(ConnectTo::Unix(path));
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = path;
+                    return Err("--socket is only available on Unix".into());
+                }
+            }
+            "--tcp" => connect = Some(ConnectTo::Tcp(it.next().ok_or("--tcp requires a value")?)),
+            "--hex" => hex = Some(it.next().ok_or("--hex requires a value")?),
+            "--batch" => {
+                // An optional positional FILE follows unless the next
+                // token is a flag; `-` means stdin.
+                let file = match it.peek() {
+                    Some(t) if !t.starts_with("--") => Some(it.next().expect("peeked")),
+                    _ => None,
+                };
+                batch = Some(file.filter(|f| f != "-"));
+            }
+            "--op" => op = Some(it.next().ok_or("--op requires a value")?),
+            "--uarch" => {
+                uarch = it
+                    .next()
+                    .ok_or("--uarch requires a value")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--all-uarchs" => all_uarchs = true,
+            "--mode" => {
+                mode = match it.next().ok_or("--mode requires a value")?.as_str() {
+                    "auto" => None,
+                    "loop" | "tpl" => Some("tpl"),
+                    "unroll" | "tpu" => Some("tpu"),
+                    other => return Err(format!("unknown mode: {other}")),
+                };
+            }
+            "--predictors" => {
+                predictors = Some(it.next().ok_or("--predictors requires a value")?);
+            }
+            "--format" => {
+                csv = match it.next().ok_or("--format requires a value")?.as_str() {
+                    "json" => false,
+                    "csv" => true,
+                    other => return Err(format!("unknown format: {other} (json|csv)")),
+                };
+            }
+            "--explain" => explain = true,
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .ok_or("--deadline-ms requires a value")?
+                        .parse()
+                        .map_err(|_| "numeric --deadline-ms".to_string())?,
+                );
+            }
+            "--chunk" => {
+                chunk = it
+                    .next()
+                    .ok_or("--chunk requires a value")?
+                    .parse()
+                    .map_err(|_| "numeric --chunk".to_string())?;
+                if chunk == 0 {
+                    return Err("--chunk must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    let connect = connect.ok_or("provide --socket <PATH> or --tcp <ADDR>")?;
+    let inputs =
+        usize::from(hex.is_some()) + usize::from(batch.is_some()) + usize::from(op.is_some());
+    if inputs != 1 {
+        return Err("provide exactly one of --hex, --batch, or --op".into());
+    }
+    if let Some(op) = &op {
+        if op != "stats" && op != "ping" {
+            return Err(format!("unknown op: {op} (stats|ping)"));
+        }
+    }
+    Ok(Some(Options {
+        connect,
+        hex,
+        batch,
+        op,
+        uarch,
+        all_uarchs,
+        mode,
+        predictors,
+        csv,
+        explain,
+        deadline_ms,
+        chunk,
+    }))
+}
+
+/// A JSON string literal for a request field (blocks may carry
+/// arbitrary bytes from malformed input lines; the server turns those
+/// into error rows, not protocol errors).
+fn jstr(s: &str) -> String {
+    format!("\"{}\"", facile_explain::json_escape(s))
+}
+
+fn batch_request(o: &Options, blocks: &[String]) -> String {
+    let mut req = String::with_capacity(64 + blocks.len() * 20);
+    req.push_str("{\"op\":\"batch\",\"blocks\":[");
+    for (i, b) in blocks.iter().enumerate() {
+        if i > 0 {
+            req.push(',');
+        }
+        req.push_str(&jstr(b));
+    }
+    req.push_str("],\"uarch\":");
+    if o.all_uarchs {
+        req.push_str("\"all\"");
+    } else {
+        req.push_str(&jstr(&o.uarch.to_string()));
+    }
+    if let Some(m) = o.mode {
+        req.push_str(",\"mode\":\"");
+        req.push_str(m);
+        req.push('"');
+    }
+    if o.explain {
+        req.push_str(",\"detail\":\"full\"");
+    }
+    if let Some(p) = &o.predictors {
+        req.push_str(",\"predictors\":");
+        req.push_str(&jstr(p));
+    }
+    if o.csv {
+        req.push_str(",\"format\":\"csv\"");
+    }
+    if let Some(d) = o.deadline_ms {
+        req.push_str(&format!(",\"deadline_ms\":{d}"));
+    }
+    req.push('}');
+    req
+}
+
+/// Send one request line and read one reply line, verifying `ok`.
+fn round_trip(
+    tx: &mut dyn Write,
+    rx: &mut dyn BufRead,
+    req: &str,
+) -> Result<(String, Value), String> {
+    tx.write_all(req.as_bytes()).map_err(|e| e.to_string())?;
+    tx.write_all(b"\n").map_err(|e| e.to_string())?;
+    tx.flush().map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    let n = rx.read_line(&mut reply).map_err(|e| e.to_string())?;
+    if n == 0 {
+        return Err("server closed the connection".into());
+    }
+    reply.truncate(reply.trim_end_matches(['\n', '\r']).len());
+    let v = json::parse(&reply).map_err(|e| format!("unparseable reply: {e}"))?;
+    match v.get("ok").map(|k| &k.kind) {
+        Some(Kind::Bool(true)) => Ok((reply, v)),
+        _ => {
+            let code = v.get("code").and_then(Value::as_str).unwrap_or("unknown");
+            let msg = v
+                .get("error")
+                .and_then(Value::as_str)
+                .map_or_else(|| reply.clone(), str::to_string);
+            Err(format!("server rejected the request ({code}): {msg}"))
+        }
+    }
+}
+
+/// Print a prediction reply's rows: JSON rows verbatim off the wire,
+/// CSV rows as the carried strings.
+fn print_rows(reply: &str, v: &Value, csv: bool, out: &mut dyn Write) -> Result<(), String> {
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or("reply has no rows")?;
+    for r in rows {
+        if csv {
+            let s = r.as_str().ok_or("CSV reply row is not a string")?;
+            writeln!(out, "{s}").map_err(|e| e.to_string())?;
+        } else {
+            writeln!(out, "{}", r.raw(reply)).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn drive(o: &Options) -> Result<(), String> {
+    let (mut tx, mut rx): (Box<dyn Write>, Box<dyn BufRead>) = match &o.connect {
+        #[cfg(unix)]
+        ConnectTo::Unix(path) => {
+            let s =
+                UnixStream::connect(path).map_err(|e| format!("cannot connect to {path}: {e}"))?;
+            let r = s.try_clone().map_err(|e| e.to_string())?;
+            (Box::new(s), Box::new(BufReader::new(r)))
+        }
+        ConnectTo::Tcp(addr) => {
+            let s =
+                TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let _ = s.set_nodelay(true); // request lines are small
+            let r = s.try_clone().map_err(|e| e.to_string())?;
+            (Box::new(s), Box::new(BufReader::new(r)))
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+
+    if let Some(op) = &o.op {
+        let (reply, v) = round_trip(&mut tx, &mut rx, &format!("{{\"op\":{}}}", jstr(op)))?;
+        // stats: print the payload object alone; ping: the whole reply.
+        let payload = v.get("stats").map_or(reply.as_str(), |s| s.raw(&reply));
+        writeln!(&mut out, "{payload}").map_err(|e| e.to_string())?;
+        return out.flush().map_err(|e| e.to_string());
+    }
+
+    if o.csv {
+        writeln!(&mut out, "{}", csv_header(o.explain)).map_err(|e| e.to_string())?;
+    }
+    if let Some(hex) = &o.hex {
+        let (reply, v) = round_trip(
+            &mut tx,
+            &mut rx,
+            &batch_request(o, std::slice::from_ref(hex)),
+        )?;
+        print_rows(&reply, &v, o.csv, &mut out)?;
+        return out.flush().map_err(|e| e.to_string());
+    }
+
+    // Batch mode: stream input lines in chunks, one request per chunk.
+    // Rows arrive in request order, so output order matches the input
+    // (and `facile --batch`) regardless of chunk size.
+    let input: Box<dyn BufRead> = match o.batch.as_ref().expect("batch mode") {
+        Some(path) => Box::new(BufReader::new(
+            std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
+        )),
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+    let mut blocks: Vec<String> = Vec::with_capacity(o.chunk);
+    for line in input.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let Some(hex) = facile_bhive::csv::hex_field(&line) else {
+            continue;
+        };
+        blocks.push(hex.to_string());
+        if blocks.len() >= o.chunk {
+            let (reply, v) = round_trip(&mut tx, &mut rx, &batch_request(o, &blocks))?;
+            print_rows(&reply, &v, o.csv, &mut out)?;
+            blocks.clear();
+        }
+    }
+    if !blocks.is_empty() {
+        let (reply, v) = round_trip(&mut tx, &mut rx, &batch_request(o, &blocks))?;
+        print_rows(&reply, &v, o.csv, &mut out)?;
+    }
+    out.flush().map_err(|e| e.to_string())
+}
+
+pub fn main(args: Vec<String>) -> ExitCode {
+    let o = match parse(args) {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match drive(&o) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

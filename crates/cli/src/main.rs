@@ -24,15 +24,17 @@
 //! text summary (`--format text`).
 
 use facile_core::{Detail, Explanation, Facile, Mode, Report};
-use facile_engine::{BatchItem, Engine, ItemResult, PredictorRegistry};
-use facile_explain::json_escape;
+use facile_engine::render::{self, csv_header, mode_str};
+use facile_engine::{BatchItem, Engine, EngineStats, ItemResult, PredictorRegistry};
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
 use facile_x86::Block;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
+mod client_cmd;
 mod diff_cmd;
+mod serve_cmd;
 
 struct Options {
     hex: Option<String>,
@@ -71,6 +73,8 @@ USAGE:
     facile --kernel <NAME> [OPTIONS]
     facile --batch [OPTIONS] < blocks.txt
     facile diff [DIFF OPTIONS]        (see `facile diff --help`)
+    facile serve [SERVE OPTIONS]      (see `facile serve --help`)
+    facile client [CLIENT OPTIONS]    (see `facile client --help`)
 
 INPUT:
     --hex <BYTES>      basic block as hex machine code (BHive format)
@@ -225,33 +229,6 @@ fn detail(o: &Options) -> Detail {
     }
 }
 
-/// CSV field quoting per RFC 4180 (only when needed).
-fn csv_escape(s: &str) -> String {
-    if s.contains([',', '"', '\n', '\r']) {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
-    }
-}
-
-fn mode_str(mode: Option<Mode>) -> &'static str {
-    match mode {
-        Some(Mode::Unrolled) => "tpu",
-        Some(Mode::Loop) => "tpl",
-        None => "",
-    }
-}
-
-const CSV_HEADER: &str = "block,uarch,mode,predictor,status,throughput,bottleneck,error";
-
-fn csv_header(explain: bool) -> String {
-    if explain {
-        format!("{CSV_HEADER},explanation")
-    } else {
-        CSV_HEADER.to_string()
-    }
-}
-
 fn emit_row<W: Write + ?Sized>(
     out: &mut W,
     format: Format,
@@ -259,74 +236,8 @@ fn emit_row<W: Write + ?Sized>(
     r: &ItemResult,
 ) -> std::io::Result<()> {
     match format {
-        Format::Json => {
-            let core = format!(
-                "\"block\":\"{}\",\"uarch\":\"{}\",\"mode\":\"{}\",\"predictor\":\"{}\"",
-                json_escape(&r.block_hex),
-                r.uarch,
-                mode_str(r.mode),
-                json_escape(&r.predictor),
-            );
-            match &r.prediction {
-                Ok(p) => {
-                    let bn = p
-                        .bottleneck
-                        .map_or_else(|| "null".to_string(), |b| format!("\"{}\"", b.name()));
-                    let expl = p
-                        .explanation
-                        .as_ref()
-                        .map_or_else(String::new, |e| format!(",\"explanation\":{}", e.to_json()));
-                    writeln!(
-                        out,
-                        "{{{core},\"status\":\"ok\",\"throughput\":{:.4},\"bottleneck\":{bn}{expl}}}",
-                        p.throughput
-                    )
-                }
-                Err(e) => writeln!(
-                    out,
-                    "{{{core},\"status\":\"error\",\"code\":\"{}\",\"error\":\"{}\"}}",
-                    e.code(),
-                    json_escape(&e.to_string())
-                ),
-            }
-        }
-        Format::Csv => {
-            let extra = |expl_field: &str| {
-                if explain {
-                    format!(",{expl_field}")
-                } else {
-                    String::new()
-                }
-            };
-            match &r.prediction {
-                Ok(p) => writeln!(
-                    out,
-                    "{},{},{},{},ok,{:.4},{},{}",
-                    csv_escape(&r.block_hex),
-                    r.uarch,
-                    mode_str(r.mode),
-                    csv_escape(&r.predictor),
-                    p.throughput,
-                    p.bottleneck.map_or("", |b| b.name()),
-                    extra(
-                        &p.explanation
-                            .as_ref()
-                            .map_or_else(String::new, |e| { csv_escape(&e.to_json()) })
-                    ),
-                ),
-                Err(e) => writeln!(
-                    out,
-                    "{},{},{},{},{},,,{}{}",
-                    csv_escape(&r.block_hex),
-                    r.uarch,
-                    mode_str(r.mode),
-                    csv_escape(&r.predictor),
-                    e.code(),
-                    csv_escape(&e.to_string()),
-                    extra(""),
-                ),
-            }
-        }
+        Format::Json => writeln!(out, "{}", render::row_json(r)),
+        Format::Csv => writeln!(out, "{}", render::row_csv(r, explain)),
         Format::Human => match &r.prediction {
             Ok(p) => {
                 writeln!(
@@ -372,104 +283,33 @@ fn build_engine(o: &Options) -> Engine {
     engine
 }
 
-/// Counters accumulated over a run (batch mode drops annotations
-/// between chunks to bound memory, so hits/misses are summed across
-/// chunks and resident-entry counts are high-water marks).
-#[derive(Default, Clone, Copy)]
-struct StatsTally {
-    planned: u64,
-    deduped: u64,
-    ann_hits: u64,
-    ann_misses: u64,
-    decode_hits: u64,
-    decode_misses: u64,
-    ann_entries: usize,
-    blocks: usize,
-}
-
-impl StatsTally {
-    fn absorb(&mut self, s: facile_engine::EngineStats) {
-        // Planner counters are engine-lifetime totals, not per-chunk
-        // deltas: take the latest value instead of summing.
-        self.planned = s.planner.items;
-        self.deduped = s.planner.deduped;
-        self.ann_hits += s.annotation.hits;
-        self.ann_misses += s.annotation.misses;
-        self.decode_hits += s.annotation.decode_hits;
-        self.decode_misses += s.annotation.decode_misses;
-        self.ann_entries = self.ann_entries.max(s.annotation.entries);
-        self.blocks = self.blocks.max(s.annotation.blocks);
-    }
-}
-
 /// Emit planner/cache counters and (when collected) per-kernel timing:
 /// a trailing JSON object on stdout with JSON output, a human-readable
-/// summary on stderr otherwise (CSV output stays pure).
+/// summary on stderr otherwise (CSV output stays pure). The JSON is the
+/// engine's canonical [`EngineStats::to_json`] — the same object the
+/// server's `stats` reply carries.
 fn emit_stats<W: Write + ?Sized>(
     out: &mut W,
     format: Format,
-    t: StatsTally,
+    t: &EngineStats,
 ) -> std::io::Result<()> {
-    let i = facile_isa::intern_stats();
-    let kernels = facile_core::timing::snapshot();
-    let kernel_rows: Vec<(facile_core::Component, facile_engine::KernelTiming)> =
-        facile_core::Component::ALL
-            .into_iter()
-            .map(|c| (c, kernels[c as usize]))
-            .filter(|(_, k)| k.count > 0)
-            .collect();
     match format {
-        Format::Json => {
-            let kernel_json: Vec<String> = kernel_rows
-                .iter()
-                .map(|(c, k)| {
-                    format!(
-                        "{{\"kernel\":\"{}\",\"count\":{},\"mean_us\":{:.3},\"max_us\":{:.3}}}",
-                        c.name(),
-                        k.count,
-                        k.mean_us,
-                        k.max_us
-                    )
-                })
-                .collect();
-            writeln!(
-                out,
-                "{{\"stats\":{{\"planner\":{{\"items\":{},\"deduped\":{}}},\
-                 \"block_cache\":{{\"decode_hits\":{},\"decode_misses\":{},\"annotate_hits\":{},\
-                 \"annotate_misses\":{},\"blocks\":{},\"annotations\":{}}},\
-                 \"intern_table\":{{\"hits\":{},\"misses\":{},\"core_hits\":{},\"core_misses\":{},\
-                 \"byte_entries\":{},\"entries\":{}}},\"kernels\":[{}]}}}}",
-                t.planned,
-                t.deduped,
-                t.decode_hits,
-                t.decode_misses,
-                t.ann_hits,
-                t.ann_misses,
-                t.blocks,
-                t.ann_entries,
-                i.hits,
-                i.misses,
-                i.core_hits,
-                i.core_misses,
-                i.byte_entries,
-                i.entries,
-                kernel_json.join(",")
-            )
-        }
+        Format::Json => writeln!(out, "{{\"stats\":{}}}", t.to_json()),
         Format::Csv | Format::Human => {
+            let (a, i) = (t.annotation, t.intern);
             eprintln!(
                 "stats: planner {} items / {} deduped; block cache {} decode hits / {} decode \
                  misses / {} annotate hits / {} annotate misses ({} blocks, {} annotations); \
                  intern table {} hits / {} misses ({} core hits / {} core misses, {} byte \
                  entries, {} descriptors)",
-                t.planned,
-                t.deduped,
-                t.decode_hits,
-                t.decode_misses,
-                t.ann_hits,
-                t.ann_misses,
-                t.blocks,
-                t.ann_entries,
+                t.planner.items,
+                t.planner.deduped,
+                a.decode_hits,
+                a.decode_misses,
+                a.hits,
+                a.misses,
+                a.blocks,
+                a.entries,
                 i.hits,
                 i.misses,
                 i.core_hits,
@@ -477,7 +317,7 @@ fn emit_stats<W: Write + ?Sized>(
                 i.byte_entries,
                 i.entries
             );
-            for (c, k) in kernel_rows {
+            for (c, k) in t.kernel_rows() {
                 eprintln!(
                     "stats: kernel {} mean {:.2} us / max {:.2} us over {} calls",
                     c.name(),
@@ -508,10 +348,10 @@ fn run_batch(o: &Options) -> Result<(), String> {
     // each chunk still fans out in parallel across the worker pool.
     const CHUNK: usize = 4096;
     let mut items: Vec<BatchItem> = Vec::with_capacity(CHUNK);
-    let mut tally = StatsTally::default();
+    let mut tally = EngineStats::default();
     let flush = |items: &mut Vec<BatchItem>,
                  out: &mut dyn Write,
-                 tally: &mut StatsTally|
+                 tally: &mut EngineStats|
      -> Result<(), String> {
         if items.is_empty() {
             return Ok(());
@@ -525,7 +365,7 @@ fn run_batch(o: &Options) -> Result<(), String> {
         items.clear();
         // Annotations are only reused within a chunk; dropping them here
         // keeps memory bounded on arbitrarily large streams.
-        tally.absorb(engine.cache_stats());
+        tally.absorb(&engine.snapshot());
         engine.clear_cache();
         Ok(())
     };
@@ -552,7 +392,7 @@ fn run_batch(o: &Options) -> Result<(), String> {
     }
     flush(&mut items, &mut out, &mut tally)?;
     if o.stats {
-        emit_stats(&mut out, o.format, tally).map_err(|e| e.to_string())?;
+        emit_stats(&mut out, o.format, &tally).map_err(|e| e.to_string())?;
     }
     out.flush().map_err(|e| e.to_string())
 }
@@ -632,9 +472,7 @@ fn run_single(o: &Options) -> Result<(), String> {
             emit_row(&mut out, o.format, o.explain, r).map_err(|e| e.to_string())?;
         }
         if o.stats {
-            let mut tally = StatsTally::default();
-            tally.absorb(engine.cache_stats());
-            emit_stats(&mut out, o.format, tally).map_err(|e| e.to_string())?;
+            emit_stats(&mut out, o.format, &engine.snapshot()).map_err(|e| e.to_string())?;
         }
         return out.flush().map_err(|e| e.to_string());
     }
@@ -669,16 +507,18 @@ fn run_single(o: &Options) -> Result<(), String> {
         }
     }
     if o.stats {
-        let mut tally = StatsTally::default();
-        tally.absorb(engine.cache_stats());
-        emit_stats(&mut std::io::stderr(), Format::Human, tally).map_err(|e| e.to_string())?;
+        emit_stats(&mut std::io::stderr(), Format::Human, &engine.snapshot())
+            .map_err(|e| e.to_string())?;
     }
     Ok(())
 }
 
 fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("diff") {
-        return diff_cmd::main(std::env::args().skip(2).collect());
+    match std::env::args().nth(1).as_deref() {
+        Some("diff") => return diff_cmd::main(std::env::args().skip(2).collect()),
+        Some("serve") => return serve_cmd::main(std::env::args().skip(2).collect()),
+        Some("client") => return client_cmd::main(std::env::args().skip(2).collect()),
+        _ => {}
     }
     let opts = match parse_args() {
         Ok(Some(o)) => o,

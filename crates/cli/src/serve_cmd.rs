@@ -1,0 +1,150 @@
+//! `facile serve` — run the prediction daemon (`facile-server`).
+//!
+//! Prints one JSON line to stdout when the socket is bound and
+//! accepting — `{"serving":"<address>"}` — so scripts can wait for
+//! readiness (and, with `--tcp host:0`, learn the ephemeral port). The
+//! daemon then parks until SIGTERM/SIGINT, drains in-flight requests,
+//! writes the annotation snapshot when one is configured, and exits 0.
+
+use facile_server::{Endpoint, Server, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+facile serve — prediction-as-a-service daemon
+
+USAGE:
+    facile serve --socket <PATH> [OPTIONS]
+    facile serve --tcp <HOST:PORT> [OPTIONS]
+
+ENDPOINT (exactly one):
+    --socket <PATH>    listen on a Unix-domain socket
+    --tcp <ADDR>       listen on TCP (port 0 = ephemeral; the bound
+                       address is printed on the ready line)
+
+OPTIONS:
+    --threads <N>             engine worker threads (default: all cores)
+    --predictors <KEYS>       default selector for requests that omit
+                              one (default `facile`)
+    --queue-cap <N>           admission bound on queued + in-flight
+                              batch items (default 65536); requests over
+                              it are rejected with `overloaded`
+    --gather-us <N>           micro-batch gather window in microseconds
+                              (default 500)
+    --max-batch <N>           largest gathered engine batch, in items
+                              (default 8192)
+    --snapshot <FILE>         persistent annotation cache: loaded at
+                              startup (stale/corrupt files are ignored),
+                              written on shutdown
+    --snapshot-interval-secs <N>  additionally write the snapshot every
+                              N seconds while serving
+    --help                    show this help
+
+The daemon serves newline-delimited JSON requests; see the protocol
+section of the README. Stop it with SIGTERM or SIGINT: it stops
+accepting, answers everything already admitted, saves the snapshot, and
+exits.
+";
+
+fn parse(args: Vec<String>) -> Result<Option<ServerConfig>, String> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut cfg_threads = 0usize;
+    let mut predictors = String::from("facile");
+    let mut queue_cap = 65_536usize;
+    let mut gather_us = 500u64;
+    let mut max_batch = 8_192usize;
+    let mut snapshot = None;
+    let mut snapshot_interval = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--socket" => endpoint = Some(Endpoint::Unix(val("--socket")?.into())),
+            "--tcp" => endpoint = Some(Endpoint::Tcp(val("--tcp")?)),
+            "--threads" => {
+                cfg_threads = val("--threads")?
+                    .parse()
+                    .map_err(|_| "numeric --threads".to_string())?;
+            }
+            "--predictors" => predictors = val("--predictors")?,
+            "--queue-cap" => {
+                queue_cap = val("--queue-cap")?
+                    .parse()
+                    .map_err(|_| "numeric --queue-cap".to_string())?;
+            }
+            "--gather-us" => {
+                gather_us = val("--gather-us")?
+                    .parse()
+                    .map_err(|_| "numeric --gather-us".to_string())?;
+            }
+            "--max-batch" => {
+                max_batch = val("--max-batch")?
+                    .parse()
+                    .map_err(|_| "numeric --max-batch".to_string())?;
+            }
+            "--snapshot" => snapshot = Some(std::path::PathBuf::from(val("--snapshot")?)),
+            "--snapshot-interval-secs" => {
+                let secs: u64 = val("--snapshot-interval-secs")?
+                    .parse()
+                    .map_err(|_| "numeric --snapshot-interval-secs".to_string())?;
+                snapshot_interval = Some(Duration::from_secs(secs));
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    let endpoint = endpoint.ok_or("provide --socket <PATH> or --tcp <ADDR>")?;
+    let mut cfg = ServerConfig::new(endpoint);
+    cfg.threads = cfg_threads;
+    cfg.predictors = predictors;
+    cfg.queue_cap = queue_cap;
+    cfg.gather_window = Duration::from_micros(gather_us);
+    cfg.max_batch_items = max_batch;
+    cfg.snapshot = snapshot;
+    cfg.snapshot_interval = snapshot_interval;
+    Ok(Some(cfg))
+}
+
+pub fn main(args: Vec<String>) -> ExitCode {
+    let cfg = match parse(args) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    facile_server::sig::install();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match &server.snapshot_loaded {
+        Some(Ok(info)) => eprintln!(
+            "snapshot: loaded {} blocks / {} annotations ({} bytes)",
+            info.blocks, info.annotations, info.file_bytes
+        ),
+        Some(Err(e)) => eprintln!("snapshot: starting cold ({e})"),
+        None => {}
+    }
+    println!("{{\"serving\":\"{}\"}}", server.bound());
+    let _ = std::io::stdout().flush();
+    match server.run_until_signal() {
+        Some(Ok(info)) => eprintln!(
+            "snapshot: saved {} blocks / {} annotations ({} bytes)",
+            info.blocks, info.annotations, info.file_bytes
+        ),
+        Some(Err(e)) => eprintln!("snapshot: save failed ({e})"),
+        None => {}
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,253 @@
+//! Server-vs-CLI bit-identity: rows served by a `facile serve` daemon
+//! through `facile client --batch` must be **byte-identical** to what
+//! `facile --batch` prints for the same input and flags — the server is
+//! a transport, never a second formatter. Exercised over a 2000-block
+//! generated suite in both row formats, plus daemon lifecycle (ready
+//! line, SIGTERM drain, exit 0).
+
+#![cfg(unix)]
+
+use facile_bhive::generate_suite;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("facile-srvcli-{}-{tag}", std::process::id()))
+}
+
+/// The 2000-block workload: both rotations of a generated suite.
+fn suite_lines() -> String {
+    let mut s = String::new();
+    for b in generate_suite(1000, 0xb10c) {
+        s.push_str(&b.unrolled.to_hex());
+        s.push('\n');
+        s.push_str(&b.looped.to_hex());
+        s.push('\n');
+    }
+    s
+}
+
+/// Spawn `facile serve --socket <path>` and wait for its ready line.
+fn spawn_server(socket: &PathBuf, extra: &[&str]) -> Child {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_facile"))
+        .arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn facile serve");
+    let mut ready = String::new();
+    BufReader::new(child.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut ready)
+        .expect("ready line");
+    assert!(
+        ready.starts_with(r#"{"serving":""#),
+        "unexpected ready line: {ready}"
+    );
+    child
+}
+
+/// SIGTERM the daemon and assert a clean drain (exit 0).
+fn terminate(child: Child) -> String {
+    let pid = child.id().to_string();
+    let ok = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs")
+        .success();
+    assert!(ok, "kill -TERM failed");
+    let out = child.wait_with_output().expect("server exits");
+    assert!(
+        out.status.success(),
+        "serve exited nonzero after SIGTERM: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn run_facile(args: &[&str], stdin: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_facile"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn facile");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("facile runs");
+    assert!(
+        out.status.success(),
+        "facile {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn served_rows_are_byte_identical_to_cli_batch() {
+    let socket = temp_path("bitident.sock");
+    let input_file = temp_path("bitident.blocks");
+    let input = suite_lines();
+    std::fs::write(&input_file, &input).expect("input file writes");
+    let server = spawn_server(&socket, &[]);
+    let sock = socket.to_str().expect("utf8 path");
+    let file = input_file.to_str().expect("utf8 path");
+
+    // JSON rows, default uarch.
+    let direct = run_facile(&["--batch", "--predictors", "facile", "--json"], &input);
+    let served = run_facile(
+        &[
+            "client", "--socket", sock, "--batch", file, "--format", "json",
+        ],
+        "",
+    );
+    assert_eq!(
+        served, direct,
+        "served JSON rows diverge from `facile --batch --json`"
+    );
+    assert_eq!(direct.lines().count(), 2000, "one row per suite block");
+
+    // CSV rows (header included), and a non-default chunk size to prove
+    // output is independent of how the client slices requests.
+    let direct = run_facile(&["--batch", "--predictors", "facile", "--csv"], &input);
+    let served = run_facile(
+        &[
+            "client", "--socket", sock, "--batch", file, "--format", "csv", "--chunk", "333",
+        ],
+        "",
+    );
+    assert_eq!(
+        served, direct,
+        "served CSV rows diverge from `facile --batch --csv`"
+    );
+
+    terminate(server);
+    std::fs::remove_file(&input_file).ok();
+    assert!(!socket.exists(), "socket file should be unlinked on drain");
+}
+
+#[test]
+fn single_hex_and_stats_round_trip() {
+    let socket = temp_path("single.sock");
+    let server = spawn_server(&socket, &[]);
+    let sock = socket.to_str().expect("utf8 path");
+
+    let row = run_facile(&["client", "--socket", sock, "--hex", "4801c8"], "");
+    assert_eq!(
+        row,
+        "{\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"facile\",\
+         \"status\":\"ok\",\"throughput\":1.0000,\"bottleneck\":\"Precedence\"}\n"
+    );
+
+    let stats = run_facile(&["client", "--socket", sock, "--op", "stats"], "");
+    assert!(
+        stats.starts_with(r#"{"server":{"connections":"#),
+        "stats payload: {stats}"
+    );
+    assert!(stats.contains(r#""engine":{"#), "stats payload: {stats}");
+
+    let pong = run_facile(&["client", "--socket", sock, "--op", "ping"], "");
+    assert_eq!(pong, "{\"ok\":true,\"pong\":true}\n");
+
+    terminate(server);
+}
+
+#[test]
+fn snapshot_persists_across_daemon_restarts() {
+    let socket = temp_path("warm.sock");
+    let snap = temp_path("warm.snap");
+    let input: String = suite_lines()
+        .lines()
+        .take(200)
+        .fold(String::new(), |mut s, l| {
+            s.push_str(l);
+            s.push('\n');
+            s
+        });
+
+    // First life: serve the suite cold, snapshot on SIGTERM.
+    let server = spawn_server(&socket, &["--snapshot", snap.to_str().expect("utf8")]);
+    let sock = socket.to_str().expect("utf8 path");
+    let first = run_facile(
+        &[
+            "client", "--socket", sock, "--batch", "-", "--format", "json",
+        ],
+        &input,
+    );
+    let stderr = terminate(server);
+    assert!(
+        stderr.contains("snapshot: saved"),
+        "no snapshot save on drain: {stderr}"
+    );
+    assert!(snap.exists(), "snapshot file missing");
+
+    // Second life: the daemon reports the warm load, and warm rows are
+    // byte-identical to the cold ones.
+    let server = spawn_server(&socket, &["--snapshot", snap.to_str().expect("utf8")]);
+    let second = run_facile(
+        &[
+            "client", "--socket", sock, "--batch", "-", "--format", "json",
+        ],
+        &input,
+    );
+    assert_eq!(second, first, "warm-from-snapshot rows diverge from cold");
+    let stderr = terminate(server);
+    assert!(
+        stderr.contains("snapshot: loaded"),
+        "no snapshot load on restart: {stderr}"
+    );
+
+    // Third life: a corrupted snapshot degrades to a cold start with
+    // identical rows, not an error.
+    let mut bytes = std::fs::read(&snap).expect("snapshot readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).expect("snapshot writable");
+    let server = spawn_server(&socket, &["--snapshot", snap.to_str().expect("utf8")]);
+    let third = run_facile(
+        &[
+            "client", "--socket", sock, "--batch", "-", "--format", "json",
+        ],
+        &input,
+    );
+    assert_eq!(third, first, "cold-fallback rows diverge");
+    let stderr = terminate(server);
+    assert!(
+        stderr.contains("snapshot: starting cold"),
+        "corrupt snapshot not reported: {stderr}"
+    );
+
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn client_reports_connection_failure() {
+    let out = Command::new(env!("CARGO_BIN_EXE_facile"))
+        .args([
+            "client",
+            "--socket",
+            temp_path("nosuch.sock").to_str().expect("utf8"),
+            "--hex",
+            "90",
+        ])
+        .output()
+        .expect("facile runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot connect"), "{stderr}");
+    let mut empty = String::new();
+    // stdout stays empty on connection failure (no spurious header).
+    out.stdout
+        .as_slice()
+        .read_to_string(&mut empty)
+        .expect("utf8");
+    assert_eq!(empty, "");
+}

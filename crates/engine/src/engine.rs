@@ -192,6 +192,71 @@ impl EngineStats {
             .map(|c| (c, self.kernels[c as usize]))
             .filter(|(_, t)| t.count > 0)
     }
+
+    /// Fold a later snapshot into an accumulator that survives cache
+    /// clears (the CLI's chunked batch mode and the server's bounded
+    /// cache both drop annotations periodically; hit/miss counters must
+    /// keep accumulating across those drops).
+    ///
+    /// Lifetime counters (planner, intern table, kernel timing) are
+    /// engine- or process-lifetime totals and are *replaced* by the
+    /// later snapshot; per-cache-generation counters (annotation
+    /// hits/misses) are *summed*; resident-entry counts become
+    /// high-water marks.
+    pub fn absorb(&mut self, later: &EngineStats) {
+        self.planner = later.planner;
+        self.annotation.hits += later.annotation.hits;
+        self.annotation.misses += later.annotation.misses;
+        self.annotation.decode_hits += later.annotation.decode_hits;
+        self.annotation.decode_misses += later.annotation.decode_misses;
+        self.annotation.entries = self.annotation.entries.max(later.annotation.entries);
+        self.annotation.blocks = self.annotation.blocks.max(later.annotation.blocks);
+        self.intern = later.intern;
+        self.kernels = later.kernels;
+    }
+
+    /// The canonical JSON object for these counters. The CLI's `--stats`
+    /// trailer and the server's `stats` reply both print exactly this
+    /// object, so the two spellings cannot drift.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut kernels = String::new();
+        for (i, (c, k)) in self.kernel_rows().enumerate() {
+            if i > 0 {
+                kernels.push(',');
+            }
+            let _ = write!(
+                kernels,
+                "{{\"kernel\":\"{}\",\"count\":{},\"mean_us\":{:.3},\"max_us\":{:.3}}}",
+                c.name(),
+                k.count,
+                k.mean_us,
+                k.max_us
+            );
+        }
+        format!(
+            "{{\"planner\":{{\"items\":{},\"deduped\":{}}},\
+             \"block_cache\":{{\"decode_hits\":{},\"decode_misses\":{},\"annotate_hits\":{},\
+             \"annotate_misses\":{},\"blocks\":{},\"annotations\":{}}},\
+             \"intern_table\":{{\"hits\":{},\"misses\":{},\"core_hits\":{},\"core_misses\":{},\
+             \"byte_entries\":{},\"entries\":{}}},\"kernels\":[{kernels}]}}",
+            self.planner.items,
+            self.planner.deduped,
+            self.annotation.decode_hits,
+            self.annotation.decode_misses,
+            self.annotation.hits,
+            self.annotation.misses,
+            self.annotation.blocks,
+            self.annotation.entries,
+            self.intern.hits,
+            self.intern.misses,
+            self.intern.core_hits,
+            self.intern.core_misses,
+            self.intern.byte_entries,
+            self.intern.entries,
+        )
+    }
 }
 
 /// One prepared work unit: canonical hex, resolved notion, and the
@@ -267,9 +332,15 @@ impl Engine {
         &mut self.registry
     }
 
-    /// Counters of both memoization layers: this engine's annotation
-    /// cache and the process-wide descriptor intern table.
-    pub fn cache_stats(&self) -> EngineStats {
+    /// One consistent snapshot of every engine counter: batch-planner
+    /// dedup, the two-level annotation cache, the process-wide
+    /// descriptor intern table, and (when enabled) per-kernel timing.
+    ///
+    /// This is the *only* way counters leave the engine — the CLI's
+    /// `--stats` output and the server's `stats` reply both render this
+    /// snapshot (via [`EngineStats::to_json`]), so the two views can
+    /// never drift apart.
+    pub fn snapshot(&self) -> EngineStats {
         EngineStats {
             planner: PlannerStats {
                 items: self.planned_items.load(Ordering::Relaxed),
@@ -294,6 +365,14 @@ impl Engine {
     /// the number of distinct instruction encodings, not blocks.)
     pub fn clear_cache(&self) {
         self.cache.clear();
+    }
+
+    /// The engine's two-level annotation cache. Exposed so the
+    /// persistent-snapshot layer (`facile-server`) can export resident
+    /// entries on shutdown and re-seed them at startup.
+    #[must_use]
+    pub fn cache(&self) -> &AnnotationCache {
+        &self.cache
     }
 
     /// The worker count.

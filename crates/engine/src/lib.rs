@@ -35,9 +35,10 @@ pub mod engine;
 pub mod error;
 pub mod predictor;
 pub mod registry;
+pub mod render;
 
 pub use adapters::{Baseline, FacileAdapter, LazyLearned, TrainConfig};
-pub use cache::{AnnotationCache, CacheStats};
+pub use cache::{AnnotationCache, CacheStats, ExportedBlock};
 pub use engine::{
     host_threads, parallel_map_indexed, BatchItem, BlockInput, Engine, EngineStats, ItemResult,
     PlannerStats,

@@ -169,7 +169,7 @@ fn annotation_cache_is_shared_across_predictors_and_items() {
         .unwrap();
     assert_eq!(rows.len(), 40);
     assert!(rows.iter().all(|r| r.prediction.is_ok()));
-    let stats = engine.cache_stats();
+    let stats = engine.snapshot();
     // The ten identical items collapse to one planned unit before the
     // cache is even consulted...
     assert_eq!(stats.planner.items, 10);
@@ -183,7 +183,7 @@ fn annotation_cache_is_shared_across_predictors_and_items() {
     engine
         .predict_batch(&[BatchItem::block(block.clone(), Uarch::Skl)], "facile")
         .unwrap();
-    let stats = engine.cache_stats().annotation;
+    let stats = engine.snapshot().annotation;
     assert!(stats.hits >= 1, "annotations must be reused: {stats:?}");
 
     // Same bytes, different uarch: a separate annotation entry sharing
@@ -191,7 +191,7 @@ fn annotation_cache_is_shared_across_predictors_and_items() {
     engine
         .predict_batch(&[BatchItem::block(block.clone(), Uarch::Hsw)], "facile")
         .unwrap();
-    let stats = engine.cache_stats().annotation;
+    let stats = engine.snapshot().annotation;
     assert_eq!(stats.entries, 2);
     assert_eq!(stats.blocks, 1);
 }

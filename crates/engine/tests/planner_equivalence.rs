@@ -106,7 +106,7 @@ proptest! {
                         threads
                     ),
                 }
-                let stats = engine.cache_stats().planner;
+                let stats = engine.snapshot().planner;
                 prop_assert_eq!(stats.items, items.len() as u64);
                 if dedup {
                     planner_saw_dups |= stats.deduped > 0;
@@ -140,7 +140,7 @@ fn near_duplicates_are_not_merged() {
     let engine = Engine::new(analytic_registry()).with_threads(1);
     let rows = engine.predict_batch(&items, "facile").expect("resolves");
     assert_eq!(rows.len(), 5);
-    let stats = engine.cache_stats().planner;
+    let stats = engine.snapshot().planner;
     assert_eq!(stats.items, 5);
     assert_eq!(stats.deduped, 1);
     // The auto-notion row and the forced-unrolled row genuinely differ.

@@ -72,6 +72,22 @@ impl AnnotatedInst {
     pub fn end(&self) -> usize {
         self.start + self.inst().len as usize
     }
+
+    /// Build an annotated instruction from an externally constructed
+    /// interned entry (the snapshot-restore path; live annotation goes
+    /// through [`AnnotatedBlock::new`]).
+    #[must_use]
+    pub fn from_parts(
+        entry: Arc<InternedInst>,
+        start: usize,
+        fused_with_prev: bool,
+    ) -> AnnotatedInst {
+        AnnotatedInst {
+            entry,
+            start,
+            fused_with_prev,
+        }
+    }
 }
 
 /// A basic block annotated for one microarchitecture.
@@ -160,6 +176,31 @@ impl AnnotatedBlock {
                 i += 1;
             }
         }
+        let total_fused = insts.iter().map(|a| u32::from(a.desc().fused_uops)).sum();
+        let total_issue = insts.iter().map(|a| u32::from(a.desc().issue_uops)).sum();
+        let total_unfused = insts.iter().map(|a| a.desc().unfused_uops() as u32).sum();
+        AnnotatedBlock {
+            uarch,
+            block,
+            insts,
+            total_fused,
+            total_issue,
+            total_unfused,
+        }
+    }
+
+    /// Assemble an annotated block from externally reconstructed
+    /// instructions (the snapshot-restore path). µop totals are
+    /// recomputed from the supplied descriptors exactly as
+    /// [`AnnotatedBlock::new`] computes them, so a faithfully
+    /// round-tripped block predicts bit-identically to a live-annotated
+    /// one.
+    #[must_use]
+    pub fn from_parts(
+        block: Arc<Block>,
+        uarch: Uarch,
+        insts: Vec<AnnotatedInst>,
+    ) -> AnnotatedBlock {
         let total_fused = insts.iter().map(|a| u32::from(a.desc().fused_uops)).sum();
         let total_issue = insts.iter().map(|a| u32::from(a.desc().issue_uops)).sum();
         let total_unfused = insts.iter().map(|a| a.desc().unfused_uops() as u32).sum();

@@ -1,0 +1,38 @@
+//! # facile-server
+//!
+//! Prediction-as-a-service: a long-lived daemon over the batched
+//! prediction engine (`facile-engine`), speaking newline-delimited JSON
+//! over a Unix-domain socket or TCP.
+//!
+//! Three properties define the design:
+//!
+//! * **Cross-connection batching.** Requests from concurrent
+//!   connections gather into shared engine batches (a thread per
+//!   connection feeds a micro-batching queue), so the batch planner's
+//!   dedup stage and the two-level annotation cache work *across*
+//!   clients exactly as they work across lines of a CLI batch. See
+//!   [`server`].
+//! * **Byte-identical rows.** Protocol replies render rows with the
+//!   same `facile_engine::render` functions the CLI uses, so a row
+//!   served over a socket is byte-for-byte the row `facile --batch`
+//!   prints for the same input. See [`protocol`].
+//! * **Persistent warmth.** The annotation cache can be written to a
+//!   versioned, checksummed on-disk snapshot at shutdown and reloaded
+//!   at startup, so a restarted daemon serves its first batch at
+//!   warm-cache speed. Stale or damaged snapshots are detected and
+//!   ignored — the server falls back to a cold start, never to wrong
+//!   rows. See [`snapshot`].
+//!
+//! The `facile serve` and `facile client` CLI subcommands are thin
+//! wrappers over this crate.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use protocol::{error_reply, parse_request, Parsed, ProtoError, Render, Request, Work};
+pub use server::{sig, BoundAddr, Endpoint, Server, ServerConfig, ServerCounters};
+pub use snapshot::{uarch_table_hash, SnapshotError, SnapshotInfo};

@@ -1,0 +1,816 @@
+//! The daemon: listeners, connection threads, and the micro-batcher.
+//!
+//! ```text
+//!  conn thread ──┐  enqueue(Job)                 ┌── reply channel ──┐
+//!  conn thread ──┼──► bounded queue ──► batcher ─┤                   ├─► reply line
+//!  conn thread ──┘   (admission)       thread    └── rows slice  ────┘
+//! ```
+//!
+//! Each connection is served by one thread that reads a request line,
+//! enqueues the work, blocks on its private reply channel, and writes
+//! the reply — so per-connection reply order is trivially request
+//! order. Parallelism comes from the *batcher*: it dequeues the first
+//! waiting job, then gathers everything else that arrives within a
+//! short window into one engine batch. Concurrent requests from
+//! different connections therefore reach `Engine::run_batch` as one
+//! plan, where the planner's dedup stage collapses identical
+//! `(block, uarch, mode, detail)` items *across connections* and the
+//! two-level annotation cache serves repeats — the same machinery, and
+//! the same rows, as the CLI's batch mode.
+//!
+//! Admission control is a bounded count of queued-plus-in-flight items:
+//! a request that would exceed it is rejected immediately with an
+//! `overloaded` error rather than queued behind an unbounded backlog.
+//! A request may carry a deadline; if it is still queued when its
+//! deadline passes, the batcher drops it with `deadline-exceeded`
+//! instead of spending engine time on an answer nobody is waiting for.
+//!
+//! Shutdown ([`Server::stop`], or a signal via [`sig`]) is a drain, not
+//! an abort: listeners stop accepting, idle connections close, admitted
+//! requests run to completion and their replies are written, the queue
+//! empties, and — when configured — the annotation cache is written to
+//! its snapshot file.
+
+use crate::protocol::{self, Parsed, ProtoError, Request};
+use crate::snapshot::{self, SnapshotError, SnapshotInfo};
+use facile_engine::{BatchItem, Engine, ItemResult};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where the server listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A Unix-domain socket at the given path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// A TCP address in `host:port` form (port `0` = ephemeral).
+    Tcp(String),
+}
+
+/// Server tuning knobs. `ServerConfig::new(endpoint)` gives defaults
+/// sized for an interactive daemon; every field is public.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen endpoint.
+    pub endpoint: Endpoint,
+    /// Engine worker threads (`0` = one per host CPU).
+    pub threads: usize,
+    /// Default predictor selector for requests that omit `predictors`.
+    pub predictors: String,
+    /// Admission bound: queued + in-flight batch items.
+    pub queue_cap: usize,
+    /// How long the batcher waits for more work after the first job.
+    pub gather_window: Duration,
+    /// Largest number of items gathered into one engine batch.
+    pub max_batch_items: usize,
+    /// Longest accepted request line, in bytes.
+    pub max_line_bytes: usize,
+    /// Annotation snapshot file: loaded at startup, written on shutdown
+    /// (and periodically, if `snapshot_interval` is set).
+    pub snapshot: Option<PathBuf>,
+    /// Write the snapshot every so often while serving.
+    pub snapshot_interval: Option<Duration>,
+}
+
+impl ServerConfig {
+    /// Defaults for the given endpoint.
+    #[must_use]
+    pub fn new(endpoint: Endpoint) -> ServerConfig {
+        ServerConfig {
+            endpoint,
+            threads: 0,
+            predictors: "facile".to_string(),
+            queue_cap: 65_536,
+            gather_window: Duration::from_micros(500),
+            max_batch_items: 8_192,
+            max_line_bytes: 1 << 20,
+            snapshot: None,
+            snapshot_interval: None,
+        }
+    }
+}
+
+/// Monotonic serving counters, exposed by the `stats` op.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Request lines handled (including rejected ones).
+    pub requests: AtomicU64,
+    /// Prediction rows served.
+    pub rows: AtomicU64,
+    /// Engine batches dispatched by the batcher.
+    pub batches: AtomicU64,
+    /// Items across those batches (≥ jobs; cross-connection gathering
+    /// makes this exceed per-request item counts).
+    pub batched_items: AtomicU64,
+    /// Requests rejected at admission (`overloaded`).
+    pub rejected_overload: AtomicU64,
+    /// Requests dropped in the queue (`deadline-exceeded`).
+    pub rejected_deadline: AtomicU64,
+    /// Lines rejected before reaching the engine (`bad-json`,
+    /// `bad-request`, `line-too-long`).
+    pub protocol_errors: AtomicU64,
+    /// Snapshot writes that succeeded.
+    pub snapshot_saves: AtomicU64,
+}
+
+impl ServerCounters {
+    /// The counters as a JSON object (the `stats` reply's
+    /// `"server"` member).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            "{{\"connections\":{},\"requests\":{},\"rows\":{},\"batches\":{},\
+             \"batched_items\":{},\"rejected_overload\":{},\"rejected_deadline\":{},\
+             \"protocol_errors\":{},\"snapshot_saves\":{}}}",
+            g(&self.connections),
+            g(&self.requests),
+            g(&self.rows),
+            g(&self.batches),
+            g(&self.batched_items),
+            g(&self.rejected_overload),
+            g(&self.rejected_deadline),
+            g(&self.protocol_errors),
+            g(&self.snapshot_saves),
+        )
+    }
+}
+
+/// One queued request: the engine work plus the channel its connection
+/// thread is blocked on.
+struct Job {
+    items: Vec<BatchItem>,
+    selector: Arc<str>,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<JobReply>,
+}
+
+/// What the batcher sends back to a connection thread.
+enum JobReply {
+    /// This job's slice of the batch rows, in item order.
+    Rows(Vec<ItemResult>),
+    /// The job was dropped before (or instead of) running.
+    Err {
+        /// Protocol error code.
+        code: &'static str,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+struct Shared {
+    engine: Engine,
+    cfg: ServerConfig,
+    queue: Mutex<Vec<Job>>,
+    queue_cv: Condvar,
+    /// Queued + in-flight items (admission control). Incremented at
+    /// admission, decremented when the job's reply is sent.
+    pending_items: AtomicUsize,
+    /// Set once: stop accepting, drain, exit.
+    draining: AtomicBool,
+    /// Set only after every connection thread has joined, so the
+    /// batcher cannot exit between a connection's admission check and
+    /// its enqueue (which would strand the job and deadlock the drain).
+    batcher_stop: AtomicBool,
+    counters: ServerCounters,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || sig::requested()
+    }
+}
+
+/// The address a started server actually listens on (the TCP variant
+/// carries the resolved ephemeral port).
+#[derive(Debug, Clone)]
+pub enum BoundAddr {
+    /// Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// Resolved TCP address.
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for BoundAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            #[cfg(unix)]
+            BoundAddr::Unix(p) => write!(f, "{}", p.display()),
+            BoundAddr::Tcp(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum Stream {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Replies are small; Nagle + delayed ACK would add tens
+                // of milliseconds to every round trip.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Stream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_blocking(&self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(false),
+            Stream::Tcp(s) => s.set_nonblocking(false),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop it; call
+/// [`Server::stop`] for a clean drain (tests) or park the process on
+/// [`Server::run_until_signal`] (the CLI).
+pub struct Server {
+    shared: Arc<Shared>,
+    bound: BoundAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    /// What loading the configured snapshot found at startup.
+    pub snapshot_loaded: Option<Result<SnapshotInfo, SnapshotError>>,
+}
+
+impl Server {
+    /// Bind the endpoint, load the snapshot (if configured), and start
+    /// the acceptor and batcher threads.
+    ///
+    /// # Errors
+    /// Binding the endpoint can fail; snapshot problems never do (they
+    /// are reported in [`Server::snapshot_loaded`]).
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let threads = if cfg.threads == 0 {
+            facile_engine::host_threads()
+        } else {
+            cfg.threads
+        };
+        let engine = Engine::with_builtins().with_threads(threads);
+        let snapshot_loaded = cfg
+            .snapshot
+            .as_deref()
+            .map(|p| snapshot::load(p, engine.cache()));
+
+        let (listener, bound) = match &cfg.endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    // A connectable socket means another daemon is live;
+                    // a dangling one is a stale leftover to replace.
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(std::io::Error::new(
+                            ErrorKind::AddrInUse,
+                            format!("{} is already being served", path.display()),
+                        ));
+                    }
+                    let _ = std::fs::remove_file(path);
+                }
+                (
+                    Listener::Unix(UnixListener::bind(path)?),
+                    BoundAddr::Unix(path.clone()),
+                )
+            }
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let local = l.local_addr()?;
+                (Listener::Tcp(l), BoundAddr::Tcp(local))
+            }
+        };
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            queue: Mutex::new(Vec::new()),
+            queue_cv: Condvar::new(),
+            pending_items: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            batcher_stop: AtomicBool::new(false),
+            counters: ServerCounters::default(),
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("facile-batcher".into())
+                .spawn(move || batcher_loop(&shared))?
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("facile-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared, &conns))?
+        };
+        Ok(Server {
+            shared,
+            bound,
+            acceptor: Some(acceptor),
+            batcher: Some(batcher),
+            conns,
+            snapshot_loaded,
+        })
+    }
+
+    /// The address the server actually listens on.
+    #[must_use]
+    pub fn bound(&self) -> &BoundAddr {
+        &self.bound
+    }
+
+    /// The serving counters.
+    #[must_use]
+    pub fn counters(&self) -> &ServerCounters {
+        &self.shared.counters
+    }
+
+    /// Block until a termination signal is delivered (see [`sig`]),
+    /// then drain and stop.
+    pub fn run_until_signal(self) -> Option<Result<SnapshotInfo, SnapshotError>> {
+        while !sig::requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.stop()
+    }
+
+    /// Drain and stop: reject new connections, let in-flight requests
+    /// finish, join every thread, write the snapshot (when configured),
+    /// and remove a Unix socket file. Returns the snapshot save result.
+    pub fn stop(mut self) -> Option<Result<SnapshotInfo, SnapshotError>> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Acceptor is down: the connection list is final. Connection
+        // threads see `draining` via their read timeouts and exit after
+        // finishing the request they are on.
+        let handles = std::mem::take(&mut *self.conns.lock().expect("no poisoning"));
+        for h in handles {
+            let _ = h.join();
+        }
+        // No producer is left; the batcher may now finish the queue and
+        // exit.
+        self.shared.batcher_stop.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        #[cfg(unix)]
+        if let BoundAddr::Unix(path) = &self.bound {
+            let _ = std::fs::remove_file(path);
+        }
+        let saved = self
+            .shared
+            .cfg
+            .snapshot
+            .as_deref()
+            .map(|p| snapshot::save(p, self.shared.engine.cache()));
+        if matches!(saved, Some(Ok(_))) {
+            self.shared
+                .counters
+                .snapshot_saves
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        saved
+    }
+}
+
+fn acceptor_loop(
+    listener: &Listener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !shared.draining() {
+        match listener.accept() {
+            Ok(stream) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("facile-conn".into())
+                    .spawn(move || connection_loop(stream, &shared));
+                if let Ok(h) = handle {
+                    conns.lock().expect("no poisoning").push(h);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Read NDJSON lines off one connection and serve them in order.
+fn connection_loop(stream: Stream, shared: &Arc<Shared>) {
+    // The accepted stream inherits the listener's non-blocking flag;
+    // switch to blocking reads with a timeout so the thread can notice
+    // a drain without a wake-up channel.
+    let _ = stream.set_blocking();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 16 * 1024];
+    'conn: loop {
+        // Serve every complete line currently buffered.
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..nl]);
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+            if line.len() > shared.cfg.max_line_bytes {
+                // A complete over-long line: the boundary is known, so
+                // reject just this request and keep the connection.
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let reply = protocol::error_reply(
+                    None,
+                    "line-too-long",
+                    &format!("request line exceeds {} bytes", shared.cfg.max_line_bytes),
+                );
+                if write_line(&mut stream, &reply).is_err() {
+                    break 'conn;
+                }
+                continue;
+            }
+            let reply = handle_line(line, shared);
+            if write_line(&mut stream, &reply).is_err() {
+                break 'conn;
+            }
+        }
+        if shared.draining() {
+            // Drain: every complete line received so far has been
+            // answered; close instead of reading further requests.
+            break;
+        }
+        if buf.len() > shared.cfg.max_line_bytes {
+            // An unterminated over-long line: reject and hang up (the
+            // line boundary is lost, so resynchronizing is guesswork).
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let reply = protocol::error_reply(
+                None,
+                "line-too-long",
+                &format!("request line exceeds {} bytes", shared.cfg.max_line_bytes),
+            );
+            let _ = write_line(&mut stream, &reply);
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Idle poll tick: close idle connections on drain.
+                if shared.draining() && buf.is_empty() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn write_line(stream: &mut Stream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// One request line in, one reply line out.
+fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
+    let parsed = match protocol::parse_request(line) {
+        Ok(p) => p,
+        Err(ProtoError { id, code, message }) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return protocol::error_reply(id.as_deref(), code, &message);
+        }
+    };
+    let Parsed { id, request } = parsed;
+    let id = id.as_deref();
+    match request {
+        Request::Ping => protocol::pong_reply(id),
+        Request::Stats => protocol::stats_reply(
+            id,
+            &shared.counters.to_json(),
+            &shared.engine.snapshot().to_json(),
+        ),
+        Request::Predict(work) => {
+            if work.items.is_empty() {
+                return protocol::rows_reply(id, &[], work.render, work.explain);
+            }
+            let n = work.items.len();
+            // Admission: reserve quota or reject; never queue unbounded.
+            let mut reserved = shared.pending_items.load(Ordering::Relaxed);
+            loop {
+                if reserved + n > shared.cfg.queue_cap {
+                    shared
+                        .counters
+                        .rejected_overload
+                        .fetch_add(1, Ordering::Relaxed);
+                    return protocol::error_reply(
+                        id,
+                        "overloaded",
+                        &format!(
+                            "queue full: {n} items would exceed the {}-item cap",
+                            shared.cfg.queue_cap
+                        ),
+                    );
+                }
+                match shared.pending_items.compare_exchange_weak(
+                    reserved,
+                    reserved + n,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(cur) => reserved = cur,
+                }
+            }
+            let selector: Arc<str> =
+                Arc::from(work.predictors.as_deref().unwrap_or(&shared.cfg.predictors));
+            let deadline = work
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let (tx, rx) = mpsc::channel();
+            {
+                let mut q = shared.queue.lock().expect("no poisoning");
+                q.push(Job {
+                    items: work.items,
+                    selector,
+                    deadline,
+                    reply: tx,
+                });
+            }
+            shared.queue_cv.notify_one();
+            let reply = match rx.recv() {
+                Ok(JobReply::Rows(rows)) => {
+                    shared
+                        .counters
+                        .rows
+                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                    protocol::rows_reply(id, &rows, work.render, work.explain)
+                }
+                Ok(JobReply::Err { code, message }) => protocol::error_reply(id, code, &message),
+                Err(_) => protocol::error_reply(id, "internal", "batcher exited"),
+            };
+            shared.pending_items.fetch_sub(n, Ordering::SeqCst);
+            reply
+        }
+    }
+}
+
+/// The micro-batching loop: gather concurrently queued jobs into one
+/// engine batch per predictor selector.
+fn batcher_loop(shared: &Arc<Shared>) {
+    let mut last_snapshot = Instant::now();
+    loop {
+        // Wait for work (or a drain, or a snapshot-interval tick).
+        let mut jobs: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("no poisoning");
+            loop {
+                if !q.is_empty() {
+                    break std::mem::take(&mut *q);
+                }
+                if shared.batcher_stop.load(Ordering::SeqCst) {
+                    return; // queue empty + producers joined = done
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .expect("no poisoning");
+                q = guard;
+                if let (Some(path), Some(every)) =
+                    (shared.cfg.snapshot.as_deref(), shared.cfg.snapshot_interval)
+                {
+                    if last_snapshot.elapsed() >= every {
+                        last_snapshot = Instant::now();
+                        drop(q);
+                        if snapshot::save(path, shared.engine.cache()).is_ok() {
+                            shared
+                                .counters
+                                .snapshot_saves
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        q = shared.queue.lock().expect("no poisoning");
+                    }
+                }
+            }
+        };
+        // Gather: let closely-following jobs join this batch, up to the
+        // window or the size cap.
+        let window_ends = Instant::now() + shared.cfg.gather_window;
+        loop {
+            let gathered: usize = jobs.iter().map(|j| j.items.len()).sum();
+            if gathered >= shared.cfg.max_batch_items {
+                break;
+            }
+            let now = Instant::now();
+            if now >= window_ends {
+                break;
+            }
+            let mut q = shared.queue.lock().expect("no poisoning");
+            if q.is_empty() {
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, window_ends - now)
+                    .expect("no poisoning");
+                q = guard;
+            }
+            jobs.append(&mut q);
+        }
+        run_gathered(shared, jobs);
+    }
+}
+
+/// Dispatch one gathered set of jobs: drop the expired, then one engine
+/// batch per distinct selector, slicing the row fan-out back per job.
+fn run_gathered(shared: &Arc<Shared>, jobs: Vec<Job>) {
+    // Deadlines are judged here, at dequeue: a request whose budget was
+    // spent waiting in the queue is answered with an error instead of
+    // occupying the engine.
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.deadline.is_some_and(|d| now >= d) {
+            shared
+                .counters
+                .rejected_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(JobReply::Err {
+                code: "deadline-exceeded",
+                message: "request exceeded its deadline while queued".to_string(),
+            });
+        } else {
+            live.push(job);
+        }
+    }
+    // Group by selector, preserving arrival order within each group.
+    let mut groups: Vec<(Arc<str>, Vec<Job>)> = Vec::new();
+    for job in live {
+        match groups.iter_mut().find(|(s, _)| *s == job.selector) {
+            Some((_, g)) => g.push(job),
+            None => groups.push((Arc::clone(&job.selector), vec![job])),
+        }
+    }
+    for (selector, group) in groups {
+        let items: Vec<BatchItem> = group.iter().flat_map(|j| j.items.iter().cloned()).collect();
+        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .batched_items
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        match shared.engine.predict_batch(&items, &selector) {
+            Ok(rows) => {
+                // Rows are item-major: item k's rows are the np
+                // consecutive rows starting at k*np.
+                let np = rows.len() / items.len();
+                let mut offset = 0;
+                for job in group {
+                    let take = job.items.len() * np;
+                    let slice = rows[offset..offset + take].to_vec();
+                    offset += take;
+                    let _ = job.reply.send(JobReply::Rows(slice));
+                }
+            }
+            Err(e) => {
+                // Selector resolution failed (the only whole-batch
+                // error): every job in the group asked for it.
+                let message = e.to_string();
+                for job in group {
+                    let _ = job.reply.send(JobReply::Err {
+                        code: "unknown-predictor",
+                        message: message.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Process-wide termination-signal latch (std-only: libc is already
+/// linked, so `signal(2)` is declared directly).
+pub mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: the one operation that is both
+        // async-signal-safe and enough to request a drain.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Latch SIGINT and SIGTERM into [`requested`]. Idempotent; a no-op
+    /// off Unix.
+    pub fn install() {
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            }
+            unsafe {
+                signal(2, on_signal); // SIGINT
+                signal(15, on_signal); // SIGTERM
+            }
+        }
+    }
+
+    /// Whether a termination signal has been delivered (or
+    /// [`request`] called).
+    #[must_use]
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+
+    /// Request a drain programmatically (tests; equivalent to a
+    /// signal).
+    pub fn request() {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+}

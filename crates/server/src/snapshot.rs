@@ -1,0 +1,512 @@
+//! Persistent on-disk annotation snapshots.
+//!
+//! The server's warm state — the engine's two-level annotation cache —
+//! is worth keeping across restarts: annotation (decode + effect
+//! extraction + per-uarch classification) dominates the cold path, so a
+//! daemon that reloads yesterday's annotations serves its first batch
+//! at warm-cache speed. This module defines a versioned, checksummed
+//! binary snapshot of `block bytes → per-uarch annotation` and the
+//! load/save paths around it.
+//!
+//! ## Format
+//!
+//! ```text
+//! magic    [u8; 8]   b"FACSNAP1"
+//! version  u32 LE    bumped on any payload layout change
+//! uhash    u64 LE    hash of the Debug form of every UarchConfig
+//! plen     u64 LE    payload length in bytes
+//! payload  [u8]      blocks (see below)
+//! checksum u64 LE    FxHash of the payload
+//! ```
+//!
+//! The `uhash` field ties a snapshot to the exact microarchitecture
+//! tables it was produced with: descriptors are *derived* from those
+//! tables, so restoring them under changed tables would silently serve
+//! stale rows. A hash mismatch — like a bad magic, a version bump, a
+//! truncation, or a checksum failure — is a **soft** failure: the
+//! loader reports why and the server starts cold. No snapshot condition
+//! panics or produces wrong rows.
+//!
+//! The payload stores, per block, the raw instruction bytes and, per
+//! annotated microarchitecture, each instruction's macro-fusion flag,
+//! architectural [`Effects`], and performance descriptor
+//! ([`InstrDesc`]). Loading re-decodes the block from its bytes (cheap)
+//! but skips effect extraction and classification (the two dominant
+//! cold-path costs) via the `from_parts` constructors, so a restored
+//! annotation is bit-identical to a live one by construction — totals
+//! are recomputed from the restored descriptors exactly as live
+//! annotation computes them.
+
+use facile_engine::AnnotationCache;
+use facile_isa::{AnnotatedBlock, AnnotatedInst, InstrDesc, InternedInst, Uop, UopKind};
+use facile_uarch::{PortMask, Uarch};
+use facile_util::hash_bytes;
+use facile_x86::{Block, Effects, Mem, Reg, Width};
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Snapshot file magic.
+pub const MAGIC: [u8; 8] = *b"FACSNAP1";
+/// Payload layout version; bump on any codec change.
+pub const VERSION: u32 = 1;
+
+/// Fingerprint of the microarchitecture tables descriptors are derived
+/// from: the FxHash of the `Debug` rendering of every [`Uarch`] config,
+/// in [`Uarch::ALL`] order. Any table edit changes this hash, which
+/// invalidates existing snapshots (they would carry stale descriptors).
+#[must_use]
+pub fn uarch_table_hash() -> u64 {
+    let mut s = String::new();
+    for u in Uarch::ALL {
+        s.push_str(&format!("{:?}\n", u.config()));
+    }
+    hash_bytes(s.as_bytes())
+}
+
+/// Why a snapshot could not be used. Every variant is a *recoverable*
+/// condition: the caller logs it and starts with a cold cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(String),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's layout version is not [`VERSION`].
+    BadVersion(u32),
+    /// The snapshot was produced under different microarchitecture
+    /// tables (see [`uarch_table_hash`]).
+    TableHashMismatch,
+    /// The file ends before the declared payload and checksum.
+    Truncated,
+    /// The payload does not hash to the recorded checksum.
+    ChecksumMismatch,
+    /// The payload failed structural validation.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a facile snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => {
+                write!(f, "snapshot version {v} (this build reads {VERSION})")
+            }
+            SnapshotError::TableHashMismatch => {
+                write!(f, "snapshot was produced under different uarch tables")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot payload corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// What a successful save or load covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotInfo {
+    /// Distinct blocks in the snapshot.
+    pub blocks: usize,
+    /// `(block, uarch)` annotations in the snapshot.
+    pub annotations: usize,
+    /// Snapshot file size in bytes.
+    pub file_bytes: usize,
+}
+
+/// Serialize the cache's resident annotations to `path`, atomically
+/// (write to a sibling temp file, then rename). The export is sorted by
+/// block bytes, so the same cache contents always produce the same
+/// file.
+///
+/// # Errors
+/// [`SnapshotError::Io`] if the file cannot be written.
+pub fn save(path: &Path, cache: &AnnotationCache) -> Result<SnapshotInfo, SnapshotError> {
+    let entries = cache.export();
+    let mut payload = Vec::with_capacity(entries.len() * 256);
+    let mut annotations = 0usize;
+    put_u32(&mut payload, entries.len() as u32);
+    for (block, annos) in &entries {
+        put_u16(&mut payload, block.bytes().len() as u16);
+        payload.extend_from_slice(block.bytes());
+        payload.push(annos.len() as u8);
+        for (uarch, ab) in annos {
+            annotations += 1;
+            payload.push(*uarch as u8);
+            put_u16(&mut payload, ab.insts().len() as u16);
+            for a in ab.insts() {
+                payload.push(u8::from(a.fused_with_prev));
+                put_effects(&mut payload, a.effects());
+                put_desc(&mut payload, a.desc());
+            }
+        }
+    }
+    let mut file = Vec::with_capacity(payload.len() + 36);
+    file.extend_from_slice(&MAGIC);
+    file.extend_from_slice(&VERSION.to_le_bytes());
+    file.extend_from_slice(&uarch_table_hash().to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let checksum = hash_bytes(&payload);
+    file.extend_from_slice(&payload);
+    file.extend_from_slice(&checksum.to_le_bytes());
+
+    let tmp = path.with_file_name(format!(
+        "{}.tmp",
+        path.file_name().map_or_else(
+            || "snapshot".to_string(),
+            |n| n.to_string_lossy().into_owned()
+        )
+    ));
+    std::fs::write(&tmp, &file).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    Ok(SnapshotInfo {
+        blocks: entries.len(),
+        annotations,
+        file_bytes: file.len(),
+    })
+}
+
+/// Validate the snapshot at `path` and import its annotations into
+/// `cache`. On any error the cache is left as it was (entries imported
+/// before a late corruption are harmless — they are verified-checksum
+/// data — but the loader validates the checksum *before* importing, so
+/// in practice a bad file imports nothing).
+///
+/// # Errors
+/// Every [`SnapshotError`] variant; all are recoverable (start cold).
+pub fn load(path: &Path, cache: &AnnotationCache) -> Result<SnapshotInfo, SnapshotError> {
+    let data = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    let file_bytes = data.len();
+    if data.len() < MAGIC.len() + 4 + 8 + 8 + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    if data[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let uhash = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes"));
+    if uhash != uarch_table_hash() {
+        return Err(SnapshotError::TableHashMismatch);
+    }
+    let plen = u64::from_le_bytes(data[20..28].try_into().expect("8 bytes")) as usize;
+    let expected_len = 28usize.checked_add(plen).and_then(|n| n.checked_add(8));
+    match expected_len {
+        Some(n) if n == data.len() => {}
+        Some(n) if n > data.len() => return Err(SnapshotError::Truncated),
+        _ => return Err(SnapshotError::Corrupt("length mismatch")),
+    }
+    let payload = &data[28..28 + plen];
+    let checksum = u64::from_le_bytes(data[28 + plen..].try_into().expect("8 bytes"));
+    if hash_bytes(payload) != checksum {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let nblocks = r.u32()? as usize;
+    let mut annotations = 0usize;
+    let mut staged: Vec<facile_engine::ExportedBlock> = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        let nbytes = r.u16()? as usize;
+        let bytes = r.bytes(nbytes)?;
+        let block = Arc::new(
+            Block::decode(bytes).map_err(|_| SnapshotError::Corrupt("block does not decode"))?,
+        );
+        let nannos = r.u8()? as usize;
+        let mut annos = Vec::with_capacity(nannos);
+        for _ in 0..nannos {
+            let ui = r.u8()? as usize;
+            let uarch = *Uarch::ALL
+                .get(ui)
+                .ok_or(SnapshotError::Corrupt("uarch index out of range"))?;
+            let ninsts = r.u16()? as usize;
+            if ninsts != block.insts().len() {
+                return Err(SnapshotError::Corrupt("instruction count mismatch"));
+            }
+            let mut insts = Vec::with_capacity(ninsts);
+            for k in 0..ninsts {
+                let fused = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(SnapshotError::Corrupt("bad fusion flag")),
+                };
+                let effects = get_effects(&mut r)?;
+                let desc = get_desc(&mut r)?;
+                let entry = Arc::new(InternedInst::from_parts(
+                    block.insts()[k].clone(),
+                    effects,
+                    desc,
+                ));
+                insts.push(AnnotatedInst::from_parts(entry, block.offset(k), fused));
+            }
+            annos.push((
+                uarch,
+                Arc::new(AnnotatedBlock::from_parts(Arc::clone(&block), uarch, insts)),
+            ));
+            annotations += 1;
+        }
+        staged.push((block, annos));
+    }
+    if r.pos != payload.len() {
+        return Err(SnapshotError::Corrupt("trailing payload bytes"));
+    }
+    // The whole payload decoded cleanly; only now touch the cache.
+    let blocks = staged.len();
+    for (block, annos) in staged {
+        cache.import(block, annos);
+    }
+    Ok(SnapshotInfo {
+        blocks,
+        annotations,
+        file_bytes,
+    })
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_reg(out: &mut Vec<u8>, r: Reg) {
+    let (tag, a, b) = match r {
+        Reg::Gpr { num, width } => (0, num, width_code(width)),
+        Reg::HighByte(n) => (1, n, 0),
+        Reg::Xmm(n) => (2, n, 0),
+        Reg::Ymm(n) => (3, n, 0),
+        Reg::Rip => (4, 0, 0),
+    };
+    out.extend_from_slice(&[tag, a, b]);
+}
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::W8 => 0,
+        Width::W16 => 1,
+        Width::W32 => 2,
+        Width::W64 => 3,
+        Width::W128 => 4,
+        Width::W256 => 5,
+    }
+}
+
+fn put_effects(out: &mut Vec<u8>, e: &Effects) {
+    put_u16(out, e.reg_reads.len() as u16);
+    for &r in &e.reg_reads {
+        put_reg(out, r);
+    }
+    put_u16(out, e.reg_writes.len() as u16);
+    for &r in &e.reg_writes {
+        put_reg(out, r);
+    }
+    out.push(e.flags_read);
+    out.push(e.flags_written);
+    out.push(u8::from(e.loads) | (u8::from(e.stores) << 1));
+    match &e.mem {
+        None => out.push(0),
+        Some(m) => {
+            out.push(1);
+            match m.base {
+                None => out.push(0),
+                Some(r) => {
+                    out.push(1);
+                    put_reg(out, r);
+                }
+            }
+            match m.index {
+                None => out.push(0),
+                Some(r) => {
+                    out.push(1);
+                    put_reg(out, r);
+                }
+            }
+            out.push(m.scale);
+            out.extend_from_slice(&m.disp.to_le_bytes());
+            out.push(width_code(m.width));
+        }
+    }
+}
+
+fn put_desc(out: &mut Vec<u8>, d: &InstrDesc) {
+    out.push(d.fused_uops);
+    out.push(d.issue_uops);
+    put_u16(out, d.uops.len() as u16);
+    for u in &d.uops {
+        put_u16(out, u.ports.0);
+        out.push(match u.kind {
+            UopKind::Compute => 0,
+            UopKind::Load => 1,
+            UopKind::StoreAddr => 2,
+            UopKind::StoreData => 3,
+        });
+        out.push(u.occupancy);
+    }
+    out.push(u8::from(d.complex_decoder));
+    out.push(d.simple_decoders_after);
+    out.push(u8::from(d.eliminated));
+    out.push(d.latency);
+    out.push(d.load_latency_extra);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SnapshotError::Corrupt("unexpected end of payload"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn i32(&mut self) -> Result<i32, SnapshotError> {
+        Ok(i32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn flag(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt("bad boolean")),
+        }
+    }
+}
+
+fn get_width(r: &mut Reader) -> Result<Width, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => Width::W8,
+        1 => Width::W16,
+        2 => Width::W32,
+        3 => Width::W64,
+        4 => Width::W128,
+        5 => Width::W256,
+        _ => return Err(SnapshotError::Corrupt("bad width code")),
+    })
+}
+
+fn get_reg(r: &mut Reader) -> Result<Reg, SnapshotError> {
+    let tag = r.u8()?;
+    let a = r.u8()?;
+    let b = r.u8()?;
+    Ok(match tag {
+        0 => Reg::Gpr {
+            num: a,
+            width: match b {
+                0 => Width::W8,
+                1 => Width::W16,
+                2 => Width::W32,
+                3 => Width::W64,
+                _ => return Err(SnapshotError::Corrupt("bad GPR width")),
+            },
+        },
+        1 => Reg::HighByte(a),
+        2 => Reg::Xmm(a),
+        3 => Reg::Ymm(a),
+        4 => Reg::Rip,
+        _ => return Err(SnapshotError::Corrupt("bad register tag")),
+    })
+}
+
+fn get_effects(r: &mut Reader) -> Result<Effects, SnapshotError> {
+    let nreads = r.u16()? as usize;
+    let mut reg_reads = Vec::with_capacity(nreads);
+    for _ in 0..nreads {
+        reg_reads.push(get_reg(r)?);
+    }
+    let nwrites = r.u16()? as usize;
+    let mut reg_writes = Vec::with_capacity(nwrites);
+    for _ in 0..nwrites {
+        reg_writes.push(get_reg(r)?);
+    }
+    let flags_read = r.u8()?;
+    let flags_written = r.u8()?;
+    let ls = r.u8()?;
+    if ls > 3 {
+        return Err(SnapshotError::Corrupt("bad load/store bits"));
+    }
+    let mem = if r.flag()? {
+        let base = if r.flag()? { Some(get_reg(r)?) } else { None };
+        let index = if r.flag()? { Some(get_reg(r)?) } else { None };
+        let scale = r.u8()?;
+        let disp = r.i32()?;
+        let width = get_width(r)?;
+        Some(Mem {
+            base,
+            index,
+            scale,
+            disp,
+            width,
+        })
+    } else {
+        None
+    };
+    Ok(Effects {
+        reg_reads,
+        reg_writes,
+        flags_read,
+        flags_written,
+        loads: ls & 1 != 0,
+        stores: ls & 2 != 0,
+        mem,
+    })
+}
+
+fn get_desc(r: &mut Reader) -> Result<InstrDesc, SnapshotError> {
+    let fused_uops = r.u8()?;
+    let issue_uops = r.u8()?;
+    let nuops = r.u16()? as usize;
+    let mut uops = Vec::with_capacity(nuops);
+    for _ in 0..nuops {
+        let ports = PortMask(r.u16()?);
+        let kind = match r.u8()? {
+            0 => UopKind::Compute,
+            1 => UopKind::Load,
+            2 => UopKind::StoreAddr,
+            3 => UopKind::StoreData,
+            _ => return Err(SnapshotError::Corrupt("bad uop kind")),
+        };
+        let occupancy = r.u8()?;
+        uops.push(Uop {
+            ports,
+            kind,
+            occupancy,
+        });
+    }
+    Ok(InstrDesc {
+        fused_uops,
+        issue_uops,
+        uops,
+        complex_decoder: r.flag()?,
+        simple_decoders_after: r.u8()?,
+        eliminated: r.flag()?,
+        latency: r.u8()?,
+        load_latency_extra: r.u8()?,
+    })
+}

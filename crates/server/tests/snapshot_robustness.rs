@@ -1,0 +1,167 @@
+//! Persistent-snapshot robustness: a snapshot round-trip must produce
+//! bit-identical rows without re-annotating, and every way a snapshot
+//! file can be wrong — truncated, bit-flipped, version-bumped, foreign
+//! magic, foreign uarch tables — must degrade to a *cold start*, never
+//! to an error and never to wrong rows.
+
+use facile_bhive::generate_suite;
+use facile_engine::{render, AnnotationCache, BatchItem, Engine};
+use facile_server::snapshot::{self, SnapshotError, MAGIC, VERSION};
+use facile_uarch::Uarch;
+use std::path::{Path, PathBuf};
+
+/// A unique temp path per test (tests run in parallel in one process).
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("facile-snap-{}-{tag}.bin", std::process::id()))
+}
+
+/// A small deterministic workload: generated blocks on two uarchs.
+fn workload() -> Vec<BatchItem> {
+    generate_suite(40, 0xfacade)
+        .into_iter()
+        .flat_map(|b| {
+            let hex = b.unrolled.to_hex();
+            [
+                BatchItem::hex(hex.clone(), Uarch::Skl),
+                BatchItem::hex(hex, Uarch::Rkl),
+            ]
+        })
+        .collect()
+}
+
+fn rows_of(engine: &Engine, items: &[BatchItem]) -> Vec<String> {
+    engine
+        .predict_batch(items, "facile")
+        .expect("facile predictor exists")
+        .iter()
+        .map(render::row_json)
+        .collect()
+}
+
+/// Save a populated snapshot to `path` and return the cold rows it was
+/// derived from.
+fn seed_snapshot(path: &Path) -> Vec<String> {
+    let engine = Engine::with_builtins().with_threads(2);
+    let items = workload();
+    let rows = rows_of(&engine, &items);
+    let info = snapshot::save(path, engine.cache()).expect("save succeeds");
+    assert!(info.blocks > 0 && info.annotations >= info.blocks);
+    rows
+}
+
+#[test]
+fn round_trip_is_bit_identical_and_warm() {
+    let path = temp_path("roundtrip");
+    let cold_rows = seed_snapshot(&path);
+
+    let engine = Engine::with_builtins().with_threads(2);
+    let info = snapshot::load(&path, engine.cache()).expect("load succeeds");
+    assert!(info.blocks > 0, "snapshot restored nothing");
+    let stats = engine.cache().stats();
+    assert_eq!(stats.blocks, info.blocks, "restored blocks are resident");
+    assert_eq!(stats.entries, info.annotations);
+
+    let warm_rows = rows_of(&engine, &workload());
+    assert_eq!(cold_rows, warm_rows, "warm rows differ from cold rows");
+
+    // The warm run never annotated: every lookup was a level-2 hit.
+    let stats = engine.cache().stats();
+    assert!(stats.hits > 0, "warm run should hit the restored cache");
+    assert_eq!(
+        stats.misses, 0,
+        "warm run re-annotated {} blocks the snapshot should have covered",
+        stats.misses
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Corrupt `path` with `mangle`, then assert the loader reports
+/// `expected` and imports nothing.
+fn assert_cold_start(
+    path: &Path,
+    tag: &str,
+    mangle: impl FnOnce(&mut Vec<u8>),
+    expected: &SnapshotError,
+) {
+    let bad = temp_path(tag);
+    let mut data = std::fs::read(path).expect("snapshot exists");
+    mangle(&mut data);
+    std::fs::write(&bad, &data).expect("writes corrupted copy");
+    let cache = AnnotationCache::new();
+    let err = snapshot::load(&bad, &cache).expect_err("corrupt snapshot must not load");
+    assert_eq!(&err, expected, "{tag}");
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.blocks, stats.entries),
+        (0, 0),
+        "{tag}: a rejected snapshot must import nothing"
+    );
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn every_damage_mode_falls_back_to_cold() {
+    let path = temp_path("damage");
+    seed_snapshot(&path);
+    let len = std::fs::read(&path).expect("snapshot exists").len();
+
+    assert_cold_start(
+        &path,
+        "truncated",
+        |d| d.truncate(len - 11),
+        &SnapshotError::Truncated,
+    );
+    assert_cold_start(
+        &path,
+        "payload-flip",
+        |d| d[40] ^= 0x01,
+        &SnapshotError::ChecksumMismatch,
+    );
+    assert_cold_start(
+        &path,
+        "version-bump",
+        |d| d[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes()),
+        &SnapshotError::BadVersion(VERSION + 1),
+    );
+    assert_cold_start(
+        &path,
+        "bad-magic",
+        |d| d[0..8].copy_from_slice(b"NOTFACIL"),
+        &SnapshotError::BadMagic,
+    );
+    assert_cold_start(
+        &path,
+        "uhash-flip",
+        |d| d[12] ^= 0xff,
+        &SnapshotError::TableHashMismatch,
+    );
+    // Declared payload length beyond the file: truncation, not a panic.
+    assert_cold_start(
+        &path,
+        "length-lie",
+        |d| d[20..28].copy_from_slice(&(u64::MAX / 2).to_le_bytes()),
+        &SnapshotError::Truncated,
+    );
+    // Sanity: the undamaged original still loads.
+    let cache = AnnotationCache::new();
+    assert!(snapshot::load(&path, &cache).is_ok());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_is_io_not_panic() {
+    let cache = AnnotationCache::new();
+    let err = snapshot::load(&temp_path("nonexistent"), &cache).expect_err("no file");
+    assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+}
+
+#[test]
+fn magic_and_version_are_pinned() {
+    // The on-disk format is a compatibility surface: changing either of
+    // these without a deliberate migration breaks every deployed
+    // snapshot, so the constants themselves are pinned.
+    assert_eq!(MAGIC, *b"FACSNAP1");
+    assert_eq!(VERSION, 1);
+    // The table hash is stable within a build.
+    assert_eq!(snapshot::uarch_table_hash(), snapshot::uarch_table_hash());
+}

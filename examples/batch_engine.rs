@@ -71,7 +71,7 @@ fn main() {
         }
     }
 
-    let stats = engine.cache_stats();
+    let stats = engine.snapshot();
     println!(
         "\nannotation cache: {} entries, {} hits, {} misses \
          (annotations shared across the 3 predictors)",

@@ -25,7 +25,10 @@
 //! * [`bhive`] — the synthetic BHive-like benchmark suite and profiler;
 //! * [`metrics`] — MAPE, Kendall's τ-b, timing and table utilities;
 //! * [`diff`] — the differential-testing harness: cross-predictor
-//!   inconsistency hunting with deterministic block shrinking.
+//!   inconsistency hunting with deterministic block shrinking;
+//! * [`server`] — prediction-as-a-service: the NDJSON daemon with
+//!   cross-connection micro-batching and the persistent on-disk
+//!   annotation snapshot behind `facile serve` / `facile client`.
 //!
 //! ## Quickstart: one block, interpretable
 //!
@@ -86,6 +89,7 @@ pub use facile_engine as engine;
 pub use facile_explain as explain;
 pub use facile_isa as isa;
 pub use facile_metrics as metrics;
+pub use facile_server as server;
 pub use facile_sim as sim;
 pub use facile_uarch as uarch;
 pub use facile_x86 as x86;
