@@ -138,6 +138,86 @@ fn measure_batch_stream(addr: SocketAddr, hexes: &[String], chunk: usize) -> f64
     bps
 }
 
+/// One pass of the suite as chunked batch requests, counting the rows
+/// (and error rows) that come back. Returns (blocks/s, rows, error rows).
+fn stream_counting(addr: SocketAddr, hexes: &[String], chunk: usize) -> (f64, u64, u64) {
+    let mut client = Client::connect(addr);
+    let (mut rows, mut error_rows) = (0u64, 0u64);
+    let t0 = Instant::now();
+    for slab in hexes.chunks(chunk) {
+        let mut req = String::from("{\"op\":\"batch\",\"blocks\":[");
+        for (i, h) in slab.iter().enumerate() {
+            if i > 0 {
+                req.push(',');
+            }
+            let _ = write!(req, "\"{h}\"");
+        }
+        req.push_str("]}");
+        let reply = client.round_trip(&req);
+        let v = facile_server::json::parse(reply.trim_end()).expect("reply parses");
+        if let Some(facile_server::json::Kind::Arr(r)) = v.get("rows").map(|r| &r.kind) {
+            rows += r.len() as u64;
+        }
+        error_rows += reply.matches("\"status\":\"error\"").count() as u64;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let bps = hexes.len() as f64 / t0.elapsed().as_secs_f64();
+    (bps, rows, error_rows)
+}
+
+struct Availability {
+    clean_bps: f64,
+    faulted_bps: f64,
+    throughput_ratio: f64,
+    reply_completeness: f64,
+    error_rows: u64,
+    total_rows: u64,
+}
+
+/// Availability under chaos: the batch-stream workload against a clean
+/// server vs one injecting predictor panics on ~1% of items. Per-item
+/// `catch_unwind` containment should hold served throughput within a
+/// hair of clean while every request still gets its full reply.
+fn measure_availability(hexes: &[String]) -> Option<Availability> {
+    if !facile_server::faults::compiled() {
+        return None;
+    }
+    // Injected panics are the workload here; keep their default-hook
+    // backtraces off stderr (and off the measured clock).
+    facile_server::faults::install_quiet_panic_hook();
+    let run = |faults: Option<&str>| -> (f64, u64, u64) {
+        let mut cfg = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".to_string()));
+        cfg.threads = host_threads();
+        cfg.faults = faults.map(str::to_string);
+        let server = Server::start(cfg).expect("server starts");
+        let addr = match server.bound() {
+            BoundAddr::Tcp(a) => *a,
+            #[cfg(unix)]
+            other => panic!("expected TCP, got {other}"),
+        };
+        stream_counting(addr, hexes, 1024); // warm the annotation cache
+        let best = (0..3)
+            .map(|_| stream_counting(addr, hexes, 1024))
+            .reduce(|a, b| if b.0 > a.0 { b } else { a })
+            .expect("three reps");
+        server.stop();
+        facile_server::faults::clear();
+        best
+    };
+    let (clean_bps, clean_rows, clean_errors) = run(None);
+    assert_eq!(clean_errors, 0, "clean run produced error rows");
+    let (faulted_bps, rows, error_rows) = run(Some("seed=2023,predict-panic=0.01"));
+    #[allow(clippy::cast_precision_loss)]
+    Some(Availability {
+        clean_bps,
+        faulted_bps,
+        throughput_ratio: faulted_bps / clean_bps,
+        reply_completeness: rows as f64 / clean_rows as f64,
+        error_rows,
+        total_rows: rows,
+    })
+}
+
 struct SnapshotNumbers {
     cold_secs: f64,
     warm_secs: f64,
@@ -232,6 +312,25 @@ fn main() {
     eprintln!("bench_server: snapshot warm-vs-cold");
     let snap = measure_snapshot(&hexes);
 
+    eprintln!("bench_server: availability under 1% injected predictor panics");
+    let availability = match measure_availability(&hexes) {
+        None => "{ \"compiled\": false }".to_string(),
+        Some(a) => format!(
+            "{{\n    \"compiled\": true,\n    \"injected_panic_rate\": 0.01,\n    \
+             \"clean_blocks_per_sec\": {:.1},\n    \"faulted_blocks_per_sec\": {:.1},\n    \
+             \"throughput_ratio\": {:.4},\n    \"reply_completeness\": {:.4},\n    \
+             \"total_rows\": {},\n    \"error_rows\": {},\n    \
+             \"gate_completeness\": 1.0,\n    \"gate_met\": {}\n  }}",
+            a.clean_bps,
+            a.faulted_bps,
+            a.throughput_ratio,
+            a.reply_completeness,
+            a.total_rows,
+            a.error_rows,
+            a.reply_completeness == 1.0 && a.error_rows > 0,
+        ),
+    };
+
     #[allow(clippy::cast_precision_loss)]
     let items_per_batch = if batches == 0 {
         0.0
@@ -247,6 +346,7 @@ fn main() {
          \"batch_stream\": {{ \"chunk\": 1024, \"blocks_per_sec\": {:.1} }},\n  \
          \"server_batches\": {{ \"batches\": {batches}, \"batched_items\": {batched_items}, \
          \"items_per_batch\": {items_per_batch:.2} }},\n  \
+         \"availability\": {availability},\n  \
          \"snapshot\": {{\n    \"cold_first_batch_secs\": {:.6},\n    \
          \"warm_first_batch_secs\": {:.6},\n    \"load_secs\": {:.6},\n    \
          \"file_bytes\": {},\n    \"warm_over_cold_speedup\": {:.3},\n    \

@@ -15,6 +15,7 @@ use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 facile client — send prediction requests to a facile serve daemon
@@ -46,6 +47,12 @@ OPTIONS:
                        explanation column)
     --deadline-ms <N>  per-request queue deadline
     --chunk <N>        blocks per request in batch mode (default 1024)
+    --retries <N>      resend a request up to N times after an
+                       `overloaded` rejection, a refused connection, or
+                       a mid-stream disconnect (default 0 = fail fast)
+    --backoff-ms <N>   base delay between retries; attempt k waits
+                       about N*2^k ms with deterministic jitter
+                       (default 50)
     --help             show this help
 
 Row output is byte-identical to `facile --batch` with the same flags:
@@ -73,6 +80,8 @@ struct Options {
     explain: bool,
     deadline_ms: Option<u64>,
     chunk: usize,
+    retries: u32,
+    backoff_ms: u64,
 }
 
 fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
@@ -88,6 +97,8 @@ fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
     let mut explain = false;
     let mut deadline_ms = None;
     let mut chunk = 1024usize;
+    let mut retries = 0u32;
+    let mut backoff_ms = 50u64;
     let mut it = args.into_iter().peekable();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -112,9 +123,10 @@ fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
             "--batch" => {
                 // An optional positional FILE follows unless the next
                 // token is a flag; `-` means stdin.
-                let file = match it.peek() {
-                    Some(t) if !t.starts_with("--") => Some(it.next().expect("peeked")),
-                    _ => None,
+                let file = if it.peek().is_some_and(|t| !t.starts_with("--")) {
+                    it.next()
+                } else {
+                    None
                 };
                 batch = Some(file.filter(|f| f != "-"));
             }
@@ -164,6 +176,20 @@ fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
                     return Err("--chunk must be at least 1".into());
                 }
             }
+            "--retries" => {
+                retries = it
+                    .next()
+                    .ok_or("--retries requires a value")?
+                    .parse()
+                    .map_err(|_| "numeric --retries".to_string())?;
+            }
+            "--backoff-ms" => {
+                backoff_ms = it
+                    .next()
+                    .ok_or("--backoff-ms requires a value")?
+                    .parse()
+                    .map_err(|_| "numeric --backoff-ms".to_string())?;
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -191,6 +217,8 @@ fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
         explain,
         deadline_ms,
         chunk,
+        retries,
+        backoff_ms,
     }))
 }
 
@@ -238,31 +266,203 @@ fn batch_request(o: &Options, blocks: &[String]) -> String {
     req
 }
 
-/// Send one request line and read one reply line, verifying `ok`.
-fn round_trip(
-    tx: &mut dyn Write,
-    rx: &mut dyn BufRead,
-    req: &str,
-) -> Result<(String, Value), String> {
-    tx.write_all(req.as_bytes()).map_err(|e| e.to_string())?;
-    tx.write_all(b"\n").map_err(|e| e.to_string())?;
-    tx.flush().map_err(|e| e.to_string())?;
-    let mut reply = String::new();
-    let n = rx.read_line(&mut reply).map_err(|e| e.to_string())?;
-    if n == 0 {
-        return Err("server closed the connection".into());
+/// Why the client gave up, split by exit code: an unreachable endpoint
+/// exits 3 (scripts can tell "daemon not running" from "bad request"),
+/// everything else exits 1.
+enum ClientError {
+    /// The endpoint could not be reached (after any retries).
+    Connect {
+        /// The socket path / TCP address as given.
+        addr: String,
+        /// The underlying io error.
+        cause: String,
+    },
+    /// Any other failure (protocol, rejection, local io).
+    Other(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect { addr, cause } => {
+                write!(f, "cannot connect to {addr}: {cause}")
+            }
+            ClientError::Other(msg) => f.write_str(msg),
+        }
     }
-    reply.truncate(reply.trim_end_matches(['\n', '\r']).len());
-    let v = json::parse(&reply).map_err(|e| format!("unparseable reply: {e}"))?;
-    match v.get("ok").map(|k| &k.kind) {
-        Some(Kind::Bool(true)) => Ok((reply, v)),
-        _ => {
-            let code = v.get("code").and_then(Value::as_str).unwrap_or("unknown");
-            let msg = v
-                .get("error")
-                .and_then(Value::as_str)
-                .map_or_else(|| reply.clone(), str::to_string);
-            Err(format!("server rejected the request ({code}): {msg}"))
+}
+
+/// One attempt's verdict: retry-worthy failures are transient by nature
+/// (the daemon restarting, a full queue, a dropped connection); fatal
+/// ones would fail identically on every resend.
+enum Attempt {
+    Retry(ClientError),
+    Fatal(ClientError),
+}
+
+/// A live connection to the daemon.
+struct Conn {
+    tx: Box<dyn Write>,
+    rx: Box<dyn BufRead>,
+}
+
+fn connect(o: &Options) -> Result<Conn, ClientError> {
+    match &o.connect {
+        #[cfg(unix)]
+        ConnectTo::Unix(path) => {
+            let s = UnixStream::connect(path).map_err(|e| ClientError::Connect {
+                addr: path.clone(),
+                cause: e.to_string(),
+            })?;
+            let r = s
+                .try_clone()
+                .map_err(|e| ClientError::Other(e.to_string()))?;
+            Ok(Conn {
+                tx: Box::new(s),
+                rx: Box::new(BufReader::new(r)),
+            })
+        }
+        ConnectTo::Tcp(addr) => {
+            let s = TcpStream::connect(addr).map_err(|e| ClientError::Connect {
+                addr: addr.clone(),
+                cause: e.to_string(),
+            })?;
+            let _ = s.set_nodelay(true); // request lines are small
+            let r = s
+                .try_clone()
+                .map_err(|e| ClientError::Other(e.to_string()))?;
+            Ok(Conn {
+                tx: Box::new(s),
+                rx: Box::new(BufReader::new(r)),
+            })
+        }
+    }
+}
+
+/// Exponential backoff with deterministic jitter: attempt `k` waits
+/// roughly `base * 2^k` ms, where the jittered half is hashed from
+/// `(request seq, attempt)` — reproducible run-to-run, decorrelated
+/// across requests (a thundering herd of identical clients still
+/// spreads out, because each is on a different request sequence).
+fn backoff(base_ms: u64, attempt: u32, seq: u64) -> Duration {
+    let base = base_ms.saturating_mul(1 << attempt.min(10)).min(10_000);
+    let mut key = [0u8; 12];
+    key[..8].copy_from_slice(&seq.to_le_bytes());
+    key[8..].copy_from_slice(&attempt.to_le_bytes());
+    let jitter = facile_util::hash_bytes(&key) % (base / 2 + 1);
+    Duration::from_millis(base - base / 2 + jitter)
+}
+
+/// The retrying request loop: at most one request is outstanding at a
+/// time, and a resend carries the same `"id"` the original did, so a
+/// retry can never double-answer (replies are matched to the one id in
+/// flight) and only the unanswered request is ever resent.
+struct Client<'a> {
+    o: &'a Options,
+    conn: Option<Conn>,
+    /// Requests issued so far; names the next request id (`q<seq>`).
+    seq: u64,
+}
+
+impl<'a> Client<'a> {
+    fn new(o: &'a Options) -> Client<'a> {
+        Client {
+            o,
+            conn: None,
+            seq: 0,
+        }
+    }
+
+    /// Send `body` (a request object without an id) and return the
+    /// verified reply, retrying per the options. With retries enabled,
+    /// requests are tagged `"id":"q<n>"` and the echoed id is checked.
+    fn call(&mut self, body: &str) -> Result<(String, Value), ClientError> {
+        self.seq += 1;
+        let id = (self.o.retries > 0).then(|| format!("q{}", self.seq));
+        let req = match &id {
+            // Every request body is a JSON object; splice the id in
+            // before the closing brace.
+            Some(i) => format!("{},\"id\":\"{i}\"}}", &body[..body.len() - 1]),
+            None => body.to_string(),
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.try_once(&req, id.as_deref()) {
+                Ok(ok) => return Ok(ok),
+                Err(Attempt::Fatal(e)) => return Err(e),
+                Err(Attempt::Retry(e)) => {
+                    if attempt >= self.o.retries {
+                        return Err(e);
+                    }
+                    let delay = backoff(self.o.backoff_ms, attempt, self.seq);
+                    eprintln!("facile-client: {e}; retrying in {}ms", delay.as_millis());
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn try_once(&mut self, req: &str, id: Option<&str>) -> Result<(String, Value), Attempt> {
+        if self.conn.is_none() {
+            self.conn = Some(connect(self.o).map_err(Attempt::Retry)?);
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        let exchanged = (|| -> Result<String, String> {
+            conn.tx
+                .write_all(req.as_bytes())
+                .map_err(|e| e.to_string())?;
+            conn.tx.write_all(b"\n").map_err(|e| e.to_string())?;
+            conn.tx.flush().map_err(|e| e.to_string())?;
+            let mut reply = String::new();
+            let n = conn.rx.read_line(&mut reply).map_err(|e| e.to_string())?;
+            if n == 0 {
+                return Err("server closed the connection".into());
+            }
+            reply.truncate(reply.trim_end_matches(['\n', '\r']).len());
+            Ok(reply)
+        })();
+        let reply = match exchanged {
+            Ok(reply) => reply,
+            Err(cause) => {
+                // Mid-stream disconnect: this connection is dead (or
+                // desynced); a retry starts from a fresh one.
+                self.conn = None;
+                return Err(Attempt::Retry(ClientError::Other(format!(
+                    "connection lost mid-request: {cause}"
+                ))));
+            }
+        };
+        let v = json::parse(&reply)
+            .map_err(|e| Attempt::Fatal(ClientError::Other(format!("unparseable reply: {e}"))))?;
+        match v.get("ok").map(|k| &k.kind) {
+            Some(Kind::Bool(true)) => {
+                if id.is_some() && v.get("id").and_then(Value::as_str) != id {
+                    // One request is in flight, so its id is the only
+                    // one a reply may carry; anything else means the
+                    // stream is not speaking our protocol.
+                    return Err(Attempt::Fatal(ClientError::Other(format!(
+                        "reply id does not match the request in flight: {reply}"
+                    ))));
+                }
+                Ok((reply, v))
+            }
+            _ => {
+                let code = v.get("code").and_then(Value::as_str).unwrap_or("unknown");
+                let msg = v
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .map_or_else(|| reply.clone(), str::to_string);
+                let err =
+                    ClientError::Other(format!("server rejected the request ({code}): {msg}"));
+                if code == "overloaded" {
+                    // Admission pressure is transient; back off and
+                    // resend (the request was rejected, not executed).
+                    Err(Attempt::Retry(err))
+                } else {
+                    Err(Attempt::Fatal(err))
+                }
+            }
         }
     }
 }
@@ -285,74 +485,58 @@ fn print_rows(reply: &str, v: &Value, csv: bool, out: &mut dyn Write) -> Result<
     Ok(())
 }
 
-fn drive(o: &Options) -> Result<(), String> {
-    let (mut tx, mut rx): (Box<dyn Write>, Box<dyn BufRead>) = match &o.connect {
-        #[cfg(unix)]
-        ConnectTo::Unix(path) => {
-            let s =
-                UnixStream::connect(path).map_err(|e| format!("cannot connect to {path}: {e}"))?;
-            let r = s.try_clone().map_err(|e| e.to_string())?;
-            (Box::new(s), Box::new(BufReader::new(r)))
-        }
-        ConnectTo::Tcp(addr) => {
-            let s =
-                TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-            let _ = s.set_nodelay(true); // request lines are small
-            let r = s.try_clone().map_err(|e| e.to_string())?;
-            (Box::new(s), Box::new(BufReader::new(r)))
-        }
-    };
+fn drive(o: &Options) -> Result<(), ClientError> {
+    let mut client = Client::new(o);
+    let local = |e: String| ClientError::Other(e);
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
 
     if let Some(op) = &o.op {
-        let (reply, v) = round_trip(&mut tx, &mut rx, &format!("{{\"op\":{}}}", jstr(op)))?;
+        let (reply, v) = client.call(&format!("{{\"op\":{}}}", jstr(op)))?;
         // stats: print the payload object alone; ping: the whole reply.
         let payload = v.get("stats").map_or(reply.as_str(), |s| s.raw(&reply));
-        writeln!(&mut out, "{payload}").map_err(|e| e.to_string())?;
-        return out.flush().map_err(|e| e.to_string());
+        writeln!(&mut out, "{payload}").map_err(|e| local(e.to_string()))?;
+        return out.flush().map_err(|e| local(e.to_string()));
     }
 
     if o.csv {
-        writeln!(&mut out, "{}", csv_header(o.explain)).map_err(|e| e.to_string())?;
+        writeln!(&mut out, "{}", csv_header(o.explain)).map_err(|e| local(e.to_string()))?;
     }
     if let Some(hex) = &o.hex {
-        let (reply, v) = round_trip(
-            &mut tx,
-            &mut rx,
-            &batch_request(o, std::slice::from_ref(hex)),
-        )?;
-        print_rows(&reply, &v, o.csv, &mut out)?;
-        return out.flush().map_err(|e| e.to_string());
+        let (reply, v) = client.call(&batch_request(o, std::slice::from_ref(hex)))?;
+        print_rows(&reply, &v, o.csv, &mut out).map_err(local)?;
+        return out.flush().map_err(|e| local(e.to_string()));
     }
 
     // Batch mode: stream input lines in chunks, one request per chunk.
     // Rows arrive in request order, so output order matches the input
     // (and `facile --batch`) regardless of chunk size.
     let input: Box<dyn BufRead> = match o.batch.as_ref().expect("batch mode") {
-        Some(path) => Box::new(BufReader::new(
-            std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
-        )),
+        Some(path) => {
+            Box::new(BufReader::new(std::fs::File::open(path).map_err(|e| {
+                ClientError::Other(format!("cannot open {path}: {e}"))
+            })?))
+        }
         None => Box::new(BufReader::new(std::io::stdin())),
     };
     let mut blocks: Vec<String> = Vec::with_capacity(o.chunk);
     for line in input.lines() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line.map_err(|e| local(e.to_string()))?;
         let Some(hex) = facile_bhive::csv::hex_field(&line) else {
             continue;
         };
         blocks.push(hex.to_string());
         if blocks.len() >= o.chunk {
-            let (reply, v) = round_trip(&mut tx, &mut rx, &batch_request(o, &blocks))?;
-            print_rows(&reply, &v, o.csv, &mut out)?;
+            let (reply, v) = client.call(&batch_request(o, &blocks))?;
+            print_rows(&reply, &v, o.csv, &mut out).map_err(local)?;
             blocks.clear();
         }
     }
     if !blocks.is_empty() {
-        let (reply, v) = round_trip(&mut tx, &mut rx, &batch_request(o, &blocks))?;
-        print_rows(&reply, &v, o.csv, &mut out)?;
+        let (reply, v) = client.call(&batch_request(o, &blocks))?;
+        print_rows(&reply, &v, o.csv, &mut out).map_err(local)?;
     }
-    out.flush().map_err(|e| e.to_string())
+    out.flush().map_err(|e| local(e.to_string()))
 }
 
 pub fn main(args: Vec<String>) -> ExitCode {
@@ -366,6 +550,13 @@ pub fn main(args: Vec<String>) -> ExitCode {
     };
     match drive(&o) {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e @ ClientError::Connect { .. }) => {
+            // Exit 3: the daemon is unreachable — distinct from exit 1
+            // (bad request / server-side failure) so wrappers can decide
+            // whether starting a daemon would help.
+            eprintln!("error: {e}");
+            ExitCode::from(3)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(1)

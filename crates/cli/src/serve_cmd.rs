@@ -39,6 +39,11 @@ OPTIONS:
                               written on shutdown
     --snapshot-interval-secs <N>  additionally write the snapshot every
                               N seconds while serving
+    --faults <SPEC>           arm deterministic fault injection (chaos
+                              testing; also read from the FACILE_FAULTS
+                              env var). Ignored with a warning unless
+                              the binary was built with the
+                              fault-injection feature
     --help                    show this help
 
 The daemon serves newline-delimited JSON requests; see the protocol
@@ -56,6 +61,7 @@ fn parse(args: Vec<String>) -> Result<Option<ServerConfig>, String> {
     let mut max_batch = 8_192usize;
     let mut snapshot = None;
     let mut snapshot_interval = None;
+    let mut faults = None;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
@@ -96,6 +102,7 @@ fn parse(args: Vec<String>) -> Result<Option<ServerConfig>, String> {
                     .map_err(|_| "numeric --snapshot-interval-secs".to_string())?;
                 snapshot_interval = Some(Duration::from_secs(secs));
             }
+            "--faults" => faults = Some(val("--faults")?),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -108,11 +115,12 @@ fn parse(args: Vec<String>) -> Result<Option<ServerConfig>, String> {
     cfg.max_batch_items = max_batch;
     cfg.snapshot = snapshot;
     cfg.snapshot_interval = snapshot_interval;
+    cfg.faults = faults;
     Ok(Some(cfg))
 }
 
 pub fn main(args: Vec<String>) -> ExitCode {
-    let cfg = match parse(args) {
+    let mut cfg = match parse(args) {
         Ok(Some(cfg)) => cfg,
         Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
@@ -120,6 +128,26 @@ pub fn main(args: Vec<String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if cfg.faults.is_none() {
+        if let Ok(spec) = std::env::var("FACILE_FAULTS") {
+            if !spec.is_empty() {
+                cfg.faults = Some(spec);
+            }
+        }
+    }
+    if let Some(spec) = &cfg.faults {
+        if facile_server::faults::compiled() {
+            // Injected panics are expected events; keep the default
+            // panic hook's backtrace noise off stderr for them.
+            facile_server::faults::install_quiet_panic_hook();
+            eprintln!("fault injection armed: {spec}");
+        } else {
+            eprintln!(
+                "warning: fault injection not compiled in \
+                 (build with --features fault-injection); ignoring {spec:?}"
+            );
+        }
+    }
     facile_server::sig::install();
     let server = match Server::start(cfg) {
         Ok(s) => s,

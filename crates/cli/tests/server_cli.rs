@@ -30,11 +30,18 @@ fn suite_lines() -> String {
 
 /// Spawn `facile serve --socket <path>` and wait for its ready line.
 fn spawn_server(socket: &PathBuf, extra: &[&str]) -> Child {
+    spawn_server_env(socket, extra, &[])
+}
+
+/// [`spawn_server`] with extra environment (chaos runs arm fault
+/// injection through `FACILE_FAULTS`).
+fn spawn_server_env(socket: &PathBuf, extra: &[&str], envs: &[(&str, &str)]) -> Child {
     let mut child = Command::new(env!("CARGO_BIN_EXE_facile"))
         .arg("serve")
         .arg("--socket")
         .arg(socket)
         .args(extra)
+        .envs(envs.iter().copied())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
@@ -228,21 +235,45 @@ fn snapshot_persists_across_daemon_restarts() {
     std::fs::remove_file(&snap).ok();
 }
 
+/// Run `facile` without asserting success; callers inspect the output.
+fn run_facile_raw(args: &[&str], stdin: &str) -> std::process::Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_facile"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn facile");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    child.wait_with_output().expect("facile runs")
+}
+
 #[test]
 fn client_reports_connection_failure() {
-    let out = Command::new(env!("CARGO_BIN_EXE_facile"))
-        .args([
+    let sock = temp_path("nosuch.sock");
+    let out = run_facile_raw(
+        &[
             "client",
             "--socket",
-            temp_path("nosuch.sock").to_str().expect("utf8"),
+            sock.to_str().expect("utf8"),
             "--hex",
             "90",
-        ])
-        .output()
-        .expect("facile runs");
-    assert!(!out.status.success());
+        ],
+        "",
+    );
+    // Exit 3 is the "daemon unreachable" code, distinct from exit 1
+    // (request/server failures) and exit 2 (usage errors).
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("cannot connect"), "{stderr}");
+    assert!(
+        stderr.contains(&format!("cannot connect to {}: ", sock.display())),
+        "{stderr}"
+    );
     let mut empty = String::new();
     // stdout stays empty on connection failure (no spurious header).
     out.stdout
@@ -250,4 +281,106 @@ fn client_reports_connection_failure() {
         .read_to_string(&mut empty)
         .expect("utf8");
     assert_eq!(empty, "");
+}
+
+/// `--batch` must not swallow a following flag as its FILE operand
+/// (this once required a lookahead `expect`), and genuine usage errors
+/// exit 2 with the usage text.
+#[test]
+fn batch_flag_lookahead_and_usage_errors() {
+    // `--format csv` after a file-less `--batch` stays a flag: the run
+    // parses, reads an empty stdin batch, and prints only the header.
+    let sock = temp_path("nosuch2.sock");
+    let out = run_facile_raw(
+        &[
+            "client",
+            "--socket",
+            sock.to_str().expect("utf8"),
+            "--batch",
+            "--format",
+            "csv",
+        ],
+        "",
+    );
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("block,uarch,") && stdout.lines().count() == 1,
+        "expected a lone CSV header, got: {stdout}"
+    );
+
+    // An unknown flag is a usage error: exit 2, usage on stderr.
+    let out = run_facile_raw(&["client", "--socket", "x", "--bogus"], "");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag: --bogus"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+/// End-to-end chaos: a daemon armed (via `FACILE_FAULTS`) to drop
+/// connections mid-stream, a client resending with `--retries` — the
+/// output must be byte-identical to a fault-free run, and the daemon
+/// must still drain cleanly on SIGTERM.
+#[test]
+fn client_retries_through_injected_connection_drops() {
+    let input: String = suite_lines()
+        .lines()
+        .take(40)
+        .fold(String::new(), |mut s, l| {
+            s.push_str(l);
+            s.push('\n');
+            s
+        });
+
+    let socket = temp_path("clean.sock");
+    let server = spawn_server(&socket, &[]);
+    let clean = run_facile(
+        &[
+            "client",
+            "--socket",
+            socket.to_str().expect("utf8"),
+            "--batch",
+            "-",
+            "--chunk",
+            "1",
+        ],
+        &input,
+    );
+    terminate(server);
+
+    let socket = temp_path("droppy.sock");
+    let server = spawn_server_env(&socket, &[], &[("FACILE_FAULTS", "seed=7,conn-drop=0.2")]);
+    let out = run_facile_raw(
+        &[
+            "client",
+            "--socket",
+            socket.to_str().expect("utf8"),
+            "--batch",
+            "-",
+            "--chunk",
+            "1",
+            "--retries",
+            "8",
+            "--backoff-ms",
+            "1",
+        ],
+        &input,
+    );
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("retrying in"),
+        "the chosen seed never dropped a connection: {stderr}"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        clean,
+        "rows after retries diverge from the fault-free run"
+    );
+    // SIGTERM mid-chaos still drains with exit 0 (asserted inside).
+    let server_stderr = terminate(server);
+    assert!(
+        server_stderr.contains("fault injection armed"),
+        "{server_stderr}"
+    );
 }

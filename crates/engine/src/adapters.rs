@@ -6,8 +6,9 @@ use crate::predictor::{PredictRequest, Prediction, Predictor};
 use facile_core::Mode;
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
+use facile_util::PoisonlessMutex;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The Facile analytical model, with its interpretability surfaced: the
 /// returned [`Prediction`] carries the primary bottleneck component.
@@ -125,7 +126,7 @@ pub struct LazyLearned {
     native: Option<Mode>,
     train: TrainFn,
     config: TrainConfig,
-    models: Mutex<HashMap<Uarch, Arc<dyn facile_baselines::Predictor + Send + Sync>>>,
+    models: PoisonlessMutex<HashMap<Uarch, Arc<dyn facile_baselines::Predictor + Send + Sync>>>,
 }
 
 impl LazyLearned {
@@ -136,7 +137,7 @@ impl LazyLearned {
             native: Some(Mode::Unrolled),
             train,
             config,
-            models: Mutex::new(HashMap::new()),
+            models: PoisonlessMutex::new(HashMap::new()),
         }
     }
 
@@ -191,7 +192,7 @@ impl LazyLearned {
         // concurrent workers only serialize on first-use training, not on
         // every prediction.
         let model = {
-            let mut models = self.models.lock().expect("no poisoning");
+            let mut models = self.models.lock();
             Arc::clone(
                 models
                     .entry(uarch)

@@ -22,10 +22,10 @@
 
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
-use facile_util::{hash_bytes, FxHashMap};
+use facile_util::{hash_bytes, FxHashMap, PoisonlessMutex};
 use facile_x86::{Block, DecodeError};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Number of lock shards (a power of two; selection is a mask).
 const SHARDS: usize = 16;
@@ -87,7 +87,7 @@ fn ui_uarch(ui: usize) -> Uarch {
 /// shared decoded block and its per-uarch annotations.
 #[derive(Debug, Default)]
 pub struct AnnotationCache {
-    shards: [Mutex<CacheMap>; SHARDS],
+    shards: [PoisonlessMutex<CacheMap>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
     decode_hits: AtomicU64,
@@ -102,7 +102,7 @@ impl AnnotationCache {
     }
 
     #[inline]
-    fn shard(&self, bytes: &[u8]) -> &Mutex<CacheMap> {
+    fn shard(&self, bytes: &[u8]) -> &PoisonlessMutex<CacheMap> {
         &self.shards[(hash_bytes(bytes) as usize) & (SHARDS - 1)]
     }
 
@@ -114,15 +114,16 @@ impl AnnotationCache {
     /// Whatever [`Block::decode`] reports for the bytes.
     pub fn decode(&self, bytes: &[u8]) -> Result<Arc<Block>, DecodeError> {
         let shard = self.shard(bytes);
-        if let Some(e) = shard.lock().expect("no poisoning").get(bytes) {
+        if let Some(e) = shard.lock().get(bytes) {
             self.decode_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(&e.block));
         }
         // Decode outside the lock; a racing duplicate decode is
         // deterministic and harmless.
+        facile_faults::maybe_panic(facile_faults::Point::DecodePanic, bytes);
         let block = Arc::new(Block::decode(bytes)?);
         self.decode_misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = shard.lock().expect("no poisoning");
+        let mut map = shard.lock();
         Ok(Arc::clone(
             &map.entry(bytes.into())
                 .or_insert_with(|| ByteEntry::new(block))
@@ -143,7 +144,7 @@ impl AnnotationCache {
         let ui = uarch as usize;
         let shard = self.shard(bytes);
         let shared = {
-            let map = shard.lock().expect("no poisoning");
+            let map = shard.lock();
             match map.get(bytes) {
                 Some(e) => {
                     if let Some(hit) = &e.annos[ui] {
@@ -173,9 +174,10 @@ impl AnnotationCache {
         block: Arc<Block>,
         ui: usize,
     ) -> (Arc<AnnotatedBlock>, Arc<str>) {
+        facile_faults::maybe_panic(facile_faults::Point::AnnotatePanic, bytes);
         let ab = Arc::new(AnnotatedBlock::new_shared(Arc::clone(&block), ui_uarch(ui)));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.shard(bytes).lock().expect("no poisoning");
+        let mut map = self.shard(bytes).lock();
         if let Some(e) = map.get_mut(bytes) {
             return (
                 Arc::clone(e.annos[ui].get_or_insert(ab)),
@@ -207,7 +209,7 @@ impl AnnotationCache {
         let ui = uarch as usize;
         let shard = self.shard(bytes);
         let shared = {
-            let map = shard.lock().expect("no poisoning");
+            let map = shard.lock();
             match map.get(bytes) {
                 Some(e) => {
                     if let Some(hit) = &e.annos[ui] {
@@ -237,7 +239,7 @@ impl AnnotationCache {
     pub fn export(&self) -> Vec<ExportedBlock> {
         let mut out: Vec<ExportedBlock> = Vec::new();
         for s in &self.shards {
-            let map = s.lock().expect("no poisoning");
+            let map = s.lock();
             for e in map.values() {
                 let annos: Vec<(Uarch, Arc<AnnotatedBlock>)> = e
                     .annos
@@ -261,7 +263,7 @@ impl AnnotationCache {
     /// the live annotate paths).
     pub fn import(&self, block: Arc<Block>, annos: Vec<(Uarch, Arc<AnnotatedBlock>)>) {
         let bytes: Box<[u8]> = block.bytes().into();
-        let mut map = self.shard(&bytes).lock().expect("no poisoning");
+        let mut map = self.shard(&bytes).lock();
         let entry = map
             .entry(bytes)
             .or_insert_with(|| ByteEntry::new(Arc::clone(&block)));
@@ -274,7 +276,7 @@ impl AnnotationCache {
     pub fn stats(&self) -> CacheStats {
         let (mut blocks, mut entries) = (0, 0);
         for s in &self.shards {
-            let map = s.lock().expect("no poisoning");
+            let map = s.lock();
             blocks += map.len();
             entries += map
                 .values()
@@ -294,7 +296,7 @@ impl AnnotationCache {
     /// Drop all entries and reset counters.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("no poisoning").clear();
+            s.lock().clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);

@@ -9,9 +9,11 @@ use facile_core::Mode;
 use facile_explain::Detail;
 use facile_isa::{AnnotatedBlock, InternStats};
 use facile_uarch::Uarch;
+use facile_util::PoisonlessMutex;
 use facile_x86::Block;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A block to predict, in whatever form the caller has it.
 #[derive(Debug, Clone)]
@@ -461,7 +463,10 @@ impl Engine {
         // batch; hex/byte inputs decode through the level-1 cache.
         let prepared: Vec<Prepared> = self.parallel_map(units.len(), |u| {
             let item = &items[units[u]];
-            match &item.input {
+            // Contain panics per item: a kernel or decoder blowing up on
+            // one weird block must cost exactly one error row, never the
+            // batch (or, in the server, the process).
+            catch_unwind(AssertUnwindSafe(|| match &item.input {
                 BlockInput::Block(b) => self.prepare(b, item),
                 other => match other.decode_cached(&self.cache) {
                     Ok(block) => self.prepare_shared(&block, item),
@@ -471,7 +476,14 @@ impl Engine {
                         annotated: Err(e),
                     },
                 },
-            }
+            }))
+            .unwrap_or_else(|payload| Prepared {
+                hex: item.input.hex().into(),
+                mode: item.mode,
+                annotated: Err(PredictError::Panicked {
+                    payload: panic_payload(&*payload),
+                }),
+            })
         });
 
         // Stage 2: fan out over units × predictors.
@@ -484,7 +496,26 @@ impl Engine {
                 Ok(ab) => {
                     let mode = prep.mode.expect("annotated items have a resolved mode");
                     let detail = items[units[u]].detail;
-                    predictors[j].predict(&PredictRequest::new(ab, mode).with_detail(detail))
+                    // Same per-item containment as stage 1: a panicking
+                    // predictor yields one `internal-panic` row.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let bytes = ab.block().bytes();
+                        if let Some(delay) = facile_faults::slow_predict_delay(bytes) {
+                            std::thread::sleep(delay);
+                        }
+                        if facile_faults::decide(facile_faults::Point::PredictError, bytes) {
+                            return Err(PredictError::Injected {
+                                point: facile_faults::Point::PredictError.name().to_string(),
+                            });
+                        }
+                        facile_faults::maybe_panic(facile_faults::Point::PredictPanic, bytes);
+                        predictors[j].predict(&PredictRequest::new(ab, mode).with_detail(detail))
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(PredictError::Panicked {
+                            payload: panic_payload(&*payload),
+                        })
+                    })
                 }
                 Err(e) => Err(e.clone()),
             }
@@ -633,6 +664,18 @@ impl Engine {
     }
 }
 
+/// Render a caught panic payload for [`PredictError::Panicked`] (also
+/// used by the server's batch-level containment). `panic!` with a
+/// literal carries `&str`, with a format string carries `String`;
+/// anything else is opaque.
+pub fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
 /// The host's available parallelism (used to size worker pools).
 #[must_use]
 pub fn host_threads() -> usize {
@@ -675,7 +718,7 @@ pub fn parallel_map_indexed<U: Send>(
     }
     // A chunk of the output: the base index plus the disjoint window of
     // slots the owning worker fills.
-    type Chunk<'a, U> = Mutex<(usize, &'a mut [Option<U>])>;
+    type Chunk<'a, U> = PoisonlessMutex<(usize, &'a mut [Option<U>])>;
     let mut out: Vec<Option<U>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     {
@@ -684,7 +727,7 @@ pub fn parallel_map_indexed<U: Send>(
         let chunks: Vec<Chunk<'_, U>> = out
             .chunks_mut(chunk)
             .enumerate()
-            .map(|(ci, slice)| Mutex::new((ci * chunk, slice)))
+            .map(|(ci, slice)| PoisonlessMutex::new((ci * chunk, slice)))
             .collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
@@ -692,7 +735,7 @@ pub fn parallel_map_indexed<U: Send>(
                 s.spawn(|| loop {
                     let ci = next.fetch_add(1, Ordering::Relaxed);
                     let Some(chunk) = chunks.get(ci) else { break };
-                    let mut guard = chunk.lock().expect("no poisoning");
+                    let mut guard = chunk.lock();
                     let (base, slice) = &mut *guard;
                     for (off, slot) in slice.iter_mut().enumerate() {
                         *slot = Some(f(*base + off));

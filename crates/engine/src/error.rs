@@ -53,6 +53,21 @@ pub enum PredictError {
         /// The notion it was evaluating.
         mode: Mode,
     },
+    /// The prediction work for this item panicked. The panic was
+    /// contained by the engine's per-item `catch_unwind` isolation; the
+    /// rest of the batch is unaffected.
+    Panicked {
+        /// The panic payload, rendered to a string (`"opaque panic
+        /// payload"` for non-string payloads).
+        payload: String,
+    },
+    /// A deterministic fault-injection point (the `facile-faults` crate)
+    /// fired for this item. Only ever produced in builds with fault
+    /// injection compiled in and armed.
+    Injected {
+        /// The injection point that fired (e.g. `"predict-error"`).
+        point: String,
+    },
 }
 
 impl fmt::Display for PredictError {
@@ -88,6 +103,12 @@ impl fmt::Display for PredictError {
                     "predictor {predictor:?} produced invalid {mode} output: {value}"
                 )
             }
+            PredictError::Panicked { payload } => {
+                write!(f, "prediction panicked: {payload}")
+            }
+            PredictError::Injected { point } => {
+                write!(f, "injected fault at {point}")
+            }
         }
     }
 }
@@ -113,6 +134,8 @@ impl PredictError {
             PredictError::UnknownPredictor { .. } => "unknown-predictor",
             PredictError::NotTrained { .. } => "not-trained",
             PredictError::InvalidOutput { .. } => "invalid-output",
+            PredictError::Panicked { .. } => "internal-panic",
+            PredictError::Injected { .. } => "injected-fault",
         }
     }
 }

@@ -40,8 +40,8 @@ pub mod render;
 pub use adapters::{Baseline, FacileAdapter, LazyLearned, TrainConfig};
 pub use cache::{AnnotationCache, CacheStats, ExportedBlock};
 pub use engine::{
-    host_threads, parallel_map_indexed, BatchItem, BlockInput, Engine, EngineStats, ItemResult,
-    PlannerStats,
+    host_threads, panic_payload, parallel_map_indexed, BatchItem, BlockInput, Engine, EngineStats,
+    ItemResult, PlannerStats,
 };
 pub use error::PredictError;
 pub use facile_core::timing::KernelTiming;

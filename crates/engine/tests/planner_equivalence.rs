@@ -159,3 +159,117 @@ fn near_duplicates_are_not_merged() {
         &rows[4].block_hex
     ));
 }
+
+/// A predictor that detonates on half of its inputs: blocks with an
+/// even byte length panic mid-`predict`, everything else predicts 1.0.
+/// The engine's per-item `catch_unwind` must turn each detonation into
+/// exactly one `internal-panic` error row.
+struct Grenade;
+
+impl facile_engine::Predictor for Grenade {
+    fn key(&self) -> &str {
+        "grenade"
+    }
+    fn name(&self) -> &str {
+        "Grenade"
+    }
+    fn predict(
+        &self,
+        req: &facile_engine::PredictRequest<'_>,
+    ) -> Result<facile_engine::Prediction, facile_engine::PredictError> {
+        assert!(
+            !req.block().bytes().len().is_multiple_of(2),
+            "grenade: even-length block"
+        );
+        Ok(facile_engine::Prediction::plain(1.0))
+    }
+}
+
+fn registry_with_grenade() -> PredictorRegistry {
+    let mut r = analytic_registry();
+    r.register(std::sync::Arc::new(Grenade));
+    r
+}
+
+/// A batch mixing valid blocks, undecodable/empty inputs, and items
+/// whose predictor panics must produce bit-identical rows — good rows
+/// *and* error rows in their exact positions — with dedup on/off and at
+/// 1 vs 8 threads. A failing item never perturbs its batch-mates.
+#[test]
+fn error_and_panic_rows_do_not_perturb_batch_mates() {
+    let items = dup_heavy_items(3, 64, 4242);
+    let mut expected: Option<Vec<String>> = None;
+    for dedup in [false, true] {
+        for threads in [1usize, 8] {
+            let engine = Engine::new(registry_with_grenade())
+                .with_threads(threads)
+                .with_dedup(dedup);
+            let rows = engine.predict_batch(&items, "*").expect("glob resolves");
+            assert_eq!(rows.len(), items.len() * 5);
+            let rendered = render(&rows);
+            match &expected {
+                None => expected = Some(rendered),
+                Some(want) => assert_eq!(&rendered, want, "dedup={dedup} threads={threads}"),
+            }
+        }
+    }
+    let rendered = expected.expect("four configurations ran");
+    // The batch genuinely contained all three item fates.
+    assert!(rendered.iter().any(|r| r.ends_with("err:internal-panic")));
+    assert!(rendered.iter().any(|r| r.ends_with("err:bad-hex")));
+    assert!(rendered.iter().any(|r| !r.contains("err:")));
+    // Panics are contained per (item, predictor): a grenade row for an
+    // even-length block errors while the facile row for the *same item*
+    // is fine.
+    assert!(rendered
+        .iter()
+        .filter(|r| r.ends_with("err:internal-panic"))
+        .all(|r| r.contains("|grenade|")));
+}
+
+/// The acceptance check for panic isolation: a predictor panicking
+/// mid-batch yields typed `internal-panic` rows, and the same engine —
+/// whose caches and locks just lived through the unwind — keeps serving
+/// subsequent requests normally.
+#[test]
+fn engine_survives_mid_batch_predictor_panics() {
+    let engine = Engine::new(registry_with_grenade()).with_threads(8);
+    let suite = facile_bhive::generate_suite(8, 77);
+    let items: Vec<BatchItem> = suite
+        .iter()
+        .flat_map(|b| {
+            [
+                BatchItem::block(b.unrolled.clone(), Uarch::Skl),
+                BatchItem::block(b.looped.clone(), Uarch::Hsw),
+            ]
+        })
+        .collect();
+    let rows = engine.predict_batch(&items, "*").expect("glob resolves");
+    assert_eq!(rows.len(), items.len() * 5);
+    let mut panicked = 0;
+    for r in &rows {
+        match (&*r.predictor == "grenade", &r.prediction) {
+            (false, p) => assert!(p.is_ok(), "non-grenade row failed: {p:?}"),
+            (true, Err(facile_engine::PredictError::Panicked { payload })) => {
+                assert!(payload.contains("grenade"), "unexpected payload: {payload}");
+                panicked += 1;
+            }
+            (true, p) => assert!(p.is_ok(), "grenade row neither ok nor panicked: {p:?}"),
+        }
+    }
+    assert!(panicked > 0, "the suite should contain even-length blocks");
+    // Same engine, next request: everything still works (the error code
+    // of a panicked row is stable and machine-readable, and no lock or
+    // cache entry was wedged by the unwind).
+    assert_eq!(
+        facile_engine::PredictError::Panicked {
+            payload: String::new()
+        }
+        .code(),
+        "internal-panic"
+    );
+    let again = engine.predict_batch(&items, "facile").expect("resolves");
+    assert!(again.iter().all(|r| r.prediction.is_ok()));
+    let one = engine.predict_one(&suite[0].unrolled, Uarch::Skl, Mode::Unrolled, "sim");
+    assert!(one.is_ok(), "{one:?}");
+}

@@ -30,10 +30,11 @@
 use crate::classify::{describe_fused_pair_with_effects, describe_with_effects};
 use crate::desc::InstrDesc;
 use facile_uarch::{Uarch, UarchConfig};
+use facile_util::PoisonlessMutex;
 use facile_util::{hash_bytes, FxHashMap};
 use facile_x86::{Effects, Inst};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// Number of independent lock shards. A power of two so shard selection
 /// is a mask; 16 is comfortably above any realistic worker count for the
@@ -142,7 +143,7 @@ type ShardMap = FxHashMap<Box<[u8]>, ByteEntry>;
 /// The process-wide two-level descriptor intern table.
 #[derive(Debug, Default)]
 pub struct DescInterner {
-    shards: [Mutex<ShardMap>; SHARDS],
+    shards: [PoisonlessMutex<ShardMap>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
     core_hits: AtomicU64,
@@ -157,7 +158,7 @@ impl DescInterner {
     }
 
     #[inline]
-    fn shard(&self, bytes: &[u8]) -> &Mutex<ShardMap> {
+    fn shard(&self, bytes: &[u8]) -> &PoisonlessMutex<ShardMap> {
         &self.shards[(hash_bytes(bytes) as usize) & (SHARDS - 1)]
     }
 
@@ -172,7 +173,7 @@ impl DescInterner {
         let shard = self.shard(bytes);
         // Fast path: both levels hit under one lock, one hash probe.
         let core = {
-            let map = shard.lock().expect("no poisoning");
+            let map = shard.lock();
             match map.get(bytes) {
                 Some(entry) => {
                     if let Some(hit) = &entry.per_uarch[uarch] {
@@ -201,7 +202,7 @@ impl DescInterner {
             core: Arc::clone(&core),
         });
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = shard.lock().expect("no poisoning");
+        let mut map = shard.lock();
         if let Some(e) = map.get_mut(bytes) {
             // Known bytes: only the uarch slot was missing (the key is
             // not re-allocated on this path).
@@ -258,7 +259,7 @@ impl DescInterner {
     pub fn stats(&self) -> InternStats {
         let (mut byte_entries, mut entries) = (0, 0);
         for s in &self.shards {
-            let map = s.lock().expect("no poisoning");
+            let map = s.lock();
             byte_entries += map.len();
             entries += map
                 .values()
@@ -279,7 +280,7 @@ impl DescInterner {
     /// their entries alive; only the table's references are released.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("no poisoning").clear();
+            s.lock().clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);

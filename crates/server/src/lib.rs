@@ -25,8 +25,18 @@
 //!
 //! The `facile serve` and `facile client` CLI subcommands are thin
 //! wrappers over this crate.
+//!
+//! A fourth property — **fault containment** — is layered across all of
+//! the above: per-item panics become `internal-panic` error rows (the
+//! engine's `catch_unwind` isolation), every shared lock recovers from
+//! poisoning, a supervisor restarts a dead batcher thread, and the
+//! whole path can be exercised deterministically via the re-exported
+//! [`faults`] crate (compiled in only with the `fault-injection`
+//! feature).
 
 #![warn(missing_docs)]
+
+pub use facile_faults as faults;
 
 pub mod json;
 pub mod protocol;

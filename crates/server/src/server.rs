@@ -33,15 +33,17 @@
 
 use crate::protocol::{self, Parsed, ProtoError, Request};
 use crate::snapshot::{self, SnapshotError, SnapshotInfo};
-use facile_engine::{BatchItem, Engine, ItemResult};
+use facile_engine::{panic_payload, BatchItem, Engine, ItemResult};
+use facile_util::{recover, PoisonlessMutex};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
 /// Where the server listens.
@@ -77,6 +79,10 @@ pub struct ServerConfig {
     pub snapshot: Option<PathBuf>,
     /// Write the snapshot every so often while serving.
     pub snapshot_interval: Option<Duration>,
+    /// Deterministic fault-injection spec (see the `facile-faults`
+    /// crate), armed at startup. Ignored — with a warning left to the
+    /// caller — in builds without the `fault-injection` feature.
+    pub faults: Option<String>,
 }
 
 impl ServerConfig {
@@ -93,6 +99,7 @@ impl ServerConfig {
             max_line_bytes: 1 << 20,
             snapshot: None,
             snapshot_interval: None,
+            faults: None,
         }
     }
 }
@@ -120,6 +127,10 @@ pub struct ServerCounters {
     pub protocol_errors: AtomicU64,
     /// Snapshot writes that succeeded.
     pub snapshot_saves: AtomicU64,
+    /// Snapshot writes that failed (disk full, permissions, injected).
+    pub snapshot_save_errors: AtomicU64,
+    /// Times the supervisor restarted a dead batcher thread.
+    pub batcher_restarts: AtomicU64,
 }
 
 impl ServerCounters {
@@ -131,7 +142,8 @@ impl ServerCounters {
         format!(
             "{{\"connections\":{},\"requests\":{},\"rows\":{},\"batches\":{},\
              \"batched_items\":{},\"rejected_overload\":{},\"rejected_deadline\":{},\
-             \"protocol_errors\":{},\"snapshot_saves\":{}}}",
+             \"protocol_errors\":{},\"snapshot_saves\":{},\"snapshot_save_errors\":{},\
+             \"batcher_restarts\":{}}}",
             g(&self.connections),
             g(&self.requests),
             g(&self.rows),
@@ -141,6 +153,8 @@ impl ServerCounters {
             g(&self.rejected_deadline),
             g(&self.protocol_errors),
             g(&self.snapshot_saves),
+            g(&self.snapshot_save_errors),
+            g(&self.batcher_restarts),
         )
     }
 }
@@ -170,7 +184,7 @@ enum JobReply {
 struct Shared {
     engine: Engine,
     cfg: ServerConfig,
-    queue: Mutex<Vec<Job>>,
+    queue: PoisonlessMutex<Vec<Job>>,
     queue_cv: Condvar,
     /// Queued + in-flight items (admission control). Incremented at
     /// admission, decremented when the job's reply is sent.
@@ -300,7 +314,7 @@ pub struct Server {
     bound: BoundAddr,
     acceptor: Option<std::thread::JoinHandle<()>>,
     batcher: Option<std::thread::JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    conns: Arc<PoisonlessMutex<Vec<std::thread::JoinHandle<()>>>>,
     /// What loading the configured snapshot found at startup.
     pub snapshot_loaded: Option<Result<SnapshotInfo, SnapshotError>>,
 }
@@ -313,6 +327,13 @@ impl Server {
     /// Binding the endpoint can fail; snapshot problems never do (they
     /// are reported in [`Server::snapshot_loaded`]).
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        if let Some(spec) = cfg.faults.as_deref() {
+            // A malformed spec is a configuration error; arming in a
+            // build without injection compiled in is a silent no-op
+            // (configure returns Ok(false)) that the CLI warns about.
+            facile_faults::configure(spec)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))?;
+        }
         let threads = if cfg.threads == 0 {
             facile_engine::host_threads()
         } else {
@@ -354,20 +375,20 @@ impl Server {
         let shared = Arc::new(Shared {
             engine,
             cfg,
-            queue: Mutex::new(Vec::new()),
+            queue: PoisonlessMutex::new(Vec::new()),
             queue_cv: Condvar::new(),
             pending_items: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             batcher_stop: AtomicBool::new(false),
             counters: ServerCounters::default(),
         });
-        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        let conns: Arc<PoisonlessMutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
 
         let batcher = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("facile-batcher".into())
-                .spawn(move || batcher_loop(&shared))?
+                .spawn(move || batcher_supervisor(&shared))?
         };
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -419,7 +440,7 @@ impl Server {
         // Acceptor is down: the connection list is final. Connection
         // threads see `draining` via their read timeouts and exit after
         // finishing the request they are on.
-        let handles = std::mem::take(&mut *self.conns.lock().expect("no poisoning"));
+        let handles = std::mem::take(&mut *self.conns.lock());
         for h in handles {
             let _ = h.join();
         }
@@ -440,11 +461,20 @@ impl Server {
             .snapshot
             .as_deref()
             .map(|p| snapshot::save(p, self.shared.engine.cache()));
-        if matches!(saved, Some(Ok(_))) {
-            self.shared
-                .counters
-                .snapshot_saves
-                .fetch_add(1, Ordering::Relaxed);
+        match &saved {
+            Some(Ok(_)) => {
+                self.shared
+                    .counters
+                    .snapshot_saves
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Err(_)) => {
+                self.shared
+                    .counters
+                    .snapshot_save_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
         }
         saved
     }
@@ -453,7 +483,7 @@ impl Server {
 fn acceptor_loop(
     listener: &Listener,
     shared: &Arc<Shared>,
-    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    conns: &Arc<PoisonlessMutex<Vec<std::thread::JoinHandle<()>>>>,
 ) {
     while !shared.draining() {
         match listener.accept() {
@@ -464,7 +494,7 @@ fn acceptor_loop(
                     .name("facile-conn".into())
                     .spawn(move || connection_loop(stream, &shared));
                 if let Ok(h) = handle {
-                    conns.lock().expect("no poisoning").push(h);
+                    conns.lock().push(h);
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -493,6 +523,12 @@ fn connection_loop(stream: Stream, shared: &Arc<Shared>) {
             let line = line.trim_end_matches('\r');
             if line.is_empty() {
                 continue;
+            }
+            // Fault injection: hang up before processing this line, as a
+            // crashing peer / dying network would. The request is never
+            // handled, so it is not counted as one.
+            if facile_faults::decide_seq(facile_faults::Point::ConnDrop) {
+                break 'conn;
             }
             shared.counters.requests.fetch_add(1, Ordering::Relaxed);
             if line.len() > shared.cfg.max_line_bytes {
@@ -618,7 +654,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
                 .map(|ms| Instant::now() + Duration::from_millis(ms));
             let (tx, rx) = mpsc::channel();
             {
-                let mut q = shared.queue.lock().expect("no poisoning");
+                let mut q = shared.queue.lock();
                 q.push(Job {
                     items: work.items,
                     selector,
@@ -636,10 +672,50 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
                     protocol::rows_reply(id, &rows, work.render, work.explain)
                 }
                 Ok(JobReply::Err { code, message }) => protocol::error_reply(id, code, &message),
-                Err(_) => protocol::error_reply(id, "internal", "batcher exited"),
+                // The batcher died holding this job (its reply sender
+                // was dropped by the unwind); the supervisor restarts
+                // the batcher, but this request is lost.
+                Err(_) => protocol::error_reply(
+                    id,
+                    "internal",
+                    "batcher restarted while the request was in flight",
+                ),
             };
             shared.pending_items.fetch_sub(n, Ordering::SeqCst);
             reply
+        }
+    }
+}
+
+/// The batcher's supervisor: runs [`batcher_loop`] and, if it panics
+/// (it should not — the engine contains per-item panics — but a bug in
+/// the gather/dispatch plumbing itself could), fails the requests the
+/// dead incarnation left behind and starts a fresh one. The thread named
+/// `facile-batcher` therefore only ever exits on a clean drain.
+fn batcher_supervisor(shared: &Arc<Shared>) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| batcher_loop(shared))) {
+            Ok(()) => return, // clean drain
+            Err(_) => {
+                shared
+                    .counters
+                    .batcher_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+                // Jobs the dead batcher had already dequeued lost their
+                // reply senders in the unwind; their connection threads
+                // observe the closed channel and answer `internal`. Jobs
+                // still queued are failed explicitly here rather than
+                // silently carried over, so a request never outlives the
+                // batcher incarnation that admitted it.
+                let stranded = std::mem::take(&mut *shared.queue.lock());
+                for job in stranded {
+                    let _ = job.reply.send(JobReply::Err {
+                        code: "internal",
+                        message: "batcher restarted while the request was queued".to_string(),
+                    });
+                }
+                eprintln!("facile-serve: batcher thread panicked; restarting it");
+            }
         }
     }
 }
@@ -651,7 +727,7 @@ fn batcher_loop(shared: &Arc<Shared>) {
     loop {
         // Wait for work (or a drain, or a snapshot-interval tick).
         let mut jobs: Vec<Job> = {
-            let mut q = shared.queue.lock().expect("no poisoning");
+            let mut q = shared.queue.lock();
             loop {
                 if !q.is_empty() {
                     break std::mem::take(&mut *q);
@@ -659,10 +735,8 @@ fn batcher_loop(shared: &Arc<Shared>) {
                 if shared.batcher_stop.load(Ordering::SeqCst) {
                     return; // queue empty + producers joined = done
                 }
-                let (guard, _) = shared
-                    .queue_cv
-                    .wait_timeout(q, Duration::from_millis(50))
-                    .expect("no poisoning");
+                let (guard, _) =
+                    recover(shared.queue_cv.wait_timeout(q, Duration::from_millis(50)));
                 q = guard;
                 if let (Some(path), Some(every)) =
                     (shared.cfg.snapshot.as_deref(), shared.cfg.snapshot_interval)
@@ -670,17 +744,36 @@ fn batcher_loop(shared: &Arc<Shared>) {
                     if last_snapshot.elapsed() >= every {
                         last_snapshot = Instant::now();
                         drop(q);
-                        if snapshot::save(path, shared.engine.cache()).is_ok() {
-                            shared
-                                .counters
-                                .snapshot_saves
-                                .fetch_add(1, Ordering::Relaxed);
+                        match snapshot::save(path, shared.engine.cache()) {
+                            Ok(_) => {
+                                shared
+                                    .counters
+                                    .snapshot_saves
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                // A failed periodic save must be neither
+                                // fatal (the cache is intact; serving
+                                // continues) nor silent (the operator is
+                                // losing warm-restart coverage).
+                                shared
+                                    .counters
+                                    .snapshot_save_errors
+                                    .fetch_add(1, Ordering::Relaxed);
+                                eprintln!(
+                                    "facile-serve: periodic snapshot save to {} failed: {e}",
+                                    path.display()
+                                );
+                            }
                         }
-                        q = shared.queue.lock().expect("no poisoning");
+                        q = shared.queue.lock();
                     }
                 }
             }
         };
+        // Fault injection: the batcher dies between dequeue and dispatch
+        // (the worst moment — it holds jobs), exercising the supervisor.
+        facile_faults::maybe_panic_seq(facile_faults::Point::BatcherPanic);
         // Gather: let closely-following jobs join this batch, up to the
         // window or the size cap.
         let window_ends = Instant::now() + shared.cfg.gather_window;
@@ -693,12 +786,9 @@ fn batcher_loop(shared: &Arc<Shared>) {
             if now >= window_ends {
                 break;
             }
-            let mut q = shared.queue.lock().expect("no poisoning");
+            let mut q = shared.queue.lock();
             if q.is_empty() {
-                let (guard, _) = shared
-                    .queue_cv
-                    .wait_timeout(q, window_ends - now)
-                    .expect("no poisoning");
+                let (guard, _) = recover(shared.queue_cv.wait_timeout(q, window_ends - now));
                 q = guard;
             }
             jobs.append(&mut q);
@@ -744,8 +834,25 @@ fn run_gathered(shared: &Arc<Shared>, jobs: Vec<Job>) {
             .counters
             .batched_items
             .fetch_add(items.len() as u64, Ordering::Relaxed);
-        match shared.engine.predict_batch(&items, &selector) {
-            Ok(rows) => {
+        // The engine already contains per-item panics; this guard covers
+        // the planner/fan-out plumbing around them, converting a batch-
+        // level panic into `internal-panic` replies instead of a dead
+        // batcher (the supervisor would catch that too, but the jobs in
+        // *other* selector groups of this gather deserve their answers).
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shared.engine.predict_batch(&items, &selector)
+        }));
+        match outcome {
+            Err(payload) => {
+                let message = format!("prediction panicked: {}", panic_payload(&*payload));
+                for job in group {
+                    let _ = job.reply.send(JobReply::Err {
+                        code: "internal-panic",
+                        message: message.clone(),
+                    });
+                }
+            }
+            Ok(Ok(rows)) => {
                 // Rows are item-major: item k's rows are the np
                 // consecutive rows starting at k*np.
                 let np = rows.len() / items.len();
@@ -757,7 +864,7 @@ fn run_gathered(shared: &Arc<Shared>, jobs: Vec<Job>) {
                     let _ = job.reply.send(JobReply::Rows(slice));
                 }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 // Selector resolution failed (the only whole-batch
                 // error): every job in the group asked for it.
                 let message = e.to_string();

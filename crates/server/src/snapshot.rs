@@ -124,6 +124,12 @@ pub struct SnapshotInfo {
 /// # Errors
 /// [`SnapshotError::Io`] if the file cannot be written.
 pub fn save(path: &Path, cache: &AnnotationCache) -> Result<SnapshotInfo, SnapshotError> {
+    // Fault injection: a full disk / yanked volume at save time.
+    if facile_faults::decide_seq(facile_faults::Point::SnapshotFail) {
+        return Err(SnapshotError::Io(
+            "injected snapshot write failure".to_string(),
+        ));
+    }
     let entries = cache.export();
     let mut payload = Vec::with_capacity(entries.len() * 256);
     let mut annotations = 0usize;

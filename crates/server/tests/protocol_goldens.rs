@@ -127,6 +127,8 @@ fn stats_reply_shape() {
         "rejected_deadline",
         "protocol_errors",
         "snapshot_saves",
+        "snapshot_save_errors",
+        "batcher_restarts",
     ] {
         assert!(srv.get(key).is_some(), "server stats missing {key}");
     }

@@ -12,11 +12,16 @@
 //!   written entirely in safe Rust: the first `N` elements live on the
 //!   stack and the buffer spills to a heap `Vec` only when it outgrows
 //!   the inline capacity.
+//! * [`PoisonlessMutex`] — a `Mutex` wrapper that recovers from lock
+//!   poisoning instead of propagating it, so one contained panic cannot
+//!   wedge every later lock acquisition.
 
 #![warn(missing_docs)]
 
 pub mod fxhash;
 mod smallvec;
+pub mod sync;
 
 pub use fxhash::{hash_bytes, FxBuildHasher, FxHashMap, FxHasher};
 pub use smallvec::SmallVec;
+pub use sync::{recover, PoisonlessMutex};

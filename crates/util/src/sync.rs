@@ -1,0 +1,104 @@
+//! Poison-proof locking.
+//!
+//! A `std::sync::Mutex` becomes *poisoned* when a thread panics while
+//! holding it, and every later `lock()` returns `Err(PoisonError)`.
+//! Poisoning is a taint signal, not a memory-safety mechanism: the guard
+//! inside the error is fully usable, and for every table in this
+//! workspace the protected state is valid at all times (entries are
+//! inserted whole; there are no multi-step invariants that a panic can
+//! tear). Propagating the taint would convert one contained panic into a
+//! process-wide outage — exactly what the serving layer must not do — so
+//! [`PoisonlessMutex`] recovers the guard unconditionally.
+
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A `Mutex` whose `lock()` never fails: if a previous holder panicked,
+/// the poison is shrugged off via [`PoisonError::into_inner`] and the
+/// guard is handed out anyway.
+///
+/// The guard is the plain `std::sync::MutexGuard`, so the wrapper
+/// composes with `Condvar` — recover the `LockResult`s that
+/// `Condvar::wait_timeout` returns with [`recover`].
+pub struct PoisonlessMutex<T: ?Sized>(Mutex<T>);
+
+impl<T> PoisonlessMutex<T> {
+    /// Create a new unlocked mutex. `const`, so it can back statics.
+    pub const fn new(value: T) -> Self {
+        PoisonlessMutex(Mutex::new(value))
+    }
+
+    /// Consume the mutex and return the protected value, ignoring
+    /// poison.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> PoisonlessMutex<T> {
+    /// Acquire the lock, recovering from poisoning instead of failing.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for PoisonlessMutex<T> {
+    fn default() -> Self {
+        PoisonlessMutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for PoisonlessMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+/// Recover the success value from any poisoning `LockResult`-shaped
+/// `Result` — e.g. what `Condvar::wait_timeout` returns when the guard's
+/// mutex was poisoned by a panicking peer.
+pub fn recover<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recovers_after_a_panic_poisons_the_mutex() {
+        let m = Arc::new(PoisonlessMutex::new(vec![1, 2, 3]));
+        let m2 = Arc::clone(&m);
+        let panicked = catch_unwind(AssertUnwindSafe(move || {
+            let _guard = m2.lock();
+            panic!("holder dies with the lock held");
+        }));
+        assert!(panicked.is_err());
+        // A std Mutex would now return Err(PoisonError) forever; the
+        // poisonless wrapper hands out the guard and the data is intact.
+        let mut guard = m.lock();
+        assert_eq!(*guard, vec![1, 2, 3]);
+        guard.push(4);
+        drop(guard);
+        assert_eq!(m.lock().len(), 4);
+    }
+
+    #[test]
+    fn condvar_results_recover_too() {
+        use std::sync::Condvar;
+        use std::time::Duration;
+        let m = PoisonlessMutex::new(0u32);
+        let cv = Condvar::new();
+        let guard = m.lock();
+        let (guard, timeout) = recover(cv.wait_timeout(guard, Duration::from_millis(1)));
+        assert!(timeout.timed_out());
+        assert_eq!(*guard, 0);
+    }
+}
