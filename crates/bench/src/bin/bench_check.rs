@@ -1,9 +1,9 @@
 //! Compare a fresh `bench_engine` result against a committed baseline and
 //! fail (exit 1) on a throughput regression beyond the tolerance, in any
 //! of the gated configurations: warm single-thread, cold single-thread
-//! (the annotate-included first pass), and the nine-uarch sweep (which
-//! exercises the planner batch API and the two-level decode/annotate
-//! cache).
+//! (the annotate-included first pass), and the nine-uarch sweep — warm
+//! and cold — which exercises the planner batch API and the two-level
+//! decode/annotate cache.
 //!
 //! ```text
 //! bench_check <baseline.json> <fresh.json> [--max-regression 0.25]
@@ -82,6 +82,12 @@ fn run() -> Result<(), String> {
             "multi-uarch sweep warm",
             "multi_uarch",
             "warm_cache_blocks_per_sec",
+            false,
+        ),
+        (
+            "multi-uarch sweep cold",
+            "multi_uarch",
+            "cold_cache_blocks_per_sec",
             false,
         ),
     ];

@@ -4,8 +4,10 @@
 //! parallel, cold vs warm cache, plus a nine-uarch sweep that exercises
 //! the two-level (decode-once / annotate-per-uarch) cache — verifies
 //! that multi-threaded output is byte-identical to single-threaded
-//! output, records per-kernel mean/max timing from a separate
-//! instrumented pass, and writes the numbers to `BENCH_engine.json`.
+//! output, records per-kernel mean/p50/p99/max timing and per-batch
+//! annotation-pass timing from separate instrumented passes, reports
+//! static-table coverage (hits, fallbacks) over the cold pass, and
+//! writes the numbers to `BENCH_engine.json`.
 //!
 //! Host reporting is honest: `host_cpus` and `threads_parallel` are both
 //! derived from `available_parallelism`. On a single-CPU host the
@@ -82,9 +84,16 @@ fn main() {
     eprintln!("bench_engine: {n} blocks on {uarch}, predictors `{SELECTOR}`");
 
     let suite = facile_bhive::generate_suite(n, args.seed);
-    let items: Vec<BatchItem> = suite
+    // One shared handle per block, built outside the timed region: every
+    // item (and every uarch of the sweep) shares the decoded block
+    // instead of cloning its bytes per item.
+    let blocks: Vec<std::sync::Arc<facile_x86::Block>> = suite
         .iter()
-        .map(|b| BatchItem::block(b.unrolled.clone(), uarch))
+        .map(|b| std::sync::Arc::new(b.unrolled.clone()))
+        .collect();
+    let items: Vec<BatchItem> = blocks
+        .iter()
+        .map(|b| BatchItem::shared(std::sync::Arc::clone(b), uarch))
         .collect();
 
     // Honest host reporting: the parallel configuration uses exactly the
@@ -92,7 +101,10 @@ fn main() {
     let host_cpus = host_threads();
     let parallel_threads = host_cpus;
 
-    // Cold cache, single thread (annotation cost included).
+    // Cold cache, single thread (annotation cost included). The static-
+    // table counters are process-wide; resetting here scopes the
+    // recorded coverage to the timed passes.
+    facile_isa::reset_static_table_stats();
     let single = Engine::new(PredictorRegistry::with_builtins()).with_threads(1);
     let (cold_single, rows_single) = run(&single, &items, 1);
     // Warm cache, single thread (annotations memoized).
@@ -105,12 +117,12 @@ fn main() {
     // Multi-uarch sweep: the same blocks across all nine
     // microarchitectures, exercising the planner batch API and the
     // two-level cache (decode once per bytes, annotate per uarch).
-    let sweep_items: Vec<BatchItem> = suite
+    let sweep_items: Vec<BatchItem> = blocks
         .iter()
         .flat_map(|b| {
             Uarch::ALL
                 .iter()
-                .map(|&u| BatchItem::block(b.unrolled.clone(), u))
+                .map(|&u| BatchItem::shared(std::sync::Arc::clone(b), u))
         })
         .collect();
     let sweep_engine = Engine::new(PredictorRegistry::with_builtins()).with_threads(1);
@@ -156,6 +168,11 @@ fn main() {
     facile_core::timing::reset();
     Engine::set_kernel_timing(true);
     let _ = run(&single, &items, 1);
+    // Annotation-side pass timing (table lookup + column build) only
+    // fires on cache misses, so it needs its own cold engine.
+    facile_isa::cols::reset_pass_timing();
+    let fresh = Engine::new(PredictorRegistry::with_builtins()).with_threads(1);
+    let _ = run(&fresh, &items, 1);
     Engine::set_kernel_timing(false);
     let kernels = facile_core::timing::snapshot();
     let kernel_json: Vec<String> = facile_core::Component::ALL
@@ -164,15 +181,32 @@ fn main() {
         .filter(|(_, k)| k.count > 0)
         .map(|(c, k)| {
             format!(
-                "    {{ \"kernel\": \"{}\", \"count\": {}, \"mean_us\": {:.3}, \"max_us\": {:.3} }}",
+                "    {{ \"kernel\": \"{}\", \"count\": {}, \"mean_us\": {:.3}, \
+                 \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"max_us\": {:.3} }}",
                 c.name(),
                 k.count,
                 k.mean_us,
+                k.p50_us,
+                k.p99_us,
                 k.max_us
             )
         })
         .collect();
+    let pass_json: Vec<String> = [
+        ("annotate", facile_isa::cols::annotate_timing()),
+        ("columns", facile_isa::cols::columns_timing()),
+    ]
+    .into_iter()
+    .filter(|(_, t)| t.count > 0)
+    .map(|(name, t)| {
+        format!(
+            "    {{ \"pass\": \"{name}\", \"count\": {}, \"mean_us\": {:.3}, \"max_us\": {:.3} }}",
+            t.count, t.mean_us, t.max_us
+        )
+    })
+    .collect();
     let solver = facile_core::mcr::solve_path_counts();
+    let tables = stats.static_tables;
 
     let intern = stats.intern;
     let speedup_parallel = warm_parallel.blocks_per_sec / warm_single.blocks_per_sec;
@@ -180,7 +214,7 @@ fn main() {
 
     let note_json = note.map_or(String::new(), |n| format!("\n  \"note\": \"{n}\","));
     let json = format!(
-        "{{\n  \"benchmark\": \"engine_batch_throughput\",\n  \"predictors\": \"{SELECTOR}\",\n  \"uarch\": \"{uarch}\",\n  \"blocks\": {n},\n  \"rows\": {rows},\n  \"host_cpus\": {host_cpus},\n  \"threads_parallel\": {parallel_threads},{note_json}\n  \"single_thread\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"multi_uarch\": {{\n    \"uarchs\": {n_uarchs},\n    \"items\": {sweep_n},\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1},\n    \"decode_hits\": {},\n    \"decode_misses\": {},\n    \"annotate_misses\": {}\n  }},\n  \"parallel_speedup_warm\": {:.3},\n  \"warm_over_cold_speedup_parallel\": {:.3},\n  \"planner\": {{ \"items\": {}, \"deduped\": {} }},\n  \"annotation_cache\": {{ \"hits\": {}, \"misses\": {}, \"decode_hits\": {}, \"decode_misses\": {}, \"entries\": {}, \"blocks\": {} }},\n  \"intern_table\": {{ \"hits\": {}, \"misses\": {}, \"core_hits\": {}, \"core_misses\": {}, \"byte_entries\": {}, \"entries\": {} }},\n  \"solver_paths\": {{ \"acyclic\": {}, \"simple_cycle\": {}, \"longest_path\": {}, \"howard\": {} }},\n  \"kernels\": [\n{}\n  ],\n  \"deterministic_across_threads\": true,\n  \"determinism_check_threads\": {check_threads}\n}}\n",
+        "{{\n  \"benchmark\": \"engine_batch_throughput\",\n  \"predictors\": \"{SELECTOR}\",\n  \"uarch\": \"{uarch}\",\n  \"blocks\": {n},\n  \"rows\": {rows},\n  \"host_cpus\": {host_cpus},\n  \"threads_parallel\": {parallel_threads},{note_json}\n  \"single_thread\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"parallel\": {{\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1}\n  }},\n  \"multi_uarch\": {{\n    \"uarchs\": {n_uarchs},\n    \"items\": {sweep_n},\n    \"cold_cache_secs\": {:.6},\n    \"cold_cache_blocks_per_sec\": {:.1},\n    \"warm_cache_secs\": {:.6},\n    \"warm_cache_blocks_per_sec\": {:.1},\n    \"decode_hits\": {},\n    \"decode_misses\": {},\n    \"annotate_misses\": {}\n  }},\n  \"parallel_speedup_warm\": {:.3},\n  \"warm_over_cold_speedup_parallel\": {:.3},\n  \"planner\": {{ \"items\": {}, \"deduped\": {} }},\n  \"annotation_cache\": {{ \"hits\": {}, \"misses\": {}, \"decode_hits\": {}, \"decode_misses\": {}, \"entries\": {}, \"blocks\": {} }},\n  \"intern_table\": {{ \"hits\": {}, \"misses\": {}, \"core_hits\": {}, \"core_misses\": {}, \"byte_entries\": {}, \"entries\": {} }},\n  \"solver_paths\": {{ \"acyclic\": {}, \"simple_cycle\": {}, \"longest_path\": {}, \"howard\": {} }},\n  \"static_tables\": {{ \"hits\": {}, \"fallbacks\": {}, \"coverage\": {:.4} }},\n  \"annotation_passes\": [\n{}\n  ],\n  \"kernels\": [\n{}\n  ],\n  \"deterministic_across_threads\": true,\n  \"determinism_check_threads\": {check_threads}\n}}\n",
         cold_single.secs,
         cold_single.blocks_per_sec,
         warm_single.secs,
@@ -216,6 +250,10 @@ fn main() {
         solver.simple_cycle,
         solver.longest_path,
         solver.howard,
+        tables.hits,
+        tables.fallbacks,
+        tables.coverage(),
+        pass_json.join(",\n"),
         kernel_json.join(",\n"),
         rows = rows_single.len(),
         n_uarchs = Uarch::ALL.len(),

@@ -1,0 +1,7 @@
+//! Print the FNV-1a hash of the generated descriptor tables, formatted
+//! exactly as `crates/isa/tables.lock` pins it. To accept an intentional
+//! table change: `cargo run -p facile-bench --bin table_hash > crates/isa/tables.lock`.
+
+fn main() {
+    println!("{:#018x}", facile_isa::TABLE_HASH);
+}

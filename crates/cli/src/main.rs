@@ -317,11 +317,21 @@ fn emit_stats<W: Write + ?Sized>(
                 i.byte_entries,
                 i.entries
             );
+            let s = t.static_tables;
+            eprintln!(
+                "stats: static tables {} hits / {} fallbacks ({:.1}% coverage)",
+                s.hits,
+                s.fallbacks,
+                s.coverage() * 100.0
+            );
             for (c, k) in t.kernel_rows() {
                 eprintln!(
-                    "stats: kernel {} mean {:.2} us / max {:.2} us over {} calls",
+                    "stats: kernel {} mean {:.2} us / p50 {:.2} us / p99 {:.2} us / max {:.2} us \
+                     over {} calls",
                     c.name(),
                     k.mean_us,
+                    k.p50_us,
+                    k.p99_us,
                     k.max_us,
                     k.count
                 );

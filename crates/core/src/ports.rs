@@ -35,23 +35,18 @@ pub struct PortsAnalysis {
 
 /// Occupancy-weighted µops of the block, grouped by port mask.
 ///
-/// µops of eliminated instructions and macro-fused branches never reach the
-/// ports and are excluded (the fused pair's µops are attributed to the
-/// pair's head instruction).
+/// Aggregates the annotation's precomputed µop column: µops of
+/// eliminated instructions and macro-fused branches never reach the
+/// ports and are already filtered out of it (the fused pair's µops are
+/// attributed to the pair's head instruction), so this is one linear
+/// pass over a flat `(mask, occupancy)` array instead of a walk over
+/// per-instruction descriptor lists.
 fn port_loads(ab: &AnnotatedBlock, loads: &mut SmallVec<(PortMask, f64), INLINE_MASKS>) {
     loads.clear();
-    for a in ab.insts() {
-        if a.desc().eliminated {
-            continue;
-        }
-        for u in &a.desc().uops {
-            if u.ports.is_empty() {
-                continue;
-            }
-            match loads.as_mut_slice().iter_mut().find(|(m, _)| *m == u.ports) {
-                Some((_, w)) => *w += f64::from(u.occupancy),
-                None => loads.push((u.ports, f64::from(u.occupancy))),
-            }
+    for &(ports, occupancy) in &ab.columns().port_uops {
+        match loads.as_mut_slice().iter_mut().find(|(m, _)| *m == ports) {
+            Some((_, w)) => *w += f64::from(occupancy),
+            None => loads.push((ports, f64::from(occupancy))),
         }
     }
 }

@@ -59,8 +59,15 @@ impl Rng {
 /// shared scratch pool instead of per-flow vectors, so building the
 /// dependence graph of a block allocates nothing once the thread-local
 /// scratch has warmed up.
+///
+/// Generic over the value representation `V`: the chain-extraction path
+/// works on typed [`Value`]s (which the rendered chain needs), while
+/// the bound-only hot path works on the dense `u32` value ids the
+/// annotation's columns provide. Graph construction only ever compares
+/// values for equality, and the column interning is bijective with the
+/// typed identity, so both representations build the same graph.
 #[derive(Debug, Clone, Copy)]
-struct FlowMeta {
+struct FlowMeta<V> {
     /// Original index in the annotated block.
     index: u32,
     consumed: Rng,
@@ -73,13 +80,13 @@ struct FlowMeta {
     cnodes: Rng,
     pnodes: Rng,
     latency: f64,
-    stores_mem: Option<Value>,
+    stores_mem: Option<V>,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct NodeMeta {
+struct NodeMeta<V> {
     flow: u32,
-    value: Value,
+    value: V,
     produced: bool,
 }
 
@@ -87,16 +94,23 @@ struct NodeMeta {
 #[derive(Debug, Default)]
 struct PrecScratch {
     vals: Vec<Value>,
-    flows: Vec<FlowMeta>,
-    nodes: Vec<NodeMeta>,
+    flows: Vec<FlowMeta<Value>>,
+    nodes: Vec<NodeMeta<Value>>,
+    /// Id-typed twins of `flows`/`nodes` for the column-driven bound
+    /// path (the two paths never run concurrently, but keeping the
+    /// pools separate lets each stay warm at its own size).
+    flows_id: Vec<FlowMeta<u32>>,
+    nodes_id: Vec<NodeMeta<u32>>,
     /// Graph node id of each `vals` entry (filled during node creation,
     /// so edge construction never re-scans a node range for a value).
     val_node: Vec<u32>,
     graph: RatioGraph,
-    /// Last-writer table: one entry per distinct produced value (blocks
-    /// produce a few dozen distinct values at most, so a linear scan
-    /// beats hashing).
+    /// Last-writer table of the typed path: one entry per distinct
+    /// produced value (blocks produce a few dozen distinct values at
+    /// most, so a linear scan beats hashing).
     writers: Vec<Writer>,
+    /// Last-writer table of the id path, indexed directly by value id.
+    last_writer: Vec<DenseWriter>,
 }
 
 /// One last-writer entry: the value, the flow that last produced it
@@ -108,6 +122,16 @@ struct Writer {
     flow_tag: u32,
     pnode: u32,
 }
+
+/// A [`Writer`] slot of the direct-indexed id-path table; `flow_tag ==
+/// NO_WRITER` marks a value never produced in the block.
+#[derive(Debug, Clone, Copy)]
+struct DenseWriter {
+    flow_tag: u32,
+    pnode: u32,
+}
+
+const NO_WRITER: u32 = u32::MAX;
 
 /// High bit of [`Writer::flow_tag`]: the entry still refers to the
 /// previous iteration's producer, so a consumer resolving to it is
@@ -131,7 +155,7 @@ fn dedup_tail(vals: &mut Vec<Value>, start: usize) {
     vals.truncate(w);
 }
 
-fn build_flows(ab: &AnnotatedBlock, vals: &mut Vec<Value>, flows: &mut Vec<FlowMeta>) {
+fn build_flows(ab: &AnnotatedBlock, vals: &mut Vec<Value>, flows: &mut Vec<FlowMeta<Value>>) {
     vals.clear();
     flows.clear();
     for (index, a) in ab.insts().iter().enumerate() {
@@ -209,16 +233,14 @@ fn build_flows(ab: &AnnotatedBlock, vals: &mut Vec<Value>, flows: &mut Vec<FlowM
 /// `(value, producer)` entry per distinct produced value — replacing the
 /// former per-consumer backward scan over all flows, which was quadratic
 /// in block length and dominated graph construction on long blocks.
-fn build_graph(
-    ab: &AnnotatedBlock,
-    vals: &[Value],
-    flows: &mut [FlowMeta],
-    nodes: &mut Vec<NodeMeta>,
+fn build_graph<V: Copy + PartialEq>(
+    load_lat: f64,
+    vals: &[V],
+    flows: &mut [FlowMeta<V>],
+    nodes: &mut Vec<NodeMeta<V>>,
     val_node: &mut Vec<u32>,
     graph: &mut RatioGraph,
 ) {
-    let load_lat = f64::from(ab.uarch().config().load_latency);
-
     // First pass: create all nodes so the graph size is known, recording
     // each value entry's node id as it is resolved. Within a flow and
     // role, values are deduplicated (the lists only ever hold a handful
@@ -300,7 +322,7 @@ fn build_graph(
 /// the solver outright).
 fn add_dependence_edges(
     vals: &[Value],
-    flows: &[FlowMeta],
+    flows: &[FlowMeta<Value>],
     val_node: &[u32],
     graph: &mut RatioGraph,
     writers: &mut Vec<Writer>,
@@ -352,11 +374,137 @@ fn add_dependence_edges(
     any_carried
 }
 
+/// [`add_dependence_edges`] for the id-typed path: value ids are dense
+/// (`0..n_values`), so the last-writer table is indexed directly
+/// instead of linearly scanned. Seed order, sweep order, and therefore
+/// edge-insertion order are identical to the typed version, which keeps
+/// the two graphs — and the solved bounds — bit-identical.
+fn add_dependence_edges_dense(
+    ids: &[u32],
+    flows: &[FlowMeta<u32>],
+    val_node: &[u32],
+    graph: &mut RatioGraph,
+    last_writer: &mut Vec<DenseWriter>,
+    n_values: usize,
+) -> bool {
+    last_writer.clear();
+    last_writer.resize(
+        n_values,
+        DenseWriter {
+            flow_tag: NO_WRITER,
+            pnode: 0,
+        },
+    );
+    for (i, f) in flows.iter().enumerate() {
+        for pi in f.produced.iter() {
+            last_writer[ids[pi] as usize] = DenseWriter {
+                flow_tag: i as u32 | WRAP,
+                pnode: val_node[pi],
+            };
+        }
+    }
+    let mut any_carried = false;
+    for (j, f) in flows.iter().enumerate() {
+        for ci in f.consumed.iter() {
+            let w = last_writer[ids[ci] as usize];
+            if w.flow_tag != NO_WRITER {
+                let count = u32::from(w.flow_tag & WRAP != 0);
+                any_carried |= count != 0;
+                graph.add_edge(w.pnode as usize, val_node[ci] as usize, 0.0, count);
+            }
+        }
+        for pi in f.produced.iter() {
+            last_writer[ids[pi] as usize] = DenseWriter {
+                flow_tag: j as u32,
+                pnode: val_node[pi],
+            };
+        }
+    }
+    any_carried
+}
+
+/// Build the dependence graph into the scratch from the annotation's
+/// precomputed dataflow columns (the bound-only hot path: no typed
+/// values, no effects walk — the flow summaries and interned value ids
+/// come straight off the block). Returns `None` when the block has no
+/// flows, otherwise whether any loop-carried edge exists.
+fn build_graph_from_columns(ab: &AnnotatedBlock, s: &mut PrecScratch) -> Option<bool> {
+    let cols = ab.columns();
+    if cols.flows.is_empty() {
+        return None;
+    }
+    let load_lat = f64::from(ab.uarch().config().load_latency);
+    let PrecScratch {
+        flows_id,
+        nodes_id,
+        val_node,
+        graph,
+        last_writer,
+        ..
+    } = s;
+    flows_id.clear();
+    flows_id.extend(cols.flows.iter().map(|f| FlowMeta {
+        index: f.index,
+        consumed: Rng {
+            start: f.consumed.0,
+            end: f.consumed.1,
+        },
+        produced: Rng {
+            start: f.produced.0,
+            end: f.produced.1,
+        },
+        via_load: Rng {
+            start: f.via_load.0,
+            end: f.via_load.1,
+        },
+        cnodes: Rng::default(),
+        pnodes: Rng::default(),
+        latency: f64::from(f.latency),
+        stores_mem: (f.stores_id != facile_isa::cols::NO_VALUE).then_some(f.stores_id),
+    }));
+    build_graph(load_lat, &cols.ids, flows_id, nodes_id, val_node, graph);
+    Some(add_dependence_edges_dense(
+        &cols.ids,
+        flows_id,
+        val_node,
+        graph,
+        last_writer,
+        cols.n_values as usize,
+    ))
+}
+
 fn precedence_with(
     ab: &AnnotatedBlock,
     s: &mut PrecScratch,
     want_chain: bool,
 ) -> PrecedenceAnalysis {
+    // Bound-only queries (the batch hot path) build the graph from the
+    // annotation's struct-of-arrays columns and solve it with the
+    // structure-aware SCC solver; chain extraction rebuilds the typed
+    // dataflow (the rendered chain needs the values) and stays on the
+    // full Howard reference, whose critical-cycle choice — including
+    // its rotation — is what the golden reports pin byte-for-byte. The
+    // two paths agree bit-identically on the bound (property-tested).
+    if !want_chain {
+        let bound = match build_graph_from_columns(ab, s) {
+            // No flows, or no loop-carried dependence: intra edges
+            // point consumed -> produced within a flow and count-0
+            // dependence edges point to a strictly later flow, so the
+            // graph is acyclic by construction — no solver call needed.
+            None | Some(false) => 0.0,
+            Some(true) => match solve_value(&s.graph) {
+                Mcr::Acyclic => 0.0,
+                // Cannot occur: every cycle crosses an iteration boundary.
+                Mcr::Unbounded => f64::INFINITY,
+                Mcr::Ratio { value, .. } => value,
+            },
+        };
+        return PrecedenceAnalysis {
+            bound,
+            critical_chain: Vec::new(),
+        };
+    }
+
     let PrecScratch {
         vals,
         flows,
@@ -364,6 +512,7 @@ fn precedence_with(
         val_node,
         graph,
         writers,
+        ..
     } = s;
     build_flows(ab, vals, flows);
     if flows.is_empty() {
@@ -372,30 +521,16 @@ fn precedence_with(
             critical_chain: Vec::new(),
         };
     }
-    build_graph(ab, vals, flows, nodes, val_node, graph);
+    let load_lat = f64::from(ab.uarch().config().load_latency);
+    build_graph(load_lat, vals, flows, nodes, val_node, graph);
     let any_carried = add_dependence_edges(vals, flows, val_node, graph, writers);
     if !any_carried {
-        // No loop-carried dependence: intra edges point consumed ->
-        // produced within a flow and count-0 dependence edges point to a
-        // strictly later flow, so the graph is acyclic by construction —
-        // no solver call needed.
         return PrecedenceAnalysis {
             bound: 0.0,
             critical_chain: Vec::new(),
         };
     }
-
-    // Bound-only queries (the batch hot path) go through the
-    // structure-aware SCC solver; chain extraction stays on the full
-    // Howard reference, whose critical-cycle choice — including its
-    // rotation — is what the golden reports pin byte-for-byte. The two
-    // agree bit-identically on the bound (property-tested).
-    let mcr = if want_chain {
-        solve_reference(graph)
-    } else {
-        solve_value(graph)
-    };
-    match mcr {
+    match solve_reference(graph) {
         Mcr::Acyclic => PrecedenceAnalysis {
             bound: 0.0,
             critical_chain: Vec::new(),
@@ -407,17 +542,10 @@ fn precedence_with(
                 critical_chain: Vec::new(),
             }
         }
-        Mcr::Ratio { value, cycle } => {
-            let critical_chain = if want_chain {
-                typed_chain(&cycle, nodes, flows, graph)
-            } else {
-                Vec::new()
-            };
-            PrecedenceAnalysis {
-                bound: value,
-                critical_chain,
-            }
-        }
+        Mcr::Ratio { value, cycle } => PrecedenceAnalysis {
+            bound: value,
+            critical_chain: typed_chain(&cycle, nodes, flows, graph),
+        },
     }
 }
 
@@ -432,8 +560,8 @@ fn precedence_with(
 /// `Σ latency / #loop-carried` over the chain equals the bound.
 fn typed_chain(
     cycle: &[usize],
-    nodes: &[NodeMeta],
-    flows: &[FlowMeta],
+    nodes: &[NodeMeta<Value>],
+    flows: &[FlowMeta<Value>],
     graph: &RatioGraph,
 ) -> Vec<ChainStep> {
     let len = cycle.len();
@@ -469,27 +597,18 @@ fn typed_chain(
 }
 
 /// Build the dependence graph only (no MCR solve): a measurement hook
-/// for the perf harness, returning the graph's `(nodes, edges)`.
+/// for the perf harness, returning the graph's `(nodes, edges)`. Uses
+/// the column-driven construction — the same one the batch hot path
+/// runs.
 #[doc(hidden)]
 #[must_use]
 pub fn graph_size(ab: &AnnotatedBlock) -> (usize, usize) {
     PREC_SCRATCH.with(|s| {
-        let sc = &mut s.borrow_mut();
-        let PrecScratch {
-            vals,
-            flows,
-            nodes,
-            val_node,
-            graph,
-            writers,
-        } = &mut **sc;
-        build_flows(ab, vals, flows);
-        if flows.is_empty() {
+        let sc = &mut *s.borrow_mut();
+        if build_graph_from_columns(ab, sc).is_none() {
             return (0, 0);
         }
-        build_graph(ab, vals, flows, nodes, val_node, graph);
-        add_dependence_edges(vals, flows, val_node, graph, writers);
-        (graph.num_nodes(), graph.num_edges())
+        (sc.graph.num_nodes(), sc.graph.num_edges())
     })
 }
 

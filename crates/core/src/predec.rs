@@ -20,11 +20,6 @@ struct PredecScratch {
     l_cnt: Vec<u32>,
     o_cnt: Vec<u32>,
     lcp_cnt: Vec<u32>,
-    /// Per-instruction placement facts `(last byte, opcode byte, lcp)`,
-    /// hoisted out of the unrolled-copies loop (reading them through the
-    /// annotation's interned entry once per *copy* was a dominant share
-    /// of this kernel's time).
-    insts: Vec<(u32, u32, bool)>,
 }
 
 thread_local! {
@@ -79,22 +74,15 @@ fn predec_impl(ab: &AnnotatedBlock, mode: Mode, evidence: Option<&mut PredecEvid
             c.clear();
             c.resize(n_blocks, 0);
         }
-        // Per-instruction placement facts, read from the interned entry
-        // once (not once per unrolled copy).
-        s.insts.clear();
-        s.insts.extend(ab.insts().iter().map(|a| {
-            let inst = a.inst();
-            (
-                (a.start + inst.len as usize - 1) as u32,
-                (a.start + inst.opcode_offset as usize) as u32,
-                inst.has_lcp,
-            )
-        }));
+        // Per-instruction placement facts come from the annotation's
+        // precomputed column — a flat array built once per block, not
+        // re-derived per prediction (let alone per unrolled copy).
+        let facts = &ab.columns().predec;
         // Placements of all instruction instances across the unrolled
         // copies, counted directly (no materialized placement list).
         for copy in 0..u {
             let base = (copy * l) as u32;
-            for &(last, opcode, has_lcp) in &s.insts {
+            for &(last, opcode, has_lcp) in facts {
                 let last_block = ((base + last) / 16) as usize;
                 let opcode_block = ((base + opcode) / 16) as usize;
                 l_cnt[last_block] += 1;
@@ -132,7 +120,7 @@ fn predec_impl(ab: &AnnotatedBlock, mode: Mode, evidence: Option<&mut PredecEvid
             *ev = PredecEvidence {
                 unroll_copies: u as u32,
                 chunks: n_blocks as u32,
-                lcp_insts: ab.insts().iter().filter(|a| a.inst().has_lcp).count() as u32,
+                lcp_insts: ab.columns().lcp_insts,
                 boundary_crossings: o_cnt.iter().sum(),
                 base_cycles: base / u as f64,
                 lcp_penalty_cycles: penalty / u as f64,

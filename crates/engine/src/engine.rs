@@ -25,6 +25,12 @@ pub enum BlockInput {
     Bytes(Vec<u8>),
     /// An already-decoded block.
     Block(Block),
+    /// An already-decoded block behind a shared handle. The engine
+    /// registers the `Arc` in its level-1 cache instead of cloning the
+    /// block's bytes, so one decoded block fanned out over many items
+    /// (the multi-uarch matrix, the server's cross-connection batches)
+    /// costs one allocation total, not one per item.
+    Shared(Arc<Block>),
 }
 
 impl BlockInput {
@@ -50,7 +56,9 @@ impl BlockInput {
                 input: b.iter().map(|x| format!("{x:02x}")).collect(),
                 source,
             }),
-            BlockInput::Block(_) => unreachable!("pre-decoded inputs skip decode_cached"),
+            BlockInput::Block(_) | BlockInput::Shared(_) => {
+                unreachable!("pre-decoded inputs skip decode_cached")
+            }
         }
     }
 
@@ -61,6 +69,7 @@ impl BlockInput {
             BlockInput::Hex(h) => h.trim().to_lowercase(),
             BlockInput::Bytes(b) => b.iter().map(|x| format!("{x:02x}")).collect(),
             BlockInput::Block(b) => b.to_hex(),
+            BlockInput::Shared(b) => b.to_hex(),
         }
     }
 }
@@ -112,6 +121,19 @@ impl BatchItem {
     pub fn block(block: Block, uarch: Uarch) -> BatchItem {
         BatchItem {
             input: BlockInput::Block(block),
+            uarch,
+            mode: None,
+            detail: Detail::Brief,
+        }
+    }
+
+    /// An item from a shared decoded block with auto notion. Prefer this
+    /// over [`BatchItem::block`] when the same block appears in many
+    /// items: the engine shares the `Arc` instead of cloning the bytes.
+    #[must_use]
+    pub fn shared(block: Arc<Block>, uarch: Uarch) -> BatchItem {
+        BatchItem {
+            input: BlockInput::Shared(block),
             uarch,
             mode: None,
             detail: Detail::Brief,
@@ -180,6 +202,9 @@ pub struct EngineStats {
     pub annotation: CacheStats,
     /// Instruction-level descriptor intern table counters.
     pub intern: InternStats,
+    /// Generated-table coverage: annotations served from the compile-time
+    /// static descriptor tables vs. the runtime-classifier fallback.
+    pub static_tables: facile_isa::StaticTableStats,
     /// Per-kernel timing (all zero unless kernel timing is enabled),
     /// indexed by `Component as usize`.
     pub kernels: [KernelTiming; facile_core::Component::ALL.len()],
@@ -214,6 +239,7 @@ impl EngineStats {
         self.annotation.entries = self.annotation.entries.max(later.annotation.entries);
         self.annotation.blocks = self.annotation.blocks.max(later.annotation.blocks);
         self.intern = later.intern;
+        self.static_tables = later.static_tables;
         self.kernels = later.kernels;
     }
 
@@ -230,10 +256,13 @@ impl EngineStats {
             }
             let _ = write!(
                 kernels,
-                "{{\"kernel\":\"{}\",\"count\":{},\"mean_us\":{:.3},\"max_us\":{:.3}}}",
+                "{{\"kernel\":\"{}\",\"count\":{},\"mean_us\":{:.3},\
+                 \"p50_us\":{:.3},\"p99_us\":{:.3},\"max_us\":{:.3}}}",
                 c.name(),
                 k.count,
                 k.mean_us,
+                k.p50_us,
+                k.p99_us,
                 k.max_us
             );
         }
@@ -242,7 +271,9 @@ impl EngineStats {
              \"block_cache\":{{\"decode_hits\":{},\"decode_misses\":{},\"annotate_hits\":{},\
              \"annotate_misses\":{},\"blocks\":{},\"annotations\":{}}},\
              \"intern_table\":{{\"hits\":{},\"misses\":{},\"core_hits\":{},\"core_misses\":{},\
-             \"byte_entries\":{},\"entries\":{}}},\"kernels\":[{kernels}]}}",
+             \"byte_entries\":{},\"entries\":{}}},\
+             \"static_tables\":{{\"hits\":{},\"fallbacks\":{},\"coverage\":{:.4}}},\
+             \"kernels\":[{kernels}]}}",
             self.planner.items,
             self.planner.deduped,
             self.annotation.decode_hits,
@@ -257,6 +288,9 @@ impl EngineStats {
             self.intern.core_misses,
             self.intern.byte_entries,
             self.intern.entries,
+            self.static_tables.hits,
+            self.static_tables.fallbacks,
+            self.static_tables.coverage(),
         )
     }
 }
@@ -350,6 +384,7 @@ impl Engine {
             },
             annotation: self.cache.stats(),
             intern: facile_isa::intern_stats(),
+            static_tables: facile_isa::static_table_stats(),
             kernels: facile_core::timing::snapshot(),
         }
     }
@@ -360,6 +395,10 @@ impl Engine {
     /// doesn't pay unless asked to.
     pub fn set_kernel_timing(enabled: bool) {
         facile_core::timing::set_enabled(enabled);
+        // The annotation-side passes (table lookup + column build) run
+        // outside the core kernels but report through the same stats
+        // snapshot, so one switch governs both.
+        facile_isa::cols::set_pass_timing(enabled);
     }
 
     /// Drop all cached annotations. (The process-wide intern table is
@@ -468,6 +507,7 @@ impl Engine {
             // batch (or, in the server, the process).
             catch_unwind(AssertUnwindSafe(|| match &item.input {
                 BlockInput::Block(b) => self.prepare(b, item),
+                BlockInput::Shared(b) => self.prepare_shared(b, item),
                 other => match other.decode_cached(&self.cache) {
                     Ok(block) => self.prepare_shared(&block, item),
                     Err(e) => Prepared {
@@ -580,6 +620,7 @@ impl Engine {
         for (i, item) in items.iter().enumerate() {
             let input = match &item.input {
                 BlockInput::Block(b) => InputKey::Bytes(b.bytes()),
+                BlockInput::Shared(b) => InputKey::Bytes(b.bytes()),
                 BlockInput::Bytes(b) => InputKey::Bytes(b),
                 BlockInput::Hex(h) => InputKey::Hex(h.trim()),
             };
@@ -648,12 +689,19 @@ impl Engine {
         }))
     }
 
-    /// Cross-product convenience: `blocks × uarchs` as batch items.
+    /// Cross-product convenience: `blocks × uarchs` as batch items. Each
+    /// block is cloned once into a shared handle and every uarch item
+    /// shares it, so an `N × U` matrix costs `N` block clones, not `N·U`.
     #[must_use]
     pub fn matrix_items(blocks: &[Block], uarchs: &[Uarch]) -> Vec<BatchItem> {
         blocks
             .iter()
-            .flat_map(|b| uarchs.iter().map(|&u| BatchItem::block(b.clone(), u)))
+            .flat_map(|b| {
+                let shared = Arc::new(b.clone());
+                uarchs
+                    .iter()
+                    .map(move |&u| BatchItem::shared(Arc::clone(&shared), u))
+            })
             .collect()
     }
 

@@ -1,20 +1,30 @@
 //! Annotated basic blocks: instructions paired with their performance
 //! descriptors and macro-fusion structure for one microarchitecture.
 
-use crate::classify::{describe, describe_fused_pair, macro_fuses};
+use crate::classify::{
+    describe, describe_fused_pair, describe_fused_pair_with_effects, macro_fuses,
+};
+use crate::cols::{self, BlockColumns};
 use crate::desc::InstrDesc;
+use crate::form::shape_key;
 use crate::intern::InternedInst as Interned;
 use crate::intern::{interner, DescInterner, InternedInst};
+use crate::tables;
 use facile_uarch::Uarch;
 use facile_x86::{Block, Effects, Inst};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The descriptor of a macro-fused branch: invisible to the decoders and
 /// the back end (the pair's µops are attributed to the head instruction).
 static FUSED_TAIL_DESC: InstrDesc = InstrDesc {
     fused_uops: 0,
     issue_uops: 0,
-    uops: Vec::new(),
+    uops: facile_util::SmallVec::empty_with(crate::desc::Uop {
+        ports: facile_uarch::PortMask(0),
+        kind: crate::desc::UopKind::Compute,
+        occupancy: 0,
+    }),
     complex_decoder: false,
     simple_decoders_after: 0,
     eliminated: true,
@@ -22,16 +32,46 @@ static FUSED_TAIL_DESC: InstrDesc = InstrDesc {
     load_latency_extra: 0,
 };
 
+/// Where an annotated instruction's descriptor comes from.
+///
+/// The three variants are observationally identical (same `inst`,
+/// `effects`, and `desc` through the accessors); they differ only in
+/// how the data was obtained and therefore what annotation paid for it.
+#[derive(Debug, Clone)]
+enum DescEntry {
+    /// A shared entry in the process-wide descriptor intern table: the
+    /// runtime-classified fallback for forms outside the static tables,
+    /// the uninterned reference path, and snapshot restore.
+    Interned(Arc<InternedInst>),
+    /// Served from the build-time static tables: the descriptor is a
+    /// `&'static` borrow — no classifier run, no interner hashing or
+    /// locking, no shared allocation. Effects are *not* stored: the hot
+    /// kernels read the block's precomputed columns, and the few
+    /// remaining consumers recompute them on demand, keeping the
+    /// retained annotation (and the cache's page-fault footprint)
+    /// small.
+    Static {
+        inst: Inst,
+        desc: &'static InstrDesc,
+    },
+    /// A macro-fused pair head. Pair descriptors are trivial (a branch
+    /// µop plus an optional load), so they are built inline instead of
+    /// being interned by pair bytes. Boxed so this variant doesn't set
+    /// the size of every annotated instruction.
+    Pair { inst: Inst, desc: Box<InstrDesc> },
+}
+
 /// One instruction of an annotated block.
 ///
-/// Holds an `Arc` reference into the process-wide descriptor intern table
-/// instead of per-occurrence clones of the instruction and its
-/// descriptor, so annotating a corpus does the heavy classification once
-/// per *distinct* instruction encoding.
-#[derive(Debug, Clone, PartialEq)]
+/// Common forms carry a `&'static` descriptor from the build-time
+/// tables; everything else holds an `Arc` reference into the
+/// process-wide descriptor intern table, so annotating a corpus does
+/// the heavy classification at most once per *distinct* instruction
+/// encoding.
+#[derive(Debug, Clone)]
 pub struct AnnotatedInst {
-    /// Shared interned entry: decoded instruction + effects + descriptor.
-    entry: Arc<InternedInst>,
+    /// Decoded instruction + effects + descriptor.
+    entry: DescEntry,
     /// Byte offset of the instruction within the block.
     pub start: usize,
     /// Whether this instruction is macro-fused with the *preceding*
@@ -39,12 +79,28 @@ pub struct AnnotatedInst {
     pub fused_with_prev: bool,
 }
 
+/// Equality is semantic — the observable instruction, effects, and
+/// descriptor — so a table-served annotation compares equal to an
+/// interned or reference-path annotation of the same instruction.
+impl PartialEq for AnnotatedInst {
+    fn eq(&self, other: &Self) -> bool {
+        self.start == other.start
+            && self.fused_with_prev == other.fused_with_prev
+            && self.inst() == other.inst()
+            && self.effects() == other.effects()
+            && self.desc() == other.desc()
+    }
+}
+
 impl AnnotatedInst {
     /// The decoded instruction. For a macro-fused producer this is the
     /// producer itself (e.g. the `cmp` of a `cmp+jcc` pair).
     #[must_use]
     pub fn inst(&self) -> &Inst {
-        self.entry.inst()
+        match &self.entry {
+            DescEntry::Interned(e) => e.inst(),
+            DescEntry::Static { inst, .. } | DescEntry::Pair { inst, .. } => inst,
+        }
     }
 
     /// The performance descriptor on the block's microarchitecture. For a
@@ -53,18 +109,30 @@ impl AnnotatedInst {
     #[must_use]
     pub fn desc(&self) -> &InstrDesc {
         if self.fused_with_prev {
-            &FUSED_TAIL_DESC
-        } else {
-            &self.entry.desc
+            return &FUSED_TAIL_DESC;
+        }
+        match &self.entry {
+            DescEntry::Interned(e) => &e.desc,
+            DescEntry::Static { desc, .. } => desc,
+            DescEntry::Pair { desc, .. } => desc.as_ref(),
         }
     }
 
-    /// Architectural reads and writes of [`Self::inst`], computed once per
-    /// distinct encoding (predictors used to re-derive these on every
-    /// prediction, which dominated their allocation profile).
+    /// Architectural reads and writes of [`Self::inst`].
+    ///
+    /// Returned by value: interned entries clone their stored effects
+    /// (a couple of inline small-vectors), table-served entries derive
+    /// them from the instruction on demand. The per-prediction hot
+    /// paths never call this — they consume the precomputed
+    /// [`AnnotatedBlock::columns`] instead — so the annotation doesn't
+    /// retain a per-instruction `Effects` just to answer occasional
+    /// queries (detail rendering, simulation, snapshots).
     #[must_use]
-    pub fn effects(&self) -> &Effects {
-        self.entry.effects()
+    pub fn effects(&self) -> Effects {
+        match &self.entry {
+            DescEntry::Interned(e) => e.effects().clone(),
+            DescEntry::Static { inst, .. } | DescEntry::Pair { inst, .. } => inst.effects(),
+        }
     }
 
     /// End offset (exclusive) of this instruction.
@@ -83,7 +151,7 @@ impl AnnotatedInst {
         fused_with_prev: bool,
     ) -> AnnotatedInst {
         AnnotatedInst {
-            entry,
+            entry: DescEntry::Interned(entry),
             start,
             fused_with_prev,
         }
@@ -99,6 +167,10 @@ pub struct AnnotatedBlock {
     uarch: Uarch,
     block: Arc<Block>,
     insts: Vec<AnnotatedInst>,
+    /// Struct-of-arrays kernel inputs, built once at annotation time;
+    /// the predecoder, port, and precedence kernels run over these flat
+    /// columns instead of re-walking the instruction list.
+    cols: BlockColumns,
     // µop totals are consumed by several per-prediction bounds; cache them
     // at annotation time so predictions don't re-walk the block.
     total_fused: u32,
@@ -132,57 +204,110 @@ impl AnnotatedBlock {
     }
 
     fn build(block: Arc<Block>, uarch: Uarch, table: Option<&DescInterner>) -> AnnotatedBlock {
+        let t_annotate = cols::timing_enabled().then(Instant::now);
         let cfg = uarch.config();
         let raw = block.insts();
         let bytes = block.bytes();
-        let single = |i: usize| -> Arc<InternedInst> {
+        // Each entry comes paired with the instruction's effects: the
+        // column builder consumes them transiently, so table-served
+        // entries never pay for the effects walk twice and never retain
+        // the result.
+        let single = |i: usize| -> (DescEntry, Effects) {
+            let Some(t) = table else {
+                // The uninterned reference path stays entirely on the
+                // runtime classifier — it is the oracle the static
+                // tables are tested against.
+                let entry = Arc::new(Interned::uninterned(raw[i].clone(), describe(&raw[i], cfg)));
+                let effects = entry.effects().clone();
+                return (DescEntry::Interned(entry), effects);
+            };
+            // Fast path: serve the descriptor from the build-time static
+            // tables, skipping the classifier and the interner.
+            let effects = raw[i].effects();
+            if let Some(desc) = tables::lookup(raw[i].mnemonic, shape_key(&raw[i], &effects), uarch)
+            {
+                return (
+                    DescEntry::Static {
+                        inst: raw[i].clone(),
+                        desc,
+                    },
+                    effects,
+                );
+            }
             let start = block.offset(i);
             let end = start + raw[i].len as usize;
-            match table {
-                Some(t) => t.single(&bytes[start..end], &raw[i], cfg),
-                None => Arc::new(Interned::uninterned(raw[i].clone(), describe(&raw[i], cfg))),
-            }
+            (
+                DescEntry::Interned(t.single(&bytes[start..end], &raw[i], cfg)),
+                effects,
+            )
         };
         let mut insts: Vec<AnnotatedInst> = Vec::with_capacity(raw.len());
+        let mut effs: Vec<Effects> = Vec::with_capacity(raw.len());
         let mut i = 0;
         while i < raw.len() {
             let start = block.offset(i);
             if i + 1 < raw.len() && macro_fuses(&raw[i], &raw[i + 1], cfg) {
-                let pair_end = block.offset(i + 1) + raw[i + 1].len as usize;
-                let pair = match table {
-                    Some(t) => t.pair(&bytes[start..pair_end], &raw[i], &raw[i + 1], cfg),
-                    None => Arc::new(Interned::uninterned(
+                let (pair, effects) = if table.is_some() {
+                    // Pair descriptors are a branch µop plus an optional
+                    // load: cheaper to rebuild than to intern.
+                    let effects = raw[i].effects();
+                    let desc = describe_fused_pair_with_effects(&raw[i], &effects, cfg);
+                    (
+                        DescEntry::Pair {
+                            inst: raw[i].clone(),
+                            desc: Box::new(desc),
+                        },
+                        effects,
+                    )
+                } else {
+                    let entry = Arc::new(Interned::uninterned(
                         raw[i].clone(),
                         describe_fused_pair(&raw[i], &raw[i + 1], cfg),
-                    )),
+                    ));
+                    let effects = entry.effects().clone();
+                    (DescEntry::Interned(entry), effects)
                 };
                 insts.push(AnnotatedInst {
                     entry: pair,
                     start,
                     fused_with_prev: false,
                 });
+                effs.push(effects);
+                let (entry, effects) = single(i + 1);
                 insts.push(AnnotatedInst {
-                    entry: single(i + 1),
+                    entry,
                     start: block.offset(i + 1),
                     fused_with_prev: true,
                 });
+                effs.push(effects);
                 i += 2;
             } else {
+                let (entry, effects) = single(i);
                 insts.push(AnnotatedInst {
-                    entry: single(i),
+                    entry,
                     start,
                     fused_with_prev: false,
                 });
+                effs.push(effects);
                 i += 1;
             }
+        }
+        let t_cols = cols::timing_enabled().then(Instant::now);
+        let cols = BlockColumns::build(&insts, &effs);
+        if let Some(t) = t_cols {
+            cols::record_columns(t.elapsed());
         }
         let total_fused = insts.iter().map(|a| u32::from(a.desc().fused_uops)).sum();
         let total_issue = insts.iter().map(|a| u32::from(a.desc().issue_uops)).sum();
         let total_unfused = insts.iter().map(|a| a.desc().unfused_uops() as u32).sum();
+        if let Some(t) = t_annotate {
+            cols::record_annotate(t.elapsed());
+        }
         AnnotatedBlock {
             uarch,
             block,
             insts,
+            cols,
             total_fused,
             total_issue,
             total_unfused,
@@ -201,6 +326,8 @@ impl AnnotatedBlock {
         uarch: Uarch,
         insts: Vec<AnnotatedInst>,
     ) -> AnnotatedBlock {
+        let effs: Vec<Effects> = insts.iter().map(AnnotatedInst::effects).collect();
+        let cols = BlockColumns::build(&insts, &effs);
         let total_fused = insts.iter().map(|a| u32::from(a.desc().fused_uops)).sum();
         let total_issue = insts.iter().map(|a| u32::from(a.desc().issue_uops)).sum();
         let total_unfused = insts.iter().map(|a| a.desc().unfused_uops() as u32).sum();
@@ -208,6 +335,7 @@ impl AnnotatedBlock {
             uarch,
             block,
             insts,
+            cols,
             total_fused,
             total_issue,
             total_unfused,
@@ -230,6 +358,13 @@ impl AnnotatedBlock {
     #[must_use]
     pub fn insts(&self) -> &[AnnotatedInst] {
         &self.insts
+    }
+
+    /// The block's struct-of-arrays kernel columns (placement facts,
+    /// dispatched µops, interned dataflow), built at annotation time.
+    #[must_use]
+    pub fn columns(&self) -> &BlockColumns {
+        &self.cols
     }
 
     /// Instructions as seen *after* macro fusion (fused branches skipped).

@@ -5,8 +5,9 @@
 //! µop breakdown, port bindings, latencies, and decode/rename properties on
 //! each microarchitecture.
 
-use crate::desc::{InstrDesc, Uop, UopKind};
+use crate::desc::{InstrDesc, Uop, UopKind, MAX_UOPS};
 use facile_uarch::{PortMask, Uarch, UarchConfig, UnlaminationPolicy};
+use facile_util::SmallVec;
 use facile_x86::{Effects, Inst, Mem, Mnemonic, Operand};
 
 /// Per-era latency parameters (cycles).
@@ -59,22 +60,24 @@ fn latencies(arch: Uarch) -> Lat {
 }
 
 /// The compute portion of an instruction: port-bound µops plus latency.
+/// The widest compute part (memory-free `xchg`) has three µops, so the
+/// buffer never spills.
 struct Compute {
-    uops: Vec<Uop>,
+    uops: SmallVec<Uop, 3>,
     latency: u8,
 }
 
 impl Compute {
     fn none() -> Compute {
         Compute {
-            uops: Vec::new(),
+            uops: SmallVec::new(),
             latency: 0,
         }
     }
 
     fn one(ports: PortMask, latency: u8) -> Compute {
         Compute {
-            uops: vec![Uop::compute(ports)],
+            uops: SmallVec::from_slice(&[Uop::compute(ports)]),
             latency,
         }
     }
@@ -112,7 +115,7 @@ fn compute_part(inst: &Inst, cfg: &UarchConfig) -> Compute {
             }
         }
         Xchg => Compute {
-            uops: vec![Uop::compute(p.alu); 3],
+            uops: SmallVec::from_slice(&[Uop::compute(p.alu); 3]),
             latency: 1,
         },
         Lea => {
@@ -129,15 +132,15 @@ fn compute_part(inst: &Inst, cfg: &UarchConfig) -> Compute {
         Bswap => Compute::one(p.alu, 1),
         Imul => Compute::one(p.mul, lat.imul),
         Mul => Compute {
-            uops: vec![Uop::compute(p.mul), Uop::compute(p.alu)],
+            uops: SmallVec::from_slice(&[Uop::compute(p.mul), Uop::compute(p.alu)]),
             latency: 4,
         },
         Div | Idiv => Compute {
-            uops: vec![Uop::blocking(p.div, lat.idiv_occ), Uop::compute(p.alu)],
+            uops: SmallVec::from_slice(&[Uop::blocking(p.div, lat.idiv_occ), Uop::compute(p.alu)]),
             latency: lat.idiv,
         },
         Cmovcc(_) => Compute {
-            uops: vec![Uop::compute(p.alu); usize::from(lat.cmov_uops)],
+            uops: SmallVec::from_slice(&[Uop::compute(p.alu); 2][..usize::from(lat.cmov_uops)]),
             latency: lat.cmov_uops,
         },
         Push | Pop => Compute::none(), // pure store / load; RSP via stack engine
@@ -171,11 +174,11 @@ fn compute_part(inst: &Inst, cfg: &UarchConfig) -> Compute {
         }
         Vfmadd231ps | Vfmadd231pd | Vfmadd231ss | Vfmadd231sd => Compute::one(p.fp_fma, lat.fp_fma),
         Divps | Divpd | Divss | Divsd | Vdivps | Vdivpd => Compute {
-            uops: vec![Uop::blocking(p.fp_div, lat.fp_div_occ)],
+            uops: SmallVec::from_slice(&[Uop::blocking(p.fp_div, lat.fp_div_occ)]),
             latency: lat.fp_div,
         },
         Sqrtps | Sqrtpd | Sqrtss | Sqrtsd | Vsqrtps => Compute {
-            uops: vec![Uop::blocking(p.fp_div, lat.fp_sqrt_occ)],
+            uops: SmallVec::from_slice(&[Uop::blocking(p.fp_div, lat.fp_sqrt_occ)]),
             latency: lat.fp_sqrt,
         },
         Andps | Andpd | Orps | Orpd | Xorps | Xorpd | Vxorps | Vandps | Vorps => {
@@ -183,7 +186,7 @@ fn compute_part(inst: &Inst, cfg: &UarchConfig) -> Compute {
         }
         Ucomiss | Ucomisd => Compute::one(PortMask::of(&[0]), 2),
         Cvtsi2ss | Cvtsi2sd | Cvttss2si | Cvttsd2si | Cvtps2pd | Cvtpd2ps => Compute {
-            uops: vec![Uop::compute(p.fp_add), Uop::compute(p.vec_shuffle)],
+            uops: SmallVec::from_slice(&[Uop::compute(p.fp_add), Uop::compute(p.vec_shuffle)]),
             latency: lat.cvt,
         },
         Shufps | Unpcklps | Unpckhps | Pshufd | Pshufb | Punpcklbw | Punpckldq | Vshufps
@@ -200,7 +203,7 @@ fn compute_part(inst: &Inst, cfg: &UarchConfig) -> Compute {
             if lat.pmulld > 5 {
                 // two passes through the multiplier on SKL and later
                 Compute {
-                    uops: vec![Uop::compute(p.vec_imul), Uop::compute(p.vec_imul)],
+                    uops: SmallVec::from_slice(&[Uop::compute(p.vec_imul); 2]),
                     latency: lat.pmulld,
                 }
             } else {
@@ -215,15 +218,14 @@ fn compute_part(inst: &Inst, cfg: &UarchConfig) -> Compute {
 
 /// How many register/flag inputs feed the compute µop (used by the
 /// Haswell+ unlamination heuristic).
-fn compute_inputs(inst: &Inst) -> usize {
-    let e = inst.effects();
+pub(crate) fn compute_inputs(e: &Effects) -> usize {
     let mem_regs: usize = e.mem.map_or(0, |m| m.addr_regs().count());
     let reg_inputs = e.reg_reads.len() - mem_regs.min(e.reg_reads.len());
     reg_inputs + usize::from(e.flags_read != 0)
 }
 
 /// Whether a micro-fused memory µop unlaminates at rename.
-fn unlaminates(inst: &Inst, mem: Mem, cfg: &UarchConfig) -> bool {
+fn unlaminates(e: &Effects, mem: Mem, cfg: &UarchConfig) -> bool {
     if !mem.is_indexed() {
         return false;
     }
@@ -232,7 +234,7 @@ fn unlaminates(inst: &Inst, mem: Mem, cfg: &UarchConfig) -> bool {
         // Haswell and later keep simple indexed loads fused; indexed
         // operations with two or more other inputs (RMW, cmp reg, …)
         // unlaminate.
-        UnlaminationPolicy::IndexedRmw => inst.effects().stores || compute_inputs(inst) >= 2,
+        UnlaminationPolicy::IndexedRmw => e.stores || compute_inputs(e) >= 2,
     }
 }
 
@@ -259,7 +261,7 @@ pub fn describe_with_effects(inst: &Inst, effects: &Effects, cfg: &UarchConfig) 
         return InstrDesc {
             fused_uops: 1,
             issue_uops: 1,
-            uops: Vec::new(),
+            uops: SmallVec::new(),
             complex_decoder: false,
             simple_decoders_after: 0,
             eliminated: true,
@@ -281,7 +283,7 @@ pub fn describe_with_effects(inst: &Inst, effects: &Effects, cfg: &UarchConfig) 
         return InstrDesc {
             fused_uops: 1,
             issue_uops: 1,
-            uops: Vec::new(),
+            uops: SmallVec::new(),
             complex_decoder: false,
             simple_decoders_after: 0,
             eliminated: true,
@@ -296,7 +298,7 @@ pub fn describe_with_effects(inst: &Inst, effects: &Effects, cfg: &UarchConfig) 
         compute.latency = 0;
     }
 
-    let mut uops: Vec<Uop> = Vec::with_capacity(compute.uops.len() + 3);
+    let mut uops: SmallVec<Uop, MAX_UOPS> = SmallVec::new();
     let mut fused: u8;
     let mut issue: u8;
     let n_compute = compute.uops.len() as u8;
@@ -304,7 +306,7 @@ pub fn describe_with_effects(inst: &Inst, effects: &Effects, cfg: &UarchConfig) 
     if let Some(mem) = effects.mem {
         let loads = effects.loads;
         let stores = effects.stores;
-        let unlam = unlaminates(inst, mem, cfg);
+        let unlam = unlaminates(effects, mem, cfg);
         if loads {
             uops.push(Uop {
                 ports: cfg.ports.load,
@@ -453,7 +455,7 @@ pub fn describe_fused_pair_with_effects(
     effects: &Effects,
     cfg: &UarchConfig,
 ) -> InstrDesc {
-    let mut uops = Vec::with_capacity(2);
+    let mut uops: SmallVec<Uop, MAX_UOPS> = SmallVec::new();
     if effects.loads {
         uops.push(Uop {
             ports: cfg.ports.load,

@@ -3,11 +3,18 @@
 //! Facile tool.
 
 use facile_uarch::PortMask;
+use facile_util::SmallVec;
+
+/// Inline µop capacity of [`InstrDesc::uops`]: the widest classifiable
+/// form (a memory-destination `xchg`: load + three ALU µops +
+/// store-address + store-data) has 6.
+pub const MAX_UOPS: usize = 6;
 
 /// The functional kind of an unfused-domain µop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum UopKind {
     /// A computation µop (ALU, FP, vector, branch, …).
+    #[default]
     Compute,
     /// A load µop (address generation + data return).
     Load,
@@ -18,7 +25,7 @@ pub enum UopKind {
 }
 
 /// One unfused-domain µop of an instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Uop {
     /// Ports this µop may be dispatched to.
     pub ports: PortMask,
@@ -65,8 +72,10 @@ pub struct InstrDesc {
     /// Fused-domain µops after unlamination, i.e. what the renamer issues.
     pub issue_uops: u8,
     /// Unfused-domain µops dispatched to the scheduler. Empty for
-    /// eliminated moves, zero idioms, and NOPs.
-    pub uops: Vec<Uop>,
+    /// eliminated moves, zero idioms, and NOPs. Inline up to
+    /// [`MAX_UOPS`] entries, which covers every classifiable form, so a
+    /// descriptor never owns a heap allocation.
+    pub uops: SmallVec<Uop, MAX_UOPS>,
     /// Whether decoding requires the complex decoder.
     pub complex_decoder: bool,
     /// After this instruction is decoded on the complex decoder, how many

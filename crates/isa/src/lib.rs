@@ -28,10 +28,16 @@
 
 pub mod annotate;
 pub mod classify;
+pub mod cols;
 pub mod desc;
+pub mod form;
 pub mod intern;
+pub mod probes;
+pub mod tables;
 
 pub use annotate::{AnnotatedBlock, AnnotatedInst};
 pub use classify::{describe, describe_fused_pair, macro_fuses};
+pub use cols::{BlockColumns, FlowCol, PassTiming};
 pub use desc::{InstrDesc, Uop, UopKind};
 pub use intern::{intern_stats, DescInterner, InternStats, InternedInst};
+pub use tables::{reset_static_table_stats, static_table_stats, StaticTableStats, TABLE_HASH};

@@ -1,0 +1,149 @@
+//! Concrete probe instructions covering every generated-table entry.
+//!
+//! The build script classifies these probes to *emit* the static
+//! descriptor tables; the oracle tests replay the very same probes
+//! against the runtime classifier and assert that every `(mnemonic,
+//! shape key)` row is bit-identical on all nine microarchitectures.
+//! Both sides call [`enumerate_probes`] — the module is `include!`d
+//! into `build.rs` — so the verified corpus can never drift from the
+//! generator's.
+
+use facile_x86::forms::{form_templates, FormTemplate, RegClass, SlotKind};
+use facile_x86::{Inst, Mem, Operand, Reg, Width};
+
+fn gpr(num: u8, w: Width) -> Reg {
+    Reg::Gpr { num, width: w }
+}
+
+/// A distinct register for slot position `i` of the given class.
+fn reg_for(class: RegClass, i: usize) -> Reg {
+    // rax, rcx, rdx, rbx — none of them collide with the address
+    // registers below unless a coincidence variant asks for it.
+    const NUMS: [u8; 4] = [0, 1, 2, 3];
+    match class {
+        RegClass::Gpr(w) => gpr(NUMS[i], w),
+        RegClass::Xmm => Reg::Xmm(NUMS[i]),
+        RegClass::Ymm => Reg::Ymm(NUMS[i]),
+    }
+}
+
+/// Address registers used by memory instantiations.
+fn base_reg() -> Reg {
+    gpr(6, Width::W64) // rsi
+}
+fn index_reg() -> Reg {
+    gpr(7, Width::W64) // rdi
+}
+
+/// The five addressing shapes the shape key distinguishes (modulo the
+/// RIP bit): base, base+disp, base+index, base+index+disp, rip+disp.
+fn mem_shapes(w: Width) -> [Mem; 5] {
+    [
+        Mem::base(base_reg(), w),
+        Mem::base_disp(base_reg(), 64, w),
+        Mem::base_index(base_reg(), index_reg(), 4, 0, w),
+        Mem::base_index(base_reg(), index_reg(), 4, 64, w),
+        Mem::rip_rel(64, w),
+    ]
+}
+
+/// All concrete operand instantiations of one structural template.
+fn instantiate(t: &FormTemplate) -> Vec<Inst> {
+    let make = |ops: Vec<Operand>| Inst {
+        mnemonic: t.mnemonic,
+        operands: ops,
+        len: 4,
+        opcode_offset: 0,
+        has_lcp: false,
+    };
+
+    // Register form of every slot (r/m slots as registers).
+    let reg_ops: Vec<Option<Operand>> = t
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| match *s {
+            SlotKind::Reg(c) | SlotKind::RegOrMem(c, _) => Some(Operand::Reg(reg_for(c, i))),
+            SlotKind::Mem(_) => None,
+            SlotKind::Imm => Some(Operand::Imm(16)),
+            SlotKind::Rel => Some(Operand::Rel(8)),
+        })
+        .collect();
+
+    let mem_slot = t
+        .slots
+        .iter()
+        .position(|s| matches!(s, SlotKind::RegOrMem(..) | SlotKind::Mem(_)));
+
+    let mut out = Vec::new();
+
+    // 1. All-register variant (not for mandatory-memory forms).
+    if reg_ops.iter().all(Option::is_some) {
+        let ops: Vec<Operand> = reg_ops.iter().map(|o| o.unwrap()).collect();
+        // 2. Equal-register variant: drives the zero/ones-idiom and
+        //    eliminated-move paths of the classifier.
+        if let [Operand::Reg(a), Operand::Reg(b)] = ops.as_slice() {
+            if std::mem::discriminant(a) == std::mem::discriminant(b) && a.width() == b.width() {
+                out.push(make(vec![ops[0], ops[0]]));
+            }
+        }
+        out.push(make(ops));
+    }
+
+    // 3. Memory variants: every addressing shape, plus coincidence
+    //    variants where a 64-bit register operand aliases the base or
+    //    index register (this flips the unlamination input count).
+    if let Some(j) = mem_slot {
+        let w = match t.slots[j] {
+            SlotKind::RegOrMem(_, w) | SlotKind::Mem(w) => w,
+            _ => unreachable!(),
+        };
+        for shape in mem_shapes(w) {
+            let mut ops: Vec<Operand> = Vec::with_capacity(t.slots.len());
+            for (i, o) in reg_ops.iter().enumerate() {
+                if i == j {
+                    ops.push(Operand::Mem(shape));
+                } else {
+                    ops.push(o.expect("non-mem slot has an operand"));
+                }
+            }
+            out.push(make(ops.clone()));
+            for (i, slot) in t.slots.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let aliases: &[Reg] = if shape.index.is_some() {
+                    &[base_reg(), index_reg()]
+                } else if shape.base.is_some() && !shape.is_rip_relative() {
+                    &[base_reg()]
+                } else {
+                    &[]
+                };
+                if matches!(
+                    slot,
+                    SlotKind::Reg(RegClass::Gpr(Width::W64))
+                        | SlotKind::RegOrMem(RegClass::Gpr(Width::W64), _)
+                ) {
+                    for &alias in aliases {
+                        let mut aliased = ops.clone();
+                        aliased[i] = Operand::Reg(alias);
+                        out.push(make(aliased));
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Every concrete instantiation of every structural form template —
+/// the exact instruction set the table generator classified.
+#[must_use]
+pub fn enumerate_probes() -> Vec<Inst> {
+    let mut out = Vec::new();
+    for t in form_templates() {
+        out.extend(instantiate(&t));
+    }
+    out
+}

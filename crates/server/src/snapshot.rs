@@ -14,6 +14,7 @@
 //! magic    [u8; 8]   b"FACSNAP1"
 //! version  u32 LE    bumped on any payload layout change
 //! uhash    u64 LE    hash of the Debug form of every UarchConfig
+//! thash    u64 LE    facile_isa::TABLE_HASH of the generated tables
 //! plen     u64 LE    payload length in bytes
 //! payload  [u8]      blocks (see below)
 //! checksum u64 LE    FxHash of the payload
@@ -22,10 +23,15 @@
 //! The `uhash` field ties a snapshot to the exact microarchitecture
 //! tables it was produced with: descriptors are *derived* from those
 //! tables, so restoring them under changed tables would silently serve
-//! stale rows. A hash mismatch — like a bad magic, a version bump, a
-//! truncation, or a checksum failure — is a **soft** failure: the
-//! loader reports why and the server starts cold. No snapshot condition
-//! panics or produces wrong rows.
+//! stale rows. The `thash` field does the same for the build-time
+//! generated descriptor tables ([`facile_isa::TABLE_HASH`] covers the
+//! classifier, the form enumeration, and the key packing): a snapshot
+//! written by a binary with different generated tables may embed
+//! descriptors that binary would no longer produce. Either hash
+//! mismatching — like a bad magic, a version bump, a truncation, or a
+//! checksum failure — is a **soft** failure: the loader reports why and
+//! the server starts cold. No snapshot condition panics or produces
+//! wrong rows.
 //!
 //! The payload stores, per block, the raw instruction bytes and, per
 //! annotated microarchitecture, each instruction's macro-fusion flag,
@@ -49,7 +55,8 @@ use std::sync::Arc;
 /// Snapshot file magic.
 pub const MAGIC: [u8; 8] = *b"FACSNAP1";
 /// Payload layout version; bump on any codec change.
-pub const VERSION: u32 = 1;
+/// Version 2 added the generated-table hash (`thash`) to the header.
+pub const VERSION: u32 = 2;
 
 /// Fingerprint of the microarchitecture tables descriptors are derived
 /// from: the FxHash of the `Debug` rendering of every [`Uarch`] config,
@@ -77,6 +84,9 @@ pub enum SnapshotError {
     /// The snapshot was produced under different microarchitecture
     /// tables (see [`uarch_table_hash`]).
     TableHashMismatch,
+    /// The snapshot was produced by a binary with different build-time
+    /// generated descriptor tables (see [`facile_isa::TABLE_HASH`]).
+    StaticTableMismatch,
     /// The file ends before the declared payload and checksum.
     Truncated,
     /// The payload does not hash to the recorded checksum.
@@ -95,6 +105,12 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::TableHashMismatch => {
                 write!(f, "snapshot was produced under different uarch tables")
+            }
+            SnapshotError::StaticTableMismatch => {
+                write!(
+                    f,
+                    "snapshot was produced under different generated descriptor tables"
+                )
             }
             SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
             SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
@@ -144,15 +160,16 @@ pub fn save(path: &Path, cache: &AnnotationCache) -> Result<SnapshotInfo, Snapsh
             put_u16(&mut payload, ab.insts().len() as u16);
             for a in ab.insts() {
                 payload.push(u8::from(a.fused_with_prev));
-                put_effects(&mut payload, a.effects());
+                put_effects(&mut payload, &a.effects());
                 put_desc(&mut payload, a.desc());
             }
         }
     }
-    let mut file = Vec::with_capacity(payload.len() + 36);
+    let mut file = Vec::with_capacity(payload.len() + 44);
     file.extend_from_slice(&MAGIC);
     file.extend_from_slice(&VERSION.to_le_bytes());
     file.extend_from_slice(&uarch_table_hash().to_le_bytes());
+    file.extend_from_slice(&facile_isa::TABLE_HASH.to_le_bytes());
     file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     let checksum = hash_bytes(&payload);
     file.extend_from_slice(&payload);
@@ -185,7 +202,7 @@ pub fn save(path: &Path, cache: &AnnotationCache) -> Result<SnapshotInfo, Snapsh
 pub fn load(path: &Path, cache: &AnnotationCache) -> Result<SnapshotInfo, SnapshotError> {
     let data = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
     let file_bytes = data.len();
-    if data.len() < MAGIC.len() + 4 + 8 + 8 + 8 {
+    if data.len() < MAGIC.len() + 4 + 8 + 8 + 8 + 8 {
         return Err(SnapshotError::Truncated);
     }
     if data[..8] != MAGIC {
@@ -199,15 +216,19 @@ pub fn load(path: &Path, cache: &AnnotationCache) -> Result<SnapshotInfo, Snapsh
     if uhash != uarch_table_hash() {
         return Err(SnapshotError::TableHashMismatch);
     }
-    let plen = u64::from_le_bytes(data[20..28].try_into().expect("8 bytes")) as usize;
-    let expected_len = 28usize.checked_add(plen).and_then(|n| n.checked_add(8));
+    let thash = u64::from_le_bytes(data[20..28].try_into().expect("8 bytes"));
+    if thash != facile_isa::TABLE_HASH {
+        return Err(SnapshotError::StaticTableMismatch);
+    }
+    let plen = u64::from_le_bytes(data[28..36].try_into().expect("8 bytes")) as usize;
+    let expected_len = 36usize.checked_add(plen).and_then(|n| n.checked_add(8));
     match expected_len {
         Some(n) if n == data.len() => {}
         Some(n) if n > data.len() => return Err(SnapshotError::Truncated),
         _ => return Err(SnapshotError::Corrupt("length mismatch")),
     }
-    let payload = &data[28..28 + plen];
-    let checksum = u64::from_le_bytes(data[28 + plen..].try_into().expect("8 bytes"));
+    let payload = &data[36..36 + plen];
+    let checksum = u64::from_le_bytes(data[36 + plen..].try_into().expect("8 bytes"));
     if hash_bytes(payload) != checksum {
         return Err(SnapshotError::ChecksumMismatch);
     }
@@ -442,12 +463,12 @@ fn get_reg(r: &mut Reader) -> Result<Reg, SnapshotError> {
 
 fn get_effects(r: &mut Reader) -> Result<Effects, SnapshotError> {
     let nreads = r.u16()? as usize;
-    let mut reg_reads = Vec::with_capacity(nreads);
+    let mut reg_reads = facile_util::SmallVec::new();
     for _ in 0..nreads {
         reg_reads.push(get_reg(r)?);
     }
     let nwrites = r.u16()? as usize;
-    let mut reg_writes = Vec::with_capacity(nwrites);
+    let mut reg_writes = facile_util::SmallVec::new();
     for _ in 0..nwrites {
         reg_writes.push(get_reg(r)?);
     }
@@ -488,7 +509,7 @@ fn get_desc(r: &mut Reader) -> Result<InstrDesc, SnapshotError> {
     let fused_uops = r.u8()?;
     let issue_uops = r.u8()?;
     let nuops = r.u16()? as usize;
-    let mut uops = Vec::with_capacity(nuops);
+    let mut uops = facile_util::SmallVec::new();
     for _ in 0..nuops {
         let ports = PortMask(r.u16()?);
         let kind = match r.u8()? {

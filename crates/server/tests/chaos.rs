@@ -295,8 +295,7 @@ fn dropped_connections_are_survivable_with_resend() {
 #[test]
 fn snapshot_write_failures_are_counted_not_fatal() {
     let _g = gate();
-    let path =
-        std::env::temp_dir().join(format!("facile-chaos-snap-{}.bin", std::process::id()));
+    let path = std::env::temp_dir().join(format!("facile-chaos-snap-{}.bin", std::process::id()));
     let _ = std::fs::remove_file(&path);
 
     faults::configure("seed=1,snapshot-fail=1").expect("spec parses");

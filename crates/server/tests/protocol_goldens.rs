@@ -134,7 +134,13 @@ fn stats_reply_shape() {
     }
     assert!(srv.get("rows").and_then(|x| x.as_f64()).expect("rows") >= 1.0);
     let engine = stats.get("engine").expect("engine counters");
-    for key in ["planner", "block_cache", "intern_table", "kernels"] {
+    for key in [
+        "planner",
+        "block_cache",
+        "intern_table",
+        "static_tables",
+        "kernels",
+    ] {
         assert!(engine.get(key).is_some(), "engine stats missing {key}");
     }
     server.stop();

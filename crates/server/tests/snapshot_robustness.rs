@@ -135,11 +135,19 @@ fn every_damage_mode_falls_back_to_cold() {
         |d| d[12] ^= 0xff,
         &SnapshotError::TableHashMismatch,
     );
+    // A snapshot written by a binary with different generated
+    // descriptor tables: typed rejection, cold start.
+    assert_cold_start(
+        &path,
+        "thash-flip",
+        |d| d[20] ^= 0xff,
+        &SnapshotError::StaticTableMismatch,
+    );
     // Declared payload length beyond the file: truncation, not a panic.
     assert_cold_start(
         &path,
         "length-lie",
-        |d| d[20..28].copy_from_slice(&(u64::MAX / 2).to_le_bytes()),
+        |d| d[28..36].copy_from_slice(&(u64::MAX / 2).to_le_bytes()),
         &SnapshotError::Truncated,
     );
     // Sanity: the undamaged original still loads.
@@ -161,7 +169,8 @@ fn magic_and_version_are_pinned() {
     // these without a deliberate migration breaks every deployed
     // snapshot, so the constants themselves are pinned.
     assert_eq!(MAGIC, *b"FACSNAP1");
-    assert_eq!(VERSION, 1);
-    // The table hash is stable within a build.
+    assert_eq!(VERSION, 2);
+    // The table hashes are stable within a build.
     assert_eq!(snapshot::uarch_table_hash(), snapshot::uarch_table_hash());
+    assert_ne!(facile_isa::TABLE_HASH, 0);
 }

@@ -46,6 +46,14 @@ impl Uarch {
         Uarch::Rkl,
     ];
 
+    /// Position of this microarchitecture in [`Uarch::ALL`] (variant
+    /// declaration order matches the array, oldest first). Used to index
+    /// per-uarch columns in generated descriptor tables.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Three-letter abbreviation used in the paper.
     #[must_use]
     pub fn abbrev(self) -> &'static str {

@@ -31,6 +31,13 @@ impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
         SmallVec::Inline([T::default(); N], 0)
     }
 
+    /// An empty vector, usable in `const`/`static` contexts: `pad` fills
+    /// the unused inline buffer and is never observed as an element.
+    #[must_use]
+    pub const fn empty_with(pad: T) -> Self {
+        SmallVec::Inline([pad; N], 0)
+    }
+
     /// Number of live elements.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -96,6 +103,69 @@ impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
     #[must_use]
     pub fn spilled(&self) -> bool {
         matches!(self, SmallVec::Heap(_))
+    }
+
+    /// Remove consecutive duplicate elements (same semantics as
+    /// [`Vec::dedup`] for `T: PartialEq`).
+    pub fn dedup(&mut self)
+    where
+        T: PartialEq,
+    {
+        let slice = self.as_mut_slice();
+        let mut w = 0;
+        for r in 0..slice.len() {
+            if w == 0 || slice[w - 1] != slice[r] {
+                slice[w] = slice[r];
+                w += 1;
+            }
+        }
+        self.truncate(w);
+    }
+
+    /// Shorten the vector to at most `len` elements.
+    pub fn truncate(&mut self, new_len: usize) {
+        match self {
+            SmallVec::Inline(_, len) => *len = (*len).min(new_len),
+            SmallVec::Heap(v) => v.truncate(new_len),
+        }
+    }
+
+    /// A vector holding a copy of `slice` (inline when it fits).
+    #[must_use]
+    pub fn from_slice(slice: &[T]) -> Self {
+        let mut v = SmallVec::new();
+        v.extend(slice.iter().copied());
+        v
+    }
+}
+
+/// Equality is element-wise over the live elements; the storage variant
+/// (inline vs. spilled) does not participate.
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for SmallVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for SmallVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + std::hash::Hash, const N: usize> std::hash::Hash for SmallVec<T, N> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 

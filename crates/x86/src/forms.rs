@@ -1,0 +1,219 @@
+//! Structural enumeration of every decoder-reachable instruction form.
+//!
+//! The decoder's operand shapes are fully determined by its encoding
+//! tables: each table `Entry` plus an operand-size choice yields one
+//! operand-slot *template* — which slots are registers (and of which
+//! class), which slot may alternatively be memory, where immediates and
+//! branch targets sit. Downstream table generation (the `facile-isa`
+//! build script) instantiates these templates with concrete registers
+//! and addressing shapes and runs the instruction classifier over them,
+//! producing static descriptor tables for the common forms.
+//!
+//! The mapping from `Pat` to slots here mirrors `decode.rs`'s
+//! `decode_with_entry` operand construction exactly; a template that the
+//! decoder can never produce is harmless (its table entry is simply
+//! never looked up), but a *missing* template only costs performance
+//! (runtime fallback), never correctness.
+
+use crate::mnemonic::Mnemonic;
+use crate::reg::Width;
+use crate::table::{tables, Entry, Map, Osz, Pat};
+
+/// The register class a slot accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// General-purpose register of the given width.
+    Gpr(Width),
+    /// 128-bit vector register.
+    Xmm,
+    /// 256-bit vector register.
+    Ymm,
+}
+
+/// One operand slot of a form template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// A register operand of the given class.
+    Reg(RegClass),
+    /// A ModRM r/m operand: either a register of the given class or a
+    /// memory operand of the given width.
+    RegOrMem(RegClass, Width),
+    /// A mandatory memory operand of the given width (`lea`).
+    Mem(Width),
+    /// An immediate operand.
+    Imm,
+    /// A branch-relative displacement operand.
+    Rel,
+}
+
+/// One structural instruction form: a mnemonic plus its operand slots.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FormTemplate {
+    /// The instruction mnemonic.
+    pub mnemonic: Mnemonic,
+    /// Operand slots in decoder order.
+    pub slots: Vec<SlotKind>,
+}
+
+/// GPR operand widths reachable for an entry's operand-size class.
+fn gpr_widths(osz: Osz) -> &'static [Width] {
+    match osz {
+        Osz::B => &[Width::W8],
+        Osz::V => &[Width::W16, Width::W32, Width::W64],
+        Osz::Q | Osz::D64 => &[Width::W64],
+        // Vector entries: GPR slots (RXm) always use the `V` widths via
+        // `rmw`; a single placeholder iteration is enough.
+        Osz::X => &[Width::W32],
+    }
+}
+
+fn entry_templates(entry: &Entry, out: &mut Vec<FormTemplate>) {
+    use SlotKind::{Imm, Mem, Reg, RegOrMem, Rel};
+
+    // Effective VEX vector length: `l == 2` in the table means
+    // length-ignored scalar, which the decoder treats as L0.
+    let eff_l = entry.vex.map_or(0, |v| if v.l == 2 { 0 } else { v.l });
+    let vecw = if eff_l == 1 { Width::W256 } else { Width::W128 };
+    let vclass = if eff_l == 1 {
+        RegClass::Ymm
+    } else {
+        RegClass::Xmm
+    };
+
+    for &gw in gpr_widths(entry.osz) {
+        // Memory width of the r/m slot (`mem_w` in the decoder).
+        let mem_w = entry.rmw.unwrap_or(match entry.osz {
+            Osz::X => vecw,
+            _ => gw,
+        });
+        // Register width of a GPR r/m slot when the entry overrides it
+        // (movzx r32, r/m8 and friends).
+        let rm_gw = entry.rmw.filter(|w| w.is_gpr()).unwrap_or(gw);
+
+        let gpr = Reg(RegClass::Gpr(gw));
+        let gpr_rm = RegOrMem(RegClass::Gpr(rm_gw), mem_w);
+        let xmm_rm = RegOrMem(RegClass::Xmm, mem_w);
+
+        let slots: Vec<SlotKind> = match entry.pat {
+            Pat::NoOps => vec![],
+            Pat::RmR => vec![gpr_rm, gpr],
+            Pat::RRm => vec![gpr, gpr_rm],
+            Pat::RmRI => vec![gpr_rm, gpr, Imm],
+            Pat::RmI => vec![gpr_rm, Imm],
+            Pat::Rm => vec![gpr_rm],
+            Pat::RmCl => vec![gpr_rm, Reg(RegClass::Gpr(Width::W8))],
+            Pat::OpReg => vec![gpr],
+            Pat::OpRegI | Pat::AccI => vec![gpr, Imm],
+            Pat::RRmI => vec![gpr, gpr_rm, Imm],
+            Pat::RM => vec![gpr, Mem(mem_w)],
+            Pat::Rel => vec![Rel],
+            Pat::XXm => vec![Reg(RegClass::Xmm), xmm_rm],
+            Pat::XmX => vec![xmm_rm, Reg(RegClass::Xmm)],
+            Pat::XXmI => vec![Reg(RegClass::Xmm), xmm_rm, Imm],
+            Pat::XRm => vec![Reg(RegClass::Xmm), gpr_rm],
+            Pat::RmX => vec![gpr_rm, Reg(RegClass::Xmm)],
+            Pat::RXm => vec![gpr, xmm_rm],
+            Pat::XI => vec![Reg(RegClass::Xmm), Imm],
+            Pat::VXXm => vec![Reg(vclass), Reg(vclass), RegOrMem(vclass, mem_w)],
+            Pat::VXXmI => vec![Reg(vclass), Reg(vclass), RegOrMem(vclass, mem_w), Imm],
+            Pat::VXm => {
+                // vbroadcastss reads an xmm/m32 source regardless of L,
+                // matching the decoder's special case.
+                let src = if entry.map == Map::M38 && entry.op == 0x18 {
+                    RegClass::Xmm
+                } else {
+                    vclass
+                };
+                vec![Reg(vclass), RegOrMem(src, mem_w)]
+            }
+            Pat::VXmX => vec![RegOrMem(vclass, mem_w), Reg(vclass)],
+            Pat::VYXmI => vec![
+                Reg(RegClass::Ymm),
+                Reg(RegClass::Ymm),
+                RegOrMem(RegClass::Xmm, mem_w),
+                Imm,
+            ],
+            Pat::VXmYI => vec![RegOrMem(RegClass::Xmm, mem_w), Reg(RegClass::Ymm), Imm],
+        };
+        out.push(FormTemplate {
+            mnemonic: entry.mnem,
+            slots,
+        });
+        // Non-`V` operand sizes and vector entries don't iterate widths.
+        if !matches!(entry.osz, Osz::V) {
+            break;
+        }
+    }
+}
+
+/// Every decoder-reachable instruction form, deduplicated, in a
+/// deterministic order (encoding-table order, then operand width).
+///
+/// Includes decode-only entries: they are reachable through
+/// [`crate::decode_one`] even though the assembler never emits them.
+#[must_use]
+pub fn form_templates() -> Vec<FormTemplate> {
+    let mut out = Vec::with_capacity(1024);
+    for entry in &tables().entries {
+        entry_templates(entry, &mut out);
+    }
+    let mut seen = std::collections::HashSet::with_capacity(out.len());
+    out.retain(|t| seen.insert(t.clone()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_are_deduplicated_and_deterministic() {
+        let a = form_templates();
+        let b = form_templates();
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().cloned().collect();
+        assert_eq!(set.len(), a.len(), "duplicate templates survived");
+        assert!(a.len() > 200, "suspiciously few templates: {}", a.len());
+    }
+
+    #[test]
+    fn known_shapes_present() {
+        let all = form_templates();
+        // add r64, r/m64
+        assert!(all.iter().any(|t| t.mnemonic == Mnemonic::Add
+            && t.slots
+                == [
+                    SlotKind::Reg(RegClass::Gpr(Width::W64)),
+                    SlotKind::RegOrMem(RegClass::Gpr(Width::W64), Width::W64),
+                ]));
+        // movzx r32, r/m8: rm register class is W8, memory width W8
+        assert!(all.iter().any(|t| t.mnemonic == Mnemonic::Movzx
+            && t.slots
+                == [
+                    SlotKind::Reg(RegClass::Gpr(Width::W32)),
+                    SlotKind::RegOrMem(RegClass::Gpr(Width::W8), Width::W8),
+                ]));
+        // lea r64, m
+        assert!(all.iter().any(|t| t.mnemonic == Mnemonic::Lea
+            && t.slots
+                == [
+                    SlotKind::Reg(RegClass::Gpr(Width::W64)),
+                    SlotKind::Mem(Width::W64),
+                ]));
+        // vaddps ymm, ymm, ymm/m256
+        assert!(all.iter().any(|t| t.mnemonic == Mnemonic::Vaddps
+            && t.slots
+                == [
+                    SlotKind::Reg(RegClass::Ymm),
+                    SlotKind::Reg(RegClass::Ymm),
+                    SlotKind::RegOrMem(RegClass::Ymm, Width::W256),
+                ]));
+        // vbroadcastss ymm, xmm/m32 (the decoder's L-insensitive source)
+        assert!(all.iter().any(|t| t.mnemonic == Mnemonic::Vbroadcastss
+            && t.slots
+                == [
+                    SlotKind::Reg(RegClass::Ymm),
+                    SlotKind::RegOrMem(RegClass::Xmm, Width::W32),
+                ]));
+    }
+}

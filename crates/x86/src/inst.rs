@@ -4,6 +4,7 @@ use crate::flags;
 use crate::mnemonic::Mnemonic;
 use crate::operand::{Mem, Operand};
 use crate::reg::{Reg, Width};
+use facile_util::SmallVec;
 use std::fmt;
 
 /// A fully decoded (or assembled) instruction.
@@ -38,9 +39,11 @@ pub struct Inst {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Effects {
     /// Registers read (explicit, implicit, and address registers).
-    pub reg_reads: Vec<Reg>,
+    /// Inline up to 6 entries — enough for every decodable form (the
+    /// worst case, an indexed RMW with implicit operands, reads 5).
+    pub reg_reads: SmallVec<Reg, 6>,
     /// Registers written.
-    pub reg_writes: Vec<Reg>,
+    pub reg_writes: SmallVec<Reg, 6>,
     /// Flag groups read (see [`crate::flags`]).
     pub flags_read: u8,
     /// Flag groups written.

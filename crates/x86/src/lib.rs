@@ -38,6 +38,7 @@ pub mod decode;
 pub mod encode;
 pub mod error;
 pub mod flags;
+pub mod forms;
 pub mod inst;
 pub mod mnemonic;
 pub mod operand;

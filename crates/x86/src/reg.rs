@@ -77,6 +77,14 @@ pub enum Reg {
     Rip,
 }
 
+/// `rip` — a placeholder so `Reg` can pad the unused tail of inline
+/// small-vector buffers; never observed through the live elements.
+impl Default for Reg {
+    fn default() -> Reg {
+        Reg::Rip
+    }
+}
+
 const GPR64: [&str; 16] = [
     "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12", "r13",
     "r14", "r15",
