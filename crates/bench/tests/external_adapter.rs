@@ -1,0 +1,205 @@
+//! End-to-end behavior of the external-predictor adapter against the
+//! `mock_predictor` fixture: agreement with the in-process model,
+//! result caching, every sandbox error mode, and restart-with-backoff
+//! supervision.
+
+use facile_engine::{
+    BatchItem, Engine, ExternalPredictor, ExternalSpec, PredictError, Predictor, PredictorRegistry,
+};
+use facile_isa::AnnotatedBlock;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+use std::time::Duration;
+
+const MOCK: &str = env!("CARGO_BIN_EXE_mock_predictor");
+
+fn spec(mode_args: &str) -> ExternalSpec {
+    ExternalSpec::parse("mock", &format!("{MOCK} --mode {mode_args}")).unwrap()
+}
+
+#[test]
+fn echo_facile_agrees_with_builtin() {
+    let mut registry = PredictorRegistry::with_builtins();
+    registry.register(std::sync::Arc::new(ExternalPredictor::new(spec(
+        "echo-facile",
+    ))));
+    let engine = Engine::new(registry).with_threads(2);
+    let items: Vec<BatchItem> = ["4801c8", "480fafd04801c8", "ffc0ffc3"]
+        .iter()
+        .map(|h| BatchItem::hex(*h, Uarch::Skl))
+        .collect();
+    let rows = engine.predict_batch(&items, "facile,ext:mock").unwrap();
+    for pair in rows.chunks(2) {
+        let a = pair[0].prediction.as_ref().unwrap();
+        let b = pair[1].prediction.as_ref().unwrap();
+        assert_eq!(a.throughput, b.throughput, "mock must echo facile");
+    }
+}
+
+#[test]
+fn results_are_cached_per_block() {
+    let ext = ExternalPredictor::new(spec("echo-facile"));
+    let block = Block::from_hex("4801c8").unwrap();
+    let ab = AnnotatedBlock::new(block, Uarch::Skl);
+    let req = facile_engine::PredictRequest::new(&ab, facile_core::Mode::Unrolled);
+    let first = ext.predict(&req).unwrap();
+    assert_eq!(ext.cached(), 1);
+    let second = ext.predict(&req).unwrap();
+    assert_eq!(first.throughput, second.throughput);
+    assert_eq!(ext.cached(), 1, "repeat predictions hit the cache");
+    assert_eq!(ext.tool_version().as_deref(), Some("mock-1"));
+    assert_eq!(ext.restarts(), 0);
+}
+
+#[test]
+fn hang_is_sandboxed_into_timeout() {
+    let mut s = spec("hang");
+    s.timeout = Duration::from_millis(100);
+    let ext = ExternalPredictor::new(s);
+    let ab = AnnotatedBlock::new(Block::from_hex("4801c8").unwrap(), Uarch::Skl);
+    let req = facile_engine::PredictRequest::new(&ab, facile_core::Mode::Unrolled);
+    match ext.predict(&req) {
+        Err(PredictError::ExternalTimeout { tool, timeout_ms }) => {
+            assert_eq!(tool, "ext:mock");
+            assert_eq!(timeout_ms, 100);
+        }
+        other => panic!("expected ExternalTimeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_is_sandboxed_into_malformed() {
+    let ext = ExternalPredictor::new(spec("garbage-json"));
+    let ab = AnnotatedBlock::new(Block::from_hex("4801c8").unwrap(), Uarch::Skl);
+    let req = facile_engine::PredictRequest::new(&ab, facile_core::Mode::Unrolled);
+    match ext.predict(&req) {
+        Err(PredictError::ExternalMalformed { tool, detail }) => {
+            assert_eq!(tool, "ext:mock");
+            assert!(detail.contains("expected '{'"), "{detail}");
+        }
+        other => panic!("expected ExternalMalformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn crash_restarts_with_backoff_then_gives_up() {
+    let mut s = spec("crash-after=0");
+    s.max_restarts = 2;
+    let ext = ExternalPredictor::new(s);
+    let ab = AnnotatedBlock::new(Block::from_hex("4801c8").unwrap(), Uarch::Skl);
+    let req = facile_engine::PredictRequest::new(&ab, facile_core::Mode::Unrolled);
+    let mut crashes = 0u32;
+    let mut backoffs = 0u32;
+    let mut gave_up = 0u32;
+    // crash-after=0 dies on every first predict, so every respawn fails
+    // again: crash, backoff rows, respawn-crash, ... until the adapter
+    // exceeds max_restarts and fails fast forever.
+    for _ in 0..64 {
+        match ext.predict(&req) {
+            Err(PredictError::ExternalCrashed { detail, .. }) => {
+                if detail.contains("gave up") {
+                    gave_up += 1;
+                } else if detail.contains("backoff") {
+                    backoffs += 1;
+                } else {
+                    crashes += 1;
+                }
+            }
+            other => panic!("expected ExternalCrashed, got {other:?}"),
+        }
+    }
+    assert!(
+        crashes >= 2,
+        "expected repeated real crashes, saw {crashes}"
+    );
+    assert!(backoffs >= 2, "expected backoff rows, saw {backoffs}");
+    assert!(gave_up >= 1, "adapter never gave up");
+    // Once given up, it stays given up.
+    assert!(matches!(
+        ext.predict(&req),
+        Err(PredictError::ExternalCrashed { .. })
+    ));
+}
+
+#[test]
+fn recovers_after_transient_crash() {
+    // crash-after=2: two good replies, then death. The adapter restarts
+    // the tool (after the backoff window) and gets answers again.
+    let mut s = spec("crash-after=2");
+    s.max_restarts = 10;
+    let ext = ExternalPredictor::new(s);
+    let blocks = ["4801c8", "480fafd0", "ffc0", "ffc3", "4829c8", "4821c8"];
+    let mut oks = 0u32;
+    let mut errs = 0u32;
+    // Distinct blocks defeat the cache, forcing real subprocess traffic.
+    for round in 0..6 {
+        for hex in blocks {
+            let ab = AnnotatedBlock::new(Block::from_hex(hex).unwrap(), Uarch::Skl);
+            let req = facile_engine::PredictRequest::new(&ab, facile_core::Mode::Unrolled);
+            match ext.predict(&req) {
+                Ok(_) => oks += 1,
+                Err(PredictError::ExternalCrashed { .. }) => errs += 1,
+                Err(other) => panic!("round {round}: unexpected {other:?}"),
+            }
+        }
+    }
+    assert!(errs >= 1, "the tool never crashed");
+    assert!(
+        oks > 6,
+        "the adapter never recovered: {oks} oks / {errs} errs"
+    );
+    assert!(ext.restarts() >= 1);
+}
+
+#[test]
+fn tool_level_error_replies_do_not_kill_the_tool() {
+    // A reply with {"error": ...} is a healthy tool refusing one block:
+    // it maps to InvalidOutput and the subprocess stays up.
+    let dir = std::env::temp_dir().join(format!("facile-ext-errtool-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("errtool.sh");
+    std::fs::write(
+        &script,
+        "#!/bin/sh\nwhile read line; do\n  id=${line#*\\\"id\\\":}; id=${id%%,*}; id=${id%%\\}*}\n  case \"$line\" in\n    *version*) printf '{\"id\":%s,\"version\":\"err-1\"}\\n' \"$id\" ;;\n    *) printf '{\"id\":%s,\"error\":\"boom\"}\\n' \"$id\" ;;\n  esac\ndone\n",
+    )
+    .unwrap();
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755)).unwrap();
+    }
+    let ext =
+        ExternalPredictor::new(ExternalSpec::parse("errtool", script.to_str().unwrap()).unwrap());
+    let ab = AnnotatedBlock::new(Block::from_hex("4801c8").unwrap(), Uarch::Skl);
+    let req = facile_engine::PredictRequest::new(&ab, facile_core::Mode::Unrolled);
+    for _ in 0..3 {
+        match ext.predict(&req) {
+            Err(PredictError::InvalidOutput {
+                predictor, value, ..
+            }) => {
+                assert_eq!(predictor, "ext:errtool");
+                assert_eq!(value, "boom");
+            }
+            other => panic!("expected InvalidOutput, got {other:?}"),
+        }
+    }
+    assert_eq!(ext.restarts(), 0, "error replies must not trigger restarts");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn selector_definitions_register_and_predict() {
+    let mut engine = Engine::with_builtins().with_threads(1);
+    let selector = format!("facile,ext:mock={MOCK} --mode constant-offset --offset 2.0");
+    let rewritten =
+        facile_engine::register_selector_externals(engine.registry_mut(), &selector).unwrap();
+    assert_eq!(rewritten, "facile,ext:mock");
+    let items = [BatchItem::hex("4801c8", Uarch::Skl)];
+    let rows = engine.predict_batch(&items, &rewritten).unwrap();
+    let facile_tp = rows[0].prediction.as_ref().unwrap().throughput;
+    let mock_tp = rows[1].prediction.as_ref().unwrap().throughput;
+    assert!(
+        (mock_tp - facile_tp - 2.0).abs() < 1e-9,
+        "{facile_tp} vs {mock_tp}"
+    );
+}

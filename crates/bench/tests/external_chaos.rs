@@ -1,0 +1,97 @@
+//! Chaos test for the external-predictor fault points: with
+//! `ext-timeout` / `ext-crash` armed, a flaky external tool yields
+//! typed error rows while builtin rows stay byte-identical to the
+//! fault-free run — and the chaos run itself is deterministic.
+//!
+//! One test function: the fault configuration is process-global, so the
+//! scenario owns the whole test binary.
+
+use facile_engine::render::row_json;
+use facile_engine::{BatchItem, Engine, ExternalPredictor, ExternalSpec, PredictorRegistry};
+use facile_uarch::Uarch;
+use std::sync::Arc;
+
+const MOCK: &str = env!("CARGO_BIN_EXE_mock_predictor");
+
+fn chaos_engine() -> Engine {
+    let mut registry = PredictorRegistry::with_builtins();
+    let spec = ExternalSpec::parse("mock", &format!("{MOCK} --mode echo-facile")).unwrap();
+    registry.register(Arc::new(ExternalPredictor::new(spec)));
+    Engine::new(registry).with_threads(4)
+}
+
+fn run_rows(engine: &Engine) -> Vec<String> {
+    let items: Vec<BatchItem> = [
+        "4801c8",
+        "480fafd0",
+        "ffc0",
+        "ffc3",
+        "4829c8",
+        "4821c8",
+        "4801c84801d1",
+        "480fafc3",
+        "89c8",
+        "01c8",
+        "4531c0",
+        "4885c0",
+    ]
+    .iter()
+    .map(|h| BatchItem::hex(*h, Uarch::Skl))
+    .collect();
+    let rows = engine.predict_batch(&items, "facile,sim,ext:mock").unwrap();
+    engine.clear_cache();
+    rows.iter().map(row_json).collect()
+}
+
+#[test]
+fn flaky_external_tool_is_contained() {
+    assert!(
+        facile_faults::compiled(),
+        "this suite requires the injection feature"
+    );
+
+    // Fault-free baseline.
+    let engine = chaos_engine();
+    let clean = run_rows(&engine);
+    assert!(
+        clean.iter().all(|r| r.contains("\"status\":\"ok\"")),
+        "fault-free run must be clean"
+    );
+
+    // Arm the external fault points and re-run on a fresh engine (fresh
+    // adapter caches), twice, to check chaos-run determinism.
+    facile_faults::configure("seed=11,ext-timeout=0.3,ext-crash=0.2").unwrap();
+    let chaotic = run_rows(&chaos_engine());
+    let chaotic2 = run_rows(&chaos_engine());
+    facile_faults::clear();
+
+    assert_eq!(chaotic, chaotic2, "chaos runs must be deterministic");
+
+    let mut injected = 0usize;
+    for (c, f) in clean.iter().zip(&chaotic) {
+        if c.contains("\"predictor\":\"ext:mock\"") {
+            // Ext rows: either identical to the fault-free row, or a
+            // typed external error produced by an injected fault.
+            if c != f {
+                assert!(
+                    f.contains("\"code\":\"external-timeout\"")
+                        || f.contains("\"code\":\"external-crashed\""),
+                    "unexpected faulted ext row: {f}"
+                );
+                injected += 1;
+            }
+        } else {
+            // Builtin rows must be byte-identical to the fault-free run.
+            assert_eq!(c, f, "builtin row changed under external chaos");
+        }
+    }
+    assert!(
+        injected >= 1,
+        "at 30%/20% rates over 12 blocks, at least one fault must fire"
+    );
+
+    // Injected faults never touch the subprocess: with the faults
+    // cleared, the same engine instance still answers everything.
+    let after = run_rows(&engine);
+    assert_eq!(clean, after, "fault-free behavior must be restored");
+}

@@ -1,0 +1,175 @@
+//! Wire-protocol golden tests for the external-predictor adapter:
+//! request shapes, reply parsing, and every sandbox error mode are
+//! pinned byte-for-byte — both the typed `PredictError` and the stable
+//! engine error-row JSON string. Any protocol change is a deliberate
+//! golden update, never an accident.
+
+use facile_engine::render::row_json;
+use facile_engine::{
+    external, BatchItem, Engine, ExternalPredictor, ExternalSpec, PredictorRegistry,
+};
+use facile_uarch::Uarch;
+use std::sync::Arc;
+use std::time::Duration;
+
+const MOCK: &str = env!("CARGO_BIN_EXE_mock_predictor");
+
+/// A single-threaded engine serving only `ext:mock` with the given mock
+/// mode and per-request timeout.
+fn ext_engine(mode_args: &str, timeout_ms: u64) -> Engine {
+    let mut spec = ExternalSpec::parse("mock", &format!("{MOCK} --mode {mode_args}")).unwrap();
+    spec.timeout = Duration::from_millis(timeout_ms);
+    let mut registry = PredictorRegistry::new();
+    registry.register(Arc::new(ExternalPredictor::new(spec)));
+    Engine::new(registry).with_threads(1)
+}
+
+fn one_row(engine: &Engine, hex: &str) -> String {
+    let items = [BatchItem::hex(hex, Uarch::Skl)];
+    let rows = engine.predict_batch(&items, "ext:mock").unwrap();
+    row_json(&rows[0])
+}
+
+#[test]
+fn request_lines_are_pinned() {
+    assert_eq!(external::version_request(0), r#"{"id":0,"op":"version"}"#);
+    assert_eq!(
+        external::predict_request(1, "4801c8", Uarch::Skl, facile_core::Mode::Unrolled),
+        r#"{"id":1,"op":"predict","block":"4801c8","uarch":"SKL","mode":"tpu"}"#
+    );
+    assert_eq!(
+        external::predict_request(2, "ffe0", Uarch::Icl, facile_core::Mode::Loop),
+        r#"{"id":2,"op":"predict","block":"ffe0","uarch":"ICL","mode":"tpl"}"#
+    );
+}
+
+#[test]
+fn request_stream_on_the_wire_is_pinned() {
+    // The mock's --record mode captures the raw request lines the
+    // adapter actually writes: handshake first, then predicts with
+    // monotonically increasing ids.
+    let record = std::env::temp_dir().join(format!(
+        "facile-ext-goldens-record-{}.txt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&record);
+    let mut spec = ExternalSpec::parse(
+        "mock",
+        &format!("{MOCK} --mode echo-facile --record {}", record.display()),
+    )
+    .unwrap();
+    spec.timeout = Duration::from_secs(10);
+    let mut registry = PredictorRegistry::new();
+    registry.register(Arc::new(ExternalPredictor::new(spec)));
+    let engine = Engine::new(registry).with_threads(1);
+    let items = [
+        BatchItem::hex("4801c8", Uarch::Skl),
+        BatchItem::hex("ffc0", Uarch::Icl).with_mode(facile_core::Mode::Loop),
+    ];
+    let rows = engine.predict_batch(&items, "ext:mock").unwrap();
+    assert!(rows.iter().all(|r| r.prediction.is_ok()));
+    drop(engine); // kills the subprocess, flushing the record file
+    let recorded = std::fs::read_to_string(&record).unwrap();
+    assert_eq!(
+        recorded,
+        "{\"id\":0,\"op\":\"version\"}\n\
+         {\"id\":1,\"op\":\"predict\",\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\"}\n\
+         {\"id\":2,\"op\":\"predict\",\"block\":\"ffc0\",\"uarch\":\"ICL\",\"mode\":\"tpl\"}\n"
+    );
+    let _ = std::fs::remove_file(&record);
+}
+
+#[test]
+fn reply_shapes_are_pinned() {
+    let ok = external::parse_reply(r#"{"id":7,"throughput":1.25}"#).unwrap();
+    assert_eq!((ok.id, ok.throughput), (Some(7), Some(1.25)));
+    let err = external::parse_reply(r#"{"id":8,"error":"cannot decode block"}"#).unwrap();
+    assert_eq!(err.error.as_deref(), Some("cannot decode block"));
+    let ver = external::parse_reply(r#"{"id":0,"version":"mock-1"}"#).unwrap();
+    assert_eq!(ver.version.as_deref(), Some("mock-1"));
+}
+
+#[test]
+fn success_row_is_pinned() {
+    let engine = ext_engine("echo-facile", 10_000);
+    assert_eq!(
+        one_row(&engine, "4801c8"),
+        "{\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"ext:mock\",\
+         \"status\":\"ok\",\"throughput\":1.0000,\"bottleneck\":null}"
+    );
+}
+
+#[test]
+fn timeout_row_is_pinned() {
+    let engine = ext_engine("hang", 100);
+    assert_eq!(
+        one_row(&engine, "4801c8"),
+        "{\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"ext:mock\",\
+         \"status\":\"error\",\"code\":\"external-timeout\",\
+         \"error\":\"external predictor \\\"ext:mock\\\" timed out after 100 ms\"}"
+    );
+}
+
+#[test]
+fn crash_row_is_pinned() {
+    let engine = ext_engine("crash-after=0", 10_000);
+    assert_eq!(
+        one_row(&engine, "4801c8"),
+        "{\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"ext:mock\",\
+         \"status\":\"error\",\"code\":\"external-crashed\",\
+         \"error\":\"external predictor \\\"ext:mock\\\" crashed: stdout closed (exit status: 3)\"}"
+    );
+}
+
+#[test]
+fn malformed_row_is_pinned() {
+    let engine = ext_engine("garbage-json", 10_000);
+    assert_eq!(
+        one_row(&engine, "4801c8"),
+        "{\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"ext:mock\",\
+         \"status\":\"error\",\"code\":\"external-malformed\",\
+         \"error\":\"external predictor \\\"ext:mock\\\" sent a malformed reply: \
+         byte 0: expected '{' in \\\"this is not json {\\\"\"}"
+    );
+}
+
+#[test]
+fn backoff_and_gave_up_rows_are_pinned() {
+    // crash-after=0 with max_restarts=1: the first request crashes for
+    // real, the next two fail fast inside the 2-request backoff window,
+    // the respawn crashes again, and from then on the adapter has given
+    // up.
+    let mut spec = ExternalSpec::parse("mock", &format!("{MOCK} --mode crash-after=0")).unwrap();
+    spec.max_restarts = 1;
+    let mut registry = PredictorRegistry::new();
+    registry.register(Arc::new(ExternalPredictor::new(spec)));
+    let engine = Engine::new(registry).with_threads(1);
+    let prefix = "{\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"ext:mock\",\
+                  \"status\":\"error\",\"code\":\"external-crashed\",\"error\":\"external predictor \\\"ext:mock\\\" crashed: ";
+    let expect = |suffix: &str| format!("{prefix}{suffix}\"}}");
+    engine.clear_cache();
+    assert_eq!(
+        one_row(&engine, "4801c8"),
+        expect("stdout closed (exit status: 3)")
+    );
+    engine.clear_cache();
+    assert_eq!(
+        one_row(&engine, "4801c8"),
+        expect("in restart backoff (2 request(s) until respawn)")
+    );
+    engine.clear_cache();
+    assert_eq!(
+        one_row(&engine, "4801c8"),
+        expect("in restart backoff (1 request(s) until respawn)")
+    );
+    engine.clear_cache();
+    assert_eq!(
+        one_row(&engine, "4801c8"),
+        expect("stdout closed (exit status: 3)")
+    );
+    engine.clear_cache();
+    assert_eq!(
+        one_row(&engine, "4801c8"),
+        expect("gave up after 2 consecutive failures")
+    );
+}

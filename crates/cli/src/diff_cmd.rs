@@ -26,7 +26,11 @@ USAGE:
 
 OPTIONS:
     --predictors <KEYS>  two or more registry keys / glob patterns
-                         (default `facile,sim`)
+                         (default `facile,sim`). `ext:<name>=<cmd...>`
+                         tokens define and select an external tool
+                         speaking the line-JSON protocol
+    --ext-config <FILE>  register external predictors from a TOML file
+                         (see the README's External predictors section)
     --uarch <ABBR>       microarchitecture (SNB..RKL; default SKL)
     --all-uarchs         hunt on all nine microarchitectures
     --seed <N>           generator seed (default 0)
@@ -46,6 +50,15 @@ OPTIONS:
     --max-counterexamples <N>
                          cap on shrunk/reported findings (default 25)
     --no-shrink          report flagged blocks without delta-debugging
+    --generalize         lift each finding into an abstract block
+                         pattern (mnemonic group × operand shape),
+                         validate it by sampling concrete instantiations,
+                         and report ranked pattern clusters
+    --gen-samples <N>    instantiations sampled per proposed pattern
+                         widening (default 4)
+    --gen-min-preserved <N>
+                         samples that must preserve the disagreement for
+                         a widening to be accepted (default 3)
     --format <FMT>       text | json (default text); json emits one object
                          per finding, then the disagreement matrix, then a
                          summary object
@@ -62,6 +75,7 @@ struct DiffOptions {
     threads: Option<usize>,
     fail_on_unclassified: bool,
     input: Option<String>,
+    ext_config: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<DiffOptions>, String> {
@@ -71,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<Option<DiffOptions>, String> {
         threads: None,
         fail_on_unclassified: false,
         input: None,
+        ext_config: None,
     };
     let mut all_uarchs = false;
     let mut it = args.iter();
@@ -134,6 +149,18 @@ fn parse_args(args: &[String]) -> Result<Option<DiffOptions>, String> {
                     .map_err(|_| "numeric --max-counterexamples".to_string())?;
             }
             "--no-shrink" => o.cfg.shrink = false,
+            "--generalize" => o.cfg.generalize = true,
+            "--gen-samples" => {
+                o.cfg.gen_samples = val("--gen-samples")?
+                    .parse()
+                    .map_err(|_| "numeric --gen-samples".to_string())?;
+            }
+            "--gen-min-preserved" => {
+                o.cfg.gen_min_preserved = val("--gen-min-preserved")?
+                    .parse()
+                    .map_err(|_| "numeric --gen-min-preserved".to_string())?;
+            }
+            "--ext-config" => o.ext_config = Some(val("--ext-config")?.clone()),
             "--format" => {
                 o.json = match val("--format")?.as_str() {
                     "text" | "human" => false,
@@ -169,12 +196,17 @@ fn load_input(path: &str) -> Result<Vec<(String, facile_x86::Block)>, String> {
         .collect())
 }
 
-fn emit(report: &facile_diff::DiffReport, json: bool) -> std::io::Result<()> {
+fn emit(report: &facile_diff::DiffReport, json: bool, generalize: bool) -> std::io::Result<()> {
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     if json {
         for f in &report.findings {
             writeln!(out, "{}", f.to_json())?;
+        }
+        // Only with --generalize, so default JSON output stays stable.
+        if generalize {
+            let pats: Vec<String> = report.patterns.iter().map(|p| p.to_json()).collect();
+            writeln!(out, "{{\"patterns\":[{}]}}", pats.join(","))?;
         }
         let cells: Vec<String> = report.matrix.iter().map(|c| c.to_json()).collect();
         writeln!(out, "{{\"matrix\":[{}]}}", cells.join(","))?;
@@ -218,6 +250,19 @@ fn emit(report: &facile_diff::DiffReport, json: bool) -> std::io::Result<()> {
                 report.truncated
             )?;
         }
+        if generalize {
+            if report.patterns.is_empty() {
+                writeln!(out, "no inconsistency patterns (nothing generalized)")?;
+            } else {
+                writeln!(out, "inconsistency patterns:")?;
+                for (i, p) in report.patterns.iter().enumerate() {
+                    writeln!(out, "  pattern #{i}:")?;
+                    for line in p.to_text().lines() {
+                        writeln!(out, "    {line}")?;
+                    }
+                }
+            }
+        }
     }
     out.flush()
 }
@@ -242,6 +287,21 @@ pub fn main(args: Vec<String>) -> ExitCode {
         }
     }
     let mut engine = Engine::new(PredictorRegistry::with_builtins());
+    // `ext:<name>=<cmd>` selector tokens define external tools; the
+    // selector the hunt sees carries only their bare `ext:<name>` keys.
+    match facile_engine::register_selector_externals(engine.registry_mut(), &o.cfg.selector) {
+        Ok(rewritten) => o.cfg.selector = rewritten,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &o.ext_config {
+        if let Err(e) = facile_engine::load_external_config(engine.registry_mut(), path) {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    }
     if let Some(t) = o.threads {
         engine = engine.with_threads(t);
     }
@@ -260,7 +320,7 @@ pub fn main(args: Vec<String>) -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    if let Err(e) = emit(&report, o.json) {
+    if let Err(e) = emit(&report, o.json, o.cfg.generalize) {
         eprintln!("error: {e}");
         return ExitCode::from(1);
     }

@@ -49,6 +49,7 @@ struct Options {
     explain: bool,
     threads: Option<usize>,
     stats: bool,
+    ext_config: Option<String>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -88,7 +89,12 @@ OPTIONS:
     --mode <MODE>      auto | loop (TPL) | unroll (TPU); default auto:
                        loop if the block ends in a branch
     --predictors <KEYS> comma-separated registry keys or glob patterns
-                       (default `facile`; e.g. `facile,sim`, `*`)
+                       (default `facile`; e.g. `facile,sim`, `*`).
+                       `ext:<name>=<cmd...>` tokens define and select an
+                       external tool speaking the line-JSON protocol
+                       (e.g. `facile,ext:mca=/usr/bin/my-mca --fast`)
+    --ext-config <FILE> register external predictors from a TOML file
+                       (see the README's External predictors section)
     --compare          shorthand for adding `sim` to --predictors
     --format <FMT>     text | json | csv (default text); json/csv are
                        machine-readable, one row per (block, uarch,
@@ -123,6 +129,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         explain: false,
         threads: None,
         stats: false,
+        ext_config: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     if it.peek().is_none() {
@@ -171,6 +178,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             "--compare" => o.compare = true,
             "--predictors" => o.predictors = val("--predictors")?,
+            "--ext-config" => o.ext_config = Some(val("--ext-config")?),
             "--format" => {
                 o.format = match val("--format")?.as_str() {
                     "text" | "human" => Format::Human,
@@ -270,8 +278,16 @@ fn emit_row<W: Write + ?Sized>(
     }
 }
 
-fn build_engine(o: &Options) -> Engine {
+/// Build the engine and resolve any external-predictor definitions:
+/// `ext:<name>=<cmd>` tokens in `o.predictors` (rewritten in place to
+/// their bare keys) and the `--ext-config` file, if given.
+fn build_engine(o: &mut Options) -> Result<Engine, String> {
     let mut engine = Engine::new(PredictorRegistry::with_builtins());
+    o.predictors =
+        facile_engine::register_selector_externals(engine.registry_mut(), &o.predictors)?;
+    if let Some(path) = &o.ext_config {
+        facile_engine::load_external_config(engine.registry_mut(), path)?;
+    }
     if let Some(t) = o.threads {
         engine = engine.with_threads(t);
     }
@@ -280,7 +296,7 @@ fn build_engine(o: &Options) -> Engine {
         // while the opt-in accounting is on.
         Engine::set_kernel_timing(true);
     }
-    engine
+    Ok(engine)
 }
 
 /// Emit planner/cache counters and (when collected) per-kernel timing:
@@ -342,8 +358,9 @@ fn emit_stats<W: Write + ?Sized>(
 }
 
 /// Batch mode: stream stdin lines through the engine.
-fn run_batch(o: &Options) -> Result<(), String> {
-    let engine = build_engine(o);
+fn run_batch(o: &mut Options) -> Result<(), String> {
+    let engine = build_engine(o)?;
+    let o = &*o;
     let uarchs = uarch_list(o);
     let mode = fixed_mode(o);
     let row_detail = detail(o);
@@ -448,7 +465,7 @@ fn print_explain_details(ab: &AnnotatedBlock, e: &Explanation) {
 
 /// Single-block mode: the interpretable report (plus any extra
 /// predictors), or machine-readable rows with --format json/csv.
-fn run_single(o: &Options) -> Result<(), String> {
+fn run_single(o: &mut Options) -> Result<(), String> {
     let block = load_block(o)?;
     if block.is_empty() {
         return Err("empty basic block".into());
@@ -458,7 +475,8 @@ fn run_single(o: &Options) -> Result<(), String> {
     } else {
         Mode::Unrolled
     });
-    let engine = build_engine(o);
+    let engine = build_engine(o)?;
+    let o = &*o;
     let uarchs = uarch_list(o);
 
     if o.format != Format::Human {
@@ -530,7 +548,7 @@ fn main() -> ExitCode {
         Some("client") => return client_cmd::main(std::env::args().skip(2).collect()),
         _ => {}
     }
-    let opts = match parse_args() {
+    let mut opts = match parse_args() {
         Ok(Some(o)) => o,
         Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
@@ -539,9 +557,9 @@ fn main() -> ExitCode {
         }
     };
     let result = if opts.batch {
-        run_batch(&opts)
+        run_batch(&mut opts)
     } else {
-        run_single(&opts)
+        run_single(&mut opts)
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -26,7 +26,13 @@ ENDPOINT (exactly one):
 OPTIONS:
     --threads <N>             engine worker threads (default: all cores)
     --predictors <KEYS>       default selector for requests that omit
-                              one (default `facile`)
+                              one (default `facile`). `ext:<name>=<cmd...>`
+                              tokens define and register an external tool
+                              speaking the line-JSON protocol; requests
+                              can then select it as `ext:<name>`
+    --ext-config <FILE>       register external predictors from a TOML
+                              file (see the README's External predictors
+                              section)
     --queue-cap <N>           admission bound on queued + in-flight
                               batch items (default 65536); requests over
                               it are rejected with `overloaded`
@@ -62,6 +68,7 @@ fn parse(args: Vec<String>) -> Result<Option<ServerConfig>, String> {
     let mut snapshot = None;
     let mut snapshot_interval = None;
     let mut faults = None;
+    let mut ext_config = None;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
@@ -103,11 +110,23 @@ fn parse(args: Vec<String>) -> Result<Option<ServerConfig>, String> {
                 snapshot_interval = Some(Duration::from_secs(secs));
             }
             "--faults" => faults = Some(val("--faults")?),
+            "--ext-config" => ext_config = Some(val("--ext-config")?),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
     let endpoint = endpoint.ok_or("provide --socket <PATH> or --tcp <ADDR>")?;
+    // `ext:<name>=<cmd>` tokens in the selector define external tools;
+    // the server registers them at startup and the default selector
+    // keeps only their bare `ext:<name>` keys.
+    let (mut external, predictors) = facile_engine::extract_selector_externals(&predictors)?;
+    if let Some(path) = &ext_config {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        external.extend(
+            facile_engine::external::parse_config(&text).map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
     let mut cfg = ServerConfig::new(endpoint);
+    cfg.external = external;
     cfg.threads = cfg_threads;
     cfg.predictors = predictors;
     cfg.queue_cap = queue_cap;

@@ -152,6 +152,114 @@ fn text_format_reports_matrix_and_counterexamples() {
     assert!(stdout.contains("dsb-delivery divergence"), "{stdout}");
 }
 
+const GENERALIZE_ARGS: &[&str] = &[
+    "--predictors",
+    "facile,llvm-mca",
+    "--seed",
+    "7",
+    "--count",
+    "40",
+    "--threshold",
+    "0.6",
+    "--generalize",
+    "--format",
+    "json",
+];
+
+#[test]
+fn generalize_golden_json_on_fixed_seed() {
+    let golden = include_str!("golden/diff_generalize.json");
+    let (stdout, stderr, code) = run_diff(GENERALIZE_ARGS);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert_eq!(
+        stdout,
+        golden,
+        "diff --generalize output drifted from \
+         crates/cli/tests/golden/diff_generalize.json;\n\
+         if the change is intentional, regenerate with:\n\
+         facile diff {} > crates/cli/tests/golden/diff_generalize.json",
+        GENERALIZE_ARGS.join(" ")
+    );
+    assert!(
+        stdout.contains("{\"patterns\":[{\"pattern\":"),
+        "at least one clustered pattern: {stdout}"
+    );
+}
+
+/// Build the external mock tool (it lives in `facile-bench`, so its
+/// `CARGO_BIN_EXE_*` var is not visible here) and return its path.
+fn mock_predictor() -> std::path::PathBuf {
+    static BUILD: std::sync::Once = std::sync::Once::new();
+    BUILD.call_once(|| {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let status = Command::new(cargo)
+            .args(["build", "-p", "facile-bench", "--bin", "mock_predictor"])
+            .status()
+            .expect("cargo runs");
+        assert!(status.success(), "mock_predictor builds");
+    });
+    // Same profile directory as the facile binary under test.
+    std::path::Path::new(env!("CARGO_BIN_EXE_facile")).with_file_name("mock_predictor")
+}
+
+#[test]
+fn external_predictor_generalize_is_deterministic_end_to_end() {
+    let mock = mock_predictor();
+    let selector = format!(
+        "facile,ext:mock={} --mode constant-offset --offset 2.0",
+        mock.display()
+    );
+    let base = [
+        "--predictors",
+        &selector,
+        "--seed",
+        "7",
+        "--count",
+        "40",
+        "--threshold",
+        "0.5",
+        "--max-counterexamples",
+        "4",
+        "--generalize",
+        "--format",
+        "json",
+    ];
+    let (first, stderr, code) = run_diff(&base);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(first.contains("\"predictor\":\"ext:mock\""), "{first}");
+    assert!(
+        first.contains("{\"patterns\":[{\"pattern\":"),
+        "external disagreements must cluster: {first}"
+    );
+    // Acceptance: bit-identical across runs and thread counts, even
+    // with a live subprocess in the loop.
+    let (second, _, c2) = run_diff(&base);
+    let (t1, _, c3) = run_diff(&[&base[..], &["--threads", "1"]].concat());
+    let (t8, _, c4) = run_diff(&[&base[..], &["--threads", "8"]].concat());
+    assert_eq!(c2, Some(0));
+    assert_eq!(c3, Some(0));
+    assert_eq!(c4, Some(0));
+    assert_eq!(first, second, "two consecutive runs must be bit-identical");
+    assert_eq!(first, t1, "--threads 1 must not change the output");
+    assert_eq!(first, t8, "--threads 8 must not change the output");
+}
+
+#[test]
+fn bad_external_definitions_are_usage_errors() {
+    // An invalid tool name in an `ext:` selector token.
+    let (_, stderr, code) = run_diff(&["--predictors", "facile,ext:bad name=/bin/true"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("external predictor"), "{stderr}");
+    // An empty command.
+    let (_, stderr, code) = run_diff(&["--predictors", "facile,ext:mock="]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("command"), "{stderr}");
+    // A missing --ext-config file is a runtime error.
+    let (_, stderr, code) = run_diff(&["--ext-config", "/nonexistent/ext.toml", "--count", "5"]);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
 #[test]
 fn fail_on_unclassified_gates() {
     // facile explains itself, so facile pairs always classify: exit 0.

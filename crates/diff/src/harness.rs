@@ -2,6 +2,7 @@
 //! report.
 
 use crate::classify::{classify, DiffClass};
+use crate::generalize::{generalize_findings, GenConfig, InconsistencySummary};
 use crate::rel_delta;
 use crate::shrink::{DiffPair, ShrinkResult};
 use facile_bhive::{kernels, BlockStream, Preset};
@@ -50,6 +51,14 @@ pub struct DiffConfig {
     /// Delta-debug each finding to a 1-minimal block (disable for
     /// scan-only sweeps).
     pub shrink: bool,
+    /// Lift findings into abstract patterns and cluster them (see
+    /// [`crate::generalize`]).
+    pub generalize: bool,
+    /// Instantiations sampled per proposed pattern widening.
+    pub gen_samples: usize,
+    /// Samples that must preserve the disagreement for a widening to be
+    /// accepted (≤ `gen_samples`).
+    pub gen_min_preserved: usize,
 }
 
 impl Default for DiffConfig {
@@ -66,6 +75,9 @@ impl Default for DiffConfig {
             extra_blocks: Vec::new(),
             max_counterexamples: 25,
             shrink: true,
+            generalize: false,
+            gen_samples: 4,
+            gen_min_preserved: 3,
         }
     }
 }
@@ -312,6 +324,9 @@ pub struct DiffReport {
     /// Shrunken, classified counterexamples (deduplicated by shrunk
     /// block, pair, uarch, and notion).
     pub findings: Vec<Finding>,
+    /// Ranked inconsistency-pattern clusters (empty unless
+    /// [`DiffConfig::generalize`] is set).
+    pub patterns: Vec<InconsistencySummary>,
 }
 
 impl DiffReport {
@@ -559,6 +574,22 @@ pub fn run(engine: &Engine, cfg: &DiffConfig) -> Result<DiffReport, DiffError> {
         }
     }
 
+    // Pattern generalization: lift each finding into an abstract,
+    // engine-validated pattern and cluster. Runs after dedup so every
+    // cluster member is a distinct minimal block.
+    let patterns = if cfg.generalize {
+        let gen_cfg = GenConfig {
+            samples: cfg.gen_samples,
+            min_preserved: cfg.gen_min_preserved,
+            seed: cfg.seed,
+        };
+        let patterns = generalize_findings(engine, &findings, cfg.threshold, &gen_cfg);
+        engine.clear_cache();
+        patterns
+    } else {
+        Vec::new()
+    };
+
     Ok(DiffReport {
         seed: cfg.seed,
         threshold: cfg.threshold,
@@ -568,6 +599,7 @@ pub fn run(engine: &Engine, cfg: &DiffConfig) -> Result<DiffReport, DiffError> {
         truncated,
         matrix,
         findings,
+        patterns,
     })
 }
 

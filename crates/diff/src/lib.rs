@@ -38,10 +38,15 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod generalize;
 pub mod harness;
 pub mod shrink;
 
 pub use classify::{classify, DiffClass};
+pub use generalize::{
+    generalize_block, generalize_findings, BlockPattern, Facet, GenConfig, InconsistencySummary,
+    PatternResult, SlotPattern,
+};
 pub use harness::{run, DiffConfig, DiffError, DiffReport, Finding, PairCell, PredictorSide};
 pub use shrink::{remove_inst, DiffPair, ShrinkResult};
 

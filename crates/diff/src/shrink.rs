@@ -105,6 +105,18 @@ impl<'e> DiffPair<'e> {
         (self.pair[0].key(), self.pair[1].key())
     }
 
+    /// The microarchitecture the pair is bound to.
+    #[must_use]
+    pub fn uarch(&self) -> Uarch {
+        self.uarch
+    }
+
+    /// The throughput notion the pair is bound to.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
     /// Both predictions for `block`, or `None` if either side fails
     /// (undecodable subsets and predictor errors end a shrink branch,
     /// they never abort the hunt).

@@ -1,0 +1,164 @@
+//! Property tests for pattern generalization: every pattern subsumes
+//! the counterexample it was lifted from, every validated sample
+//! reproduces the disagreement, and both per-block generalization and
+//! the full clustered harness report are deterministic across engine
+//! thread counts.
+
+use facile_diff::{generalize_block, run, BlockPattern, DiffConfig, DiffPair, GenConfig};
+use facile_engine::Engine;
+use facile_explain::Mode;
+use facile_uarch::Uarch;
+use facile_x86::Block;
+use proptest::prelude::*;
+
+const THRESHOLD: f64 = 0.6;
+
+/// Fast analytic predictor pairs with healthy disagreement rates (same
+/// rationale as the shrink proptests: no training, no simulator).
+const PAIRS: [(&str, &str); 3] = [
+    ("facile", "llvm-mca"),
+    ("facile", "iaca"),
+    ("llvm-mca", "cqa"),
+];
+
+/// Scan the seeded stream for the first block the pair disagrees on.
+fn find_flagged(
+    engine: &Engine,
+    pair_idx: usize,
+    uarch: Uarch,
+    seed: u64,
+) -> Option<(DiffPair<'_>, Block)> {
+    let (a, b) = PAIRS[pair_idx];
+    for gb in facile_bhive::BlockStream::new(seed).take(40) {
+        let mode = if gb.looped {
+            Mode::Loop
+        } else {
+            Mode::Unrolled
+        };
+        let pair = DiffPair::new(engine, a, b, uarch, mode).expect("builtin keys");
+        if pair.delta(&gb.block).is_some_and(|d| d >= THRESHOLD) {
+            return Some((pair, gb.block));
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Soundness: the widened pattern still matches (subsumes) the
+    /// original counterexample, and every block offered as validation
+    /// evidence — the original plus each preserved sample — matches the
+    /// pattern and reproduces the disagreement past the threshold.
+    #[test]
+    fn patterns_subsume_and_samples_reproduce(
+        seed in 0u64..40,
+        pair_idx in 0usize..3,
+        uarch_idx in 0usize..3,
+    ) {
+        let engine = Engine::with_builtins();
+        let uarch = [Uarch::Skl, Uarch::Icl, Uarch::Snb][uarch_idx];
+        // `None` = no disagreement in this window: vacuously true case.
+        if let Some((pair, block)) = find_flagged(&engine, pair_idx, uarch, seed) {
+            let cfg = GenConfig::default();
+            let res = generalize_block(&pair, &block, THRESHOLD, &cfg)
+                .expect("block was flagged");
+            // Subsumption: widening never un-matches the anchor.
+            prop_assert!(
+                res.pattern.matches(&block),
+                "pattern {} does not match its own counterexample {}",
+                res.pattern.render(),
+                block.to_hex()
+            );
+            // The concrete pattern trivially matches; the widened one
+            // must not have fewer slots.
+            prop_assert_eq!(res.pattern.slots.len(), block.num_insts());
+            // Evidence: validated[0] is the original, and every entry
+            // matches the pattern and still disagrees past the threshold.
+            prop_assert!(!res.validated.is_empty());
+            prop_assert_eq!(res.validated[0].bytes(), block.bytes());
+            for v in &res.validated {
+                prop_assert!(res.pattern.matches(v), "validated block escapes pattern");
+                let d = pair.delta(v);
+                prop_assert!(
+                    d.is_some_and(|d| d >= THRESHOLD),
+                    "validated block {} has delta {:?} < {THRESHOLD}",
+                    v.to_hex(),
+                    d
+                );
+            }
+            // A pattern with zero widenings is just the concrete block.
+            if res.pattern.widenings() == 0 {
+                prop_assert_eq!(
+                    res.pattern.render(),
+                    BlockPattern::concrete(&block).render()
+                );
+            }
+        }
+    }
+
+    /// Determinism: generalizing the same flagged block on engines with
+    /// different thread counts yields the same pattern and the same
+    /// validated evidence (the sampling RNG is content-keyed, not
+    /// schedule-keyed).
+    #[test]
+    fn generalization_is_thread_count_invariant(
+        seed in 0u64..40,
+        pair_idx in 0usize..3,
+    ) {
+        let engine1 = Engine::with_builtins().with_threads(1);
+        let engine8 = Engine::with_builtins().with_threads(8);
+        if let Some((pair1, block)) = find_flagged(&engine1, pair_idx, Uarch::Skl, seed) {
+            let (a, b) = PAIRS[pair_idx];
+            let mode = if block.ends_in_branch() { Mode::Loop } else { Mode::Unrolled };
+            let pair8 = DiffPair::new(&engine8, a, b, Uarch::Skl, mode).expect("builtin keys");
+            let cfg = GenConfig::default();
+            let r1 = generalize_block(&pair1, &block, THRESHOLD, &cfg).expect("flagged");
+            let r1b = generalize_block(&pair1, &block, THRESHOLD, &cfg).expect("flagged");
+            let r8 = generalize_block(&pair8, &block, THRESHOLD, &cfg).expect("flagged");
+            let hexes = |r: &facile_diff::PatternResult| {
+                r.validated.iter().map(|v| v.to_hex()).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(r1.pattern.render(), r1b.pattern.render());
+            prop_assert_eq!(hexes(&r1), hexes(&r1b));
+            prop_assert_eq!(r1.pattern.render(), r8.pattern.render());
+            prop_assert_eq!(hexes(&r1), hexes(&r8));
+        }
+    }
+
+    /// The full harness report — findings lifted, clustered, and ranked
+    /// — serializes identically across runs and thread counts.
+    #[test]
+    fn clustered_report_is_deterministic(seed in 0u64..8) {
+        let cfg = DiffConfig {
+            selector: "facile,llvm-mca,iaca".to_string(),
+            threshold: THRESHOLD,
+            seed,
+            count: 60,
+            max_counterexamples: 8,
+            generalize: true,
+            ..DiffConfig::default()
+        };
+        let engine1 = Engine::with_builtins().with_threads(1);
+        let engine8 = Engine::with_builtins().with_threads(8);
+        let rep1 = run(&engine1, &cfg).expect("hunt");
+        let rep1b = run(&engine1, &cfg).expect("hunt");
+        let rep8 = run(&engine8, &cfg).expect("hunt");
+        let json = |r: &facile_diff::DiffReport| {
+            r.patterns.iter().map(|p| p.to_json()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(json(&rep1), json(&rep1b));
+        prop_assert_eq!(json(&rep1), json(&rep8));
+        // Every cluster's representative is a real finding and its
+        // pattern validated at least the representative itself.
+        for p in &rep1.patterns {
+            prop_assert!(p.blocks >= 1);
+            prop_assert!(p.validated >= 1);
+            prop_assert!(
+                rep1.findings.iter().any(|f| f.shrunk_hex == p.representative_hex),
+                "representative {} is not a finding",
+                p.representative_hex
+            );
+        }
+    }
+}

@@ -68,6 +68,35 @@ pub enum PredictError {
         /// The injection point that fired (e.g. `"predict-error"`).
         point: String,
     },
+    /// An external predictor subprocess did not reply within its
+    /// per-request timeout. The adapter kills the subprocess and
+    /// restarts it (with backoff) on a later request.
+    ExternalTimeout {
+        /// Registry key of the external predictor (`ext:<name>`).
+        tool: String,
+        /// The per-request timeout that elapsed, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// An external predictor subprocess could not be spawned, exited, or
+    /// closed its pipes mid-request. Includes fail-fast rows produced
+    /// while the adapter's restart backoff is holding the tool down.
+    ExternalCrashed {
+        /// Registry key of the external predictor (`ext:<name>`).
+        tool: String,
+        /// What happened (spawn error, exit status, backoff, ...).
+        detail: String,
+    },
+    /// An external predictor replied with something that is not a valid
+    /// protocol reply (garbage bytes, an unparsable object, a reply for
+    /// the wrong request id). The adapter kills and restarts the
+    /// subprocess: after a protocol violation the stream cannot be
+    /// resynchronized.
+    ExternalMalformed {
+        /// Registry key of the external predictor (`ext:<name>`).
+        tool: String,
+        /// The parse diagnosis, with the offending line (truncated).
+        detail: String,
+    },
 }
 
 impl fmt::Display for PredictError {
@@ -109,6 +138,21 @@ impl fmt::Display for PredictError {
             PredictError::Injected { point } => {
                 write!(f, "injected fault at {point}")
             }
+            PredictError::ExternalTimeout { tool, timeout_ms } => {
+                write!(
+                    f,
+                    "external predictor {tool:?} timed out after {timeout_ms} ms"
+                )
+            }
+            PredictError::ExternalCrashed { tool, detail } => {
+                write!(f, "external predictor {tool:?} crashed: {detail}")
+            }
+            PredictError::ExternalMalformed { tool, detail } => {
+                write!(
+                    f,
+                    "external predictor {tool:?} sent a malformed reply: {detail}"
+                )
+            }
         }
     }
 }
@@ -136,6 +180,9 @@ impl PredictError {
             PredictError::InvalidOutput { .. } => "invalid-output",
             PredictError::Panicked { .. } => "internal-panic",
             PredictError::Injected { .. } => "injected-fault",
+            PredictError::ExternalTimeout { .. } => "external-timeout",
+            PredictError::ExternalCrashed { .. } => "external-crashed",
+            PredictError::ExternalMalformed { .. } => "external-malformed",
         }
     }
 }

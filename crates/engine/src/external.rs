@@ -1,0 +1,898 @@
+//! External-predictor adapters: serve any out-of-process tool through
+//! the [`Predictor`] trait.
+//!
+//! An [`ExternalPredictor`] wraps a subprocess speaking a line-oriented
+//! JSON protocol on stdin/stdout. The subprocess is spawned once and
+//! reused across requests; one request line is written, one reply line is
+//! read back, matched by an echoed `id`:
+//!
+//! ```text
+//! -> {"id":0,"op":"version"}
+//! <- {"id":0,"version":"mock-1"}
+//! -> {"id":1,"op":"predict","block":"4801c8","uarch":"SKL","mode":"tpu"}
+//! <- {"id":1,"throughput":1.0}
+//! <- {"id":2,"error":"cannot decode block"}        (tool-level error)
+//! ```
+//!
+//! Everything an external tool can do wrong is sandboxed into a typed
+//! [`PredictError`] row instead of wedging the batch:
+//!
+//! * no reply within the per-request timeout → [`PredictError::ExternalTimeout`]
+//!   (the subprocess is killed: a late reply would desynchronize ids);
+//! * spawn failure, exit, or closed pipes → [`PredictError::ExternalCrashed`];
+//! * an unparsable reply or an `id` mismatch → [`PredictError::ExternalMalformed`]
+//!   (also kills the subprocess — the stream cannot be resynchronized);
+//! * a well-formed `{"error":...}` reply or a non-finite/negative
+//!   throughput → [`PredictError::InvalidOutput`] (the tool stays up).
+//!
+//! After a failure the adapter restarts the tool under **backoff
+//! supervision**: the n-th consecutive failure makes the next
+//! `2^min(n,6)` requests fail fast with `ExternalCrashed` before a
+//! respawn is attempted, and after [`ExternalSpec::max_restarts`]
+//! consecutive failures the adapter gives up for good. Backoff is
+//! counted in *requests*, not wall time, so batch output stays a pure
+//! function of the request sequence.
+//!
+//! Successful predictions land in a result cache keyed by `(block
+//! bytes, uarch, mode)` per adapter — i.e. `(bytes, uarch, tool,
+//! tool-version)` overall, since the cache is cleared when a respawned
+//! tool reports a different version. Slow tools thereby ride the
+//! engine's planner dedup across batches.
+//!
+//! Adapters are registered from a `--predictors` selector with
+//! [`register_selector_externals`] (`ext:<name>=<command line>` tokens
+//! become registry entries under the key `ext:<name>`) or from a config
+//! file with [`load_config`].
+
+use crate::error::PredictError;
+use crate::predictor::{PredictRequest, Prediction, Predictor};
+use crate::registry::PredictorRegistry;
+use facile_core::Mode;
+use facile_faults as faults;
+use facile_uarch::Uarch;
+use facile_util::{FxHashMap, PoisonlessMutex};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default per-request timeout.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default consecutive-failure budget before the adapter gives up.
+pub const DEFAULT_MAX_RESTARTS: u32 = 3;
+
+/// How an external tool is launched and supervised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternalSpec {
+    /// Tool name; the registry key is `ext:<name>`.
+    pub name: String,
+    /// Command line (argv): program followed by its arguments.
+    pub cmd: Vec<String>,
+    /// Per-request reply timeout.
+    pub timeout: Duration,
+    /// Consecutive failures tolerated before the adapter stops
+    /// respawning the tool and fails fast forever.
+    pub max_restarts: u32,
+}
+
+impl ExternalSpec {
+    /// Build a spec from a tool name and a whitespace-split command
+    /// line, with default timeout and restart budget.
+    ///
+    /// # Errors
+    /// A descriptive message when the name is empty or contains selector
+    /// metacharacters, or when the command line is empty.
+    pub fn parse(name: &str, cmdline: &str) -> Result<ExternalSpec, String> {
+        if name.is_empty() {
+            return Err("external predictor name is empty (use ext:<name>=<cmd>)".to_string());
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(format!(
+                "external predictor name {name:?} may only contain [A-Za-z0-9._-]"
+            ));
+        }
+        let cmd: Vec<String> = cmdline.split_whitespace().map(str::to_string).collect();
+        if cmd.is_empty() {
+            return Err(format!("external predictor {name:?} has an empty command"));
+        }
+        Ok(ExternalSpec {
+            name: name.to_string(),
+            cmd,
+            timeout: DEFAULT_TIMEOUT,
+            max_restarts: DEFAULT_MAX_RESTARTS,
+        })
+    }
+
+    /// The registry key this spec is served under.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("ext:{}", self.name)
+    }
+}
+
+/// The version-handshake request line (written once, right after spawn).
+#[must_use]
+pub fn version_request(id: u64) -> String {
+    format!("{{\"id\":{id},\"op\":\"version\"}}")
+}
+
+/// One prediction request line. `mode` is written as its wire tag
+/// (`tpu`/`tpl`), `uarch` as its abbreviation (`SKL`, ...).
+#[must_use]
+pub fn predict_request(id: u64, block_hex: &str, uarch: Uarch, mode: Mode) -> String {
+    format!(
+        "{{\"id\":{id},\"op\":\"predict\",\"block\":\"{block_hex}\",\"uarch\":\"{uarch}\",\"mode\":\"{}\"}}",
+        mode_tag(mode)
+    )
+}
+
+/// The wire tag of a throughput notion.
+#[must_use]
+pub fn mode_tag(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Unrolled => "tpu",
+        Mode::Loop => "tpl",
+    }
+}
+
+/// One parsed reply line. Exactly the fields the protocol defines;
+/// unknown fields are ignored.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Reply {
+    /// Echoed request id.
+    pub id: Option<u64>,
+    /// Predicted throughput (success replies).
+    pub throughput: Option<f64>,
+    /// Tool-level error message (error replies).
+    pub error: Option<String>,
+    /// Tool version (handshake replies).
+    pub version: Option<String>,
+}
+
+/// Parse one reply line: a flat JSON object with string or number
+/// values. Nested objects/arrays are protocol violations.
+///
+/// # Errors
+/// A parse diagnosis (position and expectation) on malformed input.
+pub fn parse_reply(line: &str) -> Result<Reply, String> {
+    let mut p = MiniParser {
+        s: line.as_bytes(),
+        i: 0,
+    };
+    let mut reply = Reply::default();
+    p.skip_ws();
+    p.expect(b'{')?;
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.i += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            match p.peek() {
+                Some(b'"') => {
+                    let v = p.string()?;
+                    match key.as_str() {
+                        "error" => reply.error = Some(v),
+                        "version" => reply.version = Some(v),
+                        _ => {}
+                    }
+                }
+                Some(c) if c == b'-' || c.is_ascii_digit() => {
+                    let v = p.number()?;
+                    match key.as_str() {
+                        "id" if v >= 0.0 && v.fract() == 0.0 => {
+                            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                            {
+                                reply.id = Some(v as u64);
+                            }
+                        }
+                        "throughput" => reply.throughput = Some(v),
+                        _ => {}
+                    }
+                }
+                Some(b't') | Some(b'f') | Some(b'n') => p.literal()?,
+                _ => return Err(format!("byte {}: expected a flat value", p.i)),
+            }
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.i += 1,
+                Some(b'}') => {
+                    p.i += 1;
+                    break;
+                }
+                _ => return Err(format!("byte {}: expected ',' or '}}'", p.i)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(format!("byte {}: trailing bytes after object", p.i));
+    }
+    Ok(reply)
+}
+
+/// A minimal scanner for the flat reply objects the protocol allows.
+struct MiniParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl MiniParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("byte {}: expected {:?}", self.i, char::from(c)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(format!("byte {}: unterminated string", self.i)),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("byte {}: dangling escape", self.i))?;
+                    self.i += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => {
+                            return Err(format!(
+                                "byte {}: unsupported escape \\{}",
+                                self.i,
+                                char::from(other)
+                            ))
+                        }
+                    });
+                }
+                Some(c) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.s.len() && (self.s[self.i] & 0xC0) == 0x80 {
+                        self.i += 1;
+                    }
+                    match std::str::from_utf8(&self.s[start..self.i]) {
+                        Ok(chunk) => out.push_str(chunk),
+                        Err(_) => return Err(format!("byte {start}: invalid UTF-8 ({c:#x})")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .ok_or_else(|| format!("byte {start}: not a number"))
+    }
+
+    fn literal(&mut self) -> Result<(), String> {
+        for lit in ["true", "false", "null"] {
+            if self.s[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                return Ok(());
+            }
+        }
+        Err(format!("byte {}: expected true/false/null", self.i))
+    }
+}
+
+/// A live subprocess: pipes plus the reader thread's line channel.
+struct Running {
+    child: Child,
+    stdin: ChildStdin,
+    lines: mpsc::Receiver<String>,
+    version: String,
+}
+
+impl Running {
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Supervision state: the child (if healthy), the request-id counter,
+/// and the restart bookkeeping.
+struct State {
+    running: Option<Running>,
+    next_id: u64,
+    /// Consecutive failures since the last successful reply.
+    failures: u32,
+    /// Requests to fail fast before the next respawn attempt.
+    backoff: u64,
+    /// Total respawns performed (after the initial spawn).
+    restarts: u64,
+    /// Version reported by the last successful handshake.
+    version: Option<String>,
+}
+
+/// Result cache: `(block bytes, uarch, mode)` → throughput. The tool
+/// identity is implicit (one cache per adapter) and the tool *version*
+/// invalidates it wholesale on respawn.
+type ResultCache = FxHashMap<(Vec<u8>, Uarch, Mode), f64>;
+
+/// A [`Predictor`] served by an external subprocess.
+pub struct ExternalPredictor {
+    spec: ExternalSpec,
+    key: String,
+    state: PoisonlessMutex<State>,
+    cache: PoisonlessMutex<ResultCache>,
+}
+
+impl ExternalPredictor {
+    /// Wrap a spec. The subprocess is spawned lazily, on the first
+    /// prediction request.
+    #[must_use]
+    pub fn new(spec: ExternalSpec) -> ExternalPredictor {
+        let key = spec.key();
+        ExternalPredictor {
+            spec,
+            key,
+            state: PoisonlessMutex::new(State {
+                running: None,
+                next_id: 0,
+                failures: 0,
+                backoff: 0,
+                restarts: 0,
+                version: None,
+            }),
+            cache: PoisonlessMutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The spec this adapter serves.
+    #[must_use]
+    pub fn spec(&self) -> &ExternalSpec {
+        &self.spec
+    }
+
+    /// The tool version reported by the last successful handshake, if
+    /// the tool has been spawned yet.
+    #[must_use]
+    pub fn tool_version(&self) -> Option<String> {
+        self.state.lock().version.clone()
+    }
+
+    /// Respawns performed so far (excludes the initial spawn).
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.state.lock().restarts
+    }
+
+    /// Cached successful predictions.
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    fn crashed(&self, detail: impl Into<String>) -> PredictError {
+        PredictError::ExternalCrashed {
+            tool: self.key.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    fn malformed(&self, detail: impl Into<String>) -> PredictError {
+        PredictError::ExternalMalformed {
+            tool: self.key.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    fn timeout_error(&self) -> PredictError {
+        PredictError::ExternalTimeout {
+            tool: self.key.clone(),
+            timeout_ms: u64::try_from(self.spec.timeout.as_millis()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Record a failure: kill the child (if any) and arm the backoff
+    /// window for the next respawn.
+    fn note_failure(&self, st: &mut State) {
+        if let Some(r) = st.running.take() {
+            r.kill();
+        }
+        st.failures = st.failures.saturating_add(1);
+        st.backoff = 1u64 << st.failures.min(6);
+    }
+
+    /// Spawn the subprocess and run the version handshake.
+    fn spawn(&self, st: &mut State) -> Result<(), PredictError> {
+        let mut child = Command::new(&self.spec.cmd[0])
+            .args(&self.spec.cmd[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| self.crashed(format!("cannot spawn {:?}: {e}", self.spec.cmd[0])))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx) = mpsc::channel();
+        let name = format!("ext-{}", self.spec.name);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                let mut reader = BufReader::new(stdout);
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {
+                            if tx.send(line.trim_end().to_string()).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            })
+            .map_err(|e| self.crashed(format!("cannot start reader thread: {e}")))?;
+        let mut running = Running {
+            child,
+            stdin,
+            lines: rx,
+            version: String::new(),
+        };
+        let id = st.next_id;
+        st.next_id += 1;
+        let version = self
+            .roundtrip(&mut running, id, &version_request(id))
+            .and_then(|reply| {
+                reply
+                    .version
+                    .ok_or_else(|| self.malformed("handshake reply carries no version"))
+            });
+        match version {
+            Ok(v) => {
+                // A different tool version invalidates the result cache:
+                // the cache key is effectively (bytes, uarch, mode,
+                // tool, tool-version).
+                if st.version.as_deref().is_some_and(|prev| prev != v) {
+                    self.cache.lock().clear();
+                }
+                st.version = Some(v.clone());
+                running.version = v;
+                if st.running.is_some() || st.restarts > 0 || st.failures > 0 {
+                    st.restarts += 1;
+                }
+                st.running = Some(running);
+                Ok(())
+            }
+            Err(e) => {
+                running.kill();
+                Err(e)
+            }
+        }
+    }
+
+    /// Write one request line and read the matching reply, enforcing the
+    /// per-request timeout and the id echo.
+    fn roundtrip(&self, r: &mut Running, id: u64, request: &str) -> Result<Reply, PredictError> {
+        writeln!(r.stdin, "{request}")
+            .and_then(|()| r.stdin.flush())
+            .map_err(|e| self.crashed(format!("stdin closed: {e}")))?;
+        let line = match r.lines.recv_timeout(self.spec.timeout) {
+            Ok(line) => line,
+            Err(mpsc::RecvTimeoutError::Timeout) => return Err(self.timeout_error()),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let status = r
+                    .child
+                    .wait()
+                    .map_or_else(|e| format!("wait failed: {e}"), |s| s.to_string());
+                return Err(self.crashed(format!("stdout closed ({status})")));
+            }
+        };
+        let reply = parse_reply(&line).map_err(|e| {
+            let mut shown: String = line.chars().take(80).collect();
+            if shown.len() < line.len() {
+                shown.push('…');
+            }
+            self.malformed(format!("{e} in {shown:?}"))
+        })?;
+        if reply.id != Some(id) {
+            return Err(self.malformed(format!(
+                "reply id {:?} does not echo request id {id}",
+                reply.id
+            )));
+        }
+        Ok(reply)
+    }
+}
+
+impl Drop for ExternalPredictor {
+    fn drop(&mut self) {
+        if let Some(r) = self.state.lock().running.take() {
+            r.kill();
+        }
+    }
+}
+
+impl Predictor for ExternalPredictor {
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, PredictError> {
+        let bytes = req.block().bytes();
+        // Fault injection is decided before the cache so a chaos run
+        // cannot be masked by earlier cached successes. The decisions
+        // are content-keyed: the same block is faulted on every run and
+        // thread interleaving, and the subprocess is left untouched so
+        // non-faulted rows stay byte-identical to a fault-free run.
+        if faults::decide(faults::Point::ExtTimeout, bytes) {
+            return Err(self.timeout_error());
+        }
+        if faults::decide(faults::Point::ExtCrash, bytes) {
+            return Err(self.crashed("injected fault at ext-crash"));
+        }
+        let cache_key = (bytes.to_vec(), req.uarch(), req.mode());
+        if let Some(&tp) = self.cache.lock().get(&cache_key) {
+            return Ok(Prediction::plain(tp));
+        }
+
+        let mut st = self.state.lock();
+        if st.running.is_none() {
+            if st.failures > self.spec.max_restarts {
+                return Err(self.crashed(format!(
+                    "gave up after {} consecutive failures",
+                    st.failures
+                )));
+            }
+            if st.backoff > 0 {
+                st.backoff -= 1;
+                return Err(self.crashed(format!(
+                    "in restart backoff ({} request(s) until respawn)",
+                    st.backoff + 1
+                )));
+            }
+            if let Err(e) = self.spawn(&mut st) {
+                self.note_failure(&mut st);
+                return Err(e);
+            }
+        }
+
+        let id = st.next_id;
+        st.next_id += 1;
+        let request = predict_request(id, &req.block().to_hex(), req.uarch(), req.mode());
+        let running = st.running.as_mut().expect("spawned above");
+        let reply = match self.roundtrip(running, id, &request) {
+            Ok(reply) => reply,
+            Err(e) => {
+                self.note_failure(&mut st);
+                return Err(e);
+            }
+        };
+        // Any well-formed, correctly-addressed reply means the tool is
+        // healthy; the supervision counters reset even for tool-level
+        // error replies.
+        st.failures = 0;
+        st.backoff = 0;
+        drop(st);
+
+        if let Some(msg) = reply.error {
+            return Err(PredictError::InvalidOutput {
+                predictor: self.key.clone(),
+                value: msg,
+                mode: req.mode(),
+            });
+        }
+        let tp = reply
+            .throughput
+            .ok_or_else(|| self.malformed("reply carries neither throughput nor error"))?;
+        if !tp.is_finite() || tp < 0.0 {
+            return Err(PredictError::InvalidOutput {
+                predictor: self.key.clone(),
+                value: format!("{tp}"),
+                mode: req.mode(),
+            });
+        }
+        self.cache.lock().insert(cache_key, tp);
+        Ok(Prediction::plain(tp))
+    }
+}
+
+/// Extract `ext:<name>=<cmd>` tokens from a comma-separated predictor
+/// selector. Returns the parsed specs and the rewritten selector, where
+/// each definition token is replaced by its registry key `ext:<name>`
+/// (bare `ext:<name>` references pass through untouched).
+///
+/// The command line is split on whitespace; it therefore cannot contain
+/// commas or quoted arguments — wrap complex invocations in a script.
+///
+/// # Errors
+/// A descriptive message for malformed `ext:` tokens.
+pub fn extract_selector_externals(selector: &str) -> Result<(Vec<ExternalSpec>, String), String> {
+    let mut specs = Vec::new();
+    let mut tokens: Vec<String> = Vec::new();
+    for token in selector.split(',') {
+        let t = token.trim();
+        if let Some(rest) = t.strip_prefix("ext:") {
+            if let Some((name, cmd)) = rest.split_once('=') {
+                let spec = ExternalSpec::parse(name.trim(), cmd)?;
+                tokens.push(spec.key());
+                specs.push(spec);
+                continue;
+            }
+        }
+        tokens.push(t.to_string());
+    }
+    Ok((specs, tokens.join(",")))
+}
+
+/// Register every `ext:<name>=<cmd>` token of `selector` in `registry`
+/// and return the rewritten selector (definitions replaced by their
+/// `ext:<name>` keys).
+///
+/// # Errors
+/// A descriptive message for malformed `ext:` tokens.
+pub fn register_selector_externals(
+    registry: &mut PredictorRegistry,
+    selector: &str,
+) -> Result<String, String> {
+    let (specs, rewritten) = extract_selector_externals(selector)?;
+    for spec in specs {
+        registry.register(Arc::new(ExternalPredictor::new(spec)));
+    }
+    Ok(rewritten)
+}
+
+/// Parse an external-predictor config file (a TOML subset).
+///
+/// Two forms are accepted — a shorthand assignment per tool, or a
+/// section with tuning knobs:
+///
+/// ```toml
+/// # shorthand: name = "command line"
+/// mock = "target/debug/mock_predictor --mode echo-facile"
+///
+/// [external.slow-tool]
+/// cmd = "scripts/run-slow-tool.sh"
+/// timeout-ms = 30000
+/// max-restarts = 5
+/// ```
+///
+/// # Errors
+/// A `line N: ...` message on the first malformed line.
+pub fn parse_config(text: &str) -> Result<Vec<ExternalSpec>, String> {
+    fn flush(
+        specs: &mut Vec<ExternalSpec>,
+        section: &mut Option<(String, Option<ExternalSpec>)>,
+    ) -> Result<(), String> {
+        if let Some((name, spec)) = section.take() {
+            specs.push(spec.ok_or_else(|| format!("section [external.{name}] is missing cmd"))?);
+        }
+        Ok(())
+    }
+    let mut specs: Vec<ExternalSpec> = Vec::new();
+    // The spec currently being filled by a [external.<name>] section.
+    let mut section: Option<(String, Option<ExternalSpec>)> = None;
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let at = |msg: String| format!("line {}: {msg}", n + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| at("unterminated section header".to_string()))?;
+            let name = header.strip_prefix("external.").ok_or_else(|| {
+                at(format!(
+                    "unknown section [{header}] (expected [external.<name>])"
+                ))
+            })?;
+            flush(&mut specs, &mut section)?;
+            if name.is_empty() {
+                return Err(at("section has no tool name".to_string()));
+            }
+            section = Some((name.to_string(), None));
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| at(format!("{line:?} is not key = value")))?;
+        let unquote = |v: &str| -> Result<String, String> {
+            v.strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .map(str::to_string)
+                .ok_or_else(|| at(format!("value {v:?} must be a double-quoted string")))
+        };
+        match &mut section {
+            None => {
+                // Shorthand: name = "command line".
+                specs.push(ExternalSpec::parse(key, &unquote(value)?).map_err(at)?);
+            }
+            Some((name, spec)) => match key {
+                "cmd" => {
+                    *spec = Some(ExternalSpec::parse(name, &unquote(value)?).map_err(at)?);
+                }
+                "timeout-ms" => {
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| at(format!("bad timeout-ms {value:?}")))?;
+                    let s = spec
+                        .as_mut()
+                        .ok_or_else(|| at("timeout-ms before cmd".to_string()))?;
+                    s.timeout = Duration::from_millis(ms);
+                }
+                "max-restarts" => {
+                    let m: u32 = value
+                        .parse()
+                        .map_err(|_| at(format!("bad max-restarts {value:?}")))?;
+                    let s = spec
+                        .as_mut()
+                        .ok_or_else(|| at("max-restarts before cmd".to_string()))?;
+                    s.max_restarts = m;
+                }
+                other => return Err(at(format!("unknown key {other:?}"))),
+            },
+        }
+    }
+    flush(&mut specs, &mut section)?;
+    Ok(specs)
+}
+
+/// Read, parse, and register an external-predictor config file. Returns
+/// the registered keys.
+///
+/// # Errors
+/// A descriptive message when the file cannot be read or parsed.
+pub fn load_config(registry: &mut PredictorRegistry, path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let specs = parse_config(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut keys = Vec::with_capacity(specs.len());
+    for spec in specs {
+        keys.push(spec.key());
+        registry.register(Arc::new(ExternalPredictor::new(spec)));
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_are_stable() {
+        assert_eq!(version_request(0), "{\"id\":0,\"op\":\"version\"}");
+        assert_eq!(
+            predict_request(7, "4801c8", Uarch::Skl, Mode::Unrolled),
+            "{\"id\":7,\"op\":\"predict\",\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\"}"
+        );
+        assert_eq!(
+            predict_request(8, "ffe0", Uarch::Icl, Mode::Loop),
+            "{\"id\":8,\"op\":\"predict\",\"block\":\"ffe0\",\"uarch\":\"ICL\",\"mode\":\"tpl\"}"
+        );
+    }
+
+    #[test]
+    fn replies_parse() {
+        let r = parse_reply("{\"id\":3,\"throughput\":2.5}").unwrap();
+        assert_eq!(r.id, Some(3));
+        assert_eq!(r.throughput, Some(2.5));
+        let r = parse_reply("{\"id\":4,\"error\":\"no \\\"such\\\" block\"}").unwrap();
+        assert_eq!(r.error.as_deref(), Some("no \"such\" block"));
+        let r = parse_reply(" { \"id\" : 0 , \"version\" : \"mock-1\" } ").unwrap();
+        assert_eq!(r.version.as_deref(), Some("mock-1"));
+        // Unknown fields and literals are tolerated; structure is not.
+        assert!(parse_reply("{\"id\":1,\"ok\":true}").is_ok());
+        for bad in [
+            "",
+            "garbage",
+            "{\"id\":1",
+            "{\"id\":1}trailing",
+            "{\"nested\":{\"id\":1}}",
+            "{\"list\":[1]}",
+            "{\"id\":}",
+        ] {
+            assert!(parse_reply(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn selector_extraction_rewrites_definitions() {
+        let (specs, sel) =
+            extract_selector_externals("facile*, ext:mock=/bin/mock --mode echo-facile, sim")
+                .unwrap();
+        assert_eq!(sel, "facile*,ext:mock,sim");
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].name, "mock");
+        assert_eq!(specs[0].cmd, ["/bin/mock", "--mode", "echo-facile"]);
+        // Bare references pass through; non-ext tokens are untouched.
+        let (specs, sel) = extract_selector_externals("ext:mock,facile").unwrap();
+        assert!(specs.is_empty());
+        assert_eq!(sel, "ext:mock,facile");
+        // Malformed definitions are rejected.
+        assert!(extract_selector_externals("ext:=x").is_err());
+        assert!(extract_selector_externals("ext:a b=x").is_err());
+        assert!(extract_selector_externals("ext:a=").is_err());
+    }
+
+    #[test]
+    fn config_parses_shorthand_and_sections() {
+        let text = "\
+# tools
+mock = \"/bin/mock --mode echo-facile\"
+
+[external.slow]
+cmd = \"/bin/slow --x\"
+timeout-ms = 250
+max-restarts = 7
+";
+        let specs = parse_config(text).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "mock");
+        assert_eq!(specs[0].timeout, DEFAULT_TIMEOUT);
+        assert_eq!(specs[1].name, "slow");
+        assert_eq!(specs[1].timeout, Duration::from_millis(250));
+        assert_eq!(specs[1].max_restarts, 7);
+        for bad in [
+            "[external.x]\n",                 // missing cmd
+            "[oops]\ncmd = \"x\"\n",          // unknown section
+            "mock = bare\n",                  // unquoted value
+            "[external.x]\ntimeout-ms = 5\n", // knob before cmd
+            "just a line\n",
+        ] {
+            assert!(parse_config(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn spec_keys_and_registration() {
+        let spec = ExternalSpec::parse("mock", "/bin/true").unwrap();
+        assert_eq!(spec.key(), "ext:mock");
+        let mut reg = PredictorRegistry::new();
+        let sel = register_selector_externals(&mut reg, "ext:mock=/bin/true").unwrap();
+        assert_eq!(sel, "ext:mock");
+        assert!(reg.get("ext:mock").is_some());
+    }
+}

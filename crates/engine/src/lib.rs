@@ -33,6 +33,7 @@ pub mod adapters;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod external;
 pub mod predictor;
 pub mod registry;
 pub mod render;
@@ -44,6 +45,10 @@ pub use engine::{
     ItemResult, PlannerStats,
 };
 pub use error::PredictError;
+pub use external::{
+    extract_selector_externals, load_config as load_external_config, parse_reply,
+    register_selector_externals, ExternalPredictor, ExternalSpec,
+};
 pub use facile_core::timing::KernelTiming;
 pub use facile_explain::{Detail, Explanation};
 pub use predictor::{PredictRequest, Prediction, Predictor};

@@ -70,11 +70,18 @@ pub enum Point {
     ConnDrop,
     /// The server's batcher thread panics between batches.
     BatcherPanic,
+    /// An external-predictor request times out (the adapter reports
+    /// `ExternalTimeout` without touching the subprocess).
+    ExtTimeout,
+    /// An external-predictor request observes a crashed subprocess (the
+    /// adapter reports `ExternalCrashed` without touching the
+    /// subprocess).
+    ExtCrash,
 }
 
 impl Point {
     /// All injection points, in spec-key order.
-    pub const ALL: [Point; 8] = [
+    pub const ALL: [Point; 10] = [
         Point::DecodePanic,
         Point::AnnotatePanic,
         Point::PredictPanic,
@@ -83,6 +90,8 @@ impl Point {
         Point::SnapshotFail,
         Point::ConnDrop,
         Point::BatcherPanic,
+        Point::ExtTimeout,
+        Point::ExtCrash,
     ];
 
     /// The spec-string key for this point.
@@ -96,6 +105,8 @@ impl Point {
             Point::SnapshotFail => "snapshot-fail",
             Point::ConnDrop => "conn-drop",
             Point::BatcherPanic => "batcher-panic",
+            Point::ExtTimeout => "ext-timeout",
+            Point::ExtCrash => "ext-crash",
         }
     }
 

@@ -34,6 +34,7 @@ pub mod form;
 pub mod intern;
 pub mod probes;
 pub mod tables;
+pub mod vocab;
 
 pub use annotate::{AnnotatedBlock, AnnotatedInst};
 pub use classify::{describe, describe_fused_pair, macro_fuses};

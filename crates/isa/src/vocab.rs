@@ -1,0 +1,156 @@
+//! Abstraction vocabulary for block patterns.
+//!
+//! The shape-key machinery in [`crate::form`] collapses an instruction's
+//! operands into a structural tag (register class × width, imm, mem,
+//! ...) for descriptor-table lookup. Pattern generalization in
+//! `facile-diff` abstracts counterexamples along the same axes — "any
+//! r64 here", "any condition code", "any immediate" — and then needs to
+//! walk *back* from the abstract slot to concrete instantiations it can
+//! sample through the engine. This module is that shared vocabulary:
+//! mnemonic families, condition-code surgery, and the register pools
+//! instantiation draws from.
+
+use facile_x86::{Cond, Mnemonic, Reg, Width};
+
+/// GPR numbers instantiation may draw from. Excludes 4 (`rsp`): blocks
+/// that address or clobber the stack pointer trip the decoder's SIB
+/// special cases and are over-represented as assembly failures, and
+/// `rsp` arithmetic is not something the corpus generators emit either.
+pub const GPR_POOL: [u8; 15] = [0, 1, 2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+
+/// Vector register numbers instantiation may draw from.
+pub const VEC_POOL: [u8; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+
+/// Memory-index scale factors.
+pub const SCALE_POOL: [u8; 4] = [1, 2, 4, 8];
+
+/// The mnemonic family a pattern slot names when its condition code is
+/// abstracted: every `Jcc` is `"jcc"`, every `Setcc` is `"setcc"`,
+/// every `Cmovcc` is `"cmovcc"`, and anything else is its own family of
+/// one (its plain assembly name).
+#[must_use]
+pub fn mnemonic_group(m: Mnemonic) -> String {
+    match m {
+        Mnemonic::Jcc(_) => "jcc".to_string(),
+        Mnemonic::Setcc(_) => "setcc".to_string(),
+        Mnemonic::Cmovcc(_) => "cmovcc".to_string(),
+        other => other.name(),
+    }
+}
+
+/// The condition code of a conditional mnemonic, `None` otherwise.
+#[must_use]
+pub fn cond_of(m: Mnemonic) -> Option<Cond> {
+    match m {
+        Mnemonic::Jcc(c) | Mnemonic::Setcc(c) | Mnemonic::Cmovcc(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// The same conditional mnemonic with its condition code replaced;
+/// non-conditional mnemonics pass through unchanged.
+#[must_use]
+pub fn with_cond(m: Mnemonic, cond: Cond) -> Mnemonic {
+    match m {
+        Mnemonic::Jcc(_) => Mnemonic::Jcc(cond),
+        Mnemonic::Setcc(_) => Mnemonic::Setcc(cond),
+        Mnemonic::Cmovcc(_) => Mnemonic::Cmovcc(cond),
+        other => other,
+    }
+}
+
+/// The `i`-th register (modulo pool size) of `template`'s class: the
+/// same hardware-register view as `template`, renumbered. High-byte and
+/// `rip` views have no samplable pool and return `None`.
+#[must_use]
+pub fn nth_of_class(template: Reg, i: usize) -> Option<Reg> {
+    match template {
+        Reg::Gpr { width, .. } => Some(Reg::Gpr {
+            num: GPR_POOL[i % GPR_POOL.len()],
+            width,
+        }),
+        Reg::Xmm(_) => Some(Reg::Xmm(VEC_POOL[i % VEC_POOL.len()])),
+        Reg::Ymm(_) => Some(Reg::Ymm(VEC_POOL[i % VEC_POOL.len()])),
+        Reg::HighByte(_) | Reg::Rip => None,
+    }
+}
+
+/// The class name a widened register slot renders as: `r8`/`r16`/`r32`/
+/// `r64` for GPR views, `xmm`/`ymm` for vector views. High-byte and
+/// `rip` views are never widened and keep their concrete names.
+#[must_use]
+pub fn class_name(r: Reg) -> String {
+    match r {
+        Reg::Gpr { width, .. } => match width {
+            Width::W8 => "r8".to_string(),
+            Width::W16 => "r16".to_string(),
+            Width::W32 => "r32".to_string(),
+            Width::W64 => "r64".to_string(),
+            // GPR views never carry vector widths.
+            Width::W128 | Width::W256 => "r?".to_string(),
+        },
+        Reg::Xmm(_) => "xmm".to_string(),
+        Reg::Ymm(_) => "ymm".to_string(),
+        Reg::HighByte(_) | Reg::Rip => r.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_collapse_condition_codes() {
+        assert_eq!(mnemonic_group(Mnemonic::Jcc(Cond::E)), "jcc");
+        assert_eq!(mnemonic_group(Mnemonic::Jcc(Cond::No)), "jcc");
+        assert_eq!(mnemonic_group(Mnemonic::Setcc(Cond::B)), "setcc");
+        assert_eq!(mnemonic_group(Mnemonic::Cmovcc(Cond::Le)), "cmovcc");
+        assert_eq!(mnemonic_group(Mnemonic::Add), "add");
+    }
+
+    #[test]
+    fn cond_surgery_roundtrips() {
+        for &c in &Cond::ALL {
+            let m = with_cond(Mnemonic::Jcc(Cond::E), c);
+            assert_eq!(cond_of(m), Some(c));
+            assert_eq!(mnemonic_group(m), "jcc");
+        }
+        assert_eq!(cond_of(Mnemonic::Add), None);
+        assert_eq!(with_cond(Mnemonic::Add, Cond::E), Mnemonic::Add);
+    }
+
+    #[test]
+    fn pools_avoid_rsp() {
+        assert!(!GPR_POOL.contains(&4));
+        for i in 0..40 {
+            let r = nth_of_class(
+                Reg::Gpr {
+                    num: 0,
+                    width: Width::W64,
+                },
+                i,
+            )
+            .unwrap();
+            assert_ne!(r.num(), 4);
+            assert_eq!(r.width(), Width::W64);
+        }
+        assert_eq!(
+            nth_of_class(Reg::Xmm(3), 17),
+            Some(Reg::Xmm(VEC_POOL[17 % 16]))
+        );
+        assert_eq!(nth_of_class(Reg::HighByte(0), 0), None);
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(
+            class_name(Reg::Gpr {
+                num: 3,
+                width: Width::W64
+            }),
+            "r64"
+        );
+        assert_eq!(class_name(Reg::Xmm(9)), "xmm");
+        assert_eq!(class_name(Reg::Ymm(1)), "ymm");
+    }
+}

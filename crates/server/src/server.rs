@@ -33,7 +33,9 @@
 
 use crate::protocol::{self, Parsed, ProtoError, Request};
 use crate::snapshot::{self, SnapshotError, SnapshotInfo};
-use facile_engine::{panic_payload, BatchItem, Engine, ItemResult};
+use facile_engine::{
+    panic_payload, BatchItem, Engine, ExternalPredictor, ExternalSpec, ItemResult,
+};
 use facile_util::{recover, PoisonlessMutex};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -83,6 +85,9 @@ pub struct ServerConfig {
     /// crate), armed at startup. Ignored — with a warning left to the
     /// caller — in builds without the `fault-injection` feature.
     pub faults: Option<String>,
+    /// External predictor tools to register alongside the builtins
+    /// (each reachable under its `ext:<name>` key in request selectors).
+    pub external: Vec<ExternalSpec>,
 }
 
 impl ServerConfig {
@@ -100,6 +105,7 @@ impl ServerConfig {
             snapshot: None,
             snapshot_interval: None,
             faults: None,
+            external: Vec::new(),
         }
     }
 }
@@ -339,7 +345,12 @@ impl Server {
         } else {
             cfg.threads
         };
-        let engine = Engine::with_builtins().with_threads(threads);
+        let mut engine = Engine::with_builtins().with_threads(threads);
+        for spec in &cfg.external {
+            engine
+                .registry_mut()
+                .register(Arc::new(ExternalPredictor::new(spec.clone())));
+        }
         let snapshot_loaded = cfg
             .snapshot
             .as_deref()
