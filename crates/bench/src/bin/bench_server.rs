@@ -26,7 +26,7 @@
 
 use facile_bench::Args;
 use facile_bhive::generate_suite;
-use facile_engine::{host_threads, BatchItem, Engine};
+use facile_engine::{host_threads, BatchItem, CacheBudget, Engine};
 use facile_server::{snapshot, BoundAddr, Endpoint, Server, ServerConfig};
 use facile_uarch::Uarch;
 use std::fmt::Write as _;
@@ -218,6 +218,73 @@ fn measure_availability(hexes: &[String]) -> Option<Availability> {
     })
 }
 
+struct Governance {
+    bounded_bps: f64,
+    cache_bytes: u64,
+    cache_evictions: u64,
+    budget_bytes: u64,
+    shed_batch: u64,
+    shed_predict: u64,
+    rejected_conn_limit: u64,
+    breaker_trips: u64,
+}
+
+/// Serving under a tight cache budget: the batch-stream workload against
+/// a server whose caches are capped, reporting served throughput plus
+/// the eviction/shed/breaker counters the `stats` op exposes. Two full
+/// passes, so the second re-annotates whatever the first evicted.
+fn measure_governance(hexes: &[String], budget_mb: usize) -> Governance {
+    let mut cfg = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".to_string()));
+    cfg.threads = host_threads();
+    cfg.cache_budget = Some(CacheBudget::from_total_mb(budget_mb));
+    let server = Server::start(cfg).expect("server starts");
+    let addr = match server.bound() {
+        BoundAddr::Tcp(a) => *a,
+        #[cfg(unix)]
+        other => panic!("expected TCP, got {other}"),
+    };
+    measure_batch_stream(addr, hexes, 1024); // cold pass fills + evicts
+    let bounded_bps = measure_batch_stream(addr, hexes, 1024);
+
+    let mut client = Client::connect(addr);
+    let reply = client.round_trip(r#"{"op":"stats"}"#);
+    let v = facile_server::json::parse(reply.trim_end()).expect("stats parses");
+    let stats = v.get("stats").expect("stats member");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    fn num(val: Option<&facile_server::json::Value>) -> u64 {
+        val.and_then(facile_server::json::Value::as_f64)
+            .unwrap_or(0.0) as u64
+    }
+    let block_cache = stats.get("engine").and_then(|e| e.get("block_cache"));
+    let srv = stats.get("server");
+    let breaker_trips = srv
+        .and_then(|s| s.get("external"))
+        .and_then(|e| match &e.kind {
+            facile_server::json::Kind::Arr(items) => Some(
+                items
+                    .iter()
+                    .map(|ext| num(ext.get("breaker_trips")))
+                    .sum::<u64>(),
+            ),
+            _ => None,
+        })
+        .unwrap_or(0);
+    let gov = Governance {
+        bounded_bps,
+        cache_bytes: num(block_cache.and_then(|c| c.get("bytes"))),
+        cache_evictions: num(block_cache.and_then(|c| c.get("evictions"))),
+        budget_bytes: num(srv
+            .and_then(|s| s.get("budget"))
+            .and_then(|b| b.get("bytes"))),
+        shed_batch: num(srv.and_then(|s| s.get("shed_batch"))),
+        shed_predict: num(srv.and_then(|s| s.get("shed_predict"))),
+        rejected_conn_limit: num(srv.and_then(|s| s.get("rejected_conn_limit"))),
+        breaker_trips,
+    };
+    server.stop();
+    gov
+}
+
 struct SnapshotNumbers {
     cold_secs: f64,
     warm_secs: f64,
@@ -309,6 +376,9 @@ fn main() {
     let batched_items = g(&counters.batched_items);
     server.stop();
 
+    eprintln!("bench_server: governance under a 4 MiB cache budget");
+    let gov = measure_governance(&hexes, 4);
+
     eprintln!("bench_server: snapshot warm-vs-cold");
     let snap = measure_snapshot(&hexes);
 
@@ -347,6 +417,11 @@ fn main() {
          \"server_batches\": {{ \"batches\": {batches}, \"batched_items\": {batched_items}, \
          \"items_per_batch\": {items_per_batch:.2} }},\n  \
          \"availability\": {availability},\n  \
+         \"governance\": {{\n    \"cache_budget_mb\": 4,\n    \
+         \"bounded_blocks_per_sec\": {:.1},\n    \"cache_bytes\": {},\n    \
+         \"cache_evictions\": {},\n    \"budget_bytes\": {},\n    \
+         \"shed_batch\": {},\n    \"shed_predict\": {},\n    \
+         \"rejected_conn_limit\": {},\n    \"breaker_trips\": {}\n  }},\n  \
          \"snapshot\": {{\n    \"cold_first_batch_secs\": {:.6},\n    \
          \"warm_first_batch_secs\": {:.6},\n    \"load_secs\": {:.6},\n    \
          \"file_bytes\": {},\n    \"warm_over_cold_speedup\": {:.3},\n    \
@@ -361,6 +436,14 @@ fn main() {
         p8.p99_us,
         bps8,
         stream_bps,
+        gov.bounded_bps,
+        gov.cache_bytes,
+        gov.cache_evictions,
+        gov.budget_bytes,
+        gov.shed_batch,
+        gov.shed_predict,
+        gov.rejected_conn_limit,
+        gov.breaker_trips,
         snap.cold_secs,
         snap.warm_secs,
         snap.load_secs,

@@ -4,7 +4,8 @@
 //! supervision.
 
 use facile_engine::{
-    BatchItem, Engine, ExternalPredictor, ExternalSpec, PredictError, Predictor, PredictorRegistry,
+    BatchItem, BreakerSpec, Engine, ExternalPredictor, ExternalSpec, PredictError, Predictor,
+    PredictorRegistry,
 };
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
@@ -149,6 +150,63 @@ fn recovers_after_transient_crash() {
         "the adapter never recovered: {oks} oks / {errs} errs"
     );
     assert!(ext.restarts() >= 1);
+}
+
+#[test]
+fn breaker_opens_then_closes_on_successful_probe() {
+    // A tool whose first three spawns die immediately, then behaves: the
+    // breaker trips on consecutive spawn failures, fails fast while
+    // open, and a later half-open probe (fourth spawn) succeeds and
+    // closes it again.
+    let dir = std::env::temp_dir().join(format!("facile-ext-breaker-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("flaky.sh");
+    let counter = dir.join("spawns");
+    std::fs::write(
+        &script,
+        "#!/bin/sh\ncount=$(cat \"$1\" 2>/dev/null || echo 0)\ncount=$((count+1))\necho $count > \"$1\"\nif [ \"$count\" -le 3 ]; then exit 3; fi\nwhile read line; do\n  id=${line#*\\\"id\\\":}; id=${id%%,*}; id=${id%%\\}*}\n  case \"$line\" in\n    *version*) printf '{\"id\":%s,\"version\":\"flaky-1\"}\\n' \"$id\" ;;\n    *) printf '{\"id\":%s,\"throughput\":1.0}\\n' \"$id\" ;;\n  esac\ndone\n",
+    )
+    .unwrap();
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755)).unwrap();
+    }
+    let spec = ExternalSpec::parse(
+        "flaky",
+        &format!("{} {}", script.display(), counter.display()),
+    )
+    .unwrap()
+    .with_breaker(BreakerSpec {
+        threshold: 2,
+        cooldown: 2,
+    });
+    let ext = ExternalPredictor::new(spec);
+    let ab = AnnotatedBlock::new(Block::from_hex("4801c8").unwrap(), Uarch::Skl);
+    let req = facile_engine::PredictRequest::new(&ab, facile_core::Mode::Unrolled);
+    let (mut opens, mut crashes, mut oks) = (0u32, 0u32, 0u32);
+    for _ in 0..24 {
+        match ext.predict(&req) {
+            Ok(_) => oks += 1,
+            Err(PredictError::ExternalCircuitOpen { tool, .. }) => {
+                assert_eq!(tool, "ext:flaky");
+                opens += 1;
+            }
+            Err(PredictError::ExternalCrashed { detail, .. }) => {
+                assert!(!detail.contains("gave up"), "breaker must replace give-up");
+                crashes += 1;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(opens >= 3, "breaker never failed fast ({opens} open rows)");
+    assert!(crashes >= 2, "expected real failures, saw {crashes}");
+    assert!(oks >= 1, "the probe never closed the breaker");
+    assert!(ext.breaker_trips() >= 2);
+    assert!(!ext.breaker_open(), "breaker must close after a success");
+    // Once closed, requests flow normally again (served from cache here).
+    assert!(ext.predict(&req).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -6,7 +6,7 @@
 
 use facile_engine::render::row_json;
 use facile_engine::{
-    external, BatchItem, Engine, ExternalPredictor, ExternalSpec, PredictorRegistry,
+    external, BatchItem, BreakerSpec, Engine, ExternalPredictor, ExternalSpec, PredictorRegistry,
 };
 use facile_uarch::Uarch;
 use std::sync::Arc;
@@ -172,4 +172,52 @@ fn backoff_and_gave_up_rows_are_pinned() {
         one_row(&engine, "4801c8"),
         expect("gave up after 2 consecutive failures")
     );
+}
+
+#[test]
+fn circuit_breaker_rows_are_pinned() {
+    // threshold=2, cooldown=3 with a tool that crashes on every predict:
+    // two real failures trip the breaker, the next three requests fail
+    // fast with the stable external-circuit-open code, then a half-open
+    // probe is let through (and crashes, reopening with the cooldown
+    // doubled). The breaker replaces the give-up check: no "gave up"
+    // row ever appears.
+    let spec = ExternalSpec::parse("mock", &format!("{MOCK} --mode crash-after=0"))
+        .unwrap()
+        .with_breaker(BreakerSpec {
+            threshold: 2,
+            cooldown: 3,
+        });
+    let mut registry = PredictorRegistry::new();
+    registry.register(Arc::new(ExternalPredictor::new(spec)));
+    let engine = Engine::new(registry).with_threads(1);
+    let crash_prefix = "{\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"ext:mock\",\
+                  \"status\":\"error\",\"code\":\"external-crashed\",\"error\":\"external predictor \\\"ext:mock\\\" crashed: ";
+    let open_prefix = "{\"block\":\"4801c8\",\"uarch\":\"SKL\",\"mode\":\"tpu\",\"predictor\":\"ext:mock\",\
+                  \"status\":\"error\",\"code\":\"external-circuit-open\",\"error\":\"external predictor \\\"ext:mock\\\" ";
+    let crashed = |suffix: &str| format!("{crash_prefix}{suffix}\"}}");
+    let open = |suffix: &str| format!("{open_prefix}{suffix}\"}}");
+    let next = || {
+        engine.clear_cache();
+        one_row(&engine, "4801c8")
+    };
+    // Failure 1: real crash, then the 2-request restart backoff.
+    assert_eq!(next(), crashed("stdout closed (exit status: 3)"));
+    assert_eq!(
+        next(),
+        crashed("in restart backoff (2 request(s) until respawn)")
+    );
+    assert_eq!(
+        next(),
+        crashed("in restart backoff (1 request(s) until respawn)")
+    );
+    // Failure 2 trips the breaker: three fail-fast rows, no subprocess.
+    assert_eq!(next(), crashed("stdout closed (exit status: 3)"));
+    assert_eq!(next(), open("circuit open (2 request(s) until probe)"));
+    assert_eq!(next(), open("circuit open (1 request(s) until probe)"));
+    assert_eq!(next(), open("circuit open (0 request(s) until probe)"));
+    // The half-open probe reaches the tool (a real crash row), fails,
+    // and reopens with the cooldown doubled: 6 requests this time.
+    assert_eq!(next(), crashed("stdout closed (exit status: 3)"));
+    assert_eq!(next(), open("circuit open (5 request(s) until probe)"));
 }

@@ -23,7 +23,7 @@ facile client — send prediction requests to a facile serve daemon
 USAGE:
     facile client --socket <PATH> --hex <BYTES> [OPTIONS]
     facile client --tcp <ADDR> --batch [FILE] [OPTIONS]
-    facile client --socket <PATH> --op stats|ping
+    facile client --socket <PATH> --op stats|ping|health
 
 CONNECTION (exactly one):
     --socket <PATH>    connect to a Unix-domain socket
@@ -35,7 +35,8 @@ INPUT (exactly one):
                        line — bare hex or BHive CSV, exactly like
                        `facile --batch`
     --op <OP>          a one-off request: `stats` (print the server's
-                       counters as JSON) or `ping`
+                       counters as JSON), `ping`, or `health` (the
+                       degradation tier and pressure)
 
 OPTIONS:
     --uarch <ABBR>     microarchitecture (default SKL)
@@ -48,8 +49,12 @@ OPTIONS:
     --deadline-ms <N>  per-request queue deadline
     --chunk <N>        blocks per request in batch mode (default 1024)
     --retries <N>      resend a request up to N times after an
-                       `overloaded` rejection, a refused connection, or
-                       a mid-stream disconnect (default 0 = fail fast)
+                       `overloaded` or `deadline-exceeded` rejection, a
+                       refused connection, or a mid-stream disconnect
+                       (default 0 = fail fast)
+    --connect-timeout-ms <N>  give up on a TCP connect attempt after N
+                       milliseconds (default 5000; 0 = the OS default,
+                       blocking. Unix sockets connect without a timeout)
     --backoff-ms <N>   base delay between retries; attempt k waits
                        about N*2^k ms with deterministic jitter
                        (default 50)
@@ -82,6 +87,7 @@ struct Options {
     chunk: usize,
     retries: u32,
     backoff_ms: u64,
+    connect_timeout_ms: u64,
 }
 
 fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
@@ -99,6 +105,7 @@ fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
     let mut chunk = 1024usize;
     let mut retries = 0u32;
     let mut backoff_ms = 50u64;
+    let mut connect_timeout_ms = 5_000u64;
     let mut it = args.into_iter().peekable();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -190,6 +197,13 @@ fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
                     .parse()
                     .map_err(|_| "numeric --backoff-ms".to_string())?;
             }
+            "--connect-timeout-ms" => {
+                connect_timeout_ms = it
+                    .next()
+                    .ok_or("--connect-timeout-ms requires a value")?
+                    .parse()
+                    .map_err(|_| "numeric --connect-timeout-ms".to_string())?;
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -200,8 +214,8 @@ fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
         return Err("provide exactly one of --hex, --batch, or --op".into());
     }
     if let Some(op) = &op {
-        if op != "stats" && op != "ping" {
-            return Err(format!("unknown op: {op} (stats|ping)"));
+        if op != "stats" && op != "ping" && op != "health" {
+            return Err(format!("unknown op: {op} (stats|ping|health)"));
         }
     }
     Ok(Some(Options {
@@ -219,6 +233,7 @@ fn parse(args: Vec<String>) -> Result<Option<Options>, String> {
         chunk,
         retries,
         backoff_ms,
+        connect_timeout_ms,
     }))
 }
 
@@ -323,10 +338,11 @@ fn connect(o: &Options) -> Result<Conn, ClientError> {
             })
         }
         ConnectTo::Tcp(addr) => {
-            let s = TcpStream::connect(addr).map_err(|e| ClientError::Connect {
-                addr: addr.clone(),
-                cause: e.to_string(),
-            })?;
+            let s =
+                tcp_connect(addr, o.connect_timeout_ms).map_err(|cause| ClientError::Connect {
+                    addr: addr.clone(),
+                    cause,
+                })?;
             let _ = s.set_nodelay(true); // request lines are small
             let r = s
                 .try_clone()
@@ -337,6 +353,28 @@ fn connect(o: &Options) -> Result<Conn, ClientError> {
             })
         }
     }
+}
+
+/// TCP connect with a bounded wait: a daemon that is down fails fast
+/// (connection refused), but a blackholed address (firewall drop, dead
+/// host) would otherwise block for the OS default of minutes. Resolves
+/// the address and tries each candidate under the same per-attempt
+/// timeout; `0` keeps the plain blocking connect.
+fn tcp_connect(addr: &str, timeout_ms: u64) -> Result<TcpStream, String> {
+    use std::net::ToSocketAddrs;
+    if timeout_ms == 0 {
+        return TcpStream::connect(addr).map_err(|e| e.to_string());
+    }
+    let timeout = Duration::from_millis(timeout_ms);
+    let candidates = addr.to_socket_addrs().map_err(|e| e.to_string())?;
+    let mut last = format!("{addr} did not resolve to any address");
+    for candidate in candidates {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(last)
 }
 
 /// Exponential backoff with deterministic jitter: attempt `k` waits
@@ -455,9 +493,10 @@ impl<'a> Client<'a> {
                     .map_or_else(|| reply.clone(), str::to_string);
                 let err =
                     ClientError::Other(format!("server rejected the request ({code}): {msg}"));
-                if code == "overloaded" {
-                    // Admission pressure is transient; back off and
-                    // resend (the request was rejected, not executed).
+                if code == "overloaded" || code == "deadline-exceeded" {
+                    // Admission pressure and queue-deadline expiry are
+                    // transient; back off and resend (the request was
+                    // rejected or dropped, never executed).
                     Err(Attempt::Retry(err))
                 } else {
                     Err(Attempt::Fatal(err))
@@ -493,7 +532,8 @@ fn drive(o: &Options) -> Result<(), ClientError> {
 
     if let Some(op) = &o.op {
         let (reply, v) = client.call(&format!("{{\"op\":{}}}", jstr(op)))?;
-        // stats: print the payload object alone; ping: the whole reply.
+        // stats: print the payload object alone; ping/health: the
+        // whole reply.
         let payload = v.get("stats").map_or(reply.as_str(), |s| s.raw(&reply));
         writeln!(&mut out, "{payload}").map_err(|e| local(e.to_string()))?;
         return out.flush().map_err(|e| local(e.to_string()));

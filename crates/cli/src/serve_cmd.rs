@@ -36,6 +36,21 @@ OPTIONS:
     --queue-cap <N>           admission bound on queued + in-flight
                               batch items (default 65536); requests over
                               it are rejected with `overloaded`
+    --cache-budget-mb <N>     total memory budget for the annotation,
+                              intern, and external-result caches
+                              (default: unbounded). Above 80% / 95% of
+                              pressure the server sheds batch / all
+                              prediction work; `health` reports the tier
+    --conn-max-items <N>      largest single request one connection may
+                              send, in items (default 0 = unlimited)
+    --conn-rps <N>            per-connection prediction requests per
+                              second (default 0 = unlimited)
+    --breaker-threshold <N>   consecutive external-tool failures that
+                              open its circuit breaker (default 5;
+                              0 disables the breaker)
+    --breaker-cooldown <N>    requests a tripped breaker fails fast
+                              before probing the tool again (default 32;
+                              doubles on consecutive trips)
     --gather-us <N>           micro-batch gather window in microseconds
                               (default 500)
     --max-batch <N>           largest gathered engine batch, in items
@@ -69,6 +84,11 @@ fn parse(args: Vec<String>) -> Result<Option<ServerConfig>, String> {
     let mut snapshot_interval = None;
     let mut faults = None;
     let mut ext_config = None;
+    let mut cache_budget_mb = None;
+    let mut conn_max_items = 0usize;
+    let mut conn_rps = 0u64;
+    let mut breaker_threshold = 5u32;
+    let mut breaker_cooldown = 32u64;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
@@ -111,6 +131,34 @@ fn parse(args: Vec<String>) -> Result<Option<ServerConfig>, String> {
             }
             "--faults" => faults = Some(val("--faults")?),
             "--ext-config" => ext_config = Some(val("--ext-config")?),
+            "--cache-budget-mb" => {
+                let mb: usize = val("--cache-budget-mb")?
+                    .parse()
+                    .ok()
+                    .filter(|mb| *mb > 0)
+                    .ok_or_else(|| "positive numeric --cache-budget-mb".to_string())?;
+                cache_budget_mb = Some(mb);
+            }
+            "--conn-max-items" => {
+                conn_max_items = val("--conn-max-items")?
+                    .parse()
+                    .map_err(|_| "numeric --conn-max-items".to_string())?;
+            }
+            "--conn-rps" => {
+                conn_rps = val("--conn-rps")?
+                    .parse()
+                    .map_err(|_| "numeric --conn-rps".to_string())?;
+            }
+            "--breaker-threshold" => {
+                breaker_threshold = val("--breaker-threshold")?
+                    .parse()
+                    .map_err(|_| "numeric --breaker-threshold".to_string())?;
+            }
+            "--breaker-cooldown" => {
+                breaker_cooldown = val("--breaker-cooldown")?
+                    .parse()
+                    .map_err(|_| "numeric --breaker-cooldown".to_string())?;
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -135,6 +183,13 @@ fn parse(args: Vec<String>) -> Result<Option<ServerConfig>, String> {
     cfg.snapshot = snapshot;
     cfg.snapshot_interval = snapshot_interval;
     cfg.faults = faults;
+    cfg.cache_budget = cache_budget_mb.map(facile_engine::CacheBudget::from_total_mb);
+    cfg.conn_max_items = conn_max_items;
+    cfg.conn_rps = conn_rps;
+    cfg.breaker = (breaker_threshold > 0).then_some(facile_engine::BreakerSpec {
+        threshold: breaker_threshold,
+        cooldown: breaker_cooldown,
+    });
     Ok(Some(cfg))
 }
 

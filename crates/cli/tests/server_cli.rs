@@ -317,6 +317,132 @@ fn batch_flag_lookahead_and_usage_errors() {
     assert!(stderr.contains("USAGE"), "{stderr}");
 }
 
+/// `deadline-exceeded` is a transient rejection: the client retries it
+/// like `overloaded` (the request was dropped in the queue, never run),
+/// and exits 1 — not 3 — when retries are exhausted.
+#[test]
+fn client_retries_deadline_exceeded_then_exits_one() {
+    let socket = temp_path("deadline.sock");
+    let server = spawn_server(&socket, &[]);
+    let sock = socket.to_str().expect("utf8 path");
+
+    // deadline_ms 0 expires in the queue on every attempt.
+    let out = run_facile_raw(
+        &[
+            "client",
+            "--socket",
+            sock,
+            "--hex",
+            "90",
+            "--deadline-ms",
+            "0",
+            "--retries",
+            "2",
+            "--backoff-ms",
+            "1",
+        ],
+        "",
+    );
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.matches("retrying in").count() == 2,
+        "expected exactly 2 retries: {stderr}"
+    );
+    assert!(stderr.contains("deadline-exceeded"), "{stderr}");
+
+    // Without retries it fails fast on the first rejection.
+    let out = run_facile_raw(
+        &[
+            "client",
+            "--socket",
+            sock,
+            "--hex",
+            "90",
+            "--deadline-ms",
+            "0",
+        ],
+        "",
+    );
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("retrying in"), "{stderr}");
+
+    terminate(server);
+}
+
+/// The TCP connect timeout path: a refused port fails through
+/// `connect_timeout` (exit 3, the unreachable-daemon code), and a live
+/// daemon connects fine under a tight timeout.
+#[test]
+fn tcp_connect_timeout_paths() {
+    // Bind-then-drop reserves a port nobody is listening on.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        l.local_addr().expect("addr")
+    };
+    let out = run_facile_raw(
+        &[
+            "client",
+            "--tcp",
+            &dead.to_string(),
+            "--hex",
+            "90",
+            "--connect-timeout-ms",
+            "500",
+        ],
+        "",
+    );
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&format!("cannot connect to {dead}")),
+        "{stderr}"
+    );
+
+    // Against a live daemon the timed connect succeeds.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_facile"))
+        .args(["serve", "--tcp", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn facile serve");
+    let mut ready = String::new();
+    BufReader::new(server.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut ready)
+        .expect("ready line");
+    let addr = ready
+        .trim()
+        .strip_prefix(r#"{"serving":""#)
+        .and_then(|s| s.strip_suffix(r#""}"#))
+        .expect("ready line carries the bound address")
+        .to_string();
+    let out = run_facile_raw(
+        &[
+            "client",
+            "--tcp",
+            &addr,
+            "--hex",
+            "4801c8",
+            "--connect-timeout-ms",
+            "2000",
+        ],
+        "",
+    );
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains(r#""status":"ok""#),
+        "{out:?}"
+    );
+    let pid = server.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs")
+        .success());
+    let _ = server.wait();
+}
+
 /// End-to-end chaos: a daemon armed (via `FACILE_FAULTS`) to drop
 /// connections mid-stream, a client resending with `--retries` — the
 /// output must be byte-identical to a fault-free run, and the daemon

@@ -16,19 +16,20 @@
 //!   array indexed by the microarchitecture — the second uarch of a sweep
 //!   costs an array probe, not a rehash of the block bytes.
 //!
-//! The table is split into independent lock shards selected by a
-//! deterministic hash of the block bytes, so a pool of workers probing
-//! the warm cache does not serialize on one global mutex.
+//! Storage is a byte-bounded, sharded segmented LRU
+//! ([`facile_util::SlruCache`]): a long-running server fed an endless
+//! stream of *distinct* blocks evicts cold probation entries instead of
+//! growing without bound, while the hot working set is promoted to the
+//! protected segment and survives. The cache is a pure memoization, so
+//! an evicted block simply re-decodes/re-annotates on its next
+//! occurrence with bit-identical results.
 
 use facile_isa::AnnotatedBlock;
 use facile_uarch::Uarch;
-use facile_util::{hash_bytes, FxHashMap, PoisonlessMutex};
+use facile_util::{GlobalBudget, HeapSize, Shrinkable, SlruCache};
 use facile_x86::{Block, DecodeError};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-/// Number of lock shards (a power of two; selection is a mask).
-const SHARDS: usize = 16;
+use std::sync::{Arc, Weak};
 
 /// Hit/miss counters of a [`AnnotationCache`], per level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +50,10 @@ pub struct CacheStats {
     pub entries: usize,
     /// Distinct decoded blocks currently resident (level 1 entries).
     pub blocks: usize,
+    /// Accounted bytes currently resident.
+    pub bytes: usize,
+    /// Entries evicted by the byte bound since the last clear.
+    pub evictions: u64,
 }
 
 /// One exported cache entry: the shared decoded block and its resident
@@ -76,34 +81,94 @@ impl ByteEntry {
     }
 }
 
-type CacheMap = FxHashMap<Box<[u8]>, ByteEntry>;
+/// Accounting: the entry owns its decoded block (deep, once — the
+/// annotations share it by pointer), the hex rendering, and each
+/// resident annotation (which counts its interned descriptors as
+/// pointers; the intern table owns those).
+impl HeapSize for ByteEntry {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Block>()
+            + self.block.heap_bytes()
+            + self.hex.len()
+            + self
+                .annos
+                .iter()
+                .flatten()
+                .map(|a| std::mem::size_of::<AnnotatedBlock>() + a.heap_bytes())
+                .sum::<usize>()
+    }
+}
 
 /// The microarchitecture with index `ui` (inverse of `uarch as usize`).
 fn ui_uarch(ui: usize) -> Uarch {
     Uarch::ALL[ui]
 }
 
-/// A thread-safe, sharded two-level memo table from block bytes to the
-/// shared decoded block and its per-uarch annotations.
-#[derive(Debug, Default)]
+/// A thread-safe, sharded, byte-bounded two-level memo table from block
+/// bytes to the shared decoded block and its per-uarch annotations.
+#[derive(Debug)]
 pub struct AnnotationCache {
-    shards: [PoisonlessMutex<CacheMap>; SHARDS],
+    table: Arc<SlruCache<Box<[u8]>, ByteEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     decode_hits: AtomicU64,
     decode_misses: AtomicU64,
 }
 
+impl Default for AnnotationCache {
+    fn default() -> Self {
+        AnnotationCache::new()
+    }
+}
+
 impl AnnotationCache {
-    /// An empty cache.
+    /// An empty cache, accounted but effectively unbounded.
     #[must_use]
     pub fn new() -> AnnotationCache {
-        AnnotationCache::default()
+        AnnotationCache::with_capacity(usize::MAX)
     }
 
-    #[inline]
-    fn shard(&self, bytes: &[u8]) -> &PoisonlessMutex<CacheMap> {
-        &self.shards[(hash_bytes(bytes) as usize) & (SHARDS - 1)]
+    /// An empty cache holding at most `capacity` accounted bytes.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> AnnotationCache {
+        AnnotationCache {
+            table: Arc::new(SlruCache::new("annotation", capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            decode_hits: AtomicU64::new(0),
+            decode_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Change the byte capacity, evicting down to it if needed.
+    pub fn set_capacity(&self, bytes: usize) {
+        self.table.set_capacity(bytes);
+    }
+
+    /// The configured byte capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Accounted bytes currently resident.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.table.bytes()
+    }
+
+    /// Entries evicted by the byte bound since the last clear.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.table.evictions()
+    }
+
+    /// Register this cache as a member of `budget`: byte deltas are
+    /// reported there and the cache participates in proportional
+    /// shrinking when the budget's high watermark is crossed.
+    pub fn attach_budget(&self, budget: &Arc<GlobalBudget>) {
+        budget.register(Arc::downgrade(&self.table) as Weak<dyn Shrinkable>);
+        self.table.set_budget(budget);
     }
 
     /// The decoded block for `bytes`, decoding at most once per distinct
@@ -113,21 +178,20 @@ impl AnnotationCache {
     /// # Errors
     /// Whatever [`Block::decode`] reports for the bytes.
     pub fn decode(&self, bytes: &[u8]) -> Result<Arc<Block>, DecodeError> {
-        let shard = self.shard(bytes);
-        if let Some(e) = shard.lock().get(bytes) {
+        if let Some(block) = self.table.read(bytes, |e| Arc::clone(&e.block)) {
             self.decode_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(&e.block));
+            return Ok(block);
         }
         // Decode outside the lock; a racing duplicate decode is
         // deterministic and harmless.
         facile_faults::maybe_panic(facile_faults::Point::DecodePanic, bytes);
         let block = Arc::new(Block::decode(bytes)?);
         self.decode_misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = shard.lock();
-        Ok(Arc::clone(
-            &map.entry(bytes.into())
-                .or_insert_with(|| ByteEntry::new(block))
-                .block,
+        Ok(self.table.get_or_insert_with(
+            bytes,
+            || bytes.into(),
+            move || ByteEntry::new(block),
+            |e| Arc::clone(&e.block),
         ))
     }
 
@@ -142,32 +206,40 @@ impl AnnotationCache {
     ) -> (Arc<AnnotatedBlock>, Arc<str>) {
         let bytes = block.bytes();
         let ui = uarch as usize;
-        let shard = self.shard(bytes);
-        let shared = {
-            let map = shard.lock();
-            match map.get(bytes) {
-                Some(e) => {
-                    if let Some(hit) = &e.annos[ui] {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        self.decode_hits.fetch_add(1, Ordering::Relaxed);
-                        return (Arc::clone(hit), Arc::clone(&e.hex));
-                    }
-                    self.decode_hits.fetch_add(1, Ordering::Relaxed);
-                    Some(Arc::clone(&e.block))
-                }
-                None => {
-                    self.decode_misses.fetch_add(1, Ordering::Relaxed);
-                    None
-                }
+        match self.probe(bytes, ui) {
+            Probe::Hit(hit) => hit,
+            Probe::Block(shared) => self.finish_annotation(bytes, shared, ui),
+            Probe::Miss => self.finish_annotation(bytes, Arc::clone(block), ui),
+        }
+    }
+
+    /// One locked probe of both levels, with the hit counters applied.
+    fn probe(&self, bytes: &[u8], ui: usize) -> Probe {
+        let probe = self.table.read(bytes, |e| match &e.annos[ui] {
+            Some(hit) => Ok((Arc::clone(hit), Arc::clone(&e.hex))),
+            None => Err(Arc::clone(&e.block)),
+        });
+        match probe {
+            Some(Ok(hit)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.decode_hits.fetch_add(1, Ordering::Relaxed);
+                Probe::Hit(hit)
             }
-        };
-        let block = shared.unwrap_or_else(|| Arc::clone(block));
-        self.finish_annotation(bytes, block, ui)
+            Some(Err(block)) => {
+                self.decode_hits.fetch_add(1, Ordering::Relaxed);
+                Probe::Block(block)
+            }
+            None => {
+                self.decode_misses.fetch_add(1, Ordering::Relaxed);
+                Probe::Miss
+            }
+        }
     }
 
     /// Shared tail of the annotate paths: annotate outside the lock (so
     /// workers don't serialize on misses; a racing duplicate annotation
-    /// is deterministic and harmless), then publish the entry.
+    /// is deterministic and harmless), then publish the entry (first
+    /// writer wins; an entry evicted since the probe is re-inserted).
     fn finish_annotation(
         &self,
         bytes: &[u8],
@@ -177,18 +249,17 @@ impl AnnotationCache {
         facile_faults::maybe_panic(facile_faults::Point::AnnotatePanic, bytes);
         let ab = Arc::new(AnnotatedBlock::new_shared(Arc::clone(&block), ui_uarch(ui)));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.shard(bytes).lock();
-        if let Some(e) = map.get_mut(bytes) {
-            return (
-                Arc::clone(e.annos[ui].get_or_insert(ab)),
-                Arc::clone(&e.hex),
-            );
-        }
-        let mut entry = ByteEntry::new(block);
-        entry.annos[ui] = Some(Arc::clone(&ab));
-        let hex = Arc::clone(&entry.hex);
-        map.insert(bytes.into(), entry);
-        (ab, hex)
+        self.table.get_or_insert_with(
+            bytes,
+            || bytes.into(),
+            move || ByteEntry::new(block),
+            move |e| {
+                (
+                    Arc::clone(e.annos[ui].get_or_insert(ab)),
+                    Arc::clone(&e.hex),
+                )
+            },
+        )
     }
 
     /// [`AnnotationCache::annotate_shared`] from a borrowed block: the
@@ -207,28 +278,12 @@ impl AnnotationCache {
     ) -> (Arc<AnnotatedBlock>, Arc<str>) {
         let bytes = block.bytes();
         let ui = uarch as usize;
-        let shard = self.shard(bytes);
-        let shared = {
-            let map = shard.lock();
-            match map.get(bytes) {
-                Some(e) => {
-                    if let Some(hit) = &e.annos[ui] {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        self.decode_hits.fetch_add(1, Ordering::Relaxed);
-                        return (Arc::clone(hit), Arc::clone(&e.hex));
-                    }
-                    self.decode_hits.fetch_add(1, Ordering::Relaxed);
-                    Some(Arc::clone(&e.block))
-                }
-                None => {
-                    self.decode_misses.fetch_add(1, Ordering::Relaxed);
-                    None
-                }
-            }
-        };
-        // The clone happens only when the bytes were never registered.
-        let block = shared.unwrap_or_else(|| Arc::new(block.clone()));
-        self.finish_annotation(bytes, block, ui)
+        match self.probe(bytes, ui) {
+            Probe::Hit(hit) => hit,
+            Probe::Block(shared) => self.finish_annotation(bytes, shared, ui),
+            // The clone happens only when the bytes were never registered.
+            Probe::Miss => self.finish_annotation(bytes, Arc::new(block.clone()), ui),
+        }
     }
 
     /// Export every resident entry: the shared decoded block plus its
@@ -238,20 +293,17 @@ impl AnnotationCache {
     #[must_use]
     pub fn export(&self) -> Vec<ExportedBlock> {
         let mut out: Vec<ExportedBlock> = Vec::new();
-        for s in &self.shards {
-            let map = s.lock();
-            for e in map.values() {
-                let annos: Vec<(Uarch, Arc<AnnotatedBlock>)> = e
-                    .annos
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(ui, a)| a.as_ref().map(|a| (ui_uarch(ui), Arc::clone(a))))
-                    .collect();
-                if !annos.is_empty() {
-                    out.push((Arc::clone(&e.block), annos));
-                }
+        self.table.for_each(|_, e| {
+            let annos: Vec<(Uarch, Arc<AnnotatedBlock>)> = e
+                .annos
+                .iter()
+                .enumerate()
+                .filter_map(|(ui, a)| a.as_ref().map(|a| (ui_uarch(ui), Arc::clone(a))))
+                .collect();
+            if !annos.is_empty() {
+                out.push((Arc::clone(&e.block), annos));
             }
-        }
+        });
         out.sort_by(|a, b| a.0.bytes().cmp(b.0.bytes()));
         out
     }
@@ -262,27 +314,26 @@ impl AnnotationCache {
     /// already-present annotation is kept (first writer wins, matching
     /// the live annotate paths).
     pub fn import(&self, block: Arc<Block>, annos: Vec<(Uarch, Arc<AnnotatedBlock>)>) {
-        let bytes: Box<[u8]> = block.bytes().into();
-        let mut map = self.shard(&bytes).lock();
-        let entry = map
-            .entry(bytes)
-            .or_insert_with(|| ByteEntry::new(Arc::clone(&block)));
-        for (uarch, ab) in annos {
-            entry.annos[uarch as usize].get_or_insert(ab);
-        }
+        let bytes = block.bytes().to_vec();
+        self.table.get_or_insert_with(
+            &bytes[..],
+            || bytes[..].into(),
+            move || ByteEntry::new(block),
+            move |e| {
+                for (uarch, ab) in annos {
+                    e.annos[uarch as usize].get_or_insert(ab);
+                }
+            },
+        );
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let (mut blocks, mut entries) = (0, 0);
-        for s in &self.shards {
-            let map = s.lock();
-            blocks += map.len();
-            entries += map
-                .values()
-                .map(|e| e.annos.iter().flatten().count())
-                .sum::<usize>();
-        }
+        self.table.for_each(|_, e| {
+            blocks += 1;
+            entries += e.annos.iter().flatten().count();
+        });
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -290,19 +341,29 @@ impl AnnotationCache {
             decode_misses: self.decode_misses.load(Ordering::Relaxed),
             entries,
             blocks,
+            bytes: self.table.bytes(),
+            evictions: self.table.evictions(),
         }
     }
 
     /// Drop all entries and reset counters.
     pub fn clear(&self) {
-        for s in &self.shards {
-            s.lock().clear();
-        }
+        self.table.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.decode_hits.store(0, Ordering::Relaxed);
         self.decode_misses.store(0, Ordering::Relaxed);
     }
+}
+
+/// Result of one locked probe of both cache levels.
+enum Probe {
+    /// Level-2 hit: the annotation and hex.
+    Hit((Arc<AnnotatedBlock>, Arc<str>)),
+    /// Level-1 hit only: the resident decoded block.
+    Block(Arc<Block>),
+    /// The bytes were never seen.
+    Miss,
 }
 
 #[cfg(test)]
@@ -327,6 +388,7 @@ mod tests {
         // One decoded block backs both annotations.
         assert_eq!(s.blocks, 1);
         assert_eq!(s.decode_misses, 1);
+        assert!(s.bytes > 0);
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
     }
@@ -373,5 +435,33 @@ mod tests {
         let distinct: std::collections::HashSet<&[u8]> = blocks.iter().map(Block::bytes).collect();
         assert_eq!(cache.stats().entries, distinct.len());
         assert_eq!(cache.stats().blocks, distinct.len());
+    }
+
+    #[test]
+    fn tight_capacity_evicts_but_stays_correct() {
+        let bounded = AnnotationCache::with_capacity(16 * 1024);
+        let unbounded = AnnotationCache::new();
+        let blocks: Vec<Block> = (0..512u32)
+            .map(|i| {
+                // mov eax, imm32 with a distinct immediate per block.
+                let mut bytes = vec![0xb8];
+                bytes.extend_from_slice(&i.to_le_bytes());
+                Block::decode(&bytes).unwrap()
+            })
+            .collect();
+        for b in &blocks {
+            let a = bounded.annotate(b, Uarch::Skl);
+            let r = unbounded.annotate(b, Uarch::Skl);
+            assert_eq!(format!("{a:?}"), format!("{r:?}"));
+        }
+        let s = bounded.stats();
+        assert!(s.bytes <= 16 * 1024, "bytes {} over cap", s.bytes);
+        assert!(s.evictions > 0);
+        // Re-annotating an evicted block recomputes identically.
+        for b in &blocks {
+            let a = bounded.annotate(b, Uarch::Skl);
+            let r = unbounded.annotate(b, Uarch::Skl);
+            assert_eq!(format!("{a:?}"), format!("{r:?}"));
+        }
     }
 }

@@ -238,6 +238,8 @@ impl EngineStats {
         self.annotation.decode_misses += later.annotation.decode_misses;
         self.annotation.entries = self.annotation.entries.max(later.annotation.entries);
         self.annotation.blocks = self.annotation.blocks.max(later.annotation.blocks);
+        self.annotation.bytes = self.annotation.bytes.max(later.annotation.bytes);
+        self.annotation.evictions += later.annotation.evictions;
         self.intern = later.intern;
         self.static_tables = later.static_tables;
         self.kernels = later.kernels;
@@ -269,9 +271,10 @@ impl EngineStats {
         format!(
             "{{\"planner\":{{\"items\":{},\"deduped\":{}}},\
              \"block_cache\":{{\"decode_hits\":{},\"decode_misses\":{},\"annotate_hits\":{},\
-             \"annotate_misses\":{},\"blocks\":{},\"annotations\":{}}},\
+             \"annotate_misses\":{},\"blocks\":{},\"annotations\":{},\"bytes\":{},\
+             \"evictions\":{}}},\
              \"intern_table\":{{\"hits\":{},\"misses\":{},\"core_hits\":{},\"core_misses\":{},\
-             \"byte_entries\":{},\"entries\":{}}},\
+             \"byte_entries\":{},\"entries\":{},\"bytes\":{},\"evictions\":{}}},\
              \"static_tables\":{{\"hits\":{},\"fallbacks\":{},\"coverage\":{:.4}}},\
              \"kernels\":[{kernels}]}}",
             self.planner.items,
@@ -282,16 +285,83 @@ impl EngineStats {
             self.annotation.misses,
             self.annotation.blocks,
             self.annotation.entries,
+            self.annotation.bytes,
+            self.annotation.evictions,
             self.intern.hits,
             self.intern.misses,
             self.intern.core_hits,
             self.intern.core_misses,
             self.intern.byte_entries,
             self.intern.entries,
+            self.intern.bytes,
+            self.intern.evictions,
             self.static_tables.hits,
             self.static_tables.fallbacks,
             self.static_tables.coverage(),
         )
+    }
+}
+
+/// How a process-wide cache byte budget is split among the memoization
+/// layers, and where its shrink watermarks sit.
+///
+/// The split reflects per-entry weight: the annotation cache dominates
+/// (whole decoded blocks plus per-uarch annotations, 55%), the intern
+/// table is bounded by distinct instruction encodings (30%), and the
+/// remaining 15% is reserved for auxiliary caches (the external-predictor
+/// result cache, when one is configured). The [`facile_util::GlobalBudget`]
+/// watermarks sit at 90% (high: crossing it triggers a proportional
+/// shrink of every member) and 70% (low: the shrink target) of the
+/// total, so per-cache caps leave headroom before the global shrink
+/// ever fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Total budget across all member caches, in bytes.
+    pub total: usize,
+}
+
+impl CacheBudget {
+    /// A budget of `total` bytes.
+    #[must_use]
+    pub fn from_total_bytes(total: usize) -> CacheBudget {
+        CacheBudget { total }
+    }
+
+    /// A budget of `mb` mebibytes.
+    #[must_use]
+    pub fn from_total_mb(mb: usize) -> CacheBudget {
+        CacheBudget { total: mb << 20 }
+    }
+
+    /// Byte cap for the engine's two-level annotation cache.
+    #[must_use]
+    pub fn annotation_capacity(&self) -> usize {
+        self.total / 100 * 55 + self.total % 100
+    }
+
+    /// Byte cap for the process-wide descriptor intern table.
+    #[must_use]
+    pub fn intern_capacity(&self) -> usize {
+        self.total / 100 * 30
+    }
+
+    /// Byte cap reserved for auxiliary caches (external result cache).
+    #[must_use]
+    pub fn external_capacity(&self) -> usize {
+        self.total / 100 * 15
+    }
+
+    /// Global high watermark: crossing it triggers a proportional shrink.
+    #[must_use]
+    pub fn high_watermark(&self) -> usize {
+        self.total / 100 * 90
+    }
+
+    /// Global low watermark: the shrink target, and the edge that must be
+    /// receded below before another high-watermark crossing is logged.
+    #[must_use]
+    pub fn low_watermark(&self) -> usize {
+        self.total / 100 * 70
     }
 }
 
@@ -414,6 +484,28 @@ impl Engine {
     #[must_use]
     pub fn cache(&self) -> &AnnotationCache {
         &self.cache
+    }
+
+    /// Bound the engine's caches by `budget`: caps the annotation cache
+    /// and the process-wide intern table at their shares, and registers
+    /// both with a fresh [`facile_util::GlobalBudget`] whose watermarks
+    /// trigger a proportional shrink of every member when the *combined*
+    /// accounted bytes cross the high mark. Returns the budget handle so
+    /// further caches (e.g. an external predictor's result cache) can be
+    /// registered against the same pool. `log` turns on the once-per-edge
+    /// watermark log lines.
+    pub fn apply_cache_budget(
+        &self,
+        budget: &CacheBudget,
+        log: bool,
+    ) -> Arc<facile_util::GlobalBudget> {
+        let global =
+            facile_util::GlobalBudget::new(budget.high_watermark(), budget.low_watermark(), log);
+        self.cache.set_capacity(budget.annotation_capacity());
+        self.cache.attach_budget(&global);
+        facile_isa::set_intern_capacity(budget.intern_capacity());
+        facile_isa::attach_intern_budget(&global);
+        global
     }
 
     /// The worker count.

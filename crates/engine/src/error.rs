@@ -97,6 +97,16 @@ pub enum PredictError {
         /// The parse diagnosis, with the offending line (truncated).
         detail: String,
     },
+    /// An external predictor's circuit breaker is open: the tool failed
+    /// its consecutive-failure threshold and requests fail fast (no
+    /// subprocess work at all) until the request-counted cooldown
+    /// elapses and a half-open probe is allowed through.
+    ExternalCircuitOpen {
+        /// Registry key of the external predictor (`ext:<name>`).
+        tool: String,
+        /// Requests remaining until a half-open probe is attempted.
+        until_probe: u64,
+    },
 }
 
 impl fmt::Display for PredictError {
@@ -153,6 +163,12 @@ impl fmt::Display for PredictError {
                     "external predictor {tool:?} sent a malformed reply: {detail}"
                 )
             }
+            PredictError::ExternalCircuitOpen { tool, until_probe } => {
+                write!(
+                    f,
+                    "external predictor {tool:?} circuit open ({until_probe} request(s) until probe)"
+                )
+            }
         }
     }
 }
@@ -183,6 +199,7 @@ impl PredictError {
             PredictError::ExternalTimeout { .. } => "external-timeout",
             PredictError::ExternalCrashed { .. } => "external-crashed",
             PredictError::ExternalMalformed { .. } => "external-malformed",
+            PredictError::ExternalCircuitOpen { .. } => "external-circuit-open",
         }
     }
 }

@@ -33,6 +33,15 @@
 //! counted in *requests*, not wall time, so batch output stays a pure
 //! function of the request sequence.
 //!
+//! With a [`BreakerSpec`] configured the give-up check is replaced by a
+//! **circuit breaker**: at [`BreakerSpec::threshold`] consecutive
+//! failures the breaker trips open and requests fail fast with
+//! [`PredictError::ExternalCircuitOpen`] (no subprocess work at all)
+//! for [`BreakerSpec::cooldown`] requests; then one half-open probe is
+//! let through — success closes the breaker, failure reopens it with
+//! the cooldown doubled (capped at 64× the base). The tool is never
+//! abandoned for good.
+//!
 //! Successful predictions land in a result cache keyed by `(block
 //! bytes, uarch, mode)` per adapter — i.e. `(bytes, uarch, tool,
 //! tool-version)` overall, since the cache is cleared when a respawned
@@ -50,11 +59,11 @@ use crate::registry::PredictorRegistry;
 use facile_core::Mode;
 use facile_faults as faults;
 use facile_uarch::Uarch;
-use facile_util::{FxHashMap, PoisonlessMutex};
+use facile_util::{GlobalBudget, HeapSize, PoisonlessMutex, Shrinkable, SlruCache};
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 /// Default per-request timeout.
@@ -62,6 +71,43 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Default consecutive-failure budget before the adapter gives up.
 pub const DEFAULT_MAX_RESTARTS: u32 = 3;
+
+/// Default circuit-breaker consecutive-failure threshold.
+pub const DEFAULT_BREAKER_THRESHOLD: u32 = 5;
+
+/// Default circuit-breaker cooldown, counted in requests.
+pub const DEFAULT_BREAKER_COOLDOWN: u64 = 32;
+
+/// Circuit-breaker tuning for an external tool.
+///
+/// When configured on an [`ExternalSpec`], the breaker *replaces* the
+/// supervision loop's give-up check: instead of failing fast forever
+/// after `max_restarts` consecutive failures, the adapter trips open at
+/// `threshold` consecutive failures, fails fast (code
+/// `external-circuit-open`, with no subprocess work at all) for
+/// `cooldown` requests, then lets exactly one half-open probe through.
+/// A successful probe closes the breaker; a failed probe reopens it
+/// with the cooldown doubled (capped at 64× the base). The cooldown is
+/// counted in *requests*, not wall time, so batch output stays a pure
+/// function of the request sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSpec {
+    /// Consecutive failures that trip the breaker open. `0` disables
+    /// the breaker (legacy give-up supervision applies).
+    pub threshold: u32,
+    /// Requests to fail fast before a half-open probe, doubled on each
+    /// consecutive reopen.
+    pub cooldown: u64,
+}
+
+impl Default for BreakerSpec {
+    fn default() -> BreakerSpec {
+        BreakerSpec {
+            threshold: DEFAULT_BREAKER_THRESHOLD,
+            cooldown: DEFAULT_BREAKER_COOLDOWN,
+        }
+    }
+}
 
 /// How an external tool is launched and supervised.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,8 +119,12 @@ pub struct ExternalSpec {
     /// Per-request reply timeout.
     pub timeout: Duration,
     /// Consecutive failures tolerated before the adapter stops
-    /// respawning the tool and fails fast forever.
+    /// respawning the tool and fails fast forever. Superseded by the
+    /// circuit breaker when `breaker` is configured.
     pub max_restarts: u32,
+    /// Circuit-breaker tuning; `None` keeps the legacy give-up
+    /// supervision (fail fast forever after `max_restarts`).
+    pub breaker: Option<BreakerSpec>,
 }
 
 impl ExternalSpec {
@@ -105,6 +155,7 @@ impl ExternalSpec {
             cmd,
             timeout: DEFAULT_TIMEOUT,
             max_restarts: DEFAULT_MAX_RESTARTS,
+            breaker: None,
         })
     }
 
@@ -112,6 +163,14 @@ impl ExternalSpec {
     #[must_use]
     pub fn key(&self) -> String {
         format!("ext:{}", self.name)
+    }
+
+    /// Enable the circuit breaker with the given tuning (threshold `0`
+    /// keeps it disabled in effect).
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerSpec) -> ExternalSpec {
+        self.breaker = Some(breaker);
+        self
     }
 }
 
@@ -348,19 +407,38 @@ struct State {
     restarts: u64,
     /// Version reported by the last successful handshake.
     version: Option<String>,
+    /// Whether the circuit breaker is open (requests fail fast).
+    breaker_open: bool,
+    /// Requests remaining before the open breaker allows a half-open
+    /// probe through.
+    cooldown_left: u64,
+    /// Consecutive trips without an intervening success (escalates the
+    /// cooldown); reset to zero when a probe succeeds.
+    consecutive_trips: u32,
+    /// Lifetime trip count (monotonic; surfaced in stats).
+    trips: u64,
 }
 
-/// Result cache: `(block bytes, uarch, mode)` → throughput. The tool
-/// identity is implicit (one cache per adapter) and the tool *version*
-/// invalidates it wholesale on respawn.
-type ResultCache = FxHashMap<(Vec<u8>, Uarch, Mode), f64>;
+/// Result-cache key: `(block bytes, uarch, mode)`. The tool identity is
+/// implicit (one cache per adapter) and the tool *version* invalidates
+/// the cache wholesale on respawn.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ExtKey(Vec<u8>, Uarch, Mode);
+
+impl HeapSize for ExtKey {
+    fn heap_bytes(&self) -> usize {
+        self.0.capacity()
+    }
+}
 
 /// A [`Predictor`] served by an external subprocess.
 pub struct ExternalPredictor {
     spec: ExternalSpec,
     key: String,
     state: PoisonlessMutex<State>,
-    cache: PoisonlessMutex<ResultCache>,
+    /// Successful predictions, in a byte-bounded cache (unbounded by
+    /// default; capped when a budget governs the process).
+    cache: Arc<SlruCache<ExtKey, f64>>,
 }
 
 impl ExternalPredictor {
@@ -379,8 +457,12 @@ impl ExternalPredictor {
                 backoff: 0,
                 restarts: 0,
                 version: None,
+                breaker_open: false,
+                cooldown_left: 0,
+                consecutive_trips: 0,
+                trips: 0,
             }),
-            cache: PoisonlessMutex::new(FxHashMap::default()),
+            cache: Arc::new(SlruCache::new("external", usize::MAX)),
         }
     }
 
@@ -406,7 +488,48 @@ impl ExternalPredictor {
     /// Cached successful predictions.
     #[must_use]
     pub fn cached(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.len()
+    }
+
+    /// Accounted bytes resident in the result cache.
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes()
+    }
+
+    /// Result-cache entries evicted by the byte bound.
+    #[must_use]
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Cap the result cache at `bytes`, evicting down to it if needed.
+    pub fn set_cache_capacity(&self, bytes: usize) {
+        self.cache.set_capacity(bytes);
+    }
+
+    /// Register the result cache with a process-wide byte budget.
+    pub fn attach_cache_budget(&self, budget: &Arc<GlobalBudget>) {
+        budget.register(Arc::downgrade(&self.cache) as Weak<dyn Shrinkable>);
+        self.cache.set_budget(budget);
+    }
+
+    /// Lifetime circuit-breaker trips (monotonic).
+    #[must_use]
+    pub fn breaker_trips(&self) -> u64 {
+        self.state.lock().trips
+    }
+
+    /// Whether the circuit breaker is currently open.
+    #[must_use]
+    pub fn breaker_open(&self) -> bool {
+        self.state.lock().breaker_open
+    }
+
+    /// The effective breaker tuning (`None` when absent or disabled by
+    /// a zero threshold).
+    fn breaker(&self) -> Option<BreakerSpec> {
+        self.spec.breaker.filter(|b| b.threshold > 0)
     }
 
     fn crashed(&self, detail: impl Into<String>) -> PredictError {
@@ -431,13 +554,29 @@ impl ExternalPredictor {
     }
 
     /// Record a failure: kill the child (if any) and arm the backoff
-    /// window for the next respawn.
+    /// window for the next respawn. With a circuit breaker configured,
+    /// hitting the consecutive-failure threshold (or failing a
+    /// half-open probe) trips the breaker open instead: the backoff is
+    /// cleared (the breaker's cooldown takes over) and the next
+    /// `cooldown` requests fail fast without touching the subprocess.
     fn note_failure(&self, st: &mut State) {
         if let Some(r) = st.running.take() {
             r.kill();
         }
         st.failures = st.failures.saturating_add(1);
         st.backoff = 1u64 << st.failures.min(6);
+        if let Some(b) = self.breaker() {
+            if st.breaker_open || st.failures >= b.threshold {
+                // Trip (or re-trip after a failed probe): consecutive
+                // reopens double the cooldown, capped at 64× the base.
+                st.breaker_open = true;
+                st.trips += 1;
+                st.consecutive_trips = st.consecutive_trips.saturating_add(1);
+                st.cooldown_left = b.cooldown << (st.consecutive_trips - 1).min(6);
+                st.backoff = 0;
+                st.failures = 0;
+            }
+        }
     }
 
     /// Spawn the subprocess and run the version handshake.
@@ -492,7 +631,7 @@ impl ExternalPredictor {
                 // the cache key is effectively (bytes, uarch, mode,
                 // tool, tool-version).
                 if st.version.as_deref().is_some_and(|prev| prev != v) {
-                    self.cache.lock().clear();
+                    self.cache.clear();
                 }
                 st.version = Some(v.clone());
                 running.version = v;
@@ -573,14 +712,24 @@ impl Predictor for ExternalPredictor {
         if faults::decide(faults::Point::ExtCrash, bytes) {
             return Err(self.crashed("injected fault at ext-crash"));
         }
-        let cache_key = (bytes.to_vec(), req.uarch(), req.mode());
-        if let Some(&tp) = self.cache.lock().get(&cache_key) {
+        let cache_key = ExtKey(bytes.to_vec(), req.uarch(), req.mode());
+        if let Some(tp) = self.cache.read(&cache_key, |&tp| tp) {
             return Ok(Prediction::plain(tp));
         }
 
         let mut st = self.state.lock();
+        if st.breaker_open && st.cooldown_left > 0 {
+            // Open: fail fast, counting down toward the half-open probe.
+            st.cooldown_left -= 1;
+            return Err(PredictError::ExternalCircuitOpen {
+                tool: self.key.clone(),
+                until_probe: st.cooldown_left,
+            });
+        }
         if st.running.is_none() {
-            if st.failures > self.spec.max_restarts {
+            // The give-up check is superseded by the breaker: an open
+            // breaker always probes again after its cooldown.
+            if self.breaker().is_none() && st.failures > self.spec.max_restarts {
                 return Err(self.crashed(format!(
                     "gave up after {} consecutive failures",
                     st.failures
@@ -612,9 +761,11 @@ impl Predictor for ExternalPredictor {
         };
         // Any well-formed, correctly-addressed reply means the tool is
         // healthy; the supervision counters reset even for tool-level
-        // error replies.
+        // error replies, and a half-open probe closes the breaker.
         st.failures = 0;
         st.backoff = 0;
+        st.breaker_open = false;
+        st.consecutive_trips = 0;
         drop(st);
 
         if let Some(msg) = reply.error {
@@ -634,7 +785,7 @@ impl Predictor for ExternalPredictor {
                 mode: req.mode(),
             });
         }
-        self.cache.lock().insert(cache_key, tp);
+        self.cache.insert(cache_key, tp);
         Ok(Prediction::plain(tp))
     }
 }
@@ -773,6 +924,24 @@ pub fn parse_config(text: &str) -> Result<Vec<ExternalSpec>, String> {
                         .ok_or_else(|| at("max-restarts before cmd".to_string()))?;
                     s.max_restarts = m;
                 }
+                "breaker-threshold" => {
+                    let t: u32 = value
+                        .parse()
+                        .map_err(|_| at(format!("bad breaker-threshold {value:?}")))?;
+                    let s = spec
+                        .as_mut()
+                        .ok_or_else(|| at("breaker-threshold before cmd".to_string()))?;
+                    s.breaker.get_or_insert_with(BreakerSpec::default).threshold = t;
+                }
+                "breaker-cooldown" => {
+                    let c: u64 = value
+                        .parse()
+                        .map_err(|_| at(format!("bad breaker-cooldown {value:?}")))?;
+                    let s = spec
+                        .as_mut()
+                        .ok_or_else(|| at("breaker-cooldown before cmd".to_string()))?;
+                    s.breaker.get_or_insert_with(BreakerSpec::default).cooldown = c;
+                }
                 other => return Err(at(format!("unknown key {other:?}"))),
             },
         }
@@ -867,14 +1036,28 @@ mock = \"/bin/mock --mode echo-facile\"
 cmd = \"/bin/slow --x\"
 timeout-ms = 250
 max-restarts = 7
+
+[external.flaky]
+cmd = \"/bin/flaky\"
+breaker-threshold = 3
+breaker-cooldown = 16
 ";
         let specs = parse_config(text).unwrap();
-        assert_eq!(specs.len(), 2);
+        assert_eq!(specs.len(), 3);
         assert_eq!(specs[0].name, "mock");
         assert_eq!(specs[0].timeout, DEFAULT_TIMEOUT);
+        assert_eq!(specs[0].breaker, None);
         assert_eq!(specs[1].name, "slow");
         assert_eq!(specs[1].timeout, Duration::from_millis(250));
         assert_eq!(specs[1].max_restarts, 7);
+        assert_eq!(specs[1].breaker, None);
+        assert_eq!(
+            specs[2].breaker,
+            Some(BreakerSpec {
+                threshold: 3,
+                cooldown: 16
+            })
+        );
         for bad in [
             "[external.x]\n",                 // missing cmd
             "[oops]\ncmd = \"x\"\n",          // unknown section

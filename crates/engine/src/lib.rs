@@ -41,13 +41,13 @@ pub mod render;
 pub use adapters::{Baseline, FacileAdapter, LazyLearned, TrainConfig};
 pub use cache::{AnnotationCache, CacheStats, ExportedBlock};
 pub use engine::{
-    host_threads, panic_payload, parallel_map_indexed, BatchItem, BlockInput, Engine, EngineStats,
-    ItemResult, PlannerStats,
+    host_threads, panic_payload, parallel_map_indexed, BatchItem, BlockInput, CacheBudget, Engine,
+    EngineStats, ItemResult, PlannerStats,
 };
 pub use error::PredictError;
 pub use external::{
     extract_selector_externals, load_config as load_external_config, parse_reply,
-    register_selector_externals, ExternalPredictor, ExternalSpec,
+    register_selector_externals, BreakerSpec, ExternalPredictor, ExternalSpec,
 };
 pub use facile_core::timing::KernelTiming;
 pub use facile_explain::{Detail, Explanation};

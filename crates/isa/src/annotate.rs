@@ -156,6 +156,37 @@ impl AnnotatedInst {
             fused_with_prev,
         }
     }
+
+    /// Heap bytes owned by this instruction's descriptor entry.
+    /// Interned entries count as a pointer (the intern table accounts
+    /// for their storage); static entries borrow their descriptor.
+    fn entry_heap_bytes(&self) -> usize {
+        use facile_util::HeapSize;
+        match &self.entry {
+            DescEntry::Interned(_) => 0,
+            DescEntry::Static { inst, .. } => inst.heap_bytes(),
+            DescEntry::Pair { inst, desc } => {
+                inst.heap_bytes() + std::mem::size_of::<InstrDesc>() + desc.heap_bytes()
+            }
+        }
+    }
+}
+
+/// Accounting: the instruction list and kernel columns. The backing
+/// `Arc<Block>` and interned descriptors count as pointers — the
+/// annotation cache's level-1 entry owns the block, and the intern
+/// table owns the interned descriptors, so a process-global budget
+/// never double counts them.
+impl facile_util::HeapSize for AnnotatedBlock {
+    fn heap_bytes(&self) -> usize {
+        self.insts.capacity() * std::mem::size_of::<AnnotatedInst>()
+            + self
+                .insts
+                .iter()
+                .map(AnnotatedInst::entry_heap_bytes)
+                .sum::<usize>()
+            + self.cols.heap_bytes()
+    }
 }
 
 /// A basic block annotated for one microarchitecture.

@@ -106,6 +106,17 @@ pub struct BlockColumns {
     pub n_values: u32,
 }
 
+/// Accounting: the four flat column vectors (their elements are `Copy`
+/// leaves).
+impl facile_util::HeapSize for BlockColumns {
+    fn heap_bytes(&self) -> usize {
+        self.predec.capacity() * std::mem::size_of::<(u32, u32, bool)>()
+            + self.port_uops.capacity() * std::mem::size_of::<(PortMask, u8)>()
+            + self.ids.capacity() * std::mem::size_of::<u32>()
+            + self.flows.capacity() * std::mem::size_of::<FlowCol>()
+    }
+}
+
 /// Remove *consecutive* duplicate ids from `ids[start..]`: the same
 /// dedup the typed dataflow builder applies to its value lists, carried
 /// over verbatim (id equality coincides with value equality).

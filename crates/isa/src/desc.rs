@@ -96,6 +96,16 @@ pub struct InstrDesc {
     pub load_latency_extra: u8,
 }
 
+/// Accounting: a descriptor owns heap storage only if its µop list
+/// spilled past [`MAX_UOPS`] inline entries (no classifiable form
+/// does; the impl exists so cache accounting stays honest if one ever
+/// appears).
+impl facile_util::HeapSize for InstrDesc {
+    fn heap_bytes(&self) -> usize {
+        self.uops.spill_bytes()
+    }
+}
+
 impl InstrDesc {
     /// Number of unfused-domain µops that compete for execution ports.
     #[must_use]

@@ -30,25 +30,18 @@
 use crate::classify::{describe_fused_pair_with_effects, describe_with_effects};
 use crate::desc::InstrDesc;
 use facile_uarch::{Uarch, UarchConfig};
-use facile_util::PoisonlessMutex;
-use facile_util::{hash_bytes, FxHashMap};
+use facile_util::{GlobalBudget, HeapSize, Shrinkable, SlruCache};
 use facile_x86::{Effects, Inst};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, Weak};
 
-/// Number of independent lock shards. A power of two so shard selection
-/// is a mask; 16 is comfortably above any realistic worker count for the
-/// offline workloads this crate serves.
-const SHARDS: usize = 16;
-
-/// Per-shard byte-entry cap. Keys include immediates and displacements,
-/// so a streaming corpus with varied constants can mint unbounded
-/// distinct encodings; when a shard reaches this many entries it is
-/// flushed (outstanding `Arc`s stay valid, later occurrences simply
-/// re-intern), bounding the table at `SHARDS × SHARD_CAP` byte entries
-/// (~128k) while still covering any realistic working set of distinct
-/// instructions.
-const SHARD_CAP: usize = 8192;
+/// Default byte capacity of the intern table. Keys include immediates
+/// and displacements, so a streaming corpus with varied constants can
+/// mint unbounded distinct encodings; the segmented-LRU bound keeps
+/// the hot working set resident while a cold scan streams through
+/// probation. 64 MiB comfortably covers any realistic working set of
+/// distinct instructions (an entry is a few hundred accounted bytes).
+const DEFAULT_CAPACITY: usize = 64 << 20;
 
 /// The microarchitecture-independent half of an interned instruction:
 /// computed once per distinct byte encoding, shared across every
@@ -128,6 +121,10 @@ pub struct InternStats {
     pub byte_entries: usize,
     /// Distinct `(bytes, uarch)` descriptors resident (level-2 entries).
     pub entries: usize,
+    /// Accounted bytes currently resident.
+    pub bytes: usize,
+    /// Entries evicted by the byte bound since the last clear.
+    pub evictions: u64,
 }
 
 /// One level-1 entry: the shared core plus the per-uarch descriptor
@@ -138,28 +135,71 @@ struct ByteEntry {
     per_uarch: [Option<Arc<InternedInst>>; Uarch::ALL.len()],
 }
 
-type ShardMap = FxHashMap<Box<[u8]>, ByteEntry>;
+/// Accounting: the entry owns its core (decoded instruction + effects,
+/// deep — level-2 entries share it by pointer) and one `InternedInst`
+/// per resident uarch slot (whose `core` field is a pointer back).
+impl HeapSize for ByteEntry {
+    fn heap_bytes(&self) -> usize {
+        let core = std::mem::size_of::<InternedCore>()
+            + self.core.inst.heap_bytes()
+            + self.core.effects.heap_bytes();
+        let descs = self
+            .per_uarch
+            .iter()
+            .flatten()
+            .map(|e| std::mem::size_of::<InternedInst>() + e.desc.heap_bytes())
+            .sum::<usize>();
+        core + descs
+    }
+}
 
-/// The process-wide two-level descriptor intern table.
-#[derive(Debug, Default)]
+/// The process-wide two-level descriptor intern table, byte-bounded by
+/// a segmented LRU (see [`facile_util::SlruCache`]): interning is a
+/// pure memoization, so an evicted encoding simply re-interns on its
+/// next occurrence with an identical result.
+#[derive(Debug)]
 pub struct DescInterner {
-    shards: [PoisonlessMutex<ShardMap>; SHARDS],
+    table: SlruCache<Box<[u8]>, ByteEntry>,
     hits: AtomicU64,
     misses: AtomicU64,
     core_hits: AtomicU64,
     core_misses: AtomicU64,
 }
 
+impl Default for DescInterner {
+    fn default() -> Self {
+        DescInterner::new()
+    }
+}
+
 impl DescInterner {
-    /// An empty interner (the global one is reached via [`interner`]).
+    /// An empty interner (the global one is reached via [`interner`])
+    /// with the default byte capacity.
     #[must_use]
     pub fn new() -> DescInterner {
-        DescInterner::default()
+        DescInterner {
+            table: SlruCache::new("intern", DEFAULT_CAPACITY),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            core_hits: AtomicU64::new(0),
+            core_misses: AtomicU64::new(0),
+        }
     }
 
-    #[inline]
-    fn shard(&self, bytes: &[u8]) -> &PoisonlessMutex<ShardMap> {
-        &self.shards[(hash_bytes(bytes) as usize) & (SHARDS - 1)]
+    /// Change the table's byte capacity, evicting down if needed.
+    pub fn set_capacity(&self, bytes: usize) {
+        self.table.set_capacity(bytes);
+    }
+
+    /// The configured byte capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Report byte deltas to (and accept shrinks from) `budget`.
+    pub fn attach_budget(&self, budget: &Arc<GlobalBudget>) {
+        self.table.set_budget(budget);
     }
 
     fn lookup(
@@ -170,21 +210,19 @@ impl DescInterner {
         classify: impl FnOnce(&InternedCore) -> InstrDesc,
     ) -> Arc<InternedInst> {
         let uarch = cfg.arch as usize;
-        let shard = self.shard(bytes);
         // Fast path: both levels hit under one lock, one hash probe.
-        let core = {
-            let map = shard.lock();
-            match map.get(bytes) {
-                Some(entry) => {
-                    if let Some(hit) = &entry.per_uarch[uarch] {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        self.core_hits.fetch_add(1, Ordering::Relaxed);
-                        return Arc::clone(hit);
-                    }
-                    Some(Arc::clone(&entry.core))
-                }
-                None => None,
+        let probe = self.table.read(bytes, |e| match &e.per_uarch[uarch] {
+            Some(hit) => Ok(Arc::clone(hit)),
+            None => Err(Arc::clone(&e.core)),
+        });
+        let core = match probe {
+            Some(Ok(hit)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.core_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
             }
+            Some(Err(core)) => Some(core),
+            None => None,
         };
         // Classify outside the lock so concurrent misses on the same shard
         // don't serialize on the heavy work; a racing duplicate is
@@ -202,22 +240,17 @@ impl DescInterner {
             core: Arc::clone(&core),
         });
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = shard.lock();
-        if let Some(e) = map.get_mut(bytes) {
-            // Known bytes: only the uarch slot was missing (the key is
-            // not re-allocated on this path).
-            return Arc::clone(e.per_uarch[uarch].get_or_insert(entry));
-        }
-        if map.len() >= SHARD_CAP {
-            // Bounded memory on unbounded streams: drop the shard and
-            // start over. Interning is a pure memoization, so results
-            // are unaffected.
-            map.clear();
-        }
-        let mut per_uarch: [Option<Arc<InternedInst>>; Uarch::ALL.len()] = Default::default();
-        per_uarch[uarch] = Some(Arc::clone(&entry));
-        map.insert(bytes.into(), ByteEntry { core, per_uarch });
-        entry
+        // Publish under the shard lock: the entry may have been evicted
+        // (re-insert it) or raced (first writer wins on the uarch slot).
+        self.table.get_or_insert_with(
+            bytes,
+            || bytes.into(),
+            move || ByteEntry {
+                core,
+                per_uarch: Default::default(),
+            },
+            move |e| Arc::clone(e.per_uarch[uarch].get_or_insert(entry)),
+        )
     }
 
     /// The interned entry for a single (unfused) instruction whose
@@ -258,14 +291,10 @@ impl DescInterner {
     /// Current counters.
     pub fn stats(&self) -> InternStats {
         let (mut byte_entries, mut entries) = (0, 0);
-        for s in &self.shards {
-            let map = s.lock();
-            byte_entries += map.len();
-            entries += map
-                .values()
-                .map(|e| e.per_uarch.iter().flatten().count())
-                .sum::<usize>();
-        }
+        self.table.for_each(|_, e| {
+            byte_entries += 1;
+            entries += e.per_uarch.iter().flatten().count();
+        });
         InternStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -273,15 +302,15 @@ impl DescInterner {
             core_misses: self.core_misses.load(Ordering::Relaxed),
             byte_entries,
             entries,
+            bytes: self.table.bytes(),
+            evictions: self.table.evictions(),
         }
     }
 
     /// Drop all entries and reset the counters. Outstanding `Arc`s keep
     /// their entries alive; only the table's references are released.
     pub fn clear(&self) {
-        for s in &self.shards {
-            s.lock().clear();
-        }
+        self.table.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.core_hits.store(0, Ordering::Relaxed);
@@ -289,10 +318,42 @@ impl DescInterner {
     }
 }
 
+/// A [`GlobalBudget`] member view of the interner.
+impl Shrinkable for DescInterner {
+    fn label(&self) -> &'static str {
+        "intern"
+    }
+
+    fn accounted_bytes(&self) -> usize {
+        self.table.bytes()
+    }
+
+    fn shrink_toward(&self, target: usize) {
+        self.table.shrink_to(target);
+    }
+}
+
+fn interner_arc() -> &'static Arc<DescInterner> {
+    static GLOBAL: OnceLock<Arc<DescInterner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(DescInterner::new()))
+}
+
 /// The process-wide interner used by [`crate::AnnotatedBlock::new`].
 pub fn interner() -> &'static DescInterner {
-    static GLOBAL: OnceLock<DescInterner> = OnceLock::new();
-    GLOBAL.get_or_init(DescInterner::new)
+    interner_arc()
+}
+
+/// Bound the process-wide interner at `bytes` accounted bytes.
+pub fn set_intern_capacity(bytes: usize) {
+    interner().set_capacity(bytes);
+}
+
+/// Register the process-wide interner as a member of `budget`: its
+/// byte deltas are reported there and it participates in proportional
+/// shrinking when the budget's high watermark is crossed.
+pub fn attach_intern_budget(budget: &Arc<GlobalBudget>) {
+    budget.register(Arc::downgrade(interner_arc()) as Weak<dyn Shrinkable>);
+    interner().attach_budget(budget);
 }
 
 /// Counters of the process-wide interner (plumbed into

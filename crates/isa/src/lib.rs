@@ -40,5 +40,8 @@ pub use annotate::{AnnotatedBlock, AnnotatedInst};
 pub use classify::{describe, describe_fused_pair, macro_fuses};
 pub use cols::{BlockColumns, FlowCol, PassTiming};
 pub use desc::{InstrDesc, Uop, UopKind};
-pub use intern::{intern_stats, DescInterner, InternStats, InternedInst};
+pub use intern::{
+    attach_intern_budget, intern_stats, set_intern_capacity, DescInterner, InternStats,
+    InternedInst,
+};
 pub use tables::{reset_static_table_stats, static_table_stats, StaticTableStats, TABLE_HASH};

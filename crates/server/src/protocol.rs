@@ -6,6 +6,7 @@
 //! ```text
 //! {"op":"ping"}
 //! {"op":"stats"}
+//! {"op":"health"}
 //! {"op":"predict","block":"4801c8","uarch":"SKL"}
 //! {"op":"batch","blocks":["4801c8","90"],"uarch":"all","predictors":"facile,sim"}
 //! ```
@@ -62,6 +63,9 @@ pub struct Work {
     pub explain: bool,
     /// Queue-residency budget in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Whether the request used the `batch` op (shed before `predict`
+    /// under load; `predict` is the lower-volume interactive path).
+    pub batch: bool,
 }
 
 /// A parsed request line.
@@ -71,6 +75,9 @@ pub enum Request {
     Ping,
     /// Server + engine counters.
     Stats,
+    /// Degradation-tier probe (`ok`/`degraded`/`shedding`). Like `ping`
+    /// and `stats`, always answered — never shed or rate-limited.
+    Health,
     /// A prediction batch.
     Predict(Work),
 }
@@ -151,6 +158,7 @@ pub fn parse_request(line: &str) -> Result<Parsed, ProtoError> {
     let request = match op {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "health" => Request::Health,
         "predict" | "batch" => Request::Predict(parse_work(line, &v, op, &bad)?),
         other => return Err(bad(format!("unknown op: {other:?}"))),
     };
@@ -268,6 +276,7 @@ fn parse_work(
         render,
         explain: detail != Detail::Brief,
         deadline_ms,
+        batch: op == "batch",
     })
 }
 
@@ -289,6 +298,18 @@ pub fn error_reply(id: Option<&str>, code: &str, message: &str) -> String {
 #[must_use]
 pub fn pong_reply(id: Option<&str>) -> String {
     format!("{{{}\"ok\":true,\"pong\":true}}", id_field(id))
+}
+
+/// Render a `health` reply line: the degradation tier
+/// (`ok`/`degraded`/`shedding`) and the load pressure that produced it
+/// (the max of queue occupancy and budget occupancy, as a fraction of
+/// the respective shedding thresholds).
+#[must_use]
+pub fn health_reply(id: Option<&str>, tier: &str, pressure: f64) -> String {
+    format!(
+        "{{{}\"ok\":true,\"health\":\"{tier}\",\"pressure\":{pressure:.2}}}",
+        id_field(id)
+    )
 }
 
 /// Render a `stats` reply line from pre-rendered JSON objects.
@@ -346,6 +367,10 @@ mod tests {
         assert!(w.items[0].mode.is_none());
         assert_eq!(w.render, Render::Json);
         assert!(!w.explain);
+        assert!(!w.batch, "predict is not the batch op");
+        let p = parse_request(r#"{"op":"health","id":3}"#).unwrap();
+        assert!(matches!(p.request, Request::Health));
+        assert_eq!(p.id.as_deref(), Some("3"));
     }
 
     #[test]
@@ -355,6 +380,7 @@ mod tests {
             panic!("not predict")
         };
         assert_eq!(w.items.len(), 2 * Uarch::ALL.len());
+        assert!(w.batch, "batch op is flagged for shed ordering");
         // Per block, per uarch — exactly how the CLI's batch loop expands.
         assert_eq!(w.items[0].uarch, Uarch::Snb);
         assert_eq!(w.items[8].uarch, Uarch::Rkl);
@@ -409,6 +435,14 @@ mod tests {
         assert_eq!(
             rows_reply(None, &[], Render::Json, false),
             r#"{"ok":true,"rows":[]}"#
+        );
+        assert_eq!(
+            health_reply(None, "ok", 0.0),
+            r#"{"ok":true,"health":"ok","pressure":0.00}"#
+        );
+        assert_eq!(
+            health_reply(Some("9"), "shedding", 0.987),
+            r#"{"id":9,"ok":true,"health":"shedding","pressure":0.99}"#
         );
     }
 }

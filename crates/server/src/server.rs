@@ -34,16 +34,17 @@
 use crate::protocol::{self, Parsed, ProtoError, Request};
 use crate::snapshot::{self, SnapshotError, SnapshotInfo};
 use facile_engine::{
-    panic_payload, BatchItem, Engine, ExternalPredictor, ExternalSpec, ItemResult,
+    panic_payload, BatchItem, BreakerSpec, CacheBudget, Engine, ExternalPredictor, ExternalSpec,
+    ItemResult, Predictor,
 };
-use facile_util::{recover, PoisonlessMutex};
+use facile_util::{recover, GlobalBudget, PoisonlessMutex};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
@@ -88,6 +89,19 @@ pub struct ServerConfig {
     /// External predictor tools to register alongside the builtins
     /// (each reachable under its `ext:<name>` key in request selectors).
     pub external: Vec<ExternalSpec>,
+    /// Total memory budget shared by the annotation, intern-table, and
+    /// external-result caches. `None` = unbounded (the legacy behavior).
+    pub cache_budget: Option<CacheBudget>,
+    /// Largest number of batch items one request may carry
+    /// (`0` = unlimited): a per-connection fairness cap, checked before
+    /// the global admission bound.
+    pub conn_max_items: usize,
+    /// Per-connection prediction requests per second (`0` = unlimited),
+    /// enforced by a token bucket whose burst equals the rate.
+    pub conn_rps: u64,
+    /// Default circuit breaker applied to every external spec that does
+    /// not carry its own (`None` = the legacy give-up-forever behavior).
+    pub breaker: Option<BreakerSpec>,
 }
 
 impl ServerConfig {
@@ -106,6 +120,10 @@ impl ServerConfig {
             snapshot_interval: None,
             faults: None,
             external: Vec::new(),
+            cache_budget: None,
+            conn_max_items: 0,
+            conn_rps: 0,
+            breaker: Some(BreakerSpec::default()),
         }
     }
 }
@@ -137,6 +155,12 @@ pub struct ServerCounters {
     pub snapshot_save_errors: AtomicU64,
     /// Times the supervisor restarted a dead batcher thread.
     pub batcher_restarts: AtomicU64,
+    /// Requests rejected by per-connection limits (item cap or rate).
+    pub rejected_conn_limit: AtomicU64,
+    /// `batch` requests shed while the server was degraded or shedding.
+    pub shed_batch: AtomicU64,
+    /// `predict` requests shed while the server was shedding.
+    pub shed_predict: AtomicU64,
 }
 
 impl ServerCounters {
@@ -149,7 +173,8 @@ impl ServerCounters {
             "{{\"connections\":{},\"requests\":{},\"rows\":{},\"batches\":{},\
              \"batched_items\":{},\"rejected_overload\":{},\"rejected_deadline\":{},\
              \"protocol_errors\":{},\"snapshot_saves\":{},\"snapshot_save_errors\":{},\
-             \"batcher_restarts\":{}}}",
+             \"batcher_restarts\":{},\"rejected_conn_limit\":{},\"shed_batch\":{},\
+             \"shed_predict\":{}}}",
             g(&self.connections),
             g(&self.requests),
             g(&self.rows),
@@ -161,6 +186,9 @@ impl ServerCounters {
             g(&self.snapshot_saves),
             g(&self.snapshot_save_errors),
             g(&self.batcher_restarts),
+            g(&self.rejected_conn_limit),
+            g(&self.shed_batch),
+            g(&self.shed_predict),
         )
     }
 }
@@ -202,11 +230,107 @@ struct Shared {
     /// its enqueue (which would strand the job and deadlock the drain).
     batcher_stop: AtomicBool,
     counters: ServerCounters,
+    /// The global cache budget (when `cfg.cache_budget` is set).
+    budget: Option<Arc<GlobalBudget>>,
+    /// The registered external predictors, kept for stats and breaker
+    /// introspection.
+    externals: Vec<Arc<ExternalPredictor>>,
+    /// Current degradation tier: 0 = ok, 1 = degraded, 2 = shedding.
+    tier: AtomicU8,
 }
+
+/// Degradation-tier names, indexed by the `Shared::tier` value.
+const TIER_NAMES: [&str; 3] = ["ok", "degraded", "shedding"];
+
+/// Pressure above which `batch` requests are shed.
+const DEGRADED_PRESSURE: f64 = 0.80;
+/// Pressure above which `predict` requests are shed too.
+const SHEDDING_PRESSURE: f64 = 0.95;
 
 impl Shared {
     fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst) || sig::requested()
+    }
+
+    /// Load pressure in `[0, ∞)`: the max of queue occupancy (pending
+    /// items over the admission cap) and memory occupancy (accounted
+    /// cache bytes over the budget's high watermark).
+    fn pressure(&self) -> f64 {
+        let queue = if self.cfg.queue_cap == 0 {
+            0.0
+        } else {
+            self.pending_items.load(Ordering::Relaxed) as f64 / self.cfg.queue_cap as f64
+        };
+        let memory = self.budget.as_ref().map_or(0.0, |b| {
+            if b.high() == 0 {
+                0.0
+            } else {
+                b.total() as f64 / b.high() as f64
+            }
+        });
+        queue.max(memory)
+    }
+
+    /// Fold the current pressure into the degradation tier, logging each
+    /// transition once per edge.
+    fn observe_tier(&self, pressure: f64) -> u8 {
+        let tier = if pressure >= SHEDDING_PRESSURE {
+            2
+        } else if pressure >= DEGRADED_PRESSURE {
+            1
+        } else {
+            0
+        };
+        let prev = self.tier.swap(tier, Ordering::Relaxed);
+        if prev != tier {
+            eprintln!(
+                "facile-serve: degradation tier {} -> {} (pressure {pressure:.2})",
+                TIER_NAMES[prev as usize], TIER_NAMES[tier as usize]
+            );
+        }
+        tier
+    }
+
+    /// The `stats` reply's `"server"` object: the monotonic counters
+    /// plus governance state (tier, pressure, budget occupancy, and
+    /// per-external breaker/cache figures).
+    fn server_stats_json(&self) -> String {
+        let mut s = self.counters.to_json();
+        s.pop(); // reopen the counters object to append members
+        let tier = self.tier.load(Ordering::Relaxed);
+        s.push_str(&format!(
+            ",\"tier\":\"{}\",\"pressure\":{:.2}",
+            TIER_NAMES[tier as usize],
+            self.pressure()
+        ));
+        if let Some(b) = &self.budget {
+            s.push_str(&format!(
+                ",\"budget\":{{\"bytes\":{},\"high_watermark\":{},\"low_watermark\":{},\
+                 \"shrinks\":{},\"high_crossings\":{}}}",
+                b.total(),
+                b.high(),
+                b.low(),
+                b.shrinks(),
+                b.high_crossings()
+            ));
+        }
+        s.push_str(",\"external\":[");
+        for (i, ext) in self.externals.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"breaker_open\":{},\"breaker_trips\":{},\
+                 \"cache_bytes\":{},\"cache_evictions\":{}}}",
+                ext.name(),
+                ext.breaker_open(),
+                ext.breaker_trips(),
+                ext.cache_bytes(),
+                ext.cache_evictions()
+            ));
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -332,7 +456,7 @@ impl Server {
     /// # Errors
     /// Binding the endpoint can fail; snapshot problems never do (they
     /// are reported in [`Server::snapshot_loaded`]).
-    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+    pub fn start(mut cfg: ServerConfig) -> std::io::Result<Server> {
         if let Some(spec) = cfg.faults.as_deref() {
             // A malformed spec is a configuration error; arming in a
             // build without injection compiled in is a silent no-op
@@ -345,12 +469,34 @@ impl Server {
         } else {
             cfg.threads
         };
-        let mut engine = Engine::with_builtins().with_threads(threads);
-        for spec in &cfg.external {
-            engine
-                .registry_mut()
-                .register(Arc::new(ExternalPredictor::new(spec.clone())));
+        // External specs without their own breaker inherit the server
+        // default, so a sick tool trips open instead of giving up forever.
+        if let Some(b) = cfg.breaker {
+            for spec in &mut cfg.external {
+                spec.breaker.get_or_insert(b);
+            }
         }
+        let mut engine = Engine::with_builtins().with_threads(threads);
+        let mut externals: Vec<Arc<ExternalPredictor>> = Vec::with_capacity(cfg.external.len());
+        for spec in &cfg.external {
+            let pred = Arc::new(ExternalPredictor::new(spec.clone()));
+            externals.push(Arc::clone(&pred));
+            engine.registry_mut().register(pred);
+        }
+        // Cap the caches before the snapshot loads, so a snapshot larger
+        // than the budget is trimmed on the way in rather than admitted
+        // whole.
+        let budget = cfg.cache_budget.as_ref().map(|b| {
+            let global = engine.apply_cache_budget(b, true);
+            if !externals.is_empty() {
+                let per = b.external_capacity() / externals.len();
+                for ext in &externals {
+                    ext.set_cache_capacity(per);
+                    ext.attach_cache_budget(&global);
+                }
+            }
+            global
+        });
         let snapshot_loaded = cfg
             .snapshot
             .as_deref()
@@ -392,6 +538,9 @@ impl Server {
             draining: AtomicBool::new(false),
             batcher_stop: AtomicBool::new(false),
             counters: ServerCounters::default(),
+            budget,
+            externals,
+            tier: AtomicU8::new(0),
         });
         let conns: Arc<PoisonlessMutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
 
@@ -516,8 +665,41 @@ fn acceptor_loop(
     }
 }
 
+/// Per-connection governance state: the request-rate token bucket
+/// (burst = the configured rate, refilled continuously by wall clock).
+struct ConnState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl ConnState {
+    fn new(rps: u64) -> ConnState {
+        ConnState {
+            tokens: rps as f64,
+            last_refill: Instant::now(),
+        }
+    }
+
+    /// Take one token if available (always true when unlimited).
+    fn admit(&mut self, rps: u64) -> bool {
+        if rps == 0 {
+            return true;
+        }
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed * rps as f64).min(rps as f64);
+        if self.tokens < 1.0 {
+            return false;
+        }
+        self.tokens -= 1.0;
+        true
+    }
+}
+
 /// Read NDJSON lines off one connection and serve them in order.
 fn connection_loop(stream: Stream, shared: &Arc<Shared>) {
+    let mut conn = ConnState::new(shared.cfg.conn_rps);
     // The accepted stream inherits the listener's non-blocking flag;
     // switch to blocking reads with a timeout so the thread can notice
     // a drain without a wake-up channel.
@@ -559,7 +741,7 @@ fn connection_loop(stream: Stream, shared: &Arc<Shared>) {
                 }
                 continue;
             }
-            let reply = handle_line(line, shared);
+            let reply = handle_line(line, shared, &mut conn);
             if write_line(&mut stream, &reply).is_err() {
                 break 'conn;
             }
@@ -606,7 +788,7 @@ fn write_line(stream: &mut Stream, line: &str) -> std::io::Result<()> {
 }
 
 /// One request line in, one reply line out.
-fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
+fn handle_line(line: &str, shared: &Arc<Shared>, conn: &mut ConnState) -> String {
     let parsed = match protocol::parse_request(line) {
         Ok(p) => p,
         Err(ProtoError { id, code, message }) => {
@@ -623,14 +805,78 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
         Request::Ping => protocol::pong_reply(id),
         Request::Stats => protocol::stats_reply(
             id,
-            &shared.counters.to_json(),
+            &shared.server_stats_json(),
             &shared.engine.snapshot().to_json(),
         ),
+        Request::Health => {
+            let pressure = shared.pressure();
+            let tier = shared.observe_tier(pressure);
+            protocol::health_reply(id, TIER_NAMES[tier as usize], pressure)
+        }
         Request::Predict(work) => {
             if work.items.is_empty() {
                 return protocol::rows_reply(id, &[], work.render, work.explain);
             }
             let n = work.items.len();
+            // Per-connection fairness: an oversized request is rejected
+            // before it can monopolize the shared admission quota.
+            if shared.cfg.conn_max_items > 0 && n > shared.cfg.conn_max_items {
+                shared
+                    .counters
+                    .rejected_conn_limit
+                    .fetch_add(1, Ordering::Relaxed);
+                return protocol::error_reply(
+                    id,
+                    "overloaded",
+                    &format!(
+                        "request carries {n} items, above this connection's {}-item limit",
+                        shared.cfg.conn_max_items
+                    ),
+                );
+            }
+            if !conn.admit(shared.cfg.conn_rps) {
+                shared
+                    .counters
+                    .rejected_conn_limit
+                    .fetch_add(1, Ordering::Relaxed);
+                return protocol::error_reply(
+                    id,
+                    "overloaded",
+                    &format!(
+                        "connection rate limit: above {} request(s)/s",
+                        shared.cfg.conn_rps
+                    ),
+                );
+            }
+            // Degradation tiers: shed the bulk path first, then
+            // everything but ping/stats/health.
+            let pressure = shared.pressure();
+            let tier = shared.observe_tier(pressure);
+            if tier == 2 {
+                let counter = if work.batch {
+                    &shared.counters.shed_batch
+                } else {
+                    &shared.counters.shed_predict
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                return protocol::error_reply(
+                    id,
+                    "overloaded",
+                    &format!(
+                        "shedding load: pressure {pressure:.2} is above the shedding watermark"
+                    ),
+                );
+            }
+            if tier == 1 && work.batch {
+                shared.counters.shed_batch.fetch_add(1, Ordering::Relaxed);
+                return protocol::error_reply(
+                    id,
+                    "overloaded",
+                    &format!(
+                        "shedding batch requests: pressure {pressure:.2} is above the degraded watermark"
+                    ),
+                );
+            }
             // Admission: reserve quota or reject; never queue unbounded.
             let mut reserved = shared.pending_items.load(Ordering::Relaxed);
             loop {

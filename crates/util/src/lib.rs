@@ -18,10 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod fxhash;
 mod smallvec;
 pub mod sync;
 
+pub use cache::{GlobalBudget, HeapSize, Shrinkable, SlruCache};
 pub use fxhash::{hash_bytes, FxBuildHasher, FxHashMap, FxHasher};
 pub use smallvec::SmallVec;
 pub use sync::{recover, PoisonlessMutex};

@@ -105,6 +105,17 @@ impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
         matches!(self, SmallVec::Heap(_))
     }
 
+    /// Bytes of heap storage owned by the buffer: zero while inline,
+    /// the spilled `Vec`'s capacity in bytes otherwise. Used by the
+    /// byte-accounted caches in `crate::cache`.
+    #[must_use]
+    pub fn spill_bytes(&self) -> usize {
+        match self {
+            SmallVec::Inline(..) => 0,
+            SmallVec::Heap(v) => v.capacity() * std::mem::size_of::<T>(),
+        }
+    }
+
     /// Remove consecutive duplicate elements (same semantics as
     /// [`Vec::dedup`] for `T: PartialEq`).
     pub fn dedup(&mut self)

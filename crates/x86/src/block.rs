@@ -167,6 +167,19 @@ impl Block {
     }
 }
 
+/// Accounting: the three backing vectors plus each instruction's
+/// operand list. Used by the byte-bounded caches that store decoded
+/// blocks.
+impl facile_util::HeapSize for Block {
+    fn heap_bytes(&self) -> usize {
+        use facile_util::HeapSize;
+        self.insts.capacity() * std::mem::size_of::<Inst>()
+            + self.insts.iter().map(HeapSize::heap_bytes).sum::<usize>()
+            + self.bytes.capacity()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
 impl fmt::Display for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (off, inst) in self.iter_with_offsets() {

@@ -360,6 +360,22 @@ impl Inst {
     }
 }
 
+/// Accounting: an instruction's only heap storage is its operand list
+/// (operands are `Copy` leaves).
+impl facile_util::HeapSize for Inst {
+    fn heap_bytes(&self) -> usize {
+        self.operands.capacity() * std::mem::size_of::<Operand>()
+    }
+}
+
+/// Accounting: the register small-vectors are the only possible heap
+/// storage (they spill past 6 entries; `mem` is a `Copy` leaf).
+impl facile_util::HeapSize for Effects {
+    fn heap_bytes(&self) -> usize {
+        self.reg_reads.spill_bytes() + self.reg_writes.spill_bytes()
+    }
+}
+
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.mnemonic)?;
